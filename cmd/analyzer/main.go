@@ -1,0 +1,135 @@
+// Command analyzer is the offline counterpart of the paper's delay
+// analyzer module: it reads a CSV of (generation_time, arrival_time) pairs
+// — one data point per line, timestamps in milliseconds — profiles the
+// delays, and recommends the write policy (π_c or π_s with a C_seq
+// capacity) that minimizes predicted write amplification for a given
+// memory budget.
+//
+// Usage:
+//
+//	analyzer -n 512 < delays.csv
+//	datagen -dataset M3 -points 100000 | analyzer -n 512
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 512, "memory budget (points buffered in memory)")
+		file   = flag.String("f", "", "input CSV path (default stdin)")
+		sweep  = flag.Bool("sweep", false, "also print the full r_s(n_seq) sweep")
+		hist   = flag.Bool("hist", false, "print a delay histogram")
+		fit    = flag.Bool("fit", false, "fit parametric delay distributions and rank them")
+		header = flag.Bool("header", false, "skip the first input line")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("open: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if *header {
+		in = skipFirstLine(in)
+	}
+
+	points, err := workload.ReadCSV(in)
+	if err != nil {
+		fatal("read: %v", err)
+	}
+	if len(points) < 32 {
+		fatal("need at least 32 points, got %d", len(points))
+	}
+
+	col := analyzer.NewCollector(8192, 1)
+	for _, p := range points {
+		col.Observe(p)
+	}
+	rec, ok := analyzer.Recommend(col, *n)
+	if !ok {
+		fatal("not enough data to profile")
+	}
+
+	delays := make([]float64, len(points))
+	for i, p := range points {
+		delays[i] = float64(p.Delay())
+	}
+	fmt.Printf("points:              %d\n", len(points))
+	fmt.Printf("generation interval: %.2f ms (span-based estimate)\n", rec.Dt)
+	fmt.Printf("delay mean/p50/p99:  %.1f / %.1f / %.1f ms\n",
+		metrics.Mean(delays), metrics.Quantile(delays, 0.5), metrics.Quantile(delays, 0.99))
+	fmt.Printf("profile sample size: %d\n", rec.SampleSize)
+	fmt.Println()
+	fmt.Printf("predicted WA pi_c:          %.3f\n", rec.Decision.Rc)
+	fmt.Printf("predicted min WA pi_s:      %.3f at n_seq=%d\n", rec.Decision.Rs, rec.Decision.NSeq)
+	if rec.Decision.Policy == core.PolicySeparation {
+		fmt.Printf("recommendation:             pi_s with C_seq=%d, C_nonseq=%d\n",
+			rec.Decision.NSeq, *n-rec.Decision.NSeq)
+	} else {
+		fmt.Printf("recommendation:             pi_c (no separation)\n")
+	}
+
+	if *fit {
+		results, err := dist.FitBest(delays)
+		if err != nil {
+			fatal("fit: %v", err)
+		}
+		fmt.Println("\nparametric fits (KS distance to the empirical CDF, best first):")
+		for _, r := range results[:len(results)-1] {
+			fmt.Printf("  %-34s KS=%.4f\n", r.Dist.Name(), r.KS)
+		}
+	}
+
+	if *hist {
+		h := metrics.NewHistogram(0, metrics.Quantile(delays, 0.999)+1, 20)
+		for _, d := range delays {
+			h.Observe(d)
+		}
+		fmt.Println("\ndelay histogram (ms):")
+		fmt.Print(h.Render(48))
+	}
+
+	if *sweep {
+		prof, _ := col.Profile()
+		fmt.Println("\nn_seq sweep:")
+		fmt.Printf("%8s %10s\n", "n_seq", "r_s")
+		step := *n / 16
+		if step < 1 {
+			step = 1
+		}
+		for x := step; x < *n; x += step {
+			est := core.WASeparation(prof, rec.Dt, *n, x)
+			fmt.Printf("%8d %10.3f\n", x, est.WA)
+		}
+	}
+}
+
+// skipFirstLine consumes the first line of r (a non-comment CSV header).
+func skipFirstLine(r io.Reader) io.Reader {
+	br := bufio.NewReader(r)
+	if _, err := br.ReadString('\n'); err != nil {
+		return br
+	}
+	return br
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "analyzer: "+format+"\n", args...)
+	os.Exit(1)
+}

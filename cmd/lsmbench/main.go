@@ -1,0 +1,84 @@
+// Command lsmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lsmbench -list
+//	lsmbench -exp fig9 -scale 0.05
+//	lsmbench -exp all -scale 0.02 -csv results/
+//
+// Each experiment prints a paper-style table; -csv additionally writes one
+// CSV file per experiment. Scale 1.0 corresponds to the paper's dataset
+// sizes (10M points per synthetic dataset) — expect long runtimes there.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.Float64("scale", 0.05, "dataset size multiplier (1.0 = paper scale)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		csv   = flag.String("csv", "", "directory to write per-experiment CSV files")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			desc, _ := experiments.Describe(id)
+			fmt.Printf("%-22s %s\n", id, desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else if strings.Contains(*exp, ",") {
+		ids = strings.Split(*exp, ",")
+	}
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fatal("create csv dir: %v", err)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fatal("%s: %v", id, err)
+		}
+		rep.AddNote("completed in %s", time.Since(start).Round(time.Millisecond))
+		rep.Render(os.Stdout)
+		if *csv != "" {
+			path := filepath.Join(*csv, rep.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal("create %s: %v", path, err)
+			}
+			if err := rep.WriteCSV(f); err != nil {
+				f.Close()
+				fatal("write %s: %v", path, err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lsmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

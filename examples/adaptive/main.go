@@ -1,0 +1,65 @@
+// Adaptive: the delay distribution of the workload drifts over time; the
+// analyzer (π_adaptive) detects each regime change, re-runs the tuning
+// algorithm, and switches the live engine between π_c and π_s — the
+// scenario of the paper's Fig. 10 and Fig. 17.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analyzer"
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/workload"
+)
+
+func main() {
+	const memBudget = 256
+
+	// Three regimes: heavy disorder, moderate, then nearly ordered.
+	stream := workload.Dynamic(50, 7,
+		workload.Segment{Points: 60_000, Dist: dist.NewLognormal(5, 2)},
+		workload.Segment{Points: 60_000, Dist: dist.NewLognormal(4, 1.5)},
+		workload.Segment{Points: 60_000, Dist: dist.NewUniform(0, 10)},
+	)
+
+	engine, err := lsm.Open(lsm.Config{Policy: lsm.Conventional, MemBudget: memBudget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	ctl, err := analyzer.NewAdaptiveController(engine, analyzer.AdaptiveConfig{
+		MemBudget:  memBudget,
+		CheckEvery: 5_000,
+		MinSample:  4_000,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range stream {
+		if err := ctl.Put(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("policy decisions made by the analyzer:")
+	for _, sw := range ctl.Switches() {
+		fmt.Printf("  after %6d points: %-6s", sw.AtPoint, sw.Decision.Policy)
+		if sw.Decision.Policy.String() == "pi_s" {
+			fmt.Printf(" (C_seq=%d)", sw.Decision.NSeq)
+		}
+		fmt.Printf("  predicted WA: pi_c %.2f vs pi_s %.2f", sw.Decision.Rc, sw.Decision.Rs)
+		if sw.KS > 0 {
+			fmt.Printf("  (drift KS=%.3f)", sw.KS)
+		}
+		fmt.Println()
+	}
+
+	st := engine.Stats()
+	fmt.Printf("\noverall: %d points, WA %.3f, %d compactions\n",
+		st.PointsIngested, st.WriteAmplification(), st.Compactions)
+}

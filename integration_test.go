@@ -1,0 +1,145 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/query"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/tsdb"
+	"repro/internal/workload"
+)
+
+// TestEndToEnd exercises the full stack the way a deployment would: a
+// durable multi-series database with adaptive per-series tuning ingests
+// two workloads with opposite disorder characteristics, serves range and
+// aggregation queries, survives a process restart, and applies retention.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end test is slow")
+	}
+	dir := t.TempDir()
+	backend, err := storage.NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tsdb.Config{
+		Engine:             lsm.Config{Policy: lsm.Conventional, MemBudget: 128, WAL: true},
+		Backend:            backend,
+		AutoCreate:         true,
+		Adaptive:           true,
+		AdaptiveCheckEvery: 4000,
+	}
+	db, err := tsdb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 30_000
+	ordered := workload.Synthetic(n, 1000, dist.NewUniform(0, 50), 1)
+	disordered := workload.Synthetic(n, 1000, dist.NewLognormal(9, 1.5), 2)
+	for i := 0; i < n; i++ {
+		if err := db.Put("fleet.v1.velocity", ordered[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Put("fleet.v1.engine_temp", disordered[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The analyzer must have diverged the two series' policies.
+	var velPolicy, tempPolicy lsm.PolicyKind
+	for _, s := range db.Stats() {
+		switch s.Name {
+		case "fleet.v1.velocity":
+			velPolicy = s.Policy
+		case "fleet.v1.engine_temp":
+			tempPolicy = s.Policy
+			if s.Decision == nil || s.Decision.Policy != core.PolicySeparation {
+				t.Errorf("engine_temp decision: %+v", s.Decision)
+			}
+		}
+	}
+	if velPolicy != lsm.Conventional {
+		t.Errorf("ordered series ended on %v", velPolicy)
+	}
+	if tempPolicy != lsm.Separation {
+		t.Errorf("disordered series ended on %v", tempPolicy)
+	}
+
+	// Range + aggregation queries.
+	pts, st, err := db.Scan("fleet.v1.engine_temp", 0, math.MaxInt64)
+	if err != nil || len(pts) != n {
+		t.Fatalf("scan: %d points, %v", len(pts), err)
+	}
+	if !series.IsSortedByTG(pts) {
+		t.Fatal("scan unsorted")
+	}
+	if st.ReadAmplification() < 1 {
+		t.Errorf("read amplification %v", st.ReadAmplification())
+	}
+	buckets := query.AggregatePoints(pts, 0, 60_000)
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != int64(n) {
+		t.Errorf("aggregation lost points: %d", total)
+	}
+
+	// Restart: everything must come back, including WAL-only tails.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	backend2, err := storage.NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Backend = backend2
+	db2, err := tsdb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Series(); len(got) != 2 {
+		t.Fatalf("recovered series: %v", got)
+	}
+	for _, name := range []string{"fleet.v1.velocity", "fleet.v1.engine_temp"} {
+		pts, _, err := db2.Scan(name, 0, math.MaxInt64)
+		if err != nil || len(pts) != n {
+			t.Fatalf("%s after restart: %d points, %v", name, len(pts), err)
+		}
+	}
+
+	// Retention drops the first half of generation time from every series.
+	cutoff := int64(n/2) * 1000
+	removed, err := db2.DropBefore(cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("retention removed nothing")
+	}
+	for _, name := range []string{"fleet.v1.velocity", "fleet.v1.engine_temp"} {
+		pts, _, _ := db2.Scan(name, 0, math.MaxInt64)
+		if len(pts) == 0 || pts[0].TG < cutoff {
+			t.Fatalf("%s after retention: first TG %d", name, pts[0].TG)
+		}
+	}
+
+	// The offline analyzer agrees with the live decision for the
+	// disordered series.
+	col := analyzer.NewCollector(8192, 3)
+	for _, p := range disordered {
+		col.Observe(p)
+	}
+	rec, ok := analyzer.Recommend(col, 128)
+	if !ok || rec.Decision.Policy != core.PolicySeparation {
+		t.Errorf("offline recommendation: %+v, %v", rec, ok)
+	}
+}

@@ -1,0 +1,164 @@
+package analyzer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/series"
+)
+
+// AdaptiveController wires the analyzer to a live engine, implementing
+// π_adaptive: it observes every ingested point, and when the delay
+// distribution drifts (or on the first sufficient sample) it re-runs
+// Algorithm 1 and switches the engine's policy/capacities. The paper's
+// Fig. 10 and Fig. 17 evaluate exactly this loop.
+// AdaptiveController is safe for concurrent use: its own state is guarded
+// by mu (the engine has its own lock).
+type AdaptiveController struct {
+	mu        sync.Mutex
+	engine    *lsm.Engine
+	collector *Collector
+	detector  *DriftDetector
+
+	memBudget   int
+	checkEvery  int64
+	sinceCheck  int64
+	seenTotal   int64
+	minSample   int64
+	switches    []Switch
+	current     core.Decision
+	haveCurrent bool
+}
+
+// Switch records one policy change for reporting.
+type Switch struct {
+	AtPoint  int64 // points ingested when the switch happened
+	Decision core.Decision
+	KS       float64 // drift statistic that triggered it (0 for the first)
+}
+
+// AdaptiveConfig parameterizes the controller.
+type AdaptiveConfig struct {
+	// MemBudget is n, passed to Algorithm 1 and the engine.
+	MemBudget int
+	// CheckEvery is how many points pass between drift checks (default
+	// 4096).
+	CheckEvery int64
+	// MinSample is the number of points required before the first tuning
+	// (default 2048).
+	MinSample int64
+	// KSThreshold is the drift threshold (default 0.1).
+	KSThreshold float64
+	// Seed feeds the collector's reservoir sampler.
+	Seed int64
+}
+
+// NewAdaptiveController attaches a controller to an engine. The engine
+// should have been opened with the same memory budget.
+func NewAdaptiveController(e *lsm.Engine, cfg AdaptiveConfig) (*AdaptiveController, error) {
+	if cfg.MemBudget < 2 {
+		return nil, fmt.Errorf("analyzer: MemBudget must be >= 2, got %d", cfg.MemBudget)
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 4096
+	}
+	if cfg.MinSample <= 0 {
+		cfg.MinSample = 2048
+	}
+	return &AdaptiveController{
+		engine:     e,
+		collector:  NewCollector(4096, cfg.Seed),
+		detector:   NewDriftDetector(cfg.KSThreshold),
+		memBudget:  cfg.MemBudget,
+		checkEvery: cfg.CheckEvery,
+		minSample:  cfg.MinSample,
+	}, nil
+}
+
+// Put ingests one point through the controller: the point is observed,
+// drift checks run on schedule, and the point is written to the engine.
+func (a *AdaptiveController) Put(p series.Point) error {
+	a.mu.Lock()
+	a.collector.Observe(p)
+	a.seenTotal++
+	a.sinceCheck++
+	retune := a.sinceCheck >= a.checkEvery && a.collector.Seen() >= a.minSample
+	if retune {
+		a.sinceCheck = 0
+		if err := a.maybeRetune(); err != nil {
+			a.mu.Unlock()
+			return err
+		}
+	}
+	a.mu.Unlock()
+	return a.engine.Put(p)
+}
+
+// maybeRetune re-runs Algorithm 1 when no policy has been chosen yet or
+// when the delay distribution drifted from the reference profile. The
+// drift comparison and the re-tuning profile both use the collector's
+// recent-delay window, which reflects only the current regime (the
+// long-run reservoir would dilute a drift with pre-drift samples).
+func (a *AdaptiveController) maybeRetune() error {
+	recent := a.collector.Recent()
+	if len(recent) < 16 {
+		return nil
+	}
+	var ks float64
+	if a.haveCurrent {
+		var drifted bool
+		drifted, ks = a.detector.Drifted(recent)
+		if !drifted {
+			return nil
+		}
+	}
+	dt, ok := a.collector.GenerationInterval()
+	if !ok || dt <= 0 {
+		return nil
+	}
+	prof := dist.NewEmpirical(recent)
+	dec := core.Tune(prof, dt, a.memBudget)
+	if err := a.apply(dec); err != nil {
+		return err
+	}
+	a.detector.SetReference(recent)
+	a.switches = append(a.switches, Switch{
+		AtPoint:  a.seenTotal,
+		Decision: dec,
+		KS:       ks,
+	})
+	a.haveCurrent = true
+	a.current = dec
+	return nil
+}
+
+// apply pushes a decision into the engine.
+func (a *AdaptiveController) apply(dec core.Decision) error {
+	if dec.Policy == core.PolicySeparation {
+		return a.engine.SetPolicy(lsm.Separation, dec.NSeq)
+	}
+	return a.engine.SetPolicy(lsm.Conventional, 0)
+}
+
+// Current returns the decision currently in force; ok is false before the
+// first tuning.
+func (a *AdaptiveController) Current() (core.Decision, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current, a.haveCurrent
+}
+
+// Switches returns the history of policy changes.
+func (a *AdaptiveController) Switches() []Switch {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Switch, len(a.switches))
+	copy(out, a.switches)
+	return out
+}
+
+// Engine exposes the controlled engine (for stats and queries).
+func (a *AdaptiveController) Engine() *lsm.Engine { return a.engine }

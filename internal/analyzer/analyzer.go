@@ -1,0 +1,251 @@
+// Package analyzer implements the paper's delay analyzer module
+// (Section I-D and VI): it collects the delays of the writing workload,
+// builds their statistical profile (empirical PDF/CDF), estimates the
+// generation interval, detects changes in the delay distribution, and runs
+// the Separation Policy Tuning Algorithm (Algorithm 1) to recommend — and,
+// through the adaptive controller, apply — the policy with the lower
+// predicted write amplification (π_adaptive in Fig. 10/17).
+package analyzer
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/series"
+)
+
+// Collector accumulates delay observations in a bounded reservoir plus an
+// estimate of the generation interval. It is the streaming front end of
+// the analyzer: cheap per point, bounded memory.
+type Collector struct {
+	capacity int
+	seen     int64
+	res      []float64 // reservoir sample of delays
+	rng      *rand.Rand
+
+	// recent is a ring buffer of the latest delays, used by drift
+	// detection: unlike the reservoir (which mixes the whole window since
+	// the last reset), it always reflects the current regime.
+	recent    []float64
+	recentPos int
+	recentN   int
+
+	// Generation-interval estimation: the generation grid spans
+	// (maxTG − minTG) over seenTG points, so the mean interval is
+	// span/(n−1). This is robust to disorder, unlike averaging in-order
+	// arrival gaps (which skips the out-of-order points and overestimates
+	// Δt exactly when disorder is heavy).
+	minTG, maxTG int64
+	haveTG       bool
+	tgCount      int64
+}
+
+// NewCollector creates a collector with the given reservoir capacity
+// (default 4096 when non-positive).
+func NewCollector(capacity int, seed int64) *Collector {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Collector{
+		capacity: capacity,
+		res:      make([]float64, 0, capacity),
+		recent:   make([]float64, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Observe records one ingested point.
+func (c *Collector) Observe(p series.Point) {
+	delay := float64(p.Delay())
+	if delay < 0 {
+		delay = 0
+	}
+	c.seen++
+	if len(c.res) < c.capacity {
+		c.res = append(c.res, delay)
+	} else if j := c.rng.Int63n(c.seen); j < int64(c.capacity) {
+		c.res[j] = delay
+	}
+	c.recent[c.recentPos] = delay
+	c.recentPos = (c.recentPos + 1) % len(c.recent)
+	if c.recentN < len(c.recent) {
+		c.recentN++
+	}
+	if !c.haveTG {
+		c.minTG, c.maxTG = p.TG, p.TG
+		c.haveTG = true
+	} else {
+		if p.TG < c.minTG {
+			c.minTG = p.TG
+		}
+		if p.TG > c.maxTG {
+			c.maxTG = p.TG
+		}
+	}
+	c.tgCount++
+}
+
+// Seen returns the number of observed points.
+func (c *Collector) Seen() int64 { return c.seen }
+
+// GenerationInterval estimates Δt as the generation-time span divided by
+// the number of gaps; ok is false until at least two points arrived.
+func (c *Collector) GenerationInterval() (dt float64, ok bool) {
+	if c.tgCount < 2 || c.maxTG <= c.minTG {
+		return 0, false
+	}
+	return float64(c.maxTG-c.minTG) / float64(c.tgCount-1), true
+}
+
+// Recent returns the latest delays (up to the collector capacity), oldest
+// first. Drift detection compares this window — which reflects only the
+// current regime — against the reference profile.
+func (c *Collector) Recent() []float64 {
+	out := make([]float64, 0, c.recentN)
+	if c.recentN < len(c.recent) {
+		out = append(out, c.recent[:c.recentN]...)
+		return out
+	}
+	out = append(out, c.recent[c.recentPos:]...)
+	out = append(out, c.recent[:c.recentPos]...)
+	return out
+}
+
+// Profile fits an empirical delay distribution to the reservoir; ok is
+// false until enough observations exist (at least 16).
+func (c *Collector) Profile() (*dist.Empirical, bool) {
+	if len(c.res) < 16 {
+		return nil, false
+	}
+	return dist.NewEmpirical(c.res), true
+}
+
+// Reset clears the reservoir and interval statistics but keeps
+// configuration and the recent-delay ring (the current regime does not
+// change just because a retune happened).
+func (c *Collector) Reset() {
+	c.res = c.res[:0]
+	c.seen = 0
+	c.haveTG = false
+	c.tgCount = 0
+}
+
+// Snapshot returns a copy of the current reservoir, for drift comparisons.
+func (c *Collector) Snapshot() []float64 {
+	out := make([]float64, len(c.res))
+	copy(out, c.res)
+	return out
+}
+
+// DriftDetector decides whether the delay distribution has changed by
+// comparing the empirical CDF of a recent window against the reference
+// profile with the two-sample Kolmogorov–Smirnov statistic. The paper's
+// auto-tuning program "finds that the distribution of delays changes" and
+// re-triggers Algorithm 1; this is that trigger.
+type DriftDetector struct {
+	threshold float64
+	reference []float64
+}
+
+// NewDriftDetector creates a detector; threshold is the KS distance above
+// which drift is declared (default 0.1 when non-positive).
+func NewDriftDetector(threshold float64) *DriftDetector {
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	return &DriftDetector{threshold: threshold}
+}
+
+// SetReference replaces the reference sample.
+func (d *DriftDetector) SetReference(sample []float64) {
+	d.reference = append(d.reference[:0], sample...)
+}
+
+// HasReference reports whether a reference sample is set.
+func (d *DriftDetector) HasReference() bool { return len(d.reference) >= 16 }
+
+// Drifted reports whether recent differs from the reference beyond the
+// threshold, returning the measured KS distance. Without a usable
+// reference it reports false.
+func (d *DriftDetector) Drifted(recent []float64) (bool, float64) {
+	if !d.HasReference() || len(recent) < 16 {
+		return false, 0
+	}
+	ks := ksTwoSample(d.reference, recent)
+	return ks > d.threshold, ks
+}
+
+// ksTwoSample computes the two-sample KS statistic.
+func ksTwoSample(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		if as[i] <= bs[j] {
+			i++
+		} else {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Recommendation is the analyzer's advice for the engine configuration.
+type Recommendation struct {
+	Decision core.Decision
+	// Dt is the generation interval the decision was computed with.
+	Dt float64
+	// SampleSize is the number of delay observations behind the profile.
+	SampleSize int
+}
+
+// Recommend profiles the collector's delays and runs Algorithm 1 for the
+// given memory budget. ok is false when the collector has not yet seen
+// enough data.
+func Recommend(c *Collector, memBudget int) (Recommendation, bool) {
+	prof, ok := c.Profile()
+	if !ok {
+		return Recommendation{}, false
+	}
+	dt, ok := c.GenerationInterval()
+	if !ok || dt <= 0 {
+		return Recommendation{}, false
+	}
+	dec := core.Tune(prof, dt, memBudget)
+	return Recommendation{Decision: dec, Dt: dt, SampleSize: prof.N()}, true
+}
+
+// RecommendParametric is Recommend with a parametric delay profile: the
+// collector's sample is fitted to the parametric families (dist.FitBest)
+// and the best fit is used for the WA models when it matches the sample
+// closely (KS below ksAccept, e.g. 0.05); otherwise the non-parametric
+// empirical profile is used. A parametric profile extrapolates the delay
+// tail beyond the largest observed value, which matters when the reservoir
+// is small relative to the tail. The chosen profile is returned.
+func RecommendParametric(c *Collector, memBudget int, ksAccept float64) (Recommendation, dist.Distribution, bool) {
+	prof, ok := c.Profile()
+	if !ok {
+		return Recommendation{}, nil, false
+	}
+	dt, ok := c.GenerationInterval()
+	if !ok || dt <= 0 {
+		return Recommendation{}, nil, false
+	}
+	var chosen dist.Distribution = prof
+	if fits, err := dist.FitBest(c.Snapshot()); err == nil && len(fits) > 0 && fits[0].KS <= ksAccept {
+		chosen = fits[0].Dist
+	}
+	dec := core.Tune(chosen, dt, memBudget)
+	return Recommendation{Decision: dec, Dt: dt, SampleSize: prof.N()}, chosen, true
+}

@@ -1,0 +1,305 @@
+package analyzer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/workload"
+)
+
+func TestCollectorDelayProfile(t *testing.T) {
+	c := NewCollector(2048, 1)
+	src := dist.NewLognormal(4, 1.2)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		tg := int64(i+1) * 50
+		c.Observe(series.Point{TG: tg, TA: tg + int64(src.Sample(rng))})
+	}
+	if c.Seen() != 10000 {
+		t.Errorf("Seen = %d", c.Seen())
+	}
+	prof, ok := c.Profile()
+	if !ok {
+		t.Fatal("no profile after 10k observations")
+	}
+	// The fitted profile should be close to the source at the median.
+	med := src.Quantile(0.5)
+	if got := prof.CDF(med); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("profile CDF at source median = %v", got)
+	}
+}
+
+func TestCollectorGenerationInterval(t *testing.T) {
+	c := NewCollector(128, 1)
+	for i := 0; i < 100; i++ {
+		tg := int64(i+1) * 50
+		c.Observe(series.Point{TG: tg, TA: tg})
+	}
+	dt, ok := c.GenerationInterval()
+	if !ok || math.Abs(dt-50) > 1e-9 {
+		t.Errorf("dt = %v, %v", dt, ok)
+	}
+}
+
+func TestCollectorIntervalRobustToDisorder(t *testing.T) {
+	// The estimator is span/(n−1): arrival order and lateness are
+	// irrelevant as long as the generation grid is regular.
+	c := NewCollector(128, 1)
+	c.Observe(series.Point{TG: 100, TA: 100})
+	c.Observe(series.Point{TG: 150, TA: 151})
+	c.Observe(series.Point{TG: 50, TA: 152}) // late point, still on the grid
+	c.Observe(series.Point{TG: 200, TA: 201})
+	dt, ok := c.GenerationInterval()
+	if !ok || dt != 50 {
+		t.Errorf("dt = %v, want 50", dt)
+	}
+}
+
+func TestCollectorIntervalUnbiasedUnderHeavyDisorder(t *testing.T) {
+	// Heavy disorder must not inflate the estimate (the old in-order-gap
+	// estimator did exactly that).
+	src := dist.NewLognormal(5, 2)
+	rng := rand.New(rand.NewSource(8))
+	c := NewCollector(1024, 1)
+	ps := make([]series.Point, 20000)
+	for i := range ps {
+		tg := int64(i+1) * 50
+		ps[i] = series.Point{TG: tg, TA: tg + int64(src.Sample(rng))}
+	}
+	series.SortByTA(ps)
+	for _, p := range ps {
+		c.Observe(p)
+	}
+	dt, ok := c.GenerationInterval()
+	if !ok || math.Abs(dt-50) > 0.5 {
+		t.Errorf("dt = %v under heavy disorder, want ≈50", dt)
+	}
+}
+
+func TestCollectorRecentWindow(t *testing.T) {
+	c := NewCollector(4, 1)
+	for i := int64(1); i <= 6; i++ {
+		c.Observe(series.Point{TG: i, TA: i + i}) // delays 1..6
+	}
+	got := c.Recent()
+	want := []float64{3, 4, 5, 6}
+	if len(got) != 4 {
+		t.Fatalf("Recent = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Recent = %v, want %v", got, want)
+			break
+		}
+	}
+	// Partial fill returns only what exists.
+	c2 := NewCollector(10, 1)
+	c2.Observe(series.Point{TG: 1, TA: 3})
+	if got := c2.Recent(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("partial Recent = %v", got)
+	}
+}
+
+func TestCollectorTooFewPoints(t *testing.T) {
+	c := NewCollector(128, 1)
+	if _, ok := c.Profile(); ok {
+		t.Error("profile from empty collector")
+	}
+	if _, ok := c.GenerationInterval(); ok {
+		t.Error("interval from empty collector")
+	}
+	c.Observe(series.Point{TG: 1, TA: 1})
+	if _, ok := c.GenerationInterval(); ok {
+		t.Error("interval from single point")
+	}
+}
+
+func TestCollectorReservoirBounded(t *testing.T) {
+	c := NewCollector(100, 1)
+	for i := 0; i < 100000; i++ {
+		tg := int64(i + 1)
+		c.Observe(series.Point{TG: tg, TA: tg + int64(i%1000)})
+	}
+	if got := len(c.Snapshot()); got != 100 {
+		t.Errorf("reservoir size = %d, want 100", got)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector(128, 1)
+	for i := 0; i < 50; i++ {
+		tg := int64(i+1) * 10
+		c.Observe(series.Point{TG: tg, TA: tg + 5})
+	}
+	c.Reset()
+	if c.Seen() != 0 || len(c.Snapshot()) != 0 {
+		t.Error("Reset did not clear")
+	}
+	if _, ok := c.GenerationInterval(); ok {
+		t.Error("interval survives Reset")
+	}
+}
+
+func TestDriftDetector(t *testing.T) {
+	d := NewDriftDetector(0.1)
+	if d.HasReference() {
+		t.Error("fresh detector has reference")
+	}
+	rng := rand.New(rand.NewSource(3))
+	mk := func(scale float64) []float64 {
+		xs := make([]float64, 1000)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * scale
+		}
+		return xs
+	}
+	ref := mk(100)
+	d.SetReference(ref)
+	if drifted, _ := d.Drifted(mk(100)); drifted {
+		t.Error("same distribution flagged as drift")
+	}
+	if drifted, ks := d.Drifted(mk(300)); !drifted {
+		t.Errorf("3x scale change not detected (ks=%v)", ks)
+	}
+}
+
+func TestDriftDetectorSmallSamples(t *testing.T) {
+	d := NewDriftDetector(0.1)
+	d.SetReference([]float64{1, 2, 3})
+	if drifted, _ := d.Drifted([]float64{100, 200, 300}); drifted {
+		t.Error("tiny samples must not trigger")
+	}
+}
+
+func TestKSTwoSampleExact(t *testing.T) {
+	// Disjoint samples: KS = 1.
+	if ks := ksTwoSample([]float64{1, 2, 3}, []float64{10, 11, 12}); ks != 1 {
+		t.Errorf("disjoint KS = %v", ks)
+	}
+	// Identical samples: KS small.
+	if ks := ksTwoSample([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}); ks > 0.26 {
+		t.Errorf("identical KS = %v", ks)
+	}
+}
+
+func TestRecommendOrderedWorkload(t *testing.T) {
+	c := NewCollector(2048, 1)
+	for i := 0; i < 5000; i++ {
+		tg := int64(i+1) * 50
+		c.Observe(series.Point{TG: tg, TA: tg + int64(i%3)})
+	}
+	rec, ok := Recommend(c, 64)
+	if !ok {
+		t.Fatal("no recommendation")
+	}
+	if rec.Decision.Policy != core.PolicyConventional {
+		t.Errorf("ordered workload: recommended %v", rec.Decision.Policy)
+	}
+	if math.Abs(rec.Dt-50) > 1 {
+		t.Errorf("dt estimate = %v", rec.Dt)
+	}
+}
+
+func TestRecommendNotReady(t *testing.T) {
+	c := NewCollector(2048, 1)
+	if _, ok := Recommend(c, 64); ok {
+		t.Error("recommendation from empty collector")
+	}
+}
+
+func TestAdaptiveControllerSwitchesOnDrift(t *testing.T) {
+	e, err := lsm.Open(lsm.Config{Policy: lsm.Conventional, MemBudget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ac, err := NewAdaptiveController(e, AdaptiveConfig{
+		MemBudget:  64,
+		CheckEvery: 2000,
+		MinSample:  2000,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: heavy disorder (lognormal μ=5 σ=2) — expect π_s.
+	// Phase 2: near order (tiny uniform delays) — expect π_c.
+	ps := workload.Dynamic(50, 5,
+		workload.Segment{Points: 12000, Dist: dist.NewLognormal(5, 2)},
+		workload.Segment{Points: 12000, Dist: dist.NewUniform(0, 5)},
+	)
+	for _, p := range ps {
+		if err := ac.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw := ac.Switches()
+	if len(sw) < 2 {
+		t.Fatalf("expected at least 2 policy decisions, got %d: %+v", len(sw), sw)
+	}
+	if sw[0].Decision.Policy != core.PolicySeparation {
+		t.Errorf("first regime: chose %v, want pi_s", sw[0].Decision.Policy)
+	}
+	last := sw[len(sw)-1]
+	if last.Decision.Policy != core.PolicyConventional {
+		t.Errorf("final regime: chose %v, want pi_c", last.Decision.Policy)
+	}
+	if cur, ok := ac.Current(); !ok || cur.Policy != last.Decision.Policy {
+		t.Errorf("Current() inconsistent: %+v, %v", cur, ok)
+	}
+	// All data must still be present.
+	pts, _ := ac.Engine().Scan(0, int64(1)<<40)
+	if len(pts) != len(ps) {
+		t.Errorf("engine holds %d points, want %d", len(pts), len(ps))
+	}
+}
+
+func TestAdaptiveControllerValidation(t *testing.T) {
+	e, _ := lsm.Open(lsm.Config{Policy: lsm.Conventional, MemBudget: 64})
+	defer e.Close()
+	if _, err := NewAdaptiveController(e, AdaptiveConfig{MemBudget: 1}); err == nil {
+		t.Error("MemBudget 1 accepted")
+	}
+}
+
+func TestRecommendParametric(t *testing.T) {
+	src := dist.NewLognormal(5, 2)
+	rng := rand.New(rand.NewSource(31))
+	c := NewCollector(4096, 1)
+	for i := 0; i < 20000; i++ {
+		tg := int64(i+1) * 50
+		c.Observe(series.Point{TG: tg, TA: tg + int64(src.Sample(rng))})
+	}
+	rec, profile, ok := RecommendParametric(c, 64, 0.05)
+	if !ok {
+		t.Fatal("no recommendation")
+	}
+	// Lognormal delays should be recognized and fitted parametrically.
+	if _, isLognormal := profile.(dist.Lognormal); !isLognormal {
+		t.Errorf("profile = %s, want a fitted lognormal", profile.Name())
+	}
+	if rec.Decision.Policy != core.PolicySeparation {
+		t.Errorf("heavy disorder: %v", rec.Decision.Policy)
+	}
+	// With an impossible acceptance bar the empirical profile is used.
+	_, profile, ok = RecommendParametric(c, 64, 0)
+	if !ok {
+		t.Fatal("no recommendation with strict bar")
+	}
+	if _, isEmp := profile.(*dist.Empirical); !isEmp {
+		t.Errorf("strict bar should fall back to empirical, got %s", profile.Name())
+	}
+}
+
+func TestRecommendParametricNotReady(t *testing.T) {
+	c := NewCollector(128, 1)
+	if _, _, ok := RecommendParametric(c, 64, 0.05); ok {
+		t.Error("recommendation from empty collector")
+	}
+}

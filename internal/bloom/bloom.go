@@ -1,0 +1,133 @@
+// Package bloom implements a split-block-free classic Bloom filter over
+// 64-bit keys. SSTables embed one filter per table so point lookups by
+// generation timestamp can skip tables that certainly do not contain the
+// key, mirroring the SSTable filters of LevelDB-lineage engines.
+package bloom
+
+import (
+	"math"
+
+	"repro/internal/encoding"
+)
+
+// Filter is a Bloom filter over uint64 keys. The zero value is unusable;
+// construct with New or Decode.
+type Filter struct {
+	bits []uint64
+	k    uint32 // number of probes
+	m    uint64 // number of bits
+}
+
+// New creates a filter sized for expectedKeys at the given false positive
+// rate (clamped to [1e-6, 0.5]). expectedKeys below 1 is treated as 1.
+func New(expectedKeys int, fpRate float64) *Filter {
+	if expectedKeys < 1 {
+		expectedKeys = 1
+	}
+	if fpRate < 1e-6 {
+		fpRate = 1e-6
+	}
+	if fpRate > 0.5 {
+		fpRate = 0.5
+	}
+	// Optimal bits per key: -ln(p)/ln(2)^2; probes: bits/key * ln2.
+	bitsPerKey := -math.Log(fpRate) / (math.Ln2 * math.Ln2)
+	m := uint64(math.Ceil(bitsPerKey * float64(expectedKeys)))
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(math.Round(bitsPerKey * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Filter{
+		bits: make([]uint64, (m+63)/64),
+		k:    k,
+		m:    m,
+	}
+}
+
+// mix64 is the splitmix64 finalizer, a strong 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// probes derives the k bit positions for key using double hashing.
+func (f *Filter) probe(key uint64, i uint32) uint64 {
+	h1 := mix64(key)
+	h2 := mix64(key ^ 0x9e3779b97f4a7c15)
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key uint64) {
+	for i := uint32(0); i < f.k; i++ {
+		p := f.probe(key, i)
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+}
+
+// MayContain reports whether key may be in the filter. False means the key
+// was definitely never added.
+func (f *Filter) MayContain(key uint64) bool {
+	for i := uint32(0); i < f.k; i++ {
+		p := f.probe(key, i)
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the in-memory size of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Encode appends a portable serialization of the filter to dst.
+func (f *Filter) Encode(dst []byte) []byte {
+	dst = encoding.PutUvarint(dst, uint64(f.k))
+	dst = encoding.PutUvarint(dst, f.m)
+	dst = encoding.PutUvarint(dst, uint64(len(f.bits)))
+	for _, w := range f.bits {
+		dst = encoding.PutUint64(dst, w)
+	}
+	return dst
+}
+
+// Decode reconstructs a filter from the serialization produced by Encode,
+// returning the filter and the number of bytes consumed.
+func Decode(src []byte) (*Filter, int, error) {
+	off := 0
+	k, n, err := encoding.Uvarint(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	m, n, err := encoding.Uvarint(src[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	words, n, err := encoding.Uvarint(src[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	bits := make([]uint64, words)
+	for i := range bits {
+		w, n, err := encoding.Uint64(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		bits[i] = w
+		off += n
+	}
+	return &Filter{bits: bits, k: uint32(k), m: m}, off, nil
+}

@@ -1,0 +1,117 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(i * 7919)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.MayContain(i * 7919) {
+			t.Fatalf("false negative for key %d", i*7919)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	f := New(n, 0.01)
+	rng := rand.New(rand.NewSource(5))
+	added := make(map[uint64]bool, n)
+	for len(added) < n {
+		k := rng.Uint64()
+		added[k] = true
+		f.Add(k)
+	}
+	var fp, trials int
+	for trials < 100000 {
+		k := rng.Uint64()
+		if added[k] {
+			continue
+		}
+		trials++
+		if f.MayContain(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(trials)
+	if rate > 0.03 {
+		t.Errorf("false positive rate %v, want <= ~0.01 (3x slack)", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(100, 0.01)
+	for i := uint64(0); i < 1000; i++ {
+		if f.MayContain(i) {
+			t.Fatalf("empty filter claims to contain %d", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := New(500, 0.005)
+	for i := uint64(0); i < 500; i++ {
+		f.Add(i * i)
+	}
+	buf := f.Encode(nil)
+	g, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	for i := uint64(0); i < 500; i++ {
+		if !g.MayContain(i * i) {
+			t.Fatalf("decoded filter lost key %d", i*i)
+		}
+	}
+	if g.SizeBytes() != f.SizeBytes() {
+		t.Errorf("size mismatch: %d vs %d", g.SizeBytes(), f.SizeBytes())
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	f := New(10, 0.01)
+	f.Add(42)
+	buf := f.Encode(nil)
+	for cut := 0; cut < len(buf); cut += 3 {
+		if _, _, err := Decode(buf[:cut]); err == nil {
+			t.Errorf("decode of %d-byte prefix should fail", cut)
+		}
+	}
+}
+
+func TestParameterClamping(t *testing.T) {
+	// Degenerate parameters must still produce a working filter.
+	for _, f := range []*Filter{New(0, 0.01), New(10, 0), New(10, 0.99)} {
+		f.Add(123)
+		if !f.MayContain(123) {
+			t.Error("clamped filter dropped its key")
+		}
+	}
+}
+
+func TestPropertyAddedAlwaysFound(t *testing.T) {
+	f := New(200, 0.01)
+	var keys []uint64
+	prop := func(k uint64) bool {
+		f.Add(k)
+		keys = append(keys, k)
+		for _, kk := range keys {
+			if !f.MayContain(kk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Example runs Algorithm 1 on two workloads: a nearly ordered one (tiny
+// uniform delays) where the conventional policy wins, and a heavily
+// disordered one (wide lognormal delays) where separation wins.
+func Example() {
+	const dt, n = 50.0, 128
+
+	ordered := dist.NewUniform(0, 5)
+	dec := core.Tune(ordered, dt, n)
+	fmt.Printf("tiny delays   -> %s\n", dec.Policy)
+
+	disordered := dist.NewLognormal(5, 2)
+	dec = core.Tune(disordered, dt, n)
+	fmt.Printf("heavy delays  -> %s (C_seq in range: %v)\n",
+		dec.Policy, dec.NSeq > 8 && dec.NSeq < 120)
+	// Output:
+	// tiny delays   -> pi_c
+	// heavy delays  -> pi_s (C_seq in range: true)
+}
+
+// ExampleZeta evaluates the subsequent-data-point model: with constant
+// delays nothing is ever reordered, so ζ is zero; heavy-tailed delays
+// leave many on-disk points newer than the buffered minimum.
+func ExampleZeta() {
+	fmt.Printf("constant delays: zeta = %.0f\n", core.Zeta(dist.Degenerate{V: 100}, 50, 64))
+	z := core.Zeta(dist.NewLognormal(4, 1.5), 50, 64)
+	fmt.Printf("lognormal delays: zeta in (20, 30): %v\n", z > 20 && z < 30)
+	// Output:
+	// constant delays: zeta = 0
+	// lognormal delays: zeta in (20, 30): true
+}
+
+// ExampleG quantifies disorder: how many out-of-order points arrive while
+// C_seq collects 100 in-order ones.
+func ExampleG() {
+	g := core.G(dist.NewExponential(1.0/200), 50, 100)
+	fmt.Printf("g(100) within (3.5, 4.5): %v\n", g > 3.5 && g < 4.5)
+	// Output:
+	// g(100) within (3.5, 4.5): true
+}

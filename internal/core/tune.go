@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Policy identifies the outcome of the tuning algorithm.
+type Policy int
+
+const (
+	// PolicyConventional is π_c.
+	PolicyConventional Policy = iota
+	// PolicySeparation is π_s(n̂*_seq).
+	PolicySeparation
+)
+
+// String returns the paper's notation.
+func (p Policy) String() string {
+	if p == PolicySeparation {
+		return "pi_s"
+	}
+	return "pi_c"
+}
+
+// Decision is the output of the Separation Policy Tuning Algorithm
+// (Algorithm 1): the chosen policy and, for π_s, the recommended C_seq
+// capacity, together with the predicted write amplifications that drove
+// the choice.
+type Decision struct {
+	Policy Policy
+	// NSeq is n̂*_seq, the recommended C_seq capacity (meaningful when
+	// Policy == PolicySeparation, but always reports the best found).
+	NSeq int
+	// Rc is the predicted WA of π_c (Eq. 3).
+	Rc float64
+	// Rs is min over n_seq of the predicted WA of π_s (Eq. 5).
+	Rs float64
+	// Evaluations counts r_s model evaluations performed.
+	Evaluations int
+}
+
+// TuneOpts controls the search over n_seq.
+type TuneOpts struct {
+	// Exhaustive sweeps every n_seq in 1..n−1 with the given Step
+	// (Algorithm 1 verbatim when Step == 1). When false, a coarse-to-fine
+	// search exploits the U shape of r_s(n_seq), costing ~30 model
+	// evaluations instead of n−1.
+	Exhaustive bool
+	// Step is the sweep stride for the exhaustive search. Default 1.
+	Step int
+	// Zeta forwards evaluation options to the ζ model.
+	Zeta ZetaOpts
+	// TablePoints is the SSTable size used for the whole-table granularity
+	// correction; zero selects n (the paper's configuration).
+	TablePoints int
+}
+
+// Tune runs Algorithm 1: given the memory budget n, the delay distribution
+// d, and the generation interval dt, it compares r_c(n) against
+// min_{n_seq} r_s(n_seq) and returns the policy with the lower predicted
+// write amplification.
+func Tune(d dist.Distribution, dt float64, n int) Decision {
+	return TuneWithOpts(d, dt, n, TuneOpts{})
+}
+
+// TuneWithOpts is Tune with explicit search options.
+func TuneWithOpts(d dist.Distribution, dt float64, n int, opts TuneOpts) Decision {
+	dec := Decision{NSeq: -1, Rs: math.Inf(1)}
+	if opts.TablePoints <= 0 {
+		opts.TablePoints = n
+	}
+	dec.Rc = WAConventionalTable(d, dt, n, opts.TablePoints)
+	if n < 2 {
+		dec.Policy = PolicyConventional
+		return dec
+	}
+
+	eval := func(nseq int) float64 {
+		dec.Evaluations++
+		return WASeparationTable(d, dt, n, nseq, opts.TablePoints, opts.Zeta).WA
+	}
+	consider := func(nseq int, wa float64) {
+		if wa < dec.Rs {
+			dec.Rs = wa
+			dec.NSeq = nseq
+		}
+	}
+
+	if opts.Exhaustive {
+		step := opts.Step
+		if step < 1 {
+			step = 1
+		}
+		for x := 1; x <= n-1; x += step {
+			consider(x, eval(x))
+		}
+	} else {
+		// Coarse pass over ~17 points, then two refinement passes around
+		// the best coarse point. r_s(n_seq) is U-shaped (the paper's
+		// Fig. 7/9), so local refinement finds the global basin.
+		coarse := 16
+		step := (n - 2) / coarse
+		if step < 1 {
+			step = 1
+		}
+		cache := map[int]float64{}
+		evalC := func(x int) float64 {
+			if v, ok := cache[x]; ok {
+				return v
+			}
+			v := eval(x)
+			cache[x] = v
+			consider(x, v)
+			return v
+		}
+		for x := 1; x <= n-1; x += step {
+			evalC(x)
+		}
+		evalC(n - 1)
+		for pass := 0; pass < 2 && step > 1; pass++ {
+			center := dec.NSeq
+			lo, hi := center-step, center+step
+			if lo < 1 {
+				lo = 1
+			}
+			if hi > n-1 {
+				hi = n - 1
+			}
+			step = (hi - lo) / 8
+			if step < 1 {
+				step = 1
+			}
+			for x := lo; x <= hi; x += step {
+				evalC(x)
+			}
+		}
+	}
+
+	if dec.Rs < dec.Rc {
+		dec.Policy = PolicySeparation
+	} else {
+		dec.Policy = PolicyConventional
+	}
+	return dec
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestGNoDisorder(t *testing.T) {
+	// Delays far smaller than Δt: every point is in order, g ≈ 0.
+	g := G(dist.NewUniform(0, 1), 50, 100)
+	if g > 0.01 {
+		t.Errorf("g = %v, want ≈0", g)
+	}
+}
+
+func TestGDegenerateInputs(t *testing.T) {
+	d := dist.NewExponential(0.01)
+	if g := G(d, 50, 0); g != 0 {
+		t.Errorf("G(nseq=0) = %v", g)
+	}
+	if g := G(d, 0, 10); g != 0 {
+		t.Errorf("G(dt=0) = %v", g)
+	}
+}
+
+func TestGIncreasesWithDelayScale(t *testing.T) {
+	g1 := G(dist.NewExponential(1.0/50), 50, 100)
+	g2 := G(dist.NewExponential(1.0/200), 50, 100)
+	g3 := G(dist.NewExponential(1.0/1000), 50, 100)
+	if !(g1 < g2 && g2 < g3) {
+		t.Errorf("g should grow with delay scale: %v %v %v", g1, g2, g3)
+	}
+}
+
+func TestGMonotoneInNSeq(t *testing.T) {
+	d := dist.NewLognormal(4, 1.5)
+	prev := -1.0
+	for _, nseq := range []float64{8, 32, 128, 512} {
+		g := G(d, 50, nseq)
+		if g < prev-1e-9 {
+			t.Errorf("g(%v) = %v < g(prev) = %v", nseq, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestGExponentialClosedForm(t *testing.T) {
+	// For Exp(λ) with Σ F(iΔt) = Σ (1−e^{−λiΔt}): the total shortfall
+	// Σ_{i≥1} e^{−λiΔt} = 1/(e^{λΔt}−1), so g(nseq) for large nseq
+	// approaches that constant.
+	lambda, dt := 1.0/200.0, 50.0
+	want := 1 / (math.Exp(lambda*dt) - 1)
+	got := G(dist.NewExponential(lambda), dt, 5000)
+	if math.Abs(got-want) > 0.01*want {
+		t.Errorf("asymptotic g = %v, want %v", got, want)
+	}
+}
+
+func TestWAConventionalBounds(t *testing.T) {
+	d := dist.NewLognormal(4, 1.5)
+	rc := WAConventional(d, 50, 512)
+	if rc < 1 {
+		t.Errorf("r_c = %v < 1", rc)
+	}
+	if math.IsNaN(WAConventional(d, 50, 0)) == false {
+		t.Error("r_c with n=0 should be NaN")
+	}
+}
+
+func TestWAConventionalOrderedStreamIsOne(t *testing.T) {
+	rc := WAConventional(dist.NewUniform(0, 1), 50, 512)
+	if math.Abs(rc-1) > 1e-6 {
+		t.Errorf("r_c for ordered stream = %v, want 1", rc)
+	}
+}
+
+func TestWAConventionalGrowsWithDisorder(t *testing.T) {
+	rc1 := WAConventional(dist.NewLognormal(4, 1.5), 50, 256)
+	rc2 := WAConventional(dist.NewLognormal(4, 2), 50, 256)
+	rc3 := WAConventional(dist.NewLognormal(5, 2), 50, 256)
+	if !(rc1 < rc2 && rc2 < rc3) {
+		t.Errorf("r_c ordering wrong: %v %v %v", rc1, rc2, rc3)
+	}
+}
+
+func TestWASeparationInvalidNSeq(t *testing.T) {
+	d := dist.NewLognormal(4, 1.5)
+	if est := WASeparation(d, 50, 512, 0); !math.IsNaN(est.WA) {
+		t.Errorf("nseq=0: WA = %v, want NaN", est.WA)
+	}
+	if est := WASeparation(d, 50, 512, 512); !math.IsNaN(est.WA) {
+		t.Errorf("nseq=n: WA = %v, want NaN", est.WA)
+	}
+}
+
+func TestWASeparationOrderedStreamIsOne(t *testing.T) {
+	est := WASeparation(dist.NewUniform(0, 1), 50, 512, 256)
+	if est.WA != 1 {
+		t.Errorf("r_s for ordered stream = %v, want 1", est.WA)
+	}
+	if !math.IsInf(est.NArrive, 1) {
+		t.Errorf("phase length should be infinite, got %v", est.NArrive)
+	}
+}
+
+func TestWASeparationAtLeastOne(t *testing.T) {
+	d := dist.NewLognormal(5, 2)
+	for _, nseq := range []int{32, 128, 256, 448} {
+		est := WASeparation(d, 50, 512, nseq)
+		if est.WA < 1 || math.IsNaN(est.WA) {
+			t.Errorf("r_s(%d) = %v", nseq, est.WA)
+		}
+	}
+}
+
+func TestWASeparationMostlyOrderedApproachesTwo(t *testing.T) {
+	// Fig. 2's scenario: few out-of-order points make π_s rewrite nearly
+	// every phase point once — r_s near 2 while r_c stays near 1.
+	d := dist.NewExponential(1.0 / 20) // delays ~20 vs Δt 50: rare disorder
+	est := WASeparation(d, 50, 512, 256)
+	rc := WAConventional(d, 50, 512)
+	if est.WA < 1.5 {
+		t.Errorf("r_s = %v, want near 2 for mostly-ordered stream", est.WA)
+	}
+	if rc > 1.2 {
+		t.Errorf("r_c = %v, want near 1 for mostly-ordered stream", rc)
+	}
+	if est.WA <= rc {
+		t.Error("π_s should lose when data are mostly in order (Fig. 2)")
+	}
+}
+
+func TestWASeparationEstimateInternals(t *testing.T) {
+	d := dist.NewLognormal(5, 2)
+	est := WASeparation(d, 50, 512, 256)
+	if est.NSeq != 256 || est.NNonseq != 256 {
+		t.Errorf("capacities: %+v", est)
+	}
+	if est.G <= 0 {
+		t.Errorf("g = %v, want > 0 for heavy disorder", est.G)
+	}
+	wantN := 256*256/est.G + 256
+	if math.Abs(est.NArrive-wantN) > 1e-6*wantN {
+		t.Errorf("NArrive = %v, want %v", est.NArrive, wantN)
+	}
+	x := 256 / est.G
+	wantLast := (1 + x - math.Floor(x)) * 256
+	if math.Abs(est.NSeqLast-wantLast) > 1e-6*wantLast {
+		t.Errorf("NSeqLast = %v, want %v", est.NSeqLast, wantLast)
+	}
+}
+
+func TestTuneChoosesConventionalForOrderedData(t *testing.T) {
+	dec := Tune(dist.NewExponential(1.0/10), 50, 128)
+	if dec.Policy != PolicyConventional {
+		t.Errorf("ordered data: chose %v (rc=%v rs=%v nseq=%d)", dec.Policy, dec.Rc, dec.Rs, dec.NSeq)
+	}
+	if dec.Rc > 1.1 {
+		t.Errorf("rc = %v, want ≈1", dec.Rc)
+	}
+}
+
+func TestTuneChoosesSeparationForHeavyDisorder(t *testing.T) {
+	// Heavy skewed delays: π_s accumulates out-of-order points and avoids
+	// repeated rewrites, as in the paper's S-9 result (Fig. 11).
+	dec := Tune(dist.NewLognormal(5, 2), 50, 128)
+	if dec.Policy != PolicySeparation {
+		t.Errorf("heavy disorder: chose %v (rc=%v rs=%v nseq=%d)", dec.Policy, dec.Rc, dec.Rs, dec.NSeq)
+	}
+	if dec.NSeq < 1 || dec.NSeq > 127 {
+		t.Errorf("recommended nseq out of range: %d", dec.NSeq)
+	}
+}
+
+func TestTuneCoarseMatchesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep is slow")
+	}
+	d := dist.NewLognormal(5, 1.75)
+	coarse := TuneWithOpts(d, 50, 128, TuneOpts{})
+	exact := TuneWithOpts(d, 50, 128, TuneOpts{Exhaustive: true, Step: 1})
+	if coarse.Policy != exact.Policy {
+		t.Errorf("policies differ: coarse %v vs exhaustive %v", coarse.Policy, exact.Policy)
+	}
+	// Coarse minimum should be within 2% of the true minimum.
+	if coarse.Rs > exact.Rs*1.02 {
+		t.Errorf("coarse Rs %v misses exhaustive %v", coarse.Rs, exact.Rs)
+	}
+	if coarse.Evaluations >= exact.Evaluations {
+		t.Errorf("coarse used %d evals vs exhaustive %d", coarse.Evaluations, exact.Evaluations)
+	}
+}
+
+func TestTuneSmallBudget(t *testing.T) {
+	dec := Tune(dist.NewLognormal(4, 1.5), 50, 1)
+	if dec.Policy != PolicyConventional {
+		t.Errorf("n=1 must fall back to pi_c, got %v", dec.Policy)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyConventional.String() != "pi_c" || PolicySeparation.String() != "pi_s" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestGWithOffsetReducesG(t *testing.T) {
+	// A positive offset makes each arrival more likely to be in-order, so
+	// g must not increase; offset 0 must equal the default G.
+	d := dist.NewLognormal(4, 1.75)
+	g0 := G(d, 50, 200)
+	gSame := GWithOffset(d, 50, 200, 0)
+	if math.Abs(g0-gSame) > 1e-12 {
+		t.Errorf("offset 0: %v vs %v", gSame, g0)
+	}
+	gOff := GWithOffset(d, 50, 200, d.Quantile(0.5))
+	if gOff > g0 {
+		t.Errorf("positive offset increased g: %v > %v", gOff, g0)
+	}
+	if gOff <= 0 {
+		t.Errorf("gOff = %v, want > 0 for heavy disorder", gOff)
+	}
+}
+
+func TestMeanOOODelayProperties(t *testing.T) {
+	d := dist.NewLognormal(4, 1.5)
+	m := MeanOOODelay(d, 50, 256)
+	if m <= 0 {
+		t.Fatalf("MeanOOODelay = %v", m)
+	}
+	// Conditional-on-late mean must exceed the unconditional mean.
+	if m <= d.Mean() {
+		t.Errorf("E[D|OOO] = %v should exceed E[D] = %v", m, d.Mean())
+	}
+	// Ordered workload: no out-of-order points, zero conditional mass.
+	if got := MeanOOODelay(dist.NewUniform(0, 1), 50, 256); got != 0 {
+		t.Errorf("ordered workload: %v", got)
+	}
+}
+
+func TestGranularityCorrectionBounds(t *testing.T) {
+	if got := granularityCorrection(0, 512); got != 0 {
+		t.Errorf("zeta=0: %v", got)
+	}
+	if got := granularityCorrection(-1, 512); got != 0 {
+		t.Errorf("zeta<0: %v", got)
+	}
+	if got := granularityCorrection(100, 0); got != 0 {
+		t.Errorf("no tables: %v", got)
+	}
+	if got := granularityCorrection(100, 512); math.Abs(got-256) > 1e-6 {
+		t.Errorf("saturated: %v, want ~256", got)
+	}
+	if got := granularityCorrection(0.1, 512); got <= 0 || got >= 256 {
+		t.Errorf("partial: %v", got)
+	}
+}

@@ -1,0 +1,224 @@
+// Package core implements the paper's statistical models:
+//
+//   - ζ(n), the expected number of subsequent data points on disk when n
+//     points are buffered in memory (Eq. 2), which drives both WA models;
+//   - g(x), the arrival-rate-ratio model for out-of-order points (Eq. 1);
+//   - r_c, the write amplification of the conventional policy π_c (Eq. 3);
+//   - r_s(n_seq), the write amplification of the separation policy π_s
+//     (Eq. 4–5);
+//   - Algorithm 1, the separation-policy tuning algorithm that picks the
+//     policy (and C_seq capacity) with the lower predicted WA.
+//
+// Models take the delay distribution (PDF f, CDF F) and the generation
+// interval Δt. They work equally with parametric distributions and the
+// Empirical distribution the analyzer fits from observed delays.
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/numeric"
+)
+
+// ZetaOpts tunes the ζ evaluation. The zero value selects sensible
+// defaults.
+type ZetaOpts struct {
+	// SwitchEps is the per-term probability below which the outer sum
+	// switches from exact evaluation to the analytic tail estimate.
+	// Default 3e-3 (the tail estimate is accurate to O(SwitchEps²) per
+	// term, so the default keeps total error well under 1%).
+	SwitchEps float64
+	// MaxTerms caps the exact outer-sum terms. Default 2_000_000.
+	MaxTerms int
+}
+
+func (o ZetaOpts) withDefaults() ZetaOpts {
+	if o.SwitchEps <= 0 {
+		o.SwitchEps = 3e-3
+	}
+	if o.MaxTerms <= 0 {
+		o.MaxTerms = 2_000_000
+	}
+	return o
+}
+
+// Zeta evaluates ζ(n) (Eq. 2): the expected number of on-disk subsequent
+// data points when n points are buffered in memory, for delays with
+// distribution d and generation interval dt.
+//
+//	ζ(n) = Σ_{i≥0} [ 1 − ∫₀^∞ f(x) Π_{j=1}^{n} F((i+j)·Δt + x) dx ]
+//
+// following the paper's reduction E[F(t̃_m + x)] ≈ F(m·Δt + x). The x
+// integral is evaluated on fixed Gauss–Legendre nodes spanning the delay
+// distribution's quantiles; the length-n product is maintained
+// incrementally in log space across outer terms, and the far tail of the
+// outer sum — where every factor is near 1 — is closed with the analytic
+// estimate Σ_i P_i ≈ (1/Δt)·Σ_j T(window_j), T(y) = ∫_y^∞ (1−F(u)) du.
+func Zeta(d dist.Distribution, dt float64, n int) float64 {
+	return ZetaWithOpts(d, dt, n, ZetaOpts{})
+}
+
+// ZetaWithOpts is Zeta with explicit evaluation options.
+func ZetaWithOpts(d dist.Distribution, dt float64, n int, opts ZetaOpts) float64 {
+	if n <= 0 || dt <= 0 {
+		return 0
+	}
+	opts = opts.withDefaults()
+
+	xs, ws := numeric.GaussLegendreNodesSegments10(dist.IntegrationBoundaries(d))
+	// Fold the density into the weights and normalize so that Σ W_q = 1
+	// exactly; any quadrature bias then cancels instead of accumulating
+	// across thousands of outer terms.
+	W := make([]float64, 0, len(xs))
+	X := make([]float64, 0, len(xs))
+	var norm float64
+	for q := range xs {
+		w := ws[q] * d.PDF(xs[q])
+		if w > 0 {
+			W = append(W, w)
+			X = append(X, xs[q])
+			norm += w
+		}
+	}
+	if norm < 1e-9 {
+		// No usable density mass (e.g. a degenerate constant delay):
+		// constant delays keep the stream ordered, so no subsequent points.
+		return 0
+	}
+	for q := range W {
+		W[q] /= norm
+	}
+
+	// Factors with F(y) ≥ 1−1e-10 contribute |ln F| ≤ 1e-10 and are
+	// treated as exactly 1; yCut is the threshold argument. This turns the
+	// O(n)-per-node window initialization into O(reach of the delays) —
+	// crucial when the separation model evaluates ζ over phase windows of
+	// millions of points.
+	yCut := d.Quantile(1 - 1e-10)
+	if math.IsNaN(yCut) || math.IsInf(yCut, 0) {
+		yCut = math.MaxFloat64
+	}
+
+	// Sliding log-product state per node: logSum = Σ ln F over the window's
+	// sub-unity nonzero factors, zeros = number of zero factors.
+	logSum := make([]float64, len(X))
+	zeros := make([]int, len(X))
+	for q := range X {
+		jMax := n
+		if lim := (yCut - X[q]) / dt; float64(jMax) > lim {
+			jMax = int(lim) + 1
+			if jMax > n {
+				jMax = n
+			}
+		}
+		for j := 1; j <= jMax; j++ {
+			addFactor(d, float64(j)*dt+X[q], yCut, &logSum[q], &zeros[q])
+		}
+	}
+
+	var acc numeric.KahanSum
+	i := 0
+	for ; i < opts.MaxTerms; i++ {
+		// P_i = 1 − Σ_q W_q · Π_window F.
+		var inner numeric.KahanSum
+		for q := range X {
+			if zeros[q] == 0 && logSum[q] > -45 {
+				inner.Add(W[q] * math.Exp(logSum[q]))
+			}
+		}
+		p := 1 - inner.Value()
+		if p < 0 {
+			p = 0
+		}
+		acc.Add(p)
+		if p < opts.SwitchEps {
+			i++
+			break
+		}
+		// Slide the window: drop factor at (i+1)Δt + x, add factor at
+		// (i+1+n)Δt + x.
+		for q := range X {
+			removeFactor(d, float64(i+1)*dt+X[q], yCut, &logSum[q], &zeros[q])
+			addFactor(d, float64(i+1+n)*dt+X[q], yCut, &logSum[q], &zeros[q])
+		}
+	}
+
+	// Analytic tail: for the remaining terms every factor is close to 1,
+	// so 1 − ΠF ≈ Σ (1−F), and summing over i telescopes into survival
+	// integrals across the first window position.
+	acc.Add(zetaTail(d, dt, n, i, X, W))
+	return acc.Value()
+}
+
+// addFactor folds F(y) into the sliding product state. Arguments at or
+// beyond yCut are treated as F == 1 (consistently with removeFactor, so the
+// sliding window stays balanced).
+func addFactor(d dist.Distribution, y, yCut float64, logSum *float64, zeros *int) {
+	if y >= yCut {
+		return
+	}
+	f := d.CDF(y)
+	if f <= 0 {
+		*zeros++
+		return
+	}
+	if f >= 1 {
+		return // ln 1 == 0
+	}
+	*logSum += math.Log(f)
+}
+
+// removeFactor removes F(y) from the sliding product state.
+func removeFactor(d dist.Distribution, y, yCut float64, logSum *float64, zeros *int) {
+	if y >= yCut {
+		return
+	}
+	f := d.CDF(y)
+	if f <= 0 {
+		*zeros--
+		return
+	}
+	if f >= 1 {
+		return
+	}
+	*logSum -= math.Log(f)
+}
+
+// zetaTail estimates Σ_{i≥start} P_i using the union-bound linearization:
+//
+//	Σ_{i≥start} Σ_{j=1}^{n} (1−F((i+j)Δt+x)) ≈ (1/Δt)·Σ_{j=1}^{n} T((start+j)Δt+x)
+//
+// with T(y) = ∫_y^∞ (1−F(u)) du, itself approximated by the trapezoid of T
+// at the window's ends (T is convex and decreasing). The result is averaged
+// over the density nodes.
+func zetaTail(d dist.Distribution, dt float64, n, start int, X, W []float64) float64 {
+	var tail float64
+	for q := range X {
+		tLo := survivalIntegral(d, float64(start+1)*dt+X[q])
+		tHi := survivalIntegral(d, float64(start+n)*dt+X[q])
+		tail += W[q] * float64(n) * (tLo + tHi) / 2 / dt
+	}
+	return tail
+}
+
+// survivalIntegral computes T(y) = ∫_y^∞ (1−F(u)) du = E[(D−y)⁺] by
+// quadrature up to the 1−1e-12 quantile.
+func survivalIntegral(d dist.Distribution, y float64) float64 {
+	hi := d.Quantile(1 - 1e-12)
+	if math.IsInf(hi, 1) || math.IsNaN(hi) || hi <= y {
+		return 0
+	}
+	// Log-spaced boundaries resolve heavy tails.
+	bounds := []float64{y}
+	span := hi - y
+	for _, frac := range []float64{1e-4, 1e-3, 1e-2, 0.1, 0.3, 1} {
+		b := y + frac*span
+		if b > bounds[len(bounds)-1] {
+			bounds = append(bounds, b)
+		}
+	}
+	return numeric.GaussLegendreSegments(func(u float64) float64 {
+		return 1 - d.CDF(u)
+	}, bounds)
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// ZetaMC estimates ζ(n) by Monte Carlo simulation under exactly the model's
+// assumptions: generation times on a Δt grid, i.i.d. delays from d, points
+// ordered by arrival; the first k arrivals are "on disk", the next n are
+// "in memory", and later arrivals are still in transit (the database has
+// not seen them, so they are ignored — truncating the generated population
+// at k+n would bias the memory window toward old late points). A disk
+// point is subsequent when its generation time exceeds the minimum
+// generation time in memory. It is the test oracle for Zeta.
+func ZetaMC(d dist.Distribution, dt float64, n, k, trials int, rng *rand.Rand) float64 {
+	if n <= 0 || k <= 0 || trials <= 0 {
+		return 0
+	}
+	// Generate enough extra points that the (k+n)-th arrival is never
+	// starved: beyond the delay distribution's practical reach the arrival
+	// index tracks the generation index.
+	transit := int(d.Quantile(1-1e-6)/dt) + n + 16
+	m := k + n + transit
+	total := 0.0
+	type pt struct{ tg, ta float64 }
+	pts := make([]pt, m)
+	for trial := 0; trial < trials; trial++ {
+		for i := range pts {
+			tg := float64(i+1) * dt
+			pts[i] = pt{tg: tg, ta: tg + d.Sample(rng)}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].ta < pts[j].ta })
+		minMem := pts[k].tg
+		for i := k + 1; i < k+n; i++ {
+			if pts[i].tg < minMem {
+				minMem = pts[i].tg
+			}
+		}
+		count := 0
+		for i := 0; i < k; i++ {
+			if pts[i].tg > minMem {
+				count++
+			}
+		}
+		total += float64(count)
+	}
+	return total / float64(trials)
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/numeric"
+)
+
+func TestZetaDegenerateInputs(t *testing.T) {
+	d := dist.NewExponential(0.1)
+	if got := Zeta(d, 50, 0); got != 0 {
+		t.Errorf("Zeta(n=0) = %v", got)
+	}
+	if got := Zeta(d, 0, 10); got != 0 {
+		t.Errorf("Zeta(dt=0) = %v", got)
+	}
+}
+
+func TestZetaConstantDelayIsZero(t *testing.T) {
+	// Constant delays keep arrivals in generation order: no subsequent
+	// points ever.
+	if got := Zeta(dist.Degenerate{V: 100}, 50, 64); got != 0 {
+		t.Errorf("Zeta(degenerate) = %v, want 0", got)
+	}
+}
+
+func TestZetaTinyDelaysNearZero(t *testing.T) {
+	// Delays far below Δt almost never reorder points.
+	d := dist.NewUniform(0, 1) // delays < 1, Δt = 50
+	if got := Zeta(d, 50, 64); got > 0.01 {
+		t.Errorf("Zeta(tiny delays) = %v, want ≈0", got)
+	}
+}
+
+func TestZetaMonotoneInN(t *testing.T) {
+	d := dist.NewLognormal(4, 1.5)
+	prev := -1.0
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
+		z := Zeta(d, 50, n)
+		if z < prev {
+			t.Errorf("Zeta not monotone: Zeta(%d) = %v < %v", n, z, prev)
+		}
+		prev = z
+	}
+}
+
+func TestZetaIncreasesWithSigma(t *testing.T) {
+	z1 := Zeta(dist.NewLognormal(4, 1.5), 50, 128)
+	z2 := Zeta(dist.NewLognormal(4, 1.75), 50, 128)
+	z3 := Zeta(dist.NewLognormal(4, 2), 50, 128)
+	if !(z1 < z2 && z2 < z3) {
+		t.Errorf("Zeta should grow with sigma: %v, %v, %v", z1, z2, z3)
+	}
+}
+
+func TestZetaDecreasesWithDt(t *testing.T) {
+	d := dist.NewLognormal(4, 1.5)
+	z10 := Zeta(d, 10, 128)
+	z50 := Zeta(d, 50, 128)
+	if !(z10 > z50) {
+		t.Errorf("Zeta should shrink with larger dt: dt=10 %v, dt=50 %v", z10, z50)
+	}
+}
+
+// zetaAgainstMC cross-checks the analytic model against the Monte Carlo
+// oracle under the same assumptions.
+func zetaAgainstMC(t *testing.T, d dist.Distribution, dt float64, n int, relTol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	model := Zeta(d, dt, n)
+	// k must dwarf the reach of the delays so the "infinite disk" holds.
+	reach := int(d.Quantile(1-1e-4)/dt) + n
+	mc := ZetaMC(d, dt, n, reach*2+1000, 300, rng)
+	if mc == 0 && model < 0.05 {
+		return
+	}
+	if math.Abs(model-mc) > relTol*math.Max(mc, 1) {
+		t.Errorf("%s dt=%v n=%d: model %v vs MC %v", d.Name(), dt, n, model, mc)
+	}
+}
+
+func TestZetaMatchesMonteCarloExponential(t *testing.T) {
+	zetaAgainstMC(t, dist.NewExponential(1.0/200), 50, 32, 0.1)
+	zetaAgainstMC(t, dist.NewExponential(1.0/200), 50, 128, 0.1)
+}
+
+func TestZetaMatchesMonteCarloUniform(t *testing.T) {
+	zetaAgainstMC(t, dist.NewUniform(0, 500), 50, 32, 0.1)
+	zetaAgainstMC(t, dist.NewUniform(0, 500), 50, 128, 0.1)
+}
+
+func TestZetaMatchesMonteCarloLognormal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC cross-check is slow")
+	}
+	// Heavy-tailed delays expose the paper's own approximation gap
+	// (E[F(t̃+x)] ≈ F(E[t̃]+x) plus the independence assumption between a
+	// point's delay and its arrival rank), so the tolerance is looser here
+	// than for light tails; Section V of the paper reports the same
+	// phenomenon ("the differences ... could be relatively large").
+	zetaAgainstMC(t, dist.NewLognormal(4, 1.0), 50, 64, 0.2)
+	zetaAgainstMC(t, dist.NewLognormal(4, 1.5), 50, 64, 0.3)
+}
+
+// bruteZeta evaluates Eq. 2 directly — adaptive quadrature per outer term,
+// recomputing the n-factor product at every integrand evaluation — as an
+// implementation oracle for the optimized Zeta. O(terms · evals · n); only
+// usable for small n.
+func bruteZeta(d dist.Distribution, dt float64, n int) float64 {
+	bounds := dist.IntegrationBoundaries(d)
+	total := 0.0
+	for i := 0; ; i++ {
+		integrand := func(x float64) float64 {
+			prod := d.PDF(x)
+			for j := 1; j <= n; j++ {
+				prod *= d.CDF(float64(i+j)*dt + x)
+			}
+			return prod
+		}
+		v, _ := numericIntegrate(integrand, bounds)
+		p := 1 - v
+		if p < 0 {
+			p = 0
+		}
+		total += p
+		if p < 1e-6 || i > 200000 {
+			break
+		}
+	}
+	return total
+}
+
+func numericIntegrate(f func(float64) float64, bounds []float64) (float64, error) {
+	return numeric.IntegrateSegments(f, bounds, 1e-8)
+}
+
+func TestZetaMatchesBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute-force oracle is slow")
+	}
+	// The optimized incremental/log-space evaluation must agree with the
+	// direct evaluation of the same formula.
+	cases := []struct {
+		d  dist.Distribution
+		dt float64
+		n  int
+	}{
+		{dist.NewExponential(1.0 / 120), 50, 8},
+		{dist.NewExponential(1.0 / 120), 50, 24},
+		{dist.NewUniform(0, 400), 50, 16},
+		{dist.NewLognormal(4, 1.2), 50, 16},
+		{dist.NewLognormal(4, 1.5), 10, 12},
+	}
+	for _, tc := range cases {
+		fast := ZetaWithOpts(tc.d, tc.dt, tc.n, ZetaOpts{SwitchEps: 1e-6})
+		slow := bruteZeta(tc.d, tc.dt, tc.n)
+		if math.Abs(fast-slow) > 0.02*math.Max(slow, 0.5) {
+			t.Errorf("%s dt=%v n=%d: fast %v vs brute %v", tc.d.Name(), tc.dt, tc.n, fast, slow)
+		}
+	}
+}
+
+func TestZetaTailSwitchConsistency(t *testing.T) {
+	// A stricter switch threshold must not change the result materially.
+	d := dist.NewLognormal(4, 1.5)
+	loose := ZetaWithOpts(d, 50, 128, ZetaOpts{SwitchEps: 1e-2})
+	tight := ZetaWithOpts(d, 50, 128, ZetaOpts{SwitchEps: 1e-5})
+	if math.Abs(loose-tight) > 0.02*math.Max(tight, 1) {
+		t.Errorf("tail estimate unstable: eps=1e-2 -> %v, eps=1e-5 -> %v", loose, tight)
+	}
+}
+
+func TestZetaEmpiricalDistribution(t *testing.T) {
+	// ζ must work on an analyzer-fitted empirical distribution and land
+	// near the parametric source's value.
+	src := dist.NewLognormal(4, 1.2)
+	rng := rand.New(rand.NewSource(21))
+	samples := make([]float64, 30000)
+	for i := range samples {
+		samples[i] = src.Sample(rng)
+	}
+	emp := dist.NewEmpirical(samples)
+	zSrc := Zeta(src, 50, 64)
+	zEmp := Zeta(emp, 50, 64)
+	if math.Abs(zSrc-zEmp) > 0.2*math.Max(zSrc, 1) {
+		t.Errorf("empirical zeta %v vs source %v", zEmp, zSrc)
+	}
+}
+
+func TestSurvivalIntegralExponential(t *testing.T) {
+	// For Exp(λ): ∫_y^∞ (1−F) = e^{−λy}/λ.
+	d := dist.NewExponential(0.01)
+	for _, y := range []float64{0, 50, 200, 1000} {
+		want := math.Exp(-0.01*y) / 0.01
+		got := survivalIntegral(d, y)
+		if math.Abs(got-want) > 1e-3*want {
+			t.Errorf("survivalIntegral(%v) = %v, want %v", y, got, want)
+		}
+	}
+}

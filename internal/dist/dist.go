@@ -1,0 +1,89 @@
+// Package dist provides the delay distributions used by the
+// write-amplification models and the workload generators.
+//
+// The paper assumes transmission delays are i.i.d. draws from a known
+// distribution with density f(x) and CDF F(x); the analyzer module fits an
+// Empirical distribution to observed delays instead. All distributions here
+// are over delay durations, so supports are effectively [0, ∞) — CDFs return
+// 0 for negative arguments where the support demands it.
+package dist
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// Distribution is a univariate continuous probability distribution. It is
+// the f(x)/F(x) pair consumed by the models plus sampling for the workload
+// generators.
+type Distribution interface {
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile, inverting CDF. p must be in [0, 1].
+	Quantile(p float64) float64
+	// Mean returns the expectation E[X].
+	Mean() float64
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) float64
+	// Name returns a short human-readable identifier for reports.
+	Name() string
+}
+
+// quantileByInversion computes the p-quantile of d by numerically inverting
+// its CDF; hi0 seeds the bracket expansion. Distributions with closed-form
+// quantiles should not use this.
+func quantileByInversion(d Distribution, p, lo, hi0 float64) float64 {
+	if p <= 0 {
+		return lo
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	x, err := numeric.SolveMonotone(d.CDF, p, lo, hi0, 1e-10)
+	if err != nil {
+		return math.NaN()
+	}
+	return x
+}
+
+// supportBoundaries returns integration break points for ∫ f(x)·g(x) dx over
+// the support of d: the quantiles listed in qs. Models pass these to the
+// segment integrators so heavy-tailed densities are resolved.
+var defaultQuantiles = []float64{0, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 0.99999}
+
+// IntegrationBoundaries returns ascending break points covering essentially
+// all of d's mass, suitable for numeric.IntegrateSegments. The first
+// boundary is max(0, q_0.000...) and the last reaches the 1-1e-9 quantile.
+func IntegrationBoundaries(d Distribution) []float64 {
+	bs := make([]float64, 0, len(defaultQuantiles)+1)
+	prev := math.Inf(-1)
+	for _, q := range defaultQuantiles {
+		x := d.Quantile(q)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		if x > prev {
+			bs = append(bs, x)
+			prev = x
+		}
+	}
+	tail := d.Quantile(1 - 1e-9)
+	if !math.IsNaN(tail) && !math.IsInf(tail, 0) && tail > prev {
+		bs = append(bs, tail)
+	}
+	if len(bs) < 2 {
+		bs = []float64{0, 1}
+	}
+	return bs
+}
+
+// ExpectationOf returns E[g(X)] for X ~ d computed by quadrature over the
+// integration boundaries of d.
+func ExpectationOf(d Distribution, g func(float64) float64) float64 {
+	f := func(x float64) float64 { return d.PDF(x) * g(x) }
+	return numeric.GaussLegendreSegments(f, IntegrationBoundaries(d))
+}

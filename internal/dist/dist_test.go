@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+// allDistributions returns one instance of every parametric distribution
+// for shared-invariant tests.
+func allDistributions() []Distribution {
+	return []Distribution{
+		NewLognormal(4, 1.5),
+		NewLognormal(5, 2),
+		NewExponential(0.02),
+		NewUniform(0, 100),
+		NewNormal(50, 10),
+		NewPareto(1, 2.5),
+		NewWeibull(30, 1.5),
+		NewMixture(
+			Component{Weight: 0.9, Dist: NewExponential(0.1)},
+			Component{Weight: 0.1, Dist: NewLognormal(6, 0.5)},
+		),
+		Shifted{Base: NewExponential(0.05), Offset: 10},
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, d := range allDistributions() {
+		prev := -1.0
+		for _, p := range []float64{0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999} {
+			x := d.Quantile(p)
+			c := d.CDF(x)
+			if c < 0 || c > 1 {
+				t.Errorf("%s: CDF(%v) = %v out of [0,1]", d.Name(), x, c)
+			}
+			if c < prev-1e-9 {
+				t.Errorf("%s: CDF not monotone at %v: %v < %v", d.Name(), x, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	for _, d := range allDistributions() {
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			x := d.Quantile(p)
+			got := d.CDF(x)
+			if math.Abs(got-p) > 1e-6 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", d.Name(), p, got)
+			}
+		}
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	for _, d := range allDistributions() {
+		bounds := IntegrationBoundaries(d)
+		total := numeric.GaussLegendreSegments(d.PDF, bounds)
+		if math.Abs(total-1) > 5e-3 {
+			t.Errorf("%s: ∫PDF = %v, want ≈1", d.Name(), total)
+		}
+	}
+}
+
+func TestPDFIntegralMatchesCDF(t *testing.T) {
+	for _, d := range allDistributions() {
+		lo := d.Quantile(1e-6)
+		for _, p := range []float64{0.3, 0.6, 0.9} {
+			x := d.Quantile(p)
+			got, err := numeric.AdaptiveSimpson(d.PDF, lo, x, 1e-10)
+			if err != nil {
+				t.Fatalf("%s: integrate: %v", d.Name(), err)
+			}
+			want := d.CDF(x) - d.CDF(lo)
+			if math.Abs(got-want) > 1e-4 {
+				t.Errorf("%s: ∫PDF to q%.1f = %v, want %v", d.Name(), p, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleMeanMatchesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range allDistributions() {
+		mean := d.Mean()
+		if math.IsInf(mean, 0) {
+			continue
+		}
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.Sample(rng)
+		}
+		got := sum / n
+		// Lognormal(5,2) has enormous variance; use a loose relative bound.
+		relTol := 0.05
+		if _, ok := d.(Lognormal); ok {
+			relTol = 0.35
+		}
+		if math.Abs(got-mean) > relTol*math.Max(1, mean) {
+			t.Errorf("%s: sample mean %v, analytic mean %v", d.Name(), got, mean)
+		}
+	}
+}
+
+func TestSampleCDFAgreement(t *testing.T) {
+	// Property: empirical CDF of samples matches analytic CDF (a KS-style
+	// check at fixed quantiles).
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range allDistributions() {
+		const n = 50000
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = d.Sample(rng)
+		}
+		e := NewEmpirical(samples)
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			x := d.Quantile(p)
+			if got := e.CDF(x); math.Abs(got-p) > 0.02 {
+				t.Errorf("%s: empirical CDF at q%.1f = %v", d.Name(), p, got)
+			}
+		}
+	}
+}
+
+func TestLognormalKnownValues(t *testing.T) {
+	l := NewLognormal(0, 1)
+	// Median of LN(0,1) is e^0 = 1.
+	if got := l.Quantile(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("median = %v, want 1", got)
+	}
+	if got := l.Mean(); math.Abs(got-math.Exp(0.5)) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, math.Exp(0.5))
+	}
+	if got := l.CDF(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(1) = %v, want 0.5", got)
+	}
+	if got := l.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	if got := l.PDF(-1); got != 0 {
+		t.Errorf("PDF(-1) = %v, want 0", got)
+	}
+}
+
+func TestExponentialKnownValues(t *testing.T) {
+	e := NewExponential(0.5)
+	if got := e.Mean(); got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+	if got := e.CDF(2); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Errorf("CDF(2) = %v", got)
+	}
+	if got := e.Quantile(1 - math.Exp(-1)); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Quantile = %v, want 2", got)
+	}
+}
+
+func TestUniformKnownValues(t *testing.T) {
+	u := NewUniform(10, 30)
+	if got := u.Mean(); got != 20 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := u.CDF(15); got != 0.25 {
+		t.Errorf("CDF(15) = %v", got)
+	}
+	if got := u.PDF(20); got != 0.05 {
+		t.Errorf("PDF(20) = %v", got)
+	}
+	if got := u.PDF(31); got != 0 {
+		t.Errorf("PDF(31) = %v", got)
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	p := NewPareto(1, 0.9)
+	if !math.IsInf(p.Mean(), 1) {
+		t.Errorf("Pareto alpha<=1 mean should be +Inf, got %v", p.Mean())
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	d := Degenerate{V: 5}
+	if d.CDF(4.999) != 0 || d.CDF(5) != 1 {
+		t.Error("degenerate CDF step wrong")
+	}
+	if d.Mean() != 5 || d.Quantile(0.3) != 5 {
+		t.Error("degenerate mean/quantile wrong")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if d.Sample(rng) != 5 {
+		t.Error("degenerate sample wrong")
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(
+		Component{Weight: 2, Dist: NewUniform(0, 1)},
+		Component{Weight: 2, Dist: NewUniform(10, 11)},
+	)
+	// Weights normalize to 0.5/0.5; CDF(5) should be exactly 0.5.
+	if got := m.CDF(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mixture CDF(5) = %v, want 0.5", got)
+	}
+	if got := m.Mean(); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("mixture mean = %v, want 5.5", got)
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMixture() },
+		func() { NewMixture(Component{Weight: 0, Dist: NewUniform(0, 1)}) },
+		func() { NewMixture(Component{Weight: 1, Dist: nil}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"lognormal":   func() { NewLognormal(0, 0) },
+		"exponential": func() { NewExponential(-1) },
+		"uniform":     func() { NewUniform(1, 1) },
+		"normal":      func() { NewNormal(0, -2) },
+		"pareto":      func() { NewPareto(0, 1) },
+		"weibull":     func() { NewWeibull(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShifted(t *testing.T) {
+	s := Shifted{Base: NewUniform(0, 10), Offset: 100}
+	if got := s.Quantile(0.5); got != 105 {
+		t.Errorf("shifted quantile = %v", got)
+	}
+	if got := s.CDF(105); got != 0.5 {
+		t.Errorf("shifted CDF = %v", got)
+	}
+	if got := s.Mean(); got != 105 {
+		t.Errorf("shifted mean = %v", got)
+	}
+}
+
+func TestExpectationOf(t *testing.T) {
+	// E[X] via ExpectationOf should match Mean for a smooth distribution.
+	d := NewLognormal(2, 0.5)
+	got := ExpectationOf(d, func(x float64) float64 { return x })
+	if math.Abs(got-d.Mean()) > 1e-3*d.Mean() {
+		t.Errorf("E[X] = %v, want %v", got, d.Mean())
+	}
+	// E[1] = 1.
+	got = ExpectationOf(d, func(x float64) float64 { return 1 })
+	if math.Abs(got-1) > 1e-3 {
+		t.Errorf("E[1] = %v", got)
+	}
+}
+
+func TestQuantileProperty(t *testing.T) {
+	d := NewLognormal(4, 1.5)
+	prop := func(u uint16) bool {
+		p := (float64(u) + 0.5) / (math.MaxUint16 + 1)
+		x := d.Quantile(p)
+		return math.Abs(d.CDF(x)-p) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Empirical is a distribution fitted from observed samples. The analyzer
+// module builds one from collected delays and feeds it to the WA models, so
+// the models must be able to run on it exactly like on a parametric
+// distribution.
+//
+// The CDF is the piecewise-linear interpolation of the empirical CDF
+// (a smoothed ECDF); the PDF is the corresponding histogram density. Linear
+// interpolation keeps the CDF continuous and strictly increasing between
+// distinct sample values, which the quadrature in the models relies on.
+type Empirical struct {
+	sorted []float64 // ascending observed values
+	// binEdges/binDensity cache a fixed-width histogram used by PDF.
+	binEdges   []float64
+	binDensity []float64
+	mean       float64
+}
+
+// NewEmpirical fits an empirical distribution to samples. It copies and
+// sorts the data. At least two distinct samples are required for a usable
+// density; with fewer, the distribution degenerates gracefully (PDF 0,
+// step CDF).
+func NewEmpirical(samples []float64) *Empirical {
+	if len(samples) == 0 {
+		panic("dist: empirical requires at least one sample")
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	e := &Empirical{sorted: s, mean: sum / float64(len(s))}
+	e.buildHistogram()
+	return e
+}
+
+// buildHistogram computes a Freedman–Diaconis-ish fixed-width histogram
+// used as the density estimate.
+func (e *Empirical) buildHistogram() {
+	n := len(e.sorted)
+	lo, hi := e.sorted[0], e.sorted[n-1]
+	if hi <= lo {
+		return
+	}
+	bins := int(math.Ceil(math.Sqrt(float64(n))))
+	if bins < 4 {
+		bins = 4
+	}
+	if bins > 512 {
+		bins = 512
+	}
+	width := (hi - lo) / float64(bins)
+	e.binEdges = make([]float64, bins+1)
+	for i := range e.binEdges {
+		e.binEdges[i] = lo + float64(i)*width
+	}
+	counts := make([]int, bins)
+	for _, v := range e.sorted {
+		idx := int((v - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	e.binDensity = make([]float64, bins)
+	for i, c := range counts {
+		e.binDensity[i] = float64(c) / (float64(n) * width)
+	}
+}
+
+// N returns the number of fitted samples.
+func (e *Empirical) N() int { return len(e.sorted) }
+
+// Min returns the smallest observed value.
+func (e *Empirical) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest observed value.
+func (e *Empirical) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// PDF implements Distribution using the histogram density.
+func (e *Empirical) PDF(x float64) float64 {
+	if len(e.binDensity) == 0 {
+		return 0
+	}
+	lo := e.binEdges[0]
+	hi := e.binEdges[len(e.binEdges)-1]
+	if x < lo || x > hi {
+		return 0
+	}
+	width := (hi - lo) / float64(len(e.binDensity))
+	idx := int((x - lo) / width)
+	if idx >= len(e.binDensity) {
+		idx = len(e.binDensity) - 1
+	}
+	return e.binDensity[idx]
+}
+
+// CDF implements Distribution using linear interpolation between order
+// statistics (the "interpolated ECDF").
+func (e *Empirical) CDF(x float64) float64 {
+	n := len(e.sorted)
+	if x < e.sorted[0] {
+		return 0
+	}
+	if x >= e.sorted[n-1] {
+		return 1
+	}
+	// Position in the sorted sample: index of first element > x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	// e.sorted[i-1] <= x (if i>0); interpolate within the step.
+	if i < n && e.sorted[i] == x {
+		// Advance past duplicates so CDF at a repeated value counts them all.
+		j := i
+		for j < n && e.sorted[j] == x {
+			j++
+		}
+		return float64(j) / float64(n)
+	}
+	if i == 0 {
+		return 0
+	}
+	x0 := e.sorted[i-1]
+	x1 := e.sorted[i]
+	f0 := float64(i) / float64(n)
+	f1 := float64(i+1) / float64(n)
+	if x1 == x0 {
+		return f0
+	}
+	return f0 + (f1-f0)*(x-x0)/(x1-x0)
+}
+
+// Quantile implements Distribution with the inverse of the interpolated
+// ECDF (type-7-style interpolation).
+func (e *Empirical) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	switch {
+	case p <= 0:
+		return e.sorted[0]
+	case p >= 1:
+		return e.sorted[n-1]
+	}
+	h := p*float64(n-1) + 0 // type 7: h = p(n-1)
+	i := int(math.Floor(h))
+	frac := h - float64(i)
+	if i >= n-1 {
+		return e.sorted[n-1]
+	}
+	return e.sorted[i] + frac*(e.sorted[i+1]-e.sorted[i])
+}
+
+// Mean implements Distribution.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Sample implements Distribution by drawing a uniform quantile (smoothed
+// bootstrap via the interpolated inverse ECDF).
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	return e.Quantile(rng.Float64())
+}
+
+// Name implements Distribution.
+func (e *Empirical) Name() string {
+	return fmt.Sprintf("empirical(n=%d)", len(e.sorted))
+}
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic between
+// this empirical distribution and another: sup_x |F1(x) − F2(x)| evaluated
+// at all observed points of both samples. The analyzer's drift detector
+// uses it to decide whether the delay distribution has changed.
+func (e *Empirical) KSDistance(other *Empirical) float64 {
+	var d float64
+	for _, x := range e.sorted {
+		if v := math.Abs(e.CDF(x) - other.CDF(x)); v > d {
+			d = v
+		}
+	}
+	for _, x := range other.sorted {
+		if v := math.Abs(e.CDF(x) - other.CDF(x)); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// KSDistanceTo returns sup over this sample's points of |F_emp(x) − F(x)|
+// against an arbitrary reference distribution (one-sample KS statistic,
+// evaluated on both sides of each step).
+func (e *Empirical) KSDistanceTo(ref Distribution) float64 {
+	n := float64(len(e.sorted))
+	var d float64
+	for i, x := range e.sorted {
+		fx := ref.CDF(x)
+		hi := math.Abs(float64(i+1)/n - fx)
+		lo := math.Abs(float64(i)/n - fx)
+		if hi > d {
+			d = hi
+		}
+		if lo > d {
+			d = lo
+		}
+	}
+	return d
+}

@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpiricalBasics(t *testing.T) {
+	e := NewEmpirical([]float64{3, 1, 2, 5, 4})
+	if e.N() != 5 {
+		t.Errorf("N = %d", e.N())
+	}
+	if e.Min() != 1 || e.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", e.Min(), e.Max())
+	}
+	if got := e.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := e.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := e.CDF(5); got != 1 {
+		t.Errorf("CDF(5) = %v", got)
+	}
+	if got := e.CDF(6); got != 1 {
+		t.Errorf("CDF(6) = %v", got)
+	}
+}
+
+func TestEmpiricalCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()*10 + 50
+	}
+	e := NewEmpirical(samples)
+	prev := -1.0
+	for x := 0.0; x <= 100; x += 0.5 {
+		c := e.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range at %v: %v", x, c)
+		}
+		prev = c
+	}
+}
+
+func TestEmpiricalQuantileOrderStatistics(t *testing.T) {
+	e := NewEmpirical([]float64{10, 20, 30, 40, 50})
+	if got := e.Quantile(0); got != 10 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := e.Quantile(1); got != 50 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := e.Quantile(0.5); got != 30 {
+		t.Errorf("median = %v", got)
+	}
+	if got := e.Quantile(0.25); got != 20 {
+		t.Errorf("q25 = %v (type-7 on 5 points)", got)
+	}
+}
+
+func TestEmpiricalMatchesSource(t *testing.T) {
+	// Fit to lognormal samples; CDF should approximate the source CDF.
+	src := NewLognormal(4, 1.5)
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = src.Sample(rng)
+	}
+	e := NewEmpirical(samples)
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		x := src.Quantile(p)
+		if got := e.CDF(x); math.Abs(got-p) > 0.02 {
+			t.Errorf("empirical CDF at source q%.1f = %v", p, got)
+		}
+	}
+	if d := e.KSDistanceTo(src); d > 0.02 {
+		t.Errorf("KS distance to source = %v", d)
+	}
+}
+
+func TestEmpiricalPDFIntegrates(t *testing.T) {
+	src := NewExponential(0.1)
+	rng := rand.New(rand.NewSource(13))
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = src.Sample(rng)
+	}
+	e := NewEmpirical(samples)
+	// Riemann sum of the histogram density over its support ≈ 1.
+	lo, hi := e.Min(), e.Max()
+	const steps = 20000
+	h := (hi - lo) / steps
+	var sum float64
+	for i := 0; i < steps; i++ {
+		sum += e.PDF(lo+(float64(i)+0.5)*h) * h
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("∫PDF = %v", sum)
+	}
+}
+
+func TestEmpiricalDuplicates(t *testing.T) {
+	e := NewEmpirical([]float64{5, 5, 5, 5})
+	if got := e.CDF(5); got != 1 {
+		t.Errorf("CDF(5) with all-equal samples = %v", got)
+	}
+	if got := e.CDF(4.9); got != 0 {
+		t.Errorf("CDF(4.9) = %v", got)
+	}
+	if got := e.Quantile(0.5); got != 5 {
+		t.Errorf("median = %v", got)
+	}
+	if got := e.PDF(5); got != 0 {
+		// Degenerate sample has no histogram; PDF is 0 by construction.
+		t.Errorf("PDF(5) = %v", got)
+	}
+}
+
+func TestEmpiricalSingleSample(t *testing.T) {
+	e := NewEmpirical([]float64{7})
+	if e.CDF(7) != 1 || e.CDF(6.999) != 0 {
+		t.Error("single-sample CDF wrong")
+	}
+	if e.Mean() != 7 {
+		t.Error("single-sample mean wrong")
+	}
+}
+
+func TestEmpiricalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty sample")
+		}
+	}()
+	NewEmpirical(nil)
+}
+
+func TestKSDistanceSelfIsZero(t *testing.T) {
+	e := NewEmpirical([]float64{1, 2, 3, 4, 5, 6})
+	if d := e.KSDistance(e); d != 0 {
+		t.Errorf("KS(self) = %v", d)
+	}
+}
+
+func TestKSDistanceSeparatedSamples(t *testing.T) {
+	a := NewEmpirical([]float64{1, 2, 3})
+	b := NewEmpirical([]float64{101, 102, 103})
+	if d := a.KSDistance(b); d < 0.99 {
+		t.Errorf("KS(disjoint) = %v, want ≈1", d)
+	}
+}
+
+func TestKSDistanceDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	mk := func(mu float64) *Empirical {
+		s := make([]float64, 3000)
+		for i := range s {
+			s[i] = rng.NormFloat64() + mu
+		}
+		return NewEmpirical(s)
+	}
+	same := mk(0).KSDistance(mk(0))
+	shifted := mk(0).KSDistance(mk(1))
+	if same > 0.06 {
+		t.Errorf("KS same-dist = %v, want small", same)
+	}
+	if shifted < 0.3 {
+		t.Errorf("KS shifted = %v, want large", shifted)
+	}
+}
+
+func TestEmpiricalSampleDoesNotLeaveSupport(t *testing.T) {
+	e := NewEmpirical([]float64{10, 20, 30})
+	rng := rand.New(rand.NewSource(23))
+	prop := func(seed int64) bool {
+		v := e.Sample(rng)
+		return v >= 10 && v <= 30
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewEmpirical(in)
+	if !sort.Float64sAreSorted(in) {
+		// Input should be untouched (still 3,1,2 — i.e. NOT sorted).
+		if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+			t.Error("NewEmpirical mutated its input")
+		}
+	} else {
+		t.Error("NewEmpirical sorted the caller's slice")
+	}
+}

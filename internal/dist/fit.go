@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"errors"
+	"math"
+)
+
+// Parametric fitting: the paper's analyzer "will collect time-series data
+// delays and generate the statistical profile of the delays, e.g., the
+// probability distribution function (PDF) and cumulative distribution
+// function (CDF)". The Empirical distribution is the non-parametric
+// profile; the fitters here produce parametric candidates, whose smooth
+// tails extrapolate beyond the observed sample — useful when the WA model
+// must integrate past the largest delay seen so far.
+
+// ErrFitInsufficient is returned when a sample cannot support a fit.
+var ErrFitInsufficient = errors.New("dist: not enough usable samples to fit")
+
+// FitLognormal returns the maximum-likelihood lognormal for the positive
+// samples: μ̂ = mean(ln x), σ̂ = stddev(ln x). Non-positive samples are
+// ignored (a delay of zero carries no lognormal likelihood); at least two
+// distinct positive samples are required.
+func FitLognormal(samples []float64) (Lognormal, error) {
+	var n int
+	var sum float64
+	for _, x := range samples {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n < 2 {
+		return Lognormal{}, ErrFitInsufficient
+	}
+	mu := sum / float64(n)
+	var ss float64
+	for _, x := range samples {
+		if x > 0 {
+			d := math.Log(x) - mu
+			ss += d * d
+		}
+	}
+	sigma := math.Sqrt(ss / float64(n-1))
+	if sigma <= 0 {
+		return Lognormal{}, ErrFitInsufficient
+	}
+	return NewLognormal(mu, sigma), nil
+}
+
+// FitExponential returns the maximum-likelihood exponential for the
+// non-negative samples: λ̂ = 1/mean.
+func FitExponential(samples []float64) (Exponential, error) {
+	var n int
+	var sum float64
+	for _, x := range samples {
+		if x >= 0 {
+			sum += x
+			n++
+		}
+	}
+	if n < 2 || sum <= 0 {
+		return Exponential{}, ErrFitInsufficient
+	}
+	return NewExponential(float64(n) / sum), nil
+}
+
+// FitUniform returns the uniform distribution over [min, max] of the
+// samples, slightly widened so every sample has positive density.
+func FitUniform(samples []float64) (Uniform, error) {
+	if len(samples) < 2 {
+		return Uniform{}, ErrFitInsufficient
+	}
+	lo, hi := samples[0], samples[0]
+	for _, x := range samples {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi <= lo {
+		return Uniform{}, ErrFitInsufficient
+	}
+	pad := (hi - lo) / float64(len(samples))
+	return NewUniform(lo, hi+pad), nil
+}
+
+// FitResult is one candidate from FitBest.
+type FitResult struct {
+	Dist Distribution
+	// KS is the one-sample Kolmogorov–Smirnov distance between the fitted
+	// distribution and the sample's empirical CDF (lower is better).
+	KS float64
+}
+
+// FitBest fits every parametric family to the samples, scores each with
+// the KS distance against the empirical CDF, and returns them sorted best
+// first. The Empirical distribution itself is appended last as the
+// non-parametric fallback (its in-sample KS is ~0 by construction, so it
+// is excluded from the ranking). At least 16 samples are required.
+func FitBest(samples []float64) ([]FitResult, error) {
+	if len(samples) < 16 {
+		return nil, ErrFitInsufficient
+	}
+	emp := NewEmpirical(samples)
+	var results []FitResult
+	if d, err := FitLognormal(samples); err == nil {
+		results = append(results, FitResult{Dist: d, KS: emp.KSDistanceTo(d)})
+	}
+	if d, err := FitExponential(samples); err == nil {
+		results = append(results, FitResult{Dist: d, KS: emp.KSDistanceTo(d)})
+	}
+	if d, err := FitUniform(samples); err == nil {
+		results = append(results, FitResult{Dist: d, KS: emp.KSDistanceTo(d)})
+	}
+	// Insertion sort by KS (tiny slice).
+	for i := 1; i < len(results); i++ {
+		for j := i; j > 0 && results[j].KS < results[j-1].KS; j-- {
+			results[j], results[j-1] = results[j-1], results[j]
+		}
+	}
+	results = append(results, FitResult{Dist: emp, KS: 0})
+	return results, nil
+}

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func samplesFrom(d Distribution, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+func TestFitLognormalRecoversParameters(t *testing.T) {
+	src := NewLognormal(4, 1.5)
+	got, err := FitLognormal(samplesFrom(src, 50000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-4) > 0.05 {
+		t.Errorf("mu = %v", got.Mu)
+	}
+	if math.Abs(got.Sigma-1.5) > 0.05 {
+		t.Errorf("sigma = %v", got.Sigma)
+	}
+}
+
+func TestFitLognormalIgnoresNonPositive(t *testing.T) {
+	samples := append(samplesFrom(NewLognormal(2, 1), 1000, 2), 0, -5, -1)
+	if _, err := FitLognormal(samples); err != nil {
+		t.Errorf("fit with some non-positive samples: %v", err)
+	}
+	if _, err := FitLognormal([]float64{0, -1, -2}); !errors.Is(err, ErrFitInsufficient) {
+		t.Errorf("all non-positive: %v", err)
+	}
+	if _, err := FitLognormal([]float64{5, 5, 5}); !errors.Is(err, ErrFitInsufficient) {
+		t.Errorf("zero variance: %v", err)
+	}
+}
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	src := NewExponential(0.02)
+	got, err := FitExponential(samplesFrom(src, 50000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Lambda-0.02) > 0.001 {
+		t.Errorf("lambda = %v", got.Lambda)
+	}
+	if _, err := FitExponential([]float64{0}); !errors.Is(err, ErrFitInsufficient) {
+		t.Errorf("single zero sample: %v", err)
+	}
+}
+
+func TestFitUniformCoversSamples(t *testing.T) {
+	src := NewUniform(10, 90)
+	got, err := FitUniform(samplesFrom(src, 10000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A < 9 || got.A > 12 || got.B < 88 || got.B > 92 {
+		t.Errorf("fitted [%v, %v]", got.A, got.B)
+	}
+	if _, err := FitUniform([]float64{5, 5}); !errors.Is(err, ErrFitInsufficient) {
+		t.Errorf("degenerate sample: %v", err)
+	}
+}
+
+func TestFitBestPicksTheRightFamily(t *testing.T) {
+	cases := []struct {
+		src      Distribution
+		wantName string
+	}{
+		{NewLognormal(4, 1.5), "lognormal"},
+		{NewExponential(0.01), "exponential"},
+		{NewUniform(0, 500), "uniform"},
+	}
+	for _, tc := range cases {
+		results, err := FitBest(samplesFrom(tc.src, 20000, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestName := results[0].Dist.Name()
+		if len(bestName) < len(tc.wantName) || bestName[:len(tc.wantName)] != tc.wantName {
+			t.Errorf("source %s: best fit %s (KS=%v)", tc.src.Name(), bestName, results[0].KS)
+		}
+		if results[0].KS > 0.02 {
+			t.Errorf("source %s: best KS %v too large", tc.src.Name(), results[0].KS)
+		}
+		// Empirical fallback always present at the end.
+		if _, ok := results[len(results)-1].Dist.(*Empirical); !ok {
+			t.Error("empirical fallback missing")
+		}
+	}
+}
+
+func TestFitBestRequiresSamples(t *testing.T) {
+	if _, err := FitBest(make([]float64, 5)); !errors.Is(err, ErrFitInsufficient) {
+		t.Errorf("tiny sample: %v", err)
+	}
+}
+
+func TestFittedDistributionUsableByModels(t *testing.T) {
+	// The fitted lognormal must expose working PDF/CDF/Quantile for the
+	// WA models' quadrature.
+	src := NewLognormal(5, 2)
+	fit, err := FitLognormal(samplesFrom(src, 20000, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		x := fit.Quantile(p)
+		if math.Abs(fit.CDF(x)-p) > 1e-9 {
+			t.Errorf("fitted quantile/CDF inconsistent at %v", p)
+		}
+		// Close to the source's quantiles.
+		if sx := src.Quantile(p); math.Abs(math.Log(x)-math.Log(sx)) > 0.15 {
+			t.Errorf("fitted q%v = %v, source %v", p, x, sx)
+		}
+	}
+}

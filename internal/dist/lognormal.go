@@ -1,0 +1,377 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// Lognormal is the lognormal distribution LN(mu, sigma): ln X ~ N(mu, sigma²).
+// It is the paper's primary delay model (all synthetic datasets M1–M12 draw
+// delays from lognormals with μ ∈ {4, 5}, σ ∈ {1.5, 1.75, 2}).
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLognormal returns LN(mu, sigma). sigma must be positive.
+func NewLognormal(mu, sigma float64) Lognormal {
+	if sigma <= 0 {
+		panic("dist: lognormal sigma must be positive")
+	}
+	return Lognormal{Mu: mu, Sigma: sigma}
+}
+
+// PDF implements Distribution.
+func (l Lognormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements Distribution.
+func (l Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return numeric.NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+// Quantile implements Distribution.
+func (l Lognormal) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return math.Exp(l.Mu + l.Sigma*numeric.InvNormalCDF(p))
+}
+
+// Mean implements Distribution.
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Sample implements Distribution.
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Name implements Distribution.
+func (l Lognormal) Name() string {
+	return fmt.Sprintf("lognormal(mu=%g,sigma=%g)", l.Mu, l.Sigma)
+}
+
+// Exponential is the exponential distribution with rate lambda.
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponential returns Exp(lambda). lambda must be positive.
+func NewExponential(lambda float64) Exponential {
+	if lambda <= 0 {
+		panic("dist: exponential lambda must be positive")
+	}
+	return Exponential{Lambda: lambda}
+}
+
+// PDF implements Distribution.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Lambda * math.Exp(-e.Lambda*x)
+}
+
+// CDF implements Distribution.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * x)
+}
+
+// Quantile implements Distribution.
+func (e Exponential) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Lambda
+}
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Sample implements Distribution.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Lambda
+}
+
+// Name implements Distribution.
+func (e Exponential) Name() string {
+	return fmt.Sprintf("exponential(lambda=%g)", e.Lambda)
+}
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns U(a, b) with a < b.
+func NewUniform(a, b float64) Uniform {
+	if b <= a {
+		panic("dist: uniform requires a < b")
+	}
+	return Uniform{A: a, B: b}
+}
+
+// PDF implements Distribution.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.A || x > u.B {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+// CDF implements Distribution.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	}
+	return (x - u.A) / (u.B - u.A)
+}
+
+// Quantile implements Distribution.
+func (u Uniform) Quantile(p float64) float64 {
+	p = numeric.Clamp(p, 0, 1)
+	return u.A + p*(u.B-u.A)
+}
+
+// Mean implements Distribution.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.A + rng.Float64()*(u.B-u.A)
+}
+
+// Name implements Distribution.
+func (u Uniform) Name() string {
+	return fmt.Sprintf("uniform(%g,%g)", u.A, u.B)
+}
+
+// Normal is the normal distribution N(mu, sigma²). Delays cannot be
+// negative in the workload generators, which truncate samples at 0; the
+// analytic PDF/CDF remain those of the untruncated normal (the mass below
+// zero is negligible for the parameterizations used).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewNormal returns N(mu, sigma²). sigma must be positive.
+func NewNormal(mu, sigma float64) Normal {
+	if sigma <= 0 {
+		panic("dist: normal sigma must be positive")
+	}
+	return Normal{Mu: mu, Sigma: sigma}
+}
+
+// PDF implements Distribution.
+func (n Normal) PDF(x float64) float64 {
+	return numeric.NormalPDF((x-n.Mu)/n.Sigma) / n.Sigma
+}
+
+// CDF implements Distribution.
+func (n Normal) CDF(x float64) float64 {
+	return numeric.NormalCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile implements Distribution.
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*numeric.InvNormalCDF(numeric.Clamp(p, 0, 1))
+}
+
+// Mean implements Distribution.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Sample implements Distribution.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// Name implements Distribution.
+func (n Normal) Name() string {
+	return fmt.Sprintf("normal(mu=%g,sigma=%g)", n.Mu, n.Sigma)
+}
+
+// Pareto is the Pareto (type I) distribution with scale xm and shape alpha.
+// It models extreme heavy-tailed delays such as recovery-after-outage
+// backlogs.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// NewPareto returns Pareto(xm, alpha); both must be positive.
+func NewPareto(xm, alpha float64) Pareto {
+	if xm <= 0 || alpha <= 0 {
+		panic("dist: pareto requires positive xm and alpha")
+	}
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+// PDF implements Distribution.
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(x, p.Alpha+1)
+}
+
+// CDF implements Distribution.
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// Quantile implements Distribution.
+func (p Pareto) Quantile(q float64) float64 {
+	switch {
+	case q <= 0:
+		return p.Xm
+	case q >= 1:
+		return math.Inf(1)
+	}
+	return p.Xm / math.Pow(1-q, 1/p.Alpha)
+}
+
+// Mean implements Distribution. It is +Inf for alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Sample implements Distribution.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	return p.Quantile(rng.Float64())
+}
+
+// Name implements Distribution.
+func (p Pareto) Name() string {
+	return fmt.Sprintf("pareto(xm=%g,alpha=%g)", p.Xm, p.Alpha)
+}
+
+// Weibull is the Weibull distribution with scale lambda and shape k.
+type Weibull struct {
+	LambdaScale float64
+	K           float64
+}
+
+// NewWeibull returns Weibull(lambda, k); both must be positive.
+func NewWeibull(lambda, k float64) Weibull {
+	if lambda <= 0 || k <= 0 {
+		panic("dist: weibull requires positive lambda and k")
+	}
+	return Weibull{LambdaScale: lambda, K: k}
+}
+
+// PDF implements Distribution.
+func (w Weibull) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if w.K < 1 {
+			return math.Inf(1)
+		}
+		if w.K == 1 {
+			return 1 / w.LambdaScale
+		}
+		return 0
+	}
+	z := x / w.LambdaScale
+	return (w.K / w.LambdaScale) * math.Pow(z, w.K-1) * math.Exp(-math.Pow(z, w.K))
+}
+
+// CDF implements Distribution.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.LambdaScale, w.K))
+}
+
+// Quantile implements Distribution.
+func (w Weibull) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return w.LambdaScale * math.Pow(-math.Log1p(-p), 1/w.K)
+}
+
+// Mean implements Distribution.
+func (w Weibull) Mean() float64 {
+	return w.LambdaScale * math.Gamma(1+1/w.K)
+}
+
+// Sample implements Distribution.
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	return w.Quantile(rng.Float64())
+}
+
+// Name implements Distribution.
+func (w Weibull) Name() string {
+	return fmt.Sprintf("weibull(lambda=%g,k=%g)", w.LambdaScale, w.K)
+}
+
+// Degenerate is a point mass at V: every delay equals V exactly. It models
+// a perfectly regular network and is useful in tests (all data in order
+// when V is constant across points).
+type Degenerate struct {
+	V float64
+}
+
+// PDF implements Distribution. The density is a Dirac delta; PDF returns 0
+// everywhere (callers integrate via CDF or use Sample/Mean).
+func (d Degenerate) PDF(x float64) float64 { return 0 }
+
+// CDF implements Distribution.
+func (d Degenerate) CDF(x float64) float64 {
+	if x < d.V {
+		return 0
+	}
+	return 1
+}
+
+// Quantile implements Distribution.
+func (d Degenerate) Quantile(p float64) float64 { return d.V }
+
+// Mean implements Distribution.
+func (d Degenerate) Mean() float64 { return d.V }
+
+// Sample implements Distribution.
+func (d Degenerate) Sample(rng *rand.Rand) float64 { return d.V }
+
+// Name implements Distribution.
+func (d Degenerate) Name() string {
+	return fmt.Sprintf("degenerate(%g)", d.V)
+}

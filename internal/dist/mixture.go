@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Component is one weighted member of a Mixture.
+type Component struct {
+	Weight float64
+	Dist   Distribution
+}
+
+// Mixture is a finite mixture of distributions. It models multi-modal delay
+// behaviour such as "mostly immediate, occasionally buffered and re-sent in
+// a batch" (the systematic ~5×10⁴ ms resend pattern of dataset H).
+type Mixture struct {
+	components []Component
+}
+
+// NewMixture builds a mixture from components. Weights must be positive;
+// they are normalized to sum to 1. At least one component is required.
+func NewMixture(components ...Component) *Mixture {
+	if len(components) == 0 {
+		panic("dist: mixture requires at least one component")
+	}
+	var total float64
+	for _, c := range components {
+		if c.Weight <= 0 {
+			panic("dist: mixture weights must be positive")
+		}
+		if c.Dist == nil {
+			panic("dist: mixture component distribution is nil")
+		}
+		total += c.Weight
+	}
+	norm := make([]Component, len(components))
+	for i, c := range components {
+		norm[i] = Component{Weight: c.Weight / total, Dist: c.Dist}
+	}
+	return &Mixture{components: norm}
+}
+
+// Components returns the normalized components.
+func (m *Mixture) Components() []Component { return m.components }
+
+// PDF implements Distribution.
+func (m *Mixture) PDF(x float64) float64 {
+	var sum float64
+	for _, c := range m.components {
+		sum += c.Weight * c.Dist.PDF(x)
+	}
+	return sum
+}
+
+// CDF implements Distribution.
+func (m *Mixture) CDF(x float64) float64 {
+	var sum float64
+	for _, c := range m.components {
+		sum += c.Weight * c.Dist.CDF(x)
+	}
+	return sum
+}
+
+// Quantile implements Distribution by numeric inversion of the mixture CDF.
+func (m *Mixture) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		lo := math.Inf(1)
+		for _, c := range m.components {
+			lo = math.Min(lo, c.Dist.Quantile(0))
+		}
+		return lo
+	case p >= 1:
+		return math.Inf(1)
+	}
+	hi := 1.0
+	for _, c := range m.components {
+		q := c.Dist.Quantile(math.Min(0.999999, p))
+		if !math.IsInf(q, 0) && q > hi {
+			hi = q
+		}
+	}
+	return quantileByInversion(m, p, 0, hi)
+}
+
+// Mean implements Distribution.
+func (m *Mixture) Mean() float64 {
+	var sum float64
+	for _, c := range m.components {
+		sum += c.Weight * c.Dist.Mean()
+	}
+	return sum
+}
+
+// Sample implements Distribution.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	var acc float64
+	for _, c := range m.components {
+		acc += c.Weight
+		if u <= acc {
+			return c.Dist.Sample(rng)
+		}
+	}
+	return m.components[len(m.components)-1].Dist.Sample(rng)
+}
+
+// Name implements Distribution.
+func (m *Mixture) Name() string {
+	parts := make([]string, len(m.components))
+	for i, c := range m.components {
+		parts[i] = fmt.Sprintf("%.2f*%s", c.Weight, c.Dist.Name())
+	}
+	return "mixture(" + strings.Join(parts, "+") + ")"
+}
+
+// Shifted adds a constant Offset to a base distribution: X' = X + Offset.
+// It models fixed processing or propagation latency on top of a random
+// component.
+type Shifted struct {
+	Base   Distribution
+	Offset float64
+}
+
+// PDF implements Distribution.
+func (s Shifted) PDF(x float64) float64 { return s.Base.PDF(x - s.Offset) }
+
+// CDF implements Distribution.
+func (s Shifted) CDF(x float64) float64 { return s.Base.CDF(x - s.Offset) }
+
+// Quantile implements Distribution.
+func (s Shifted) Quantile(p float64) float64 { return s.Base.Quantile(p) + s.Offset }
+
+// Mean implements Distribution.
+func (s Shifted) Mean() float64 { return s.Base.Mean() + s.Offset }
+
+// Sample implements Distribution.
+func (s Shifted) Sample(rng *rand.Rand) float64 { return s.Base.Sample(rng) + s.Offset }
+
+// Name implements Distribution.
+func (s Shifted) Name() string {
+	return fmt.Sprintf("shift(%s,+%g)", s.Base.Name(), s.Offset)
+}

@@ -1,0 +1,108 @@
+package encoding
+
+// BitWriter appends individual bits / bit fields to a byte buffer,
+// most-significant bit first. It backs the Gorilla float codec.
+type BitWriter struct {
+	buf  []byte
+	free uint8 // free bits in the last byte (0 when buf is empty or full)
+}
+
+// NewBitWriter returns a writer appending to dst (which may be nil).
+func NewBitWriter(dst []byte) *BitWriter {
+	return &BitWriter{buf: dst}
+}
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(bit bool) {
+	if w.free == 0 {
+		w.buf = append(w.buf, 0)
+		w.free = 8
+	}
+	if bit {
+		w.buf[len(w.buf)-1] |= 1 << (w.free - 1)
+	}
+	w.free--
+}
+
+// WriteBits appends the low `count` bits of v, most significant first.
+// count must be in [0, 64].
+func (w *BitWriter) WriteBits(v uint64, count uint8) {
+	for count > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := count
+		if take > w.free {
+			take = w.free
+		}
+		shift := count - take
+		chunk := byte(v>>shift) & (1<<take - 1)
+		w.buf[len(w.buf)-1] |= chunk << (w.free - take)
+		w.free -= take
+		count -= take
+	}
+}
+
+// Bytes returns the accumulated buffer. Trailing unused bits are zero.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes bits from a byte buffer, most-significant bit first.
+type BitReader struct {
+	buf []byte
+	pos int   // byte index
+	bit uint8 // bits already consumed from buf[pos]
+}
+
+// NewBitReader returns a reader over src.
+func NewBitReader(src []byte) *BitReader {
+	return &BitReader{buf: src}
+}
+
+// ReadBit consumes one bit.
+func (r *BitReader) ReadBit() (bool, error) {
+	if r.pos >= len(r.buf) {
+		return false, ErrShortBuffer
+	}
+	b := r.buf[r.pos]&(1<<(7-r.bit)) != 0
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+// ReadBits consumes `count` bits and returns them in the low bits of the
+// result, preserving order. count must be in [0, 64].
+func (r *BitReader) ReadBits(count uint8) (uint64, error) {
+	var v uint64
+	for count > 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrShortBuffer
+		}
+		avail := 8 - r.bit
+		take := count
+		if take > avail {
+			take = avail
+		}
+		chunk := (r.buf[r.pos] >> (avail - take)) & (1<<take - 1)
+		v = v<<take | uint64(chunk)
+		r.bit += take
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+		count -= take
+	}
+	return v, nil
+}
+
+// Offset returns the number of whole bytes consumed (rounding up when
+// mid-byte).
+func (r *BitReader) Offset() int {
+	if r.bit == 0 {
+		return r.pos
+	}
+	return r.pos + 1
+}

@@ -1,0 +1,164 @@
+// Package encoding implements the byte-level codecs used by the SSTable
+// block format and the write-ahead log: unsigned varints, zigzag-encoded
+// signed varints, delta-encoded monotone timestamp sequences, and raw
+// IEEE-754 values.
+//
+// Time-series blocks store generation timestamps sorted ascending, so
+// delta-of-delta-free simple deltas compress well: regular series collapse
+// to one-byte deltas.
+package encoding
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrShortBuffer is returned when a decode runs out of input bytes.
+var ErrShortBuffer = errors.New("encoding: short buffer")
+
+// ErrOverflow is returned when a varint is malformed or exceeds 64 bits.
+var ErrOverflow = errors.New("encoding: varint overflows 64 bits")
+
+// PutUvarint appends v to dst as an unsigned varint and returns the
+// extended slice.
+func PutUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// Uvarint decodes an unsigned varint from src, returning the value and the
+// number of bytes consumed.
+func Uvarint(src []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(src)
+	if n == 0 {
+		return 0, 0, ErrShortBuffer
+	}
+	if n < 0 {
+		return 0, 0, ErrOverflow
+	}
+	return v, n, nil
+}
+
+// ZigZag maps a signed integer to an unsigned one with small absolute
+// values mapping to small results: 0→0, −1→1, 1→2, −2→3, …
+func ZigZag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// PutVarint appends a zigzag-encoded signed varint to dst.
+func PutVarint(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, ZigZag(v))
+}
+
+// Varint decodes a zigzag-encoded signed varint from src.
+func Varint(src []byte) (int64, int, error) {
+	u, n, err := Uvarint(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	return UnZigZag(u), n, nil
+}
+
+// PutFloat64 appends the 8-byte little-endian IEEE-754 representation of v.
+func PutFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// Float64 decodes an 8-byte little-endian float64 from src.
+func Float64(src []byte) (float64, int, error) {
+	if len(src) < 8 {
+		return 0, 0, ErrShortBuffer
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(src)), 8, nil
+}
+
+// PutUint32 appends v little-endian.
+func PutUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// Uint32 decodes a 4-byte little-endian uint32.
+func Uint32(src []byte) (uint32, int, error) {
+	if len(src) < 4 {
+		return 0, 0, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint32(src), 4, nil
+}
+
+// PutUint64 appends v little-endian.
+func PutUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// Uint64 decodes an 8-byte little-endian uint64.
+func Uint64(src []byte) (uint64, int, error) {
+	if len(src) < 8 {
+		return 0, 0, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint64(src), 8, nil
+}
+
+// EncodeDeltas appends the delta encoding of the int64 sequence vals to
+// dst: the first value as a signed varint, then successive differences as
+// signed varints. An empty sequence encodes to nothing beyond the caller's
+// own length prefix.
+func EncodeDeltas(dst []byte, vals []int64) []byte {
+	if len(vals) == 0 {
+		return dst
+	}
+	dst = PutVarint(dst, vals[0])
+	for i := 1; i < len(vals); i++ {
+		dst = PutVarint(dst, vals[i]-vals[i-1])
+	}
+	return dst
+}
+
+// DecodeDeltas decodes count delta-encoded int64 values from src, returning
+// the values and bytes consumed.
+func DecodeDeltas(src []byte, count int) ([]int64, int, error) {
+	if count == 0 {
+		return nil, 0, nil
+	}
+	vals := make([]int64, count)
+	off := 0
+	v, n, err := Varint(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	vals[0] = v
+	for i := 1; i < count; i++ {
+		d, n, err := Varint(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += n
+		vals[i] = vals[i-1] + d
+	}
+	return vals, off, nil
+}
+
+// EncodeFloats appends count raw float64 values.
+func EncodeFloats(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = PutFloat64(dst, v)
+	}
+	return dst
+}
+
+// DecodeFloats decodes count float64 values from src.
+func DecodeFloats(src []byte, count int) ([]float64, int, error) {
+	if len(src) < 8*count {
+		return nil, 0, ErrShortBuffer
+	}
+	vals := make([]float64, count)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return vals, 8 * count, nil
+}

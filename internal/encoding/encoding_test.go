@@ -1,0 +1,201 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigZagRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 63, -64, math.MaxInt64, math.MinInt64} {
+		if got := UnZigZag(ZigZag(v)); got != v {
+			t.Errorf("UnZigZag(ZigZag(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestZigZagSmallMapping(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want uint64
+	}{{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}}
+	for _, tc := range tests {
+		if got := ZigZag(tc.in); got != tc.want {
+			t.Errorf("ZigZag(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	prop := func(v int64) bool {
+		buf := PutVarint(nil, v)
+		got, n, err := Varint(buf)
+		return err == nil && n == len(buf) && got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	prop := func(v uint64) bool {
+		buf := PutUvarint(nil, v)
+		got, n, err := Uvarint(buf)
+		return err == nil && n == len(buf) && got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintShortBuffer(t *testing.T) {
+	if _, _, err := Uvarint(nil); err != ErrShortBuffer {
+		t.Errorf("want ErrShortBuffer, got %v", err)
+	}
+	// A continuation byte with no following data.
+	if _, _, err := Uvarint([]byte{0x80}); err != ErrShortBuffer {
+		t.Errorf("truncated varint: want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	malformed := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := Uvarint(malformed); err != ErrOverflow {
+		t.Errorf("want ErrOverflow, got %v", err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	prop := func(v float64) bool {
+		buf := PutFloat64(nil, v)
+		got, n, err := Float64(buf)
+		if err != nil || n != 8 {
+			return false
+		}
+		return math.Float64bits(got) == math.Float64bits(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Short(t *testing.T) {
+	if _, _, err := Float64(make([]byte, 7)); err != ErrShortBuffer {
+		t.Errorf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestUint32Uint64RoundTrip(t *testing.T) {
+	b := PutUint32(nil, 0xdeadbeef)
+	v32, n, err := Uint32(b)
+	if err != nil || n != 4 || v32 != 0xdeadbeef {
+		t.Errorf("uint32 round trip: %v %v %v", v32, n, err)
+	}
+	b = PutUint64(nil, 0xfeedfacecafebeef)
+	v64, n, err := Uint64(b)
+	if err != nil || n != 8 || v64 != 0xfeedfacecafebeef {
+		t.Errorf("uint64 round trip: %v %v %v", v64, n, err)
+	}
+	if _, _, err := Uint32(make([]byte, 3)); err != ErrShortBuffer {
+		t.Error("uint32 short buffer not detected")
+	}
+	if _, _, err := Uint64(make([]byte, 7)); err != ErrShortBuffer {
+		t.Error("uint64 short buffer not detected")
+	}
+}
+
+func TestDeltasRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{42},
+		{1, 2, 3, 4, 5},
+		{100, 50, 200, 50},
+		{math.MinInt64 / 2, 0, math.MaxInt64 / 2},
+	}
+	for _, vals := range cases {
+		buf := EncodeDeltas(nil, vals)
+		got, n, err := DecodeDeltas(buf, len(vals))
+		if err != nil {
+			t.Fatalf("decode %v: %v", vals, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode %v consumed %d of %d bytes", vals, n, len(buf))
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("decode %v: got %v", vals, got)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Errorf("decode %v: got %v", vals, got)
+				break
+			}
+		}
+	}
+}
+
+func TestDeltasRegularSeriesCompress(t *testing.T) {
+	// A perfectly regular timestamp series (big base, constant small delta)
+	// must encode to ~1 byte per point after the first.
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = 1_600_000_000_000 + int64(i)*50
+	}
+	buf := EncodeDeltas(nil, vals)
+	if len(buf) > 10+1100 {
+		t.Errorf("regular series encoded to %d bytes, want ~1010", len(buf))
+	}
+}
+
+func TestDeltasPropertyRoundTrip(t *testing.T) {
+	prop := func(vals []int64) bool {
+		// Constrain to avoid delta overflow (the codec contract assumes
+		// deltas fit in int64, true for timestamps).
+		for i := range vals {
+			vals[i] %= 1 << 40
+		}
+		buf := EncodeDeltas(nil, vals)
+		got, _, err := DecodeDeltas(buf, len(vals))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return len(vals) == 0
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeDeltasShort(t *testing.T) {
+	buf := EncodeDeltas(nil, []int64{1, 2, 3})
+	if _, _, err := DecodeDeltas(buf[:1], 3); err != ErrShortBuffer {
+		t.Errorf("want ErrShortBuffer, got %v", err)
+	}
+	if _, _, err := DecodeDeltas(nil, 1); err != ErrShortBuffer {
+		t.Errorf("empty input: want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestFloatsRoundTrip(t *testing.T) {
+	vals := []float64{0, 1.5, -2.25, math.Inf(1), math.MaxFloat64}
+	buf := EncodeFloats(nil, vals)
+	got, n, err := DecodeFloats(buf, len(vals))
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v, n=%d", err, n)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("floats[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+	if _, _, err := DecodeFloats(buf, len(vals)+1); err != ErrShortBuffer {
+		t.Error("over-read not detected")
+	}
+}

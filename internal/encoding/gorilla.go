@@ -1,0 +1,124 @@
+package encoding
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Gorilla XOR compression for float64 sequences (Pelkonen et al., "Gorilla:
+// a fast, scalable, in-memory time series database", VLDB 2015), the value
+// codec used by most time-series storage engines including IoTDB's TsFile.
+//
+// Per value: XOR with the previous value. A zero XOR emits a single 0 bit.
+// Otherwise emit 1, then either 0 + meaningful bits (when they fit inside
+// the previous value's leading/trailing-zero window) or 1 + 5-bit
+// leading-zero count + 6-bit significant-bit length + the bits themselves.
+
+const (
+	gorillaLeadingBits = 5
+	gorillaLengthBits  = 6
+	// maxLeading caps the storable leading-zero count (5 bits -> 31).
+	maxLeading = 31
+)
+
+// EncodeGorilla appends the Gorilla encoding of vals to dst. The count is
+// NOT encoded; callers (the SSTable block format) frame it externally.
+func EncodeGorilla(dst []byte, vals []float64) []byte {
+	if len(vals) == 0 {
+		return dst
+	}
+	w := NewBitWriter(dst)
+	prev := math.Float64bits(vals[0])
+	w.WriteBits(prev, 64)
+	prevLeading, prevTrailing := uint8(65), uint8(65) // 65: no window yet
+	for _, v := range vals[1:] {
+		cur := math.Float64bits(v)
+		x := cur ^ prev
+		prev = cur
+		if x == 0 {
+			w.WriteBit(false)
+			continue
+		}
+		w.WriteBit(true)
+		leading := uint8(bits.LeadingZeros64(x))
+		if leading > maxLeading {
+			leading = maxLeading
+		}
+		trailing := uint8(bits.TrailingZeros64(x))
+		if prevLeading <= 64 && leading >= prevLeading && trailing >= prevTrailing {
+			// Fits the previous window: 0 + meaningful bits.
+			w.WriteBit(false)
+			sig := 64 - prevLeading - prevTrailing
+			w.WriteBits(x>>prevTrailing, sig)
+			continue
+		}
+		// New window: 1 + leading(5) + length(6) + bits.
+		w.WriteBit(true)
+		sig := 64 - leading - trailing
+		w.WriteBits(uint64(leading), gorillaLeadingBits)
+		// sig is in [1, 64]; store sig-1 in 6 bits.
+		w.WriteBits(uint64(sig-1), gorillaLengthBits)
+		w.WriteBits(x>>trailing, sig)
+		prevLeading, prevTrailing = leading, trailing
+	}
+	return w.Bytes()
+}
+
+// DecodeGorilla decodes count Gorilla-encoded float64 values from src,
+// returning the values and the number of bytes consumed.
+func DecodeGorilla(src []byte, count int) ([]float64, int, error) {
+	if count == 0 {
+		return nil, 0, nil
+	}
+	r := NewBitReader(src)
+	first, err := r.ReadBits(64)
+	if err != nil {
+		return nil, 0, err
+	}
+	vals := make([]float64, 0, count)
+	prev := first
+	vals = append(vals, math.Float64frombits(prev))
+	var leading, trailing uint8
+	haveWindow := false
+	for len(vals) < count {
+		changed, err := r.ReadBit()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !changed {
+			vals = append(vals, math.Float64frombits(prev))
+			continue
+		}
+		newWindow, err := r.ReadBit()
+		if err != nil {
+			return nil, 0, err
+		}
+		if newWindow {
+			l, err := r.ReadBits(gorillaLeadingBits)
+			if err != nil {
+				return nil, 0, err
+			}
+			s, err := r.ReadBits(gorillaLengthBits)
+			if err != nil {
+				return nil, 0, err
+			}
+			leading = uint8(l)
+			sig := uint8(s) + 1
+			if leading+sig > 64 {
+				return nil, 0, ErrOverflow
+			}
+			trailing = 64 - leading - sig
+			haveWindow = true
+		} else if !haveWindow {
+			return nil, 0, ErrShortBuffer
+		}
+		sig := 64 - leading - trailing
+		xbits, err := r.ReadBits(sig)
+		if err != nil {
+			return nil, 0, err
+		}
+		prev ^= xbits << trailing
+		vals = append(vals, math.Float64frombits(prev))
+	}
+	return vals, r.Offset(), nil
+}

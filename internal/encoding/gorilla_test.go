@@ -1,0 +1,212 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	w := NewBitWriter(nil)
+	w.WriteBit(true)
+	w.WriteBit(false)
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xDEADBEEFCAFE, 48)
+	w.WriteBits(0, 3)
+	w.WriteBit(true)
+
+	r := NewBitReader(w.Bytes())
+	if b, _ := r.ReadBit(); !b {
+		t.Fatal("bit 0")
+	}
+	if b, _ := r.ReadBit(); b {
+		t.Fatal("bit 1")
+	}
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("nibble = %b", v)
+	}
+	if v, _ := r.ReadBits(48); v != 0xDEADBEEFCAFE {
+		t.Fatalf("48 bits = %x", v)
+	}
+	if v, _ := r.ReadBits(3); v != 0 {
+		t.Fatalf("zeros = %b", v)
+	}
+	if b, _ := r.ReadBit(); !b {
+		t.Fatal("final bit")
+	}
+}
+
+func TestBitReaderExhaustion(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrShortBuffer {
+		t.Errorf("want ErrShortBuffer, got %v", err)
+	}
+	r = NewBitReader(nil)
+	if _, err := r.ReadBits(1); err != ErrShortBuffer {
+		t.Errorf("empty reader: %v", err)
+	}
+}
+
+func TestBitStreamPropertyRoundTrip(t *testing.T) {
+	prop := func(vals []uint16, widthsRaw []uint8) bool {
+		if len(vals) > len(widthsRaw) {
+			vals = vals[:len(widthsRaw)]
+		}
+		w := NewBitWriter(nil)
+		widths := make([]uint8, len(vals))
+		for i, v := range vals {
+			widths[i] = widthsRaw[i]%16 + 1 // 1..16 bits
+			w.WriteBits(uint64(v)&(1<<widths[i]-1), widths[i])
+		}
+		r := NewBitReader(w.Bytes())
+		for i, v := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != uint64(v)&(1<<widths[i]-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gorillaRoundTrip(t *testing.T, vals []float64) {
+	t.Helper()
+	buf := EncodeGorilla(nil, vals)
+	got, n, err := DecodeGorilla(buf, len(vals))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: %v != %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestGorillaRoundTripBasic(t *testing.T) {
+	gorillaRoundTrip(t, []float64{1.0})
+	gorillaRoundTrip(t, []float64{1.0, 1.0, 1.0, 1.0})
+	gorillaRoundTrip(t, []float64{12.5, 12.5, 13.0, 12.0, 24.75, -3})
+	gorillaRoundTrip(t, []float64{0, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64})
+}
+
+func TestGorillaEmpty(t *testing.T) {
+	if buf := EncodeGorilla(nil, nil); len(buf) != 0 {
+		t.Errorf("empty encode: %d bytes", len(buf))
+	}
+	got, n, err := DecodeGorilla(nil, 0)
+	if err != nil || n != 0 || got != nil {
+		t.Errorf("empty decode: %v %d %v", got, n, err)
+	}
+}
+
+func TestGorillaNaN(t *testing.T) {
+	vals := []float64{1.5, math.NaN(), 2.5}
+	buf := EncodeGorilla(nil, vals)
+	got, _, err := DecodeGorilla(buf, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[1]) || got[0] != 1.5 || got[2] != 2.5 {
+		t.Errorf("NaN round trip: %v", got)
+	}
+}
+
+func TestGorillaCompressionOnSensorData(t *testing.T) {
+	// Slowly varying sensor values: Gorilla should beat 8 bytes/value
+	// substantially.
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 10000)
+	v := 20.0
+	for i := range vals {
+		v += rng.NormFloat64() * 0.05
+		vals[i] = math.Round(v*4) / 4 // ADC-style 0.25 quantization
+	}
+	buf := EncodeGorilla(nil, vals)
+	if len(buf) >= 8*len(vals)/2 {
+		t.Errorf("gorilla: %d bytes for %d values, want >2x compression", len(buf), len(vals))
+	}
+}
+
+func TestGorillaConstantSeriesTiny(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 42.5
+	}
+	buf := EncodeGorilla(nil, vals)
+	// 8 bytes + ~999 bits ≈ 133 bytes.
+	if len(buf) > 140 {
+		t.Errorf("constant series: %d bytes", len(buf))
+	}
+}
+
+func TestGorillaTruncated(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	buf := EncodeGorilla(nil, vals)
+	for cut := 0; cut < 8 && cut < len(buf); cut++ {
+		if _, _, err := DecodeGorilla(buf[:cut], len(vals)); err == nil {
+			t.Errorf("decode of %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestGorillaPropertyRoundTrip(t *testing.T) {
+	prop := func(raw []float64) bool {
+		buf := EncodeGorilla(nil, raw)
+		got, _, err := DecodeGorilla(buf, len(raw))
+		if err != nil {
+			return false
+		}
+		for i := range raw {
+			if math.Float64bits(got[i]) != math.Float64bits(raw[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGorillaEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	v := 100.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = v
+	}
+	b.ResetTimer()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = EncodeGorilla(buf[:0], vals)
+	}
+}
+
+func BenchmarkGorillaDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	v := 100.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = v
+	}
+	buf := EncodeGorilla(nil, vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeGorilla(buf, len(vals)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg is a tiny configuration for smoke tests.
+func quickCfg() Config {
+	return Config{Scale: 0.004, Seed: 3, Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	// Every paper table/figure with an evaluation artifact must be here.
+	want := []string{"table2", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "table3", "fig16", "fig17", "fig18", "fig19", "fig20"}
+	have := make(map[string]bool)
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	for _, id := range ids {
+		if _, ok := Describe(id); !ok {
+			t.Errorf("no description for %s", id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("no runner for %s", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are slow")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if rep.ID != id {
+				t.Errorf("report ID %q != %q", rep.ID, id)
+			}
+			if len(rep.Rows) == 0 {
+				t.Errorf("%s produced no rows", id)
+			}
+			var buf bytes.Buffer
+			rep.Render(&buf)
+			if buf.Len() == 0 {
+				t.Errorf("%s rendered nothing", id)
+			}
+			var csv bytes.Buffer
+			if err := rep.WriteCSV(&csv); err != nil {
+				t.Errorf("%s CSV: %v", id, err)
+			}
+		})
+	}
+}
+
+// cell parses a float cell.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig5ModelTracksMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep, err := Fig5(Config{Scale: 0.02, Seed: 5, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		measured := cell(t, row[1])
+		model := cell(t, row[2])
+		if measured <= 0 {
+			t.Fatalf("buffer %s: no compactions measured", row[0])
+		}
+		// Model within 40% of measurement (the paper's scatter tolerance).
+		if model < 0.6*measured || model > 1.4*measured {
+			t.Errorf("buffer %s sigma=1.5: model %v vs measured %v", row[0], model, measured)
+		}
+	}
+}
+
+func TestFig7UShapeAndModelFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep, err := Fig7(Config{Scale: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 is pi_c; the rest sweep n_seq ascending.
+	var sweep []float64
+	var models []float64
+	for _, row := range rep.Rows[1:] {
+		sweep = append(sweep, cell(t, row[1]))
+		models = append(models, cell(t, row[2]))
+	}
+	// U shape: the minimum is strictly inside the sweep.
+	minI := 0
+	for i, v := range sweep {
+		if v < sweep[minI] {
+			minI = i
+		}
+	}
+	if minI == 0 || minI == len(sweep)-1 {
+		t.Errorf("measured r_s minimum at sweep edge (index %d of %d): %v", minI, len(sweep), sweep)
+	}
+	// Model tracks measurement within 25% everywhere.
+	for i := range sweep {
+		if models[i] < 0.7*sweep[i] || models[i] > 1.3*sweep[i] {
+			t.Errorf("row %d: model %v vs measured %v", i, models[i], sweep[i])
+		}
+	}
+}
+
+func TestTable2TwelveDatasets(t *testing.T) {
+	rep, err := Table2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 12 {
+		t.Errorf("Table II rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig11SeparationWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep, err := Fig11(Config{Scale: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 = pi_c, row 1 = pi_s: both estimated and real must rank
+	// pi_s < pi_c (the paper's Fig. 11 outcome).
+	estC, realC := cell(t, rep.Rows[0][1]), cell(t, rep.Rows[0][2])
+	estS, realS := cell(t, rep.Rows[1][1]), cell(t, rep.Rows[1][2])
+	if !(estS < estC) {
+		t.Errorf("estimates: pi_s %v should beat pi_c %v", estS, estC)
+	}
+	if !(realS < realC) {
+		t.Errorf("measurements: pi_s %v should beat pi_c %v", realS, realC)
+	}
+}
+
+func TestFig16ConventionalWinsOnH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep, err := Fig16(Config{Scale: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var choice string
+	var exceed int
+	for _, row := range rep.Rows {
+		if row[0] == "Algorithm 1 chooses" {
+			choice = row[1]
+		}
+		if row[0] == "lags beyond bound (of 10)" {
+			exceed = int(cell(t, row[1]))
+		}
+	}
+	if !strings.HasPrefix(choice, "pi_c") {
+		t.Errorf("on H the analyzer must choose pi_c, got %q", choice)
+	}
+	if exceed < 5 {
+		t.Errorf("H delays should be strongly autocorrelated; only %d lags beyond bound", exceed)
+	}
+}

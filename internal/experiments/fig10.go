@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+	"repro/internal/series"
+	"repro/internal/workload"
+)
+
+// waOverTime ingests the stream into an engine (or through a controller)
+// and records cumulative (ingested, written) at every checkpoint.
+type ingester interface {
+	Put(p series.Point) error
+}
+
+type statser interface {
+	Stats() lsm.Stats
+}
+
+// traceWA runs the stream through sink, checkpointing engine stats every
+// window points, and returns the windowed WA series.
+func traceWA(sink ingester, st statser, ps []series.Point, window int) ([]float64, error) {
+	var ingested, written []int64
+	snap := func() {
+		s := st.Stats()
+		ingested = append(ingested, s.PointsIngested)
+		written = append(written, s.PointsWritten)
+	}
+	snap()
+	for i, p := range ps {
+		if err := sink.Put(p); err != nil {
+			return nil, err
+		}
+		if (i+1)%window == 0 {
+			snap()
+		}
+	}
+	snap()
+	return metrics.WindowedWA(ingested, written), nil
+}
+
+// engineSink adapts an Engine to the ingester interface.
+type engineSink struct{ e *lsm.Engine }
+
+func (s engineSink) Put(p series.Point) error { return s.e.Put(p) }
+func (s engineSink) Stats() lsm.Stats         { return s.e.Stats() }
+
+// controllerSink adapts an AdaptiveController.
+type controllerSink struct{ c *analyzer.AdaptiveController }
+
+func (s controllerSink) Put(p series.Point) error { return s.c.Put(p) }
+func (s controllerSink) Stats() lsm.Stats         { return s.c.Engine().Stats() }
+
+// Fig10 reproduces Figure 10: write amplification over time under a
+// drifting delay distribution (lognormal μ=5, σ: 2 → 1.75 → 1.5 → 1.25 →
+// 1, Δt=50), comparing π_c, π_s(½n) (the untuned IoTDB default), and
+// π_adaptive (the analyzer switching policies on drift).
+func Fig10(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	return dynamicWAExperiment(cfg, "fig10",
+		"WA over time under drifting sigma: pi_c vs pi_s(n/2) vs pi_adaptive",
+		func(total int) []series.Point {
+			return workload.DriftingSigma(total, 50, 5, []float64{2, 1.75, 1.5, 1.25, 1}, cfg.Seed)
+		},
+		"sigma drifts 2 -> 1.75 -> 1.5 -> 1.25 -> 1 every fifth of the stream (mu=5, dt=50)")
+}
+
+// dynamicWAExperiment is shared by Fig10 and Fig17.
+func dynamicWAExperiment(cfg Config, id, title string, gen func(total int) []series.Point, note string) (*Report, error) {
+	const n = 512
+	total := cfg.points(25_000_000, 250_000)
+	ps := gen(total)
+	window := len(ps) / 25
+	if window < 1 {
+		window = 1
+	}
+
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"progress", "WA pi_c", "WA pi_s(n/2)", "WA pi_adaptive", "adaptive policy"},
+	}
+	rep.AddNote(note)
+	rep.AddNote(fmt.Sprintf("%d points total, WA per window of %d points (sliding-mean smoothed)", len(ps), window))
+
+	ec, err := lsm.Open(lsm.Config{Policy: lsm.Conventional, MemBudget: n})
+	if err != nil {
+		return nil, err
+	}
+	defer ec.Close()
+	es, err := lsm.Open(lsm.Config{Policy: lsm.Separation, MemBudget: n, SeqCapacity: n / 2})
+	if err != nil {
+		return nil, err
+	}
+	defer es.Close()
+	ea, err := lsm.Open(lsm.Config{Policy: lsm.Conventional, MemBudget: n})
+	if err != nil {
+		return nil, err
+	}
+	defer ea.Close()
+	ctl, err := analyzer.NewAdaptiveController(ea, analyzer.AdaptiveConfig{
+		MemBudget:   n,
+		CheckEvery:  int64(window) / 2,
+		MinSample:   2048,
+		KSThreshold: 0.05,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	waC, err := traceWA(engineSink{ec}, engineSink{ec}, ps, window)
+	if err != nil {
+		return nil, err
+	}
+	waS, err := traceWA(engineSink{es}, engineSink{es}, ps, window)
+	if err != nil {
+		return nil, err
+	}
+	waA, err := traceWA(controllerSink{ctl}, controllerSink{ctl}, ps, window)
+	if err != nil {
+		return nil, err
+	}
+
+	waC = metrics.SlidingMean(waC, 3)
+	waS = metrics.SlidingMean(waS, 3)
+	waA = metrics.SlidingMean(waA, 3)
+
+	switches := ctl.Switches()
+	policyAt := func(points int64) string {
+		label := "pi_c (warmup)"
+		for _, sw := range switches {
+			if sw.AtPoint <= points {
+				label = sw.Decision.Policy.String()
+				if sw.Decision.Policy.String() == "pi_s" {
+					label = fmt.Sprintf("pi_s(%d)", sw.Decision.NSeq)
+				}
+			}
+		}
+		return label
+	}
+	rows := len(waC)
+	for i := 0; i < rows; i++ {
+		progress := fmt.Sprintf("%d%%", (i+1)*100/rows)
+		var a, s, c float64
+		c = waC[i]
+		if i < len(waS) {
+			s = waS[i]
+		}
+		if i < len(waA) {
+			a = waA[i]
+		}
+		rep.AddRow(progress, f(c), f(s), f(a), policyAt(int64(i+1)*int64(window)))
+	}
+	rep.AddNote(fmt.Sprintf("adaptive controller performed %d policy decisions", len(switches)))
+	rep.AddNote("expected shape: pi_adaptive tracks min(pi_c, pi_s) in each regime and switches as sigma falls")
+	return rep, nil
+}

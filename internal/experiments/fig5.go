@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/workload"
+)
+
+// Fig5 reproduces Figure 5: the average number of subsequent data points
+// per compaction, measured in the prototype versus predicted by ζ(n), for
+// two lognormal delay distributions (μ=4, σ=1.5 and σ=1.75) at Δt = 50,
+// across buffer capacities.
+func Fig5(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:    "fig5",
+		Title: "Subsequent data points: model zeta(n) vs prototype measurement",
+		Header: []string{"buffer", "measured(s=1.5)", "model(s=1.5)",
+			"measured(s=1.75)", "model(s=1.75)"},
+	}
+	rep.AddNote("delays ~ lognormal(mu=4, sigma), dt=50; scatter = mean subsequent points over all compactions")
+
+	buffers := []int{64, 128, 192, 256, 320, 384, 448, 512}
+	if cfg.Quick {
+		buffers = []int{64, 256, 512}
+	}
+	sigmas := []float64{1.5, 1.75}
+	n := cfg.points(2_000_000, 100_000)
+
+	type cell struct{ measured, model float64 }
+	results := make(map[float64]map[int]cell)
+	for si, sigma := range sigmas {
+		results[sigma] = make(map[int]cell)
+		d := dist.NewLognormal(4, sigma)
+		ps := workload.Synthetic(n, 50, d, cfg.Seed+int64(si))
+		for _, buf := range buffers {
+			e, err := lsm.Open(lsm.Config{Policy: lsm.Conventional, MemBudget: buf, SSTablePoints: buf})
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			var count int
+			e.OnCompaction = func(ci lsm.CompactionInfo) {
+				sum += float64(ci.SubsequentPoints)
+				count++
+			}
+			if err := e.PutBatch(ps); err != nil {
+				return nil, err
+			}
+			e.Close()
+			measured := 0.0
+			if count > 0 {
+				measured = sum / float64(count)
+			}
+			results[sigma][buf] = cell{measured: measured, model: core.Zeta(d, 50, buf)}
+		}
+	}
+	for _, buf := range buffers {
+		a := results[sigmas[0]][buf]
+		b := results[sigmas[1]][buf]
+		rep.AddRow(d(buf), f1(a.measured), f1(a.model), f1(b.measured), f1(b.model))
+	}
+	rep.AddNote(fmt.Sprintf("dataset size %d points per configuration", n))
+	return rep, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one report.
+type Runner func(Config) (*Report, error)
+
+// registry maps experiment IDs to runners, in presentation order.
+var registry = []struct {
+	id     string
+	paper  string
+	runner Runner
+}{
+	{"table2", "Table II: synthetic dataset parameters", Table2},
+	{"fig5", "Fig. 5: subsequent-point model vs measurement", Fig5},
+	{"fig7", "Fig. 7: WA vs n_seq, model vs measurement", Fig7},
+	{"fig8", "Fig. 8: S-9 delay profile", Fig8},
+	{"fig9", "Fig. 9: WA on M1-M12", Fig9},
+	{"fig10", "Fig. 10: WA under drifting sigma with pi_adaptive", Fig10},
+	{"fig11", "Fig. 11: WA on S-9, estimated vs real", Fig11},
+	{"fig12", "Fig. 12: read amplification, recent-data queries", Fig12},
+	{"fig13", "Fig. 13: latency, recent-data queries", Fig13},
+	{"fig14", "Fig. 14: latency, historical queries", Fig14},
+	{"fig15", "Fig. 15: SSTable spans vs queried ranges", Fig15},
+	{"table3", "Table III: write throughput", Table3},
+	{"fig16", "Fig. 16: robustness on H (autocorrelated delays)", Fig16},
+	{"fig17", "Fig. 17: dynamic determination without fixed distribution", Fig17},
+	{"fig18", "Fig. 18: S-9 without fixed generation interval", Fig18},
+	{"fig19", "Fig. 19: H delay profile", Fig19},
+	{"fig20", "Fig. 20: query latency on H", Fig20},
+	{"ablation-sstable", "Ablation: SSTable size vs WA", AblationSSTableSize},
+	{"ablation-zeta-eps", "Ablation: zeta threshold accuracy/cost", AblationZetaEps},
+	{"ablation-tune-search", "Ablation: tuning search strategies", AblationTuneSearch},
+	{"ablation-iota", "Ablation: g-model iota calibration", AblationIotaOffset},
+}
+
+// IDs returns all experiment IDs in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Describe returns the one-line description for an experiment ID.
+func Describe(id string) (string, bool) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.paper, true
+		}
+	}
+	return "", false
+}
+
+// Lookup returns the runner for an experiment ID.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.runner, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Report, error) {
+	r, ok := Lookup(id)
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+	}
+	return r(cfg)
+}

@@ -1,0 +1,139 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V and VI). Each experiment returns a Report — a
+// titled table with notes — that cmd/lsmbench renders to the terminal or
+// CSV. DESIGN.md §4 maps experiment IDs to paper figures.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale multiplies the paper's dataset sizes (the synthetic datasets
+	// have 10M points at Scale 1). Default 0.05.
+	Scale float64
+	// Seed drives every generator in the experiment.
+	Seed int64
+	// Quick trims sweeps to a handful of points for smoke tests and
+	// benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// points scales a paper-sized point count, with a floor to keep the
+// experiment meaningful.
+func (c Config) points(paperSize, minimum int) int {
+	n := int(float64(paperSize) * c.Scale)
+	if n < minimum {
+		n = minimum
+	}
+	return n
+}
+
+// Report is one experiment's output table.
+type Report struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a free-form note rendered under the title.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes an aligned text table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   %s\n", n)
+	}
+	if len(r.Header) == 0 && len(r.Rows) == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	widths := make([]int, 0)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			for len(widths) <= i {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(r.Header)
+	for _, row := range r.Rows {
+		measure(row)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	if len(r.Header) > 0 {
+		writeRow(r.Header)
+		total := len(widths) - 1
+		for _, wd := range widths {
+			total += wd + 1
+		}
+		fmt.Fprintln(w, strings.Repeat("-", total))
+	}
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes the header and rows as CSV.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(r.Header) > 0 {
+		if err := cw.Write(r.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// f formats a float for table cells.
+func f(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// d formats an integer.
+func d(v int) string { return fmt.Sprintf("%d", v) }

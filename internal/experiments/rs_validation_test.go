@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/workload"
+)
+
+// TestRsDerivationChoice compares measured WA under pi_s against both
+// candidate formulas (A: 2 + (zeta-nn-nl)/N from the paper's N_cur; B: the
+// printed Eq.5 1 + (zeta+nn+nl)/N) to document which matches reality.
+func TestRsDerivationChoice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation sweep is slow")
+	}
+	d := dist.NewLognormal(5, 2)
+	const n = 512
+	ps := workload.Synthetic(400_000, 50, d, 77)
+	fmt.Println("nseq  measured   formulaA   formulaB")
+	for _, nseq := range []int{64, 128, 256, 384, 448} {
+		e, err := lsm.Open(lsm.Config{Policy: lsm.Separation, MemBudget: n, SeqCapacity: nseq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ps {
+			e.Put(p)
+		}
+		st := e.Stats()
+		e.Close()
+		est := core.WASeparation(d, 50, n, nseq)
+		formulaB := 1 + (est.ZetaN+float64(n-nseq)+est.NSeqLast)/est.NArrive
+		fmt.Printf("%4d  %8.3f  %8.3f  %8.3f  (g=%.1f N=%.0f zeta=%.0f)\n",
+			nseq, st.WriteAmplification(), est.WA, formulaB, est.G, est.NArrive, est.ZetaN)
+	}
+	rc := core.WAConventional(d, 50, n)
+	ec, _ := lsm.Open(lsm.Config{Policy: lsm.Conventional, MemBudget: n})
+	for _, p := range ps {
+		ec.Put(p)
+	}
+	fmt.Printf("pi_c  measured %.3f  model %.3f\n", ec.Stats().WriteAmplification(), rc)
+	ec.Close()
+}

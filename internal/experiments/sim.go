@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/series"
+)
+
+// measuredWA ingests ps into a fresh engine with the given policy and
+// returns the observed write amplification (steady state: buffered points
+// that never flushed stay uncounted in the numerator, as in the paper's
+// prototype).
+func measuredWA(pol lsm.PolicyKind, memBudget, seqCap, sstPoints int, ps []series.Point) (float64, lsm.Stats, error) {
+	e, err := lsm.Open(lsm.Config{
+		Policy:        pol,
+		MemBudget:     memBudget,
+		SeqCapacity:   seqCap,
+		SSTablePoints: sstPoints,
+	})
+	if err != nil {
+		return 0, lsm.Stats{}, err
+	}
+	defer e.Close()
+	if err := e.PutBatch(ps); err != nil {
+		return 0, lsm.Stats{}, err
+	}
+	st := e.Stats()
+	return st.WriteAmplification(), st, nil
+}
+
+// fitEmpirical builds the analyzer-style empirical profile (delay
+// distribution and mean generation interval) from a point stream, exactly
+// what the deployed module would see.
+func fitEmpirical(ps []series.Point) (*dist.Empirical, float64) {
+	delays := make([]float64, len(ps))
+	var lastTG int64
+	var gapSum float64
+	var gapN int64
+	first := true
+	for i, p := range ps {
+		dly := float64(p.Delay())
+		if dly < 0 {
+			dly = 0
+		}
+		delays[i] = dly
+		if !first && p.TG > lastTG {
+			gapSum += float64(p.TG - lastTG)
+			gapN++
+		}
+		if first || p.TG > lastTG {
+			lastTG = p.TG
+		}
+		first = false
+	}
+	dt := 1.0
+	if gapN > 0 {
+		dt = gapSum / float64(gapN)
+	}
+	return dist.NewEmpirical(delays), dt
+}
+
+// sensibleNSeq returns the recommended C_seq capacity clamped away from
+// the degenerate edges: n_seq below n/16 means one-point in-order flushes
+// (thousands of tiny SSTables) and n_seq above n−n/16 means per-point
+// merges — WA-optimal in the model's eyes on nearly ordered data, but
+// operationally absurd. The deployed system would fall back to the IoTDB
+// default split.
+func sensibleNSeq(dec core.Decision, n int) int {
+	lo := n / 16
+	if lo < 1 {
+		lo = 1
+	}
+	hi := n - lo
+	if dec.NSeq < lo || dec.NSeq > hi {
+		return n / 2
+	}
+	return dec.NSeq
+}
+
+// policyLabel formats the policy column like the paper's notation.
+func policyLabel(dec core.Decision, n int) string {
+	if dec.Policy == core.PolicySeparation {
+		return fmt.Sprintf("pi_s(nseq=%d)", dec.NSeq)
+	}
+	return fmt.Sprintf("pi_c(n=%d)", n)
+}

@@ -1,0 +1,147 @@
+package lsm
+
+import (
+	"fmt"
+
+	"repro/internal/memtable"
+	"repro/internal/series"
+	"repro/internal/sstable"
+)
+
+// Async compaction mode (Section V-C of the paper): "when a MemTable is
+// full, the data will be flushed to a file on the disk on level 1. A
+// compaction thread consumed the SSTables on level 1, and organized them to
+// new SSTables on level 2 in the background. [...] So, the writing will not
+// be blocked to wait for compaction."
+//
+// Here L0 is the queue of flushed memtable images (they may overlap each
+// other and the run) and the background compactor merges them into the run
+// in FIFO order. Write amplification accounting counts both the L0 flush
+// write and the merge write, matching that two-level implementation.
+
+// maxL0Backlog bounds the L0 queue; producers wait when it is full so an
+// ingest burst cannot exhaust memory.
+const maxL0Backlog = 64
+
+// enqueueL0 flushes mt to an L0 table and hands it to the compactor.
+// Caller holds the lock.
+func (e *Engine) enqueueL0(mt *memtable.MemTable) error {
+	for len(e.l0) >= maxL0Backlog && e.bgErr == nil && !e.closed {
+		e.l0Cond.Wait()
+	}
+	if e.bgErr != nil {
+		return e.bgErr
+	}
+	if e.closed {
+		return ErrClosed
+	}
+	pts := mt.Points()
+	if len(pts) == 0 {
+		return nil
+	}
+	t, err := sstable.Build(e.nextID, pts)
+	if err != nil {
+		return fmt.Errorf("lsm: build L0 table: %w", err)
+	}
+	e.nextID++
+	e.l0 = append(e.l0, t)
+	e.stats.PointsWritten += int64(len(pts)) // the L0 flush write
+	e.stats.Flushes++
+	mt.Reset()
+	if err := e.rewriteWAL(); err != nil {
+		return err
+	}
+	e.l0Cond.Broadcast()
+	return nil
+}
+
+// startCompactor launches the background merge goroutine.
+func (e *Engine) startCompactor() {
+	e.bgDone = make(chan struct{})
+	e.started = true
+	go e.compactorLoop()
+}
+
+// compactorLoop consumes L0 tables in FIFO order, merging each into the
+// run as the synchronous path would — but the expensive merge runs outside
+// the engine lock so ingestion is never blocked behind a compaction. The
+// compactor is the only run mutator in async mode, so the overlap snapshot
+// taken under the lock stays valid while merging.
+func (e *Engine) compactorLoop() {
+	defer close(e.bgDone)
+	for {
+		e.mu.Lock()
+		for len(e.l0) == 0 && !e.closed {
+			e.l0Cond.Wait()
+		}
+		if len(e.l0) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		// Keep the table at the queue head until installed so Scan/Get
+		// continue to see its points.
+		t := e.l0[0]
+		pts := t.Points()
+		lo, hi := pts[0].TG, pts[len(pts)-1].TG
+		i, j := e.run.overlapRange(lo, hi)
+		old := e.run.collectPoints(i, j)
+		var subsequent int
+		if e.OnCompaction != nil {
+			subsequent = e.run.pointsGreaterThan(lo)
+		}
+		e.mu.Unlock()
+
+		merged := pts
+		if len(old) > 0 {
+			merged = series.MergeByTG(old, pts)
+		}
+
+		e.mu.Lock()
+		newTables, err := e.buildTables(merged, e.cfg.SSTablePoints)
+		if err == nil {
+			overlapping := make([]*sstable.Table, j-i)
+			copy(overlapping, e.run.tables[i:j])
+			e.run.replace(i, j, newTables)
+			err = e.persistReplace(overlapping, newTables)
+			e.stats.PointsWritten += int64(len(merged))
+			if len(old) == 0 {
+				e.stats.Flushes++
+			} else {
+				e.stats.Compactions++
+				e.stats.PointsRewritten += int64(len(old))
+				e.stats.TablesRewritten += int64(len(overlapping))
+				if e.OnCompaction != nil {
+					e.OnCompaction(CompactionInfo{
+						MemPoints:        len(pts),
+						SubsequentPoints: subsequent,
+						RewrittenPoints:  len(old),
+						OutputPoints:     len(merged),
+						TablesIn:         len(overlapping),
+						TablesOut:        len(newTables),
+					})
+				}
+			}
+		}
+		if err != nil && e.bgErr == nil {
+			e.bgErr = fmt.Errorf("lsm: background compaction: %w", err)
+		}
+		e.l0 = e.l0[1:]
+		e.l0Cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// drainLocked waits until the L0 queue is empty. Caller holds the lock.
+func (e *Engine) drainLocked() {
+	for len(e.l0) > 0 && e.bgErr == nil {
+		e.l0Cond.Broadcast()
+		e.l0Cond.Wait()
+	}
+}
+
+// L0Backlog returns the current number of pending L0 tables.
+func (e *Engine) L0Backlog() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.l0)
+}

@@ -1,0 +1,161 @@
+package lsm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/series"
+)
+
+func TestAsyncPreservesAllPoints(t *testing.T) {
+	ps := genWorkload(5000, 50, dist.NewLognormal(4, 1.75), 30)
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 64, AsyncCompaction: true})
+	ingest(t, e, ps)
+	if err := e.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	got := scanAll(e)
+	if len(got) != len(ps) {
+		t.Fatalf("async engine holds %d points, want %d", len(got), len(ps))
+	}
+	if !series.IsSortedByTG(got) {
+		t.Fatal("async scan not sorted")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestAsyncSeparationPreservesAllPoints(t *testing.T) {
+	ps := genWorkload(5000, 10, dist.NewLognormal(5, 2), 31)
+	e := mustOpen(t, Config{Policy: Separation, MemBudget: 64, SeqCapacity: 32, AsyncCompaction: true})
+	ingest(t, e, ps)
+	if err := e.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	got := scanAll(e)
+	if len(got) != len(ps) {
+		t.Fatalf("async pi_s holds %d points, want %d", len(got), len(ps))
+	}
+	e.Close()
+}
+
+func TestAsyncMatchesSyncContent(t *testing.T) {
+	ps := genWorkload(3000, 50, dist.NewLognormal(5, 1.5), 32)
+	sync1 := mustOpen(t, Config{Policy: Conventional, MemBudget: 32})
+	async1 := mustOpen(t, Config{Policy: Conventional, MemBudget: 32, AsyncCompaction: true})
+	ingest(t, sync1, ps)
+	ingest(t, async1, ps)
+	sync1.FlushAll()
+	async1.FlushAll()
+	a, b := scanAll(sync1), scanAll(async1)
+	if len(a) != len(b) {
+		t.Fatalf("sync %d vs async %d points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d: sync %v vs async %v", i, a[i], b[i])
+		}
+	}
+	sync1.Close()
+	async1.Close()
+}
+
+func TestAsyncWAIncludesL0Writes(t *testing.T) {
+	// In async (two-level) mode every point is written at least twice:
+	// once to L0 and once when merged into the run, as in the paper's
+	// Section V-C implementation. So WA >= ~2 after a drain.
+	ps := genWorkload(2000, 50, dist.NewLognormal(4, 1.5), 33)
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 64, AsyncCompaction: true})
+	ingest(t, e, ps)
+	e.FlushAll()
+	st := e.Stats()
+	if wa := st.WriteAmplification(); wa < 1.9 {
+		t.Errorf("async WA = %v, want >= ~2 (L0 + L1 writes)", wa)
+	}
+	e.Close()
+}
+
+func TestAsyncScanSeesPendingL0(t *testing.T) {
+	// Without draining, points sitting in the L0 queue must be visible.
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 10, AsyncCompaction: true})
+	defer e.Close()
+	for i := int64(0); i < 95; i++ {
+		e.Put(series.Point{TG: i, TA: i, V: float64(i)})
+	}
+	got, _ := e.Scan(0, 100)
+	if len(got) != 95 {
+		t.Fatalf("scan during async ingest: %d points, want 95", len(got))
+	}
+	for i, p := range got {
+		if p.TG != int64(i) {
+			t.Fatalf("point %d = %v", i, p)
+		}
+	}
+}
+
+func TestAsyncGetDuringIngest(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Separation, MemBudget: 16, SeqCapacity: 8, AsyncCompaction: true})
+	defer e.Close()
+	ps := genWorkload(1000, 50, dist.NewLognormal(4, 1.5), 34)
+	for _, p := range ps {
+		if err := e.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range ps[:100] {
+		if got, ok := e.Get(p.TG); !ok || got.V != p.V {
+			t.Fatalf("Get(%d) during async = %v, %v", p.TG, got, ok)
+		}
+	}
+}
+
+func TestAsyncConcurrentReaders(t *testing.T) {
+	// Writers and readers race; the engine must stay consistent (run under
+	// -race in CI).
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 32, AsyncCompaction: true})
+	ps := genWorkload(3000, 10, dist.NewLognormal(4, 1.75), 35)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, p := range ps {
+			e.Put(p)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pts, _ := e.Scan(0, 1<<40)
+				if !series.IsSortedByTG(pts) {
+					t.Error("unsorted scan under concurrency")
+					return
+				}
+				e.MaxTG()
+				e.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	e.FlushAll()
+	if got := scanAll(e); len(got) != len(ps) {
+		t.Fatalf("after concurrent ingest: %d points, want %d", len(got), len(ps))
+	}
+	e.Close()
+}
+
+func TestAsyncCloseDrains(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 8, AsyncCompaction: true})
+	for i := int64(0); i < 100; i++ {
+		e.Put(series.Point{TG: i, TA: i})
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if e.L0Backlog() != 0 {
+		t.Errorf("L0 backlog %d after Close", e.L0Backlog())
+	}
+}

@@ -1,0 +1,476 @@
+// Package lsm implements the leveled LSM-Tree engine the paper builds on:
+// in-memory MemTables that flush into a single sorted run of SSTables, with
+// two interchangeable write policies.
+//
+// Conventional policy π_c: one MemTable C0 buffers all points; when full it
+// merges with every SSTable whose generation-time range overlaps it.
+//
+// Separation policy π_s: Cseq buffers in-order points and flushes without
+// merging (its range always lies beyond the run); Cnonseq buffers
+// out-of-order points and merges with overlapping SSTables when full
+// (Definition 3 classifies a point against LAST(R).t_g, the latest
+// generation time on disk).
+//
+// Every point written to an SSTable — first write or rewrite — is counted,
+// so Stats.WriteAmplification reports exactly the paper's WA metric.
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/memtable"
+	"repro/internal/series"
+	"repro/internal/sstable"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// PolicyKind selects the write policy.
+type PolicyKind int
+
+const (
+	// Conventional is π_c: a single MemTable.
+	Conventional PolicyKind = iota
+	// Separation is π_s: in-order and out-of-order MemTables.
+	Separation
+)
+
+// String returns the paper's notation for the policy.
+func (p PolicyKind) String() string {
+	switch p {
+	case Conventional:
+		return "pi_c"
+	case Separation:
+		return "pi_s"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// DefaultSSTablePoints is the compaction output SSTable size used by the
+// paper's experiments ("the size of SSTables is 512 points").
+const DefaultSSTablePoints = 512
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Policy selects π_c or π_s.
+	Policy PolicyKind
+	// MemBudget is n, the total number of points that may be buffered in
+	// memory. Must be >= 2 for the separation policy, >= 1 otherwise.
+	MemBudget int
+	// SeqCapacity is n_seq, the capacity of Cseq under π_s. Zero selects
+	// the IoTDB default n/2. Ignored under π_c.
+	SeqCapacity int
+	// SSTablePoints is the output SSTable size for compactions. Zero
+	// selects DefaultSSTablePoints.
+	SSTablePoints int
+	// Backend, when non-nil, persists SSTables and the manifest.
+	Backend storage.Backend
+	// WAL enables write-ahead logging of buffered points (requires
+	// Backend).
+	WAL bool
+	// Seed makes memtable skiplist shapes deterministic.
+	Seed int64
+	// AsyncCompaction moves merging into a background goroutine: Put
+	// enqueues full memtables as L0 tables and returns. Used by the
+	// throughput experiments (Table III); write amplification accounting
+	// then includes the extra L0 write, as in the paper's Section V-C
+	// implementation note.
+	AsyncCompaction bool
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("lsm: engine is closed")
+
+// Engine is a single-series leveled LSM-Tree store.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+
+	c0      *memtable.MemTable // π_c
+	cseq    *memtable.MemTable // π_s in-order
+	cnonseq *memtable.MemTable // π_s out-of-order
+
+	run    run
+	nextID uint64
+
+	stats Stats
+	log   *wal.Log
+
+	closed bool
+
+	// OnCompaction, when set before ingestion starts, is invoked (with the
+	// engine lock held) for every compaction. Used by model-validation
+	// experiments.
+	OnCompaction func(CompactionInfo)
+
+	// async state; see async.go.
+	l0      []*sstable.Table
+	l0Cond  *sync.Cond
+	bgErr   error
+	bgDone  chan struct{}
+	started bool
+}
+
+// Open creates an engine. When cfg.Backend holds a previous instance's
+// state (manifest, SSTables, WAL), it is recovered.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.MemBudget < 1 {
+		return nil, errors.New("lsm: MemBudget must be >= 1")
+	}
+	if cfg.SSTablePoints == 0 {
+		cfg.SSTablePoints = DefaultSSTablePoints
+	}
+	if cfg.SSTablePoints < 1 {
+		return nil, errors.New("lsm: SSTablePoints must be >= 1")
+	}
+	if cfg.Policy == Separation {
+		if cfg.MemBudget < 2 {
+			return nil, errors.New("lsm: separation policy requires MemBudget >= 2")
+		}
+		if cfg.SeqCapacity == 0 {
+			cfg.SeqCapacity = cfg.MemBudget / 2
+		}
+		if cfg.SeqCapacity < 1 || cfg.SeqCapacity >= cfg.MemBudget {
+			return nil, fmt.Errorf("lsm: SeqCapacity must be in [1, MemBudget-1], got %d", cfg.SeqCapacity)
+		}
+	}
+	if cfg.WAL && cfg.Backend == nil {
+		return nil, errors.New("lsm: WAL requires a Backend")
+	}
+	e := &Engine{
+		cfg:     cfg,
+		c0:      memtable.New(cfg.Seed),
+		cseq:    memtable.New(cfg.Seed + 1),
+		cnonseq: memtable.New(cfg.Seed + 2),
+	}
+	e.l0Cond = sync.NewCond(&e.mu)
+	if cfg.Backend != nil {
+		if err := e.recover(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.AsyncCompaction {
+		e.startCompactor()
+	}
+	return e, nil
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// nonseqCapacity returns n_nonseq = n − n_seq.
+func (e *Engine) nonseqCapacity() int { return e.cfg.MemBudget - e.cfg.SeqCapacity }
+
+// LastTG returns LAST(R).t_g and whether the run is non-empty.
+func (e *Engine) LastTG() (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.run.lastTG()
+}
+
+// RunTables returns the number of SSTables in the run and their total
+// point count.
+func (e *Engine) RunTables() (tables, points int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.run.lenTables(), e.run.totalPoints()
+}
+
+// TableSpans returns the (MinTG, MaxTG, Len) of every SSTable currently in
+// the run (including L0 tables in async mode), for analyses like the
+// paper's Fig. 15.
+func (e *Engine) TableSpans() []TableSpan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	spans := make([]TableSpan, 0, len(e.run.tables)+len(e.l0))
+	for _, t := range e.run.tables {
+		spans = append(spans, TableSpan{MinTG: t.MinTG(), MaxTG: t.MaxTG(), Points: t.Len()})
+	}
+	for _, t := range e.l0 {
+		spans = append(spans, TableSpan{MinTG: t.MinTG(), MaxTG: t.MaxTG(), Points: t.Len()})
+	}
+	return spans
+}
+
+// TableSpan describes one SSTable's generation-time coverage.
+type TableSpan struct {
+	MinTG, MaxTG int64
+	Points       int
+}
+
+// Put ingests one point. Points are classified in-order/out-of-order
+// against LAST(R) per Definition 3; full memtables flush or compact
+// synchronously (or enqueue for the background compactor when
+// AsyncCompaction is enabled).
+func (e *Engine) Put(p series.Point) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.putLocked(p, true)
+}
+
+// PutBatch ingests points in order, holding the lock once.
+func (e *Engine) PutBatch(ps []series.Point) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range ps {
+		if err := e.putLocked(p, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) putLocked(p series.Point, logIt bool) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.bgErr != nil {
+		return e.bgErr
+	}
+	if logIt && e.log != nil {
+		if err := e.log.Append(p); err != nil {
+			return fmt.Errorf("lsm: wal append: %w", err)
+		}
+		e.stats.WALRecords++
+	}
+	e.stats.PointsIngested++
+
+	last, hasDisk := e.diskLastTG()
+	inOrder := !hasDisk || p.TG > last
+	if inOrder {
+		e.stats.InOrderPoints++
+	} else {
+		e.stats.OutOfOrderPoints++
+	}
+
+	switch e.cfg.Policy {
+	case Conventional:
+		e.c0.Put(p)
+		if e.c0.Len() >= e.cfg.MemBudget {
+			return e.handleFullMemtable(e.c0)
+		}
+	case Separation:
+		if inOrder {
+			e.cseq.Put(p)
+			if e.cseq.Len() >= e.cfg.SeqCapacity {
+				return e.handleFullMemtable(e.cseq)
+			}
+		} else {
+			e.cnonseq.Put(p)
+			if e.cnonseq.Len() >= e.nonseqCapacity() {
+				return e.handleFullMemtable(e.cnonseq)
+			}
+		}
+	default:
+		return fmt.Errorf("lsm: unknown policy %v", e.cfg.Policy)
+	}
+	return nil
+}
+
+// diskLastTG returns the latest generation time durable on disk: the run
+// plus, in async mode, any pending L0 tables (they are already flushed).
+func (e *Engine) diskLastTG() (int64, bool) {
+	last, ok := e.run.lastTG()
+	for _, t := range e.l0 {
+		if !ok || t.MaxTG() > last {
+			last = t.MaxTG()
+			ok = true
+		}
+	}
+	return last, ok
+}
+
+// handleFullMemtable routes a full memtable to the synchronous merge path
+// or the async L0 queue.
+func (e *Engine) handleFullMemtable(mt *memtable.MemTable) error {
+	if e.cfg.AsyncCompaction {
+		return e.enqueueL0(mt)
+	}
+	return e.mergeMemtable(mt)
+}
+
+// mergeMemtable writes the memtable's points into the run, merging with
+// overlapping SSTables, then clears the memtable. Caller holds the lock.
+func (e *Engine) mergeMemtable(mt *memtable.MemTable) error {
+	if mt.Empty() {
+		return nil
+	}
+	pts := mt.Points()
+	if err := e.mergePoints(pts); err != nil {
+		return err
+	}
+	mt.Reset()
+	return e.rewriteWAL()
+}
+
+// mergePoints merges sorted unique points into the run.
+func (e *Engine) mergePoints(pts []series.Point) error {
+	lo, hi := pts[0].TG, pts[len(pts)-1].TG
+	i, j := e.run.overlapRange(lo, hi)
+	overlapping := e.run.tables[i:j]
+
+	var subsequent int
+	if e.OnCompaction != nil {
+		subsequent = e.run.pointsGreaterThan(lo)
+	}
+
+	var merged []series.Point
+	var rewritten int
+	if len(overlapping) == 0 {
+		merged = pts
+	} else {
+		old := e.run.collectPoints(i, j)
+		rewritten = len(old)
+		merged = series.MergeByTG(old, pts)
+	}
+
+	newTables, err := e.buildTables(merged, e.cfg.SSTablePoints)
+	if err != nil {
+		return err
+	}
+	// Snapshot the tables being retired before mutating the run; persist
+	// afterward so the manifest records the post-replace state.
+	retired := make([]*sstable.Table, len(overlapping))
+	copy(retired, overlapping)
+	e.run.replace(i, j, newTables)
+	if err := e.persistReplace(retired, newTables); err != nil {
+		return err
+	}
+	overlapping = retired
+
+	e.stats.PointsWritten += int64(len(merged))
+	if len(overlapping) == 0 {
+		e.stats.Flushes++
+	} else {
+		e.stats.Compactions++
+		e.stats.PointsRewritten += int64(rewritten)
+		e.stats.TablesRewritten += int64(len(overlapping))
+		if e.OnCompaction != nil {
+			e.OnCompaction(CompactionInfo{
+				MemPoints:        len(pts),
+				SubsequentPoints: subsequent,
+				RewrittenPoints:  rewritten,
+				OutputPoints:     len(merged),
+				TablesIn:         len(overlapping),
+				TablesOut:        len(newTables),
+			})
+		}
+	}
+	return nil
+}
+
+// buildTables cuts sorted points into SSTables of at most chunk points.
+func (e *Engine) buildTables(pts []series.Point, chunk int) ([]*sstable.Table, error) {
+	var out []*sstable.Table
+	for len(pts) > 0 {
+		n := chunk
+		if n > len(pts) {
+			n = len(pts)
+		}
+		t, err := sstable.Build(e.nextID, pts[:n:n])
+		if err != nil {
+			return nil, fmt.Errorf("lsm: build sstable: %w", err)
+		}
+		e.nextID++
+		out = append(out, t)
+		pts = pts[n:]
+	}
+	return out, nil
+}
+
+// FlushAll forces every buffered point to disk. In async mode it also
+// drains the background compactor.
+func (e *Engine) FlushAll() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	for _, mt := range []*memtable.MemTable{e.c0, e.cseq, e.cnonseq} {
+		if mt.Empty() {
+			continue
+		}
+		if e.cfg.AsyncCompaction {
+			if err := e.enqueueL0(mt); err != nil {
+				return err
+			}
+		} else if err := e.mergeMemtable(mt); err != nil {
+			return err
+		}
+	}
+	if e.cfg.AsyncCompaction {
+		e.drainLocked()
+	}
+	return e.bgErr
+}
+
+// SetPolicy switches the live engine to a new policy and capacity split,
+// flushing buffered data first so classification state stays consistent.
+// The adaptive controller (π_adaptive) calls this when the delay
+// distribution drifts. seqCapacity is interpreted as for Config.
+func (e *Engine) SetPolicy(kind PolicyKind, seqCapacity int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	for _, mt := range []*memtable.MemTable{e.c0, e.cseq, e.cnonseq} {
+		if !mt.Empty() {
+			if err := e.mergeMemtable(mt); err != nil {
+				return err
+			}
+		}
+	}
+	if e.cfg.AsyncCompaction {
+		e.drainLocked()
+	}
+	if kind == Separation {
+		if seqCapacity == 0 {
+			seqCapacity = e.cfg.MemBudget / 2
+		}
+		if seqCapacity < 1 || seqCapacity >= e.cfg.MemBudget {
+			return fmt.Errorf("lsm: SeqCapacity must be in [1, MemBudget-1], got %d", seqCapacity)
+		}
+		e.cfg.SeqCapacity = seqCapacity
+	}
+	e.cfg.Policy = kind
+	return nil
+}
+
+// Close flushes buffered data and shuts the engine down.
+func (e *Engine) Close() error {
+	if err := e.FlushAll(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	if e.log != nil {
+		e.log.Close()
+	}
+	stop := e.started
+	e.l0Cond.Broadcast()
+	done := e.bgDone
+	e.mu.Unlock()
+	if stop && done != nil {
+		<-done
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+package lsm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/series"
+)
+
+// genWorkload builds a partially out-of-order stream: generation times at
+// interval dt with delays from d, sorted by arrival.
+func genWorkload(n int, dt int64, d dist.Distribution, seed int64) []series.Point {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]series.Point, n)
+	for i := range ps {
+		tg := int64(i+1) * dt
+		delay := int64(d.Sample(rng))
+		if delay < 0 {
+			delay = 0
+		}
+		ps[i] = series.Point{TG: tg, TA: tg + delay, V: float64(i)}
+	}
+	series.SortByTA(ps)
+	return ps
+}
+
+func mustOpen(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return e
+}
+
+func ingest(t *testing.T, e *Engine, ps []series.Point) {
+	t.Helper()
+	for _, p := range ps {
+		if err := e.Put(p); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	cases := []Config{
+		{Policy: Conventional, MemBudget: 0},
+		{Policy: Separation, MemBudget: 1},
+		{Policy: Separation, MemBudget: 10, SeqCapacity: 10},
+		{Policy: Separation, MemBudget: 10, SeqCapacity: -1},
+		{Policy: Conventional, MemBudget: 4, SSTablePoints: -1},
+		{Policy: Conventional, MemBudget: 4, WAL: true}, // WAL without backend
+	}
+	for i, cfg := range cases {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("case %d: Open(%+v) should fail", i, cfg)
+		}
+	}
+}
+
+func TestSeqCapacityDefaultsToHalf(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Separation, MemBudget: 100})
+	defer e.Close()
+	if got := e.Config().SeqCapacity; got != 50 {
+		t.Errorf("default SeqCapacity = %d, want 50", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Conventional.String() != "pi_c" || Separation.String() != "pi_s" {
+		t.Error("policy names wrong")
+	}
+	if PolicyKind(9).String() == "" {
+		t.Error("unknown policy should still stringify")
+	}
+}
+
+// scanAll is a helper returning every point in the engine.
+func scanAll(e *Engine) []series.Point {
+	pts, _ := e.Scan(math.MinInt64+1, math.MaxInt64)
+	return pts
+}
+
+func TestConventionalPreservesAllPoints(t *testing.T) {
+	ps := genWorkload(5000, 50, dist.NewLognormal(4, 1.5), 1)
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 64, SSTablePoints: 64})
+	defer e.Close()
+	ingest(t, e, ps)
+	got := scanAll(e)
+	if len(got) != len(ps) {
+		t.Fatalf("scan returned %d points, want %d", len(got), len(ps))
+	}
+	if !series.IsSortedByTG(got) {
+		t.Fatal("scan result not sorted")
+	}
+	// Every ingested point must be present with its value.
+	want := make(map[int64]float64, len(ps))
+	for _, p := range ps {
+		want[p.TG] = p.V
+	}
+	for _, p := range got {
+		if v, ok := want[p.TG]; !ok || v != p.V {
+			t.Fatalf("point %v missing or wrong", p)
+		}
+	}
+}
+
+func TestSeparationPreservesAllPoints(t *testing.T) {
+	ps := genWorkload(5000, 50, dist.NewLognormal(5, 2), 2)
+	e := mustOpen(t, Config{Policy: Separation, MemBudget: 64, SeqCapacity: 40, SSTablePoints: 64})
+	defer e.Close()
+	ingest(t, e, ps)
+	got := scanAll(e)
+	if len(got) != len(ps) {
+		t.Fatalf("scan returned %d points, want %d", len(got), len(ps))
+	}
+	if !series.IsSortedByTG(got) {
+		t.Fatal("scan result not sorted")
+	}
+}
+
+func TestPoliciesAgreeOnContent(t *testing.T) {
+	// Both policies must store exactly the same logical data.
+	ps := genWorkload(3000, 10, dist.NewLognormal(4, 1.75), 3)
+	ec := mustOpen(t, Config{Policy: Conventional, MemBudget: 32, SSTablePoints: 32})
+	es := mustOpen(t, Config{Policy: Separation, MemBudget: 32, SeqCapacity: 16, SSTablePoints: 32})
+	defer ec.Close()
+	defer es.Close()
+	ingest(t, ec, ps)
+	ingest(t, es, ps)
+	a, b := scanAll(ec), scanAll(es)
+	if len(a) != len(b) {
+		t.Fatalf("content mismatch: %d vs %d points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunInvariantMaintained(t *testing.T) {
+	for _, pol := range []PolicyKind{Conventional, Separation} {
+		ps := genWorkload(4000, 50, dist.NewLognormal(5, 2), 4)
+		e := mustOpen(t, Config{Policy: pol, MemBudget: 32, SSTablePoints: 48})
+		ingest(t, e, ps)
+		e.mu.Lock()
+		ok := e.run.checkInvariant()
+		e.mu.Unlock()
+		if !ok {
+			t.Errorf("%v: run overlap invariant violated", pol)
+		}
+		e.Close()
+	}
+}
+
+func TestWAAtLeastOneAfterFlush(t *testing.T) {
+	for _, pol := range []PolicyKind{Conventional, Separation} {
+		ps := genWorkload(2000, 50, dist.NewExponential(0.01), 5)
+		e := mustOpen(t, Config{Policy: pol, MemBudget: 64})
+		ingest(t, e, ps)
+		e.FlushAll()
+		st := e.Stats()
+		if wa := st.WriteAmplification(); wa < 1 {
+			t.Errorf("%v: WA = %v < 1 after flush-all", pol, wa)
+		}
+		if st.PointsIngested != 2000 {
+			t.Errorf("%v: ingested = %d", pol, st.PointsIngested)
+		}
+		e.Close()
+	}
+}
+
+func TestInOrderStreamHasWAOne(t *testing.T) {
+	// A perfectly ordered stream never triggers a merge: WA == 1 exactly
+	// (after final flush) under both policies.
+	ps := make([]series.Point, 1024)
+	for i := range ps {
+		ps[i] = series.Point{TG: int64(i), TA: int64(i)}
+	}
+	for _, pol := range []PolicyKind{Conventional, Separation} {
+		e := mustOpen(t, Config{Policy: pol, MemBudget: 64})
+		ingest(t, e, ps)
+		e.FlushAll()
+		st := e.Stats()
+		if st.Compactions != 0 {
+			t.Errorf("%v: %d compactions on ordered stream", pol, st.Compactions)
+		}
+		if wa := st.WriteAmplification(); wa != 1 {
+			t.Errorf("%v: WA = %v, want exactly 1", pol, wa)
+		}
+		if st.OutOfOrderPoints != 0 {
+			t.Errorf("%v: %d out-of-order points in ordered stream", pol, st.OutOfOrderPoints)
+		}
+		e.Close()
+	}
+}
+
+func TestDisorderedStreamTriggersCompaction(t *testing.T) {
+	ps := genWorkload(5000, 10, dist.NewLognormal(5, 2), 6)
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 64})
+	defer e.Close()
+	ingest(t, e, ps)
+	st := e.Stats()
+	if st.Compactions == 0 {
+		t.Error("heavy disorder produced no compactions")
+	}
+	if st.OutOfOrderPoints == 0 {
+		t.Error("no points classified out-of-order")
+	}
+	if st.WriteAmplification() <= 1 {
+		t.Errorf("WA = %v, want > 1 under disorder", st.WriteAmplification())
+	}
+}
+
+func TestSeparationFlushesSeqWithoutMerge(t *testing.T) {
+	// In-order points under π_s must always flush, never compact.
+	ps := make([]series.Point, 300)
+	for i := range ps {
+		ps[i] = series.Point{TG: int64(i), TA: int64(i)}
+	}
+	e := mustOpen(t, Config{Policy: Separation, MemBudget: 20, SeqCapacity: 10})
+	defer e.Close()
+	ingest(t, e, ps)
+	st := e.Stats()
+	if st.Compactions != 0 {
+		t.Errorf("in-order stream caused %d compactions under pi_s", st.Compactions)
+	}
+	if st.Flushes != 30 {
+		t.Errorf("Flushes = %d, want 30 (300 points / 10 cap)", st.Flushes)
+	}
+}
+
+func TestDefinition3Classification(t *testing.T) {
+	// Build a run with max TG = 99, then check classification.
+	e := mustOpen(t, Config{Policy: Separation, MemBudget: 10, SeqCapacity: 5})
+	defer e.Close()
+	for i := int64(95); i < 100; i++ {
+		e.Put(series.Point{TG: i, TA: i}) // fills Cseq (cap 5) -> flush
+	}
+	if last, ok := e.LastTG(); !ok || last != 99 {
+		t.Fatalf("LastTG = %v, %v", last, ok)
+	}
+	st0 := e.Stats()
+	e.Put(series.Point{TG: 99, TA: 200})  // == LAST(R): not strictly greater -> out-of-order
+	e.Put(series.Point{TG: 50, TA: 201})  // out-of-order
+	e.Put(series.Point{TG: 100, TA: 202}) // in-order
+	d := e.Stats().Sub(st0)
+	if d.OutOfOrderPoints != 2 || d.InOrderPoints != 1 {
+		t.Errorf("classification: in=%d ooo=%d, want 1/2", d.InOrderPoints, d.OutOfOrderPoints)
+	}
+}
+
+func TestGet(t *testing.T) {
+	ps := genWorkload(2000, 50, dist.NewLognormal(4, 1.5), 7)
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 64})
+	defer e.Close()
+	ingest(t, e, ps)
+	for _, p := range ps[:200] {
+		got, ok := e.Get(p.TG)
+		if !ok || got.V != p.V {
+			t.Fatalf("Get(%d) = %v, %v", p.TG, got, ok)
+		}
+	}
+	if _, ok := e.Get(-12345); ok {
+		t.Error("Get of absent key returned a point")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	ps := genWorkload(3000, 50, dist.NewLognormal(4, 1.5), 8)
+	e := mustOpen(t, Config{Policy: Separation, MemBudget: 64, SeqCapacity: 32})
+	defer e.Close()
+	ingest(t, e, ps)
+	lo, hi := int64(500*50), int64(1500*50)
+	got, st := e.Scan(lo, hi)
+	var want int
+	for _, p := range ps {
+		if p.TG >= lo && p.TG <= hi {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Scan[%d,%d] = %d points, want %d", lo, hi, len(got), want)
+	}
+	if st.ResultPoints != want {
+		t.Errorf("ScanStats.ResultPoints = %d", st.ResultPoints)
+	}
+	if st.TablesTouched == 0 {
+		t.Error("no tables touched for a mid-range scan")
+	}
+	if st.ReadAmplification() < 1 {
+		t.Errorf("read amplification %v < 1", st.ReadAmplification())
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 8})
+	defer e.Close()
+	got, st := e.Scan(0, 100)
+	if len(got) != 0 || st.ResultPoints != 0 {
+		t.Errorf("scan of empty engine: %v, %+v", got, st)
+	}
+	if st.ReadAmplification() != 0 {
+		t.Errorf("RA of empty result should be 0")
+	}
+}
+
+func TestMaxTG(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Separation, MemBudget: 100, SeqCapacity: 50})
+	defer e.Close()
+	if _, ok := e.MaxTG(); ok {
+		t.Error("empty engine has MaxTG")
+	}
+	e.Put(series.Point{TG: 42, TA: 42})
+	if got, ok := e.MaxTG(); !ok || got != 42 {
+		t.Errorf("MaxTG = %v, %v (memtable only)", got, ok)
+	}
+	for i := int64(43); i < 200; i++ {
+		e.Put(series.Point{TG: i, TA: i})
+	}
+	if got, ok := e.MaxTG(); !ok || got != 199 {
+		t.Errorf("MaxTG = %v, %v", got, ok)
+	}
+}
+
+func TestCompactionHookReportsSubsequentPoints(t *testing.T) {
+	ps := genWorkload(4000, 10, dist.NewLognormal(5, 2), 9)
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 64})
+	defer e.Close()
+	var infos []CompactionInfo
+	e.OnCompaction = func(ci CompactionInfo) { infos = append(infos, ci) }
+	ingest(t, e, ps)
+	if len(infos) == 0 {
+		t.Fatal("no compaction events")
+	}
+	for _, ci := range infos {
+		if ci.OutputPoints != ci.MemPoints+ci.RewrittenPoints {
+			t.Errorf("output %d != mem %d + rewritten %d", ci.OutputPoints, ci.MemPoints, ci.RewrittenPoints)
+		}
+		if ci.SubsequentPoints < ci.RewrittenPoints-ci.MemPoints-e.Config().SSTablePoints {
+			t.Errorf("subsequent %d implausibly below rewritten %d", ci.SubsequentPoints, ci.RewrittenPoints)
+		}
+		if ci.TablesIn == 0 {
+			t.Error("compaction with zero input tables")
+		}
+	}
+}
+
+func TestSetPolicySwitchesLive(t *testing.T) {
+	ps := genWorkload(2000, 50, dist.NewLognormal(4, 1.75), 10)
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 64})
+	defer e.Close()
+	ingest(t, e, ps[:1000])
+	if err := e.SetPolicy(Separation, 40); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	ingest(t, e, ps[1000:])
+	if got := scanAll(e); len(got) != 2000 {
+		t.Fatalf("after policy switch: %d points", len(got))
+	}
+	if err := e.SetPolicy(Conventional, 0); err != nil {
+		t.Fatalf("switch back: %v", err)
+	}
+	if err := e.SetPolicy(Separation, 9999); err == nil {
+		t.Error("invalid seq capacity accepted")
+	}
+}
+
+func TestCloseIdempotentAndRejectsPut(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 8})
+	e.Put(series.Point{TG: 1, TA: 1})
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := e.Put(series.Point{TG: 2, TA: 2}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close: %v", err)
+	}
+	if err := e.FlushAll(); !errors.Is(err, ErrClosed) {
+		t.Errorf("FlushAll after close: %v", err)
+	}
+}
+
+func TestTableSpans(t *testing.T) {
+	ps := genWorkload(1000, 50, dist.NewLognormal(4, 1.5), 11)
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 64})
+	defer e.Close()
+	ingest(t, e, ps)
+	spans := e.TableSpans()
+	if len(spans) == 0 {
+		t.Fatal("no table spans")
+	}
+	var total int
+	for _, s := range spans {
+		if s.MinTG > s.MaxTG || s.Points <= 0 {
+			t.Errorf("bad span %+v", s)
+		}
+		total += s.Points
+	}
+	nt, np := e.RunTables()
+	if nt != len(spans) || np != total {
+		t.Errorf("RunTables (%d,%d) disagrees with spans (%d,%d)", nt, np, len(spans), total)
+	}
+}

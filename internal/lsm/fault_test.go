@@ -1,0 +1,154 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// faultBackend wraps a backend and starts failing all writes after a
+// budget of successful operations, simulating a full or dying disk.
+type faultBackend struct {
+	inner storage.Backend
+	mu    sync.Mutex
+	left  int
+}
+
+var errInjected = errors.New("injected storage fault")
+
+func (f *faultBackend) take() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.left <= 0 {
+		return errInjected
+	}
+	f.left--
+	return nil
+}
+
+func (f *faultBackend) Write(name string, data []byte) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.inner.Write(name, data)
+}
+
+func (f *faultBackend) Append(name string, data []byte) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.inner.Append(name, data)
+}
+
+func (f *faultBackend) Read(name string) ([]byte, error) { return f.inner.Read(name) }
+func (f *faultBackend) Remove(name string) error         { return f.inner.Remove(name) }
+func (f *faultBackend) List() ([]string, error)          { return f.inner.List() }
+func (f *faultBackend) Size(name string) (int64, error)  { return f.inner.Size(name) }
+
+func TestEngineSurfacesStorageFaults(t *testing.T) {
+	// Exhaust the write budget at every possible point; the engine must
+	// return an error (never panic, never silently drop) once the backend
+	// dies.
+	for budget := 0; budget < 40; budget += 3 {
+		fb := &faultBackend{inner: storage.NewMemBackend(), left: budget}
+		e, err := Open(Config{Policy: Conventional, MemBudget: 4, Backend: fb, WAL: true})
+		if err != nil {
+			// Opening may already fail for tiny budgets — acceptable.
+			continue
+		}
+		var sawErr error
+		for i := int64(0); i < 200; i++ {
+			if err := e.Put(series.Point{TG: i, TA: i}); err != nil {
+				sawErr = err
+				break
+			}
+		}
+		if sawErr == nil {
+			t.Fatalf("budget %d: 200 puts with WAL never hit the injected fault", budget)
+		}
+		if !errors.Is(sawErr, errInjected) {
+			t.Fatalf("budget %d: error lost its cause: %v", budget, sawErr)
+		}
+		e.Close()
+	}
+}
+
+func TestEngineFaultDuringCompactionKeepsMemoryConsistent(t *testing.T) {
+	// A fault mid-compaction must not corrupt in-memory reads for the
+	// points that were already durable.
+	fb := &faultBackend{inner: storage.NewMemBackend(), left: 1 << 30}
+	e, err := Open(Config{Policy: Conventional, MemBudget: 8, Backend: fb, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ingest enough to create several tables.
+	var i int64
+	for ; i < 64; i++ {
+		if err := e.Put(series.Point{TG: i, TA: i, V: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill the disk, then write an out-of-order point to force a merge.
+	fb.mu.Lock()
+	fb.left = 0
+	fb.mu.Unlock()
+	for ; i < 128; i++ {
+		if err := e.Put(series.Point{TG: i % 32, TA: i, V: -1}); err != nil {
+			break
+		}
+	}
+	// Whatever happened, previously durable points must still be readable.
+	for k := int64(0); k < 8; k++ {
+		if _, ok := e.Get(k); !ok {
+			t.Errorf("durable point %d lost after storage fault", k)
+		}
+	}
+	e.Close()
+}
+
+func TestAsyncEngineSurfacesBackgroundFault(t *testing.T) {
+	fb := &faultBackend{inner: storage.NewMemBackend(), left: 6}
+	e, err := Open(Config{Policy: Conventional, MemBudget: 4, Backend: fb, WAL: false, AsyncCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for i := int64(0); i < 10_000; i++ {
+		if err := e.Put(series.Point{TG: i, TA: i}); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr == nil {
+		// The error can also surface at FlushAll/Close.
+		sawErr = e.FlushAll()
+	}
+	if sawErr == nil {
+		t.Fatal("background fault never surfaced")
+	}
+	if !errors.Is(sawErr, errInjected) {
+		t.Fatalf("error lost its cause: %v", sawErr)
+	}
+	e.Close()
+}
+
+func TestFaultBackendSelfTest(t *testing.T) {
+	fb := &faultBackend{inner: storage.NewMemBackend(), left: 2}
+	if err := fb.Write("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Append("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Write("b", nil); !errors.Is(err, errInjected) {
+		t.Fatalf("third write: %v", err)
+	}
+	if _, err := fb.Read("a"); err != nil {
+		t.Errorf("reads should keep working: %v", err)
+	}
+	_ = fmt.Sprintf("%v", errInjected)
+}

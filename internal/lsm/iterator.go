@@ -1,0 +1,118 @@
+package lsm
+
+import (
+	"container/heap"
+
+	"repro/internal/series"
+)
+
+// Iterator streams points in generation-time order from a consistent
+// snapshot of the engine, merging the memtables, pending L0 tables, and
+// the run with a k-way heap. Unlike Scan it does not materialize the
+// result, so callers can walk arbitrarily large ranges with O(sources)
+// memory.
+//
+// The iterator holds no engine lock: it works on an immutable snapshot
+// (SSTables are immutable; memtable contents are copied at creation), so
+// writes that happen after NewIterator are not observed.
+type Iterator struct {
+	h       mergeHeap
+	current series.Point
+	valid   bool
+	hi      int64
+}
+
+// source is one sorted input to the merge. Higher priority shadows lower
+// on duplicate generation timestamps (memtables over L0 over run).
+type source struct {
+	points   []series.Point
+	pos      int
+	priority int
+}
+
+type mergeHeap []*source
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].points[h[i].pos], h[j].points[h[j].pos]
+	if a.TG != b.TG {
+		return a.TG < b.TG
+	}
+	// Equal keys: higher priority first so it wins and shadows the rest.
+	return h[i].priority > h[j].priority
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*source)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// NewIterator returns an iterator over points with generation time in
+// [lo, hi]. Call Next to advance; Point is valid after each true Next.
+func (e *Engine) NewIterator(lo, hi int64) *Iterator {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	it := &Iterator{hi: hi}
+	add := func(pts []series.Point, priority int) {
+		if len(pts) > 0 {
+			it.h = append(it.h, &source{points: pts, priority: priority})
+		}
+	}
+	// Run tables: non-overlapping, so they could be one concatenated
+	// source; kept separate for simplicity (the heap handles it).
+	i, j := e.run.overlapRange(lo, hi)
+	for _, t := range e.run.tables[i:j] {
+		add(t.Scan(lo, hi), 0)
+	}
+	// Pending L0 tables (async mode): newer tables shadow older.
+	for k, t := range e.l0 {
+		if t.Overlaps(lo, hi) {
+			add(t.Scan(lo, hi), 1+k)
+		}
+	}
+	// Memtables shadow everything on disk. Copy: memtables are mutable.
+	base := 1 + len(e.l0)
+	for k, mt := range []interface {
+		Scan(lo, hi int64) []series.Point
+	}{e.c0, e.cseq, e.cnonseq} {
+		add(mt.Scan(lo, hi), base+k)
+	}
+	heap.Init(&it.h)
+	return it
+}
+
+// Next advances to the next distinct generation timestamp; it returns
+// false when the range is exhausted.
+func (it *Iterator) Next() bool {
+	for it.h.Len() > 0 {
+		top := it.h[0]
+		p := top.points[top.pos]
+		it.advance(top)
+		if it.valid && p.TG == it.current.TG {
+			continue // shadowed duplicate (lower priority came later)
+		}
+		it.current = p
+		it.valid = true
+		return true
+	}
+	it.valid = false
+	return false
+}
+
+// advance moves a source forward and restores the heap.
+func (it *Iterator) advance(s *source) {
+	s.pos++
+	if s.pos >= len(s.points) {
+		heap.Pop(&it.h)
+		return
+	}
+	heap.Fix(&it.h, 0)
+}
+
+// Point returns the current point; only valid after a true Next.
+func (it *Iterator) Point() series.Point { return it.current }

@@ -1,0 +1,134 @@
+package lsm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/series"
+)
+
+// drain collects all points from an iterator.
+func drain(it *Iterator) []series.Point {
+	var out []series.Point
+	for it.Next() {
+		out = append(out, it.Point())
+	}
+	return out
+}
+
+func TestIteratorMatchesScan(t *testing.T) {
+	for _, pol := range []PolicyKind{Conventional, Separation} {
+		ps := genWorkload(5000, 50, dist.NewLognormal(4, 1.75), 50)
+		e := mustOpen(t, Config{Policy: pol, MemBudget: 64, SeqCapacity: 32, SSTablePoints: 64})
+		ingest(t, e, ps)
+		for _, rg := range [][2]int64{
+			{math.MinInt64 + 1, math.MaxInt64},
+			{50 * 1000, 50 * 2000},
+			{0, 0},
+			{-100, -1},
+		} {
+			want, _ := e.Scan(rg[0], rg[1])
+			got := drain(e.NewIterator(rg[0], rg[1]))
+			if len(got) != len(want) {
+				t.Fatalf("%v range %v: iterator %d vs scan %d points", pol, rg, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v range %v: point %d: %v vs %v", pol, rg, i, got[i], want[i])
+				}
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestIteratorShadowsDuplicates(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 4})
+	defer e.Close()
+	// Flush v=1 for keys 0..3, then overwrite key 2 in the memtable.
+	for i := int64(0); i < 4; i++ {
+		e.Put(series.Point{TG: i, TA: i, V: 1})
+	}
+	e.Put(series.Point{TG: 2, TA: 10, V: 99})
+	got := drain(e.NewIterator(0, 10))
+	if len(got) != 4 {
+		t.Fatalf("%d points", len(got))
+	}
+	if got[2].TG != 2 || got[2].V != 99 {
+		t.Errorf("memtable should shadow disk: %+v", got[2])
+	}
+}
+
+func TestIteratorEmptyEngine(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 4})
+	defer e.Close()
+	it := e.NewIterator(0, 1000)
+	if it.Next() {
+		t.Error("empty engine iterator yielded a point")
+	}
+	if it.Next() {
+		t.Error("Next after exhaustion should stay false")
+	}
+}
+
+func TestIteratorSnapshotSemantics(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 100})
+	defer e.Close()
+	e.Put(series.Point{TG: 1, TA: 1})
+	it := e.NewIterator(0, 1000)
+	// Writes after iterator creation must not appear.
+	e.Put(series.Point{TG: 2, TA: 2})
+	got := drain(it)
+	if len(got) != 1 || got[0].TG != 1 {
+		t.Errorf("snapshot broken: %v", got)
+	}
+}
+
+func TestIteratorAsyncMode(t *testing.T) {
+	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 10, AsyncCompaction: true})
+	defer e.Close()
+	for i := int64(0); i < 95; i++ {
+		e.Put(series.Point{TG: i, TA: i, V: float64(i)})
+	}
+	got := drain(e.NewIterator(0, 1000))
+	if len(got) != 95 {
+		t.Fatalf("async iterator: %d points, want 95", len(got))
+	}
+	if !series.IsSortedByTG(got) {
+		t.Error("async iterator unsorted")
+	}
+}
+
+func BenchmarkIterator(b *testing.B) {
+	e, err := Open(Config{Policy: Conventional, MemBudget: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ps := genWorkloadB(200_000, 50)
+	if err := e.PutBatch(ps); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := e.NewIterator(0, math.MaxInt64)
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// genWorkloadB is a bench variant without *testing.T.
+func genWorkloadB(n int, dt int64) []series.Point {
+	ps := make([]series.Point, n)
+	for i := range ps {
+		tg := int64(i+1) * dt
+		ps[i] = series.Point{TG: tg, TA: tg, V: float64(i)}
+	}
+	return ps
+}

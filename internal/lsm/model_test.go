@@ -1,0 +1,138 @@
+package lsm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// TestEngineAgainstReferenceModel drives random operation sequences
+// against both the engine and a trivially correct reference (a map), and
+// checks full agreement on every read. Operations include puts (with
+// overwrites and out-of-order keys), scans, gets, policy switches, flushes
+// — and with a backend, full close/reopen cycles.
+func TestEngineAgainstReferenceModel(t *testing.T) {
+	for _, withBackend := range []bool{false, true} {
+		name := "mem-only"
+		if withBackend {
+			name = "persistent"
+		}
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 8; trial++ {
+				runModelTrial(t, int64(trial), withBackend)
+			}
+		})
+	}
+}
+
+func runModelTrial(t *testing.T, seed int64, withBackend bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := Config{
+		Policy:        Conventional,
+		MemBudget:     8 + rng.Intn(64),
+		SSTablePoints: 8 + rng.Intn(128),
+		Seed:          seed,
+	}
+	if rng.Intn(2) == 1 {
+		cfg.Policy = Separation
+		cfg.SeqCapacity = 1 + rng.Intn(cfg.MemBudget-1)
+	}
+	var backend *storage.MemBackend
+	if withBackend {
+		backend = storage.NewMemBackend()
+		cfg.Backend = backend
+		cfg.WAL = true
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: Open: %v", seed, err)
+	}
+	defer func() { e.Close() }()
+
+	ref := make(map[int64]float64)
+	var arrival int64
+
+	checkScan := func(lo, hi int64) {
+		got, st := e.Scan(lo, hi)
+		var wantKeys []int64
+		for k := range ref {
+			if k >= lo && k <= hi {
+				wantKeys = append(wantKeys, k)
+			}
+		}
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		if len(got) != len(wantKeys) {
+			t.Fatalf("seed %d: Scan(%d,%d) = %d points, want %d", seed, lo, hi, len(got), len(wantKeys))
+		}
+		for i, k := range wantKeys {
+			if got[i].TG != k || got[i].V != ref[k] {
+				t.Fatalf("seed %d: Scan[%d] = %+v, want TG=%d V=%v", seed, i, got[i], k, ref[k])
+			}
+		}
+		if st.ResultPoints != len(got) {
+			t.Fatalf("seed %d: stats.ResultPoints=%d len=%d", seed, st.ResultPoints, len(got))
+		}
+	}
+
+	const ops = 3000
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(100); {
+		case r < 80: // put (possibly duplicate key)
+			tg := rng.Int63n(2000)
+			arrival++
+			v := rng.Float64()
+			if err := e.Put(series.Point{TG: tg, TA: arrival, V: v}); err != nil {
+				t.Fatalf("seed %d: Put: %v", seed, err)
+			}
+			ref[tg] = v
+		case r < 88: // get
+			tg := rng.Int63n(2000)
+			got, ok := e.Get(tg)
+			wantV, wantOk := ref[tg]
+			if ok != wantOk || (ok && got.V != wantV) {
+				t.Fatalf("seed %d: Get(%d) = %v,%v want %v,%v", seed, tg, got.V, ok, wantV, wantOk)
+			}
+		case r < 94: // scan
+			lo := rng.Int63n(2000) - 100
+			hi := lo + rng.Int63n(800)
+			checkScan(lo, hi)
+		case r < 96: // flush
+			if err := e.FlushAll(); err != nil {
+				t.Fatalf("seed %d: FlushAll: %v", seed, err)
+			}
+		case r < 98: // policy switch
+			if rng.Intn(2) == 0 {
+				err = e.SetPolicy(Conventional, 0)
+			} else {
+				err = e.SetPolicy(Separation, 1+rng.Intn(cfg.MemBudget-1))
+			}
+			if err != nil {
+				t.Fatalf("seed %d: SetPolicy: %v", seed, err)
+			}
+		default: // crash/reopen (persistent mode only)
+			if backend == nil {
+				continue
+			}
+			// Simulated crash: abandon without Close; WAL must recover.
+			e2cfg := e.Config()
+			e2cfg.Backend = backend
+			e2, err := Open(e2cfg)
+			if err != nil {
+				t.Fatalf("seed %d: reopen: %v", seed, err)
+			}
+			e = e2
+		}
+	}
+	checkScan(math.MinInt64+1, math.MaxInt64)
+	e.mu.Lock()
+	ok := e.run.checkInvariant()
+	e.mu.Unlock()
+	if !ok {
+		t.Fatalf("seed %d: run invariant violated at end", seed)
+	}
+}

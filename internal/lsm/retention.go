@@ -1,0 +1,118 @@
+package lsm
+
+import (
+	"sort"
+
+	"repro/internal/series"
+	"repro/internal/sstable"
+)
+
+// DropBefore removes every point with generation time strictly below
+// cutoff — the TTL/retention operation of a time-series store (IoTDB's
+// per-storage-group TTL works the same way). Whole SSTables below the
+// cutoff are unlinked without being read; the single table straddling the
+// cutoff (if any) is rewritten truncated; buffered points below the cutoff
+// are discarded from the memtables. It returns the number of points
+// removed.
+//
+// Dropping history does not move LAST(R) backwards: the classification
+// frontier (Definition 3) only ever advances, so retention cannot turn
+// future arrivals from out-of-order into in-order.
+func (e *Engine) DropBefore(cutoff int64) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	if e.cfg.AsyncCompaction {
+		e.drainLocked()
+		if e.bgErr != nil {
+			return 0, e.bgErr
+		}
+	}
+
+	removed := 0
+
+	// Tables entirely below the cutoff: unlink whole.
+	idx := sort.Search(len(e.run.tables), func(i int) bool {
+		return e.run.tables[i].MaxTG() >= cutoff
+	})
+	dropped := e.run.tables[:idx]
+	for _, t := range dropped {
+		removed += t.Len()
+	}
+
+	// A table straddling the cutoff is rewritten truncated.
+	var replacement []*sstable.Table
+	replaceTo := idx
+	if idx < len(e.run.tables) && e.run.tables[idx].MinTG() < cutoff {
+		t := e.run.tables[idx]
+		keep := t.Scan(cutoff, t.MaxTG())
+		removed += t.Len() - len(keep)
+		if len(keep) > 0 {
+			kept := make([]series.Point, len(keep))
+			copy(kept, keep)
+			nt, err := sstable.Build(e.nextID, kept)
+			if err != nil {
+				return removed, err
+			}
+			e.nextID++
+			replacement = []*sstable.Table{nt}
+			e.stats.PointsWritten += int64(len(kept))
+		}
+		dropped = e.run.tables[:idx+1]
+		replaceTo = idx + 1
+	}
+	if len(dropped) > 0 || len(replacement) > 0 {
+		retired := make([]*sstable.Table, len(dropped))
+		copy(retired, dropped)
+		e.run.replace(0, replaceTo, replacement)
+		if err := e.persistReplace(retired, replacement); err != nil {
+			return removed, err
+		}
+	}
+
+	// Purge buffered points below the cutoff.
+	for _, mt := range []*memtableRef{{e.c0}, {e.cseq}, {e.cnonseq}} {
+		removed += mt.purgeBelow(cutoff)
+	}
+	if err := e.rewriteWAL(); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}
+
+// memtableRef wraps a memtable for the purge helper (keeps retention logic
+// in one place without widening the memtable API surface).
+type memtableRef struct {
+	mt interface {
+		Empty() bool
+		Points() []series.Point
+		Reset()
+		Put(series.Point) bool
+	}
+}
+
+// purgeBelow drops points with TG < cutoff, returning how many were
+// removed.
+func (r *memtableRef) purgeBelow(cutoff int64) int {
+	if r.mt.Empty() {
+		return 0
+	}
+	pts := r.mt.Points()
+	keep := pts[:0]
+	for _, p := range pts {
+		if p.TG >= cutoff {
+			keep = append(keep, p)
+		}
+	}
+	removed := len(pts) - len(keep)
+	if removed == 0 {
+		return 0
+	}
+	r.mt.Reset()
+	for _, p := range keep {
+		r.mt.Put(p)
+	}
+	return removed
+}

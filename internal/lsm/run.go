@@ -1,0 +1,112 @@
+package lsm
+
+import (
+	"sort"
+
+	"repro/internal/series"
+	"repro/internal/sstable"
+)
+
+// run is the L1 level of the engine: SSTables sorted by MinTG with
+// non-overlapping generation-time ranges. The paper treats the whole level
+// as a single sorted run R.
+type run struct {
+	tables []*sstable.Table
+}
+
+// len returns the number of tables in the run.
+func (r *run) lenTables() int { return len(r.tables) }
+
+// totalPoints returns the number of points across all tables.
+func (r *run) totalPoints() int {
+	var n int
+	for _, t := range r.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// lastTG returns LAST(R).t_g, the latest generation time in the run, and
+// whether the run is non-empty.
+func (r *run) lastTG() (int64, bool) {
+	if len(r.tables) == 0 {
+		return 0, false
+	}
+	return r.tables[len(r.tables)-1].MaxTG(), true
+}
+
+// overlapRange returns the half-open index interval [i, j) of tables whose
+// ranges intersect [lo, hi].
+func (r *run) overlapRange(lo, hi int64) (int, int) {
+	// First table with MaxTG >= lo.
+	i := sort.Search(len(r.tables), func(i int) bool { return r.tables[i].MaxTG() >= lo })
+	// First table with MinTG > hi.
+	j := sort.Search(len(r.tables), func(j int) bool { return r.tables[j].MinTG() > hi })
+	if i > j {
+		i = j
+	}
+	return i, j
+}
+
+// replace substitutes tables[i:j] with newTables, which must be sorted and
+// must preserve the run's non-overlap invariant.
+func (r *run) replace(i, j int, newTables []*sstable.Table) {
+	out := make([]*sstable.Table, 0, len(r.tables)-(j-i)+len(newTables))
+	out = append(out, r.tables[:i]...)
+	out = append(out, newTables...)
+	out = append(out, r.tables[j:]...)
+	r.tables = out
+}
+
+// append adds a table whose range must lie entirely after the current last
+// table; it returns false if the invariant would break.
+func (r *run) appendTable(t *sstable.Table) bool {
+	if last, ok := r.lastTG(); ok && t.MinTG() <= last {
+		return false
+	}
+	r.tables = append(r.tables, t)
+	return true
+}
+
+// checkInvariant verifies ordering and non-overlap; used by tests and
+// recovery.
+func (r *run) checkInvariant() bool {
+	for i := 1; i < len(r.tables); i++ {
+		if r.tables[i].MinTG() <= r.tables[i-1].MaxTG() {
+			return false
+		}
+	}
+	return true
+}
+
+// pointsGreaterThan counts points in the run with generation time strictly
+// greater than tg. These are exactly the paper's subsequent data points
+// when tg is the minimum generation time buffered in memory (Definition 4).
+func (r *run) pointsGreaterThan(tg int64) int {
+	var count int
+	for _, t := range r.tables {
+		switch {
+		case t.MinTG() > tg:
+			count += t.Len()
+		case t.MaxTG() > tg:
+			pts := t.Points()
+			idx := sort.Search(len(pts), func(i int) bool { return pts[i].TG > tg })
+			count += len(pts) - idx
+		}
+	}
+	return count
+}
+
+// collectPoints concatenates the points of tables[i:j] (already sorted and
+// disjoint, so the concatenation is sorted).
+func (r *run) collectPoints(i, j int) []series.Point {
+	var n int
+	for _, t := range r.tables[i:j] {
+		n += t.Len()
+	}
+	out := make([]series.Point, 0, n)
+	for _, t := range r.tables[i:j] {
+		out = append(out, t.Points()...)
+	}
+	return out
+}

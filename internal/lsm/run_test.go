@@ -1,0 +1,141 @@
+package lsm
+
+import (
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/sstable"
+)
+
+// mkTable builds a table with points at TGs [lo, hi] step.
+func mkTable(t *testing.T, id uint64, lo, hi, step int64) *sstable.Table {
+	t.Helper()
+	var ps []series.Point
+	for tg := lo; tg <= hi; tg += step {
+		ps = append(ps, series.Point{TG: tg, TA: tg})
+	}
+	tbl, err := sstable.Build(id, ps)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tbl
+}
+
+// mkRun assembles a run from (lo, hi) ranges with step 1.
+func mkRun(t *testing.T, ranges ...[2]int64) *run {
+	t.Helper()
+	r := &run{}
+	for i, rg := range ranges {
+		if !r.appendTable(mkTable(t, uint64(i), rg[0], rg[1], 1)) {
+			t.Fatalf("appendTable %v failed", rg)
+		}
+	}
+	return r
+}
+
+func TestRunOverlapRange(t *testing.T) {
+	r := mkRun(t, [2]int64{0, 9}, [2]int64{20, 29}, [2]int64{40, 49})
+	tests := []struct {
+		lo, hi int64
+		wi, wj int
+	}{
+		{0, 9, 0, 1},
+		{5, 25, 0, 2},
+		{10, 19, 1, 1}, // gap: empty interval
+		{25, 45, 1, 3},
+		{-5, 100, 0, 3},
+		{50, 60, 3, 3},
+		{-10, -1, 0, 0},
+	}
+	for _, tc := range tests {
+		i, j := r.overlapRange(tc.lo, tc.hi)
+		if i != tc.wi || j != tc.wj {
+			t.Errorf("overlapRange(%d,%d) = [%d,%d), want [%d,%d)", tc.lo, tc.hi, i, j, tc.wi, tc.wj)
+		}
+	}
+}
+
+func TestRunLastTG(t *testing.T) {
+	r := &run{}
+	if _, ok := r.lastTG(); ok {
+		t.Error("empty run has lastTG")
+	}
+	r = mkRun(t, [2]int64{0, 9}, [2]int64{20, 29})
+	if last, ok := r.lastTG(); !ok || last != 29 {
+		t.Errorf("lastTG = %d, %v", last, ok)
+	}
+}
+
+func TestRunAppendRejectsOverlap(t *testing.T) {
+	r := mkRun(t, [2]int64{0, 9})
+	if r.appendTable(mkTable(t, 9, 9, 15, 1)) {
+		t.Error("overlapping append accepted")
+	}
+	if r.appendTable(mkTable(t, 9, 5, 8, 1)) {
+		t.Error("contained append accepted")
+	}
+	if !r.appendTable(mkTable(t, 9, 10, 15, 1)) {
+		t.Error("valid append rejected")
+	}
+}
+
+func TestRunReplace(t *testing.T) {
+	r := mkRun(t, [2]int64{0, 9}, [2]int64{20, 29}, [2]int64{40, 49})
+	// Replace the middle table with two new ones.
+	nt1 := mkTable(t, 10, 15, 24, 1)
+	nt2 := mkTable(t, 11, 25, 35, 1)
+	r.replace(1, 2, []*sstable.Table{nt1, nt2})
+	if r.lenTables() != 4 {
+		t.Fatalf("lenTables = %d", r.lenTables())
+	}
+	if !r.checkInvariant() {
+		t.Error("invariant broken after replace")
+	}
+	if r.totalPoints() != 10+10+11+10 {
+		t.Errorf("totalPoints = %d", r.totalPoints())
+	}
+}
+
+func TestRunReplaceWholeRun(t *testing.T) {
+	r := mkRun(t, [2]int64{0, 9}, [2]int64{20, 29})
+	nt := mkTable(t, 10, 0, 29, 1)
+	r.replace(0, 2, []*sstable.Table{nt})
+	if r.lenTables() != 1 || r.totalPoints() != 30 {
+		t.Errorf("replace whole run: %d tables, %d points", r.lenTables(), r.totalPoints())
+	}
+}
+
+func TestRunPointsGreaterThan(t *testing.T) {
+	r := mkRun(t, [2]int64{0, 9}, [2]int64{20, 29})
+	tests := []struct {
+		tg   int64
+		want int
+	}{
+		{-1, 20}, // everything
+		{0, 19},
+		{9, 10},
+		{15, 10},
+		{24, 5},
+		{29, 0},
+		{100, 0},
+	}
+	for _, tc := range tests {
+		if got := r.pointsGreaterThan(tc.tg); got != tc.want {
+			t.Errorf("pointsGreaterThan(%d) = %d, want %d", tc.tg, got, tc.want)
+		}
+	}
+}
+
+func TestRunCollectPoints(t *testing.T) {
+	r := mkRun(t, [2]int64{0, 4}, [2]int64{10, 14}, [2]int64{20, 24})
+	pts := r.collectPoints(0, 2)
+	if len(pts) != 10 {
+		t.Fatalf("collectPoints = %d points", len(pts))
+	}
+	if !series.IsSortedByTG(pts) {
+		t.Error("collected points not sorted")
+	}
+	if got := r.collectPoints(1, 1); len(got) != 0 {
+		t.Errorf("empty collect: %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+package lsm
+
+import (
+	"repro/internal/series"
+)
+
+// ScanStats reports the read-path cost of one Scan, the inputs to the
+// read-amplification and latency analyses (Fig. 12–14). The read model is
+// the paper's HDD one: touching an SSTable costs a seek, and a touched
+// table is read whole ("as long as an SSTable contains [queried] data
+// points, all of the points inside would be read").
+type ScanStats struct {
+	// TablesTouched is the number of SSTables overlapping the query range —
+	// the number of file seeks.
+	TablesTouched int
+	// TablePoints is the total number of points in the touched SSTables,
+	// counting whole tables (points read from disk).
+	TablePoints int
+	// MemPoints is the number of points served from memtables.
+	MemPoints int
+	// ResultPoints is the number of points returned.
+	ResultPoints int
+}
+
+// ReadAmplification returns points read divided by points returned, the
+// paper's read-amplification metric. Returns 0 when nothing was returned.
+func (s ScanStats) ReadAmplification() float64 {
+	if s.ResultPoints == 0 {
+		return 0
+	}
+	return float64(s.TablePoints+s.MemPoints) / float64(s.ResultPoints)
+}
+
+// Scan returns all points with generation time in [lo, hi], merged across
+// memtables and the run, sorted by generation time, with read-cost
+// accounting.
+func (e *Engine) Scan(lo, hi int64) ([]series.Point, ScanStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st ScanStats
+
+	var disk []series.Point
+	i, j := e.run.overlapRange(lo, hi)
+	for _, t := range e.run.tables[i:j] {
+		st.TablesTouched++
+		st.TablePoints += t.Len()
+		disk = append(disk, t.Scan(lo, hi)...)
+	}
+	// Async mode: pending L0 tables may overlap the range (and each other);
+	// merge them in table order so later tables shadow earlier ones.
+	for _, t := range e.l0 {
+		if !t.Overlaps(lo, hi) {
+			continue
+		}
+		st.TablesTouched++
+		st.TablePoints += t.Len()
+		disk = series.MergeByTG(disk, t.Scan(lo, hi))
+	}
+
+	var mem []series.Point
+	for _, mt := range []interface {
+		Scan(lo, hi int64) []series.Point
+	}{e.c0, e.cseq, e.cnonseq} {
+		pts := mt.Scan(lo, hi)
+		st.MemPoints += len(pts)
+		if len(pts) > 0 {
+			mem = series.MergeByTG(mem, pts)
+		}
+	}
+
+	out := series.MergeByTG(disk, mem)
+	st.ResultPoints = len(out)
+	return out, st
+}
+
+// Get returns the point with generation time tg, looking in memtables
+// first, then in the run (at most one table can contain tg).
+func (e *Engine) Get(tg int64) (series.Point, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.c0.Get(tg); ok {
+		return p, true
+	}
+	if p, ok := e.cseq.Get(tg); ok {
+		return p, true
+	}
+	if p, ok := e.cnonseq.Get(tg); ok {
+		return p, true
+	}
+	// Newest L0 tables shadow older ones and the run.
+	for k := len(e.l0) - 1; k >= 0; k-- {
+		if t := e.l0[k]; t.Overlaps(tg, tg) {
+			if p, ok := t.Get(tg); ok {
+				return p, true
+			}
+		}
+	}
+	i, j := e.run.overlapRange(tg, tg)
+	for _, t := range e.run.tables[i:j] {
+		if p, ok := t.Get(tg); ok {
+			return p, true
+		}
+	}
+	return series.Point{}, false
+}
+
+// MaxTG returns the largest generation time visible anywhere in the engine
+// (memtables, L0, run) and whether any point exists. Query workload
+// generators use it to anchor "recent data" windows.
+func (e *Engine) MaxTG() (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	best, ok := e.diskLastTG()
+	if !e.c0.Empty() && (!ok || e.c0.MaxTG() > best) {
+		best, ok = e.c0.MaxTG(), true
+	}
+	if !e.cseq.Empty() && (!ok || e.cseq.MaxTG() > best) {
+		best, ok = e.cseq.MaxTG(), true
+	}
+	if !e.cnonseq.Empty() && (!ok || e.cnonseq.MaxTG() > best) {
+		best, ok = e.cnonseq.MaxTG(), true
+	}
+	return best, ok
+}

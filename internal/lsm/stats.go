@@ -1,0 +1,77 @@
+package lsm
+
+// Stats accumulates the write-path counters of the engine. All point counts
+// are in data points (the paper measures write amplification in points, not
+// bytes). Stats are read via Engine.Stats, which returns a copy taken under
+// the engine lock.
+type Stats struct {
+	// PointsIngested counts Put calls accepted by the engine — the "amount
+	// required by the user", the denominator of write amplification.
+	PointsIngested int64
+	// PointsWritten counts every point physically written into an SSTable,
+	// whether on first flush or on rewrite during compaction — the
+	// numerator of write amplification.
+	PointsWritten int64
+	// PointsRewritten counts points that were already in SSTables and were
+	// read back and written again by a compaction.
+	PointsRewritten int64
+	// TablesRewritten counts SSTables consumed (deleted) by compactions.
+	TablesRewritten int64
+	// Flushes counts memtable flushes that did not need to merge with
+	// existing SSTables.
+	Flushes int64
+	// Compactions counts merges of a memtable with overlapping SSTables.
+	Compactions int64
+	// InOrderPoints and OutOfOrderPoints classify ingested points per
+	// Definition 3 against LAST(R) at insertion time. Under the
+	// conventional policy the classification is still recorded (for
+	// workload characterization) even though both kinds share C0.
+	InOrderPoints    int64
+	OutOfOrderPoints int64
+	// WALRecords counts points appended to the write-ahead log.
+	WALRecords int64
+}
+
+// WriteAmplification returns PointsWritten / PointsIngested, the paper's
+// WA metric. It returns 0 before any ingestion.
+func (s Stats) WriteAmplification() float64 {
+	if s.PointsIngested == 0 {
+		return 0
+	}
+	return float64(s.PointsWritten) / float64(s.PointsIngested)
+}
+
+// Sub returns the difference s − t, useful for windowed WA measurements
+// (Fig. 10 plots WA over sliding windows of the write stream).
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		PointsIngested:   s.PointsIngested - t.PointsIngested,
+		PointsWritten:    s.PointsWritten - t.PointsWritten,
+		PointsRewritten:  s.PointsRewritten - t.PointsRewritten,
+		TablesRewritten:  s.TablesRewritten - t.TablesRewritten,
+		Flushes:          s.Flushes - t.Flushes,
+		Compactions:      s.Compactions - t.Compactions,
+		InOrderPoints:    s.InOrderPoints - t.InOrderPoints,
+		OutOfOrderPoints: s.OutOfOrderPoints - t.OutOfOrderPoints,
+		WALRecords:       s.WALRecords - t.WALRecords,
+	}
+}
+
+// CompactionInfo describes one compaction event, delivered to the
+// Engine.OnCompaction hook. The Fig. 5 experiment uses SubsequentPoints to
+// validate the ζ(n) model against measurement.
+type CompactionInfo struct {
+	// MemPoints is the number of points in the memtable being compacted.
+	MemPoints int
+	// SubsequentPoints is the number of on-disk points with generation time
+	// greater than the minimum generation time in the memtable
+	// (Definition 4), counted just before the merge.
+	SubsequentPoints int
+	// RewrittenPoints is the number of points in the SSTables consumed by
+	// this compaction.
+	RewrittenPoints int
+	// OutputPoints is the number of points in the SSTables produced.
+	OutputPoints int
+	// TablesIn and TablesOut count SSTables consumed and produced.
+	TablesIn, TablesOut int
+}

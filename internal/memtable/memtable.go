@@ -1,0 +1,153 @@
+// Package memtable implements the in-memory write buffer of the LSM
+// engine: a probabilistic skiplist keyed by generation timestamp, the same
+// structure LevelDB-lineage engines use. The paper's C0 (conventional
+// policy), Cseq and Cnonseq (separation policy) are all instances of this
+// type with different capacities.
+package memtable
+
+import (
+	"math/rand"
+
+	"repro/internal/series"
+)
+
+const (
+	maxHeight    = 12
+	branchFactor = 4 // P(level promote) = 1/branchFactor
+)
+
+type node struct {
+	point series.Point
+	next  [maxHeight]*node
+}
+
+// MemTable buffers points sorted by generation time. Inserting a point
+// whose generation time already exists overwrites the stored value (upsert
+// semantics). MemTable is not safe for concurrent use; the engine
+// serializes access.
+type MemTable struct {
+	head   *node
+	height int
+	count  int
+	rng    *rand.Rand
+	minTG  int64
+	maxTG  int64
+}
+
+// New returns an empty memtable. seed makes the skiplist shape
+// deterministic for reproducible experiments.
+func New(seed int64) *MemTable {
+	return &MemTable{
+		head:   &node{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of distinct points buffered.
+func (m *MemTable) Len() int { return m.count }
+
+// Empty reports whether the memtable holds no points.
+func (m *MemTable) Empty() bool { return m.count == 0 }
+
+// MinTG returns the earliest buffered generation time; valid only when
+// non-empty.
+func (m *MemTable) MinTG() int64 { return m.minTG }
+
+// MaxTG returns the latest buffered generation time; valid only when
+// non-empty.
+func (m *MemTable) MaxTG() int64 { return m.maxTG }
+
+// randomHeight draws a tower height with geometric distribution.
+func (m *MemTable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rng.Intn(branchFactor) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with point.TG >= tg and fills
+// prev with the rightmost node before it on every level.
+func (m *MemTable) findGreaterOrEqual(tg int64, prev *[maxHeight]*node) *node {
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && x.next[level].point.TG < tg {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Put inserts or overwrites the point keyed by p.TG. It returns true when a
+// new key was inserted, false when an existing key was overwritten.
+func (m *MemTable) Put(p series.Point) bool {
+	var prev [maxHeight]*node
+	x := m.findGreaterOrEqual(p.TG, &prev)
+	if x != nil && x.point.TG == p.TG {
+		x.point = p
+		return false
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for level := m.height; level < h; level++ {
+			prev[level] = m.head
+		}
+		m.height = h
+	}
+	n := &node{point: p}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	if m.count == 0 || p.TG < m.minTG {
+		m.minTG = p.TG
+	}
+	if m.count == 0 || p.TG > m.maxTG {
+		m.maxTG = p.TG
+	}
+	m.count++
+	return true
+}
+
+// Get returns the point with generation time tg.
+func (m *MemTable) Get(tg int64) (series.Point, bool) {
+	x := m.findGreaterOrEqual(tg, nil)
+	if x != nil && x.point.TG == tg {
+		return x.point, true
+	}
+	return series.Point{}, false
+}
+
+// Points returns all buffered points sorted ascending by generation time.
+func (m *MemTable) Points() []series.Point {
+	out := make([]series.Point, 0, m.count)
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, x.point)
+	}
+	return out
+}
+
+// Scan returns buffered points with generation time in [lo, hi].
+func (m *MemTable) Scan(lo, hi int64) []series.Point {
+	var out []series.Point
+	for x := m.findGreaterOrEqual(lo, nil); x != nil && x.point.TG <= hi; x = x.next[0] {
+		out = append(out, x.point)
+	}
+	return out
+}
+
+// Reset clears the memtable for reuse, keeping its allocated head node and
+// RNG stream.
+func (m *MemTable) Reset() {
+	for i := range m.head.next {
+		m.head.next[i] = nil
+	}
+	m.height = 1
+	m.count = 0
+	m.minTG = 0
+	m.maxTG = 0
+}

@@ -1,0 +1,184 @@
+package memtable
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/series"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New(1)
+	if !m.Put(series.Point{TG: 10, V: 1}) {
+		t.Error("first Put should report insert")
+	}
+	if m.Put(series.Point{TG: 10, V: 2}) {
+		t.Error("second Put of same key should report overwrite")
+	}
+	p, ok := m.Get(10)
+	if !ok || p.V != 2 {
+		t.Errorf("Get(10) = %v, %v", p, ok)
+	}
+	if _, ok := m.Get(11); ok {
+		t.Error("Get(11) should miss")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestPointsSorted(t *testing.T) {
+	m := New(2)
+	keys := []int64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for _, k := range keys {
+		m.Put(series.Point{TG: k})
+	}
+	ps := m.Points()
+	if len(ps) != 10 {
+		t.Fatalf("Points len = %d", len(ps))
+	}
+	if !series.IsSortedByTG(ps) {
+		t.Errorf("not sorted: %v", ps)
+	}
+	for i, p := range ps {
+		if p.TG != int64(i) {
+			t.Errorf("point %d TG = %d", i, p.TG)
+		}
+	}
+}
+
+func TestMinMaxTG(t *testing.T) {
+	m := New(3)
+	m.Put(series.Point{TG: 50})
+	m.Put(series.Point{TG: 10})
+	m.Put(series.Point{TG: 90})
+	if m.MinTG() != 10 || m.MaxTG() != 90 {
+		t.Errorf("Min/Max = %d/%d", m.MinTG(), m.MaxTG())
+	}
+}
+
+func TestScan(t *testing.T) {
+	m := New(4)
+	for i := int64(0); i < 100; i += 10 {
+		m.Put(series.Point{TG: i})
+	}
+	got := m.Scan(25, 55)
+	want := []int64{30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %v", got)
+	}
+	for i, p := range got {
+		if p.TG != want[i] {
+			t.Errorf("Scan[%d] = %d, want %d", i, p.TG, want[i])
+		}
+	}
+	if got := m.Scan(1000, 2000); len(got) != 0 {
+		t.Errorf("out-of-range scan: %v", got)
+	}
+}
+
+func TestEmptyAndReset(t *testing.T) {
+	m := New(5)
+	if !m.Empty() {
+		t.Error("new memtable should be empty")
+	}
+	for i := int64(0); i < 50; i++ {
+		m.Put(series.Point{TG: i})
+	}
+	if m.Empty() || m.Len() != 50 {
+		t.Error("fill failed")
+	}
+	m.Reset()
+	if !m.Empty() || m.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if got := m.Points(); len(got) != 0 {
+		t.Errorf("Points after Reset: %v", got)
+	}
+	// Reusable after reset.
+	m.Put(series.Point{TG: 7})
+	if p, ok := m.Get(7); !ok || p.TG != 7 {
+		t.Error("Put after Reset failed")
+	}
+	if m.MinTG() != 7 || m.MaxTG() != 7 {
+		t.Error("Min/Max after Reset wrong")
+	}
+}
+
+func TestLargeRandomAgainstMap(t *testing.T) {
+	m := New(6)
+	ref := make(map[int64]float64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		tg := rng.Int63n(5000)
+		v := rng.Float64()
+		m.Put(series.Point{TG: tg, V: v})
+		ref[tg] = v
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	keys := make([]int64, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ps := m.Points()
+	for i, k := range keys {
+		if ps[i].TG != k || ps[i].V != ref[k] {
+			t.Fatalf("point %d = %v, want TG=%d V=%v", i, ps[i], k, ref[k])
+		}
+	}
+}
+
+func TestScanMatchesPointsFilter(t *testing.T) {
+	prop := func(keys []int16, loRaw, hiRaw int16) bool {
+		lo, hi := int64(loRaw), int64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		m := New(7)
+		for _, k := range keys {
+			m.Put(series.Point{TG: int64(k)})
+		}
+		got := m.Scan(lo, hi)
+		var want int
+		for _, p := range m.Points() {
+			if p.TG >= lo && p.TG <= hi {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		return series.IsSortedByTG(got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	m := New(1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(series.Point{TG: rng.Int63()})
+		if m.Len() >= 1<<16 {
+			m.Reset()
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := New(1)
+	for i := int64(0); i < 1<<14; i++ {
+		m.Put(series.Point{TG: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(int64(i) & (1<<14 - 1))
+	}
+}

@@ -1,0 +1,242 @@
+// Package metrics provides the measurement utilities of the evaluation
+// harness: histograms for delay profiles (Fig. 8, 19), sample
+// autocorrelation with white-noise bounds (Fig. 16a), windowed series with
+// sliding-window smoothing for WA-over-time plots (Fig. 10, 17), and basic
+// summary statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-width histogram over float64 observations.
+type Histogram struct {
+	lo, hi  float64
+	counts  []int64
+	under   int64
+	over    int64
+	total   int64
+	sum     float64
+	sumSq   float64
+	binsize float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). Observations outside the range are tallied in under/over
+// counters.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic("metrics: invalid histogram parameters")
+	}
+	return &Histogram{
+		lo:      lo,
+		hi:      hi,
+		counts:  make([]int64, bins),
+		binsize: (hi - lo) / float64(bins),
+	}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	h.sum += v
+	h.sumSq += v * v
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		h.counts[int((v-h.lo)/h.binsize)]++
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Stddev returns the sample standard deviation.
+func (h *Histogram) Stddev() float64 {
+	if h.total < 2 {
+		return 0
+	}
+	n := float64(h.total)
+	v := (h.sumSq - h.sum*h.sum/n) / (n - 1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Bins returns each bin's lower edge and count.
+func (h *Histogram) Bins() ([]float64, []int64) {
+	edges := make([]float64, len(h.counts))
+	for i := range edges {
+		edges[i] = h.lo + float64(i)*h.binsize
+	}
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return edges, counts
+}
+
+// OutOfRange returns the under/over tallies.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// Render draws an ASCII bar chart of the histogram, width characters wide,
+// for terminal reports.
+func (h *Histogram) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var max int64 = 1
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		edge := h.lo + float64(i)*h.binsize
+		bar := int(float64(c) / float64(max) * float64(width))
+		fmt.Fprintf(&b, "%12.0f | %s %d\n", edge, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Autocorrelation returns the sample autocorrelation function of xs at
+// lags 1..maxLag, plus the ±1.96/√n white-noise confidence bound (the
+// green lines of the paper's Fig. 16a, produced there with MATLAB's
+// autocorr).
+func Autocorrelation(xs []float64, maxLag int) (acf []float64, bound float64) {
+	n := len(xs)
+	if n < 2 {
+		return nil, 0
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	var den float64
+	for _, v := range xs {
+		den += (v - mean) * (v - mean)
+	}
+	acf = make([]float64, maxLag)
+	if den == 0 {
+		return acf, 0
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		var num float64
+		for i := lag; i < n; i++ {
+			num += (xs[i] - mean) * (xs[i-lag] - mean)
+		}
+		acf[lag-1] = num / den
+	}
+	return acf, 1.96 / math.Sqrt(float64(n))
+}
+
+// Quantile returns the p-quantile of xs (type-7 interpolation); xs need
+// not be sorted — a sorted copy is taken.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	h := p * float64(len(s)-1)
+	i := int(h)
+	frac := h - float64(i)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// SlidingMean smooths xs with a centered window of the given width,
+// returning a slice of the same length. Edges use the available partial
+// window. Used for the WA-over-time plots (Fig. 10).
+func SlidingMean(xs []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(xs))
+	half := window / 2
+	var sum float64
+	lo, hi := 0, 0 // current [lo, hi) window
+	for i := range xs {
+		wantLo := i - half
+		if wantLo < 0 {
+			wantLo = 0
+		}
+		wantHi := i + half + 1
+		if wantHi > len(xs) {
+			wantHi = len(xs)
+		}
+		for hi < wantHi {
+			sum += xs[hi]
+			hi++
+		}
+		for lo < wantLo {
+			sum -= xs[lo]
+			lo++
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// WindowedWA converts cumulative (ingested, written) checkpoints into
+// per-window write amplification values: element i is the WA of the span
+// between checkpoints i and i+1.
+func WindowedWA(ingested, written []int64) []float64 {
+	n := len(ingested)
+	if len(written) < n {
+		n = len(written)
+	}
+	if n < 2 {
+		return nil
+	}
+	out := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		di := ingested[i] - ingested[i-1]
+		dw := written[i] - written[i-1]
+		if di <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, float64(dw)/float64(di))
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-49.5) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+	edges, counts := h.Bins()
+	if len(edges) != 10 || len(counts) != 10 {
+		t.Fatalf("bins: %d edges, %d counts", len(edges), len(counts))
+	}
+	for i, c := range counts {
+		if c != 10 {
+			t.Errorf("bin %d count = %d, want 10", i, c)
+		}
+	}
+	if edges[0] != 0 || edges[9] != 90 {
+		t.Errorf("edges: %v", edges)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Observe(-5)
+	h.Observe(15)
+	h.Observe(10) // hi edge is exclusive -> over
+	h.Observe(5)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("under/over = %d/%d", under, over)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if got := h.Stddev(); math.Abs(got-2.1380899352993947) > 1e-9 {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(10, 0, 5)
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(7)
+	s := h.Render(20)
+	if !strings.Contains(s, "#") || len(strings.Split(strings.TrimSpace(s), "\n")) != 2 {
+		t.Errorf("Render output unexpected:\n%s", s)
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf, bound := Autocorrelation(xs, 20)
+	if len(acf) != 20 {
+		t.Fatalf("acf length %d", len(acf))
+	}
+	if math.Abs(bound-1.96/math.Sqrt(5000)) > 1e-12 {
+		t.Errorf("bound = %v", bound)
+	}
+	// Nearly all lags should sit inside the white-noise band.
+	var outside int
+	for _, r := range acf {
+		if math.Abs(r) > bound {
+			outside++
+		}
+	}
+	if outside > 3 {
+		t.Errorf("%d of 20 lags outside the white-noise band", outside)
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with φ=0.8: acf(lag) ≈ 0.8^lag.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 20000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.8*xs[i-1] + rng.NormFloat64()
+	}
+	acf, _ := Autocorrelation(xs, 5)
+	for lag := 1; lag <= 5; lag++ {
+		want := math.Pow(0.8, float64(lag))
+		if math.Abs(acf[lag-1]-want) > 0.05 {
+			t.Errorf("acf(%d) = %v, want ≈%v", lag, acf[lag-1], want)
+		}
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if acf, _ := Autocorrelation(nil, 5); acf != nil {
+		t.Error("nil input should give nil acf")
+	}
+	if acf, _ := Autocorrelation([]float64{1}, 5); acf != nil {
+		t.Error("single point should give nil acf")
+	}
+	// Constant series: zero denominator handled.
+	acf, _ := Autocorrelation([]float64{3, 3, 3, 3}, 2)
+	for _, r := range acf {
+		if r != 0 {
+			t.Errorf("constant series acf = %v", acf)
+		}
+	}
+	// maxLag clamped to n-1.
+	acf, _ = Autocorrelation([]float64{1, 2, 3}, 100)
+	if len(acf) != 2 {
+		t.Errorf("clamped acf length = %d", len(acf))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestSlidingMean(t *testing.T) {
+	xs := []float64{0, 0, 10, 0, 0}
+	got := SlidingMean(xs, 3)
+	want := []float64{0, 10.0 / 3, 10.0 / 3, 10.0 / 3, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("SlidingMean[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// window 1 = identity.
+	got = SlidingMean(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("window-1 smoothing changed values")
+		}
+	}
+	if got := SlidingMean(nil, 5); len(got) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestSlidingMeanMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	for _, w := range []int{2, 5, 11, 100} {
+		got := SlidingMean(xs, w)
+		half := w / 2
+		for i := range xs {
+			lo, hi := i-half, i+half+1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			var sum float64
+			for j := lo; j < hi; j++ {
+				sum += xs[j]
+			}
+			want := sum / float64(hi-lo)
+			if math.Abs(got[i]-want) > 1e-9 {
+				t.Fatalf("w=%d i=%d: %v vs %v", w, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestWindowedWA(t *testing.T) {
+	ingested := []int64{0, 100, 200, 300}
+	written := []int64{0, 150, 250, 550}
+	got := WindowedWA(ingested, written)
+	want := []float64{1.5, 1.0, 3.0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("window %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := WindowedWA([]int64{1}, []int64{1}); got != nil {
+		t.Error("too-short input should give nil")
+	}
+	// Zero-ingest window guarded.
+	got = WindowedWA([]int64{0, 0}, []int64{0, 5})
+	if got[0] != 0 {
+		t.Errorf("zero-ingest window: %v", got)
+	}
+}

@@ -1,0 +1,218 @@
+// Package numeric provides the numerical machinery used by the write
+// amplification models: adaptive quadrature, fixed-order Gauss–Legendre
+// rules, root finding, and special functions (inverse normal CDF).
+//
+// The write-amplification models of the paper (Eq. 2 and Eq. 5) require
+// integrating products of delay CDFs against a delay PDF over [0, ∞).
+// Delay distributions in IoT workloads are heavy tailed (lognormal), so the
+// integrators here split the domain at distribution quantiles supplied by
+// the caller and refine adaptively inside each segment.
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// DefaultTol is the default absolute tolerance for adaptive quadrature.
+const DefaultTol = 1e-9
+
+// maxRecursionDepth bounds adaptive Simpson recursion; 2^50 subdivisions is
+// far beyond any sensible integrand, so hitting it signals a pathological
+// function rather than a precision need.
+const maxRecursionDepth = 50
+
+// ErrMaxDepth is reported when adaptive refinement hits its recursion bound
+// before reaching the requested tolerance.
+var ErrMaxDepth = errors.New("numeric: adaptive quadrature exceeded max depth")
+
+// simpson returns the Simpson's-rule estimate of ∫f on [a,b] given the
+// endpoint and midpoint values fa, fm, fb.
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+// adaptiveSimpsonAux recursively refines the Simpson estimate whole on [a,b]
+// until the two-panel refinement agrees within eps.
+func adaptiveSimpsonAux(f func(float64) float64, a, b, eps, whole, fa, fm, fb float64, depth int) (float64, error) {
+	m := (a + b) / 2
+	lm := (a + m) / 2
+	rm := (m + b) / 2
+	flm := f(lm)
+	frm := f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	delta := left + right - whole
+	if math.Abs(delta) <= 15*eps || b-a < 1e-300 {
+		return left + right + delta/15, nil
+	}
+	if depth >= maxRecursionDepth {
+		return left + right + delta/15, ErrMaxDepth
+	}
+	l, errL := adaptiveSimpsonAux(f, a, m, eps/2, left, fa, flm, fm, depth+1)
+	r, errR := adaptiveSimpsonAux(f, m, b, eps/2, right, fm, frm, fb, depth+1)
+	if errL != nil {
+		return l + r, errL
+	}
+	return l + r, errR
+}
+
+// AdaptiveSimpson integrates f over the finite interval [a, b] to absolute
+// tolerance tol using adaptive Simpson quadrature. A non-positive tol
+// selects DefaultTol. The returned error is ErrMaxDepth when refinement ran
+// out of depth; the best available estimate is still returned.
+func AdaptiveSimpson(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if a == b {
+		return 0, nil
+	}
+	sign := 1.0
+	if a > b {
+		a, b = b, a
+		sign = -1
+	}
+	fa := f(a)
+	fm := f((a + b) / 2)
+	fb := f(b)
+	whole := simpson(a, b, fa, fm, fb)
+	v, err := adaptiveSimpsonAux(f, a, b, tol, whole, fa, fm, fb, 0)
+	return sign * v, err
+}
+
+// IntegrateSegments integrates f over consecutive segments whose boundaries
+// are given in ascending order, summing the per-segment adaptive Simpson
+// results. Boundaries that repeat are skipped. It is the workhorse for
+// integrating against heavy-tailed densities: callers pass quantiles of the
+// density as boundaries so each segment is well behaved.
+func IntegrateSegments(f func(float64) float64, boundaries []float64, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	var total float64
+	var firstErr error
+	for i := 1; i < len(boundaries); i++ {
+		a, b := boundaries[i-1], boundaries[i]
+		if !(b > a) {
+			continue
+		}
+		v, err := AdaptiveSimpson(f, a, b, tol/float64(len(boundaries)))
+		total += v
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// gauss-Legendre nodes and weights on [-1, 1], 20-point rule. Values from
+// standard tables (Abramowitz & Stegun 25.4.30), symmetric about 0.
+var (
+	glNodes20 = []float64{
+		0.0765265211334973, 0.2277858511416451, 0.3737060887154196,
+		0.5108670019508271, 0.6360536807265150, 0.7463319064601508,
+		0.8391169718222188, 0.9122344282513259, 0.9639719272779138,
+		0.9931285991850949,
+	}
+	glWeights20 = []float64{
+		0.1527533871307258, 0.1491729864726037, 0.1420961093183821,
+		0.1316886384491766, 0.1181945319615184, 0.1019301198172404,
+		0.0832767415767047, 0.0626720483341091, 0.0406014298003869,
+		0.0176140071391521,
+	}
+)
+
+// GaussLegendre20 integrates f over [a, b] with a single 20-point
+// Gauss–Legendre rule. It is fast and very accurate for smooth integrands;
+// use AdaptiveSimpson when smoothness is uncertain.
+func GaussLegendre20(f func(float64) float64, a, b float64) float64 {
+	c := (a + b) / 2
+	h := (b - a) / 2
+	var sum float64
+	for i, x := range glNodes20 {
+		w := glWeights20[i]
+		sum += w * (f(c+h*x) + f(c-h*x))
+	}
+	return sum * h
+}
+
+// GaussLegendreSegments applies GaussLegendre20 on each consecutive pair of
+// boundaries and sums the results, skipping empty or inverted segments.
+func GaussLegendreSegments(f func(float64) float64, boundaries []float64) float64 {
+	var total float64
+	for i := 1; i < len(boundaries); i++ {
+		a, b := boundaries[i-1], boundaries[i]
+		if b > a {
+			total += GaussLegendre20(f, a, b)
+		}
+	}
+	return total
+}
+
+// gauss-Legendre nodes and weights on [-1, 1], 10-point rule.
+var (
+	glNodes10 = []float64{
+		0.1488743389816312, 0.4333953941292472, 0.6794095682990244,
+		0.8650633666889845, 0.9739065285171717,
+	}
+	glWeights10 = []float64{
+		0.2955242247147529, 0.2692667193099963, 0.2190863625159820,
+		0.1494513491505806, 0.0666713443086881,
+	}
+)
+
+// GaussLegendreNodes10 appends the 10-point Gauss–Legendre nodes and
+// weights for [a, b] to xs and ws. Preferred when the integrand is cheap to
+// refine but evaluated for many outer iterations (the ζ model's sliding
+// product), where node count dominates cost.
+func GaussLegendreNodes10(a, b float64, xs, ws []float64) ([]float64, []float64) {
+	c := (a + b) / 2
+	h := (b - a) / 2
+	for i, x := range glNodes10 {
+		w := glWeights10[i] * h
+		xs = append(xs, c+h*x, c-h*x)
+		ws = append(ws, w, w)
+	}
+	return xs, ws
+}
+
+// GaussLegendreNodesSegments10 builds 10-point nodes and weights across
+// consecutive boundary pairs, skipping degenerate segments.
+func GaussLegendreNodesSegments10(boundaries []float64) (xs, ws []float64) {
+	for i := 1; i < len(boundaries); i++ {
+		a, b := boundaries[i-1], boundaries[i]
+		if b > a {
+			xs, ws = GaussLegendreNodes10(a, b, xs, ws)
+		}
+	}
+	return xs, ws
+}
+
+// GaussLegendreNodes appends the 20-point Gauss–Legendre nodes and weights
+// for the interval [a, b] to xs and ws. Callers that integrate many
+// different functions against the same measure precompute the node set once
+// (the ζ model evaluates a product integrand on fixed nodes for thousands
+// of outer-sum terms).
+func GaussLegendreNodes(a, b float64, xs, ws []float64) ([]float64, []float64) {
+	c := (a + b) / 2
+	h := (b - a) / 2
+	for i, x := range glNodes20 {
+		w := glWeights20[i] * h
+		xs = append(xs, c+h*x, c-h*x)
+		ws = append(ws, w, w)
+	}
+	return xs, ws
+}
+
+// GaussLegendreNodesSegments builds nodes and weights across consecutive
+// boundary pairs, skipping degenerate segments.
+func GaussLegendreNodesSegments(boundaries []float64) (xs, ws []float64) {
+	for i := 1; i < len(boundaries); i++ {
+		a, b := boundaries[i-1], boundaries[i]
+		if b > a {
+			xs, ws = GaussLegendreNodes(a, b, xs, ws)
+		}
+	}
+	return xs, ws
+}

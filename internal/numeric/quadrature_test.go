@@ -1,0 +1,195 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestAdaptiveSimpsonPolynomial(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 3 }, 0, 2, 6},
+		{"linear", func(x float64) float64 { return x }, 0, 4, 8},
+		{"quadratic", func(x float64) float64 { return x * x }, 0, 3, 9},
+		{"cubic", func(x float64) float64 { return x * x * x }, -1, 1, 0},
+		{"quartic", func(x float64) float64 { return x * x * x * x }, 0, 1, 0.2},
+		{"sin over period", math.Sin, 0, 2 * math.Pi, 0},
+		{"sin half period", math.Sin, 0, math.Pi, 2},
+		{"exp", math.Exp, 0, 1, math.E - 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := AdaptiveSimpson(tc.f, tc.a, tc.b, 1e-10)
+			if err != nil {
+				t.Fatalf("AdaptiveSimpson error: %v", err)
+			}
+			if !almostEqual(got, tc.want, 1e-8) {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAdaptiveSimpsonReversedInterval(t *testing.T) {
+	got, err := AdaptiveSimpson(func(x float64) float64 { return x }, 4, 0, 1e-10)
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	if !almostEqual(got, -8, 1e-8) {
+		t.Errorf("reversed interval: got %v, want -8", got)
+	}
+}
+
+func TestAdaptiveSimpsonEmptyInterval(t *testing.T) {
+	got, err := AdaptiveSimpson(math.Exp, 1, 1, 1e-10)
+	if err != nil || got != 0 {
+		t.Errorf("empty interval: got %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestAdaptiveSimpsonPeakedIntegrand(t *testing.T) {
+	// Narrow Gaussian centered at 5: ∫ ≈ 1 over a wide interval.
+	sigma := 0.01
+	f := func(x float64) float64 {
+		z := (x - 5) / sigma
+		return math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+	}
+	got, err := AdaptiveSimpson(f, 0, 10, 1e-10)
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	if !almostEqual(got, 1, 1e-6) {
+		t.Errorf("peaked integrand: got %v, want 1", got)
+	}
+}
+
+func TestIntegrateSegments(t *testing.T) {
+	got, err := IntegrateSegments(math.Exp, []float64{0, 0.25, 0.5, 0.5, 1}, 1e-10)
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	if !almostEqual(got, math.E-1, 1e-8) {
+		t.Errorf("got %v, want %v", got, math.E-1)
+	}
+}
+
+func TestIntegrateSegmentsSkipsInverted(t *testing.T) {
+	got, err := IntegrateSegments(func(x float64) float64 { return 1 }, []float64{0, 2, 1, 3}, 1e-10)
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	// Segments: [0,2] counted, [2,1] skipped, [1,3] counted -> 2 + 2 = 4.
+	if !almostEqual(got, 4, 1e-8) {
+		t.Errorf("got %v, want 4", got)
+	}
+}
+
+func TestGaussLegendre20Smooth(t *testing.T) {
+	got := GaussLegendre20(math.Exp, 0, 1)
+	if !almostEqual(got, math.E-1, 1e-12) {
+		t.Errorf("exp: got %v, want %v", got, math.E-1)
+	}
+	got = GaussLegendre20(func(x float64) float64 { return math.Cos(x) }, 0, math.Pi/2)
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("cos: got %v, want 1", got)
+	}
+}
+
+func TestGaussLegendreSegments(t *testing.T) {
+	got := GaussLegendreSegments(math.Exp, []float64{0, 0.3, 1})
+	if !almostEqual(got, math.E-1, 1e-12) {
+		t.Errorf("got %v, want %v", got, math.E-1)
+	}
+}
+
+func TestQuadratureAgreement(t *testing.T) {
+	// Property: adaptive Simpson and Gauss-Legendre agree on random smooth
+	// integrands (polynomials with bounded coefficients).
+	f := func(c0, c1, c2, c3 float64) bool {
+		c0 = math.Mod(c0, 10)
+		c1 = math.Mod(c1, 10)
+		c2 = math.Mod(c2, 10)
+		c3 = math.Mod(c3, 10)
+		if math.IsNaN(c0 + c1 + c2 + c3) {
+			return true
+		}
+		p := func(x float64) float64 { return c0 + x*(c1+x*(c2+x*c3)) }
+		a, err := AdaptiveSimpson(p, -2, 3, 1e-10)
+		if err != nil {
+			return false
+		}
+		g := GaussLegendre20(p, -2, 3)
+		return almostEqual(a, g, 1e-6*math.Max(1, math.Abs(g)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaussLegendreNodesIntegrate(t *testing.T) {
+	// Summing w_i * f(x_i) over the node set must reproduce the integral.
+	xs, ws := GaussLegendreNodes(0, 1, nil, nil)
+	if len(xs) != 20 || len(ws) != 20 {
+		t.Fatalf("node count: %d, %d", len(xs), len(ws))
+	}
+	var sum float64
+	for i := range xs {
+		sum += ws[i] * math.Exp(xs[i])
+	}
+	if !almostEqual(sum, math.E-1, 1e-12) {
+		t.Errorf("node-sum integral = %v, want %v", sum, math.E-1)
+	}
+}
+
+func TestGaussLegendreNodes10Integrate(t *testing.T) {
+	xs, ws := GaussLegendreNodes10(0, math.Pi/2, nil, nil)
+	if len(xs) != 10 {
+		t.Fatalf("node count: %d", len(xs))
+	}
+	var sum float64
+	for i := range xs {
+		sum += ws[i] * math.Cos(xs[i])
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("10-point node-sum = %v, want 1", sum)
+	}
+}
+
+func TestGaussLegendreNodesSegments(t *testing.T) {
+	for _, mk := range []func([]float64) ([]float64, []float64){
+		GaussLegendreNodesSegments,
+		GaussLegendreNodesSegments10,
+	} {
+		xs, ws := mk([]float64{0, 0.5, 0.5, 2}) // degenerate middle skipped
+		var sum, wsum float64
+		for i := range xs {
+			sum += ws[i] * xs[i] // ∫ x dx over [0,2] = 2
+			wsum += ws[i]
+		}
+		if !almostEqual(sum, 2, 1e-12) {
+			t.Errorf("segments ∫x = %v", sum)
+		}
+		if !almostEqual(wsum, 2, 1e-12) {
+			t.Errorf("weights sum = %v, want interval length 2", wsum)
+		}
+	}
+}
+
+func TestGaussLegendreNodesAppend(t *testing.T) {
+	// Appending to existing slices must not clobber them.
+	xs := []float64{-1}
+	ws := []float64{-1}
+	xs, ws = GaussLegendreNodes10(0, 1, xs, ws)
+	if xs[0] != -1 || ws[0] != -1 || len(xs) != 11 {
+		t.Errorf("append semantics broken: %v", xs[:2])
+	}
+}

@@ -1,0 +1,155 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is given an interval whose
+// endpoints do not bracket a sign change.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its iteration
+// budget before meeting the tolerance.
+var ErrNoConverge = errors.New("numeric: root finding did not converge")
+
+// Bisect finds a root of f in [a, b] by bisection to absolute x-tolerance
+// tol. f(a) and f(b) must have opposite signs (zero endpoints are returned
+// immediately).
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < 200; i++ {
+		m := (a + b) / 2
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return (a + b) / 2, ErrNoConverge
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). It converges superlinearly for
+// smooth f and never leaves the bracket.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant method.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// SolveMonotone finds x with f(x) = target for a nondecreasing f, expanding
+// the search interval geometrically from [lo, hi] until the target is
+// bracketed, then applying Brent. It is used to invert CDFs and the
+// cumulative in-order-count function of the g model.
+func SolveMonotone(f func(float64) float64, target, lo, hi, tol float64) (float64, error) {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	g := func(x float64) float64 { return f(x) - target }
+	// Expand upward until g(hi) >= 0.
+	for i := 0; g(hi) < 0; i++ {
+		if i >= 200 {
+			return 0, ErrNoBracket
+		}
+		lo = hi
+		hi *= 2
+		if hi > math.MaxFloat64/4 {
+			return 0, ErrNoBracket
+		}
+	}
+	// Expand downward until g(lo) <= 0.
+	for i := 0; g(lo) > 0; i++ {
+		if i >= 200 {
+			return 0, ErrNoBracket
+		}
+		hi = lo
+		if lo > 0 {
+			lo /= 2
+		} else if lo == 0 {
+			lo = -1
+		} else {
+			lo *= 2
+		}
+		if lo < -math.MaxFloat64/4 {
+			return 0, ErrNoBracket
+		}
+	}
+	return Brent(g, lo, hi, tol)
+}

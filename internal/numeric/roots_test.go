@@ -1,0 +1,120 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisect(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"linear", func(x float64) float64 { return x - 2 }, 0, 5, 2},
+		{"quadratic", func(x float64) float64 { return x*x - 4 }, 0, 5, 2},
+		{"cosine", math.Cos, 0, 3, math.Pi / 2},
+		{"cubic", func(x float64) float64 { return x*x*x - 27 }, 0, 10, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Bisect(tc.f, tc.a, tc.b, 1e-10)
+			if err != nil {
+				t.Fatalf("Bisect error: %v", err)
+			}
+			if !almostEqual(got, tc.want, 1e-8) {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got, err := Bisect(f, 0, 1, 1e-12); err != nil || got != 0 {
+		t.Errorf("root at left endpoint: got %v, %v", got, err)
+	}
+	if got, err := Bisect(f, -1, 0, 1e-12); err != nil || got != 0 {
+		t.Errorf("root at right endpoint: got %v, %v", got, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12); err != ErrNoBracket {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrent(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"linear", func(x float64) float64 { return 3*x - 9 }, 0, 10, 3},
+		{"cosine", math.Cos, 0, 3, math.Pi / 2},
+		{"exp shifted", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 10, math.Log(5)},
+		{"flat near root", func(x float64) float64 { return math.Pow(x-1, 3) }, 0, 4, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Brent(tc.f, tc.a, tc.b, 1e-12)
+			if err != nil {
+				t.Fatalf("Brent error: %v", err)
+			}
+			if !almostEqual(got, tc.want, 1e-7) {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 }, 0, 1, 1e-12); err != ErrNoBracket {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestSolveMonotone(t *testing.T) {
+	// f(x) = x^2 on x >= 0; solve f(x) = 49 starting far from the answer.
+	got, err := SolveMonotone(func(x float64) float64 { return x * x }, 49, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatalf("SolveMonotone error: %v", err)
+	}
+	if !almostEqual(got, 7, 1e-8) {
+		t.Errorf("got %v, want 7", got)
+	}
+}
+
+func TestSolveMonotoneExpandsDown(t *testing.T) {
+	got, err := SolveMonotone(func(x float64) float64 { return x }, -100, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatalf("SolveMonotone error: %v", err)
+	}
+	if !almostEqual(got, -100, 1e-6) {
+		t.Errorf("got %v, want -100", got)
+	}
+}
+
+func TestSolveMonotoneProperty(t *testing.T) {
+	// Property: for the strictly increasing f(x) = x + atan(x), SolveMonotone
+	// inverts f at arbitrary targets.
+	f := func(x float64) float64 { return x + math.Atan(x) }
+	prop := func(target float64) bool {
+		target = math.Mod(target, 1000)
+		if math.IsNaN(target) {
+			return true
+		}
+		x, err := SolveMonotone(f, target, 0, 1, 1e-12)
+		if err != nil {
+			return false
+		}
+		return almostEqual(f(x), target, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

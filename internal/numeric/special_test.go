@@ -1,0 +1,113 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.9986501019683699},
+		{-6, 9.865876450376946e-10},
+	}
+	for _, tc := range tests {
+		if got := NormalCDF(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormalPDFKnownValues(t *testing.T) {
+	if got := NormalPDF(0); !almostEqual(got, 1/math.Sqrt(2*math.Pi), 1e-15) {
+		t.Errorf("NormalPDF(0) = %v", got)
+	}
+	if got := NormalPDF(1); !almostEqual(got, 0.24197072451914337, 1e-15) {
+		t.Errorf("NormalPDF(1) = %v", got)
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// ∫_{-8}^{x} φ = Φ(x) for a few x.
+	for _, x := range []float64{-2, -0.5, 0, 0.7, 2.5} {
+		got, err := AdaptiveSimpson(NormalPDF, -8, x, 1e-12)
+		if err != nil {
+			t.Fatalf("integrate: %v", err)
+		}
+		if !almostEqual(got, NormalCDF(x), 1e-9) {
+			t.Errorf("∫φ to %v = %v, want %v", x, got, NormalCDF(x))
+		}
+	}
+}
+
+func TestInvNormalCDFRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-5, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1 - 1e-5, 1 - 1e-10} {
+		x := InvNormalCDF(p)
+		if got := NormalCDF(x); !almostEqual(got, p, 1e-12*math.Max(1, 1/p)) {
+			t.Errorf("NormalCDF(InvNormalCDF(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestInvNormalCDFEdges(t *testing.T) {
+	if !math.IsInf(InvNormalCDF(0), -1) {
+		t.Error("InvNormalCDF(0) should be -Inf")
+	}
+	if !math.IsInf(InvNormalCDF(1), 1) {
+		t.Error("InvNormalCDF(1) should be +Inf")
+	}
+	if got := InvNormalCDF(0.5); got != 0 {
+		t.Errorf("InvNormalCDF(0.5) = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("InvNormalCDF(-0.1) should panic")
+		}
+	}()
+	InvNormalCDF(-0.1)
+}
+
+func TestInvNormalCDFProperty(t *testing.T) {
+	prop := func(u uint32) bool {
+		p := (float64(u) + 0.5) / (float64(math.MaxUint32) + 1)
+		x := InvNormalCDF(p)
+		return almostEqual(NormalCDF(x), p, 1e-10)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKahanSum(t *testing.T) {
+	var k KahanSum
+	// Sum 1 + 1e-16 * 1e6 naive would lose the small terms entirely.
+	k.Add(1)
+	for i := 0; i < 1000000; i++ {
+		k.Add(1e-16)
+	}
+	want := 1 + 1e-10
+	if !almostEqual(k.Value(), want, 1e-14) {
+		t.Errorf("KahanSum = %.18f, want %.18f", k.Value(), want)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tc := range tests {
+		if got := Clamp(tc.v, tc.lo, tc.hi); got != tc.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tc.v, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}

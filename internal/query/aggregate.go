@@ -1,0 +1,87 @@
+package query
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+)
+
+// Aggregation support: monitoring dashboards rarely plot raw points — they
+// downsample a generation-time range into fixed buckets (GROUP BY time
+// windows in IoTDB/InfluxDB SQL dialects). Aggregate scans the engine once
+// and folds points into per-bucket statistics.
+
+// ErrBadBucket is returned for non-positive bucket widths.
+var ErrBadBucket = errors.New("query: bucket width must be positive")
+
+// Bucket is one downsampled time window.
+type Bucket struct {
+	// Start is the bucket's inclusive lower generation-time bound; the
+	// bucket covers [Start, Start+Width).
+	Start int64
+	Count int64
+	Min   float64
+	Max   float64
+	Sum   float64
+	// First and Last are the values at the earliest and latest generation
+	// times inside the bucket.
+	First, Last float64
+}
+
+// Mean returns the bucket average (NaN for empty buckets, which are not
+// emitted by Aggregate).
+func (b Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return math.NaN()
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// Aggregate downsamples [lo, hi] into buckets of the given width. Empty
+// buckets are omitted. The scan statistics of the underlying engine scan
+// are returned for cost accounting.
+func Aggregate(e *lsm.Engine, lo, hi, width int64) ([]Bucket, lsm.ScanStats, error) {
+	if width <= 0 {
+		return nil, lsm.ScanStats{}, ErrBadBucket
+	}
+	pts, st := e.Scan(lo, hi)
+	return AggregatePoints(pts, lo, width), st, nil
+}
+
+// AggregatePoints folds already-fetched points (sorted by generation time)
+// into buckets anchored at origin with the given width.
+func AggregatePoints(pts []series.Point, origin, width int64) []Bucket {
+	if width <= 0 || len(pts) == 0 {
+		return nil
+	}
+	var out []Bucket
+	var cur *Bucket
+	for _, p := range pts {
+		start := origin + (p.TG-origin)/width*width
+		if p.TG < origin {
+			// Floor division toward -inf for points before the origin.
+			start = origin + ((p.TG-origin-width+1)/width)*width
+		}
+		if cur == nil || cur.Start != start {
+			out = append(out, Bucket{
+				Start: start,
+				Min:   p.V,
+				Max:   p.V,
+				First: p.V,
+			})
+			cur = &out[len(out)-1]
+		}
+		cur.Count++
+		cur.Sum += p.V
+		if p.V < cur.Min {
+			cur.Min = p.V
+		}
+		if p.V > cur.Max {
+			cur.Max = p.V
+		}
+		cur.Last = p.V
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+)
+
+func TestAggregatePointsBasic(t *testing.T) {
+	pts := []series.Point{
+		{TG: 0, V: 1}, {TG: 5, V: 3}, {TG: 9, V: 2}, // bucket [0,10)
+		{TG: 10, V: 10},                 // bucket [10,20)
+		{TG: 25, V: -1}, {TG: 29, V: 4}, // bucket [20,30)
+	}
+	bs := AggregatePoints(pts, 0, 10)
+	if len(bs) != 3 {
+		t.Fatalf("%d buckets", len(bs))
+	}
+	b0 := bs[0]
+	if b0.Start != 0 || b0.Count != 3 || b0.Min != 1 || b0.Max != 3 || b0.Sum != 6 {
+		t.Errorf("bucket 0: %+v", b0)
+	}
+	if b0.First != 1 || b0.Last != 2 {
+		t.Errorf("bucket 0 first/last: %+v", b0)
+	}
+	if got := b0.Mean(); got != 2 {
+		t.Errorf("bucket 0 mean: %v", got)
+	}
+	if bs[1].Start != 10 || bs[1].Count != 1 {
+		t.Errorf("bucket 1: %+v", bs[1])
+	}
+	if bs[2].Start != 20 || bs[2].Min != -1 || bs[2].Max != 4 {
+		t.Errorf("bucket 2: %+v", bs[2])
+	}
+}
+
+func TestAggregatePointsEmptyAndBadWidth(t *testing.T) {
+	if got := AggregatePoints(nil, 0, 10); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := AggregatePoints([]series.Point{{TG: 1}}, 0, 0); got != nil {
+		t.Errorf("zero width: %v", got)
+	}
+}
+
+func TestAggregatePointsSkipsEmptyBuckets(t *testing.T) {
+	pts := []series.Point{{TG: 0, V: 1}, {TG: 100, V: 2}}
+	bs := AggregatePoints(pts, 0, 10)
+	if len(bs) != 2 {
+		t.Fatalf("%d buckets, want 2 (gaps skipped)", len(bs))
+	}
+	if bs[1].Start != 100 {
+		t.Errorf("second bucket start %d", bs[1].Start)
+	}
+}
+
+func TestAggregatePointsNegativeOriginOffset(t *testing.T) {
+	pts := []series.Point{{TG: -15, V: 1}, {TG: -5, V: 2}, {TG: 5, V: 3}}
+	bs := AggregatePoints(pts, 0, 10)
+	if len(bs) != 3 {
+		t.Fatalf("%d buckets: %+v", len(bs), bs)
+	}
+	if bs[0].Start != -20 || bs[1].Start != -10 || bs[2].Start != 0 {
+		t.Errorf("starts: %d %d %d", bs[0].Start, bs[1].Start, bs[2].Start)
+	}
+}
+
+func TestBucketMeanEmpty(t *testing.T) {
+	if !math.IsNaN((Bucket{}).Mean()) {
+		t.Error("empty bucket mean should be NaN")
+	}
+}
+
+func TestAggregateAgainstEngine(t *testing.T) {
+	e, err := lsm.Open(lsm.Config{Policy: lsm.Separation, MemBudget: 64, SeqCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// 1000 points, value = TG; buckets of 100 TG units with 10 points each.
+	for i := int64(0); i < 1000; i++ {
+		tg := i * 10
+		if err := e.Put(series.Point{TG: tg, TA: tg, V: float64(tg)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs, st, err := Aggregate(e, 0, 9990, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 100 {
+		t.Fatalf("%d buckets, want 100", len(bs))
+	}
+	for i, b := range bs {
+		wantStart := int64(i) * 100
+		if b.Start != wantStart || b.Count != 10 {
+			t.Fatalf("bucket %d: %+v", i, b)
+		}
+		if b.Min != float64(wantStart) || b.Max != float64(wantStart+90) {
+			t.Fatalf("bucket %d min/max: %+v", i, b)
+		}
+		if b.Mean() != float64(wantStart)+45 {
+			t.Fatalf("bucket %d mean: %v", i, b.Mean())
+		}
+	}
+	if st.ResultPoints != 1000 {
+		t.Errorf("scan stats: %+v", st)
+	}
+	if _, _, err := Aggregate(e, 0, 100, 0); err != ErrBadBucket {
+		t.Errorf("bad width: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package query implements the evaluation's two query workloads and their
+// cost accounting (Section V-D):
+//
+//   - the recent-data workload, issued while writing: every few points a
+//     range query asks for the latest "window" of generation time
+//     (SELECT * FROM TS WHERE time > max_time − window);
+//   - the historical workload, with a uniformly random lower bound
+//     (SELECT * WHERE time > rand AND time < rand + window).
+//
+// Latency is reported two ways: measured wall time of the in-memory scan,
+// and a deterministic HDD cost model — per-file seek cost plus per-point
+// read cost — which reproduces the paper's testbed trade-off: π_s reads
+// fewer points (lower read amplification) but touches more, smaller
+// SSTables (more seeks), which can make recent-data queries slower than
+// under π_c (Fig. 12/13/14).
+package query
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+)
+
+// CostModel converts scan statistics into a modeled latency in
+// nanoseconds.
+type CostModel struct {
+	// SeekNs is charged per SSTable touched (HDD head movement).
+	SeekNs float64
+	// PointNs is charged per point read from disk (whole touched tables).
+	PointNs float64
+	// BaseNs is the fixed per-query overhead.
+	BaseNs float64
+}
+
+// DefaultHDD is a 7200 rpm HDD-flavoured cost model: ~5 ms per seek and
+// ~1 µs per point (small rows, sequential within a table).
+func DefaultHDD() CostModel {
+	return CostModel{SeekNs: 5e6, PointNs: 1e3, BaseNs: 1e5}
+}
+
+// Latency returns the modeled latency for one scan.
+func (m CostModel) Latency(st lsm.ScanStats) float64 {
+	return m.BaseNs + m.SeekNs*float64(st.TablesTouched) + m.PointNs*float64(st.TablePoints)
+}
+
+// Result aggregates one workload's measurements for a single window
+// length.
+type Result struct {
+	Window int64 // query window (generation-time units)
+	// Queries is the number of queries issued.
+	Queries int
+	// AvgReadAmp is the mean read amplification (points read / points
+	// returned) over queries that returned data.
+	AvgReadAmp float64
+	// AvgModelNs is the mean cost-model latency.
+	AvgModelNs float64
+	// AvgWallNs is the mean measured wall-clock latency of the scan.
+	AvgWallNs float64
+	// AvgTables is the mean number of SSTables touched.
+	AvgTables float64
+	// AvgResult is the mean number of points returned.
+	AvgResult float64
+}
+
+// accumulator builds a Result incrementally.
+type accumulator struct {
+	window  int64
+	queries int
+	raSum   float64
+	raN     int
+	modelNs float64
+	wallNs  float64
+	tables  float64
+	result  float64
+}
+
+func (a *accumulator) observe(st lsm.ScanStats, wall time.Duration, m CostModel) {
+	a.queries++
+	if st.ResultPoints > 0 {
+		a.raSum += st.ReadAmplification()
+		a.raN++
+	}
+	a.modelNs += m.Latency(st)
+	a.wallNs += float64(wall.Nanoseconds())
+	a.tables += float64(st.TablesTouched)
+	a.result += float64(st.ResultPoints)
+}
+
+func (a *accumulator) result_() Result {
+	r := Result{Window: a.window, Queries: a.queries}
+	if a.raN > 0 {
+		r.AvgReadAmp = a.raSum / float64(a.raN)
+	}
+	if a.queries > 0 {
+		q := float64(a.queries)
+		r.AvgModelNs = a.modelNs / q
+		r.AvgWallNs = a.wallNs / q
+		r.AvgTables = a.tables / q
+		r.AvgResult = a.result / q
+	}
+	return r
+}
+
+// RunRecent ingests ps into e and, every queryEvery points, issues one
+// recent-data query per window length: Scan(maxWritten − window,
+// maxWritten], where maxWritten is the largest generation time the client
+// has written so far (the paper's client records exactly this). It returns
+// one Result per window.
+func RunRecent(e *lsm.Engine, ps []series.Point, windows []int64, queryEvery int, m CostModel) ([]Result, error) {
+	if queryEvery < 1 {
+		queryEvery = 1
+	}
+	accs := make([]accumulator, len(windows))
+	for i, w := range windows {
+		accs[i].window = w
+	}
+	var maxWritten int64
+	haveMax := false
+	for i, p := range ps {
+		if err := e.Put(p); err != nil {
+			return nil, err
+		}
+		if !haveMax || p.TG > maxWritten {
+			maxWritten = p.TG
+			haveMax = true
+		}
+		if (i+1)%queryEvery != 0 {
+			continue
+		}
+		for wi, w := range windows {
+			start := time.Now()
+			_, st := e.Scan(maxWritten-w, maxWritten)
+			accs[wi].observe(st, time.Since(start), m)
+		}
+	}
+	out := make([]Result, len(accs))
+	for i := range accs {
+		out[i] = accs[i].result_()
+	}
+	return out, nil
+}
+
+// RunHistorical issues queries random ranges against an already-loaded
+// engine: for each window length, queries uniformly random lower bounds
+// with upper bound lo + window, never exceeding the engine's maximum
+// generation time (matching Section V-D2). It returns one Result per
+// window.
+func RunHistorical(e *lsm.Engine, windows []int64, queries int, seed int64, m CostModel) []Result {
+	rng := rand.New(rand.NewSource(seed))
+	maxTG, ok := e.MaxTG()
+	out := make([]Result, len(windows))
+	for wi, w := range windows {
+		acc := accumulator{window: w}
+		if ok {
+			span := maxTG - w
+			if span < 1 {
+				span = 1
+			}
+			for q := 0; q < queries; q++ {
+				lo := rng.Int63n(span)
+				start := time.Now()
+				_, st := e.Scan(lo, lo+w)
+				acc.observe(st, time.Since(start), m)
+			}
+		}
+		out[wi] = acc.result_()
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/workload"
+)
+
+func newEngine(t *testing.T, pol lsm.PolicyKind, seqCap int) *lsm.Engine {
+	t.Helper()
+	e, err := lsm.Open(lsm.Config{Policy: pol, MemBudget: 64, SeqCapacity: seqCap, SSTablePoints: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCostModelLatency(t *testing.T) {
+	m := CostModel{SeekNs: 100, PointNs: 1, BaseNs: 10}
+	st := lsm.ScanStats{TablesTouched: 3, TablePoints: 50}
+	if got := m.Latency(st); got != 10+300+50 {
+		t.Errorf("Latency = %v", got)
+	}
+	if d := DefaultHDD(); d.SeekNs <= d.PointNs {
+		t.Error("HDD model must be seek-dominated")
+	}
+}
+
+func TestRunRecentBasics(t *testing.T) {
+	e := newEngine(t, lsm.Conventional, 0)
+	defer e.Close()
+	ps := workload.Synthetic(5000, 50, dist.NewLognormal(4, 1.5), 1)
+	windows := []int64{500, 1000, 5000}
+	res, err := RunRecent(e, ps, windows, 100, DefaultHDD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	for i, r := range res {
+		if r.Window != windows[i] {
+			t.Errorf("result %d window %d", i, r.Window)
+		}
+		if r.Queries != 50 {
+			t.Errorf("window %d: %d queries, want 50", r.Window, r.Queries)
+		}
+		if r.AvgModelNs <= 0 {
+			t.Errorf("window %d: no model latency", r.Window)
+		}
+	}
+	// Longer window ⇒ more points returned and higher latency (paper's
+	// phenomenon (1) in Fig. 13).
+	if !(res[0].AvgResult < res[1].AvgResult && res[1].AvgResult < res[2].AvgResult) {
+		t.Errorf("result sizes not increasing: %+v", res)
+	}
+	if !(res[0].AvgModelNs <= res[1].AvgModelNs && res[1].AvgModelNs <= res[2].AvgModelNs) {
+		t.Errorf("latency not increasing with window: %v %v %v",
+			res[0].AvgModelNs, res[1].AvgModelNs, res[2].AvgModelNs)
+	}
+	// Longer window ⇒ lower read amplification (phenomenon (2) in
+	// Fig. 12).
+	if !(res[2].AvgReadAmp <= res[0].AvgReadAmp) {
+		t.Errorf("RA should fall with window: %v -> %v", res[0].AvgReadAmp, res[2].AvgReadAmp)
+	}
+}
+
+func TestRecentSeparationLowerRAMoreFiles(t *testing.T) {
+	// The paper's Fig. 12: π_s has lower read amplification; its smaller
+	// SSTables mean more files touched.
+	ps := workload.Synthetic(20000, 50, dist.NewLognormal(5, 1.75), 2)
+	ec := newEngine(t, lsm.Conventional, 0)
+	es := newEngine(t, lsm.Separation, 16) // small Cseq -> small flushed tables
+	defer ec.Close()
+	defer es.Close()
+	w := []int64{5000}
+	rc, err := RunRecent(ec, ps, w, 200, DefaultHDD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RunRecent(es, ps, w, 200, DefaultHDD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].AvgReadAmp >= rc[0].AvgReadAmp {
+		t.Errorf("pi_s RA %v should undercut pi_c %v", rs[0].AvgReadAmp, rc[0].AvgReadAmp)
+	}
+	if rs[0].AvgTables <= rc[0].AvgTables {
+		t.Errorf("pi_s tables %v should exceed pi_c %v", rs[0].AvgTables, rc[0].AvgTables)
+	}
+}
+
+func TestRunHistoricalBasics(t *testing.T) {
+	e := newEngine(t, lsm.Separation, 32)
+	defer e.Close()
+	ps := workload.Synthetic(10000, 50, dist.NewLognormal(4, 1.75), 3)
+	for _, p := range ps {
+		if err := e.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := RunHistorical(e, []int64{1000, 10000}, 50, 4, DefaultHDD())
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	for _, r := range res {
+		if r.Queries != 50 {
+			t.Errorf("window %d: %d queries", r.Window, r.Queries)
+		}
+	}
+	if res[1].AvgResult <= res[0].AvgResult {
+		t.Errorf("longer window should return more: %v vs %v", res[1].AvgResult, res[0].AvgResult)
+	}
+}
+
+func TestRunHistoricalEmptyEngine(t *testing.T) {
+	e := newEngine(t, lsm.Conventional, 0)
+	defer e.Close()
+	res := RunHistorical(e, []int64{100}, 10, 5, DefaultHDD())
+	if len(res) != 1 || res[0].Queries != 0 {
+		t.Errorf("empty engine: %+v", res)
+	}
+}
+
+func TestRunRecentQueryEveryClamp(t *testing.T) {
+	e := newEngine(t, lsm.Conventional, 0)
+	defer e.Close()
+	ps := workload.Synthetic(100, 50, dist.NewUniform(0, 10), 6)
+	res, err := RunRecent(e, ps, []int64{100}, 0, DefaultHDD()) // clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Queries != 100 {
+		t.Errorf("queries = %d, want one per point", res[0].Queries)
+	}
+}

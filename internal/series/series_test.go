@@ -1,0 +1,197 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelay(t *testing.T) {
+	p := Point{TG: 100, TA: 150}
+	if p.Delay() != 50 {
+		t.Errorf("Delay = %d", p.Delay())
+	}
+}
+
+func TestSortByTG(t *testing.T) {
+	ps := []Point{{TG: 3}, {TG: 1}, {TG: 2}}
+	SortByTG(ps)
+	if !IsSortedByTG(ps) {
+		t.Errorf("not sorted: %v", ps)
+	}
+}
+
+func TestSortByTATieBreak(t *testing.T) {
+	ps := []Point{{TG: 5, TA: 10}, {TG: 2, TA: 10}, {TG: 9, TA: 5}}
+	SortByTA(ps)
+	want := []Point{{TG: 9, TA: 5}, {TG: 2, TA: 10}, {TG: 5, TA: 10}}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("got %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestIsSortedByTG(t *testing.T) {
+	if !IsSortedByTG(nil) {
+		t.Error("nil should be sorted")
+	}
+	if !IsSortedByTG([]Point{{TG: 1}, {TG: 1}, {TG: 2}}) {
+		t.Error("nondecreasing should be sorted")
+	}
+	if IsSortedByTG([]Point{{TG: 2}, {TG: 1}}) {
+		t.Error("decreasing should not be sorted")
+	}
+}
+
+func TestMergeByTGDisjoint(t *testing.T) {
+	a := []Point{{TG: 1}, {TG: 3}}
+	b := []Point{{TG: 2}, {TG: 4}}
+	got := MergeByTG(a, b)
+	if len(got) != 4 || !IsSortedByTG(got) {
+		t.Fatalf("merge: %v", got)
+	}
+}
+
+func TestMergeByTGShadowing(t *testing.T) {
+	a := []Point{{TG: 1, V: 1}, {TG: 2, V: 1}}
+	b := []Point{{TG: 2, V: 2}}
+	got := MergeByTG(a, b)
+	if len(got) != 2 {
+		t.Fatalf("merge: %v", got)
+	}
+	if got[1].V != 2 {
+		t.Errorf("duplicate key should take b's value, got %v", got[1])
+	}
+}
+
+func TestMergeByTGEmptySides(t *testing.T) {
+	a := []Point{{TG: 1}}
+	if got := MergeByTG(a, nil); len(got) != 1 {
+		t.Errorf("merge with nil b: %v", got)
+	}
+	if got := MergeByTG(nil, a); len(got) != 1 {
+		t.Errorf("merge with nil a: %v", got)
+	}
+	if got := MergeByTG(nil, nil); len(got) != 0 {
+		t.Errorf("merge of nils: %v", got)
+	}
+}
+
+func TestMergePropertySortedAndComplete(t *testing.T) {
+	prop := func(as, bs []int16) bool {
+		a := make([]Point, len(as))
+		for i, v := range as {
+			a[i] = Point{TG: int64(v) * 2} // even keys
+		}
+		b := make([]Point, len(bs))
+		for i, v := range bs {
+			b[i] = Point{TG: int64(v)*2 + 1} // odd keys: disjoint from a
+		}
+		SortByTG(a)
+		SortByTG(b)
+		a = dedupe(a)
+		b = dedupe(b)
+		got := MergeByTG(a, b)
+		if !IsSortedByTG(got) {
+			return false
+		}
+		return len(got) == len(a)+len(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupe(ps []Point) []Point {
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p.TG != ps[i-1].TG {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestCountOutOfOrderAllInOrder(t *testing.T) {
+	ps := make([]Point, 100)
+	for i := range ps {
+		ps[i] = Point{TG: int64(i), TA: int64(i)}
+	}
+	if got := CountOutOfOrder(ps, 10, math.MinInt64); got != 0 {
+		t.Errorf("in-order stream: %d out-of-order", got)
+	}
+}
+
+func TestCountOutOfOrderSingleLatePoint(t *testing.T) {
+	// Points 0..9 arrive, fill buffer of 10 (frontier -> 9), then an old
+	// point with TG 5 arrives: exactly one out-of-order point.
+	ps := make([]Point, 0, 11)
+	for i := 0; i < 10; i++ {
+		ps = append(ps, Point{TG: int64(i)})
+	}
+	ps = append(ps, Point{TG: 5})
+	if got := CountOutOfOrder(ps, 10, math.MinInt64); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}
+
+func TestCountOutOfOrderBufferedLateNotCounted(t *testing.T) {
+	// A late point arriving before any flush is still in-order per
+	// Definition 3 (the run on disk is empty).
+	ps := []Point{{TG: 10}, {TG: 5}, {TG: 20}}
+	if got := CountOutOfOrder(ps, 100, math.MinInt64); got != 0 {
+		t.Errorf("got %d, want 0 before any flush", got)
+	}
+}
+
+func TestCountOutOfOrderDegenerateBufCap(t *testing.T) {
+	ps := []Point{{TG: 2}, {TG: 1}}
+	// bufCap clamps to 1: frontier is 2 when TG=1 arrives.
+	if got := CountOutOfOrder(ps, 0, math.MinInt64); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}
+
+func TestCountOutOfOrderRandomizedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 200
+		ps := make([]Point, n)
+		for i := range ps {
+			tg := int64(i * 10)
+			ta := tg + rng.Int63n(300)
+			ps[i] = Point{TG: tg, TA: ta}
+		}
+		SortByTA(ps)
+		bufCap := 1 + rng.Intn(32)
+		got := CountOutOfOrder(ps, bufCap, math.MinInt64)
+		want := naiveCountOOO(ps, bufCap)
+		if got != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// naiveCountOOO is an independent reimplementation used as a test oracle.
+func naiveCountOOO(ps []Point, bufCap int) int {
+	last := int64(math.MinInt64)
+	count := 0
+	var buf []Point
+	for _, p := range ps {
+		if p.TG < last {
+			count++
+		}
+		buf = append(buf, p)
+		if len(buf) == bufCap {
+			sort.Slice(buf, func(i, j int) bool { return buf[i].TG < buf[j].TG })
+			if buf[len(buf)-1].TG > last {
+				last = buf[len(buf)-1].TG
+			}
+			buf = nil
+		}
+	}
+	return count
+}

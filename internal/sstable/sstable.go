@@ -1,0 +1,371 @@
+// Package sstable implements the immutable sorted string table that holds
+// time-series points on disk. Points inside a table are sorted by
+// generation time (the paper: "In an SSTable, the entries are sorted by the
+// generation time").
+//
+// A Table keeps its points decoded in memory for fast merging and scanning
+// — the experiments are simulation-scale — while Encode/Decode provide a
+// durable on-disk image with delta-compressed timestamp blocks, per-block
+// CRC32 checksums, a block index, and a Bloom filter over generation
+// timestamps for point lookups.
+package sstable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/bloom"
+	"repro/internal/encoding"
+	"repro/internal/series"
+)
+
+// Magic identifies encoded SSTable images.
+const Magic uint32 = 0x54535354 // "TSST"
+
+// FormatVersion is the current encoding version. Version 1 stores values
+// as raw IEEE-754; version 2 compresses them with the Gorilla XOR codec.
+// Decode accepts both.
+const FormatVersion = 2
+
+// DefaultBlockPoints is the number of points per encoded block.
+const DefaultBlockPoints = 128
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic    = errors.New("sstable: bad magic")
+	ErrBadVersion  = errors.New("sstable: unsupported format version")
+	ErrCorrupt     = errors.New("sstable: corrupt data")
+	ErrChecksum    = errors.New("sstable: block checksum mismatch")
+	ErrUnsorted    = errors.New("sstable: points not sorted by generation time")
+	ErrEmptyTable  = errors.New("sstable: table must contain at least one point")
+	ErrDupTimstamp = errors.New("sstable: duplicate generation timestamp")
+)
+
+// Table is an immutable run of points sorted ascending by generation time.
+type Table struct {
+	id     uint64
+	points []series.Point
+	filter *bloom.Filter
+}
+
+// Build constructs a table with the given id from points that must be
+// sorted strictly ascending by generation time. Build takes ownership of
+// the slice.
+func Build(id uint64, points []series.Point) (*Table, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyTable
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].TG < points[i-1].TG {
+			return nil, ErrUnsorted
+		}
+		if points[i].TG == points[i-1].TG {
+			return nil, ErrDupTimstamp
+		}
+	}
+	f := bloom.New(len(points), 0.01)
+	for _, p := range points {
+		f.Add(uint64(p.TG))
+	}
+	return &Table{id: id, points: points, filter: f}, nil
+}
+
+// ID returns the table's unique identifier.
+func (t *Table) ID() uint64 { return t.id }
+
+// Len returns the number of points.
+func (t *Table) Len() int { return len(t.points) }
+
+// MinTG returns the earliest generation time in the table.
+func (t *Table) MinTG() int64 { return t.points[0].TG }
+
+// MaxTG returns the latest generation time in the table.
+func (t *Table) MaxTG() int64 { return t.points[len(t.points)-1].TG }
+
+// Points returns the backing point slice. Callers must not modify it.
+func (t *Table) Points() []series.Point { return t.points }
+
+// Overlaps reports whether the table's generation-time range intersects
+// [lo, hi] (inclusive).
+func (t *Table) Overlaps(lo, hi int64) bool {
+	return t.MinTG() <= hi && t.MaxTG() >= lo
+}
+
+// Get returns the point with generation time tg, consulting the Bloom
+// filter first. The second result reports whether the point exists.
+func (t *Table) Get(tg int64) (series.Point, bool) {
+	if !t.filter.MayContain(uint64(tg)) {
+		return series.Point{}, false
+	}
+	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].TG >= tg })
+	if i < len(t.points) && t.points[i].TG == tg {
+		return t.points[i], true
+	}
+	return series.Point{}, false
+}
+
+// Scan returns the sub-slice of points with generation time in [lo, hi]
+// (inclusive). The returned slice aliases the table and must not be
+// modified.
+func (t *Table) Scan(lo, hi int64) []series.Point {
+	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].TG >= lo })
+	j := sort.Search(len(t.points), func(j int) bool { return t.points[j].TG > hi })
+	return t.points[i:j]
+}
+
+// Iterator walks the table's points in generation-time order.
+type Iterator struct {
+	points []series.Point
+	pos    int
+}
+
+// Iter returns an iterator positioned before the first point.
+func (t *Table) Iter() *Iterator { return &Iterator{points: t.points} }
+
+// Next advances and reports whether a point is available.
+func (it *Iterator) Next() bool {
+	if it.pos >= len(it.points) {
+		return false
+	}
+	it.pos++
+	return it.pos <= len(it.points)
+}
+
+// Point returns the current point; valid only after a true Next.
+func (it *Iterator) Point() series.Point { return it.points[it.pos-1] }
+
+// blockIndexEntry locates one block inside the encoded image.
+type blockIndexEntry struct {
+	minTG  int64
+	maxTG  int64
+	count  int
+	offset int // from start of blocks region
+	length int
+}
+
+// Encode serializes the table at the current FormatVersion. Layout:
+//
+//	magic u32 | version u8 | id uvarint | count uvarint | blockPoints uvarint
+//	| numBlocks uvarint | index entries | bloomLen uvarint | bloom
+//	| blocks region
+//
+// Each index entry: minTG varint, maxTG varint, count uvarint,
+// offset uvarint, length uvarint. Each block: payload (delta-encoded TGs,
+// delta-encoded TAs, then values — raw float64 in v1, Gorilla-compressed
+// in v2) followed by CRC32-IEEE of the payload.
+func (t *Table) Encode(blockPoints int) []byte {
+	return t.EncodeVersion(blockPoints, FormatVersion)
+}
+
+// EncodeVersion serializes with an explicit format version (1 or 2); it
+// exists so tests and migration tools can produce older images.
+func (t *Table) EncodeVersion(blockPoints int, version byte) []byte {
+	if version != 1 && version != 2 {
+		panic("sstable: unsupported encode version")
+	}
+	if blockPoints <= 0 {
+		blockPoints = DefaultBlockPoints
+	}
+	n := len(t.points)
+	numBlocks := (n + blockPoints - 1) / blockPoints
+
+	// Encode blocks first to learn offsets.
+	var blocks []byte
+	index := make([]blockIndexEntry, 0, numBlocks)
+	tgs := make([]int64, 0, blockPoints)
+	tas := make([]int64, 0, blockPoints)
+	vs := make([]float64, 0, blockPoints)
+	for b := 0; b < numBlocks; b++ {
+		lo := b * blockPoints
+		hi := lo + blockPoints
+		if hi > n {
+			hi = n
+		}
+		tgs, tas, vs = tgs[:0], tas[:0], vs[:0]
+		for _, p := range t.points[lo:hi] {
+			tgs = append(tgs, p.TG)
+			tas = append(tas, p.TA)
+			vs = append(vs, p.V)
+		}
+		var payload []byte
+		payload = encoding.EncodeDeltas(payload, tgs)
+		payload = encoding.EncodeDeltas(payload, tas)
+		if version >= 2 {
+			payload = encoding.EncodeGorilla(payload, vs)
+		} else {
+			payload = encoding.EncodeFloats(payload, vs)
+		}
+		crc := crc32.ChecksumIEEE(payload)
+		start := len(blocks)
+		blocks = append(blocks, payload...)
+		blocks = encoding.PutUint32(blocks, crc)
+		index = append(index, blockIndexEntry{
+			minTG:  t.points[lo].TG,
+			maxTG:  t.points[hi-1].TG,
+			count:  hi - lo,
+			offset: start,
+			length: len(blocks) - start,
+		})
+	}
+
+	out := encoding.PutUint32(nil, Magic)
+	out = append(out, version)
+	out = encoding.PutUvarint(out, t.id)
+	out = encoding.PutUvarint(out, uint64(n))
+	out = encoding.PutUvarint(out, uint64(blockPoints))
+	out = encoding.PutUvarint(out, uint64(numBlocks))
+	for _, e := range index {
+		out = encoding.PutVarint(out, e.minTG)
+		out = encoding.PutVarint(out, e.maxTG)
+		out = encoding.PutUvarint(out, uint64(e.count))
+		out = encoding.PutUvarint(out, uint64(e.offset))
+		out = encoding.PutUvarint(out, uint64(e.length))
+	}
+	bl := t.filter.Encode(nil)
+	out = encoding.PutUvarint(out, uint64(len(bl)))
+	out = append(out, bl...)
+	out = append(out, blocks...)
+	return out
+}
+
+// Decode reconstructs a table from an encoded image, verifying magic,
+// version, and every block checksum.
+func Decode(src []byte) (*Table, error) {
+	off := 0
+	magic, n, err := encoding.Uint32(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	off += n
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	if off >= len(src) {
+		return nil, ErrCorrupt
+	}
+	version := src[off]
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	off++
+
+	readUvarint := func() (uint64, error) {
+		v, n, err := encoding.Uvarint(src[off:])
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		off += n
+		return v, nil
+	}
+	readVarint := func() (int64, error) {
+		v, n, err := encoding.Varint(src[off:])
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		off += n
+		return v, nil
+	}
+
+	id, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := readUvarint(); err != nil { // blockPoints (informational)
+		return nil, err
+	}
+	numBlocks, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || numBlocks == 0 || count > 1<<40 || numBlocks > count {
+		return nil, ErrCorrupt
+	}
+	index := make([]blockIndexEntry, numBlocks)
+	for i := range index {
+		minTG, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		maxTG, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		c, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		o, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		l, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		index[i] = blockIndexEntry{minTG: minTG, maxTG: maxTG, count: int(c), offset: int(o), length: int(l)}
+	}
+	bloomLen, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if off+int(bloomLen) > len(src) {
+		return nil, ErrCorrupt
+	}
+	filter, _, err := bloom.Decode(src[off : off+int(bloomLen)])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bloom: %v", ErrCorrupt, err)
+	}
+	off += int(bloomLen)
+	blocks := src[off:]
+
+	points := make([]series.Point, 0, count)
+	for _, e := range index {
+		if e.offset < 0 || e.length < 4 || e.offset+e.length > len(blocks) {
+			return nil, ErrCorrupt
+		}
+		raw := blocks[e.offset : e.offset+e.length]
+		payload := raw[:len(raw)-4]
+		wantCRC, _, err := encoding.Uint32(raw[len(raw)-4:])
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return nil, ErrChecksum
+		}
+		tgs, consumed, err := encoding.DecodeDeltas(payload, e.count)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tg deltas: %v", ErrCorrupt, err)
+		}
+		payload = payload[consumed:]
+		tas, consumed, err := encoding.DecodeDeltas(payload, e.count)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ta deltas: %v", ErrCorrupt, err)
+		}
+		payload = payload[consumed:]
+		var vs []float64
+		if version >= 2 {
+			vs, _, err = encoding.DecodeGorilla(payload, e.count)
+		} else {
+			vs, _, err = encoding.DecodeFloats(payload, e.count)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: values: %v", ErrCorrupt, err)
+		}
+		for i := 0; i < e.count; i++ {
+			points = append(points, series.Point{TG: tgs[i], TA: tas[i], V: vs[i]})
+		}
+	}
+	if uint64(len(points)) != count {
+		return nil, ErrCorrupt
+	}
+	if !series.IsSortedByTG(points) {
+		return nil, ErrUnsorted
+	}
+	return &Table{id: id, points: points, filter: filter}, nil
+}

@@ -1,0 +1,310 @@
+package sstable
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/series"
+)
+
+// mkPoints returns n points with TG = base + i*step, TA = TG + 5.
+func mkPoints(n int, base, step int64) []series.Point {
+	ps := make([]series.Point, n)
+	for i := range ps {
+		tg := base + int64(i)*step
+		ps[i] = series.Point{TG: tg, TA: tg + 5, V: float64(i)}
+	}
+	return ps
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(1, nil); !errors.Is(err, ErrEmptyTable) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Build(1, []series.Point{{TG: 2}, {TG: 1}}); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("unsorted: %v", err)
+	}
+	if _, err := Build(1, []series.Point{{TG: 1}, {TG: 1}}); !errors.Is(err, ErrDupTimstamp) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestTableMetadata(t *testing.T) {
+	tbl, err := Build(7, mkPoints(100, 1000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID() != 7 {
+		t.Errorf("ID = %d", tbl.ID())
+	}
+	if tbl.Len() != 100 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if tbl.MinTG() != 1000 || tbl.MaxTG() != 1990 {
+		t.Errorf("range = [%d,%d]", tbl.MinTG(), tbl.MaxTG())
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(10, 100, 10)) // [100,190]
+	tests := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 99, false},
+		{0, 100, true},
+		{150, 160, true},
+		{190, 300, true},
+		{191, 300, false},
+		{100, 190, true},
+	}
+	for _, tc := range tests {
+		if got := tbl.Overlaps(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("Overlaps(%d,%d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(50, 0, 7))
+	for i := 0; i < 50; i++ {
+		p, ok := tbl.Get(int64(i) * 7)
+		if !ok {
+			t.Fatalf("Get(%d) missing", i*7)
+		}
+		if p.V != float64(i) {
+			t.Errorf("Get(%d).V = %v", i*7, p.V)
+		}
+	}
+	if _, ok := tbl.Get(3); ok {
+		t.Error("Get(3) should miss")
+	}
+	if _, ok := tbl.Get(-100); ok {
+		t.Error("Get(-100) should miss")
+	}
+}
+
+func TestScan(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(10, 0, 10)) // TGs 0,10,...,90
+	tests := []struct {
+		lo, hi int64
+		want   int
+	}{
+		{0, 90, 10},
+		{5, 15, 1},
+		{10, 10, 1},
+		{91, 200, 0},
+		{-50, -1, 0},
+		{85, 200, 1},
+	}
+	for _, tc := range tests {
+		got := tbl.Scan(tc.lo, tc.hi)
+		if len(got) != tc.want {
+			t.Errorf("Scan(%d,%d) = %d points, want %d", tc.lo, tc.hi, len(got), tc.want)
+		}
+		for _, p := range got {
+			if p.TG < tc.lo || p.TG > tc.hi {
+				t.Errorf("Scan(%d,%d) returned out-of-range point %v", tc.lo, tc.hi, p)
+			}
+		}
+	}
+}
+
+func TestIterator(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(5, 0, 1))
+	it := tbl.Iter()
+	var n int
+	var last int64 = -1
+	for it.Next() {
+		p := it.Point()
+		if p.TG <= last {
+			t.Fatal("iterator not ascending")
+		}
+		last = p.TG
+		n++
+	}
+	if n != 5 {
+		t.Errorf("iterated %d points", n)
+	}
+	if it.Next() {
+		t.Error("Next after exhaustion should stay false")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, blockPoints := range []int{1, 7, 128, 1000} {
+		tbl, _ := Build(42, mkPoints(333, 5000, 13))
+		img := tbl.Encode(blockPoints)
+		got, err := Decode(img)
+		if err != nil {
+			t.Fatalf("blockPoints=%d: Decode: %v", blockPoints, err)
+		}
+		if got.ID() != 42 || got.Len() != 333 {
+			t.Fatalf("blockPoints=%d: id=%d len=%d", blockPoints, got.ID(), got.Len())
+		}
+		for i, p := range got.Points() {
+			if p != tbl.Points()[i] {
+				t.Fatalf("blockPoints=%d: point %d = %v, want %v", blockPoints, i, p, tbl.Points()[i])
+			}
+		}
+		// Bloom filter must work after decode.
+		if _, ok := got.Get(5000); !ok {
+			t.Error("decoded table lost Get")
+		}
+	}
+}
+
+func TestEncodeDefaultBlockSize(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(300, 0, 1))
+	img := tbl.Encode(0) // 0 selects DefaultBlockPoints
+	if _, err := Decode(img); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(10, 0, 1))
+	img := tbl.Encode(4)
+	img[0] ^= 0xff
+	if _, err := Decode(img); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(10, 0, 1))
+	img := tbl.Encode(4)
+	img[4] = 99
+	if _, err := Decode(img); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestDecodeDetectsCorruptBlock(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(100, 0, 3))
+	img := tbl.Encode(32)
+	// Flip a byte near the end (inside the blocks region).
+	img[len(img)-10] ^= 0x55
+	_, err := Decode(img)
+	if err == nil {
+		t.Fatal("corrupted image decoded without error")
+	}
+	if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+		t.Errorf("want checksum/corrupt error, got %v", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(64, 0, 2))
+	img := tbl.Encode(16)
+	for _, cut := range []int{0, 3, 4, 5, 10, len(img) / 2, len(img) - 1} {
+		if _, err := Decode(img[:cut]); err == nil {
+			t.Errorf("decode of %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestEncodeCompression(t *testing.T) {
+	// Regular timestamps: encoded size should be far below the raw 24
+	// bytes/point.
+	tbl, _ := Build(1, mkPoints(10000, 1_600_000_000_000, 50))
+	img := tbl.Encode(DefaultBlockPoints)
+	rawSize := 24 * 10000
+	if len(img) > rawSize/2 {
+		t.Errorf("encoded %d bytes for raw %d; expected >2x compression", len(img), rawSize)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	prop := func(seed int64, nSmall uint8) bool {
+		n := int(nSmall)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		ps := make([]series.Point, n)
+		tg := int64(0)
+		for i := range ps {
+			tg += 1 + r.Int63n(1000)
+			ps[i] = series.Point{TG: tg, TA: tg + r.Int63n(500), V: r.NormFloat64()}
+		}
+		tbl, err := Build(uint64(seed), ps)
+		if err != nil {
+			return false
+		}
+		bp := 1 + rng.Intn(64)
+		got, err := Decode(tbl.Encode(bp))
+		if err != nil || got.Len() != n {
+			return false
+		}
+		for i := range ps {
+			if got.Points()[i] != ps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeVersion1StillDecodes(t *testing.T) {
+	tbl, _ := Build(5, mkPoints(200, 100, 7))
+	img := tbl.EncodeVersion(64, 1)
+	got, err := Decode(img)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	for i, p := range got.Points() {
+		if p != tbl.Points()[i] {
+			t.Fatalf("v1 point %d mismatch", i)
+		}
+	}
+}
+
+func TestEncodeVersionsAgree(t *testing.T) {
+	tbl, _ := Build(5, mkPoints(500, 100, 7))
+	v1, err := Decode(tbl.EncodeVersion(64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Decode(tbl.EncodeVersion(64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1.Points() {
+		if v1.Points()[i] != v2.Points()[i] {
+			t.Fatalf("point %d differs across versions", i)
+		}
+	}
+}
+
+func TestEncodeVersionPanicsOnUnknown(t *testing.T) {
+	tbl, _ := Build(5, mkPoints(10, 0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tbl.EncodeVersion(64, 9)
+}
+
+func TestV2SmallerForSmoothValues(t *testing.T) {
+	// Smooth sensor-like values: the v2 (Gorilla) image should be smaller
+	// than v1.
+	ps := make([]series.Point, 5000)
+	for i := range ps {
+		tg := int64(i) * 50
+		ps[i] = series.Point{TG: tg, TA: tg + 5, V: float64(i/100) * 0.25}
+	}
+	tbl, err := Build(1, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := len(tbl.EncodeVersion(DefaultBlockPoints, 1))
+	v2 := len(tbl.EncodeVersion(DefaultBlockPoints, 2))
+	if v2 >= v1 {
+		t.Errorf("v2 %d bytes >= v1 %d bytes on smooth values", v2, v1)
+	}
+}

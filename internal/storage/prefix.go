@@ -1,0 +1,64 @@
+package storage
+
+import (
+	"strings"
+)
+
+// PrefixBackend namespaces a Backend: every object name is transparently
+// prefixed, and List returns only (and strips) names under the prefix. The
+// multi-series database layer gives each series its own namespace inside
+// one shared backend.
+type PrefixBackend struct {
+	inner  Backend
+	prefix string
+}
+
+// NewPrefixBackend wraps inner under prefix. The prefix must be non-empty
+// and must not contain path separators (it becomes part of object names).
+func NewPrefixBackend(inner Backend, prefix string) *PrefixBackend {
+	if prefix == "" || strings.ContainsAny(prefix, "/\\") {
+		panic("storage: invalid backend prefix")
+	}
+	return &PrefixBackend{inner: inner, prefix: prefix + "."}
+}
+
+// Write implements Backend.
+func (p *PrefixBackend) Write(name string, data []byte) error {
+	return p.inner.Write(p.prefix+name, data)
+}
+
+// Read implements Backend.
+func (p *PrefixBackend) Read(name string) ([]byte, error) {
+	return p.inner.Read(p.prefix + name)
+}
+
+// Append implements Backend.
+func (p *PrefixBackend) Append(name string, data []byte) error {
+	return p.inner.Append(p.prefix+name, data)
+}
+
+// Remove implements Backend.
+func (p *PrefixBackend) Remove(name string) error {
+	return p.inner.Remove(p.prefix + name)
+}
+
+// Size implements Backend.
+func (p *PrefixBackend) Size(name string) (int64, error) {
+	return p.inner.Size(p.prefix + name)
+}
+
+// List implements Backend, returning only names under this prefix with
+// the prefix stripped.
+func (p *PrefixBackend) List() ([]string, error) {
+	all, err := p.inner.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range all {
+		if strings.HasPrefix(n, p.prefix) {
+			out = append(out, strings.TrimPrefix(n, p.prefix))
+		}
+	}
+	return out, nil
+}

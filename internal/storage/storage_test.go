@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// backendsUnderTest returns a fresh instance of every Backend
+// implementation for conformance testing.
+func backendsUnderTest(t *testing.T) map[string]Backend {
+	t.Helper()
+	disk, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDiskBackend: %v", err)
+	}
+	return map[string]Backend{
+		"mem":  NewMemBackend(),
+		"disk": disk,
+	}
+}
+
+func TestBackendWriteReadRoundTrip(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := b.Write("a.sst", []byte("hello")); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			got, err := b.Read("a.sst")
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if string(got) != "hello" {
+				t.Errorf("Read = %q", got)
+			}
+			sz, err := b.Size("a.sst")
+			if err != nil || sz != 5 {
+				t.Errorf("Size = %d, %v", sz, err)
+			}
+		})
+	}
+}
+
+func TestBackendReadMissing(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := b.Read("missing"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Read missing: %v, want ErrNotFound", err)
+			}
+			if _, err := b.Size("missing"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Size missing: %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestBackendOverwrite(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			b.Write("x", []byte("one"))
+			b.Write("x", []byte("two!"))
+			got, _ := b.Read("x")
+			if string(got) != "two!" {
+				t.Errorf("after overwrite: %q", got)
+			}
+		})
+	}
+}
+
+func TestBackendAppend(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := b.Append("log", []byte("aa")); err != nil {
+				t.Fatalf("Append create: %v", err)
+			}
+			if err := b.Append("log", []byte("bb")); err != nil {
+				t.Fatalf("Append extend: %v", err)
+			}
+			got, _ := b.Read("log")
+			if string(got) != "aabb" {
+				t.Errorf("appended = %q", got)
+			}
+		})
+	}
+}
+
+func TestBackendRemove(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			b.Write("gone", []byte("x"))
+			if err := b.Remove("gone"); err != nil {
+				t.Fatalf("Remove: %v", err)
+			}
+			if _, err := b.Read("gone"); !errors.Is(err, ErrNotFound) {
+				t.Error("object still present after Remove")
+			}
+			if err := b.Remove("gone"); err != nil {
+				t.Errorf("Remove of missing object should be nil, got %v", err)
+			}
+		})
+	}
+}
+
+func TestBackendList(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			b.Write("c", nil)
+			b.Write("a", nil)
+			b.Write("b", nil)
+			names, err := b.List()
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+				t.Errorf("List = %v", names)
+			}
+		})
+	}
+}
+
+func TestMemBackendIsolation(t *testing.T) {
+	b := NewMemBackend()
+	data := []byte{1, 2, 3}
+	b.Write("x", data)
+	data[0] = 99 // mutating the caller's slice must not affect the store
+	got, _ := b.Read("x")
+	if got[0] != 1 {
+		t.Error("backend aliases caller's write buffer")
+	}
+	got[1] = 99 // mutating a read result must not affect the store
+	got2, _ := b.Read("x")
+	if got2[1] != 2 {
+		t.Error("backend aliases read buffers")
+	}
+}
+
+func TestMemBackendAccounting(t *testing.T) {
+	b := NewMemBackend()
+	b.Write("x", make([]byte, 100))
+	b.Append("x", make([]byte, 50))
+	b.Read("x")
+	if got := b.BytesWritten(); got != 150 {
+		t.Errorf("BytesWritten = %d", got)
+	}
+	if got := b.BytesRead(); got != 150 {
+		t.Errorf("BytesRead = %d", got)
+	}
+}
+
+func TestMemBackendConcurrent(t *testing.T) {
+	b := NewMemBackend()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for j := 0; j < 100; j++ {
+				b.Write(name, []byte{byte(j)})
+				b.Read(name)
+				b.Append(name, []byte{1})
+				b.List()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestDiskBackendRejectsBadNames(t *testing.T) {
+	d, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", "a\\b"} {
+		if err := d.Write(bad, nil); err == nil {
+			t.Errorf("Write(%q) should fail", bad)
+		}
+		if _, err := d.Read(bad); err == nil {
+			t.Errorf("Read(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDiskBackendListSkipsTmp(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Write("real", []byte("x"))
+	// Simulate a leftover temp file from a crashed write.
+	if err := d.Append("leftover.tmp", []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "real" {
+		t.Errorf("List = %v, want [real]", names)
+	}
+}
+
+func TestDiskBackendPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, _ := NewDiskBackend(dir)
+	d1.Write("keep", []byte("payload"))
+	d2, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.Read("keep")
+	if err != nil || string(got) != "payload" {
+		t.Errorf("reopened read: %q, %v", got, err)
+	}
+}
+
+func TestPrefixBackendNamespacing(t *testing.T) {
+	inner := NewMemBackend()
+	a := NewPrefixBackend(inner, "seriesA")
+	b := NewPrefixBackend(inner, "seriesB")
+	a.Write("MANIFEST", []byte("ma"))
+	b.Write("MANIFEST", []byte("mb"))
+	got, err := a.Read("MANIFEST")
+	if err != nil || string(got) != "ma" {
+		t.Fatalf("a.Read: %q, %v", got, err)
+	}
+	got, _ = b.Read("MANIFEST")
+	if string(got) != "mb" {
+		t.Fatalf("b.Read: %q", got)
+	}
+	namesA, _ := a.List()
+	if len(namesA) != 1 || namesA[0] != "MANIFEST" {
+		t.Errorf("a.List = %v", namesA)
+	}
+	all, _ := inner.List()
+	if len(all) != 2 || all[0] != "seriesA.MANIFEST" {
+		t.Errorf("inner.List = %v", all)
+	}
+	if sz, err := a.Size("MANIFEST"); err != nil || sz != 2 {
+		t.Errorf("a.Size: %d, %v", sz, err)
+	}
+	a.Append("log", []byte("x"))
+	a.Append("log", []byte("y"))
+	got, _ = a.Read("log")
+	if string(got) != "xy" {
+		t.Errorf("a append: %q", got)
+	}
+	if err := a.Remove("MANIFEST"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read("MANIFEST"); !errors.Is(err, ErrNotFound) {
+		t.Error("a.MANIFEST still present")
+	}
+	if _, err := b.Read("MANIFEST"); err != nil {
+		t.Error("b.MANIFEST vanished with a's remove")
+	}
+}
+
+func TestPrefixBackendPanicsOnBadPrefix(t *testing.T) {
+	for _, bad := range []string{"", "a/b", "a\\b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("prefix %q accepted", bad)
+				}
+			}()
+			NewPrefixBackend(NewMemBackend(), bad)
+		}()
+	}
+}

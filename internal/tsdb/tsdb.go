@@ -1,0 +1,331 @@
+// Package tsdb is the multi-series layer over the LSM engine: the shape a
+// downstream user actually deploys. An IoTDB-style instance stores
+// thousands of time-series (Section VI: "for each vehicle, more than two
+// thousand time-series are recorded"); each series here gets its own
+// engine (its own MemTables, run, and policy) inside a shared storage
+// backend, and can be tuned independently — the paper's analyzer decides
+// separation-or-not per workload.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("tsdb: database is closed")
+
+// ErrNoSeries is returned when the named series does not exist and
+// auto-creation is disabled.
+var ErrNoSeries = errors.New("tsdb: series does not exist")
+
+// seriesNameRE constrains series names to storage-safe identifiers
+// (IoTDB-style dotted paths work: "root.vehicle42.engine_temp").
+var seriesNameRE = regexp.MustCompile(`^[A-Za-z0-9_.\-]{1,128}$`)
+
+// Config parameterizes a DB.
+type Config struct {
+	// Engine is the template configuration applied to every series
+	// (Policy, MemBudget, SeqCapacity, SSTablePoints, WAL). Its Backend
+	// field is ignored — the DB namespaces its own Backend per series.
+	Engine lsm.Config
+	// Backend, when non-nil, persists every series under its own prefix.
+	Backend storage.Backend
+	// AutoCreate makes Put create unknown series on first write.
+	AutoCreate bool
+	// Adaptive attaches a per-series adaptive controller (π_adaptive)
+	// that profiles delays and switches each series' policy on drift.
+	Adaptive bool
+	// AdaptiveCheckEvery is the drift-check cadence (points per series);
+	// zero selects the analyzer default.
+	AdaptiveCheckEvery int64
+}
+
+// DB is a multi-series time-series store.
+type DB struct {
+	mu     sync.Mutex
+	cfg    Config
+	series map[string]*seriesState
+	closed bool
+}
+
+type seriesState struct {
+	engine *lsm.Engine
+	ctl    *analyzer.AdaptiveController // nil unless cfg.Adaptive
+}
+
+// Open creates a database, recovering any series previously persisted in
+// cfg.Backend (discovered through their manifest objects).
+func Open(cfg Config) (*DB, error) {
+	if cfg.Engine.MemBudget < 1 {
+		return nil, errors.New("tsdb: Engine.MemBudget must be >= 1")
+	}
+	db := &DB{cfg: cfg, series: make(map[string]*seriesState)}
+	if cfg.Backend != nil {
+		names, err := discoverSeries(cfg.Backend)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			if _, err := db.createLocked(name); err != nil {
+				return nil, fmt.Errorf("tsdb: recover series %s: %w", name, err)
+			}
+		}
+	}
+	return db, nil
+}
+
+// discoverSeries lists series prefixes by their MANIFEST objects.
+func discoverSeries(b storage.Backend) ([]string, error) {
+	names, err := b.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		const suffix = ".MANIFEST"
+		if len(n) > len(suffix) && n[len(n)-len(suffix):] == suffix {
+			out = append(out, n[:len(n)-len(suffix)])
+		}
+	}
+	return out, nil
+}
+
+// createLocked instantiates the engine (and controller) for a series.
+// Caller holds db.mu.
+func (db *DB) createLocked(name string) (*seriesState, error) {
+	if !seriesNameRE.MatchString(name) {
+		return nil, fmt.Errorf("tsdb: invalid series name %q", name)
+	}
+	if st, ok := db.series[name]; ok {
+		return st, nil
+	}
+	ecfg := db.cfg.Engine
+	if db.cfg.Backend != nil {
+		ecfg.Backend = storage.NewPrefixBackend(db.cfg.Backend, name)
+	} else {
+		ecfg.Backend = nil
+		ecfg.WAL = false
+	}
+	e, err := lsm.Open(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	st := &seriesState{engine: e}
+	if db.cfg.Adaptive {
+		ctl, err := analyzer.NewAdaptiveController(e, analyzer.AdaptiveConfig{
+			MemBudget:  ecfg.MemBudget,
+			CheckEvery: db.cfg.AdaptiveCheckEvery,
+			Seed:       int64(len(db.series) + 1),
+		})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		st.ctl = ctl
+	}
+	db.series[name] = st
+	return st, nil
+}
+
+// CreateSeries explicitly creates a series.
+func (db *DB) CreateSeries(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	_, err := db.createLocked(name)
+	return err
+}
+
+// get returns the series state, creating it when AutoCreate is set.
+func (db *DB) get(name string, create bool) (*seriesState, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if st, ok := db.series[name]; ok {
+		return st, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: %s", ErrNoSeries, name)
+	}
+	return db.createLocked(name)
+}
+
+// Put writes one point into the named series.
+func (db *DB) Put(name string, p series.Point) error {
+	st, err := db.get(name, db.cfg.AutoCreate)
+	if err != nil {
+		return err
+	}
+	if st.ctl != nil {
+		return st.ctl.Put(p)
+	}
+	return st.engine.Put(p)
+}
+
+// Scan returns the named series' points in [lo, hi].
+func (db *DB) Scan(name string, lo, hi int64) ([]series.Point, lsm.ScanStats, error) {
+	st, err := db.get(name, false)
+	if err != nil {
+		return nil, lsm.ScanStats{}, err
+	}
+	pts, stats := st.engine.Scan(lo, hi)
+	return pts, stats, nil
+}
+
+// Get returns the point at generation time tg in the named series.
+func (db *DB) Get(name string, tg int64) (series.Point, bool, error) {
+	st, err := db.get(name, false)
+	if err != nil {
+		return series.Point{}, false, err
+	}
+	p, ok := st.engine.Get(tg)
+	return p, ok, nil
+}
+
+// Series returns the sorted series names.
+func (db *DB) Series() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.series))
+	for n := range db.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesStats describes one series' state for monitoring.
+type SeriesStats struct {
+	Name   string
+	Policy lsm.PolicyKind
+	SeqCap int
+	Stats  lsm.Stats
+	// Decision is the analyzer's current choice (Adaptive mode only).
+	Decision *core.Decision
+}
+
+// Stats returns per-series statistics, sorted by name.
+func (db *DB) Stats() []SeriesStats {
+	db.mu.Lock()
+	names := make([]string, 0, len(db.series))
+	for n := range db.series {
+		names = append(names, n)
+	}
+	states := make([]*seriesState, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		states = append(states, db.series[n])
+	}
+	db.mu.Unlock()
+
+	out := make([]SeriesStats, len(names))
+	for i, st := range states {
+		cfg := st.engine.Config()
+		s := SeriesStats{
+			Name:   names[i],
+			Policy: cfg.Policy,
+			SeqCap: cfg.SeqCapacity,
+			Stats:  st.engine.Stats(),
+		}
+		if st.ctl != nil {
+			if dec, ok := st.ctl.Current(); ok {
+				s.Decision = &dec
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TotalWA returns the database-wide write amplification (total points
+// written across series over total ingested).
+func (db *DB) TotalWA() float64 {
+	var ingested, written int64
+	for _, s := range db.Stats() {
+		ingested += s.Stats.PointsIngested
+		written += s.Stats.PointsWritten
+	}
+	if ingested == 0 {
+		return 0
+	}
+	return float64(written) / float64(ingested)
+}
+
+// SetPolicy switches one series' policy by hand (Adaptive mode manages
+// this automatically).
+func (db *DB) SetPolicy(name string, kind lsm.PolicyKind, seqCap int) error {
+	st, err := db.get(name, false)
+	if err != nil {
+		return err
+	}
+	return st.engine.SetPolicy(kind, seqCap)
+}
+
+// FlushAll flushes every series.
+func (db *DB) FlushAll() error {
+	for _, name := range db.Series() {
+		st, err := db.get(name, false)
+		if err != nil {
+			return err
+		}
+		if err := st.engine.FlushAll(); err != nil {
+			return fmt.Errorf("tsdb: flush %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every series. The database is unusable
+// afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	states := make([]*seriesState, 0, len(db.series))
+	for _, st := range db.series {
+		states = append(states, st)
+	}
+	db.mu.Unlock()
+	var firstErr error
+	for _, st := range states {
+		if err := st.engine.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DropBefore applies retention to every series: points with generation
+// time below cutoff are removed. It returns the total points removed.
+func (db *DB) DropBefore(cutoff int64) (int, error) {
+	total := 0
+	for _, name := range db.Series() {
+		st, err := db.get(name, false)
+		if err != nil {
+			return total, err
+		}
+		n, err := st.engine.DropBefore(cutoff)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("tsdb: retention on %s: %w", name, err)
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,246 @@
+package tsdb
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func baseConfig() Config {
+	return Config{
+		Engine:     lsm.Config{Policy: lsm.Conventional, MemBudget: 64},
+		AutoCreate: true,
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Error("zero MemBudget accepted")
+	}
+}
+
+func TestPutScanMultipleSeries(t *testing.T) {
+	db, err := Open(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := int64(0); i < 500; i++ {
+		if err := db.Put("root.v1.temp", series.Point{TG: i, TA: i, V: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Put("root.v1.speed", series.Point{TG: i, TA: i, V: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts, _, err := db.Scan("root.v1.temp", 0, 1000)
+	if err != nil || len(pts) != 500 {
+		t.Fatalf("temp scan: %d, %v", len(pts), err)
+	}
+	for _, p := range pts {
+		if p.V != 1 {
+			t.Fatal("series data mixed up")
+		}
+	}
+	if got := db.Series(); len(got) != 2 || got[0] != "root.v1.speed" {
+		t.Errorf("Series = %v", got)
+	}
+	if p, ok, err := db.Get("root.v1.speed", 42); err != nil || !ok || p.V != 2 {
+		t.Errorf("Get: %v %v %v", p, ok, err)
+	}
+}
+
+func TestNoAutoCreate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.AutoCreate = false
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put("nope", series.Point{TG: 1, TA: 1}); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("Put to missing series: %v", err)
+	}
+	if _, _, err := db.Scan("nope", 0, 1); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("Scan of missing series: %v", err)
+	}
+	if err := db.CreateSeries("yes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("yes", series.Point{TG: 1, TA: 1}); err != nil {
+		t.Errorf("Put after CreateSeries: %v", err)
+	}
+}
+
+func TestInvalidSeriesNames(t *testing.T) {
+	db, _ := Open(baseConfig())
+	defer db.Close()
+	for _, bad := range []string{"", "a/b", "a b", "x\\y", string(make([]byte, 200))} {
+		if err := db.CreateSeries(bad); err == nil {
+			t.Errorf("CreateSeries(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStatsAndTotalWA(t *testing.T) {
+	db, _ := Open(baseConfig())
+	defer db.Close()
+	ps := workload.Synthetic(2000, 50, dist.NewLognormal(4, 1.5), 1)
+	for _, p := range ps {
+		db.Put("a", p)
+		db.Put("b", p)
+	}
+	stats := db.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("%d stats", len(stats))
+	}
+	for _, s := range stats {
+		if s.Stats.PointsIngested != 2000 {
+			t.Errorf("%s ingested %d", s.Name, s.Stats.PointsIngested)
+		}
+		if s.Policy != lsm.Conventional {
+			t.Errorf("%s policy %v", s.Name, s.Policy)
+		}
+	}
+	if wa := db.TotalWA(); wa < 1 {
+		t.Errorf("TotalWA = %v", wa)
+	}
+}
+
+func TestSetPolicyPerSeries(t *testing.T) {
+	db, _ := Open(baseConfig())
+	defer db.Close()
+	db.CreateSeries("a")
+	db.CreateSeries("b")
+	if err := db.SetPolicy("a", lsm.Separation, 32); err != nil {
+		t.Fatal(err)
+	}
+	stats := db.Stats()
+	if stats[0].Policy != lsm.Separation || stats[1].Policy != lsm.Conventional {
+		t.Errorf("per-series policy not independent: %+v", stats)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	backend := storage.NewMemBackend()
+	cfg := baseConfig()
+	cfg.Backend = backend
+	cfg.Engine.WAL = true
+
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := workload.Synthetic(1000, 50, dist.NewLognormal(4, 1.5), 2)
+	for _, p := range ps {
+		db.Put("root.a", p)
+		db.Put("root.b", p)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Series(); len(got) != 2 {
+		t.Fatalf("recovered series: %v", got)
+	}
+	pts, _, err := db2.Scan("root.a", 0, int64(1)<<40)
+	if err != nil || len(pts) != 1000 {
+		t.Fatalf("recovered scan: %d, %v", len(pts), err)
+	}
+}
+
+func TestAdaptiveMode(t *testing.T) {
+	cfg := Config{
+		Engine:             lsm.Config{Policy: lsm.Conventional, MemBudget: 64},
+		AutoCreate:         true,
+		Adaptive:           true,
+		AdaptiveCheckEvery: 2000,
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Heavy disorder: the adaptive controller should settle on pi_s.
+	ps := workload.Synthetic(12000, 50, dist.NewLognormal(5, 2), 3)
+	for _, p := range ps {
+		if err := db.Put("s", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := db.Stats()
+	if stats[0].Decision == nil {
+		t.Fatal("adaptive mode produced no decision")
+	}
+	if stats[0].Decision.Policy.String() != "pi_s" {
+		t.Errorf("heavy disorder: decision %v", stats[0].Decision.Policy)
+	}
+	pts, _, _ := db.Scan("s", 0, int64(1)<<40)
+	if len(pts) != len(ps) {
+		t.Errorf("adaptive series holds %d points", len(pts))
+	}
+}
+
+func TestClosedDB(t *testing.T) {
+	db, _ := Open(baseConfig())
+	db.Put("x", series.Point{TG: 1, TA: 1})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if err := db.Put("x", series.Point{TG: 2, TA: 2}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close: %v", err)
+	}
+	if err := db.CreateSeries("y"); !errors.Is(err, ErrClosed) {
+		t.Errorf("CreateSeries after close: %v", err)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	db, _ := Open(baseConfig())
+	defer db.Close()
+	db.Put("a", series.Point{TG: 1, TA: 1})
+	db.Put("b", series.Point{TG: 1, TA: 1})
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range db.Stats() {
+		if s.Stats.PointsWritten != 1 {
+			t.Errorf("%s: %d written after FlushAll", s.Name, s.Stats.PointsWritten)
+		}
+	}
+}
+
+func TestDBDropBefore(t *testing.T) {
+	db, _ := Open(baseConfig())
+	defer db.Close()
+	for i := int64(0); i < 100; i++ {
+		db.Put("a", series.Point{TG: i, TA: i})
+		db.Put("b", series.Point{TG: i, TA: i})
+	}
+	removed, err := db.DropBefore(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 80 {
+		t.Errorf("removed %d, want 80 (40 from each series)", removed)
+	}
+	for _, name := range []string{"a", "b"} {
+		pts, _, _ := db.Scan(name, 0, 1000)
+		if len(pts) != 60 || pts[0].TG != 40 {
+			t.Errorf("%s after retention: %d points", name, len(pts))
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package wal implements a write-ahead log for the LSM engine. Every point
+// accepted into a MemTable is first appended to the log so that an engine
+// restart can rebuild the memory state that had not yet been flushed to
+// SSTables.
+//
+// Record format (per point):
+//
+//	length uvarint | payload | crc32 u32
+//
+// where payload = TG varint, TA varint, V float64. Replay stops cleanly at
+// the first torn or corrupt record — the tail of a log written during a
+// crash is expected to be garbage.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/encoding"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// Log is an append-only write-ahead log stored as one object in a storage
+// backend.
+type Log struct {
+	backend storage.Backend
+	name    string
+	buf     []byte // reusable encode buffer
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Open returns a log writing to the named object in backend. The object is
+// created on first append.
+func Open(backend storage.Backend, name string) *Log {
+	return &Log{backend: backend, name: name}
+}
+
+// Append durably records one point.
+func (l *Log) Append(p series.Point) error {
+	if l.backend == nil {
+		return ErrClosed
+	}
+	l.buf = encodeRecord(l.buf[:0], p)
+	return l.backend.Append(l.name, l.buf)
+}
+
+// AppendBatch records several points in one backend write.
+func (l *Log) AppendBatch(ps []series.Point) error {
+	if l.backend == nil {
+		return ErrClosed
+	}
+	l.buf = l.buf[:0]
+	for _, p := range ps {
+		l.buf = encodeRecord(l.buf, p)
+	}
+	return l.backend.Append(l.name, l.buf)
+}
+
+// Truncate discards the log contents, typically after a successful flush
+// made the logged points durable in SSTables.
+func (l *Log) Truncate() error {
+	if l.backend == nil {
+		return ErrClosed
+	}
+	return l.backend.Write(l.name, nil)
+}
+
+// Close detaches the log. Further operations fail with ErrClosed.
+func (l *Log) Close() { l.backend = nil }
+
+// encodeRecord appends one framed record to dst.
+func encodeRecord(dst []byte, p series.Point) []byte {
+	var payload []byte
+	payload = encoding.PutVarint(payload, p.TG)
+	payload = encoding.PutVarint(payload, p.TA)
+	payload = encoding.PutFloat64(payload, p.V)
+	dst = encoding.PutUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	dst = encoding.PutUint32(dst, crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// Replay reads the named log from backend and returns every intact point in
+// append order. A missing object yields no points and no error. Decoding
+// stops silently at the first damaged record; everything before it is
+// returned.
+func Replay(backend storage.Backend, name string) ([]series.Point, error) {
+	data, err := backend.Read(name)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: replay: %w", err)
+	}
+	var points []series.Point
+	off := 0
+	for off < len(data) {
+		plen, n, err := encoding.Uvarint(data[off:])
+		if err != nil {
+			break // torn length prefix
+		}
+		recStart := off + n
+		recEnd := recStart + int(plen)
+		if plen > 1<<20 || recEnd+4 > len(data) {
+			break // torn record
+		}
+		payload := data[recStart:recEnd]
+		wantCRC, _, err := encoding.Uint32(data[recEnd:])
+		if err != nil || crc32.ChecksumIEEE(payload) != wantCRC {
+			break // corrupt record
+		}
+		p, ok := decodePayload(payload)
+		if !ok {
+			break
+		}
+		points = append(points, p)
+		off = recEnd + 4
+	}
+	return points, nil
+}
+
+// decodePayload parses the body of one record.
+func decodePayload(payload []byte) (series.Point, bool) {
+	var p series.Point
+	tg, n, err := encoding.Varint(payload)
+	if err != nil {
+		return p, false
+	}
+	payload = payload[n:]
+	ta, n, err := encoding.Varint(payload)
+	if err != nil {
+		return p, false
+	}
+	payload = payload[n:]
+	v, _, err := encoding.Float64(payload)
+	if err != nil {
+		return p, false
+	}
+	return series.Point{TG: tg, TA: ta, V: v}, true
+}

@@ -1,0 +1,144 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	b := storage.NewMemBackend()
+	l := Open(b, "wal")
+	want := []series.Point{
+		{TG: 100, TA: 105, V: 1.5},
+		{TG: 50, TA: 106, V: -2},
+		{TG: 200, TA: 210, V: 0},
+	}
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	got, err := Replay(b, "wal")
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendBatch(t *testing.T) {
+	b := storage.NewMemBackend()
+	l := Open(b, "wal")
+	ps := make([]series.Point, 100)
+	for i := range ps {
+		ps[i] = series.Point{TG: int64(i), TA: int64(i) + 1, V: float64(i)}
+	}
+	if err := l.AppendBatch(ps); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	got, err := Replay(b, "wal")
+	if err != nil || len(got) != 100 {
+		t.Fatalf("Replay: %d points, %v", len(got), err)
+	}
+}
+
+func TestReplayMissingLog(t *testing.T) {
+	got, err := Replay(storage.NewMemBackend(), "nothere")
+	if err != nil || got != nil {
+		t.Errorf("missing log: %v, %v", got, err)
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	b := storage.NewMemBackend()
+	l := Open(b, "wal")
+	l.Append(series.Point{TG: 1, TA: 2, V: 3})
+	l.Append(series.Point{TG: 4, TA: 5, V: 6})
+	// Simulate a crash mid-append: chop bytes off the end.
+	data, _ := b.Read("wal")
+	b.Write("wal", data[:len(data)-3])
+	got, err := Replay(b, "wal")
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != 1 || got[0].TG != 1 {
+		t.Errorf("torn tail: got %v, want first record only", got)
+	}
+}
+
+func TestReplayStopsAtCorruptRecord(t *testing.T) {
+	b := storage.NewMemBackend()
+	l := Open(b, "wal")
+	l.Append(series.Point{TG: 1, TA: 2, V: 3})
+	l.Append(series.Point{TG: 4, TA: 5, V: 6})
+	l.Append(series.Point{TG: 7, TA: 8, V: 9})
+	data, _ := b.Read("wal")
+	// Flip a payload byte in the middle record.
+	data[len(data)/2] ^= 0xff
+	b.Write("wal", data)
+	got, err := Replay(b, "wal")
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) >= 3 {
+		t.Errorf("corrupt middle record not detected: %d records", len(got))
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	b := storage.NewMemBackend()
+	l := Open(b, "wal")
+	l.Append(series.Point{TG: 1})
+	if err := l.Truncate(); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	got, _ := Replay(b, "wal")
+	if len(got) != 0 {
+		t.Errorf("after truncate: %v", got)
+	}
+	// Log remains usable after truncation.
+	l.Append(series.Point{TG: 9})
+	got, _ = Replay(b, "wal")
+	if len(got) != 1 || got[0].TG != 9 {
+		t.Errorf("append after truncate: %v", got)
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	l := Open(storage.NewMemBackend(), "wal")
+	l.Close()
+	if err := l.Append(series.Point{}); err != ErrClosed {
+		t.Errorf("Append on closed: %v", err)
+	}
+	if err := l.AppendBatch(nil); err != ErrClosed {
+		t.Errorf("AppendBatch on closed: %v", err)
+	}
+	if err := l.Truncate(); err != ErrClosed {
+		t.Errorf("Truncate on closed: %v", err)
+	}
+}
+
+func TestReplayOnDisk(t *testing.T) {
+	d, err := storage.NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Open(d, "wal")
+	for i := 0; i < 10; i++ {
+		if err := l.Append(series.Point{TG: int64(i), TA: int64(i), V: 1}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	got, err := Replay(d, "wal")
+	if err != nil || len(got) != 10 {
+		t.Fatalf("Replay from disk: %d, %v", len(got), err)
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/series"
+)
+
+// ReadCSV parses a point stream in the repository's interchange format:
+// one point per line as "t_g,t_a[,value]", with blank lines and #-comment
+// lines skipped. It is the inverse of cmd/datagen's output and the input
+// format of cmd/analyzer and cmd/lsmdb.
+func ReadCSV(r io.Reader) ([]series.Point, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []series.Point
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		p, err := ParseCSVLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseCSVLine parses one "t_g,t_a[,value]" record.
+func ParseCSVLine(text string) (series.Point, error) {
+	var p series.Point
+	parts := strings.Split(text, ",")
+	if len(parts) < 2 {
+		return p, fmt.Errorf("want t_g,t_a[,value], got %q", text)
+	}
+	tg, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return p, fmt.Errorf("t_g: %w", err)
+	}
+	ta, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return p, fmt.Errorf("t_a: %w", err)
+	}
+	p.TG, p.TA = tg, ta
+	if len(parts) >= 3 {
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return p, fmt.Errorf("value: %w", err)
+		}
+		p.V = v
+	}
+	return p, nil
+}
+
+// WriteCSV emits points in the interchange format, with a header comment.
+func WriteCSV(w io.Writer, ps []series.Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# t_g,t_a,value"); err != nil {
+		return err
+	}
+	for _, p := range ps {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%.6f\n", p.TG, p.TA, p.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

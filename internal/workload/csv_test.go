@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/series"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := `# header comment
+100,105,1.5
+
+200,201
+300,333,-2.25
+`
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []series.Point{
+		{TG: 100, TA: 105, V: 1.5},
+		{TG: 200, TA: 201, V: 0},
+		{TG: 300, TA: 333, V: -2.25},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"justone",
+		"a,b",
+		"1,notanint",
+		"1,2,notafloat",
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", bad)
+		}
+	}
+}
+
+func TestReadCSVWhitespaceTolerant(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("  10 , 20 , 3.5  \n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("%v, %v", got, err)
+	}
+	if got[0] != (series.Point{TG: 10, TA: 20, V: 3.5}) {
+		t.Errorf("got %v", got[0])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ps := S9Like(S9Config{
+		N: 500, BaseIntervalMs: 100, JitterSigma: 0.5,
+		BodyMu: 3, BodySigma: 0.8, TailWeight: 0.05, TailMu: 7, TailSigma: 1, Seed: 3,
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("round trip lost points: %d vs %d", len(got), len(ps))
+	}
+	for i := range ps {
+		if got[i].TG != ps[i].TG || got[i].TA != ps[i].TA {
+			t.Fatalf("point %d timestamps: %v vs %v", i, got[i], ps[i])
+		}
+		// Values round-trip at 6 decimal places.
+		if diff := got[i].V - ps[i].V; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("point %d value: %v vs %v", i, got[i].V, ps[i].V)
+		}
+	}
+}

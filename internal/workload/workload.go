@@ -1,0 +1,137 @@
+// Package workload generates the ingestion streams of the paper's
+// evaluation: the twelve synthetic datasets of Table II (lognormal delays
+// over a fixed generation interval), the dynamic stream whose delay
+// distribution drifts over time (Fig. 10/17), and simulated stand-ins for
+// the two real-world datasets, S-9 (mobile-to-server transmission; Fig. 8,
+// 11, 18) and H (vehicle IIoT with systematic batch re-sends; Fig. 16, 19,
+// 20) — see DESIGN.md §3 for the substitution rationale.
+//
+// All generators are deterministic given a seed and return points sorted
+// by arrival time, which is the order the database ingests them.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/series"
+)
+
+// Synthetic generates n points with generation times i·Δt (i = 1..n) and
+// i.i.d. delays drawn from d (negative samples clamp to 0), sorted by
+// arrival. This is the recipe of Section V-A.
+func Synthetic(n int, dt int64, d dist.Distribution, seed int64) []series.Point {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]series.Point, n)
+	for i := range ps {
+		tg := int64(i+1) * dt
+		delay := int64(d.Sample(rng))
+		if delay < 0 {
+			delay = 0
+		}
+		ps[i] = series.Point{TG: tg, TA: tg + delay, V: rng.Float64()}
+	}
+	series.SortByTA(ps)
+	return ps
+}
+
+// Spec describes one synthetic dataset of Table II.
+type Spec struct {
+	Name  string
+	Dt    int64   // generation interval Δt
+	Mu    float64 // lognormal μ
+	Sigma float64 // lognormal σ
+}
+
+// Dist returns the delay distribution of the spec.
+func (s Spec) Dist() dist.Lognormal { return dist.NewLognormal(s.Mu, s.Sigma) }
+
+// Generate materializes n points of the dataset.
+func (s Spec) Generate(n int, seed int64) []series.Point {
+	return Synthetic(n, s.Dt, s.Dist(), seed)
+}
+
+// String formats the spec like the paper's Table II rows.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s: dt=%d lognormal(mu=%g, sigma=%g)", s.Name, s.Dt, s.Mu, s.Sigma)
+}
+
+// TableII returns the twelve synthetic dataset specs M1–M12: Δt = 50 for
+// M1–M6 and Δt = 10 for M7–M12, μ ∈ {4, 5}, σ ∈ {1.5, 1.75, 2}
+// (reconstructed from the comparisons drawn in Section V-B: M1 vs M4 vary
+// μ, M1→M3 vary σ, and the Δt = 10 group is M7–M12).
+func TableII() []Spec {
+	sigmas := []float64{1.5, 1.75, 2}
+	mus := []float64{4, 5}
+	var specs []Spec
+	i := 1
+	for _, dt := range []int64{50, 10} {
+		for _, mu := range mus {
+			for _, sigma := range sigmas {
+				specs = append(specs, Spec{
+					Name:  fmt.Sprintf("M%d", i),
+					Dt:    dt,
+					Mu:    mu,
+					Sigma: sigma,
+				})
+				i++
+			}
+		}
+	}
+	return specs
+}
+
+// ByName returns the Table II spec with the given name (e.g. "M7").
+func ByName(name string) (Spec, bool) {
+	for _, s := range TableII() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Segment is one leg of a dynamic workload: Points arrivals drawn with
+// delays from Dist.
+type Segment struct {
+	Points int
+	Dist   dist.Distribution
+}
+
+// Dynamic concatenates segments into one stream with a continuous
+// generation timeline (Fig. 10: σ drifting 2 → 1.75 → 1.5 → 1.25 → 1 every
+// fifth of the stream). Sorting by arrival happens per segment, mirroring
+// the paper's construction where each distribution regime is written
+// through before the next begins.
+func Dynamic(dt int64, seed int64, segments ...Segment) []series.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var out []series.Point
+	var base int64
+	for _, seg := range segments {
+		ps := make([]series.Point, seg.Points)
+		for i := range ps {
+			tg := base + int64(i+1)*dt
+			delay := int64(seg.Dist.Sample(rng))
+			if delay < 0 {
+				delay = 0
+			}
+			ps[i] = series.Point{TG: tg, TA: tg + delay, V: rng.Float64()}
+		}
+		base += int64(seg.Points) * dt
+		series.SortByTA(ps)
+		out = append(out, ps...)
+	}
+	return out
+}
+
+// DriftingSigma builds the Fig. 10 stream: total points split evenly
+// across the given σ values with fixed μ and Δt.
+func DriftingSigma(total int, dt int64, mu float64, sigmas []float64, seed int64) []series.Point {
+	per := total / len(sigmas)
+	segs := make([]Segment, len(sigmas))
+	for i, s := range sigmas {
+		segs[i] = Segment{Points: per, Dist: dist.NewLognormal(mu, s)}
+	}
+	return Dynamic(dt, seed, segs...)
+}

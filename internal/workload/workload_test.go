@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/series"
+)
+
+func TestSyntheticBasics(t *testing.T) {
+	ps := Synthetic(1000, 50, dist.NewLognormal(4, 1.5), 1)
+	if len(ps) != 1000 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	// Sorted by arrival.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].TA < ps[i-1].TA {
+			t.Fatal("not sorted by arrival")
+		}
+	}
+	// Generation times are the arithmetic progression 50, 100, ...
+	seen := make(map[int64]bool)
+	for _, p := range ps {
+		if p.TG%50 != 0 || p.TG < 50 || p.TG > 50*1000 {
+			t.Fatalf("bad TG %d", p.TG)
+		}
+		if seen[p.TG] {
+			t.Fatalf("duplicate TG %d", p.TG)
+		}
+		seen[p.TG] = true
+		if p.TA < p.TG {
+			t.Fatalf("negative delay: %v", p)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(100, 50, dist.NewLognormal(4, 1.5), 42)
+	b := Synthetic(100, 50, dist.NewLognormal(4, 1.5), 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := Synthetic(100, 50, dist.NewLognormal(4, 1.5), 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTableIISpecs(t *testing.T) {
+	specs := TableII()
+	if len(specs) != 12 {
+		t.Fatalf("Table II has %d specs", len(specs))
+	}
+	// M1–M6: dt 50; M7–M12: dt 10.
+	for i, s := range specs {
+		wantDt := int64(50)
+		if i >= 6 {
+			wantDt = 10
+		}
+		if s.Dt != wantDt {
+			t.Errorf("%s: dt = %d, want %d", s.Name, s.Dt, wantDt)
+		}
+	}
+	// M1 vs M4: same σ, μ 4 vs 5. M1→M3: σ 1.5, 1.75, 2.
+	if specs[0].Mu != 4 || specs[3].Mu != 5 || specs[0].Sigma != specs[3].Sigma {
+		t.Errorf("M1/M4 mismatch: %+v %+v", specs[0], specs[3])
+	}
+	if specs[0].Sigma != 1.5 || specs[1].Sigma != 1.75 || specs[2].Sigma != 2 {
+		t.Errorf("M1-M3 sigma progression wrong")
+	}
+	if specs[0].Name != "M1" || specs[11].Name != "M12" {
+		t.Errorf("names wrong: %s %s", specs[0].Name, specs[11].Name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("M7")
+	if !ok || s.Dt != 10 || s.Mu != 4 || s.Sigma != 1.5 {
+		t.Errorf("ByName(M7) = %+v, %v", s, ok)
+	}
+	if _, ok := ByName("M13"); ok {
+		t.Error("ByName(M13) should miss")
+	}
+}
+
+func TestSpecStringAndGenerate(t *testing.T) {
+	s, _ := ByName("M1")
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	ps := s.Generate(500, 7)
+	if len(ps) != 500 {
+		t.Errorf("Generate: %d points", len(ps))
+	}
+}
+
+func TestDynamicContinuousTimeline(t *testing.T) {
+	ps := Dynamic(50, 3,
+		Segment{Points: 100, Dist: dist.NewLognormal(4, 2)},
+		Segment{Points: 100, Dist: dist.NewLognormal(4, 1)},
+	)
+	if len(ps) != 200 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	// Generation times must cover 50..10000 without duplicates.
+	seen := make(map[int64]bool)
+	for _, p := range ps {
+		if seen[p.TG] {
+			t.Fatalf("duplicate TG %d across segments", p.TG)
+		}
+		seen[p.TG] = true
+	}
+	if !seen[50] || !seen[100*50] || !seen[200*50] {
+		t.Error("generation timeline not continuous across segments")
+	}
+}
+
+func TestDriftingSigma(t *testing.T) {
+	ps := DriftingSigma(500, 50, 5, []float64{2, 1.75, 1.5, 1.25, 1}, 11)
+	if len(ps) != 500 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	// Later segments have smaller σ ⇒ disorder should decline: compare
+	// inversion counts of first and last fifth.
+	inv := func(ps []series.Point) int {
+		n := 0
+		maxTG := int64(math.MinInt64)
+		for _, p := range ps {
+			if p.TG < maxTG {
+				n++
+			}
+			if p.TG > maxTG {
+				maxTG = p.TG
+			}
+		}
+		return n
+	}
+	if a, b := inv(ps[:100]), inv(ps[400:]); a <= b {
+		t.Errorf("disorder should decline: first fifth %d inversions, last fifth %d", a, b)
+	}
+}
+
+func TestS9LikeCalibration(t *testing.T) {
+	cfg := DefaultS9()
+	cfg.N = 30_000
+	ps := S9Like(cfg)
+	if len(ps) != cfg.N {
+		t.Fatalf("len = %d", len(ps))
+	}
+	// Unique generation timestamps, sorted by arrival.
+	seen := make(map[int64]bool, len(ps))
+	for _, p := range ps {
+		if seen[p.TG] {
+			t.Fatal("duplicate TG")
+		}
+		seen[p.TG] = true
+		if p.TA < p.TG {
+			t.Fatalf("negative delay %v", p)
+		}
+	}
+	// Out-of-order fraction at memory budget 8 must be near the real
+	// dataset's 7.05%.
+	ooo := series.CountOutOfOrder(ps, 8, math.MinInt64)
+	frac := float64(ooo) / float64(len(ps))
+	if frac < 0.04 || frac > 0.11 {
+		t.Errorf("S-9 out-of-order fraction = %.4f, want ≈0.07", frac)
+	}
+}
+
+func TestS9VariableIntervals(t *testing.T) {
+	ps := S9Like(DefaultS9())
+	series.SortByTG(ps)
+	// Intervals must vary substantially (the real S-9 has no fixed Δt).
+	var min, max int64 = math.MaxInt64, 0
+	for i := 1; i < 1000; i++ {
+		iv := ps[i].TG - ps[i-1].TG
+		if iv < min {
+			min = iv
+		}
+		if iv > max {
+			max = iv
+		}
+	}
+	if max < 2*min {
+		t.Errorf("intervals too regular: min %d max %d", min, max)
+	}
+}
+
+func TestHLikeCalibration(t *testing.T) {
+	cfg := DefaultH()
+	cfg.N = 200_000
+	ps := HLike(cfg)
+	if len(ps) != cfg.N {
+		t.Fatalf("len = %d", len(ps))
+	}
+	// Counted with a small buffer (as for S-9): real H reports 0.0375%.
+	// Accept the right order of magnitude.
+	ooo := series.CountOutOfOrder(ps, 8, math.MinInt64)
+	frac := float64(ooo) / float64(len(ps))
+	if frac < 0.0001 || frac > 0.005 {
+		t.Errorf("H out-of-order fraction = %.5f, want ≈0.0004", frac)
+	}
+	// Delays must cluster below the resend period with a mode near it.
+	var over int
+	for _, d := range Delays(ps) {
+		if d > cfg.ResendPeriodMs+1000 {
+			over++
+		}
+	}
+	if over > cfg.N/1000 {
+		t.Errorf("%d delays exceed the resend period; the systematic cap is broken", over)
+	}
+}
+
+func TestHLikeAutocorrelatedDelays(t *testing.T) {
+	cfg := DefaultH()
+	cfg.N = 200_000
+	cfg.OutageRate = 1.0 / 10_000 // more outages for a clearer signal
+	ps := HLike(cfg)
+	d := Delays(ps)
+	// Lag-1 autocorrelation must be clearly positive (batched re-sends
+	// give neighbouring points nearly identical delays).
+	var mean float64
+	for _, v := range d {
+		mean += v
+	}
+	mean /= float64(len(d))
+	var num, den float64
+	for i := 1; i < len(d); i++ {
+		num += (d[i] - mean) * (d[i-1] - mean)
+	}
+	for _, v := range d {
+		den += (v - mean) * (v - mean)
+	}
+	if r := num / den; r < 0.3 {
+		t.Errorf("lag-1 autocorrelation = %v, want strongly positive", r)
+	}
+}
+
+func TestDelays(t *testing.T) {
+	ps := []series.Point{{TG: 10, TA: 15}, {TG: 20, TA: 20}}
+	d := Delays(ps)
+	if len(d) != 2 || d[0] != 5 || d[1] != 0 {
+		t.Errorf("Delays = %v", d)
+	}
+}
