@@ -1,0 +1,137 @@
+package main
+
+// Load-generator mode: drive a running lsmd server with concurrent batched
+// writers over the Go client, honoring 429 backpressure with the server's
+// Retry-After hint, then verify and report. This is the network-path
+// analogue of the Table III throughput experiment: the workload is the
+// same synthetic generator (constant generation interval, lognormal
+// delays), but points travel through HTTP, the sharded ingest queues, and
+// the per-series engines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+type loadConfig struct {
+	base    string
+	writers int
+	series  int
+	points  int
+	batch   int
+	dt      int64
+	mu      float64
+	sigma   float64
+	seed    int64
+	verify  bool
+}
+
+func runLoad(cfg loadConfig) {
+	if cfg.writers < 1 || cfg.series < 1 || cfg.points < 1 || cfg.batch < 1 {
+		fatal("load mode: -writers, -lseries, -lpoints, -lbatch must be >= 1")
+	}
+	cl := client.New(cfg.base)
+	ctx := context.Background()
+	if err := cl.Health(ctx); err != nil {
+		fatal("load mode: server not healthy: %v", err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		sent     atomic.Int64
+		retries  atomic.Int64
+		failures atomic.Int64
+	)
+	start := time.Now()
+	for g := 0; g < cfg.writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("root.load.s%d", g%cfg.series)
+			// Disjoint generation-time segment per writer so writers
+			// sharing a series never upsert each other's points.
+			base := int64(g) * int64(cfg.points+1) * cfg.dt * 4
+			pts := workload.Synthetic(cfg.points, cfg.dt, dist.NewLognormal(cfg.mu, cfg.sigma), cfg.seed+int64(g))
+			for off := 0; off < len(pts); off += cfg.batch {
+				end := off + cfg.batch
+				if end > len(pts) {
+					end = len(pts)
+				}
+				batch := make([]api.Point, 0, end-off)
+				for _, p := range pts[off:end] {
+					batch = append(batch, api.Point{Series: name, TG: base + p.TG, TA: base + p.TA, V: p.V})
+				}
+				for {
+					_, err := cl.Write(ctx, batch)
+					if err == nil {
+						sent.Add(int64(len(batch)))
+						break
+					}
+					var bp *client.BackpressureError
+					if errors.As(err, &bp) {
+						retries.Add(1)
+						time.Sleep(bp.RetryAfter)
+						continue
+					}
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "lsmbench: writer %d: %v\n", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := sent.Load()
+	fmt.Printf("load: %d writers x %d points -> %d series via %s\n",
+		cfg.writers, cfg.points, cfg.series, cfg.base)
+	fmt.Printf("load: %d points in %s (%.0f points/sec), %d backpressure retries, %d failed writers\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), retries.Load(), failures.Load())
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		fatal("load mode: stats: %v", err)
+	}
+	var ingested int64
+	for _, st := range stats.Series {
+		ingested += st.PointsIngested
+		fmt.Printf("load: %-24s policy=%-4s ingested=%-10d WA=%.3f\n",
+			st.Name, st.Policy, st.PointsIngested, st.WriteAmplification)
+	}
+	fmt.Printf("load: server-wide WA %.3f (%d points ingested this process lifetime)\n", stats.TotalWA, ingested)
+
+	if cfg.verify {
+		for s := 0; s < cfg.series; s++ {
+			name := fmt.Sprintf("root.load.s%d", s)
+			pts, _, err := cl.Scan(ctx, name, -1<<60, 1<<60)
+			if err != nil {
+				fatal("load mode: verify scan %s: %v", name, err)
+			}
+			want := 0
+			for g := 0; g < cfg.writers; g++ {
+				if g%cfg.series == s {
+					want += cfg.points
+				}
+			}
+			mark := "ok"
+			if len(pts) < want {
+				mark = "MISSING POINTS (series may hold pre-run data if the server was not fresh)"
+			}
+			fmt.Printf("load: verify %-24s scanned=%-10d expected>=%-10d %s\n", name, len(pts), want, mark)
+		}
+	}
+	if failures.Load() > 0 {
+		fatal("load mode: %d writers failed", failures.Load())
+	}
+}

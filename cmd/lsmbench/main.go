@@ -1,14 +1,18 @@
-// Command lsmbench regenerates the paper's tables and figures.
+// Command lsmbench regenerates the paper's tables and figures, and doubles
+// as a load generator for the lsmd network server.
 //
 // Usage:
 //
 //	lsmbench -list
 //	lsmbench -exp fig9 -scale 0.05
 //	lsmbench -exp all -scale 0.02 -csv results/
+//	lsmbench -load http://localhost:8086 -writers 8 -lseries 4 -lpoints 20000
 //
 // Each experiment prints a paper-style table; -csv additionally writes one
 // CSV file per experiment. Scale 1.0 corresponds to the paper's dataset
 // sizes (10M points per synthetic dataset) — expect long runtimes there.
+// With -load, lsmbench instead drives concurrent batched writers against a
+// running server (honoring 429 backpressure) and reports throughput.
 package main
 
 import (
@@ -30,8 +34,34 @@ func main() {
 		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 		csv   = flag.String("csv", "", "directory to write per-experiment CSV files")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+
+		load    = flag.String("load", "", "load-generator mode: base URL of a running lsmd server")
+		writers = flag.Int("writers", 8, "load mode: concurrent writer goroutines")
+		lseries = flag.Int("lseries", 4, "load mode: number of target series")
+		lpoints = flag.Int("lpoints", 20000, "load mode: points per writer")
+		lbatch  = flag.Int("lbatch", 500, "load mode: points per write request")
+		ldt     = flag.Int64("ldt", 50, "load mode: generation interval (time units)")
+		lmu     = flag.Float64("lmu", 5, "load mode: lognormal delay mu")
+		lsigma  = flag.Float64("lsigma", 2, "load mode: lognormal delay sigma")
+		lverify = flag.Bool("lverify", true, "load mode: scan every series afterwards and verify counts")
 	)
 	flag.Parse()
+
+	if *load != "" {
+		runLoad(loadConfig{
+			base:    *load,
+			writers: *writers,
+			series:  *lseries,
+			points:  *lpoints,
+			batch:   *lbatch,
+			dt:      *ldt,
+			mu:      *lmu,
+			sigma:   *lsigma,
+			seed:    *seed,
+			verify:  *lverify,
+		})
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

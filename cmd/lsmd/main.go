@@ -1,0 +1,111 @@
+// Command lsmd is the network daemon over the tsdb layer: it serves the
+// internal/server HTTP API (batched line-protocol/JSON writes with
+// backpressure, scan/aggregate/series/stats reads, Prometheus /metrics,
+// /healthz) on top of a durable or in-memory multi-series store.
+//
+// Usage:
+//
+//	lsmd -addr :8086 -dir ./db                 # durable, adaptive policy
+//	lsmd -addr :8086 -policy pi_s -seqcap 256  # in-memory, fixed policy
+//
+// Write some points and read them back:
+//
+//	curl -X POST --data-binary $'root.v1.temp 1 - 21.5\nroot.v1.temp 2 - 21.6\n' localhost:8086/write
+//	curl 'localhost:8086/scan?series=root.v1.temp'
+//	curl localhost:8086/metrics
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: stop accepting, drain the
+// ingest queues, flush every series, close the database.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8086", "listen address")
+		dir      = flag.String("dir", "", "database directory (empty: in-memory, no WAL)")
+		budget   = flag.Int("n", 512, "memory budget per series (points)")
+		policy   = flag.String("policy", "auto", "write policy: auto (adaptive), pi_c, pi_s")
+		seqcap   = flag.Int("seqcap", 0, "n_seq for pi_s (0: n/2)")
+		shards   = flag.Int("shards", 0, "ingest worker shards (0: GOMAXPROCS, max 16)")
+		queue    = flag.Int("queue", 0, "per-shard ingest queue length in batches (0: 128)")
+		wal      = flag.Bool("wal", true, "write-ahead logging (durable mode only)")
+		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	cfg := tsdb.Config{
+		Engine:     lsm.Config{MemBudget: *budget},
+		AutoCreate: true,
+	}
+	switch *policy {
+	case "auto":
+		cfg.Adaptive = true
+	case "pi_c":
+		cfg.Engine.Policy = lsm.Conventional
+	case "pi_s":
+		cfg.Engine.Policy = lsm.Separation
+		cfg.Engine.SeqCapacity = *seqcap
+	default:
+		log.Fatalf("lsmd: unknown -policy %q (want auto, pi_c, pi_s)", *policy)
+	}
+	if *dir != "" {
+		backend, err := storage.NewDiskBackend(*dir)
+		if err != nil {
+			log.Fatalf("lsmd: open -dir %s: %v", *dir, err)
+		}
+		cfg.Backend = backend
+		cfg.Engine.WAL = *wal
+	}
+
+	db, err := tsdb.Open(cfg)
+	if err != nil {
+		log.Fatalf("lsmd: open db: %v", err)
+	}
+
+	srv, err := server.New(server.Config{
+		DB:       db,
+		Shards:   *shards,
+		QueueLen: *queue,
+		CloseDB:  true,
+	})
+	if err != nil {
+		log.Fatalf("lsmd: %v", err)
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatalf("lsmd: listen %s: %v", *addr, err)
+	}
+	mode := "in-memory"
+	if *dir != "" {
+		mode = fmt.Sprintf("dir=%s wal=%v", *dir, *wal)
+	}
+	log.Printf("lsmd: serving on %s (%s, policy=%s, n=%d, %d series recovered)",
+		bound, mode, *policy, *budget, len(db.Series()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("lsmd: %v: draining (budget %s)", got, *drainFor)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		log.Fatalf("lsmd: shutdown: %v", err)
+	}
+	log.Printf("lsmd: clean shutdown")
+}

@@ -50,7 +50,14 @@ func (h *Histogram) Observe(v float64) {
 	case v >= h.hi:
 		h.over++
 	default:
-		h.counts[int((v-h.lo)/h.binsize)]++
+		// Float division can round (v-lo)/binsize up to exactly len(counts)
+		// for v just below hi (e.g. lo=0, hi=1, bins=3, v=Nextafter(1, 0)):
+		// clamp to the last bucket.
+		i := int((v - h.lo) / h.binsize)
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
 	}
 }
 

@@ -47,6 +47,38 @@ func TestHistogramOutOfRange(t *testing.T) {
 	}
 }
 
+func TestHistogramUpperEdgeAdjacent(t *testing.T) {
+	// Regression: for v just below hi, (v-lo)/binsize can round up to
+	// exactly bins (e.g. lo=0, hi=1, bins=3 with v=Nextafter(1, 0) gives
+	// index 3), which used to panic with an out-of-range write. The
+	// observation must land in the last bucket instead.
+	combos := []struct {
+		lo, hi float64
+		bins   int
+	}{
+		{0, 1, 3}, // known to round up: int((Nextafter(1,0)-0)/(1.0/3)) == 3
+		{0, 1, 7},
+		{0, 1, 10},
+		{0, 0.7, 7},
+		{0.1, 0.9, 8},
+		{-3, 3, 13},
+	}
+	for _, c := range combos {
+		h := NewHistogram(c.lo, c.hi, c.bins)
+		v := math.Nextafter(c.hi, c.lo)
+		h.Observe(v) // must not panic
+		_, counts := h.Bins()
+		if counts[c.bins-1] != 1 {
+			t.Errorf("lo=%v hi=%v bins=%d: Observe(%v) not in last bucket: %v",
+				c.lo, c.hi, c.bins, v, counts)
+		}
+		if under, over := h.OutOfRange(); under != 0 || over != 0 {
+			t.Errorf("lo=%v hi=%v bins=%d: in-range value tallied out of range (%d/%d)",
+				c.lo, c.hi, c.bins, under, over)
+		}
+	}
+}
+
 func TestHistogramStddev(t *testing.T) {
 	h := NewHistogram(0, 10, 5)
 	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {

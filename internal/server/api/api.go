@@ -1,0 +1,169 @@
+// Package api defines the wire types and the text line protocol shared by
+// the ingestion/query server (internal/server) and its Go client
+// (internal/server/client). Keeping them in a leaf package lets the server
+// tests drive the real client without an import cycle.
+//
+// The line protocol is newline-delimited, one point per line:
+//
+//	series t_g t_a value
+//
+// Fields are whitespace-separated. t_a may be "-" to let the server assign
+// the arrival timestamp at receipt time (the paper's t_a is "assigned by
+// the database"). Blank lines and lines starting with '#' are ignored.
+package api
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Point is one write in a batch, addressed to a series.
+type Point struct {
+	Series string  `json:"series"`
+	TG     int64   `json:"tg"`
+	TA     int64   `json:"ta"`
+	V      float64 `json:"v"`
+	// AssignTA requests a server-assigned arrival timestamp ("-" in the
+	// line protocol; "assign_ta": true in JSON).
+	AssignTA bool `json:"assign_ta,omitempty"`
+}
+
+// WriteRequest is the JSON write body. A bare JSON array of points is also
+// accepted.
+type WriteRequest struct {
+	Points []Point `json:"points"`
+}
+
+// WriteResponse reports the outcome of a write: Accepted points were
+// applied to the engine before the response was sent; Rejected points were
+// refused because an ingest queue was full (HTTP 429).
+type WriteResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Error    string `json:"error,omitempty"`
+}
+
+// PointJSON is one stored point in query responses.
+type PointJSON struct {
+	TG int64   `json:"tg"`
+	TA int64   `json:"ta"`
+	V  float64 `json:"v"`
+}
+
+// ScanStatsJSON mirrors lsm.ScanStats for cost accounting.
+type ScanStatsJSON struct {
+	TablesTouched     int     `json:"tables_touched"`
+	TablePoints       int     `json:"table_points"`
+	MemPoints         int     `json:"mem_points"`
+	ResultPoints      int     `json:"result_points"`
+	ReadAmplification float64 `json:"read_amplification"`
+}
+
+// ScanResponse is the /scan body.
+type ScanResponse struct {
+	Series string        `json:"series"`
+	Count  int           `json:"count"`
+	Points []PointJSON   `json:"points"`
+	Stats  ScanStatsJSON `json:"stats"`
+}
+
+// BucketJSON is one downsampled window in /aggregate responses.
+type BucketJSON struct {
+	Start int64   `json:"start"`
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Sum   float64 `json:"sum"`
+	First float64 `json:"first"`
+	Last  float64 `json:"last"`
+}
+
+// AggregateResponse is the /aggregate body.
+type AggregateResponse struct {
+	Series  string       `json:"series"`
+	Width   int64        `json:"width"`
+	Buckets []BucketJSON `json:"buckets"`
+}
+
+// SeriesResponse is the /series body.
+type SeriesResponse struct {
+	Series []string `json:"series"`
+}
+
+// DecisionJSON reports the adaptive analyzer's current choice for a series.
+type DecisionJSON struct {
+	Policy string  `json:"policy"`
+	NSeq   int     `json:"n_seq"`
+	Rc     float64 `json:"r_c"`
+	Rs     float64 `json:"r_s"`
+}
+
+// SeriesStatsJSON is one series' entry in /stats.
+type SeriesStatsJSON struct {
+	Name               string        `json:"name"`
+	Policy             string        `json:"policy"`
+	SeqCap             int           `json:"seq_cap"`
+	PointsIngested     int64         `json:"points_ingested"`
+	PointsWritten      int64         `json:"points_written"`
+	PointsRewritten    int64         `json:"points_rewritten"`
+	Flushes            int64         `json:"flushes"`
+	Compactions        int64         `json:"compactions"`
+	InOrderPoints      int64         `json:"in_order_points"`
+	OutOfOrderPoints   int64         `json:"out_of_order_points"`
+	WriteAmplification float64       `json:"write_amplification"`
+	Decision           *DecisionJSON `json:"decision,omitempty"`
+}
+
+// StatsResponse is the /stats body.
+type StatsResponse struct {
+	TotalWA float64           `json:"total_wa"`
+	Series  []SeriesStatsJSON `json:"series"`
+}
+
+// ErrorResponse is the body of non-2xx responses (except 429, which uses
+// WriteResponse so the caller learns the partial-acceptance split).
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// FormatLine renders one point in the line protocol.
+func FormatLine(p Point) string {
+	ta := strconv.FormatInt(p.TA, 10)
+	if p.AssignTA {
+		ta = "-"
+	}
+	return fmt.Sprintf("%s %d %s %s", p.Series, p.TG, ta, strconv.FormatFloat(p.V, 'g', -1, 64))
+}
+
+// ParseLine parses one line-protocol line. Callers must skip blank and
+// comment lines themselves (the server does so with line numbers intact).
+func ParseLine(line string) (Point, error) {
+	f := strings.Fields(line)
+	if len(f) != 4 {
+		return Point{}, fmt.Errorf("want 4 fields \"series t_g t_a value\", got %d", len(f))
+	}
+	var p Point
+	p.Series = f[0]
+	tg, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Point{}, fmt.Errorf("bad t_g %q", f[1])
+	}
+	p.TG = tg
+	if f[2] == "-" {
+		p.AssignTA = true
+	} else {
+		ta, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return Point{}, fmt.Errorf("bad t_a %q", f[2])
+		}
+		p.TA = ta
+	}
+	v, err := strconv.ParseFloat(f[3], 64)
+	if err != nil {
+		return Point{}, fmt.Errorf("bad value %q", f[3])
+	}
+	p.V = v
+	return p, nil
+}

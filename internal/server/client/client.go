@@ -1,0 +1,190 @@
+// Package client is the Go client for the internal/server HTTP API, used
+// by the server's end-to-end tests and by cmd/lsmbench's load-generator
+// mode. Writes use the text line protocol; reads decode the JSON bodies
+// into the shared api types.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/series"
+	"repro/internal/server/api"
+)
+
+// ErrBackpressure matches write errors caused by a full ingest queue
+// (HTTP 429). Use errors.As with *BackpressureError for the
+// accepted/rejected split and the server's Retry-After hint.
+var ErrBackpressure = errors.New("client: server backpressure")
+
+// BackpressureError carries the partial-acceptance split of a 429.
+type BackpressureError struct {
+	Accepted   int
+	Rejected   int
+	RetryAfter time.Duration
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("client: server backpressure (accepted %d, rejected %d, retry after %s)",
+		e.Accepted, e.Rejected, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBackpressure) work.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
+// Client talks to one server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for a base URL such as "http://127.0.0.1:8080".
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// NewWithHTTPClient uses a caller-supplied http.Client (custom timeouts,
+// transports).
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Write sends points via the line protocol and waits until the server has
+// applied them. It returns the number of accepted (applied) points. On
+// backpressure the error is a *BackpressureError and accepted reports the
+// applied subset.
+func (c *Client) Write(ctx context.Context, pts []api.Point) (accepted int, err error) {
+	var b bytes.Buffer
+	for _, p := range pts {
+		b.WriteString(api.FormatLine(p))
+		b.WriteByte('\n')
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/write", &b)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var wr api.WriteResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&wr); derr != nil && resp.StatusCode == http.StatusOK {
+		return 0, fmt.Errorf("client: bad write response: %w", derr)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return wr.Accepted, nil
+	case http.StatusTooManyRequests:
+		ra := time.Second
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, perr := strconv.Atoi(v); perr == nil && secs >= 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
+		return wr.Accepted, &BackpressureError{Accepted: wr.Accepted, Rejected: wr.Rejected, RetryAfter: ra}
+	default:
+		msg := wr.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		return wr.Accepted, fmt.Errorf("client: write failed: %s", msg)
+	}
+}
+
+// Scan fetches the series' points in [lo, hi].
+func (c *Client) Scan(ctx context.Context, name string, lo, hi int64) ([]series.Point, api.ScanStatsJSON, error) {
+	var resp api.ScanResponse
+	q := url.Values{"series": {name}, "lo": {strconv.FormatInt(lo, 10)}, "hi": {strconv.FormatInt(hi, 10)}}
+	if err := c.getJSON(ctx, "/scan", q, &resp); err != nil {
+		return nil, api.ScanStatsJSON{}, err
+	}
+	pts := make([]series.Point, len(resp.Points))
+	for i, p := range resp.Points {
+		pts[i] = series.Point{TG: p.TG, TA: p.TA, V: p.V}
+	}
+	return pts, resp.Stats, nil
+}
+
+// Aggregate downsamples [lo, hi] into buckets of the given width.
+func (c *Client) Aggregate(ctx context.Context, name string, lo, hi, width int64) ([]api.BucketJSON, error) {
+	var resp api.AggregateResponse
+	q := url.Values{
+		"series": {name},
+		"lo":     {strconv.FormatInt(lo, 10)},
+		"hi":     {strconv.FormatInt(hi, 10)},
+		"width":  {strconv.FormatInt(width, 10)},
+	}
+	if err := c.getJSON(ctx, "/aggregate", q, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Buckets, nil
+}
+
+// Series lists the server's series names.
+func (c *Client) Series(ctx context.Context) ([]string, error) {
+	var resp api.SeriesResponse
+	if err := c.getJSON(ctx, "/series", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Series, nil
+}
+
+// Stats fetches per-series engine statistics.
+func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
+	var resp api.StatsResponse
+	err := c.getJSON(ctx, "/stats", nil, &resp)
+	return resp, err
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: health: %s", resp.Status)
+	}
+	return nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s: %s", path, e.Error)
+		}
+		return fmt.Errorf("client: %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,205 @@
+package server_test
+
+// End-to-end test: a real server on an ephemeral port, driven through the
+// Go client by concurrent writers, then verified point-for-point with
+// scans — the acceptance gate for the network ingestion path.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/server"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+	"repro/internal/tsdb"
+)
+
+func TestEndToEndConcurrentWriters(t *testing.T) {
+	const (
+		writers   = 8
+		nSeries   = 4
+		perWriter = 300
+		batchSize = 50
+	)
+	db, err := tsdb.Open(tsdb.Config{
+		Engine:     lsm.Config{Policy: lsm.Conventional, MemBudget: 64},
+		AutoCreate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{DB: db, CloseDB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	cl := client.New("http://" + addr.String())
+	ctx := context.Background()
+	if err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// writers goroutines, two per series, interleaved unique TGs so the
+	// per-series streams are genuinely out of order across writers.
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("root.e2e.s%d", g%nSeries)
+			for off := 0; off < perWriter; off += batchSize {
+				batch := make([]api.Point, 0, batchSize)
+				for i := off; i < off+batchSize; i++ {
+					tg := int64(i)*int64(writers) + int64(g)
+					batch = append(batch, api.Point{Series: name, TG: tg, TA: tg + 3, V: float64(g)})
+				}
+				for {
+					accepted, err := cl.Write(ctx, batch)
+					if err == nil {
+						if accepted != len(batch) {
+							errs <- fmt.Errorf("writer %d: accepted %d of %d", g, accepted, len(batch))
+						}
+						break
+					}
+					var bp *client.BackpressureError
+					if errors.As(err, &bp) {
+						// Honor the server's hint, then resend the whole
+						// batch: engine writes are upserts by TG, so the
+						// accepted prefix re-applying is harmless.
+						time.Sleep(bp.RetryAfter)
+						continue
+					}
+					errs <- fmt.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	names, err := cl.Series(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != nSeries {
+		t.Fatalf("series = %v, want %d", names, nSeries)
+	}
+
+	perSeries := writers / nSeries * perWriter
+	for s := 0; s < nSeries; s++ {
+		name := fmt.Sprintf("root.e2e.s%d", s)
+		pts, _, err := cl.Scan(ctx, name, 0, int64(1)<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != perSeries {
+			t.Fatalf("%s: %d points, want %d", name, len(pts), perSeries)
+		}
+		if !series.IsSortedByTG(pts) {
+			t.Errorf("%s: scan not sorted", name)
+		}
+		seen := make(map[int64]bool, len(pts))
+		for _, p := range pts {
+			seen[p.TG] = true
+		}
+		for i := 0; i < perWriter; i++ {
+			for _, g := range []int{s, s + nSeries} {
+				tg := int64(i)*int64(writers) + int64(g)
+				if !seen[tg] {
+					t.Fatalf("%s: accepted point TG=%d not returned", name, tg)
+				}
+			}
+		}
+	}
+
+	// Aggregate: bucket counts must cover every point exactly once.
+	buckets, err := cl.Aggregate(ctx, "root.e2e.s0", 0, int64(1)<<40, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg int64
+	for _, b := range buckets {
+		agg += b.Count
+	}
+	if agg != int64(perSeries) {
+		t.Errorf("aggregate covers %d points, want %d", agg, perSeries)
+	}
+
+	// Stats: every accepted point reached an engine.
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ingested int64
+	for _, st := range stats.Series {
+		ingested += st.PointsIngested
+		if st.Policy == "" {
+			t.Errorf("%s: empty policy", st.Name)
+		}
+	}
+	if ingested != int64(writers*perWriter) {
+		t.Errorf("ingested %d, want %d", ingested, writers*perWriter)
+	}
+}
+
+// TestEndToEndJSONWrite exercises the JSON write body through plain HTTP
+// via the client-side types.
+func TestEndToEndJSONWrite(t *testing.T) {
+	db, err := tsdb.Open(tsdb.Config{
+		Engine:     lsm.Config{Policy: lsm.Conventional, MemBudget: 32},
+		AutoCreate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{DB: db, CloseDB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	cl := client.New("http://" + addr.String())
+	ctx := context.Background()
+
+	// The client writes line protocol; JSON goes through raw HTTP in the
+	// in-package tests. Here just confirm client writes land and read back.
+	pts := []api.Point{
+		{Series: "j", TG: 10, TA: 11, V: 1},
+		{Series: "j", TG: 5, TA: 12, V: 2}, // out of order
+		{Series: "k", TG: 1, TA: 2, V: 3},
+	}
+	accepted, err := cl.Write(ctx, pts)
+	if err != nil || accepted != 3 {
+		t.Fatalf("write: %d, %v", accepted, err)
+	}
+	got, stats, err := cl.Scan(ctx, "j", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].TG != 5 || got[1].TG != 10 {
+		t.Fatalf("scan j = %+v", got)
+	}
+	if stats.ResultPoints != 2 {
+		t.Errorf("scan stats: %+v", stats)
+	}
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/series"
+	"repro/internal/tsdb"
+)
+
+// The ingest path: write requests are split by series hash across N shard
+// queues, each drained by one worker goroutine, so concurrent requests
+// batch into the engine without contending on a single lock while every
+// series keeps a single writer (per-series application order is the
+// arrival order the paper's t_a models). Queues are bounded; a full queue
+// rejects the shard's batch and the request surfaces HTTP 429.
+
+// entry is one point addressed to a series.
+type entry struct {
+	series string
+	pt     series.Point
+}
+
+// writeReq is the shared completion state of one write request whose
+// points were split across shards.
+type writeReq struct {
+	pending  atomic.Int32 // shard batches not yet applied
+	done     chan struct{}
+	errMu    sync.Mutex
+	firstErr error
+}
+
+func newWriteReq(batches int) *writeReq {
+	r := &writeReq{done: make(chan struct{})}
+	r.pending.Store(int32(batches))
+	return r
+}
+
+// finish retires one shard batch, recording its error (if any) and
+// releasing the waiter when it is the last.
+func (r *writeReq) finish(err error) {
+	if err != nil {
+		r.errMu.Lock()
+		if r.firstErr == nil {
+			r.firstErr = err
+		}
+		r.errMu.Unlock()
+	}
+	if r.pending.Add(-1) == 0 {
+		close(r.done)
+	}
+}
+
+func (r *writeReq) wait() error {
+	<-r.done
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr
+}
+
+// ingestBatch is the unit queued on a shard: one request's points for
+// that shard.
+type ingestBatch struct {
+	entries []entry
+	req     *writeReq
+}
+
+type ingestShard struct {
+	ch            chan *ingestBatch
+	queuedBatches atomic.Int64
+	queuedPoints  atomic.Int64
+}
+
+// ingestPool owns the shard queues and workers.
+type ingestPool struct {
+	db     *tsdb.DB
+	shards []*ingestShard
+	wg     sync.WaitGroup
+
+	applied atomic.Int64 // points applied to the DB
+	failed  atomic.Int64 // points whose Put errored
+
+	// hookBeforeApply, when non-nil, runs in the worker before each batch
+	// is applied. Tests use it to hold workers and fill queues
+	// deterministically.
+	hookBeforeApply func()
+}
+
+func newIngestPool(db *tsdb.DB, shards, queueLen int) *ingestPool {
+	p := &ingestPool{db: db, shards: make([]*ingestShard, shards)}
+	for i := range p.shards {
+		p.shards[i] = &ingestShard{ch: make(chan *ingestBatch, queueLen)}
+	}
+	for i := range p.shards {
+		p.wg.Add(1)
+		go p.worker(p.shards[i])
+	}
+	return p
+}
+
+func (p *ingestPool) worker(sh *ingestShard) {
+	defer p.wg.Done()
+	for b := range sh.ch {
+		if p.hookBeforeApply != nil {
+			p.hookBeforeApply()
+		}
+		var err error
+		for _, e := range b.entries {
+			if perr := p.db.Put(e.series, e.pt); perr != nil {
+				err = perr
+				p.failed.Add(1)
+			} else {
+				p.applied.Add(1)
+			}
+		}
+		sh.queuedBatches.Add(-1)
+		sh.queuedPoints.Add(-int64(len(b.entries)))
+		b.req.finish(err)
+	}
+}
+
+func (p *ingestPool) shardFor(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(p.shards)))
+}
+
+// enqueue splits pts across shards and queues them without blocking.
+// Batches whose shard queue is full are rejected. It returns the accepted
+// and rejected point counts and — when anything was accepted — the request
+// handle to wait on.
+func (p *ingestPool) enqueue(pts []entry) (accepted, rejected int, req *writeReq) {
+	if len(pts) == 0 {
+		return 0, 0, nil
+	}
+	byShard := make(map[int][]entry)
+	for _, e := range pts {
+		i := p.shardFor(e.series)
+		byShard[i] = append(byShard[i], e)
+	}
+	req = newWriteReq(len(byShard))
+	for i, es := range byShard {
+		sh := p.shards[i]
+		b := &ingestBatch{entries: es, req: req}
+		// Account the depth before offering so /metrics never under-reports
+		// a queued batch; roll back on rejection.
+		sh.queuedBatches.Add(1)
+		sh.queuedPoints.Add(int64(len(es)))
+		select {
+		case sh.ch <- b:
+			accepted += len(es)
+		default:
+			sh.queuedBatches.Add(-1)
+			sh.queuedPoints.Add(-int64(len(es)))
+			rejected += len(es)
+			req.finish(nil)
+		}
+	}
+	if accepted == 0 {
+		return 0, rejected, nil
+	}
+	return accepted, rejected, req
+}
+
+// close drains every queue and stops the workers. Callers must have
+// stopped producing first (the HTTP server is shut down before close).
+func (p *ingestPool) close() {
+	for _, sh := range p.shards {
+		close(sh.ch)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders Prometheus text exposition format (version 0.0.4):
+// server-side ingest/read counters, per-shard queue depths, the write
+// request latency histogram, and per-series engine counters (policy,
+// write amplification) straight from db.Stats(). Everything is computed on
+// scrape — there is no metrics registry to keep in sync.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("lsmd_write_requests_total", "Write requests received.", s.writeRequests.Load())
+	counter("lsmd_write_requests_rejected_total", "Write requests that saw backpressure (HTTP 429).", s.writesRejected.Load())
+	counter("lsmd_ingest_points_applied_total", "Points applied to the storage engine.", s.pool.applied.Load())
+	counter("lsmd_ingest_points_failed_total", "Accepted points whose engine write errored.", s.pool.failed.Load())
+	counter("lsmd_scan_requests_total", "Scan requests received.", s.scanRequests.Load())
+	counter("lsmd_aggregate_requests_total", "Aggregate requests received.", s.aggRequests.Load())
+	counter("lsmd_scanned_points_total", "Points returned by scan and aggregate requests.", s.scannedPoints.Load())
+
+	// Queue gauges: depth per shard plus the shared capacity.
+	fmt.Fprintf(&b, "# HELP lsmd_ingest_queue_batches Queued or in-flight write batches per ingest shard.\n# TYPE lsmd_ingest_queue_batches gauge\n")
+	for i, sh := range s.pool.shards {
+		fmt.Fprintf(&b, "lsmd_ingest_queue_batches{shard=\"%d\"} %d\n", i, sh.queuedBatches.Load())
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_ingest_queue_points Queued or in-flight points per ingest shard.\n# TYPE lsmd_ingest_queue_points gauge\n")
+	for i, sh := range s.pool.shards {
+		fmt.Fprintf(&b, "lsmd_ingest_queue_points{shard=\"%d\"} %d\n", i, sh.queuedPoints.Load())
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_ingest_queue_capacity_batches Per-shard queue capacity in batches.\n# TYPE lsmd_ingest_queue_capacity_batches gauge\nlsmd_ingest_queue_capacity_batches %d\n", s.cfg.QueueLen)
+	fmt.Fprintf(&b, "# HELP lsmd_ingest_shards Ingest worker shards.\n# TYPE lsmd_ingest_shards gauge\nlsmd_ingest_shards %d\n", len(s.pool.shards))
+
+	// Write latency as a cumulative Prometheus histogram. The underlying
+	// fixed-width histogram covers [0,10s) in 100ms buckets; observations
+	// at or above 10s land in +Inf.
+	s.latMu.Lock()
+	edges, counts := s.writeLat.Bins()
+	total := s.writeLat.Count()
+	sum := s.writeLat.Mean() * float64(total)
+	s.latMu.Unlock()
+	fmt.Fprintf(&b, "# HELP lsmd_write_request_seconds Write request latency.\n# TYPE lsmd_write_request_seconds histogram\n")
+	var cum int64
+	binWidth := 0.0
+	if len(edges) > 1 {
+		binWidth = edges[1] - edges[0]
+	}
+	for i, c := range counts {
+		cum += c
+		// Emit sparse buckets (plus the first and last) to keep scrapes
+		// small; cumulative counts stay correct because cum carries over.
+		if c == 0 && i != 0 && i != len(counts)-1 {
+			continue
+		}
+		fmt.Fprintf(&b, "lsmd_write_request_seconds_bucket{le=\"%g\"} %d\n", edges[i]+binWidth, cum)
+	}
+	fmt.Fprintf(&b, "lsmd_write_request_seconds_bucket{le=\"+Inf\"} %d\n", total)
+	fmt.Fprintf(&b, "lsmd_write_request_seconds_sum %g\n", sum)
+	fmt.Fprintf(&b, "lsmd_write_request_seconds_count %d\n", total)
+
+	// Per-series engine counters from the tsdb layer.
+	stats := s.db.Stats()
+	fmt.Fprintf(&b, "# HELP lsmd_series_write_amplification Points written over points ingested, per series.\n# TYPE lsmd_series_write_amplification gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "lsmd_series_write_amplification{series=%q} %g\n", st.Name, st.Stats.WriteAmplification())
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_series_policy Active write policy per series (value is always 1).\n# TYPE lsmd_series_policy gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "lsmd_series_policy{series=%q,policy=%q} 1\n", st.Name, st.Policy.String())
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_series_points_ingested_total Points ingested per series.\n# TYPE lsmd_series_points_ingested_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "lsmd_series_points_ingested_total{series=%q} %d\n", st.Name, st.Stats.PointsIngested)
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_series_points_written_total Points physically written per series (flushes plus compaction rewrites).\n# TYPE lsmd_series_points_written_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "lsmd_series_points_written_total{series=%q} %d\n", st.Name, st.Stats.PointsWritten)
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_series_out_of_order_points_total Out-of-order points (Definition 3) per series.\n# TYPE lsmd_series_out_of_order_points_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "lsmd_series_out_of_order_points_total{series=%q} %d\n", st.Name, st.Stats.OutOfOrderPoints)
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_db_series Number of series.\n# TYPE lsmd_db_series gauge\nlsmd_db_series %d\n", len(stats))
+	fmt.Fprintf(&b, "# HELP lsmd_db_write_amplification Database-wide write amplification.\n# TYPE lsmd_db_write_amplification gauge\nlsmd_db_write_amplification %g\n", s.db.TotalWA())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,438 @@
+// Package server is the network front-end over the multi-series tsdb
+// layer: an HTTP server exposing batched writes (text line protocol or
+// JSON) and scan/aggregate/series/stats reads, with a sharded bounded
+// ingest pipeline, explicit backpressure (429 + Retry-After), Prometheus
+// metrics, and graceful drain-and-flush shutdown. It is the substrate the
+// ROADMAP's scaling work (sharding, replication, admission control) plugs
+// into.
+//
+// Endpoints:
+//
+//	POST /write      line protocol "series t_g t_a value" (or JSON)
+//	GET  /scan       ?series=S&lo=&hi=
+//	GET  /aggregate  ?series=S&lo=&hi=&width=
+//	GET  /series
+//	GET  /stats
+//	GET  /metrics    Prometheus text format
+//	GET  /healthz
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/series"
+	"repro/internal/server/api"
+	"repro/internal/tsdb"
+)
+
+// DefaultMaxBody bounds the size of one write request body.
+const DefaultMaxBody = 32 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// DB is the underlying store. Required.
+	DB *tsdb.DB
+	// Shards is the number of ingest worker goroutines (series are hashed
+	// across them). Zero selects GOMAXPROCS, capped at 16.
+	Shards int
+	// QueueLen is the per-shard queue capacity in request batches. Zero
+	// selects 128. When a shard's queue is full, its part of a write is
+	// rejected with 429.
+	QueueLen int
+	// MaxBody caps the write request body size in bytes (zero selects
+	// DefaultMaxBody).
+	MaxBody int64
+	// RetryAfter is the Retry-After hint returned with 429 responses (zero
+	// selects 1s).
+	RetryAfter time.Duration
+	// CloseDB makes Close also close the DB after draining and flushing.
+	CloseDB bool
+	// Now supplies server-assigned arrival timestamps (t_a fields written
+	// as "-"); nil selects wall-clock Unix milliseconds.
+	Now func() int64
+}
+
+// Server is the HTTP ingestion/query server.
+type Server struct {
+	cfg  Config
+	db   *tsdb.DB
+	pool *ingestPool
+	mux  *http.ServeMux
+
+	httpSrv  *http.Server
+	listener net.Listener
+
+	writeRequests  atomic.Int64
+	writesRejected atomic.Int64 // requests that saw any rejection
+	scanRequests   atomic.Int64
+	aggRequests    atomic.Int64
+	scannedPoints  atomic.Int64
+
+	latMu    sync.Mutex
+	writeLat *metrics.Histogram // write request latency, seconds
+
+	closed atomic.Bool
+}
+
+// New builds a server over db. Call Start (or mount Handler yourself),
+// then Close to drain.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Shards > 16 {
+			cfg.Shards = 16
+		}
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 128
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixMilli() }
+	}
+	s := &Server{
+		cfg:      cfg,
+		db:       cfg.DB,
+		pool:     newIngestPool(cfg.DB, cfg.Shards, cfg.QueueLen),
+		writeLat: metrics.NewHistogram(0, 10, 100), // 100ms buckets over [0,10s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /write", s.handleWrite)
+	mux.HandleFunc("GET /scan", s.handleScan)
+	mux.HandleFunc("GET /aggregate", s.handleAggregate)
+	mux.HandleFunc("GET /series", s.handleSeries)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the route table (for tests or embedding behind another
+// mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. ":8080", "127.0.0.1:0") and serves in a
+// background goroutine. The bound address is returned (useful with port
+// 0).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close shuts down gracefully: stop accepting connections, wait for
+// in-flight requests (bounded by ctx), drain the ingest queues, flush
+// every series, and — when Config.CloseDB is set — close the DB.
+func (s *Server) Close(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var firstErr error
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			firstErr = err
+		}
+	}
+	s.pool.close()
+	if err := s.db.FlushAll(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if s.cfg.CloseDB {
+		if err := s.db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---- write path ----
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.writeRequests.Add(1)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	defer body.Close()
+
+	ct := r.Header.Get("Content-Type")
+	var (
+		entries []entry
+		err     error
+	)
+	if strings.HasPrefix(ct, "application/json") {
+		entries, err = s.parseJSONBody(body)
+	} else {
+		entries, err = s.parseLineBody(body)
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBody)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(entries) == 0 {
+		s.writeJSON(w, http.StatusOK, api.WriteResponse{})
+		return
+	}
+
+	accepted, rejected, req := s.pool.enqueue(entries)
+	var applyErr error
+	if req != nil {
+		applyErr = req.wait()
+	}
+	s.latMu.Lock()
+	s.writeLat.Observe(time.Since(start).Seconds())
+	s.latMu.Unlock()
+
+	switch {
+	case applyErr != nil:
+		// Accepted points that failed to apply are an engine-side error,
+		// not backpressure.
+		s.writeJSON(w, http.StatusInternalServerError, api.WriteResponse{
+			Accepted: accepted, Rejected: rejected, Error: applyErr.Error(),
+		})
+	case rejected > 0:
+		s.writesRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		s.writeJSON(w, http.StatusTooManyRequests, api.WriteResponse{
+			Accepted: accepted, Rejected: rejected, Error: "ingest queue full",
+		})
+	default:
+		s.writeJSON(w, http.StatusOK, api.WriteResponse{Accepted: accepted})
+	}
+}
+
+func (s *Server) parseLineBody(body io.Reader) ([]entry, error) {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	var out []entry
+	now := s.cfg.Now()
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := api.ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		out = append(out, s.toEntry(p, now))
+	}
+	return out, nil
+}
+
+func (s *Server) parseJSONBody(body io.Reader) ([]entry, error) {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	var req api.WriteRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		// Bare array form.
+		var pts []api.Point
+		if aerr := json.Unmarshal(data, &pts); aerr != nil {
+			return nil, fmt.Errorf("bad JSON body: %v", err)
+		}
+		req.Points = pts
+	}
+	out := make([]entry, 0, len(req.Points))
+	now := s.cfg.Now()
+	for i, p := range req.Points {
+		if p.Series == "" {
+			return nil, fmt.Errorf("point %d: missing series", i)
+		}
+		out = append(out, s.toEntry(p, now))
+	}
+	return out, nil
+}
+
+func (s *Server) toEntry(p api.Point, now int64) entry {
+	ta := p.TA
+	if p.AssignTA {
+		ta = now
+	}
+	return entry{series: p.Series, pt: series.Point{TG: p.TG, TA: ta, V: p.V}}
+}
+
+// ---- read path ----
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	s.scanRequests.Add(1)
+	name, lo, hi, ok := s.rangeParams(w, r)
+	if !ok {
+		return
+	}
+	pts, st, err := s.db.Scan(name, lo, hi)
+	if err != nil {
+		s.queryError(w, err)
+		return
+	}
+	s.scannedPoints.Add(int64(len(pts)))
+	resp := api.ScanResponse{
+		Series: name,
+		Count:  len(pts),
+		Points: make([]api.PointJSON, len(pts)),
+		Stats: api.ScanStatsJSON{
+			TablesTouched:     st.TablesTouched,
+			TablePoints:       st.TablePoints,
+			MemPoints:         st.MemPoints,
+			ResultPoints:      st.ResultPoints,
+			ReadAmplification: st.ReadAmplification(),
+		},
+	}
+	for i, p := range pts {
+		resp.Points[i] = api.PointJSON{TG: p.TG, TA: p.TA, V: p.V}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	s.aggRequests.Add(1)
+	name, lo, hi, ok := s.rangeParams(w, r)
+	if !ok {
+		return
+	}
+	width, err := strconv.ParseInt(r.URL.Query().Get("width"), 10, 64)
+	if err != nil || width <= 0 {
+		s.writeError(w, http.StatusBadRequest, "width must be a positive integer")
+		return
+	}
+	pts, _, err := s.db.Scan(name, lo, hi)
+	if err != nil {
+		s.queryError(w, err)
+		return
+	}
+	s.scannedPoints.Add(int64(len(pts)))
+	buckets := query.AggregatePoints(pts, lo, width)
+	resp := api.AggregateResponse{Series: name, Width: width, Buckets: make([]api.BucketJSON, len(buckets))}
+	for i, b := range buckets {
+		resp.Buckets[i] = api.BucketJSON{
+			Start: b.Start, Count: b.Count, Min: b.Min, Max: b.Max,
+			Mean: b.Mean(), Sum: b.Sum, First: b.First, Last: b.Last,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	names := s.db.Series()
+	if names == nil {
+		names = []string{}
+	}
+	s.writeJSON(w, http.StatusOK, api.SeriesResponse{Series: names})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.db.Stats()
+	resp := api.StatsResponse{TotalWA: s.db.TotalWA(), Series: make([]api.SeriesStatsJSON, len(stats))}
+	for i, st := range stats {
+		e := api.SeriesStatsJSON{
+			Name:               st.Name,
+			Policy:             st.Policy.String(),
+			SeqCap:             st.SeqCap,
+			PointsIngested:     st.Stats.PointsIngested,
+			PointsWritten:      st.Stats.PointsWritten,
+			PointsRewritten:    st.Stats.PointsRewritten,
+			Flushes:            st.Stats.Flushes,
+			Compactions:        st.Stats.Compactions,
+			InOrderPoints:      st.Stats.InOrderPoints,
+			OutOfOrderPoints:   st.Stats.OutOfOrderPoints,
+			WriteAmplification: st.Stats.WriteAmplification(),
+		}
+		if st.Decision != nil {
+			e.Decision = &api.DecisionJSON{
+				Policy: st.Decision.Policy.String(),
+				NSeq:   st.Decision.NSeq,
+				Rc:     st.Decision.Rc,
+				Rs:     st.Decision.Rs,
+			}
+		}
+		resp.Series[i] = e
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// rangeParams parses series/lo/hi query parameters. lo and hi default to
+// the full generation-time range.
+func (s *Server) rangeParams(w http.ResponseWriter, r *http.Request) (name string, lo, hi int64, ok bool) {
+	q := r.URL.Query()
+	name = q.Get("series")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, "missing series parameter")
+		return "", 0, 0, false
+	}
+	lo, hi = int64(math.MinInt64/2), int64(math.MaxInt64/2)
+	var err error
+	if v := q.Get("lo"); v != "" {
+		if lo, err = strconv.ParseInt(v, 10, 64); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad lo %q", v)
+			return "", 0, 0, false
+		}
+	}
+	if v := q.Get("hi"); v != "" {
+		if hi, err = strconv.ParseInt(v, 10, 64); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad hi %q", v)
+			return "", 0, 0, false
+		}
+	}
+	return name, lo, hi, true
+}
+
+func (s *Server) queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, tsdb.ErrNoSeries):
+		s.writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, tsdb.ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

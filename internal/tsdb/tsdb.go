@@ -196,10 +196,14 @@ func (db *DB) Get(name string, tg int64) (series.Point, bool, error) {
 	return p, ok, nil
 }
 
-// Series returns the sorted series names.
+// Series returns the sorted series names. It returns nil once the
+// database is closed.
 func (db *DB) Series() []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
 	out := make([]string, 0, len(db.series))
 	for n := range db.series {
 		out = append(out, n)
@@ -218,9 +222,15 @@ type SeriesStats struct {
 	Decision *core.Decision
 }
 
-// Stats returns per-series statistics, sorted by name.
+// Stats returns per-series statistics, sorted by name. It returns nil
+// once the database is closed (the engines' counters are no longer
+// meaningful, and reading them would race with Close).
 func (db *DB) Stats() []SeriesStats {
 	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
 	names := make([]string, 0, len(db.series))
 	for n := range db.series {
 		names = append(names, n)
@@ -252,7 +262,8 @@ func (db *DB) Stats() []SeriesStats {
 }
 
 // TotalWA returns the database-wide write amplification (total points
-// written across series over total ingested).
+// written across series over total ingested). It returns 0 once the
+// database is closed.
 func (db *DB) TotalWA() float64 {
 	var ingested, written int64
 	for _, s := range db.Stats() {

@@ -2,6 +2,8 @@ package tsdb
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/dist"
@@ -205,6 +207,119 @@ func TestClosedDB(t *testing.T) {
 	}
 	if err := db.CreateSeries("y"); !errors.Is(err, ErrClosed) {
 		t.Errorf("CreateSeries after close: %v", err)
+	}
+	if got := db.Series(); got != nil {
+		t.Errorf("Series after close: %v", got)
+	}
+	if got := db.Stats(); got != nil {
+		t.Errorf("Stats after close: %v", got)
+	}
+	if wa := db.TotalWA(); wa != 0 {
+		t.Errorf("TotalWA after close: %v", wa)
+	}
+}
+
+// TestCloseRaces exercises readers racing Close (run under -race): the
+// monitoring methods must observe either live data or the closed empty
+// results, never a closed engine's internals.
+func TestCloseRaces(t *testing.T) {
+	db, _ := Open(baseConfig())
+	for i := int64(0); i < 200; i++ {
+		db.Put("a", series.Point{TG: i, TA: i})
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				db.Series()
+				db.Stats()
+				db.TotalWA()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		db.Close()
+	}()
+	close(start)
+	wg.Wait()
+}
+
+// TestConcurrentMultiSeriesIngest drives N goroutines × M points through
+// Put with AutoCreate on (run under -race): no point may be lost, and
+// every per-series scan must return sorted, complete data.
+func TestConcurrentMultiSeriesIngest(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 400
+		nSeries   = 4
+	)
+	cfg := baseConfig()
+	cfg.Engine.MemBudget = 32 // small budget: force flushes/compactions mid-race
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("root.load.s%d", g%nSeries)
+			for i := 0; i < perWriter; i++ {
+				// Unique TG per (writer, i); interleaved across the writers
+				// sharing a series so ingestion is genuinely out of order.
+				tg := int64(i)*int64(writers) + int64(g)
+				if err := db.Put(name, series.Point{TG: tg, TA: tg + 5, V: float64(g)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := db.Series(); len(got) != nSeries {
+		t.Fatalf("Series = %v, want %d names", got, nSeries)
+	}
+	perSeries := writers / nSeries * perWriter
+	for s := 0; s < nSeries; s++ {
+		name := fmt.Sprintf("root.load.s%d", s)
+		pts, _, err := db.Scan(name, 0, int64(1)<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != perSeries {
+			t.Errorf("%s: %d points, want %d", name, len(pts), perSeries)
+		}
+		if !series.IsSortedByTG(pts) {
+			t.Errorf("%s: scan not sorted by TG", name)
+		}
+		seen := make(map[int64]bool, len(pts))
+		for _, p := range pts {
+			seen[p.TG] = true
+		}
+		for i := 0; i < perWriter; i++ {
+			for _, g := range []int{s, s + nSeries} {
+				tg := int64(i)*int64(writers) + int64(g)
+				if !seen[tg] {
+					t.Fatalf("%s: point TG=%d lost", name, tg)
+				}
+			}
+		}
 	}
 }
 
