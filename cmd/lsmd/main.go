@@ -93,6 +93,16 @@ func main() {
 	mode := "in-memory"
 	if *dir != "" {
 		mode = fmt.Sprintf("dir=%s wal=%v", *dir, *wal)
+		rec := db.RecoveryInfo()
+		log.Printf("lsmd: recovery: catalog=%v (v%d), %d series (%d WAL-only), %d WAL points replayed, %d torn WALs, %d orphan tables removed",
+			rec.CatalogFound, rec.CatalogVersion, rec.SeriesRecovered,
+			rec.WALOnlySeries, rec.WALPointsReplayed, rec.TornWALs, rec.OrphanTablesRemoved)
+		if len(rec.MigratedSeries) > 0 {
+			log.Printf("lsmd: recovery: migrated pre-catalog series into catalog: %v", rec.MigratedSeries)
+		}
+		if len(rec.OrphanSeriesRemoved) > 0 {
+			log.Printf("lsmd: recovery: completed interrupted drops: %v", rec.OrphanSeriesRemoved)
+		}
 	}
 	log.Printf("lsmd: serving on %s (%s, policy=%s, n=%d, %d series recovered)",
 		bound, mode, *policy, *budget, len(db.Series()))

@@ -48,6 +48,10 @@ func (e *Engine) enqueueL0(mt *memtable.MemTable) error {
 	e.stats.PointsWritten += int64(len(pts)) // the L0 flush write
 	e.stats.Flushes++
 	mt.Reset()
+	// An L0 table lives only in memory until the compactor merges it into
+	// the run, so its points stay in the WAL: rewriteWAL covers the L0
+	// queue. The compactor drops them from the log only after the merge's
+	// manifest commit makes them durable.
 	if err := e.rewriteWAL(); err != nil {
 		return err
 	}
@@ -126,6 +130,16 @@ func (e *Engine) compactorLoop() {
 			e.bgErr = fmt.Errorf("lsm: background compaction: %w", err)
 		}
 		e.l0 = e.l0[1:]
+		if err == nil {
+			// The merged table's points are durable in the run (manifest
+			// committed inside persistReplace); shrink the WAL to the
+			// remaining queue + memtables. On error the old WAL — which
+			// still covers the dropped table — is left in place for
+			// recovery.
+			if werr := e.rewriteWAL(); werr != nil && e.bgErr == nil {
+				e.bgErr = fmt.Errorf("lsm: background compaction: %w", werr)
+			}
+		}
 		e.l0Cond.Broadcast()
 		e.mu.Unlock()
 	}

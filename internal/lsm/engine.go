@@ -96,8 +96,15 @@ type Engine struct {
 	run    run
 	nextID uint64
 
-	stats Stats
-	log   *wal.Log
+	stats    Stats
+	recovery RecoveryStats
+	log      *wal.Log
+
+	// pendingWAL is the tail of a PutBatch whose points are already framed
+	// in the WAL but not yet inserted into memtables. A flush triggered
+	// mid-batch rewrites the WAL from live state; without this the tail
+	// would be dropped from the log while the caller is still owed an ack.
+	pendingWAL []series.Point
 
 	closed bool
 
@@ -172,6 +179,14 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
+// RecoveryInfo returns what Open recovered from the backend (zero value
+// for an engine opened without one).
+func (e *Engine) RecoveryInfo() RecoveryStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.recovery
+}
+
 // nonseqCapacity returns n_nonseq = n − n_seq.
 func (e *Engine) nonseqCapacity() int { return e.cfg.MemBudget - e.cfg.SeqCapacity }
 
@@ -222,12 +237,33 @@ func (e *Engine) Put(p series.Point) error {
 	return e.putLocked(p, true)
 }
 
-// PutBatch ingests points in order, holding the lock once.
+// PutBatch ingests points in order, holding the lock once. With the WAL
+// enabled the whole batch is logged as one framed backend append before any
+// point is inserted, so a batch costs one backend write instead of one per
+// point.
 func (e *Engine) PutBatch(ps []series.Point) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, p := range ps {
-		if err := e.putLocked(p, true); err != nil {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.bgErr != nil {
+		return e.bgErr
+	}
+	logged := false
+	if e.log != nil && len(ps) > 0 {
+		if err := e.log.AppendBatch(ps); err != nil {
+			return fmt.Errorf("lsm: wal append batch: %w", err)
+		}
+		e.stats.WALRecords += int64(len(ps))
+		logged = true
+	}
+	defer func() { e.pendingWAL = nil }()
+	for i, p := range ps {
+		if logged {
+			e.pendingWAL = ps[i+1:]
+		}
+		if err := e.putLocked(p, false); err != nil {
 			return err
 		}
 	}
@@ -451,15 +487,21 @@ func (e *Engine) SetPolicy(kind PolicyKind, seqCapacity int) error {
 	return nil
 }
 
-// Close flushes buffered data and shuts the engine down.
+// Close flushes buffered data and shuts the engine down. Even when the
+// final flush fails (a dead backend, a sticky background-compaction error),
+// the engine is still marked closed, the compactor goroutine is stopped,
+// and the WAL is detached — Close never leaks resources; it only reports
+// the flush error.
 func (e *Engine) Close() error {
-	if err := e.FlushAll(); err != nil && !errors.Is(err, ErrClosed) {
-		return err
+	flushErr := e.FlushAll()
+	if errors.Is(flushErr, ErrClosed) {
+		// Already closed: idempotent, and everything was released then.
+		return nil
 	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return nil
+		return flushErr
 	}
 	e.closed = true
 	if e.log != nil {
@@ -472,5 +514,5 @@ func (e *Engine) Close() error {
 	if stop && done != nil {
 		<-done
 	}
-	return nil
+	return flushErr
 }

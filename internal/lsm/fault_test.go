@@ -2,59 +2,19 @@ package lsm
 
 import (
 	"errors"
-	"fmt"
-	"sync"
 	"testing"
 
 	"repro/internal/series"
 	"repro/internal/storage"
 )
 
-// faultBackend wraps a backend and starts failing all writes after a
-// budget of successful operations, simulating a full or dying disk.
-type faultBackend struct {
-	inner storage.Backend
-	mu    sync.Mutex
-	left  int
-}
-
-var errInjected = errors.New("injected storage fault")
-
-func (f *faultBackend) take() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.left <= 0 {
-		return errInjected
-	}
-	f.left--
-	return nil
-}
-
-func (f *faultBackend) Write(name string, data []byte) error {
-	if err := f.take(); err != nil {
-		return err
-	}
-	return f.inner.Write(name, data)
-}
-
-func (f *faultBackend) Append(name string, data []byte) error {
-	if err := f.take(); err != nil {
-		return err
-	}
-	return f.inner.Append(name, data)
-}
-
-func (f *faultBackend) Read(name string) ([]byte, error) { return f.inner.Read(name) }
-func (f *faultBackend) Remove(name string) error         { return f.inner.Remove(name) }
-func (f *faultBackend) List() ([]string, error)          { return f.inner.List() }
-func (f *faultBackend) Size(name string) (int64, error)  { return f.inner.Size(name) }
-
 func TestEngineSurfacesStorageFaults(t *testing.T) {
 	// Exhaust the write budget at every possible point; the engine must
 	// return an error (never panic, never silently drop) once the backend
 	// dies.
-	for budget := 0; budget < 40; budget += 3 {
-		fb := &faultBackend{inner: storage.NewMemBackend(), left: budget}
+	for budget := int64(0); budget < 40; budget += 3 {
+		fb := storage.NewFaultBackend(storage.NewMemBackend())
+		fb.SetBudget(budget)
 		e, err := Open(Config{Policy: Conventional, MemBudget: 4, Backend: fb, WAL: true})
 		if err != nil {
 			// Opening may already fail for tiny budgets — acceptable.
@@ -70,7 +30,7 @@ func TestEngineSurfacesStorageFaults(t *testing.T) {
 		if sawErr == nil {
 			t.Fatalf("budget %d: 200 puts with WAL never hit the injected fault", budget)
 		}
-		if !errors.Is(sawErr, errInjected) {
+		if !errors.Is(sawErr, storage.ErrInjected) {
 			t.Fatalf("budget %d: error lost its cause: %v", budget, sawErr)
 		}
 		e.Close()
@@ -80,7 +40,7 @@ func TestEngineSurfacesStorageFaults(t *testing.T) {
 func TestEngineFaultDuringCompactionKeepsMemoryConsistent(t *testing.T) {
 	// A fault mid-compaction must not corrupt in-memory reads for the
 	// points that were already durable.
-	fb := &faultBackend{inner: storage.NewMemBackend(), left: 1 << 30}
+	fb := storage.NewFaultBackend(storage.NewMemBackend())
 	e, err := Open(Config{Policy: Conventional, MemBudget: 8, Backend: fb, WAL: true})
 	if err != nil {
 		t.Fatal(err)
@@ -93,9 +53,7 @@ func TestEngineFaultDuringCompactionKeepsMemoryConsistent(t *testing.T) {
 		}
 	}
 	// Kill the disk, then write an out-of-order point to force a merge.
-	fb.mu.Lock()
-	fb.left = 0
-	fb.mu.Unlock()
+	fb.SetBudget(0)
 	for ; i < 128; i++ {
 		if err := e.Put(series.Point{TG: i % 32, TA: i, V: -1}); err != nil {
 			break
@@ -111,7 +69,8 @@ func TestEngineFaultDuringCompactionKeepsMemoryConsistent(t *testing.T) {
 }
 
 func TestAsyncEngineSurfacesBackgroundFault(t *testing.T) {
-	fb := &faultBackend{inner: storage.NewMemBackend(), left: 6}
+	fb := storage.NewFaultBackend(storage.NewMemBackend())
+	fb.SetBudget(6)
 	e, err := Open(Config{Policy: Conventional, MemBudget: 4, Backend: fb, WAL: false, AsyncCompaction: true})
 	if err != nil {
 		t.Fatal(err)
@@ -130,25 +89,109 @@ func TestAsyncEngineSurfacesBackgroundFault(t *testing.T) {
 	if sawErr == nil {
 		t.Fatal("background fault never surfaced")
 	}
-	if !errors.Is(sawErr, errInjected) {
+	if !errors.Is(sawErr, storage.ErrInjected) {
 		t.Fatalf("error lost its cause: %v", sawErr)
 	}
 	e.Close()
 }
 
-func TestFaultBackendSelfTest(t *testing.T) {
-	fb := &faultBackend{inner: storage.NewMemBackend(), left: 2}
-	if err := fb.Write("a", nil); err != nil {
+// TestCloseReleasesResourcesOnFlushError is the regression test for the
+// compactor-goroutine leak: when the final flush fails (sticky background
+// error, dead backend), Close must still stop the compactor, close the
+// WAL, and mark the engine closed — while reporting the flush error.
+func TestCloseReleasesResourcesOnFlushError(t *testing.T) {
+	fb := storage.NewFaultBackend(storage.NewMemBackend())
+	fb.SetBudget(6)
+	e, err := Open(Config{Policy: Conventional, MemBudget: 4, Backend: fb, WAL: false, AsyncCompaction: true})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fb.Append("a", []byte("x")); err != nil {
+	for i := int64(0); i < 10_000; i++ {
+		if err := e.Put(series.Point{TG: i, TA: i}); err != nil {
+			break
+		}
+	}
+	err = e.Close()
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Close should report the flush error, got: %v", err)
+	}
+	// The engine must actually be closed now...
+	if perr := e.Put(series.Point{TG: 1, TA: 1}); !errors.Is(perr, ErrClosed) {
+		t.Fatalf("Put after failed Close: %v (engine not closed)", perr)
+	}
+	// ...idempotently...
+	if cerr := e.Close(); cerr != nil {
+		t.Fatalf("second Close: %v", cerr)
+	}
+	// ...and the compactor goroutine must have exited. bgDone is closed by
+	// the compactor loop itself, so a successful receive proves it ended.
+	select {
+	case <-e.bgDone:
+	default:
+		t.Fatal("compactor goroutine still running after Close")
+	}
+}
+
+// TestPutBatchSingleWALAppend verifies a batch is logged as one framed
+// backend append, not one per point, and that WALRecords still counts
+// records (points).
+func TestPutBatchSingleWALAppend(t *testing.T) {
+	inner := storage.NewMemBackend()
+	fb := storage.NewFaultBackend(inner)
+	e, err := Open(Config{Policy: Conventional, MemBudget: 1024, Backend: fb, WAL: true})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fb.Write("b", nil); !errors.Is(err, errInjected) {
-		t.Fatalf("third write: %v", err)
+	defer e.Close()
+	before := fb.Ops()
+	ps := make([]series.Point, 100)
+	for i := range ps {
+		ps[i] = series.Point{TG: int64(i), TA: int64(i), V: float64(i)}
 	}
-	if _, err := fb.Read("a"); err != nil {
-		t.Errorf("reads should keep working: %v", err)
+	if err := e.PutBatch(ps); err != nil {
+		t.Fatal(err)
 	}
-	_ = fmt.Sprintf("%v", errInjected)
+	// Nothing flushed (budget 1024), so the only backend op is the WAL
+	// batch append.
+	if got := fb.Ops() - before; got != 1 {
+		t.Errorf("PutBatch of 100 points performed %d backend writes, want 1", got)
+	}
+	if got := e.Stats().WALRecords; got != 100 {
+		t.Errorf("WALRecords = %d, want 100", got)
+	}
+}
+
+// TestPutBatchTailSurvivesMidBatchFlush covers the pendingWAL invariant: a
+// flush triggered partway through a batch rewrites the WAL, which must
+// retain the batch's not-yet-inserted tail. Crash right after the batch is
+// acknowledged; every batch point must recover.
+func TestPutBatchTailSurvivesMidBatchFlush(t *testing.T) {
+	b := storage.NewMemBackend()
+	e, err := Open(Config{Policy: Conventional, MemBudget: 8, Backend: b, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 points with budget 8: flushes fire at points 8 and 16, mid-batch.
+	ps := make([]series.Point, 20)
+	for i := range ps {
+		ps[i] = series.Point{TG: int64(i), TA: int64(i), V: float64(i)}
+	}
+	if err := e.PutBatch(ps); err != nil {
+		t.Fatal(err)
+	}
+	// Crash (no Close), reopen, everything acknowledged must be there.
+	e2, err := Open(Config{Policy: Conventional, MemBudget: 8, Backend: b, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, _ := e2.Scan(0, 1<<40)
+	if len(got) != len(ps) {
+		t.Fatalf("recovered %d points after mid-batch flush crash, want %d", len(got), len(ps))
+	}
+	for i, p := range got {
+		if p != ps[i] {
+			t.Fatalf("point %d = %v, want %v", i, p, ps[i])
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/series"
 	"repro/internal/sstable"
@@ -16,6 +17,48 @@ const (
 	manifestName = "MANIFEST"
 	walName      = "WAL"
 )
+
+// Crash-ordering invariants (see DESIGN.md "Durability & crash recovery"):
+//
+//  1. WAL append happens before a Put is acknowledged; the WAL is the only
+//     durable copy of buffered points (memtables AND, in async mode, the
+//     pending L0 queue — L0 tables become durable only when the compactor
+//     merges them into the run and commits a manifest).
+//  2. A compaction persists new SSTable objects first, then commits the
+//     manifest (the commit point), then removes retired objects. A crash
+//     leaves either the old or the new manifest; table objects not
+//     referenced by the committed manifest are orphans, removed and
+//     counted at recovery.
+//  3. The WAL is rewritten only after the manifest commit that made its
+//     points durable, and the rewrite is one atomic object Write — there
+//     is never a moment where logged points exist in neither SSTables nor
+//     the WAL.
+//  4. WAL replay is idempotent: points are upserts keyed by t_g, so a
+//     crash between manifest commit and WAL rewrite only replays points
+//     that are already durable; Scan surfaces no duplicates.
+
+// RecoveryStats describes what Engine.Open reconstructed from its backend,
+// making crash artifacts (torn WAL tails, orphaned SSTables) observable
+// instead of silent.
+type RecoveryStats struct {
+	// ManifestFound is true when a previous instance's manifest existed.
+	ManifestFound bool
+	// TablesLoaded is the number of SSTables referenced by the manifest
+	// and loaded into the run.
+	TablesLoaded int
+	// OrphanTablesRemoved counts sst-*.tbl objects present in the backend
+	// but absent from the committed manifest — leftovers of a crash
+	// between persisting compaction outputs and committing the manifest
+	// (or between commit and retiring old tables). They are deleted.
+	OrphanTablesRemoved int
+	// WALPointsReplayed is the number of intact WAL records re-ingested.
+	WALPointsReplayed int
+	// WALTorn is true when the WAL ended in a torn or corrupt record —
+	// expected after a crash mid-append, a red flag otherwise.
+	WALTorn bool
+	// WALTornBytes is the number of trailing WAL bytes discarded.
+	WALTornBytes int
+}
 
 // manifest is the durable record of run membership. It is rewritten
 // atomically after every change to the run, so a recovered engine sees a
@@ -74,30 +117,35 @@ func (e *Engine) writeManifest(m manifest) error {
 	return nil
 }
 
-// rewriteWAL rewrites the log to contain exactly the points still buffered
-// in memtables (called after a flush made some of them durable).
+// rewriteWAL rewrites the log to contain exactly the points whose only
+// durable copy is the WAL (called after a flush or compaction made some of
+// them durable). That is the pending L0 queue (flushed earliest, replayed
+// first), the memtables, and the uninserted tail of an in-flight PutBatch.
+// The rewrite is a single atomic object Write (invariant 3): a crash
+// anywhere leaves either the old or the new log, never an empty one.
 func (e *Engine) rewriteWAL() error {
 	if e.log == nil {
 		return nil
 	}
-	if err := e.log.Truncate(); err != nil {
-		return fmt.Errorf("lsm: truncate wal: %w", err)
-	}
 	var remaining []series.Point
+	for _, t := range e.l0 {
+		remaining = append(remaining, t.Points()...)
+	}
 	remaining = append(remaining, e.c0.Points()...)
 	remaining = append(remaining, e.cseq.Points()...)
 	remaining = append(remaining, e.cnonseq.Points()...)
-	if len(remaining) == 0 {
-		return nil
-	}
-	if err := e.log.AppendBatch(remaining); err != nil {
+	remaining = append(remaining, e.pendingWAL...)
+	if err := e.log.Rewrite(remaining); err != nil {
 		return fmt.Errorf("lsm: rewrite wal: %w", err)
 	}
 	return nil
 }
 
-// recover loads the manifest, SSTables, and WAL from the backend.
+// recover loads the manifest, SSTables, and WAL from the backend, removing
+// crash artifacts (orphaned table objects) and recording what it found in
+// e.recovery.
 func (e *Engine) recover() error {
+	referenced := make(map[string]bool)
 	data, err := e.cfg.Backend.Read(manifestName)
 	switch {
 	case errors.Is(err, storage.ErrNotFound):
@@ -105,6 +153,7 @@ func (e *Engine) recover() error {
 	case err != nil:
 		return fmt.Errorf("lsm: read manifest: %w", err)
 	default:
+		e.recovery.ManifestFound = true
 		var m manifest
 		if err := json.Unmarshal(data, &m); err != nil {
 			return fmt.Errorf("lsm: parse manifest: %w", err)
@@ -119,24 +168,50 @@ func (e *Engine) recover() error {
 				return fmt.Errorf("lsm: decode sstable %s: %w", name, err)
 			}
 			e.run.tables = append(e.run.tables, t)
+			referenced[name] = true
 		}
 		if !e.run.checkInvariant() {
 			return errors.New("lsm: recovered run violates non-overlap invariant")
 		}
 		e.nextID = m.NextID
+		e.recovery.TablesLoaded = len(m.Tables)
+	}
+
+	// The manifest is the commit point (invariant 2): any table object it
+	// does not reference is a leftover of an interrupted compaction —
+	// outputs persisted before a commit that never happened, or retired
+	// inputs whose removal was cut short. Delete them so they cannot be
+	// mistaken for data and do not leak space.
+	names, err := e.cfg.Backend.List()
+	if err != nil {
+		return fmt.Errorf("lsm: list backend: %w", err)
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "sst-") || !strings.HasSuffix(name, ".tbl") || referenced[name] {
+			continue
+		}
+		if err := e.cfg.Backend.Remove(name); err != nil {
+			return fmt.Errorf("lsm: remove orphan sstable %s: %w", name, err)
+		}
+		e.recovery.OrphanTablesRemoved++
 	}
 
 	if e.cfg.WAL {
-		pts, err := wal.Replay(e.cfg.Backend, walName)
+		pts, rep, err := wal.ReplayWithReport(e.cfg.Backend, walName)
 		if err != nil {
 			return fmt.Errorf("lsm: replay wal: %w", err)
 		}
+		e.recovery.WALPointsReplayed = rep.Points
+		e.recovery.WALTorn = rep.Torn
+		e.recovery.WALTornBytes = rep.TornBytes
 		e.log = wal.Open(e.cfg.Backend, walName)
 		for _, p := range pts {
 			// Replayed points re-enter through the normal classification
 			// path but are not re-logged (they are already in the WAL).
 			// They count as ingested in this incarnation's stats: the
-			// previous instance's counters died with it.
+			// previous instance's counters died with it. Replay is
+			// idempotent (invariant 4): a point that already reached an
+			// SSTable is an upsert by t_g and surfaces once.
 			if err := e.putLocked(p, false); err != nil {
 				return fmt.Errorf("lsm: replay put: %w", err)
 			}

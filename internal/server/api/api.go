@@ -128,6 +128,26 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// RecoveryJSON is the /healthz recovery block: what the store rebuilt from
+// its backend at startup.
+type RecoveryJSON struct {
+	CatalogFound        bool     `json:"catalog_found"`
+	CatalogVersion      uint64   `json:"catalog_version"`
+	SeriesRecovered     int      `json:"series_recovered"`
+	WALOnlySeries       int      `json:"wal_only_series"`
+	MigratedSeries      []string `json:"migrated_series,omitempty"`
+	OrphanSeriesRemoved []string `json:"orphan_series_removed,omitempty"`
+	WALPointsReplayed   int64    `json:"wal_points_replayed"`
+	TornWALs            int      `json:"torn_wals"`
+	OrphanTablesRemoved int      `json:"orphan_tables_removed"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status   string       `json:"status"`
+	Recovery RecoveryJSON `json:"recovery"`
+}
+
 // FormatLine renders one point in the line protocol.
 func FormatLine(p Point) string {
 	ta := strconv.FormatInt(p.TA, 10)

@@ -386,8 +386,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	rec := s.db.RecoveryInfo()
+	s.writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status: "ok",
+		Recovery: api.RecoveryJSON{
+			CatalogFound:        rec.CatalogFound,
+			CatalogVersion:      rec.CatalogVersion,
+			SeriesRecovered:     rec.SeriesRecovered,
+			WALOnlySeries:       rec.WALOnlySeries,
+			MigratedSeries:      rec.MigratedSeries,
+			OrphanSeriesRemoved: rec.OrphanSeriesRemoved,
+			WALPointsReplayed:   rec.WALPointsReplayed,
+			TornWALs:            rec.TornWALs,
+			OrphanTablesRemoved: rec.OrphanTablesRemoved,
+		},
+	})
 }
 
 // rangeParams parses series/lo/hi query parameters. lo and hi default to

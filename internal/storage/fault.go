@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the error returned by a tripped FaultBackend. It wraps the
+// op index at which the fault fired so failures are attributable in test
+// output.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultBackend wraps a Backend and injects a permanent storage failure
+// after a budget of mutating operations (Write, Append, Remove), simulating
+// a crash or a dying device at an exact point in the write sequence. Reads
+// always pass through — after the "crash", the surviving state can be
+// inspected or recovered from.
+//
+// The recovery test suites use it in two passes: a counting pass with an
+// unlimited budget records how many mutating ops a scripted workload
+// performs, then one run per budget k in [0, N] crashes the workload at
+// every possible point and asserts the reopened state matches the
+// acknowledged writes.
+//
+// With tearing enabled, the append that exhausts the budget applies a
+// prefix of its payload before failing — the torn-tail case a real crash
+// mid-append produces, which WAL replay must discard.
+type FaultBackend struct {
+	inner Backend
+
+	mu      sync.Mutex
+	budget  int64 // mutating ops remaining; < 0 means unlimited
+	tear    bool
+	tripped bool
+	ops     int64
+}
+
+// NewFaultBackend wraps inner with an unlimited budget (counting mode).
+// Arm it with SetBudget.
+func NewFaultBackend(inner Backend) *FaultBackend {
+	return &FaultBackend{inner: inner, budget: -1}
+}
+
+// SetBudget allows n more mutating operations; the (n+1)-th and all later
+// ones fail with ErrInjected. A negative n disarms the fault (unlimited).
+// Resetting the budget also clears a previous trip.
+func (f *FaultBackend) SetBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+	f.tripped = false
+}
+
+// SetTear makes the budget-exhausting Append apply half of its payload
+// before failing, producing a torn record at the object's tail.
+func (f *FaultBackend) SetTear(tear bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tear = tear
+}
+
+// Ops returns the number of mutating operations attempted so far
+// (including the one that tripped the fault).
+func (f *FaultBackend) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Tripped reports whether the fault has fired.
+func (f *FaultBackend) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// take accounts one mutating op. It returns (tearNow, err): err is non-nil
+// once the budget is exhausted; tearNow is set only on the single op that
+// trips the fault when tearing is enabled.
+func (f *FaultBackend) take() (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.budget < 0 {
+		return false, nil
+	}
+	if f.budget == 0 {
+		first := !f.tripped
+		f.tripped = true
+		return first && f.tear, fmt.Errorf("%w (op %d)", ErrInjected, f.ops)
+	}
+	f.budget--
+	return false, nil
+}
+
+// Write implements Backend.
+func (f *FaultBackend) Write(name string, data []byte) error {
+	if _, err := f.take(); err != nil {
+		return err
+	}
+	return f.inner.Write(name, data)
+}
+
+// Append implements Backend. The tripping append may tear: half the
+// payload reaches the inner backend before the error is returned.
+func (f *FaultBackend) Append(name string, data []byte) error {
+	tearNow, err := f.take()
+	if err != nil {
+		if tearNow && len(data) > 1 {
+			f.inner.Append(name, data[:len(data)/2])
+		}
+		return err
+	}
+	return f.inner.Append(name, data)
+}
+
+// Remove implements Backend.
+func (f *FaultBackend) Remove(name string) error {
+	if _, err := f.take(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Read implements Backend (never fails by injection).
+func (f *FaultBackend) Read(name string) ([]byte, error) { return f.inner.Read(name) }
+
+// List implements Backend (never fails by injection).
+func (f *FaultBackend) List() ([]string, error) { return f.inner.List() }
+
+// Size implements Backend (never fails by injection).
+func (f *FaultBackend) Size(name string) (int64, error) { return f.inner.Size(name) }

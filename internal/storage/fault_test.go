@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultBackendBudget(t *testing.T) {
+	fb := NewFaultBackend(NewMemBackend())
+	fb.SetBudget(2)
+	if err := fb.Write("a", []byte("x")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := fb.Append("a", []byte("y")); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	if err := fb.Write("b", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write should trip: %v", err)
+	}
+	if !fb.Tripped() {
+		t.Error("Tripped() = false after injection")
+	}
+	// Sticky: every later mutating op keeps failing.
+	if err := fb.Remove("a"); !errors.Is(err, ErrInjected) {
+		t.Errorf("Remove after trip: %v", err)
+	}
+	// Reads keep working on the surviving state.
+	data, err := fb.Read("a")
+	if err != nil || string(data) != "xy" {
+		t.Errorf("Read after trip: %q, %v", data, err)
+	}
+	if fb.Ops() != 4 {
+		t.Errorf("Ops = %d, want 4", fb.Ops())
+	}
+}
+
+func TestFaultBackendUnlimitedCountsOps(t *testing.T) {
+	fb := NewFaultBackend(NewMemBackend())
+	for i := 0; i < 5; i++ {
+		if err := fb.Append("log", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fb.Ops() != 5 {
+		t.Errorf("Ops = %d, want 5", fb.Ops())
+	}
+	if fb.Tripped() {
+		t.Error("unlimited budget tripped")
+	}
+}
+
+func TestFaultBackendTearsFailingAppend(t *testing.T) {
+	inner := NewMemBackend()
+	fb := NewFaultBackend(inner)
+	fb.SetTear(true)
+	fb.SetBudget(1)
+	if err := fb.Append("log", []byte("abcd")); err != nil {
+		t.Fatalf("budgeted append: %v", err)
+	}
+	if err := fb.Append("log", []byte("efgh")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tripping append: %v", err)
+	}
+	data, err := inner.Read("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "abcdef" {
+		t.Errorf("torn append left %q, want %q (half the failing payload applied)", data, "abcdef")
+	}
+	// Only the tripping append tears; later ones fail cleanly.
+	if err := fb.Append("log", []byte("ijkl")); !errors.Is(err, ErrInjected) {
+		t.Fatal("expected sticky failure")
+	}
+	data, _ = inner.Read("log")
+	if string(data) != "abcdef" {
+		t.Errorf("post-trip append modified state: %q", data)
+	}
+}
+
+func TestFaultBackendRearm(t *testing.T) {
+	fb := NewFaultBackend(NewMemBackend())
+	fb.SetBudget(0)
+	if err := fb.Write("a", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget 0: %v", err)
+	}
+	fb.SetBudget(-1)
+	if err := fb.Write("a", nil); err != nil {
+		t.Fatalf("disarmed: %v", err)
+	}
+	if fb.Tripped() {
+		t.Error("still tripped after rearm")
+	}
+}

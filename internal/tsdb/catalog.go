@@ -1,0 +1,277 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// The series catalog is the durable record of which series exist. Without
+// it, restart discovery depended on per-series MANIFEST objects — which are
+// first written on flush, so a series whose points lived only in its WAL
+// did not exist after a crash and its durably-logged data was silently
+// dropped. The catalog closes that hole:
+//
+//   - It is committed (atomic whole-object Write: temp-then-rename on the
+//     disk backend) BEFORE a series' engine — and therefore its WAL — can
+//     come into existence. Invariant: every series with any backend object
+//     is in the catalog, so Open recovers manifest-backed, WAL-only, and
+//     empty series alike.
+//   - DropSeries removes the name from the catalog first (the commit
+//     point), then deletes the series' objects. A crash in between leaves
+//     orphaned objects that the next Open detects and finishes removing.
+//   - The object is versioned and CRC-checked; a torn or corrupted catalog
+//     fails Open loudly rather than silently serving a subset of the data.
+//
+// Layout of the CATALOG object:
+//
+//	magic "TSCATLG1" (8 bytes) | crc32(payload) u32 | payload
+//
+// where payload is JSON {"format":1,"version":N,"series":[...]} and N is a
+// counter incremented on every update.
+
+const catalogName = "CATALOG"
+
+// catalogFormat is the on-disk format generation, bumped on incompatible
+// payload changes (the version field inside the payload counts updates).
+const catalogFormat = 1
+
+var catalogMagic = []byte("TSCATLG1")
+
+// ErrCatalogCorrupt is returned by Open when the CATALOG object exists but
+// fails its magic, CRC, or format checks.
+var ErrCatalogCorrupt = errors.New("tsdb: catalog corrupt")
+
+type catalogDoc struct {
+	Format  int      `json:"format"`
+	Version uint64   `json:"version"`
+	Series  []string `json:"series"`
+}
+
+// encodeCatalog frames doc with magic and CRC.
+func encodeCatalog(doc catalogDoc) ([]byte, error) {
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: marshal catalog: %w", err)
+	}
+	buf := make([]byte, 0, len(catalogMagic)+4+len(payload))
+	buf = append(buf, catalogMagic...)
+	crc := crc32.ChecksumIEEE(payload)
+	buf = append(buf, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	return append(buf, payload...), nil
+}
+
+// decodeCatalog validates the frame and parses the payload.
+func decodeCatalog(data []byte) (catalogDoc, error) {
+	var doc catalogDoc
+	if len(data) < len(catalogMagic)+4 {
+		return doc, fmt.Errorf("%w: %d bytes", ErrCatalogCorrupt, len(data))
+	}
+	if !bytes.Equal(data[:len(catalogMagic)], catalogMagic) {
+		return doc, fmt.Errorf("%w: bad magic", ErrCatalogCorrupt)
+	}
+	rest := data[len(catalogMagic):]
+	wantCRC := uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24
+	payload := rest[4:]
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return doc, fmt.Errorf("%w: CRC mismatch", ErrCatalogCorrupt)
+	}
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return doc, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
+	}
+	if doc.Format != catalogFormat {
+		return doc, fmt.Errorf("%w: unsupported format %d", ErrCatalogCorrupt, doc.Format)
+	}
+	return doc, nil
+}
+
+// loadCatalog reads the catalog from the backend. found is false when no
+// CATALOG object exists (a fresh or pre-catalog database).
+func loadCatalog(b storage.Backend) (doc catalogDoc, found bool, err error) {
+	data, err := b.Read(catalogName)
+	if errors.Is(err, storage.ErrNotFound) {
+		return doc, false, nil
+	}
+	if err != nil {
+		return doc, false, fmt.Errorf("tsdb: read catalog: %w", err)
+	}
+	doc, err = decodeCatalog(data)
+	if err != nil {
+		return doc, true, err
+	}
+	return doc, true, nil
+}
+
+// saveCatalogLocked commits the current db.persisted set atomically,
+// bumping the catalog version. Caller holds db.mu; on error the version is
+// not consumed and nothing was committed (the backend Write is atomic).
+func (db *DB) saveCatalogLocked() error {
+	names := make([]string, 0, len(db.persisted))
+	for n := range db.persisted {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	doc := catalogDoc{Format: catalogFormat, Version: db.catVersion + 1, Series: names}
+	data, err := encodeCatalog(doc)
+	if err != nil {
+		return err
+	}
+	if err := db.cfg.Backend.Write(catalogName, data); err != nil {
+		return fmt.Errorf("tsdb: write catalog: %w", err)
+	}
+	db.catVersion++
+	return nil
+}
+
+// seriesObjects returns the backend object names belonging to exactly the
+// named series (its manifest, WAL, and table objects) — and nothing under
+// any other series, including dot-nested names like name+".child".
+func seriesObjects(b storage.Backend, name string) ([]string, error) {
+	all, err := b.List()
+	if err != nil {
+		return nil, err
+	}
+	prefix := name + "."
+	var out []string
+	for _, n := range all {
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		rest := n[len(prefix):]
+		if rest == "MANIFEST" || rest == "WAL" ||
+			(strings.HasPrefix(rest, "sst-") && strings.HasSuffix(rest, ".tbl")) {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// removeSeriesObjects deletes every object of the named series, returning
+// the first error (remaining objects become orphans the next Open removes).
+func removeSeriesObjects(b storage.Backend, name string) error {
+	objs, err := seriesObjects(b, name)
+	if err != nil {
+		return err
+	}
+	for _, n := range objs {
+		if err := b.Remove(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoveryInfo describes what Open reconstructed from the backend — the
+// restart must rebuild exactly the pre-crash acknowledged state, and this
+// report makes every artifact of the crash observable.
+type RecoveryInfo struct {
+	// CatalogFound is false for a fresh or pre-catalog database.
+	CatalogFound bool
+	// CatalogVersion is the loaded catalog's update counter.
+	CatalogVersion uint64
+	// SeriesRecovered is the number of series reopened at Open.
+	SeriesRecovered int
+	// WALOnlySeries counts recovered series that had no manifest — their
+	// data lived only in the WAL, the case the catalog exists to save.
+	WALOnlySeries int
+	// MigratedSeries lists series adopted by object discovery when no
+	// catalog existed (upgrade from a pre-catalog database).
+	MigratedSeries []string
+	// OrphanSeriesRemoved lists series whose objects were present without
+	// a catalog entry — an interrupted DropSeries, now completed.
+	OrphanSeriesRemoved []string
+	// WALPointsReplayed totals intact WAL records re-ingested across all
+	// recovered series.
+	WALPointsReplayed int64
+	// TornWALs counts series whose WAL ended in a torn record (expected
+	// after a crash mid-append).
+	TornWALs int
+	// OrphanTablesRemoved totals unreferenced SSTable objects removed by
+	// the per-series engines during recovery.
+	OrphanTablesRemoved int
+}
+
+// RecoveryInfo returns the report from this instance's Open. It is a
+// snapshot: series created after Open do not appear.
+func (db *DB) RecoveryInfo() RecoveryInfo {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.recovery
+}
+
+// recoverLocked rebuilds the series set from the backend. Called once from
+// Open, before the DB is visible to any other goroutine.
+func (db *DB) recoverLocked() error {
+	doc, found, err := loadCatalog(db.cfg.Backend)
+	if err != nil {
+		return err
+	}
+	discovered, err := discoverSeries(db.cfg.Backend)
+	if err != nil {
+		return err
+	}
+	db.recovery.CatalogFound = found
+
+	if !found {
+		// Pre-catalog (or fresh) database: adopt every series whose
+		// objects we can see — manifest-backed or WAL-only — and write the
+		// first catalog so the next restart does not depend on discovery.
+		for _, name := range discovered {
+			db.persisted[name] = true
+		}
+		if len(discovered) > 0 {
+			if err := db.saveCatalogLocked(); err != nil {
+				return err
+			}
+			db.recovery.MigratedSeries = discovered
+		}
+		for _, name := range discovered {
+			if _, err := db.createLocked(name); err != nil {
+				return fmt.Errorf("tsdb: recover series %s: %w", name, err)
+			}
+		}
+	} else {
+		db.catVersion = doc.Version
+		db.recovery.CatalogVersion = doc.Version
+		for _, name := range doc.Series {
+			db.persisted[name] = true
+		}
+		for _, name := range doc.Series {
+			if _, err := db.createLocked(name); err != nil {
+				return fmt.Errorf("tsdb: recover series %s: %w", name, err)
+			}
+		}
+		// Series objects without a catalog entry can only be leftovers of
+		// an interrupted DropSeries (creation commits the catalog before
+		// any object exists): finish the drop, loudly.
+		for _, name := range discovered {
+			if db.persisted[name] {
+				continue
+			}
+			if err := removeSeriesObjects(db.cfg.Backend, name); err != nil {
+				return fmt.Errorf("tsdb: remove dropped series %s: %w", name, err)
+			}
+			db.recovery.OrphanSeriesRemoved = append(db.recovery.OrphanSeriesRemoved, name)
+		}
+	}
+
+	db.recovery.SeriesRecovered = len(db.series)
+	for _, st := range db.series {
+		rec := st.engine.RecoveryInfo()
+		db.recovery.WALPointsReplayed += int64(rec.WALPointsReplayed)
+		db.recovery.OrphanTablesRemoved += rec.OrphanTablesRemoved
+		if rec.WALTorn {
+			db.recovery.TornWALs++
+		}
+		if !rec.ManifestFound && rec.WALPointsReplayed > 0 {
+			db.recovery.WALOnlySeries++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package tsdb
+
+import (
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// The fault-injection sweep: run a fixed workload (series creation, in- and
+// out-of-order writes crossing flush boundaries, a drop, more writes)
+// against a FaultBackend, crash it after the Nth backend write for every N,
+// reopen on the undamaged inner backend, and require the recovered state to
+// equal the acknowledged writes — nothing lost, nothing invented, no
+// duplicates.
+
+type faultOp struct {
+	kind string // "create", "put", "drop"
+	s    string
+	p    series.Point
+}
+
+func faultWorkload() []faultOp {
+	var ops []faultOp
+	ops = append(ops, faultOp{kind: "create", s: "alpha"})
+	for i := int64(0); i < 12; i++ {
+		tg := i
+		if i%5 == 3 {
+			tg = i - 2 // out-of-order upsert of an earlier point
+		}
+		ops = append(ops, faultOp{kind: "put", s: "alpha", p: series.Point{TG: tg, TA: i, V: float64(100 + i)}})
+	}
+	for i := int64(0); i < 6; i++ { // auto-created
+		ops = append(ops, faultOp{kind: "put", s: "beta", p: series.Point{TG: i * 2, TA: i, V: float64(200 + i)}})
+	}
+	ops = append(ops, faultOp{kind: "drop", s: "beta"})
+	for i := int64(0); i < 3; i++ { // stays WAL-only (3 < MemBudget)
+		ops = append(ops, faultOp{kind: "put", s: "gamma", p: series.Point{TG: i, TA: i, V: float64(300 + i)}})
+	}
+	for i := int64(12); i < 18; i++ { // heavy out-of-order: forces merges
+		ops = append(ops, faultOp{kind: "put", s: "alpha", p: series.Point{TG: i % 7, TA: i, V: float64(400 + i)}})
+	}
+	return ops
+}
+
+// ackState tracks exactly what the DB acknowledged before the crash.
+type ackState struct {
+	acked       map[string]map[int64]float64 // series -> tg -> last acked value
+	created     map[string]bool              // series acknowledged to exist
+	attempted   map[string]bool              // series any op ever targeted
+	dropped     map[string]bool              // DropSeries returned nil
+	dropUnknown map[string]bool              // DropSeries errored: outcome unknown
+	inflight    *faultOp                     // the op that failed, if any
+}
+
+func runFaultWorkload(db *DB) *ackState {
+	st := &ackState{
+		acked:       map[string]map[int64]float64{},
+		created:     map[string]bool{},
+		attempted:   map[string]bool{},
+		dropped:     map[string]bool{},
+		dropUnknown: map[string]bool{},
+	}
+	for _, o := range faultWorkload() {
+		o := o
+		st.attempted[o.s] = true
+		switch o.kind {
+		case "create":
+			if err := db.CreateSeries(o.s); err != nil {
+				st.inflight = &o
+				return st
+			}
+			st.created[o.s] = true
+		case "put":
+			if err := db.Put(o.s, o.p); err != nil {
+				st.inflight = &o
+				return st
+			}
+			st.created[o.s] = true
+			if st.acked[o.s] == nil {
+				st.acked[o.s] = map[int64]float64{}
+			}
+			st.acked[o.s][o.p.TG] = o.p.V
+		case "drop":
+			if err := db.DropSeries(o.s); err != nil {
+				st.dropUnknown[o.s] = true
+				st.inflight = &o
+				return st
+			}
+			st.dropped[o.s] = true
+		}
+	}
+	return st
+}
+
+// verifyRecovered asserts the reopened DB matches the acknowledged state.
+func verifyRecovered(t *testing.T, budget int64, db *DB, st *ackState) {
+	t.Helper()
+	live := map[string]bool{}
+	for _, s := range db.Series() {
+		live[s] = true
+		if !st.attempted[s] {
+			t.Fatalf("budget %d: recovered series %q was never written by the workload", budget, s)
+		}
+		if st.dropped[s] {
+			t.Fatalf("budget %d: series %q resurrected after acknowledged drop", budget, s)
+		}
+	}
+	for s := range st.created {
+		if st.dropped[s] || st.dropUnknown[s] {
+			continue
+		}
+		if !live[s] {
+			t.Fatalf("budget %d: acknowledged series %q lost after crash", budget, s)
+		}
+	}
+	for s := range live {
+		pts, _, err := db.Scan(s, -1<<40, 1<<40)
+		if err != nil {
+			t.Fatalf("budget %d: Scan(%s): %v", budget, s, err)
+		}
+		got := map[int64]float64{}
+		for i, p := range pts {
+			if i > 0 && pts[i-1].TG >= p.TG {
+				t.Fatalf("budget %d: %s: duplicate/unsorted TG %d in scan", budget, s, p.TG)
+			}
+			got[p.TG] = p.V
+		}
+		want := st.acked[s]
+		for tg, v := range want {
+			gv, ok := got[tg]
+			if !ok {
+				t.Fatalf("budget %d: %s: acknowledged point tg=%d lost", budget, s, tg)
+			}
+			if gv != v {
+				// The in-flight op may be an upsert of the same tg whose WAL
+				// record made it down before the crash.
+				if st.inflight != nil && st.inflight.kind == "put" &&
+					st.inflight.s == s && st.inflight.p.TG == tg && gv == st.inflight.p.V {
+					continue
+				}
+				t.Fatalf("budget %d: %s tg=%d: value %v, want %v", budget, s, tg, gv, v)
+			}
+		}
+		for tg, v := range got {
+			if _, ok := want[tg]; ok {
+				continue
+			}
+			if st.inflight != nil && st.inflight.kind == "put" &&
+				st.inflight.s == s && st.inflight.p.TG == tg && v == st.inflight.p.V {
+				continue // unacknowledged in-flight point may legitimately survive
+			}
+			t.Fatalf("budget %d: %s: invented point tg=%d v=%v", budget, s, tg, v)
+		}
+	}
+}
+
+func TestCrashAtEveryWrite(t *testing.T) {
+	cfg := func(b storage.Backend) Config {
+		return Config{
+			Engine:     lsm.Config{Policy: lsm.Conventional, MemBudget: 4, WAL: true},
+			Backend:    b,
+			AutoCreate: true,
+		}
+	}
+
+	// Counting pass: how many backend mutations does the full workload need?
+	counter := storage.NewFaultBackend(storage.NewMemBackend())
+	db, err := Open(cfg(counter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := runFaultWorkload(db); st.inflight != nil {
+		t.Fatalf("counting pass hit a fault: %+v", st.inflight)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+	if total < 20 {
+		t.Fatalf("workload only performed %d backend writes; too small to sweep", total)
+	}
+
+	// Sweep: crash after the k-th write, for every k. Odd budgets also tear
+	// the failing append (half-written WAL record).
+	for k := int64(0); k <= total; k++ {
+		inner := storage.NewMemBackend()
+		fb := storage.NewFaultBackend(inner)
+		fb.SetBudget(k)
+		fb.SetTear(k%2 == 1)
+		db, err := Open(cfg(fb))
+		if err != nil {
+			// Crash during Open itself: the inner backend must still open
+			// cleanly and be empty of user series.
+			db2, err2 := Open(cfg(inner))
+			if err2 != nil {
+				t.Fatalf("budget %d: reopen after failed open: %v", k, err2)
+			}
+			if n := len(db2.Series()); n != 0 {
+				t.Fatalf("budget %d: failed open left %d series behind", k, n)
+			}
+			db2.Close()
+			continue
+		}
+		st := runFaultWorkload(db)
+		// Crash: abandon db without Close (Close would try to flush).
+		db2, err := Open(cfg(inner))
+		if err != nil {
+			t.Fatalf("budget %d (inflight %+v): reopen failed: %v", k, st.inflight, err)
+		}
+		verifyRecovered(t, k, db2, st)
+		if err := db2.Close(); err != nil {
+			t.Fatalf("budget %d: close recovered db: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+func durableConfig(b storage.Backend) Config {
+	return Config{
+		Engine:     lsm.Config{Policy: lsm.Conventional, MemBudget: 16, WAL: true},
+		Backend:    b,
+		AutoCreate: true,
+	}
+}
+
+// TestWALOnlySeriesSurvivesCrashOnDisk is the acceptance test for the
+// data-loss bug this catalog fixes: a series created and written but never
+// flushed has no MANIFEST object, so pre-catalog discovery never saw it —
+// after a crash its durably-logged points were silently dropped. It must
+// now survive both a crash (no Close) and a clean close, on the disk
+// backend.
+func TestWALOnlySeriesSurvivesCrashOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	d, err := storage.NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(durableConfig(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []series.Point
+	for i := int64(0); i < 5; i++ { // 5 points < MemBudget 16: never flushed
+		p := series.Point{TG: i, TA: i + 1, V: float64(i) * 1.5}
+		want = append(want, p)
+		if err := db.Put("root.walonly", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: abandon the DB without Close. Every acknowledged point is in
+	// the WAL (appended before the ack), so reopen must reconstruct it.
+	d2, err := storage.NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(durableConfig(d2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Series(); len(got) != 1 || got[0] != "root.walonly" {
+		t.Fatalf("after crash: Series() = %v, want [root.walonly]", got)
+	}
+	pts, _, err := db2.Scan("root.walonly", 0, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, want) {
+		t.Fatalf("after crash: Scan = %v, want %v", pts, want)
+	}
+	rec := db2.RecoveryInfo()
+	if rec.WALOnlySeries != 1 || rec.WALPointsReplayed != 5 {
+		t.Errorf("RecoveryInfo = %+v, want 1 WAL-only series with 5 replayed points", rec)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean close of an empty (never-written) series must also survive —
+	// there is neither a manifest nor a WAL object, only the catalog.
+	d3, _ := storage.NewDiskBackend(dir)
+	db3, err := Open(durableConfig(d3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db3.CreateSeries("root.empty"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d4, _ := storage.NewDiskBackend(dir)
+	db4, err := Open(durableConfig(d4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db4.Close()
+	if got := db4.Series(); !reflect.DeepEqual(got, []string{"root.empty", "root.walonly"}) {
+		t.Fatalf("empty series lost: Series() = %v", got)
+	}
+}
+
+// TestRestartEquivalence writes to series in three durability states —
+// flushed (manifest + tables), WAL-only, and empty — then closes or
+// crashes, reopens, and requires the visible state (Series, Scan, Stats
+// coverage) to equal the acknowledged pre-crash state, on both backends.
+func TestRestartEquivalence(t *testing.T) {
+	for _, crash := range []bool{false, true} {
+		for _, disk := range []bool{false, true} {
+			name := fmt.Sprintf("crash=%v/disk=%v", crash, disk)
+			t.Run(name, func(t *testing.T) {
+				var backend storage.Backend
+				var reopenBackend func() storage.Backend
+				if disk {
+					dir := t.TempDir()
+					d, err := storage.NewDiskBackend(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					backend = d
+					reopenBackend = func() storage.Backend {
+						d2, err := storage.NewDiskBackend(dir)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return d2
+					}
+				} else {
+					m := storage.NewMemBackend()
+					backend = m
+					reopenBackend = func() storage.Backend { return m }
+				}
+
+				db, err := Open(durableConfig(backend))
+				if err != nil {
+					t.Fatal(err)
+				}
+				acked := map[string][]series.Point{}
+				put := func(s string, p series.Point) {
+					if err := db.Put(s, p); err != nil {
+						t.Fatalf("Put(%s, %v): %v", s, p, err)
+					}
+					acked[s] = append(acked[s], p)
+				}
+				// "flushed": 100 points incl. out-of-order rewrites (budget
+				// 16 → several flushes and compactions).
+				for i := int64(0); i < 100; i++ {
+					tg := i
+					if i%10 == 7 {
+						tg = i - 5 // out-of-order: overwrite an older point
+					}
+					put("flushed", series.Point{TG: tg, TA: i, V: float64(i)})
+				}
+				// "walonly": buffered only.
+				for i := int64(0); i < 6; i++ {
+					put("walonly", series.Point{TG: i * 3, TA: i * 3, V: -float64(i)})
+				}
+				// "empty": exists, no data.
+				if err := db.CreateSeries("empty"); err != nil {
+					t.Fatal(err)
+				}
+				acked["empty"] = nil
+
+				// Reference state = what the live DB acknowledges now.
+				wantSeries := db.Series()
+				wantScan := map[string][]series.Point{}
+				for _, s := range wantSeries {
+					pts, _, err := db.Scan(s, -1<<40, 1<<40)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantScan[s] = pts
+				}
+
+				if !crash {
+					if err := db.Close(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				db2, err := Open(durableConfig(reopenBackend()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer db2.Close()
+				if got := db2.Series(); !reflect.DeepEqual(got, wantSeries) {
+					t.Fatalf("Series() = %v, want %v", got, wantSeries)
+				}
+				for _, s := range wantSeries {
+					got, _, err := db2.Scan(s, -1<<40, 1<<40)
+					if err != nil {
+						t.Fatalf("Scan(%s): %v", s, err)
+					}
+					if !reflect.DeepEqual(got, wantScan[s]) {
+						t.Fatalf("%s: recovered %d points, want %d (%v vs %v)", s, len(got), len(wantScan[s]), got, wantScan[s])
+					}
+				}
+				stats := db2.Stats()
+				if len(stats) != len(wantSeries) {
+					t.Fatalf("Stats() has %d entries, want %d", len(stats), len(wantSeries))
+				}
+				for i, st := range stats {
+					if st.Name != wantSeries[i] {
+						t.Errorf("Stats[%d].Name = %s, want %s", i, st.Name, wantSeries[i])
+					}
+				}
+				// The recovered DB must remain writable.
+				if err := db2.Put("walonly", series.Point{TG: 1000, TA: 1000, V: 7}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestCatalogCorruptionFailsOpenLoudly(t *testing.T) {
+	b := storage.NewMemBackend()
+	db, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("a", series.Point{TG: 1, TA: 1, V: 1})
+	db.Close()
+
+	data, err := b.Read("CATALOG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: the CRC must catch it.
+	mut := append([]byte{}, data...)
+	mut[len(mut)-2] ^= 0xff
+	b.Write("CATALOG", mut)
+	if _, err := Open(durableConfig(b)); !errors.Is(err, ErrCatalogCorrupt) {
+		t.Errorf("corrupt catalog: Open = %v, want ErrCatalogCorrupt", err)
+	}
+	// Truncated object.
+	b.Write("CATALOG", data[:5])
+	if _, err := Open(durableConfig(b)); !errors.Is(err, ErrCatalogCorrupt) {
+		t.Errorf("truncated catalog: Open = %v, want ErrCatalogCorrupt", err)
+	}
+	// Restore and reopen cleanly.
+	b.Write("CATALOG", data)
+	db2, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+}
+
+// TestPreCatalogMigration: a database written before the catalog existed
+// (no CATALOG object) is adopted via object discovery — including WAL-only
+// series — and the first catalog is written so the next open no longer
+// depends on discovery.
+func TestPreCatalogMigration(t *testing.T) {
+	b := storage.NewMemBackend()
+	db, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ { // flushes: manifest exists
+		db.Put("flushed", series.Point{TG: i, TA: i, V: 1})
+	}
+	for i := int64(0); i < 4; i++ { // WAL-only
+		db.Put("walonly", series.Point{TG: i, TA: i, V: 2})
+	}
+	db.Close()
+	// Simulate a pre-catalog database.
+	if err := b.Remove("CATALOG"); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Series(); !reflect.DeepEqual(got, []string{"flushed", "walonly"}) {
+		t.Fatalf("migration recovered %v", got)
+	}
+	rec := db2.RecoveryInfo()
+	if rec.CatalogFound {
+		t.Error("CatalogFound = true for pre-catalog database")
+	}
+	if !reflect.DeepEqual(rec.MigratedSeries, []string{"flushed", "walonly"}) {
+		t.Errorf("MigratedSeries = %v", rec.MigratedSeries)
+	}
+	pts, _, _ := db2.Scan("walonly", -1<<40, 1<<40)
+	if len(pts) != 4 {
+		t.Errorf("migrated WAL-only series has %d points, want 4", len(pts))
+	}
+	db2.Close()
+
+	// The migration wrote a catalog: reopening must no longer migrate.
+	db3, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if rec := db3.RecoveryInfo(); !rec.CatalogFound || len(rec.MigratedSeries) != 0 {
+		t.Errorf("second open after migration: %+v", rec)
+	}
+}
+
+func TestDropSeriesDurable(t *testing.T) {
+	b := storage.NewMemBackend()
+	db, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		db.Put("keep", series.Point{TG: i, TA: i, V: 1})
+		db.Put("drop", series.Point{TG: i, TA: i, V: 2})
+	}
+	if err := db.DropSeries("drop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropSeries("drop"); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("second drop: %v", err)
+	}
+	if _, _, err := db.Scan("drop", 0, 1<<40); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("scan after drop: %v", err)
+	}
+	// Crash (no Close): the drop must hold across restart.
+	db2, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Series(); !reflect.DeepEqual(got, []string{"keep"}) {
+		t.Fatalf("after drop + crash: Series() = %v", got)
+	}
+	// No stray objects of the dropped series.
+	names, _ := b.List()
+	for _, n := range names {
+		if len(n) > 5 && n[:5] == "drop." {
+			t.Errorf("dropped series object survived: %s", n)
+		}
+	}
+}
+
+// TestDropSeriesInterruptedCleanup: the catalog commit happens first; if
+// deleting the dropped series' objects is interrupted (crash), the next
+// Open finishes the removal and reports it.
+func TestDropSeriesInterruptedCleanup(t *testing.T) {
+	b := storage.NewMemBackend()
+	db, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		db.Put("keep", series.Point{TG: i, TA: i, V: 1})
+		db.Put("zombie", series.Point{TG: i, TA: i, V: 2})
+	}
+	db.Close()
+
+	// Simulate the crash window: rewrite the catalog without "zombie" but
+	// leave all of its objects in place.
+	doc, found, err := loadCatalog(b)
+	if err != nil || !found {
+		t.Fatalf("loadCatalog: %v found=%v", err, found)
+	}
+	doc.Series = []string{"keep"}
+	doc.Version++
+	data, err := encodeCatalog(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(catalogName, data)
+
+	db2, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Series(); !reflect.DeepEqual(got, []string{"keep"}) {
+		t.Fatalf("zombie resurrected: Series() = %v", got)
+	}
+	rec := db2.RecoveryInfo()
+	if !reflect.DeepEqual(rec.OrphanSeriesRemoved, []string{"zombie"}) {
+		t.Errorf("OrphanSeriesRemoved = %v, want [zombie]", rec.OrphanSeriesRemoved)
+	}
+	names, _ := b.List()
+	for _, n := range names {
+		if len(n) > 7 && n[:7] == "zombie." {
+			t.Errorf("zombie object survived cleanup: %s", n)
+		}
+	}
+}
+
+// TestNestedSeriesNamesUnaffectedByDrop guards the prefix subtlety:
+// dropping "root.a" must not touch the dot-nested series "root.a.b".
+func TestNestedSeriesNamesUnaffectedByDrop(t *testing.T) {
+	b := storage.NewMemBackend()
+	db, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		db.Put("root.a", series.Point{TG: i, TA: i, V: 1})
+		db.Put("root.a.b", series.Point{TG: i, TA: i, V: 2})
+	}
+	if err := db.DropSeries("root.a"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Series(); !reflect.DeepEqual(got, []string{"root.a.b"}) {
+		t.Fatalf("Series() = %v, want [root.a.b]", got)
+	}
+	pts, _, err := db2.Scan("root.a.b", -1<<40, 1<<40)
+	if err != nil || len(pts) != 40 {
+		t.Fatalf("nested series lost data: %d points, %v", len(pts), err)
+	}
+}

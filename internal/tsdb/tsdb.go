@@ -56,6 +56,12 @@ type DB struct {
 	cfg    Config
 	series map[string]*seriesState
 	closed bool
+
+	// persisted is the set of names committed to the durable catalog
+	// (always ⊇ the series that own backend objects; see catalog.go).
+	persisted  map[string]bool
+	catVersion uint64
+	recovery   RecoveryInfo
 }
 
 type seriesState struct {
@@ -63,45 +69,54 @@ type seriesState struct {
 	ctl    *analyzer.AdaptiveController // nil unless cfg.Adaptive
 }
 
-// Open creates a database, recovering any series previously persisted in
-// cfg.Backend (discovered through their manifest objects).
+// Open creates a database, recovering every series previously persisted in
+// cfg.Backend. The durable series catalog (see catalog.go) is the source
+// of truth, so manifest-backed, WAL-only, and empty series all come back,
+// and each series' WAL is replayed before Open returns — a restart
+// reconstructs exactly the pre-crash acknowledged state. Pre-catalog
+// databases are migrated by object discovery on first open.
 func Open(cfg Config) (*DB, error) {
 	if cfg.Engine.MemBudget < 1 {
 		return nil, errors.New("tsdb: Engine.MemBudget must be >= 1")
 	}
-	db := &DB{cfg: cfg, series: make(map[string]*seriesState)}
+	db := &DB{cfg: cfg, series: make(map[string]*seriesState), persisted: make(map[string]bool)}
 	if cfg.Backend != nil {
-		names, err := discoverSeries(cfg.Backend)
-		if err != nil {
+		if err := db.recoverLocked(); err != nil {
 			return nil, err
-		}
-		for _, name := range names {
-			if _, err := db.createLocked(name); err != nil {
-				return nil, fmt.Errorf("tsdb: recover series %s: %w", name, err)
-			}
 		}
 	}
 	return db, nil
 }
 
-// discoverSeries lists series prefixes by their MANIFEST objects.
+// discoverSeries lists series prefixes by their MANIFEST and WAL objects.
+// Used to migrate pre-catalog databases and to detect leftovers of an
+// interrupted drop; the catalog, not discovery, is the source of truth.
 func discoverSeries(b storage.Backend) ([]string, error) {
 	names, err := b.List()
 	if err != nil {
 		return nil, err
 	}
-	var out []string
+	set := make(map[string]bool)
 	for _, n := range names {
-		const suffix = ".MANIFEST"
-		if len(n) > len(suffix) && n[len(n)-len(suffix):] == suffix {
-			out = append(out, n[:len(n)-len(suffix)])
+		for _, suffix := range []string{".MANIFEST", ".WAL"} {
+			if len(n) > len(suffix) && n[len(n)-len(suffix):] == suffix {
+				set[n[:len(n)-len(suffix)]] = true
+			}
 		}
 	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
 	return out, nil
 }
 
 // createLocked instantiates the engine (and controller) for a series.
-// Caller holds db.mu.
+// Caller holds db.mu. For a durable DB, a series not yet in the catalog is
+// committed there FIRST: the engine — and therefore its WAL — may only
+// come into existence after the name is durable, so a crash at any point
+// leaves either no trace or a recoverable series, never an orphaned WAL.
 func (db *DB) createLocked(name string) (*seriesState, error) {
 	if !seriesNameRE.MatchString(name) {
 		return nil, fmt.Errorf("tsdb: invalid series name %q", name)
@@ -111,6 +126,13 @@ func (db *DB) createLocked(name string) (*seriesState, error) {
 	}
 	ecfg := db.cfg.Engine
 	if db.cfg.Backend != nil {
+		if !db.persisted[name] {
+			db.persisted[name] = true
+			if err := db.saveCatalogLocked(); err != nil {
+				delete(db.persisted, name)
+				return nil, fmt.Errorf("tsdb: create %s: %w", name, err)
+			}
+		}
 		ecfg.Backend = storage.NewPrefixBackend(db.cfg.Backend, name)
 	} else {
 		ecfg.Backend = nil
@@ -146,6 +168,45 @@ func (db *DB) CreateSeries(name string) error {
 	}
 	_, err := db.createLocked(name)
 	return err
+}
+
+// DropSeries removes a series and its data. The commit point is the
+// catalog update: once DropSeries returns nil the series will not exist
+// after a restart, even if deleting its objects was interrupted (the next
+// Open detects and removes the leftovers). It returns ErrNoSeries when the
+// series does not exist.
+func (db *DB) DropSeries(name string) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	st, ok := db.series[name]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoSeries, name)
+	}
+	if db.cfg.Backend != nil && db.persisted[name] {
+		delete(db.persisted, name)
+		if err := db.saveCatalogLocked(); err != nil {
+			db.persisted[name] = true
+			db.mu.Unlock()
+			return fmt.Errorf("tsdb: drop %s: %w", name, err)
+		}
+	}
+	delete(db.series, name)
+	db.mu.Unlock()
+	// The drop is committed; what follows is cleanup. Close errors are
+	// irrelevant (the data is being deleted — what matters is that Close
+	// always stops the engine's goroutines and detaches its WAL), and
+	// object-removal leftovers are finished by the next Open.
+	st.engine.Close()
+	if db.cfg.Backend != nil {
+		if err := removeSeriesObjects(db.cfg.Backend, name); err != nil {
+			return fmt.Errorf("tsdb: drop %s: cleanup: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // get returns the series state, creating it when AutoCreate is set.

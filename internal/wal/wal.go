@@ -69,6 +69,22 @@ func (l *Log) Truncate() error {
 	return l.backend.Write(l.name, nil)
 }
 
+// Rewrite atomically replaces the log contents with exactly ps, via the
+// backend's whole-object Write (write-temp-then-rename on disk). Unlike a
+// Truncate followed by AppendBatch, there is no window in which the log is
+// empty while ps is still volatile — a crash anywhere leaves either the old
+// or the new log, never neither.
+func (l *Log) Rewrite(ps []series.Point) error {
+	if l.backend == nil {
+		return ErrClosed
+	}
+	l.buf = l.buf[:0]
+	for _, p := range ps {
+		l.buf = encodeRecord(l.buf, p)
+	}
+	return l.backend.Write(l.name, l.buf)
+}
+
 // Close detaches the log. Further operations fail with ErrClosed.
 func (l *Log) Close() { l.backend = nil }
 
@@ -84,28 +100,54 @@ func encodeRecord(dst []byte, p series.Point) []byte {
 	return dst
 }
 
+// maxPayload bounds one record's payload length. A length prefix above it
+// is treated as corruption; the bound is checked on the uvarint value
+// BEFORE conversion to int, so a garbage 64-bit length cannot overflow int
+// on 32-bit platforms and slip past the check.
+const maxPayload = 1 << 20
+
+// ReplayReport describes what Replay found beyond the points themselves,
+// so callers can tell a clean log from one that ended in a crash.
+type ReplayReport struct {
+	// Points is the number of intact records decoded.
+	Points int
+	// Torn is true when decoding stopped before the end of the object —
+	// the tail holds a torn or corrupt record, expected after a crash
+	// mid-append but a detectable invariant violation otherwise.
+	Torn bool
+	// TornBytes is the number of trailing bytes discarded.
+	TornBytes int
+}
+
 // Replay reads the named log from backend and returns every intact point in
 // append order. A missing object yields no points and no error. Decoding
-// stops silently at the first damaged record; everything before it is
+// stops cleanly at the first damaged record; everything before it is
 // returned.
 func Replay(backend storage.Backend, name string) ([]series.Point, error) {
+	pts, _, err := ReplayWithReport(backend, name)
+	return pts, err
+}
+
+// ReplayWithReport is Replay plus a report of how decoding ended.
+func ReplayWithReport(backend storage.Backend, name string) ([]series.Point, ReplayReport, error) {
+	var rep ReplayReport
 	data, err := backend.Read(name)
 	if errors.Is(err, storage.ErrNotFound) {
-		return nil, nil
+		return nil, rep, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("wal: replay: %w", err)
+		return nil, rep, fmt.Errorf("wal: replay: %w", err)
 	}
 	var points []series.Point
 	off := 0
 	for off < len(data) {
 		plen, n, err := encoding.Uvarint(data[off:])
-		if err != nil {
-			break // torn length prefix
+		if err != nil || plen > maxPayload {
+			break // torn length prefix or absurd length
 		}
 		recStart := off + n
 		recEnd := recStart + int(plen)
-		if plen > 1<<20 || recEnd+4 > len(data) {
+		if recEnd+4 > len(data) {
 			break // torn record
 		}
 		payload := data[recStart:recEnd]
@@ -120,7 +162,10 @@ func Replay(backend storage.Backend, name string) ([]series.Point, error) {
 		points = append(points, p)
 		off = recEnd + 4
 	}
-	return points, nil
+	rep.Points = len(points)
+	rep.Torn = off < len(data)
+	rep.TornBytes = len(data) - off
+	return points, rep, nil
 }
 
 // decodePayload parses the body of one record.

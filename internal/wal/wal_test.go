@@ -112,6 +112,87 @@ func TestTruncate(t *testing.T) {
 	}
 }
 
+func TestReplayRejectsHugeLengthPrefix(t *testing.T) {
+	// A length prefix whose uvarint value exceeds maxPayload must be
+	// rejected on the 64-bit value itself. (The historical bug converted
+	// it to int first, which overflows on 32-bit platforms and could slip
+	// past the bound check; this input encodes 2^62.)
+	b := storage.NewMemBackend()
+	l := Open(b, "wal")
+	l.Append(series.Point{TG: 1, TA: 2, V: 3})
+	b.Append("wal", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40})
+	got, rep, err := ReplayWithReport(b, "wal")
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != 1 || got[0].TG != 1 {
+		t.Errorf("got %v, want the one intact record", got)
+	}
+	if !rep.Torn || rep.TornBytes != 9 {
+		t.Errorf("report = %+v, want Torn with 9 trailing bytes", rep)
+	}
+}
+
+func TestReplayReportCleanLog(t *testing.T) {
+	b := storage.NewMemBackend()
+	l := Open(b, "wal")
+	l.Append(series.Point{TG: 1, TA: 2, V: 3})
+	l.Append(series.Point{TG: 4, TA: 5, V: 6})
+	_, rep, err := ReplayWithReport(b, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Torn || rep.TornBytes != 0 || rep.Points != 2 {
+		t.Errorf("clean log report = %+v", rep)
+	}
+}
+
+func TestRewriteReplacesContentsAtomically(t *testing.T) {
+	b := storage.NewMemBackend()
+	l := Open(b, "wal")
+	for i := int64(0); i < 10; i++ {
+		l.Append(series.Point{TG: i, TA: i})
+	}
+	kept := []series.Point{{TG: 8, TA: 8}, {TG: 9, TA: 9}}
+	if err := l.Rewrite(kept); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	got, err := Replay(b, "wal")
+	if err != nil || len(got) != 2 || got[0] != kept[0] || got[1] != kept[1] {
+		t.Fatalf("after rewrite: %v, %v", got, err)
+	}
+	// Rewrite to empty is a truncate.
+	if err := l.Rewrite(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := Replay(b, "wal"); len(got) != 0 {
+		t.Errorf("after empty rewrite: %v", got)
+	}
+}
+
+// TestRewriteSurvivesCrashBeforeWrite models the crash window the old
+// Truncate+AppendBatch sequence had: if the backend dies between the two
+// steps, the log is empty and buffered points are gone. Rewrite is one
+// atomic Write, so a failed rewrite leaves the previous contents intact.
+func TestRewriteSurvivesCrashBeforeWrite(t *testing.T) {
+	inner := storage.NewMemBackend()
+	fb := storage.NewFaultBackend(inner)
+	l := Open(fb, "wal")
+	for i := int64(0); i < 5; i++ {
+		if err := l.Append(series.Point{TG: i, TA: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb.SetBudget(0)
+	if err := l.Rewrite([]series.Point{{TG: 4, TA: 4}}); err == nil {
+		t.Fatal("rewrite on dead backend succeeded")
+	}
+	got, err := Replay(inner, "wal")
+	if err != nil || len(got) != 5 {
+		t.Fatalf("failed rewrite lost the old log: %d points, %v", len(got), err)
+	}
+}
+
 func TestClosedLog(t *testing.T) {
 	l := Open(storage.NewMemBackend(), "wal")
 	l.Close()
@@ -123,6 +204,9 @@ func TestClosedLog(t *testing.T) {
 	}
 	if err := l.Truncate(); err != ErrClosed {
 		t.Errorf("Truncate on closed: %v", err)
+	}
+	if err := l.Rewrite(nil); err != ErrClosed {
+		t.Errorf("Rewrite on closed: %v", err)
 	}
 }
 
