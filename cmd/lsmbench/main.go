@@ -44,8 +44,30 @@ func main() {
 		lmu     = flag.Float64("lmu", 5, "load mode: lognormal delay mu")
 		lsigma  = flag.Float64("lsigma", 2, "load mode: lognormal delay sigma")
 		lverify = flag.Bool("lverify", true, "load mode: scan every series afterwards and verify counts")
+
+		mixed    = flag.Bool("mixed", false, "mixed mode: concurrent read/write benchmark on an in-process engine")
+		readers  = flag.Int("readers", 4, "mixed mode: concurrent scan goroutines")
+		mpoints  = flag.Int("mpoints", 200000, "mixed mode: points to ingest")
+		mbatch   = flag.Int("mbatch", 500, "mixed mode: points per PutBatch")
+		mevery   = flag.Duration("scanevery", 100*time.Millisecond, "mixed mode: pacing between scans per reader (0 = full tilt)")
+		benchout = flag.String("benchout", "", "mixed mode: write a machine-readable JSON report to this path")
 	)
 	flag.Parse()
+
+	if *mixed {
+		runMixed(mixedConfig{
+			readers:  *readers,
+			points:   *mpoints,
+			batch:    *mbatch,
+			dt:       *ldt,
+			mu:       *lmu,
+			sigma:    *lsigma,
+			seed:     *seed,
+			interval: *mevery,
+			out:      *benchout,
+		})
+		return
+	}
 
 	if *load != "" {
 		runLoad(loadConfig{

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+	"repro/internal/series"
+	"repro/internal/workload"
+)
+
+// Mixed read/write benchmark: measures what snapshot reads cost the write
+// path. It ingests the same out-of-order workload twice into an async
+// engine — once alone (baseline) and once while N reader goroutines scan
+// full-tilt — and reports ingest throughput for both plus the readers' scan
+// latency distribution. With lock-free snapshot reads the two ingest rates
+// should be close (the acceptance bar is within ~20%); before this change,
+// every scan held the engine lock for its whole merge and readers collapsed
+// ingest throughput.
+
+type mixedConfig struct {
+	readers  int
+	points   int
+	batch    int
+	dt       int64
+	mu       float64
+	sigma    float64
+	seed     int64
+	interval time.Duration // pacing between scans per reader (0 = full tilt)
+	out      string        // JSON report path ("" = none)
+}
+
+// mixedReport is the machine-readable result (BENCH_3.json).
+type mixedReport struct {
+	Name            string  `json:"name"`
+	Readers         int     `json:"readers"`
+	Points          int     `json:"points"`
+	Batch           int     `json:"batch"`
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	BaselinePPS     float64 `json:"baseline_points_per_second"`
+	MixedSeconds    float64 `json:"mixed_seconds"`
+	MixedPPS        float64 `json:"mixed_points_per_second"`
+	IngestRatio     float64 `json:"ingest_ratio"` // mixed / baseline
+	Scans           int64   `json:"scans"`
+	ScannedPoints   int64   `json:"scanned_points"`
+	ScanP50Millis   float64 `json:"scan_p50_ms"`
+	ScanP99Millis   float64 `json:"scan_p99_ms"`
+	ScanMeanMillis  float64 `json:"scan_mean_ms"`
+}
+
+func runMixed(cfg mixedConfig) {
+	pts := workload.Synthetic(cfg.points, cfg.dt, dist.NewLognormal(cfg.mu, cfg.sigma), cfg.seed)
+	engineCfg := lsm.Config{
+		Policy:          lsm.Conventional,
+		MemBudget:       4096,
+		SSTablePoints:   4096,
+		AsyncCompaction: true,
+	}
+
+	rep := mixedReport{
+		Name:    "mixed_read_write",
+		Readers: cfg.readers,
+		Points:  cfg.points,
+		Batch:   cfg.batch,
+	}
+
+	// Baseline: ingest alone.
+	rep.BaselineSeconds = ingestAll(engineCfg, pts, cfg.batch, 0, 0, nil, nil, nil)
+	rep.BaselinePPS = float64(cfg.points) / rep.BaselineSeconds
+
+	// Mixed: same ingest with cfg.readers concurrent scanners.
+	var scans, scanned atomic.Int64
+	var latMu sync.Mutex
+	var lats []float64 // seconds
+	rep.MixedSeconds = ingestAll(engineCfg, pts, cfg.batch, cfg.readers, cfg.interval, &scans, &scanned, func(d time.Duration) {
+		latMu.Lock()
+		lats = append(lats, d.Seconds())
+		latMu.Unlock()
+	})
+	rep.MixedPPS = float64(cfg.points) / rep.MixedSeconds
+	rep.IngestRatio = rep.MixedPPS / rep.BaselinePPS
+	rep.Scans = scans.Load()
+	rep.ScannedPoints = scanned.Load()
+	if len(lats) > 0 {
+		rep.ScanP50Millis = metrics.Quantile(lats, 0.5) * 1000
+		rep.ScanP99Millis = metrics.Quantile(lats, 0.99) * 1000
+		rep.ScanMeanMillis = metrics.Mean(lats) * 1000
+	}
+
+	fmt.Printf("mixed read/write benchmark (%d points, batch %d, %d readers)\n",
+		cfg.points, cfg.batch, cfg.readers)
+	fmt.Printf("  ingest baseline : %10.0f pts/s  (%.2fs)\n", rep.BaselinePPS, rep.BaselineSeconds)
+	fmt.Printf("  ingest w/readers: %10.0f pts/s  (%.2fs, ratio %.2f)\n", rep.MixedPPS, rep.MixedSeconds, rep.IngestRatio)
+	fmt.Printf("  scans           : %d (%d points streamed)\n", rep.Scans, rep.ScannedPoints)
+	fmt.Printf("  scan latency    : p50 %.3fms  p99 %.3fms  mean %.3fms\n",
+		rep.ScanP50Millis, rep.ScanP99Millis, rep.ScanMeanMillis)
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("marshal report: %v", err)
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", cfg.out, err)
+		}
+		fmt.Printf("  report          : %s\n", cfg.out)
+	}
+}
+
+// ingestAll opens a fresh engine, ingests pts in batches, and returns the
+// ingest wall time. When readers > 0 it runs that many scanner goroutines
+// for the whole ingest, each pacing one scan per interval (the dashboard
+// polling pattern; interval 0 scans full-tilt). Scans are mostly random
+// recent windows with an occasional full-history pass, streamed off an
+// iterator so reader memory stays O(1).
+func ingestAll(engineCfg lsm.Config, pts []series.Point, batch, readers int,
+	interval time.Duration, scans, scanned *atomic.Int64, observe func(time.Duration)) float64 {
+
+	e, err := lsm.Open(engineCfg)
+	if err != nil {
+		fatal("open engine: %v", err)
+	}
+	defer e.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				lo, hi := int64(math.MinInt64+1), int64(math.MaxInt64)
+				if rng.Intn(8) != 0 {
+					// Recent window covering up to 10% of history.
+					if max, ok := e.MaxTG(); ok {
+						span := rng.Int63n(max/10 + 1)
+						lo, hi = max-span, max
+					}
+				}
+				start := time.Now()
+				it := e.NewIterator(lo, hi)
+				n := 0
+				for it.Next() {
+					n++
+				}
+				observe(time.Since(start))
+				scans.Add(1)
+				scanned.Add(int64(n))
+				if d := interval - time.Since(start); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}(int64(1000 + r))
+	}
+
+	start := time.Now()
+	for i := 0; i < len(pts); i += batch {
+		j := i + batch
+		if j > len(pts) {
+			j = len(pts)
+		}
+		if err := e.PutBatch(pts[i:j]); err != nil {
+			fatal("PutBatch: %v", err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	stop.Store(true)
+	wg.Wait()
+	return elapsed
+}

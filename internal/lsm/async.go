@@ -24,7 +24,9 @@ import (
 const maxL0Backlog = 64
 
 // enqueueL0 flushes mt to an L0 table and hands it to the compactor.
-// Caller holds the lock.
+// Caller holds the lock. The queue is published copy-on-write: e.l0 is
+// handed to lock-free snapshots, so a new slice is installed rather than
+// appending through the shared backing array.
 func (e *Engine) enqueueL0(mt *memtable.MemTable) error {
 	for len(e.l0) >= maxL0Backlog && e.bgErr == nil && !e.closed {
 		e.l0Cond.Wait()
@@ -44,7 +46,9 @@ func (e *Engine) enqueueL0(mt *memtable.MemTable) error {
 		return fmt.Errorf("lsm: build L0 table: %w", err)
 	}
 	e.nextID++
-	e.l0 = append(e.l0, t)
+	l0 := make([]*sstable.Table, len(e.l0), len(e.l0)+1)
+	copy(l0, e.l0)
+	e.l0 = append(l0, t)
 	e.stats.PointsWritten += int64(len(pts)) // the L0 flush write
 	e.stats.Flushes++
 	mt.Reset()
@@ -67,10 +71,25 @@ func (e *Engine) startCompactor() {
 }
 
 // compactorLoop consumes L0 tables in FIFO order, merging each into the
-// run as the synchronous path would — but the expensive merge runs outside
-// the engine lock so ingestion is never blocked behind a compaction. The
-// compactor is the only run mutator in async mode, so the overlap snapshot
-// taken under the lock stays valid while merging.
+// run as the synchronous path would — but both the expensive k-way merge
+// AND the backend I/O for the new SSTable objects run outside the engine
+// lock, so ingestion is stalled by neither CPU merging nor disk writes.
+//
+// Lock discipline per iteration (see DESIGN.md §7.2 invariant 2 and §7.3):
+//
+//	lock:    snapshot the head table, its overlap window in the run, and
+//	         the overlapped points; reserve output table IDs.
+//	unlock:  merge the points and write the new SSTable objects to the
+//	         backend (the "persist" step — a crash here leaves orphans
+//	         that recovery removes; nothing references them yet).
+//	lock:    install the new tables in the run (copy-on-write), commit
+//	         the manifest (the commit point), retire old objects, and
+//	         shrink the WAL — all ordered behind the commit.
+//
+// The overlap window snapshot stays valid across the unlocked section
+// because the compactor is the only run mutator while the L0 queue is
+// non-empty: every other mutator (FlushAll, SetPolicy, DropBefore) drains
+// the queue under the lock before touching the run.
 func (e *Engine) compactorLoop() {
 	defer close(e.bgDone)
 	for {
@@ -93,20 +112,33 @@ func (e *Engine) compactorLoop() {
 		if e.OnCompaction != nil {
 			subsequent = e.run.pointsGreaterThan(lo)
 		}
+		// Reserve IDs for the merge output now so the tables can be built
+		// and persisted without the lock. len(old)+len(pts) bounds the
+		// merged size; duplicate collapses may leave ID gaps, which are
+		// harmless (IDs only need to be unique and monotone).
+		chunk := e.cfg.SSTablePoints
+		idBase := e.nextID
+		e.nextID += uint64((len(old)+len(pts))/chunk) + 1
 		e.mu.Unlock()
 
 		merged := pts
 		if len(old) > 0 {
 			merged = series.MergeByTG(old, pts)
 		}
+		newTables, err := buildTablesFrom(merged, chunk, idBase)
+		if err == nil {
+			// Persist step of invariant 2, off the lock: object writes are
+			// the bulk of a compaction's I/O, and until the manifest commit
+			// below nothing references them.
+			err = e.persistTables(newTables)
+		}
 
 		e.mu.Lock()
-		newTables, err := e.buildTables(merged, e.cfg.SSTablePoints)
 		if err == nil {
 			overlapping := make([]*sstable.Table, j-i)
 			copy(overlapping, e.run.tables[i:j])
 			e.run.replace(i, j, newTables)
-			err = e.persistReplace(overlapping, newTables)
+			err = e.commitReplace(overlapping)
 			e.stats.PointsWritten += int64(len(merged))
 			if len(old) == 0 {
 				e.stats.Flushes++
@@ -132,7 +164,7 @@ func (e *Engine) compactorLoop() {
 		e.l0 = e.l0[1:]
 		if err == nil {
 			// The merged table's points are durable in the run (manifest
-			// committed inside persistReplace); shrink the WAL to the
+			// committed inside commitReplace); shrink the WAL to the
 			// remaining queue + memtables. On error the old WAL — which
 			// still covers the dropped table — is left in place for
 			// recovery.

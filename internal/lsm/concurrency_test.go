@@ -1,0 +1,185 @@
+package lsm_test
+
+// Snapshot-isolation stress: readers (Scan, Get, Aggregate) run full-tilt
+// against a writer doing PutBatch on an engine with the async compactor
+// enabled, under -race. Because Put/PutBatch hold the engine lock for the
+// whole call and readers work on O(1) snapshots, every scan must observe
+// exactly the union of some acknowledged prefix of batches — never a torn
+// batch, never a point from an unacknowledged batch, never a missing point
+// from an acknowledged one.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/query"
+	"repro/internal/series"
+)
+
+func TestConcurrentReadsSeeAcknowledgedPrefix(t *testing.T) {
+	const (
+		batchSize = 50
+		nBatches  = 120
+	)
+	nPoints := batchSize * nBatches
+
+	// Globally shuffled generation times 0..nPoints-1, chunked into batches:
+	// every batch is a random subset, so batches interleave heavily in TG
+	// space and exercise memtable/L0/run shadowing. V encodes TG for value
+	// verification; prefix sums of V let Aggregate verify completeness.
+	rng := rand.New(rand.NewSource(7))
+	tgs := rng.Perm(nPoints)
+	batches := make([][]series.Point, nBatches)
+	batchOf := make(map[int64]int, nPoints) // TG → batch index
+	prefixSum := make([]float64, nBatches+1)
+	for b := range batches {
+		pts := make([]series.Point, batchSize)
+		for i := range pts {
+			tg := int64(tgs[b*batchSize+i])
+			pts[i] = series.Point{TG: tg, TA: int64(b*batchSize + i), V: float64(tg)}
+			batchOf[tg] = b
+			prefixSum[b+1] += float64(tg)
+		}
+		prefixSum[b+1] += prefixSum[b]
+		batches[b] = pts
+	}
+
+	e, err := lsm.Open(lsm.Config{
+		Policy:          lsm.Conventional,
+		MemBudget:       256,
+		SSTablePoints:   128,
+		AsyncCompaction: true,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer e.Close()
+
+	var acked atomic.Int64 // batches acknowledged by PutBatch so far
+	var done atomic.Bool
+	var wg sync.WaitGroup
+
+	// checkPrefix verifies that a scan observed exactly the first m batches
+	// for some m in [before, after].
+	checkPrefix := func(kind string, count int, before, after int64, tgOK func(m int) bool) {
+		if count%batchSize != 0 {
+			t.Errorf("%s: saw %d points, not a whole number of batches — torn batch", kind, count)
+			return
+		}
+		m := count / batchSize
+		if int64(m) < before || int64(m) > after {
+			t.Errorf("%s: saw %d batches, acknowledged window was [%d, %d]", kind, m, before, after)
+			return
+		}
+		if !tgOK(m) {
+			t.Errorf("%s: observed state is not exactly the first %d batches", kind, m)
+		}
+	}
+
+	// Scan readers: full-range scans, set-exact prefix check.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				before := acked.Load()
+				pts, st := e.Scan(math.MinInt64+1, math.MaxInt64)
+				after := acked.Load()
+				if !series.IsSortedByTG(pts) {
+					t.Error("scan: result not sorted by TG")
+					return
+				}
+				if st.ResultPoints != len(pts) {
+					t.Errorf("scan: ResultPoints = %d, len = %d", st.ResultPoints, len(pts))
+					return
+				}
+				checkPrefix("scan", len(pts), before, after, func(m int) bool {
+					for _, p := range pts {
+						if b, ok := batchOf[p.TG]; !ok || b >= m || p.V != float64(p.TG) {
+							return false
+						}
+					}
+					return true
+				})
+			}
+		}()
+	}
+
+	// Get readers: any point from an already-acknowledged batch must be
+	// found with its value.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !done.Load() {
+				a := acked.Load()
+				if a == 0 {
+					continue
+				}
+				b := rng.Int63n(a)
+				want := batches[b][rng.Intn(batchSize)]
+				got, ok := e.Get(want.TG)
+				if !ok || got.V != want.V {
+					t.Errorf("get(%d): got (%+v, %v), want value %g from acked batch %d", want.TG, got, ok, want.V, b)
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	// Aggregate readers: the bucket fold streams off the same snapshot
+	// iterator; total count and exact value sum must match a prefix.
+	// (All values are small integers, so float sums are exact regardless
+	// of association order.)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				before := acked.Load()
+				buckets, st, err := query.Aggregate(e, 0, int64(nPoints), 1000)
+				after := acked.Load()
+				if err != nil {
+					t.Errorf("aggregate: %v", err)
+					return
+				}
+				var count int
+				var sum float64
+				for _, b := range buckets {
+					count += int(b.Count)
+					sum += b.Sum
+				}
+				if st.ResultPoints != count {
+					t.Errorf("aggregate: ResultPoints = %d, bucket count sum = %d", st.ResultPoints, count)
+					return
+				}
+				checkPrefix("aggregate", count, before, after, func(m int) bool {
+					return sum == prefixSum[m]
+				})
+			}
+		}()
+	}
+
+	for b, pts := range batches {
+		if err := e.PutBatch(pts); err != nil {
+			t.Fatalf("PutBatch %d: %v", b, err)
+		}
+		acked.Store(int64(b + 1))
+	}
+	done.Store(true)
+	wg.Wait()
+
+	// Everything settled: the final state must be the full prefix.
+	if err := e.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	pts, _ := e.Scan(math.MinInt64+1, math.MaxInt64)
+	if len(pts) != nPoints {
+		t.Fatalf("final scan: %d points, want %d", len(pts), nPoints)
+	}
+}

@@ -409,19 +409,33 @@ func (e *Engine) mergePoints(pts []series.Point) error {
 	return nil
 }
 
-// buildTables cuts sorted points into SSTables of at most chunk points.
+// buildTables cuts sorted points into SSTables of at most chunk points,
+// allocating IDs from e.nextID. Caller holds the lock.
 func (e *Engine) buildTables(pts []series.Point, chunk int) ([]*sstable.Table, error) {
+	out, err := buildTablesFrom(pts, chunk, e.nextID)
+	if err != nil {
+		return nil, err
+	}
+	e.nextID += uint64(len(out))
+	return out, nil
+}
+
+// buildTablesFrom cuts sorted points into SSTables of at most chunk
+// points, numbering them from base. It touches no engine state, so the
+// async compactor can build compaction outputs outside the lock from an ID
+// range reserved under it.
+func buildTablesFrom(pts []series.Point, chunk int, base uint64) ([]*sstable.Table, error) {
 	var out []*sstable.Table
 	for len(pts) > 0 {
 		n := chunk
 		if n > len(pts) {
 			n = len(pts)
 		}
-		t, err := sstable.Build(e.nextID, pts[:n:n])
+		t, err := sstable.Build(base, pts[:n:n])
 		if err != nil {
 			return nil, fmt.Errorf("lsm: build sstable: %w", err)
 		}
-		e.nextID++
+		base++
 		out = append(out, t)
 		pts = pts[n:]
 	}
@@ -466,13 +480,20 @@ func (e *Engine) SetPolicy(kind PolicyKind, seqCapacity int) error {
 	}
 	for _, mt := range []*memtable.MemTable{e.c0, e.cseq, e.cnonseq} {
 		if !mt.Empty() {
-			if err := e.mergeMemtable(mt); err != nil {
+			// In async mode, route through the L0 queue: the compactor must
+			// remain the only run mutator while the queue is non-empty (its
+			// merge snapshot is taken before, and installed after, an
+			// unlocked persist section).
+			if err := e.handleFullMemtable(mt); err != nil {
 				return err
 			}
 		}
 	}
 	if e.cfg.AsyncCompaction {
 		e.drainLocked()
+		if e.bgErr != nil {
+			return e.bgErr
+		}
 	}
 	if kind == Separation {
 		if seqCapacity == 0 {

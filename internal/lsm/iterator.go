@@ -6,21 +6,26 @@ import (
 	"repro/internal/series"
 )
 
-// Iterator streams points in generation-time order from a consistent
-// snapshot of the engine, merging the memtables, pending L0 tables, and
-// the run with a k-way heap. Unlike Scan it does not materialize the
-// result, so callers can walk arbitrarily large ranges with O(sources)
-// memory.
+// MergeIterator streams points in generation-time order from a consistent
+// Snapshot of the engine, merging the memtable images, pending L0 tables,
+// and the run with a k-way heap. Unlike a materializing Scan it holds the
+// whole result nowhere: each source is walked in place by a cursor, so
+// callers can stream arbitrarily large ranges with O(#sources) memory and
+// fold them (aggregation, network encoding) point by point.
 //
-// The iterator holds no engine lock: it works on an immutable snapshot
-// (SSTables are immutable; memtable contents are copied at creation), so
-// writes that happen after NewIterator are not observed.
-type Iterator struct {
+// The iterator holds no engine lock at any time: it works on an immutable
+// snapshot (SSTables are immutable, memtable images are frozen), so writes
+// that happen after the snapshot was taken are not observed.
+type MergeIterator struct {
 	h       mergeHeap
 	current series.Point
 	valid   bool
-	hi      int64
+	stats   ScanStats
+	input   int // total in-range points across sources (duplicates included)
 }
+
+// Iterator is the former name of MergeIterator, kept as an alias.
+type Iterator = MergeIterator
 
 // source is one sorted input to the merge. Higher priority shadows lower
 // on duplicate generation timestamps (memtables over L0 over run).
@@ -51,44 +56,35 @@ func (h *mergeHeap) Pop() any {
 	return s
 }
 
-// NewIterator returns an iterator over points with generation time in
-// [lo, hi]. Call Next to advance; Point is valid after each true Next.
-func (e *Engine) NewIterator(lo, hi int64) *Iterator {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// addSource registers one sorted, in-range input slice. Empty sources are
+// skipped. Call init once all sources are added.
+func (it *MergeIterator) addSource(pts []series.Point, priority int) {
+	if len(pts) == 0 {
+		return
+	}
+	it.input += len(pts)
+	it.h = append(it.h, &source{points: pts, priority: priority})
+}
 
-	it := &Iterator{hi: hi}
-	add := func(pts []series.Point, priority int) {
-		if len(pts) > 0 {
-			it.h = append(it.h, &source{points: pts, priority: priority})
-		}
-	}
-	// Run tables: non-overlapping, so they could be one concatenated
-	// source; kept separate for simplicity (the heap handles it).
-	i, j := e.run.overlapRange(lo, hi)
-	for _, t := range e.run.tables[i:j] {
-		add(t.Scan(lo, hi), 0)
-	}
-	// Pending L0 tables (async mode): newer tables shadow older.
-	for k, t := range e.l0 {
-		if t.Overlaps(lo, hi) {
-			add(t.Scan(lo, hi), 1+k)
-		}
-	}
-	// Memtables shadow everything on disk. Copy: memtables are mutable.
-	base := 1 + len(e.l0)
-	for k, mt := range []interface {
-		Scan(lo, hi int64) []series.Point
-	}{e.c0, e.cseq, e.cnonseq} {
-		add(mt.Scan(lo, hi), base+k)
-	}
-	heap.Init(&it.h)
-	return it
+// init establishes the heap invariant after all sources are added.
+func (it *MergeIterator) init() { heap.Init(&it.h) }
+
+// inputPoints returns the total number of in-range points across all
+// sources, duplicates included — an upper bound on the merged result size,
+// used as a capacity hint by materializing callers.
+func (it *MergeIterator) inputPoints() int { return it.input }
+
+// NewIterator takes a snapshot of the engine and returns a streaming
+// iterator over points with generation time in [lo, hi]. Call Next to
+// advance; Point is valid after each true Next. The engine lock is held
+// only for the O(1) snapshot, never during iteration.
+func (e *Engine) NewIterator(lo, hi int64) *MergeIterator {
+	return e.Snapshot().NewIterator(lo, hi)
 }
 
 // Next advances to the next distinct generation timestamp; it returns
 // false when the range is exhausted.
-func (it *Iterator) Next() bool {
+func (it *MergeIterator) Next() bool {
 	for it.h.Len() > 0 {
 		top := it.h[0]
 		p := top.points[top.pos]
@@ -98,6 +94,7 @@ func (it *Iterator) Next() bool {
 		}
 		it.current = p
 		it.valid = true
+		it.stats.ResultPoints++
 		return true
 	}
 	it.valid = false
@@ -105,7 +102,7 @@ func (it *Iterator) Next() bool {
 }
 
 // advance moves a source forward and restores the heap.
-func (it *Iterator) advance(s *source) {
+func (it *MergeIterator) advance(s *source) {
 	s.pos++
 	if s.pos >= len(s.points) {
 		heap.Pop(&it.h)
@@ -115,4 +112,11 @@ func (it *Iterator) advance(s *source) {
 }
 
 // Point returns the current point; only valid after a true Next.
-func (it *Iterator) Point() series.Point { return it.current }
+func (it *MergeIterator) Point() series.Point { return it.current }
+
+// Stats returns the read-cost accounting of this iteration: tables touched
+// and their whole-table point counts are known from construction;
+// MemPoints counts in-range memtable points; ResultPoints counts the
+// distinct points yielded by Next so far (complete once Next has returned
+// false).
+func (it *MergeIterator) Stats() ScanStats { return it.stats }

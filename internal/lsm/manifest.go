@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/series"
@@ -80,7 +81,29 @@ func tableObjectName(id uint64) string {
 // writes newTables to the backend, commits a manifest reflecting the
 // current run, and removes the replaced tables' objects. With no backend it
 // is a no-op.
+//
+// The synchronous compaction path calls this with the engine lock held, and
+// that is deliberate (see DESIGN.md §7.3): the caller is Put/PutBatch
+// itself, which owns the lock for the whole insert anyway; readers no
+// longer take this lock at all (they read snapshots); and splitting the
+// sync path's run mutation from its manifest commit would buy nothing while
+// creating a window where a second writer could observe a run whose commit
+// is still in flight. The async compactor, where the lock hold time
+// actually matters, uses persistTables (off-lock) + commitReplace
+// (under lock) instead.
 func (e *Engine) persistReplace(old, newTables []*sstable.Table) error {
+	if err := e.persistTables(newTables); err != nil {
+		return err
+	}
+	return e.commitReplace(old)
+}
+
+// persistTables writes the new tables' objects to the backend — the
+// "persist" step of invariant 2. It reads only immutable state (the tables
+// themselves and cfg.Backend), so the async compactor calls it WITHOUT the
+// engine lock: until the manifest commit, nothing references these objects,
+// and a crash merely leaves orphans that recovery deletes.
+func (e *Engine) persistTables(newTables []*sstable.Table) error {
 	if e.cfg.Backend == nil {
 		return nil
 	}
@@ -89,6 +112,19 @@ func (e *Engine) persistReplace(old, newTables []*sstable.Table) error {
 		if err := e.cfg.Backend.Write(tableObjectName(t.ID()), img); err != nil {
 			return fmt.Errorf("lsm: persist sstable: %w", err)
 		}
+	}
+	return nil
+}
+
+// commitReplace commits a manifest reflecting the current run (the commit
+// point of invariant 2), then removes the retired tables' objects. Caller
+// holds the lock: the manifest must be a snapshot of e.run and e.nextID
+// that is atomic with the in-memory replace, and the subsequent rewriteWAL
+// (invariant 3) must observe the same state — these are the two backend
+// writes that genuinely cannot leave the critical section.
+func (e *Engine) commitReplace(old []*sstable.Table) error {
+	if e.cfg.Backend == nil {
+		return nil
 	}
 	m := manifest{NextID: e.nextID, Tables: make([]string, 0, len(e.run.tables))}
 	for _, t := range e.run.tables {
@@ -127,13 +163,17 @@ func (e *Engine) rewriteWAL() error {
 	if e.log == nil {
 		return nil
 	}
-	var remaining []series.Point
+	n := e.c0.Len() + e.cseq.Len() + e.cnonseq.Len() + len(e.pendingWAL)
+	for _, t := range e.l0 {
+		n += t.Len()
+	}
+	remaining := make([]series.Point, 0, n)
 	for _, t := range e.l0 {
 		remaining = append(remaining, t.Points()...)
 	}
-	remaining = append(remaining, e.c0.Points()...)
-	remaining = append(remaining, e.cseq.Points()...)
-	remaining = append(remaining, e.cnonseq.Points()...)
+	remaining = e.c0.AppendRange(remaining, math.MinInt64, math.MaxInt64)
+	remaining = e.cseq.AppendRange(remaining, math.MinInt64, math.MaxInt64)
+	remaining = e.cnonseq.AppendRange(remaining, math.MinInt64, math.MaxInt64)
 	remaining = append(remaining, e.pendingWAL...)
 	if err := e.log.Rewrite(remaining); err != nil {
 		return fmt.Errorf("lsm: rewrite wal: %w", err)

@@ -1,0 +1,147 @@
+package lsm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/series"
+)
+
+// These are the equivalence properties the streaming merge must uphold: the
+// k-way heap with priority shadowing yields byte-identical output (points
+// and ScanStats) to the old materialize-then-MergeByTG algorithm it
+// replaced, on arbitrary shadowing inputs and on real engine states.
+
+// foldMergeByTG is the reference semantics: successively merge sources in
+// ascending priority order with series.MergeByTG, whose second argument
+// shadows the first on duplicate generation timestamps.
+func foldMergeByTG(sources [][]series.Point) []series.Point {
+	var acc []series.Point
+	for _, src := range sources {
+		acc = series.MergeByTG(acc, src)
+	}
+	return acc
+}
+
+// randSources builds k sorted sources with deliberately colliding TGs drawn
+// from a small universe; the value encodes (source, tg) so shadowing
+// mistakes are visible in V, not just in ordering.
+func randSources(rng *rand.Rand, k, universe int) [][]series.Point {
+	out := make([][]series.Point, k)
+	for s := 0; s < k; s++ {
+		var pts []series.Point
+		for tg := 0; tg < universe; tg++ {
+			if rng.Intn(3) == 0 { // ~1/3 density → heavy cross-source overlap
+				pts = append(pts, series.Point{
+					TG: int64(tg),
+					TA: int64(s*universe + tg),
+					V:  float64(s)*1e6 + float64(tg),
+				})
+			}
+		}
+		out[s] = pts
+	}
+	return out
+}
+
+func TestMergeIteratorMatchesMergeByTGFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(6)
+		sources := randSources(rng, k, 50+rng.Intn(100))
+
+		want := foldMergeByTG(sources)
+
+		it := &MergeIterator{}
+		for prio, src := range sources {
+			it.addSource(src, prio)
+		}
+		it.init()
+		var got []series.Point
+		for it.Next() {
+			got = append(got, it.Point())
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: iterator yielded %d points, MergeByTG fold %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: point %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+		if rp := it.Stats().ResultPoints; rp != len(want) {
+			t.Fatalf("trial %d: ResultPoints = %d, want %d", trial, rp, len(want))
+		}
+	}
+}
+
+// referenceScan recomputes a snapshot scan with the pre-iterator algorithm:
+// materialize the run slices, then repeatedly MergeByTG in shadowing order
+// (L0 oldest→newest, then c0, cseq, cnonseq), accounting costs identically.
+func referenceScan(s *Snapshot, lo, hi int64) ([]series.Point, ScanStats) {
+	var st ScanStats
+	var acc []series.Point
+	i, j := overlapTables(s.tables, lo, hi)
+	for _, t := range s.tables[i:j] {
+		st.TablesTouched++
+		st.TablePoints += t.Len()
+		acc = append(acc, t.Scan(lo, hi)...)
+	}
+	for _, t := range s.l0 {
+		if !t.Overlaps(lo, hi) {
+			continue
+		}
+		st.TablesTouched++
+		st.TablePoints += t.Len()
+		acc = series.MergeByTG(acc, t.Scan(lo, hi))
+	}
+	for _, mem := range s.mems {
+		sub := rangeSlice(mem, lo, hi)
+		st.MemPoints += len(sub)
+		acc = series.MergeByTG(acc, sub)
+	}
+	st.ResultPoints = len(acc)
+	return acc, st
+}
+
+func TestSnapshotScanMatchesReference(t *testing.T) {
+	configs := []Config{
+		{Policy: Conventional, MemBudget: 32, SSTablePoints: 64},
+		{Policy: Separation, MemBudget: 48, SSTablePoints: 32},
+		{Policy: Conventional, MemBudget: 64, SSTablePoints: 64, AsyncCompaction: true},
+	}
+	for ci, cfg := range configs {
+		ps := genWorkload(4000, 20, dist.NewLognormal(4, 1.6), int64(100+ci))
+		e := mustOpen(t, cfg)
+		ingest(t, e, ps)
+
+		rng := rand.New(rand.NewSource(int64(ci)))
+		snap := e.Snapshot()
+		ranges := [][2]int64{{math.MinInt64 + 1, math.MaxInt64}}
+		for r := 0; r < 25; r++ {
+			lo := rng.Int63n(4000 * 20)
+			ranges = append(ranges, [2]int64{lo, lo + rng.Int63n(20000)})
+		}
+		for _, rr := range ranges {
+			want, wantSt := referenceScan(snap, rr[0], rr[1])
+			got, gotSt := snap.Scan(rr[0], rr[1])
+			if gotSt != wantSt {
+				t.Fatalf("config %d range %v: stats %+v, want %+v", ci, rr, gotSt, wantSt)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("config %d range %v: %d points, want %d", ci, rr, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("config %d range %v: point %d = %+v, want %+v", ci, rr, i, got[i], want[i])
+				}
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+}

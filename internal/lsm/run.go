@@ -38,15 +38,13 @@ func (r *run) lastTG() (int64, bool) {
 // overlapRange returns the half-open index interval [i, j) of tables whose
 // ranges intersect [lo, hi].
 func (r *run) overlapRange(lo, hi int64) (int, int) {
-	// First table with MaxTG >= lo.
-	i := sort.Search(len(r.tables), func(i int) bool { return r.tables[i].MaxTG() >= lo })
-	// First table with MinTG > hi.
-	j := sort.Search(len(r.tables), func(j int) bool { return r.tables[j].MinTG() > hi })
-	if i > j {
-		i = j
-	}
-	return i, j
+	return overlapTables(r.tables, lo, hi)
 }
+
+// Immutability rule: r.tables is published to lock-free readers via
+// Engine.Snapshot, so every mutation below installs a freshly allocated
+// slice instead of writing through the existing backing array. A snapshot
+// holding the old header keeps seeing the old, fully consistent run.
 
 // replace substitutes tables[i:j] with newTables, which must be sorted and
 // must preserve the run's non-overlap invariant.
@@ -64,7 +62,9 @@ func (r *run) appendTable(t *sstable.Table) bool {
 	if last, ok := r.lastTG(); ok && t.MinTG() <= last {
 		return false
 	}
-	r.tables = append(r.tables, t)
+	out := make([]*sstable.Table, len(r.tables), len(r.tables)+1)
+	copy(out, r.tables)
+	r.tables = append(out, t)
 	return true
 }
 

@@ -33,75 +33,18 @@ func (s ScanStats) ReadAmplification() float64 {
 
 // Scan returns all points with generation time in [lo, hi], merged across
 // memtables and the run, sorted by generation time, with read-cost
-// accounting.
+// accounting. The engine lock is held only for the O(1) snapshot: the
+// k-way merge itself runs lock-free, so a scan of an arbitrarily large
+// range never stalls Put/PutBatch or the background compactor.
 func (e *Engine) Scan(lo, hi int64) ([]series.Point, ScanStats) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var st ScanStats
-
-	var disk []series.Point
-	i, j := e.run.overlapRange(lo, hi)
-	for _, t := range e.run.tables[i:j] {
-		st.TablesTouched++
-		st.TablePoints += t.Len()
-		disk = append(disk, t.Scan(lo, hi)...)
-	}
-	// Async mode: pending L0 tables may overlap the range (and each other);
-	// merge them in table order so later tables shadow earlier ones.
-	for _, t := range e.l0 {
-		if !t.Overlaps(lo, hi) {
-			continue
-		}
-		st.TablesTouched++
-		st.TablePoints += t.Len()
-		disk = series.MergeByTG(disk, t.Scan(lo, hi))
-	}
-
-	var mem []series.Point
-	for _, mt := range []interface {
-		Scan(lo, hi int64) []series.Point
-	}{e.c0, e.cseq, e.cnonseq} {
-		pts := mt.Scan(lo, hi)
-		st.MemPoints += len(pts)
-		if len(pts) > 0 {
-			mem = series.MergeByTG(mem, pts)
-		}
-	}
-
-	out := series.MergeByTG(disk, mem)
-	st.ResultPoints = len(out)
-	return out, st
+	return e.Snapshot().Scan(lo, hi)
 }
 
 // Get returns the point with generation time tg, looking in memtables
-// first, then in the run (at most one table can contain tg).
+// first, then L0 (newest first), then the run (at most one table can
+// contain tg). Like Scan, the lookup runs on a snapshot outside the lock.
 func (e *Engine) Get(tg int64) (series.Point, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if p, ok := e.c0.Get(tg); ok {
-		return p, true
-	}
-	if p, ok := e.cseq.Get(tg); ok {
-		return p, true
-	}
-	if p, ok := e.cnonseq.Get(tg); ok {
-		return p, true
-	}
-	// Newest L0 tables shadow older ones and the run.
-	for k := len(e.l0) - 1; k >= 0; k-- {
-		if t := e.l0[k]; t.Overlaps(tg, tg) {
-			if p, ok := t.Get(tg); ok {
-				return p, true
-			}
-		}
-	}
-	i, j := e.run.overlapRange(tg, tg)
-	for _, t := range e.run.tables[i:j] {
-		if p, ok := t.Get(tg); ok {
-			return p, true
-		}
-	}
-	return series.Point{}, false
+	return e.Snapshot().Get(tg)
 }
 
 // MaxTG returns the largest generation time visible anywhere in the engine

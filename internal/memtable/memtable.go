@@ -32,6 +32,12 @@ type MemTable struct {
 	rng    *rand.Rand
 	minTG  int64
 	maxTG  int64
+
+	// snap caches the frozen image handed out by Snapshot. It is
+	// invalidated by any mutation (Put, Reset), so repeated snapshots of a
+	// quiescent memtable are O(1) and share one immutable slice.
+	snap      []series.Point
+	snapValid bool
 }
 
 // New returns an empty memtable. seed makes the skiplist shape
@@ -85,6 +91,7 @@ func (m *MemTable) findGreaterOrEqual(tg int64, prev *[maxHeight]*node) *node {
 // Put inserts or overwrites the point keyed by p.TG. It returns true when a
 // new key was inserted, false when an existing key was overwritten.
 func (m *MemTable) Put(p series.Point) bool {
+	m.invalidateSnap()
 	var prev [maxHeight]*node
 	x := m.findGreaterOrEqual(p.TG, &prev)
 	if x != nil && x.point.TG == p.TG {
@@ -113,6 +120,14 @@ func (m *MemTable) Put(p series.Point) bool {
 	return true
 }
 
+// invalidateSnap drops the cached frozen image after any mutation. The
+// previously returned slice stays valid and immutable — readers holding it
+// simply see the pre-mutation state.
+func (m *MemTable) invalidateSnap() {
+	m.snap = nil
+	m.snapValid = false
+}
+
 // Get returns the point with generation time tg.
 func (m *MemTable) Get(tg int64) (series.Point, bool) {
 	x := m.findGreaterOrEqual(tg, nil)
@@ -131,18 +146,40 @@ func (m *MemTable) Points() []series.Point {
 	return out
 }
 
+// Snapshot returns an immutable frozen image of the memtable's points,
+// sorted ascending by generation time. The slice is cached: consecutive
+// snapshots with no interleaved mutation return the same slice without
+// copying, so an engine snapshot of a quiescent memtable is O(1). Callers
+// must treat the result as read-only; it stays valid (showing the state at
+// snapshot time) across later mutations.
+func (m *MemTable) Snapshot() []series.Point {
+	if !m.snapValid {
+		m.snap = m.Points()
+		m.snapValid = true
+	}
+	return m.snap
+}
+
 // Scan returns buffered points with generation time in [lo, hi].
 func (m *MemTable) Scan(lo, hi int64) []series.Point {
-	var out []series.Point
+	return m.AppendRange(nil, lo, hi)
+}
+
+// AppendRange appends the buffered points with generation time in [lo, hi]
+// to dst and returns the extended slice. It lets callers that scan several
+// memtables (or scan repeatedly) reuse one allocation instead of taking a
+// fresh slice per memtable per scan.
+func (m *MemTable) AppendRange(dst []series.Point, lo, hi int64) []series.Point {
 	for x := m.findGreaterOrEqual(lo, nil); x != nil && x.point.TG <= hi; x = x.next[0] {
-		out = append(out, x.point)
+		dst = append(dst, x.point)
 	}
-	return out
+	return dst
 }
 
 // Reset clears the memtable for reuse, keeping its allocated head node and
 // RNG stream.
 func (m *MemTable) Reset() {
+	m.invalidateSnap()
 	for i := range m.head.next {
 		m.head.next[i] = nil
 	}

@@ -182,3 +182,56 @@ func BenchmarkGet(b *testing.B) {
 		m.Get(int64(i) & (1<<14 - 1))
 	}
 }
+
+func TestAppendRange(t *testing.T) {
+	m := New(1)
+	for _, tg := range []int64{5, 1, 9, 3, 7} {
+		m.Put(series.Point{TG: tg, V: float64(tg)})
+	}
+	// Appends onto dst without disturbing existing elements.
+	dst := []series.Point{{TG: -1}}
+	dst = m.AppendRange(dst, 3, 7)
+	want := []int64{-1, 3, 5, 7}
+	if len(dst) != len(want) {
+		t.Fatalf("AppendRange len = %d, want %d", len(dst), len(want))
+	}
+	for i, tg := range want {
+		if dst[i].TG != tg {
+			t.Errorf("dst[%d].TG = %d, want %d", i, dst[i].TG, tg)
+		}
+	}
+	// Empty range appends nothing and preserves dst.
+	if got := m.AppendRange(dst[:1], 100, 200); len(got) != 1 {
+		t.Errorf("empty-range AppendRange len = %d, want 1", len(got))
+	}
+}
+
+func TestSnapshotFrozenAcrossMutation(t *testing.T) {
+	m := New(1)
+	for tg := int64(0); tg < 10; tg += 2 {
+		m.Put(series.Point{TG: tg, V: float64(tg)})
+	}
+	snap := m.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("Snapshot len = %d, want 5", len(snap))
+	}
+	// Cached: a second call without mutation returns the same image.
+	if again := m.Snapshot(); &again[0] != &snap[0] {
+		t.Error("Snapshot should be cached while the memtable is unchanged")
+	}
+	// Mutations (insert and overwrite) must not alter the taken image.
+	m.Put(series.Point{TG: 1, V: 100})
+	m.Put(series.Point{TG: 0, V: 100})
+	for i, p := range snap {
+		if p.TG != int64(2*i) || p.V != float64(2*i) {
+			t.Fatalf("frozen image changed at %d: %+v", i, p)
+		}
+	}
+	if next := m.Snapshot(); len(next) != 6 {
+		t.Errorf("post-mutation Snapshot len = %d, want 6", len(next))
+	}
+	m.Reset()
+	if len(m.Snapshot()) != 0 {
+		t.Error("Snapshot after Reset should be empty")
+	}
+}

@@ -99,6 +99,41 @@ func (h *Histogram) Bins() ([]float64, []int64) {
 // OutOfRange returns the under/over tallies.
 func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
 
+// Quantile returns an approximate p-quantile (0 < p < 1) from the binned
+// counts, interpolating linearly inside the bin where the cumulative count
+// crosses p. Under-range observations resolve to lo, over-range to hi.
+// Returns 0 when the histogram is empty. The error is bounded by one bin
+// width, which is what the read-path latency reporting needs without
+// retaining raw samples.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.total)
+	cum := float64(h.under)
+	if rank <= cum {
+		return h.lo
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.binsize
+		}
+		cum = next
+	}
+	return h.hi
+}
+
 // Render draws an ASCII bar chart of the histogram, width characters wide,
 // for terminal reports.
 func (h *Histogram) Render(width int) string {

@@ -40,25 +40,38 @@ func (b Bucket) Mean() float64 {
 }
 
 // Aggregate downsamples [lo, hi] into buckets of the given width. Empty
-// buckets are omitted. The scan statistics of the underlying engine scan
-// are returned for cost accounting.
+// buckets are omitted. Points are folded straight off a streaming snapshot
+// iterator — the raw range is never materialized, so aggregating an
+// arbitrarily large window costs O(buckets) memory and holds no engine
+// lock. The scan statistics of the underlying snapshot read are returned
+// for cost accounting.
 func Aggregate(e *lsm.Engine, lo, hi, width int64) ([]Bucket, lsm.ScanStats, error) {
 	if width <= 0 {
 		return nil, lsm.ScanStats{}, ErrBadBucket
 	}
-	pts, st := e.Scan(lo, hi)
-	return AggregatePoints(pts, lo, width), st, nil
+	it := e.NewIterator(lo, hi)
+	buckets := AggregateIter(it, lo, width)
+	return buckets, it.Stats(), nil
 }
 
-// AggregatePoints folds already-fetched points (sorted by generation time)
-// into buckets anchored at origin with the given width.
-func AggregatePoints(pts []series.Point, origin, width int64) []Bucket {
-	if width <= 0 || len(pts) == 0 {
+// PointIter is the streaming point source AggregateIter folds: satisfied
+// by *lsm.MergeIterator.
+type PointIter interface {
+	Next() bool
+	Point() series.Point
+}
+
+// AggregateIter folds an iterator's points (ascending generation time)
+// into buckets anchored at origin with the given width, one pass, nothing
+// materialized.
+func AggregateIter(it PointIter, origin, width int64) []Bucket {
+	if width <= 0 {
 		return nil
 	}
 	var out []Bucket
 	var cur *Bucket
-	for _, p := range pts {
+	for it.Next() {
+		p := it.Point()
 		start := origin + (p.TG-origin)/width*width
 		if p.TG < origin {
 			// Floor division toward -inf for points before the origin.
@@ -85,3 +98,28 @@ func AggregatePoints(pts []series.Point, origin, width int64) []Bucket {
 	}
 	return out
 }
+
+// AggregatePoints folds already-fetched points (sorted by generation time)
+// into buckets anchored at origin with the given width.
+func AggregatePoints(pts []series.Point, origin, width int64) []Bucket {
+	if len(pts) == 0 {
+		return nil
+	}
+	return AggregateIter(&sliceIter{pts: pts}, origin, width)
+}
+
+// sliceIter adapts a point slice to PointIter.
+type sliceIter struct {
+	pts []series.Point
+	pos int
+}
+
+func (s *sliceIter) Next() bool {
+	if s.pos >= len(s.pts) {
+		return false
+	}
+	s.pos++
+	return true
+}
+
+func (s *sliceIter) Point() series.Point { return s.pts[s.pos-1] }

@@ -49,7 +49,14 @@ func IsSortedByTG(ps []Point) bool {
 // time, the point from b (the newer data) wins, matching LSM upsert
 // semantics where later writes shadow earlier ones.
 func MergeByTG(a, b []Point) []Point {
-	out := make([]Point, 0, len(a)+len(b))
+	return MergeByTGInto(make([]Point, 0, len(a)+len(b)), a, b)
+}
+
+// MergeByTGInto merges a and b (as MergeByTG) appending into dst, which
+// must not alias a or b. Callers that merge in a loop pass a slice with
+// spare capacity to avoid re-allocating the output on every merge.
+func MergeByTGInto(dst, a, b []Point) []Point {
+	out := dst
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

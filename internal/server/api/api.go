@@ -80,11 +80,14 @@ type BucketJSON struct {
 	Last  float64 `json:"last"`
 }
 
-// AggregateResponse is the /aggregate body.
+// AggregateResponse is the /aggregate body. Stats carries the read-cost
+// accounting of the underlying snapshot scan (the buckets are folded
+// streaming off an iterator, so this is the only place the cost surfaces).
 type AggregateResponse struct {
-	Series  string       `json:"series"`
-	Width   int64        `json:"width"`
-	Buckets []BucketJSON `json:"buckets"`
+	Series  string        `json:"series"`
+	Width   int64         `json:"width"`
+	Buckets []BucketJSON  `json:"buckets"`
+	Stats   ScanStatsJSON `json:"stats"`
 }
 
 // SeriesResponse is the /series body.
@@ -120,6 +123,30 @@ type SeriesStatsJSON struct {
 type StatsResponse struct {
 	TotalWA float64           `json:"total_wa"`
 	Series  []SeriesStatsJSON `json:"series"`
+}
+
+// ReadStatsJSON is the server-side read-path accounting for one series:
+// cumulative ScanStats sums over every scan/aggregate served since start,
+// the most recent scan's ScanStats, and latency quantiles from the
+// per-series scan-latency histogram.
+type ReadStatsJSON struct {
+	Scans              int64          `json:"scans"`
+	TablesTouched      int64          `json:"tables_touched"`
+	TablePoints        int64          `json:"table_points"`
+	MemPoints          int64          `json:"mem_points"`
+	ResultPoints       int64          `json:"result_points"`
+	ReadAmplification  float64        `json:"read_amplification"`
+	LatencyP50Seconds  float64        `json:"latency_p50_seconds"`
+	LatencyP99Seconds  float64        `json:"latency_p99_seconds"`
+	LatencyMeanSeconds float64        `json:"latency_mean_seconds"`
+	LastScan           *ScanStatsJSON `json:"last_scan,omitempty"`
+}
+
+// SeriesDetailResponse is the /series/{series}/stats body: the same engine
+// counters as one /stats entry plus the server's read-path accounting.
+type SeriesDetailResponse struct {
+	SeriesStatsJSON
+	Read ReadStatsJSON `json:"read"`
 }
 
 // ErrorResponse is the body of non-2xx responses (except 429, which uses

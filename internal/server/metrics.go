@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -64,6 +65,68 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "lsmd_write_request_seconds_bucket{le=\"+Inf\"} %d\n", total)
 	fmt.Fprintf(&b, "lsmd_write_request_seconds_sum %g\n", sum)
 	fmt.Fprintf(&b, "lsmd_write_request_seconds_count %d\n", total)
+
+	// Per-series read-path accounting: scan counters, tables touched,
+	// read amplification, and the scan-latency histogram, all fed by
+	// observeRead on every scan/aggregate. Snapshot the map under readMu,
+	// then render without the lock.
+	type readRow struct {
+		name          string
+		scans         int64
+		tablesTouched int64
+		readAmp       float64
+		edges         []float64
+		counts        []int64
+		total         int64
+		sum           float64
+	}
+	s.readMu.Lock()
+	readRows := make([]readRow, 0, len(s.reads))
+	for name, rs := range s.reads {
+		edges, counts := rs.lat.Bins()
+		readRows = append(readRows, readRow{
+			name:          name,
+			scans:         rs.scans,
+			tablesTouched: rs.tablesTouched,
+			readAmp:       rs.readAmplification(),
+			edges:         edges,
+			counts:        counts,
+			total:         rs.lat.Count(),
+			sum:           rs.lat.Mean() * float64(rs.lat.Count()),
+		})
+	}
+	s.readMu.Unlock()
+	sort.Slice(readRows, func(i, j int) bool { return readRows[i].name < readRows[j].name })
+	fmt.Fprintf(&b, "# HELP lsmd_series_scans_total Scan and aggregate requests served per series.\n# TYPE lsmd_series_scans_total counter\n")
+	for _, rr := range readRows {
+		fmt.Fprintf(&b, "lsmd_series_scans_total{series=%q} %d\n", rr.name, rr.scans)
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_series_scan_tables_touched_total SSTables overlapping scan ranges, summed over scans, per series.\n# TYPE lsmd_series_scan_tables_touched_total counter\n")
+	for _, rr := range readRows {
+		fmt.Fprintf(&b, "lsmd_series_scan_tables_touched_total{series=%q} %d\n", rr.name, rr.tablesTouched)
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_series_read_amplification Points read over points returned, cumulative per series.\n# TYPE lsmd_series_read_amplification gauge\n")
+	for _, rr := range readRows {
+		fmt.Fprintf(&b, "lsmd_series_read_amplification{series=%q} %g\n", rr.name, rr.readAmp)
+	}
+	fmt.Fprintf(&b, "# HELP lsmd_series_scan_seconds Scan/aggregate latency per series.\n# TYPE lsmd_series_scan_seconds histogram\n")
+	for _, rr := range readRows {
+		var cum int64
+		bw := 0.0
+		if len(rr.edges) > 1 {
+			bw = rr.edges[1] - rr.edges[0]
+		}
+		for i, c := range rr.counts {
+			cum += c
+			if c == 0 && i != 0 && i != len(rr.counts)-1 {
+				continue
+			}
+			fmt.Fprintf(&b, "lsmd_series_scan_seconds_bucket{series=%q,le=\"%g\"} %d\n", rr.name, rr.edges[i]+bw, cum)
+		}
+		fmt.Fprintf(&b, "lsmd_series_scan_seconds_bucket{series=%q,le=\"+Inf\"} %d\n", rr.name, rr.total)
+		fmt.Fprintf(&b, "lsmd_series_scan_seconds_sum{series=%q} %g\n", rr.name, rr.sum)
+		fmt.Fprintf(&b, "lsmd_series_scan_seconds_count{series=%q} %d\n", rr.name, rr.total)
+	}
 
 	// Per-series engine counters from the tsdb layer.
 	stats := s.db.Stats()

@@ -12,12 +12,14 @@
 //	GET  /scan       ?series=S&lo=&hi=
 //	GET  /aggregate  ?series=S&lo=&hi=&width=
 //	GET  /series
+//	GET  /series/{series}/stats
 //	GET  /stats
 //	GET  /metrics    Prometheus text format
 //	GET  /healthz
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -33,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/lsm"
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/series"
@@ -86,7 +89,55 @@ type Server struct {
 	latMu    sync.Mutex
 	writeLat *metrics.Histogram // write request latency, seconds
 
+	// readMu guards reads, the per-series read-path accounting fed by every
+	// scan/aggregate: cumulative ScanStats sums, the last scan's ScanStats,
+	// and a scan-latency histogram. Exposed on /metrics and
+	// /series/{series}/stats.
+	readMu sync.Mutex
+	reads  map[string]*seriesReadStats
+
 	closed atomic.Bool
+}
+
+// seriesReadStats accumulates one series' server-side read accounting.
+type seriesReadStats struct {
+	scans         int64
+	tablesTouched int64
+	tablePoints   int64
+	memPoints     int64
+	resultPoints  int64
+	last          lsm.ScanStats
+	lat           *metrics.Histogram // seconds
+}
+
+// readAmplification returns the cumulative points-read / points-returned
+// ratio across every scan served for the series.
+func (rs *seriesReadStats) readAmplification() float64 {
+	if rs.resultPoints == 0 {
+		return 0
+	}
+	return float64(rs.tablePoints+rs.memPoints) / float64(rs.resultPoints)
+}
+
+// observeRead folds one scan/aggregate's cost into the per-series read
+// accounting.
+func (s *Server) observeRead(name string, st lsm.ScanStats, d time.Duration) {
+	s.readMu.Lock()
+	defer s.readMu.Unlock()
+	rs := s.reads[name]
+	if rs == nil {
+		// 1ms bins over [0, 1s); slower scans land in the over-range tally
+		// and quantiles saturate at 1s.
+		rs = &seriesReadStats{lat: metrics.NewHistogram(0, 1, 1000)}
+		s.reads[name] = rs
+	}
+	rs.scans++
+	rs.tablesTouched += int64(st.TablesTouched)
+	rs.tablePoints += int64(st.TablePoints)
+	rs.memPoints += int64(st.MemPoints)
+	rs.resultPoints += int64(st.ResultPoints)
+	rs.last = st
+	rs.lat.Observe(d.Seconds())
 }
 
 // New builds a server over db. Call Start (or mount Handler yourself),
@@ -118,12 +169,14 @@ func New(cfg Config) (*Server, error) {
 		db:       cfg.DB,
 		pool:     newIngestPool(cfg.DB, cfg.Shards, cfg.QueueLen),
 		writeLat: metrics.NewHistogram(0, 10, 100), // 100ms buckets over [0,10s)
+		reads:    make(map[string]*seriesReadStats),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /write", s.handleWrite)
 	mux.HandleFunc("GET /scan", s.handleScan)
 	mux.HandleFunc("GET /aggregate", s.handleAggregate)
 	mux.HandleFunc("GET /series", s.handleSeries)
+	mux.HandleFunc("GET /series/{series}/stats", s.handleSeriesStats)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -289,34 +342,56 @@ func (s *Server) toEntry(p api.Point, now int64) entry {
 
 // ---- read path ----
 
+// scanStatsJSON converts engine scan accounting to its wire form.
+func scanStatsJSON(st lsm.ScanStats) api.ScanStatsJSON {
+	return api.ScanStatsJSON{
+		TablesTouched:     st.TablesTouched,
+		TablePoints:       st.TablePoints,
+		MemPoints:         st.MemPoints,
+		ResultPoints:      st.ResultPoints,
+		ReadAmplification: st.ReadAmplification(),
+	}
+}
+
+// handleScan streams the response straight off a snapshot merge iterator:
+// the point set is encoded to the wire as it is merged, so the server never
+// materializes a []series.Point for the range, and the engine lock is held
+// only for the O(1) snapshot. The body is the same api.ScanResponse object
+// as before, with "points" first and "count"/"stats" (only known at the
+// end) trailing — JSON object field order is insignificant to decoders.
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	s.scanRequests.Add(1)
 	name, lo, hi, ok := s.rangeParams(w, r)
 	if !ok {
 		return
 	}
-	pts, st, err := s.db.Scan(name, lo, hi)
+	start := time.Now()
+	it, err := s.db.SeriesIterator(name, lo, hi)
 	if err != nil {
 		s.queryError(w, err)
 		return
 	}
-	s.scannedPoints.Add(int64(len(pts)))
-	resp := api.ScanResponse{
-		Series: name,
-		Count:  len(pts),
-		Points: make([]api.PointJSON, len(pts)),
-		Stats: api.ScanStatsJSON{
-			TablesTouched:     st.TablesTouched,
-			TablePoints:       st.TablePoints,
-			MemPoints:         st.MemPoints,
-			ResultPoints:      st.ResultPoints,
-			ReadAmplification: st.ReadAmplification(),
-		},
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	nameJSON, _ := json.Marshal(name)
+	fmt.Fprintf(bw, `{"series":%s,"points":[`, nameJSON)
+	n := 0
+	for it.Next() {
+		if n > 0 {
+			bw.WriteByte(',')
+		}
+		p := it.Point()
+		pj, _ := json.Marshal(api.PointJSON{TG: p.TG, TA: p.TA, V: p.V})
+		bw.Write(pj)
+		n++
 	}
-	for i, p := range pts {
-		resp.Points[i] = api.PointJSON{TG: p.TG, TA: p.TA, V: p.V}
-	}
-	s.writeJSON(w, http.StatusOK, resp)
+	st := it.Stats()
+	stJSON, _ := json.Marshal(scanStatsJSON(st))
+	fmt.Fprintf(bw, "],\"count\":%d,\"stats\":%s}\n", n, stJSON)
+	bw.Flush()
+	s.scannedPoints.Add(int64(n))
+	s.observeRead(name, st, time.Since(start))
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -330,14 +405,23 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "width must be a positive integer")
 		return
 	}
-	pts, _, err := s.db.Scan(name, lo, hi)
+	start := time.Now()
+	it, err := s.db.SeriesIterator(name, lo, hi)
 	if err != nil {
 		s.queryError(w, err)
 		return
 	}
-	s.scannedPoints.Add(int64(len(pts)))
-	buckets := query.AggregatePoints(pts, lo, width)
-	resp := api.AggregateResponse{Series: name, Width: width, Buckets: make([]api.BucketJSON, len(buckets))}
+	// Fold buckets straight off the iterator: O(buckets) memory, no raw
+	// point slice, no engine lock.
+	buckets := query.AggregateIter(it, lo, width)
+	st := it.Stats()
+	s.scannedPoints.Add(int64(st.ResultPoints))
+	s.observeRead(name, st, time.Since(start))
+	resp := api.AggregateResponse{
+		Series: name, Width: width,
+		Buckets: make([]api.BucketJSON, len(buckets)),
+		Stats:   scanStatsJSON(st),
+	}
 	for i, b := range buckets {
 		resp.Buckets[i] = api.BucketJSON{
 			Start: b.Start, Count: b.Count, Min: b.Min, Max: b.Max,
@@ -355,33 +439,77 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, api.SeriesResponse{Series: names})
 }
 
+// seriesStatsJSON converts one series' engine counters to their wire form.
+func seriesStatsJSON(st tsdb.SeriesStats) api.SeriesStatsJSON {
+	e := api.SeriesStatsJSON{
+		Name:               st.Name,
+		Policy:             st.Policy.String(),
+		SeqCap:             st.SeqCap,
+		PointsIngested:     st.Stats.PointsIngested,
+		PointsWritten:      st.Stats.PointsWritten,
+		PointsRewritten:    st.Stats.PointsRewritten,
+		Flushes:            st.Stats.Flushes,
+		Compactions:        st.Stats.Compactions,
+		InOrderPoints:      st.Stats.InOrderPoints,
+		OutOfOrderPoints:   st.Stats.OutOfOrderPoints,
+		WriteAmplification: st.Stats.WriteAmplification(),
+	}
+	if st.Decision != nil {
+		e.Decision = &api.DecisionJSON{
+			Policy: st.Decision.Policy.String(),
+			NSeq:   st.Decision.NSeq,
+			Rc:     st.Decision.Rc,
+			Rs:     st.Decision.Rs,
+		}
+	}
+	return e
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := s.db.Stats()
 	resp := api.StatsResponse{TotalWA: s.db.TotalWA(), Series: make([]api.SeriesStatsJSON, len(stats))}
 	for i, st := range stats {
-		e := api.SeriesStatsJSON{
-			Name:               st.Name,
-			Policy:             st.Policy.String(),
-			SeqCap:             st.SeqCap,
-			PointsIngested:     st.Stats.PointsIngested,
-			PointsWritten:      st.Stats.PointsWritten,
-			PointsRewritten:    st.Stats.PointsRewritten,
-			Flushes:            st.Stats.Flushes,
-			Compactions:        st.Stats.Compactions,
-			InOrderPoints:      st.Stats.InOrderPoints,
-			OutOfOrderPoints:   st.Stats.OutOfOrderPoints,
-			WriteAmplification: st.Stats.WriteAmplification(),
-		}
-		if st.Decision != nil {
-			e.Decision = &api.DecisionJSON{
-				Policy: st.Decision.Policy.String(),
-				NSeq:   st.Decision.NSeq,
-				Rc:     st.Decision.Rc,
-				Rs:     st.Decision.Rs,
-			}
-		}
-		resp.Series[i] = e
+		resp.Series[i] = seriesStatsJSON(st)
 	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSeriesStats serves /series/{series}/stats: the series' engine
+// counters (same shape as its /stats entry) plus the server-side read-path
+// accounting — cumulative ScanStats, the last scan's ScanStats, and scan
+// latency quantiles from the per-series histogram.
+func (s *Server) handleSeriesStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("series")
+	var found *tsdb.SeriesStats
+	for _, st := range s.db.Stats() {
+		if st.Name == name {
+			st := st
+			found = &st
+			break
+		}
+	}
+	if found == nil {
+		s.writeError(w, http.StatusNotFound, "no such series %q", name)
+		return
+	}
+	resp := api.SeriesDetailResponse{SeriesStatsJSON: seriesStatsJSON(*found)}
+	s.readMu.Lock()
+	if rs := s.reads[name]; rs != nil {
+		last := scanStatsJSON(rs.last)
+		resp.Read = api.ReadStatsJSON{
+			Scans:              rs.scans,
+			TablesTouched:      rs.tablesTouched,
+			TablePoints:        rs.tablePoints,
+			MemPoints:          rs.memPoints,
+			ResultPoints:       rs.resultPoints,
+			ReadAmplification:  rs.readAmplification(),
+			LatencyP50Seconds:  rs.lat.Quantile(0.5),
+			LatencyP99Seconds:  rs.lat.Quantile(0.99),
+			LatencyMeanSeconds: rs.lat.Mean(),
+			LastScan:           &last,
+		}
+	}
+	s.readMu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -247,6 +247,20 @@ func (db *DB) Scan(name string, lo, hi int64) ([]series.Point, lsm.ScanStats, er
 	return pts, stats, nil
 }
 
+// SeriesIterator returns a streaming k-way merge iterator over the named
+// series' points in [lo, hi]. The iterator works on an immutable snapshot
+// taken under an O(1) critical section, so callers can stream arbitrarily
+// large ranges (network responses, aggregation folds) without holding any
+// engine lock or materializing the result; its Stats() carry the same
+// read-amplification accounting as Scan.
+func (db *DB) SeriesIterator(name string, lo, hi int64) (*lsm.MergeIterator, error) {
+	st, err := db.get(name, false)
+	if err != nil {
+		return nil, err
+	}
+	return st.engine.NewIterator(lo, hi), nil
+}
+
 // Get returns the point at generation time tg in the named series.
 func (db *DB) Get(name string, tg int64) (series.Point, bool, error) {
 	st, err := db.get(name, false)
