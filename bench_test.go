@@ -122,7 +122,7 @@ func BenchmarkScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lo := (int64(i) * 7919 * 50) % (span - 100_000)
-		pts, _ := e.Scan(lo, lo+100_000)
+		pts, _, _ := e.Scan(lo, lo+100_000)
 		if len(pts) == 0 {
 			b.Fatal("empty scan")
 		}

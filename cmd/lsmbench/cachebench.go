@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Cold-vs-warm block cache benchmark: measures what the lazy block-addressed
+// read path costs on first touch and what the shared LRU cache buys on
+// re-read. It ingests an out-of-order workload into a durable engine, closes
+// it so nothing is resident, reopens it, and runs the same set of range
+// scans three ways: cold (empty cache, every block decoded from storage),
+// warm (immediately re-scanned, every block served from the cache), and
+// uncached (cache disabled, every scan decodes every block every time).
+
+type cacheBenchConfig struct {
+	points     int
+	batch      int
+	dt         int64
+	mu         float64
+	sigma      float64
+	seed       int64
+	scans      int   // number of distinct scan windows
+	cacheBytes int64 // shared cache capacity
+	out        string
+}
+
+// cacheBenchReport is the machine-readable result (BENCH_4.json).
+type cacheBenchReport struct {
+	Name            string  `json:"name"`
+	Points          int     `json:"points"`
+	Scans           int     `json:"scans"`
+	CacheBytes      int64   `json:"cache_bytes"`
+	ColdSeconds     float64 `json:"cold_seconds"`
+	ColdBlocksRead  int64   `json:"cold_blocks_read"`
+	ColdBlocksHit   int64   `json:"cold_blocks_cached"`
+	WarmSeconds     float64 `json:"warm_seconds"`
+	WarmBlocksRead  int64   `json:"warm_blocks_read"`
+	WarmBlocksHit   int64   `json:"warm_blocks_cached"`
+	UncachedSeconds float64 `json:"uncached_seconds"`
+	WarmHitRate     float64 `json:"warm_hit_rate"`
+	WarmSpeedup     float64 `json:"warm_speedup"` // cold_seconds / warm_seconds
+	ResultPoints    int64   `json:"result_points"`
+}
+
+// scanWindows derives the deterministic scan set from the workload span.
+func scanWindows(rng *rand.Rand, maxTG int64, n int) [][2]int64 {
+	out := make([][2]int64, n)
+	for i := range out {
+		span := maxTG/8 + 1
+		lo := rng.Int63n(maxTG + 1)
+		out[i] = [2]int64{lo, lo + rng.Int63n(span)}
+	}
+	return out
+}
+
+// runScanSet scans every window once, returning wall seconds, summed block
+// counters, and total result points.
+func runScanSet(e *lsm.Engine, windows [][2]int64) (float64, int64, int64, int64) {
+	var blocksRead, blocksHit, results int64
+	start := time.Now()
+	for _, w := range windows {
+		pts, st, err := e.Scan(w[0], w[1])
+		if err != nil {
+			fatal("cachebench scan: %v", err)
+		}
+		blocksRead += st.BlocksRead
+		blocksHit += st.BlocksCached
+		results += int64(len(pts))
+	}
+	return time.Since(start).Seconds(), blocksRead, blocksHit, results
+}
+
+func runCacheBench(cfg cacheBenchConfig) {
+	dir, err := os.MkdirTemp("", "lsmbench-cache-")
+	if err != nil {
+		fatal("cachebench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	backend, err := storage.NewDiskBackend(dir)
+	if err != nil {
+		fatal("cachebench: %v", err)
+	}
+
+	pts := workload.Synthetic(cfg.points, cfg.dt, dist.NewLognormal(cfg.mu, cfg.sigma), cfg.seed)
+	engineCfg := lsm.Config{
+		Policy:        lsm.Conventional,
+		MemBudget:     4096,
+		SSTablePoints: 4096,
+		Backend:       backend,
+	}
+	loadEngine(engineCfg, pts, cfg.batch)
+
+	var maxTG int64
+	for _, p := range pts {
+		if p.TG > maxTG {
+			maxTG = p.TG
+		}
+	}
+	windows := scanWindows(rand.New(rand.NewSource(cfg.seed)), maxTG, cfg.scans)
+
+	rep := cacheBenchReport{
+		Name:       "cache_cold_warm",
+		Points:     cfg.points,
+		Scans:      cfg.scans,
+		CacheBytes: cfg.cacheBytes,
+	}
+
+	// Cold + warm: reopen with an empty shared cache; the first pass over
+	// the windows decodes from storage, the second re-reads the same blocks.
+	cachedCfg := engineCfg
+	cachedCfg.BlockCache = cache.New(cfg.cacheBytes)
+	e, err := lsm.Open(cachedCfg)
+	if err != nil {
+		fatal("cachebench reopen: %v", err)
+	}
+	rep.ColdSeconds, rep.ColdBlocksRead, rep.ColdBlocksHit, rep.ResultPoints = runScanSet(e, windows)
+	var warmResults int64
+	rep.WarmSeconds, rep.WarmBlocksRead, rep.WarmBlocksHit, warmResults = runScanSet(e, windows)
+	if warmResults != rep.ResultPoints {
+		fatal("cachebench: warm pass returned %d points, cold returned %d", warmResults, rep.ResultPoints)
+	}
+	if err := e.Close(); err != nil {
+		fatal("cachebench close: %v", err)
+	}
+
+	// Uncached reference: same windows, no cache at all.
+	e, err = lsm.Open(engineCfg)
+	if err != nil {
+		fatal("cachebench reopen uncached: %v", err)
+	}
+	rep.UncachedSeconds, _, _, _ = runScanSet(e, windows)
+	if err := e.Close(); err != nil {
+		fatal("cachebench close: %v", err)
+	}
+
+	if total := rep.WarmBlocksRead + rep.WarmBlocksHit; total > 0 {
+		rep.WarmHitRate = float64(rep.WarmBlocksHit) / float64(total)
+	}
+	if rep.WarmSeconds > 0 {
+		rep.WarmSpeedup = rep.ColdSeconds / rep.WarmSeconds
+	}
+
+	fmt.Printf("cache cold/warm benchmark: %d points, %d windows, cache %d bytes\n",
+		rep.Points, rep.Scans, rep.CacheBytes)
+	fmt.Printf("  cold:     %.3fs (%d blocks read, %d cached)\n", rep.ColdSeconds, rep.ColdBlocksRead, rep.ColdBlocksHit)
+	fmt.Printf("  warm:     %.3fs (%d blocks read, %d cached, hit rate %.1f%%)\n",
+		rep.WarmSeconds, rep.WarmBlocksRead, rep.WarmBlocksHit, 100*rep.WarmHitRate)
+	fmt.Printf("  uncached: %.3fs\n", rep.UncachedSeconds)
+	fmt.Printf("  warm speedup over cold: %.2fx\n", rep.WarmSpeedup)
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("cachebench: marshal report: %v", err)
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fatal("cachebench: write report: %v", err)
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+}
+
+// loadEngine ingests pts in batches and closes the engine, leaving the data
+// durable in the backend.
+func loadEngine(cfg lsm.Config, pts []series.Point, batch int) {
+	e, err := lsm.Open(cfg)
+	if err != nil {
+		fatal("cachebench open: %v", err)
+	}
+	for i := 0; i < len(pts); i += batch {
+		j := i + batch
+		if j > len(pts) {
+			j = len(pts)
+		}
+		if err := e.PutBatch(pts[i:j]); err != nil {
+			fatal("cachebench PutBatch: %v", err)
+		}
+	}
+	if err := e.FlushAll(); err != nil {
+		fatal("cachebench FlushAll: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		fatal("cachebench close: %v", err)
+	}
+}

@@ -45,6 +45,10 @@ func main() {
 		lsigma  = flag.Float64("lsigma", 2, "load mode: lognormal delay sigma")
 		lverify = flag.Bool("lverify", true, "load mode: scan every series afterwards and verify counts")
 
+		cachebench = flag.Bool("cachebench", false, "cache mode: cold-vs-warm block cache scan benchmark on a durable engine")
+		cscans     = flag.Int("cscans", 64, "cache mode: number of scan windows")
+		cachemb    = flag.Int64("cachemb", 32, "cache mode: shared block cache capacity in MiB")
+
 		mixed    = flag.Bool("mixed", false, "mixed mode: concurrent read/write benchmark on an in-process engine")
 		readers  = flag.Int("readers", 4, "mixed mode: concurrent scan goroutines")
 		mpoints  = flag.Int("mpoints", 200000, "mixed mode: points to ingest")
@@ -53,6 +57,21 @@ func main() {
 		benchout = flag.String("benchout", "", "mixed mode: write a machine-readable JSON report to this path")
 	)
 	flag.Parse()
+
+	if *cachebench {
+		runCacheBench(cacheBenchConfig{
+			points:     *mpoints,
+			batch:      *mbatch,
+			dt:         *ldt,
+			mu:         *lmu,
+			sigma:      *lsigma,
+			seed:       *seed,
+			scans:      *cscans,
+			cacheBytes: *cachemb << 20,
+			out:        *benchout,
+		})
+		return
+	}
 
 	if *mixed {
 		runMixed(mixedConfig{

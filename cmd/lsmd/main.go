@@ -44,6 +44,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "ingest worker shards (0: GOMAXPROCS, max 16)")
 		queue    = flag.Int("queue", 0, "per-shard ingest queue length in batches (0: 128)")
 		wal      = flag.Bool("wal", true, "write-ahead logging (durable mode only)")
+		cacheMB  = flag.Int("cache-mb", 0, "shared SSTable block cache capacity in MiB (durable mode; 0: 32 MiB default, negative: disabled)")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -70,6 +71,11 @@ func main() {
 		}
 		cfg.Backend = backend
 		cfg.Engine.WAL = *wal
+		if *cacheMB < 0 {
+			cfg.BlockCacheBytes = -1
+		} else {
+			cfg.BlockCacheBytes = int64(*cacheMB) << 20
+		}
 	}
 
 	db, err := tsdb.Open(cfg)

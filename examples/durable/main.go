@@ -62,14 +62,14 @@ func main() {
 	}
 	defer engine2.Close()
 
-	points, _ := engine2.Scan(0, int64(1)<<60)
+	points, _, _ := engine2.Scan(0, int64(1)<<60)
 	fmt.Printf("after recovery: %d points visible (want 15000)\n", len(points))
 
 	// Keep writing on the recovered engine.
 	if err := engine2.PutBatch(stream[15_000:]); err != nil {
 		log.Fatal(err)
 	}
-	points, scanStats := engine2.Scan(0, int64(1)<<60)
+	points, scanStats, _ := engine2.Scan(0, int64(1)<<60)
 	files, _ := backend2.List()
 	fmt.Printf("after resume: %d points in %d sstables (%d files on disk), WA %.3f\n",
 		len(points), scanStats.TablesTouched, len(files), engine2.Stats().WriteAmplification())

@@ -35,13 +35,13 @@ func main() {
 		}
 
 		// Point lookup by generation timestamp.
-		if p, ok := engine.Get(50 * 1000); ok {
+		if p, ok, _ := engine.Get(50 * 1000); ok {
 			fmt.Printf("[%s] point at t_g=50000: value %.3f (arrived %d ms late)\n",
 				policy.name, p.V, p.Delay())
 		}
 
 		// Range scan over generation time, with read-cost accounting.
-		points, stats := engine.Scan(1_000_000, 1_250_000)
+		points, stats, _ := engine.Scan(1_000_000, 1_250_000)
 		fmt.Printf("[%s] scan [1.0M, 1.25M]: %d points from %d sstables, read amplification %.2f\n",
 			policy.name, len(points), stats.TablesTouched, stats.ReadAmplification())
 

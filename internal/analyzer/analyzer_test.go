@@ -254,7 +254,7 @@ func TestAdaptiveControllerSwitchesOnDrift(t *testing.T) {
 		t.Errorf("Current() inconsistent: %+v, %v", cur, ok)
 	}
 	// All data must still be present.
-	pts, _ := ac.Engine().Scan(0, int64(1)<<40)
+	pts, _, _ := ac.Engine().Scan(0, int64(1)<<40)
 	if len(pts) != len(ps) {
 		t.Errorf("engine holds %d points, want %d", len(pts), len(ps))
 	}

@@ -120,6 +120,11 @@ func Decode(src []byte) (*Filter, int, error) {
 		return nil, 0, err
 	}
 	off += n
+	// Each word takes 8 bytes; a word count exceeding the remaining input
+	// is malformed, and rejecting it here bounds the allocation below.
+	if words > uint64(len(src)-off)/8 {
+		return nil, 0, encoding.ErrShortBuffer
+	}
 	bits := make([]uint64, words)
 	for i := range bits {
 		w, n, err := encoding.Uint64(src[off:])

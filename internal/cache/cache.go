@@ -1,0 +1,237 @@
+// Package cache provides the shared block cache behind lazy SSTable reads:
+// a sharded LRU keyed by (owner, block index) with a byte-capacity budget.
+// One Cache is shared by every series engine in a tsdb.DB, so the memory
+// ceiling for paged reads is a single configurable number regardless of how
+// many series or tables exist.
+//
+// Owners are table readers (one owner id per opened SSTable reader). When a
+// compaction retires a table, its owner's entries are evicted so the cache
+// cannot be polluted by blocks that can never be requested again.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cached block: the owning reader's id and the block's
+// index inside its table.
+type Key struct {
+	Owner uint64
+	Block uint32
+}
+
+// Stats is a point-in-time snapshot of the cache counters. Hits+Misses
+// equals the number of Get calls, i.e. the number of blocks requested
+// through the cache.
+type Stats struct {
+	// Hits counts Gets served from the cache.
+	Hits int64
+	// Misses counts Gets that found nothing.
+	Misses int64
+	// Evictions counts entries removed to make room or by owner eviction.
+	Evictions int64
+	// Inserts counts Puts that stored an entry.
+	Inserts int64
+	// Bytes is the current charged size of all resident entries.
+	Bytes int64
+	// Entries is the current number of resident entries.
+	Entries int
+}
+
+// entry is one resident block.
+type entry struct {
+	key  Key
+	val  any
+	size int64
+}
+
+// shard is one independently locked LRU.
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+}
+
+// Cache is a sharded LRU block cache, safe for concurrent use.
+type Cache struct {
+	shards    []*shard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	inserts   atomic.Int64
+	nextOwner atomic.Uint64
+}
+
+// minShardCapacity is the smallest per-shard budget worth splitting into:
+// below it a single shard is used so tiny caches (tests run with
+// one-block capacities) still behave like a strict LRU.
+const minShardCapacity = 64 << 10
+
+// New returns a cache bounded by capacity bytes. A non-positive capacity
+// yields a cache that stores nothing (every Get is a miss), which keeps
+// callers free of nil checks when caching is disabled.
+func New(capacity int64) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	n := 1
+	for n < 16 && capacity/int64(n*2) >= minShardCapacity {
+		n *= 2
+	}
+	c := &Cache{shards: make([]*shard, n)}
+	per := capacity / int64(n)
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[Key]*list.Element),
+		}
+	}
+	return c
+}
+
+// NewOwner allocates a fresh owner id, unique for the cache's lifetime.
+// Each opened SSTable reader takes one so its blocks are addressable (and
+// evictable) as a group.
+func (c *Cache) NewOwner() uint64 { return c.nextOwner.Add(1) }
+
+// shardFor picks the shard for a key.
+func (c *Cache) shardFor(k Key) *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	// Fibonacci hash over the owner/block pair; shard count is a power of 2.
+	h := (k.Owner*0x9E3779B97F4A7C15 + uint64(k.Block)*0xBF58476D1CE4E5B9) >> 32
+	return c.shards[h&uint64(len(c.shards)-1)]
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores v under k with the given charged size, evicting least
+// recently used entries until the shard fits its budget. Values larger
+// than the shard budget are not stored at all. Re-putting an existing key
+// replaces its value and size.
+func (c *Cache) Put(k Key, v any, size int64) {
+	s := c.shardFor(k)
+	if size <= 0 {
+		size = 1
+	}
+	if size > s.capacity {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.val, e.size = v, size
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[k] = s.ll.PushFront(&entry{key: k, val: v, size: size})
+		s.bytes += size
+		c.inserts.Add(1)
+	}
+	var evicted int64
+	for s.bytes > s.capacity {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// EvictOwner removes every entry belonging to owner, in all shards. Called
+// when a table is retired (compaction or retention) or its engine closes,
+// so dead tables cannot occupy cache capacity.
+func (c *Cache) EvictOwner(owner uint64) {
+	var evicted int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for k, el := range s.items {
+			if k.Owner != owner {
+				continue
+			}
+			e := el.Value.(*entry)
+			s.ll.Remove(el)
+			delete(s.items, k)
+			s.bytes -= e.size
+			evicted++
+		}
+		s.mu.Unlock()
+	}
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Capacity returns the total byte budget across shards.
+func (c *Cache) Capacity() int64 {
+	var total int64
+	for _, s := range c.shards {
+		total += s.capacity
+	}
+	return total
+}
+
+// Stats returns a snapshot of the counters and current occupancy.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Inserts:   c.inserts.Load(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		st.Entries += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Owners returns the distinct owner ids with at least one resident entry,
+// in no particular order. Used by leak tests to assert retired tables left
+// nothing behind.
+func (c *Cache) Owners() []uint64 {
+	seen := make(map[uint64]bool)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for k := range s.items {
+			seen[k.Owner] = true
+		}
+		s.mu.Unlock()
+	}
+	out := make([]uint64, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetAndLRUEviction(t *testing.T) {
+	c := New(100) // single shard (below minShardCapacity)
+	if len(c.shards) != 1 {
+		t.Fatalf("small cache should use 1 shard, got %d", len(c.shards))
+	}
+	o := c.NewOwner()
+	c.Put(Key{o, 0}, "a", 40)
+	c.Put(Key{o, 1}, "b", 40)
+	if v, ok := c.Get(Key{o, 0}); !ok || v.(string) != "a" {
+		t.Fatalf("Get(0) = %v, %v", v, ok)
+	}
+	// Inserting a third 40-byte entry must evict the LRU, which is block 1
+	// (block 0 was touched above).
+	c.Put(Key{o, 2}, "c", 40)
+	if _, ok := c.Get(Key{o, 1}); ok {
+		t.Fatal("block 1 should have been evicted")
+	}
+	if _, ok := c.Get(Key{o, 0}); !ok {
+		t.Fatal("block 0 should have survived (recently used)")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes != 80 || st.Entries != 2 {
+		t.Fatalf("Bytes/Entries = %d/%d, want 80/2", st.Bytes, st.Entries)
+	}
+}
+
+func TestHitsPlusMissesEqualsRequests(t *testing.T) {
+	c := New(1 << 20)
+	o := c.NewOwner()
+	requests := 0
+	for i := 0; i < 100; i++ {
+		k := Key{o, uint32(i % 10)}
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, i, 100)
+		}
+		requests++
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != int64(requests) {
+		t.Fatalf("hits(%d)+misses(%d) != requests(%d)", st.Hits, st.Misses, requests)
+	}
+	if st.Misses != 10 || st.Hits != 90 {
+		t.Fatalf("hits/misses = %d/%d, want 90/10", st.Hits, st.Misses)
+	}
+}
+
+func TestOversizeValueNotStored(t *testing.T) {
+	c := New(100)
+	o := c.NewOwner()
+	c.Put(Key{o, 0}, "huge", 101)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversize value was stored: %+v", st)
+	}
+}
+
+func TestZeroCapacityStoresNothing(t *testing.T) {
+	c := New(0)
+	o := c.NewOwner()
+	c.Put(Key{o, 0}, "x", 1)
+	if _, ok := c.Get(Key{o, 0}); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+func TestEvictOwner(t *testing.T) {
+	c := New(4 << 20) // multiple shards
+	if len(c.shards) < 2 {
+		t.Fatalf("expected sharded cache, got %d shards", len(c.shards))
+	}
+	o1, o2 := c.NewOwner(), c.NewOwner()
+	for i := uint32(0); i < 64; i++ {
+		c.Put(Key{o1, i}, i, 1000)
+		c.Put(Key{o2, i}, i, 1000)
+	}
+	c.EvictOwner(o1)
+	for i := uint32(0); i < 64; i++ {
+		if _, ok := c.Get(Key{o1, i}); ok {
+			t.Fatalf("owner 1 block %d survived EvictOwner", i)
+		}
+		if _, ok := c.Get(Key{o2, i}); !ok {
+			t.Fatalf("owner 2 block %d was wrongly evicted", i)
+		}
+	}
+	owners := c.Owners()
+	if len(owners) != 1 || owners[0] != o2 {
+		t.Fatalf("Owners() = %v, want [%d]", owners, o2)
+	}
+}
+
+func TestReplaceAdjustsBytes(t *testing.T) {
+	c := New(1000)
+	o := c.NewOwner()
+	c.Put(Key{o, 0}, "a", 100)
+	c.Put(Key{o, 0}, "b", 300)
+	st := c.Stats()
+	if st.Bytes != 300 || st.Entries != 1 {
+		t.Fatalf("Bytes/Entries = %d/%d, want 300/1", st.Bytes, st.Entries)
+	}
+	if v, _ := c.Get(Key{o, 0}); v.(string) != "b" {
+		t.Fatalf("value not replaced: %v", v)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(256 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			o := c.NewOwner()
+			for i := 0; i < 2000; i++ {
+				k := Key{o, uint32(i % 50)}
+				if v, ok := c.Get(k); ok {
+					if v.(string) != fmt.Sprintf("%d-%d", o, i%50) {
+						panic("wrong value for key")
+					}
+				} else {
+					c.Put(k, fmt.Sprintf("%d-%d", o, i%50), 512)
+				}
+				if i%500 == 0 {
+					c.EvictOwner(o)
+				}
+			}
+			c.EvictOwner(o)
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("all owners evicted but cache not empty: %+v", st)
+	}
+}

@@ -124,6 +124,11 @@ func DecodeDeltas(src []byte, count int) ([]int64, int, error) {
 	if count == 0 {
 		return nil, 0, nil
 	}
+	// Each value takes at least one byte, so a count beyond len(src) can
+	// never decode; rejecting it first bounds the allocation below.
+	if count > len(src) {
+		return nil, 0, ErrShortBuffer
+	}
 	vals := make([]int64, count)
 	off := 0
 	v, n, err := Varint(src)

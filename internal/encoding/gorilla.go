@@ -70,6 +70,12 @@ func DecodeGorilla(src []byte, count int) ([]float64, int, error) {
 	if count == 0 {
 		return nil, 0, nil
 	}
+	// After the 8-byte first value, each value takes at least one bit, so
+	// a count beyond 8*len(src) can never decode; rejecting it first
+	// bounds the allocation below.
+	if count > 8*len(src) {
+		return nil, 0, ErrShortBuffer
+	}
 	r := NewBitReader(src)
 	first, err := r.ReadBits(64)
 	if err != nil {

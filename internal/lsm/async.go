@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/memtable"
-	"repro/internal/series"
 	"repro/internal/sstable"
 )
 
@@ -71,17 +70,19 @@ func (e *Engine) startCompactor() {
 }
 
 // compactorLoop consumes L0 tables in FIFO order, merging each into the
-// run as the synchronous path would — but both the expensive k-way merge
-// AND the backend I/O for the new SSTable objects run outside the engine
-// lock, so ingestion is stalled by neither CPU merging nor disk writes.
+// run as the synchronous path would — but the block reads of the
+// overlapped tables, the streaming merge, AND the backend I/O for the new
+// SSTable objects all run outside the engine lock, so ingestion is stalled
+// by neither disk reads, CPU merging, nor disk writes.
 //
 // Lock discipline per iteration (see DESIGN.md §7.2 invariant 2 and §7.3):
 //
-//	lock:    snapshot the head table, its overlap window in the run, and
-//	         the overlapped points; reserve output table IDs.
-//	unlock:  merge the points and write the new SSTable objects to the
-//	         backend (the "persist" step — a crash here leaves orphans
-//	         that recovery removes; nothing references them yet).
+//	lock:    snapshot the head table and its overlap window in the run;
+//	         reserve output table IDs.
+//	unlock:  stream-merge the overlapped tables' blocks with the head
+//	         table's points and write each output SSTable object as it is
+//	         cut (the "persist" step — a crash here leaves orphans that
+//	         recovery removes; nothing references them yet).
 //	lock:    install the new tables in the run (copy-on-write), commit
 //	         the manifest (the commit point), retire old objects, and
 //	         shrink the WAL — all ordered behind the commit.
@@ -89,7 +90,8 @@ func (e *Engine) startCompactor() {
 // The overlap window snapshot stays valid across the unlocked section
 // because the compactor is the only run mutator while the L0 queue is
 // non-empty: every other mutator (FlushAll, SetPolicy, DropBefore) drains
-// the queue under the lock before touching the run.
+// the queue under the lock before touching the run. The overlapped handles
+// themselves are immutable, so reading their blocks off-lock is safe.
 func (e *Engine) compactorLoop() {
 	defer close(e.bgDone)
 	for {
@@ -107,51 +109,51 @@ func (e *Engine) compactorLoop() {
 		pts := t.Points()
 		lo, hi := pts[0].TG, pts[len(pts)-1].TG
 		i, j := e.run.overlapRange(lo, hi)
-		old := e.run.collectPoints(i, j)
-		var subsequent int
-		if e.OnCompaction != nil {
-			subsequent = e.run.pointsGreaterThan(lo)
+		overlapping := make([]sstable.TableHandle, j-i)
+		copy(overlapping, e.run.tables[i:j])
+		var oldCount int
+		for _, h := range overlapping {
+			oldCount += h.Len()
 		}
+		runSnapshot := e.run.tables
 		// Reserve IDs for the merge output now so the tables can be built
-		// and persisted without the lock. len(old)+len(pts) bounds the
+		// and persisted without the lock. oldCount+len(pts) bounds the
 		// merged size; duplicate collapses may leave ID gaps, which are
 		// harmless (IDs only need to be unique and monotone).
 		chunk := e.cfg.SSTablePoints
 		idBase := e.nextID
-		e.nextID += uint64((len(old)+len(pts))/chunk) + 1
+		e.nextID += uint64((oldCount+len(pts))/chunk) + 1
 		e.mu.Unlock()
 
-		merged := pts
-		if len(old) > 0 {
-			merged = series.MergeByTG(old, pts)
+		var subsequent int
+		if e.OnCompaction != nil {
+			// Counting reads table blocks; do it off-lock on the immutable
+			// run snapshot (valid: the compactor is the sole run mutator).
+			subsequent = pointsGreaterThan(runSnapshot, lo)
 		}
-		newTables, err := buildTablesFrom(merged, chunk, idBase)
-		if err == nil {
-			// Persist step of invariant 2, off the lock: object writes are
-			// the bulk of a compaction's I/O, and until the manifest commit
-			// below nothing references them.
-			err = e.persistTables(newTables)
-		}
+		nextID := idBase
+		newTables, merged, err := streamMerge(overlapping, pts, chunk,
+			func() uint64 { id := nextID; nextID++; return id },
+			e.persistTable)
 
 		e.mu.Lock()
 		if err == nil {
-			overlapping := make([]*sstable.Table, j-i)
-			copy(overlapping, e.run.tables[i:j])
 			e.run.replace(i, j, newTables)
 			err = e.commitReplace(overlapping)
-			e.stats.PointsWritten += int64(len(merged))
-			if len(old) == 0 {
+			retireHandles(overlapping)
+			e.stats.PointsWritten += int64(merged)
+			if oldCount == 0 {
 				e.stats.Flushes++
 			} else {
 				e.stats.Compactions++
-				e.stats.PointsRewritten += int64(len(old))
+				e.stats.PointsRewritten += int64(oldCount)
 				e.stats.TablesRewritten += int64(len(overlapping))
 				if e.OnCompaction != nil {
 					e.OnCompaction(CompactionInfo{
 						MemPoints:        len(pts),
 						SubsequentPoints: subsequent,
-						RewrittenPoints:  len(old),
-						OutputPoints:     len(merged),
+						RewrittenPoints:  oldCount,
+						OutputPoints:     merged,
 						TablesIn:         len(overlapping),
 						TablesOut:        len(newTables),
 					})

@@ -84,7 +84,7 @@ func TestAsyncScanSeesPendingL0(t *testing.T) {
 	for i := int64(0); i < 95; i++ {
 		e.Put(series.Point{TG: i, TA: i, V: float64(i)})
 	}
-	got, _ := e.Scan(0, 100)
+	got, _, _ := e.Scan(0, 100)
 	if len(got) != 95 {
 		t.Fatalf("scan during async ingest: %d points, want 95", len(got))
 	}
@@ -105,7 +105,7 @@ func TestAsyncGetDuringIngest(t *testing.T) {
 		}
 	}
 	for _, p := range ps[:100] {
-		if got, ok := e.Get(p.TG); !ok || got.V != p.V {
+		if got, ok, _ := e.Get(p.TG); !ok || got.V != p.V {
 			t.Fatalf("Get(%d) during async = %v, %v", p.TG, got, ok)
 		}
 	}
@@ -129,7 +129,7 @@ func TestAsyncConcurrentReaders(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				pts, _ := e.Scan(0, 1<<40)
+				pts, _, _ := e.Scan(0, 1<<40)
 				if !series.IsSortedByTG(pts) {
 					t.Error("unsorted scan under concurrency")
 					return

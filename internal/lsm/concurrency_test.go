@@ -87,7 +87,7 @@ func TestConcurrentReadsSeeAcknowledgedPrefix(t *testing.T) {
 			defer wg.Done()
 			for !done.Load() {
 				before := acked.Load()
-				pts, st := e.Scan(math.MinInt64+1, math.MaxInt64)
+				pts, st, _ := e.Scan(math.MinInt64+1, math.MaxInt64)
 				after := acked.Load()
 				if !series.IsSortedByTG(pts) {
 					t.Error("scan: result not sorted by TG")
@@ -123,7 +123,7 @@ func TestConcurrentReadsSeeAcknowledgedPrefix(t *testing.T) {
 				}
 				b := rng.Int63n(a)
 				want := batches[b][rng.Intn(batchSize)]
-				got, ok := e.Get(want.TG)
+				got, ok, _ := e.Get(want.TG)
 				if !ok || got.V != want.V {
 					t.Errorf("get(%d): got (%+v, %v), want value %g from acked batch %d", want.TG, got, ok, want.V, b)
 					return
@@ -178,7 +178,7 @@ func TestConcurrentReadsSeeAcknowledgedPrefix(t *testing.T) {
 	if err := e.FlushAll(); err != nil {
 		t.Fatalf("FlushAll: %v", err)
 	}
-	pts, _ := e.Scan(math.MinInt64+1, math.MaxInt64)
+	pts, _, _ := e.Scan(math.MinInt64+1, math.MaxInt64)
 	if len(pts) != nPoints {
 		t.Fatalf("final scan: %d points, want %d", len(pts), nPoints)
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/memtable"
 	"repro/internal/series"
 	"repro/internal/sstable"
@@ -66,8 +67,15 @@ type Config struct {
 	// SSTablePoints is the output SSTable size for compactions. Zero
 	// selects DefaultSSTablePoints.
 	SSTablePoints int
-	// Backend, when non-nil, persists SSTables and the manifest.
+	// Backend, when non-nil, persists SSTables and the manifest. Persisted
+	// tables are served by lazy block-addressed readers: only each table's
+	// block index and Bloom filter stay in memory, and point blocks are
+	// decoded on demand (through BlockCache when one is configured).
 	Backend storage.Backend
+	// BlockCache, when non-nil, caches decoded SSTable blocks. It is
+	// typically shared across every engine of a database so one byte
+	// budget bounds all paged reads. Ignored without a Backend.
+	BlockCache *cache.Cache
 	// WAL enables write-ahead logging of buffered points (requires
 	// Backend).
 	WAL bool
@@ -203,6 +211,21 @@ func (e *Engine) RunTables() (tables, points int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.run.lenTables(), e.run.totalPoints()
+}
+
+// ResidentRunPoints returns the number of decoded points held in memory by
+// the run's table handles. With a storage backend the run is made of lazy
+// block-addressed readers, so this is 0 until a query decodes blocks — and
+// stays 0 even then, since decoded blocks live in the shared cache, not in
+// the handle. Memory-only engines report the full run size.
+func (e *Engine) ResidentRunPoints() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var n int
+	for _, t := range e.run.tables {
+		n += t.ResidentPoints()
+	}
+	return n
 }
 
 // TableSpans returns the (MinTG, MaxTG, Len) of every SSTable currently in
@@ -353,7 +376,13 @@ func (e *Engine) mergeMemtable(mt *memtable.MemTable) error {
 	return e.rewriteWAL()
 }
 
-// mergePoints merges sorted unique points into the run.
+// mergePoints merges sorted unique points into the run, streaming the
+// overlapped tables' blocks through a bounded buffer: old points are never
+// materialized whole, and each output table is persisted the moment it is
+// cut. Ordering follows the crash invariants (DESIGN.md §7.2): objects are
+// written first (a crash leaves orphans), the manifest commit in
+// commitReplace is the commit point, and retired objects are removed after
+// it. Caller holds the lock.
 func (e *Engine) mergePoints(pts []series.Point) error {
 	lo, hi := pts[0].TG, pts[len(pts)-1].TG
 	i, j := e.run.overlapRange(lo, hi)
@@ -361,85 +390,48 @@ func (e *Engine) mergePoints(pts []series.Point) error {
 
 	var subsequent int
 	if e.OnCompaction != nil {
-		subsequent = e.run.pointsGreaterThan(lo)
+		subsequent = pointsGreaterThan(e.run.tables, lo)
 	}
-
-	var merged []series.Point
 	var rewritten int
-	if len(overlapping) == 0 {
-		merged = pts
-	} else {
-		old := e.run.collectPoints(i, j)
-		rewritten = len(old)
-		merged = series.MergeByTG(old, pts)
+	for _, t := range overlapping {
+		rewritten += t.Len()
 	}
 
-	newTables, err := e.buildTables(merged, e.cfg.SSTablePoints)
+	newTables, merged, err := streamMerge(overlapping, pts, e.cfg.SSTablePoints,
+		func() uint64 { id := e.nextID; e.nextID++; return id },
+		e.persistTable)
 	if err != nil {
 		return err
 	}
-	// Snapshot the tables being retired before mutating the run; persist
-	// afterward so the manifest records the post-replace state.
-	retired := make([]*sstable.Table, len(overlapping))
+	// Snapshot the tables being retired before mutating the run, then
+	// commit a manifest recording the post-replace state.
+	retired := make([]sstable.TableHandle, len(overlapping))
 	copy(retired, overlapping)
 	e.run.replace(i, j, newTables)
-	if err := e.persistReplace(retired, newTables); err != nil {
+	if err := e.commitReplace(retired); err != nil {
 		return err
 	}
-	overlapping = retired
+	retireHandles(retired)
 
-	e.stats.PointsWritten += int64(len(merged))
-	if len(overlapping) == 0 {
+	e.stats.PointsWritten += int64(merged)
+	if len(retired) == 0 {
 		e.stats.Flushes++
 	} else {
 		e.stats.Compactions++
 		e.stats.PointsRewritten += int64(rewritten)
-		e.stats.TablesRewritten += int64(len(overlapping))
+		e.stats.TablesRewritten += int64(len(retired))
 		if e.OnCompaction != nil {
 			e.OnCompaction(CompactionInfo{
 				MemPoints:        len(pts),
 				SubsequentPoints: subsequent,
 				RewrittenPoints:  rewritten,
-				OutputPoints:     len(merged),
-				TablesIn:         len(overlapping),
+				OutputPoints:     merged,
+				TablesIn:         len(retired),
 				TablesOut:        len(newTables),
 			})
 		}
 	}
 	return nil
-}
-
-// buildTables cuts sorted points into SSTables of at most chunk points,
-// allocating IDs from e.nextID. Caller holds the lock.
-func (e *Engine) buildTables(pts []series.Point, chunk int) ([]*sstable.Table, error) {
-	out, err := buildTablesFrom(pts, chunk, e.nextID)
-	if err != nil {
-		return nil, err
-	}
-	e.nextID += uint64(len(out))
-	return out, nil
-}
-
-// buildTablesFrom cuts sorted points into SSTables of at most chunk
-// points, numbering them from base. It touches no engine state, so the
-// async compactor can build compaction outputs outside the lock from an ID
-// range reserved under it.
-func buildTablesFrom(pts []series.Point, chunk int, base uint64) ([]*sstable.Table, error) {
-	var out []*sstable.Table
-	for len(pts) > 0 {
-		n := chunk
-		if n > len(pts) {
-			n = len(pts)
-		}
-		t, err := sstable.Build(base, pts[:n:n])
-		if err != nil {
-			return nil, fmt.Errorf("lsm: build sstable: %w", err)
-		}
-		base++
-		out = append(out, t)
-		pts = pts[n:]
-	}
-	return out, nil
 }
 
 // FlushAll forces every buffered point to disk. In async mode it also
@@ -525,6 +517,11 @@ func (e *Engine) Close() error {
 		return flushErr
 	}
 	e.closed = true
+	// Evict this engine's blocks from the shared cache: a dropped or
+	// closed series must not keep occupying a budget shared with live
+	// engines. In-flight snapshot readers still work (their storage
+	// objects stay open); they just stop caching.
+	retireHandles(e.run.tables)
 	if e.log != nil {
 		e.log.Close()
 	}

@@ -80,7 +80,7 @@ func TestPolicyString(t *testing.T) {
 
 // scanAll is a helper returning every point in the engine.
 func scanAll(e *Engine) []series.Point {
-	pts, _ := e.Scan(math.MinInt64+1, math.MaxInt64)
+	pts, _, _ := e.Scan(math.MinInt64+1, math.MaxInt64)
 	return pts
 }
 
@@ -260,12 +260,12 @@ func TestGet(t *testing.T) {
 	defer e.Close()
 	ingest(t, e, ps)
 	for _, p := range ps[:200] {
-		got, ok := e.Get(p.TG)
+		got, ok, _ := e.Get(p.TG)
 		if !ok || got.V != p.V {
 			t.Fatalf("Get(%d) = %v, %v", p.TG, got, ok)
 		}
 	}
-	if _, ok := e.Get(-12345); ok {
+	if _, ok, _ := e.Get(-12345); ok {
 		t.Error("Get of absent key returned a point")
 	}
 }
@@ -276,7 +276,7 @@ func TestScanRange(t *testing.T) {
 	defer e.Close()
 	ingest(t, e, ps)
 	lo, hi := int64(500*50), int64(1500*50)
-	got, st := e.Scan(lo, hi)
+	got, st, _ := e.Scan(lo, hi)
 	var want int
 	for _, p := range ps {
 		if p.TG >= lo && p.TG <= hi {
@@ -300,7 +300,7 @@ func TestScanRange(t *testing.T) {
 func TestScanEmptyRange(t *testing.T) {
 	e := mustOpen(t, Config{Policy: Conventional, MemBudget: 8})
 	defer e.Close()
-	got, st := e.Scan(0, 100)
+	got, st, _ := e.Scan(0, 100)
 	if len(got) != 0 || st.ResultPoints != 0 {
 		t.Errorf("scan of empty engine: %v, %+v", got, st)
 	}

@@ -37,7 +37,7 @@ func Example() {
 		}
 	}
 
-	points, _ := engine.Scan(0, 100)
+	points, _, _ := engine.Scan(0, 100)
 	for _, p := range points {
 		fmt.Printf("t_g=%d v=%.0f\n", p.TG, p.V)
 	}
@@ -77,7 +77,7 @@ func ExampleEngine_DropBefore() {
 		engine.Put(series.Point{TG: i, TA: i})
 	}
 	removed, _ := engine.DropBefore(6)
-	points, _ := engine.Scan(0, 100)
+	points, _, _ := engine.Scan(0, 100)
 	fmt.Printf("removed %d, kept %d, first remaining t_g=%d\n",
 		removed, len(points), points[0].TG)
 	// Output:

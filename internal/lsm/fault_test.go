@@ -61,7 +61,7 @@ func TestEngineFaultDuringCompactionKeepsMemoryConsistent(t *testing.T) {
 	}
 	// Whatever happened, previously durable points must still be readable.
 	for k := int64(0); k < 8; k++ {
-		if _, ok := e.Get(k); !ok {
+		if _, ok, _ := e.Get(k); !ok {
 			t.Errorf("durable point %d lost after storage fault", k)
 		}
 	}
@@ -185,7 +185,7 @@ func TestPutBatchTailSurvivesMidBatchFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e2.Close()
-	got, _ := e2.Scan(0, 1<<40)
+	got, _, _ := e2.Scan(0, 1<<40)
 	if len(got) != len(ps) {
 		t.Fatalf("recovered %d points after mid-batch flush crash, want %d", len(got), len(ps))
 	}

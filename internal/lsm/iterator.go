@@ -4,34 +4,42 @@ import (
 	"container/heap"
 
 	"repro/internal/series"
+	"repro/internal/sstable"
 )
 
 // MergeIterator streams points in generation-time order from a consistent
 // Snapshot of the engine, merging the memtable images, pending L0 tables,
 // and the run with a k-way heap. Unlike a materializing Scan it holds the
-// whole result nowhere: each source is walked in place by a cursor, so
-// callers can stream arbitrarily large ranges with O(#sources) memory and
-// fold them (aggregation, network encoding) point by point.
+// whole result nowhere: each source is itself a streaming PointIterator
+// (lazy tables decode one block at a time), so callers can stream
+// arbitrarily large ranges with O(#sources) memory and fold them
+// (aggregation, network encoding) point by point.
 //
 // The iterator holds no engine lock at any time: it works on an immutable
 // snapshot (SSTables are immutable, memtable images are frozen), so writes
 // that happen after the snapshot was taken are not observed.
+//
+// Because sources may perform storage reads, iteration can fail: Next
+// returns false and Err reports the source's error. A successful drain
+// (Next false, Err nil) means the range was exhausted.
 type MergeIterator struct {
 	h       mergeHeap
 	current series.Point
 	valid   bool
+	err     error
 	stats   ScanStats
-	input   int // total in-range points across sources (duplicates included)
+	blocks  sstable.BlockStats // shared collector for all table sources
 }
 
 // Iterator is the former name of MergeIterator, kept as an alias.
 type Iterator = MergeIterator
 
-// source is one sorted input to the merge. Higher priority shadows lower
-// on duplicate generation timestamps (memtables over L0 over run).
+// source is one sorted input to the merge, advanced one point ahead so the
+// heap can order sources by their current point. Higher priority shadows
+// lower on duplicate generation timestamps (memtables over L0 over run).
 type source struct {
-	points   []series.Point
-	pos      int
+	it       sstable.PointIterator
+	cur      series.Point
 	priority int
 }
 
@@ -39,7 +47,7 @@ type mergeHeap []*source
 
 func (h mergeHeap) Len() int { return len(h) }
 func (h mergeHeap) Less(i, j int) bool {
-	a, b := h[i].points[h[i].pos], h[j].points[h[j].pos]
+	a, b := h[i].cur, h[j].cur
 	if a.TG != b.TG {
 		return a.TG < b.TG
 	}
@@ -56,23 +64,27 @@ func (h *mergeHeap) Pop() any {
 	return s
 }
 
-// addSource registers one sorted, in-range input slice. Empty sources are
-// skipped. Call init once all sources are added.
-func (it *MergeIterator) addSource(pts []series.Point, priority int) {
-	if len(pts) == 0 {
+// addSource registers one sorted input iterator. Sources that are empty at
+// the first advance are dropped; a source that fails immediately records
+// the iterator's error. Call init once all sources are added.
+func (it *MergeIterator) addSource(src sstable.PointIterator, priority int) {
+	if !src.Next() {
+		if err := src.Err(); err != nil && it.err == nil {
+			it.err = err
+		}
 		return
 	}
-	it.input += len(pts)
-	it.h = append(it.h, &source{points: pts, priority: priority})
+	it.h = append(it.h, &source{it: src, cur: src.Point(), priority: priority})
 }
 
 // init establishes the heap invariant after all sources are added.
 func (it *MergeIterator) init() { heap.Init(&it.h) }
 
-// inputPoints returns the total number of in-range points across all
-// sources, duplicates included — an upper bound on the merged result size,
-// used as a capacity hint by materializing callers.
-func (it *MergeIterator) inputPoints() int { return it.input }
+// capacityHint returns an upper bound on the merged result size — whole
+// touched tables plus in-range memtable points — used as an allocation
+// hint by materializing callers. (The exact in-range count is unknowable
+// without reading the lazy tables.)
+func (it *MergeIterator) capacityHint() int { return it.stats.TablePoints + it.stats.MemPoints }
 
 // NewIterator takes a snapshot of the engine and returns a streaming
 // iterator over points with generation time in [lo, hi]. Call Next to
@@ -83,12 +95,19 @@ func (e *Engine) NewIterator(lo, hi int64) *MergeIterator {
 }
 
 // Next advances to the next distinct generation timestamp; it returns
-// false when the range is exhausted.
+// false when the range is exhausted or a source failed (see Err).
 func (it *MergeIterator) Next() bool {
+	if it.err != nil {
+		it.valid = false
+		return false
+	}
 	for it.h.Len() > 0 {
 		top := it.h[0]
-		p := top.points[top.pos]
-		it.advance(top)
+		p := top.cur
+		if !it.advance(top) {
+			it.valid = false
+			return false
+		}
 		if it.valid && p.TG == it.current.TG {
 			continue // shadowed duplicate (lower priority came later)
 		}
@@ -101,22 +120,38 @@ func (it *MergeIterator) Next() bool {
 	return false
 }
 
-// advance moves a source forward and restores the heap.
-func (it *MergeIterator) advance(s *source) {
-	s.pos++
-	if s.pos >= len(s.points) {
-		heap.Pop(&it.h)
-		return
+// advance moves a source forward and restores the heap. It returns false
+// when the source's iterator failed, recording the error.
+func (it *MergeIterator) advance(s *source) bool {
+	if s.it.Next() {
+		s.cur = s.it.Point()
+		heap.Fix(&it.h, 0)
+		return true
 	}
-	heap.Fix(&it.h, 0)
+	if err := s.it.Err(); err != nil {
+		it.err = err
+		return false
+	}
+	heap.Pop(&it.h)
+	return true
 }
 
 // Point returns the current point; only valid after a true Next.
 func (it *MergeIterator) Point() series.Point { return it.current }
 
+// Err reports the storage or decode error that terminated iteration, nil
+// after a clean drain.
+func (it *MergeIterator) Err() error { return it.err }
+
 // Stats returns the read-cost accounting of this iteration: tables touched
 // and their whole-table point counts are known from construction;
 // MemPoints counts in-range memtable points; ResultPoints counts the
-// distinct points yielded by Next so far (complete once Next has returned
-// false).
-func (it *MergeIterator) Stats() ScanStats { return it.stats }
+// distinct points yielded by Next so far; BlocksRead/BlocksCached count
+// block fetches by the lazy table sources so far (complete once Next has
+// returned false).
+func (it *MergeIterator) Stats() ScanStats {
+	st := it.stats
+	st.BlocksRead = it.blocks.BlocksRead
+	st.BlocksCached = it.blocks.BlocksCached
+	return st
+}

@@ -28,7 +28,7 @@ func TestIteratorMatchesScan(t *testing.T) {
 			{0, 0},
 			{-100, -1},
 		} {
-			want, _ := e.Scan(rg[0], rg[1])
+			want, _, _ := e.Scan(rg[0], rg[1])
 			got := drain(e.NewIterator(rg[0], rg[1]))
 			if len(got) != len(want) {
 				t.Fatalf("%v range %v: iterator %d vs scan %d points", pol, rg, len(got), len(want))

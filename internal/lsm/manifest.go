@@ -77,43 +77,27 @@ func tableObjectName(id uint64) string {
 	return fmt.Sprintf("sst-%016x.tbl", id)
 }
 
-// persistReplace is called after the run has been updated in memory. It
-// writes newTables to the backend, commits a manifest reflecting the
-// current run, and removes the replaced tables' objects. With no backend it
-// is a no-op.
-//
-// The synchronous compaction path calls this with the engine lock held, and
-// that is deliberate (see DESIGN.md §7.3): the caller is Put/PutBatch
-// itself, which owns the lock for the whole insert anyway; readers no
-// longer take this lock at all (they read snapshots); and splitting the
-// sync path's run mutation from its manifest commit would buy nothing while
-// creating a window where a second writer could observe a run whose commit
-// is still in flight. The async compactor, where the lock hold time
-// actually matters, uses persistTables (off-lock) + commitReplace
-// (under lock) instead.
-func (e *Engine) persistReplace(old, newTables []*sstable.Table) error {
-	if err := e.persistTables(newTables); err != nil {
-		return err
-	}
-	return e.commitReplace(old)
-}
-
-// persistTables writes the new tables' objects to the backend — the
-// "persist" step of invariant 2. It reads only immutable state (the tables
-// themselves and cfg.Backend), so the async compactor calls it WITHOUT the
-// engine lock: until the manifest commit, nothing references these objects,
-// and a crash merely leaves orphans that recovery deletes.
-func (e *Engine) persistTables(newTables []*sstable.Table) error {
+// persistTable writes one freshly built table's object to the backend —
+// the "persist" step of invariant 2 — and returns the handle to install in
+// the run: a lazy block-addressed reader over the persisted object when a
+// backend is present (the resident points are then dropped with t), or t
+// itself for a memory-only engine. It touches no mutable engine state, so
+// the async compactor calls it WITHOUT the engine lock: until the manifest
+// commit, nothing references the object, and a crash merely leaves an
+// orphan that recovery deletes.
+func (e *Engine) persistTable(t *sstable.Table) (sstable.TableHandle, error) {
 	if e.cfg.Backend == nil {
-		return nil
+		return t, nil
 	}
-	for _, t := range newTables {
-		img := t.Encode(0)
-		if err := e.cfg.Backend.Write(tableObjectName(t.ID()), img); err != nil {
-			return fmt.Errorf("lsm: persist sstable: %w", err)
-		}
+	name := tableObjectName(t.ID())
+	if err := e.cfg.Backend.Write(name, t.Encode(0)); err != nil {
+		return nil, fmt.Errorf("lsm: persist sstable: %w", err)
 	}
-	return nil
+	r, err := sstable.OpenReader(e.cfg.Backend, name, e.cfg.BlockCache)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: reopen persisted sstable: %w", err)
+	}
+	return r, nil
 }
 
 // commitReplace commits a manifest reflecting the current run (the commit
@@ -121,8 +105,12 @@ func (e *Engine) persistTables(newTables []*sstable.Table) error {
 // holds the lock: the manifest must be a snapshot of e.run and e.nextID
 // that is atomic with the in-memory replace, and the subsequent rewriteWAL
 // (invariant 3) must observe the same state — these are the two backend
-// writes that genuinely cannot leave the critical section.
-func (e *Engine) commitReplace(old []*sstable.Table) error {
+// writes that genuinely cannot leave the critical section. (See DESIGN.md
+// §7.3 for why the synchronous path also runs its persists under the lock:
+// the caller is Put/PutBatch, which owns the lock for the whole insert
+// anyway.) Removing a retired object does not disturb snapshot readers:
+// their lazy readers hold the object open with snapshot-at-open semantics.
+func (e *Engine) commitReplace(old []sstable.TableHandle) error {
 	if e.cfg.Backend == nil {
 		return nil
 	}
@@ -199,13 +187,13 @@ func (e *Engine) recover() error {
 			return fmt.Errorf("lsm: parse manifest: %w", err)
 		}
 		for _, name := range m.Tables {
-			img, err := e.cfg.Backend.Read(name)
+			// Open lazily: only the header (block index + Bloom filter) is
+			// read and validated here. Point blocks stay on disk until a
+			// query touches them, so recovering a large manifest costs one
+			// small ranged read per table, not a full decode.
+			t, err := sstable.OpenReader(e.cfg.Backend, name, e.cfg.BlockCache)
 			if err != nil {
-				return fmt.Errorf("lsm: read sstable %s: %w", name, err)
-			}
-			t, err := sstable.Decode(img)
-			if err != nil {
-				return fmt.Errorf("lsm: decode sstable %s: %w", name, err)
+				return fmt.Errorf("lsm: open sstable %s: %w", name, err)
 			}
 			e.run.tables = append(e.run.tables, t)
 			referenced[name] = true

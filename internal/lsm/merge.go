@@ -1,0 +1,126 @@
+package lsm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/series"
+	"repro/internal/sstable"
+)
+
+// chainIter streams the points of a sequence of disjoint, ascending table
+// handles in order, one handle (and, for lazy readers, one block) at a
+// time. It is the compaction path's replacement for materializing every
+// overlapped table up front.
+type chainIter struct {
+	handles []sstable.TableHandle
+	cur     sstable.PointIterator
+	err     error
+}
+
+// Next advances to the next point, opening handles as needed.
+func (c *chainIter) Next() bool {
+	for {
+		if c.cur != nil {
+			if c.cur.Next() {
+				return true
+			}
+			if err := c.cur.Err(); err != nil {
+				c.err = err
+				return false
+			}
+			c.cur = nil
+		}
+		if len(c.handles) == 0 {
+			return false
+		}
+		h := c.handles[0]
+		c.handles = c.handles[1:]
+		c.cur = h.Iter(math.MinInt64, math.MaxInt64, nil)
+	}
+}
+
+// Point returns the current point; valid only after a true Next.
+func (c *chainIter) Point() series.Point { return c.cur.Point() }
+
+// streamMerge merges the points of the old handles (sorted, disjoint —
+// their concatenation is ascending) with pts (sorted, unique; new points
+// shadow old ones on duplicate generation times, as series.MergeByTG),
+// cutting the result into tables of at most chunk points. Each completed
+// table is passed to emit — which persists it and returns the handle to
+// install — before the next chunk is accumulated, so the whole merge holds
+// at most chunk output points plus one input block in memory.
+//
+// nextID allocates output table identifiers. It returns the emitted
+// handles and the total number of merged output points.
+func streamMerge(
+	old []sstable.TableHandle,
+	pts []series.Point,
+	chunk int,
+	nextID func() uint64,
+	emit func(*sstable.Table) (sstable.TableHandle, error),
+) ([]sstable.TableHandle, int, error) {
+	var (
+		handles []sstable.TableHandle
+		merged  int
+	)
+	buf := make([]series.Point, 0, chunk)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		t, err := sstable.Build(nextID(), buf)
+		if err != nil {
+			return fmt.Errorf("lsm: build sstable: %w", err)
+		}
+		h, err := emit(t)
+		if err != nil {
+			return err
+		}
+		handles = append(handles, h)
+		buf = make([]series.Point, 0, chunk) // Build took ownership
+		return nil
+	}
+
+	oldIt := &chainIter{handles: old}
+	oldOK := oldIt.Next()
+	i := 0
+	for oldOK || i < len(pts) {
+		if !oldOK && oldIt.err != nil {
+			return nil, merged, fmt.Errorf("lsm: compaction read: %w", oldIt.err)
+		}
+		var p series.Point
+		switch {
+		case !oldOK:
+			p = pts[i]
+			i++
+		case i >= len(pts):
+			p = oldIt.Point()
+			oldOK = oldIt.Next()
+		case pts[i].TG < oldIt.Point().TG:
+			p = pts[i]
+			i++
+		case pts[i].TG > oldIt.Point().TG:
+			p = oldIt.Point()
+			oldOK = oldIt.Next()
+		default: // equal: the new point shadows the old
+			p = pts[i]
+			i++
+			oldOK = oldIt.Next()
+		}
+		buf = append(buf, p)
+		merged++
+		if len(buf) == chunk {
+			if err := flush(); err != nil {
+				return nil, merged, err
+			}
+		}
+	}
+	if oldIt.err != nil {
+		return nil, merged, fmt.Errorf("lsm: compaction read: %w", oldIt.err)
+	}
+	if err := flush(); err != nil {
+		return nil, merged, err
+	}
+	return handles, merged, nil
+}

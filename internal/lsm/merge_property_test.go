@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/series"
+	"repro/internal/sstable"
 )
 
 // These are the equivalence properties the streaming merge must uphold: the
@@ -56,7 +57,7 @@ func TestMergeIteratorMatchesMergeByTGFold(t *testing.T) {
 
 		it := &MergeIterator{}
 		for prio, src := range sources {
-			it.addSource(src, prio)
+			it.addSource(sstable.IterPoints(src), prio)
 		}
 		it.init()
 		var got []series.Point
@@ -88,7 +89,8 @@ func referenceScan(s *Snapshot, lo, hi int64) ([]series.Point, ScanStats) {
 	for _, t := range s.tables[i:j] {
 		st.TablesTouched++
 		st.TablePoints += t.Len()
-		acc = append(acc, t.Scan(lo, hi)...)
+		sub, _ := t.Scan(lo, hi) // resident tables: no backend, cannot fail
+		acc = append(acc, sub...)
 	}
 	for _, t := range s.l0 {
 		if !t.Overlaps(lo, hi) {
@@ -96,7 +98,8 @@ func referenceScan(s *Snapshot, lo, hi int64) ([]series.Point, ScanStats) {
 		}
 		st.TablesTouched++
 		st.TablePoints += t.Len()
-		acc = series.MergeByTG(acc, t.Scan(lo, hi))
+		sub, _ := t.Scan(lo, hi)
+		acc = series.MergeByTG(acc, sub)
 	}
 	for _, mem := range s.mems {
 		sub := rangeSlice(mem, lo, hi)
@@ -127,7 +130,10 @@ func TestSnapshotScanMatchesReference(t *testing.T) {
 		}
 		for _, rr := range ranges {
 			want, wantSt := referenceScan(snap, rr[0], rr[1])
-			got, gotSt := snap.Scan(rr[0], rr[1])
+			got, gotSt, err := snap.Scan(rr[0], rr[1])
+			if err != nil {
+				t.Fatalf("config %d range %v: Scan: %v", ci, rr, err)
+			}
 			if gotSt != wantSt {
 				t.Fatalf("config %d range %v: stats %+v, want %+v", ci, rr, gotSt, wantSt)
 			}

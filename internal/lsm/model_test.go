@@ -58,7 +58,7 @@ func runModelTrial(t *testing.T, seed int64, withBackend bool) {
 	var arrival int64
 
 	checkScan := func(lo, hi int64) {
-		got, st := e.Scan(lo, hi)
+		got, st, _ := e.Scan(lo, hi)
 		var wantKeys []int64
 		for k := range ref {
 			if k >= lo && k <= hi {
@@ -92,7 +92,7 @@ func runModelTrial(t *testing.T, seed int64, withBackend bool) {
 			ref[tg] = v
 		case r < 88: // get
 			tg := rng.Int63n(2000)
-			got, ok := e.Get(tg)
+			got, ok, _ := e.Get(tg)
 			wantV, wantOk := ref[tg]
 			if ok != wantOk || (ok && got.V != wantV) {
 				t.Fatalf("seed %d: Get(%d) = %v,%v want %v,%v", seed, tg, got.V, ok, wantV, wantOk)

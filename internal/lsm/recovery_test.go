@@ -148,7 +148,7 @@ func TestAsyncCrashRecoversL0Points(t *testing.T) {
 	if err := e2.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := e2.Scan(0, 1<<40)
+	got, _, _ := e2.Scan(0, 1<<40)
 	if len(got) != len(want) {
 		t.Fatalf("recovered %d points after async crash, want %d", len(got), len(want))
 	}
@@ -207,7 +207,7 @@ func TestWALRewriteIsAtomic(t *testing.T) {
 	e2 := mustOpen(t, Config{Policy: Separation, MemBudget: 8, SeqCapacity: 4, Backend: inner, WAL: true})
 	defer e2.Close()
 	for _, p := range append(append([]series.Point{}, acked...), series.Point{TG: 103, TA: 9}) {
-		got, ok := e2.Get(p.TG)
+		got, ok, _ := e2.Get(p.TG)
 		if !ok || got != p {
 			t.Errorf("acknowledged point %v lost after failed WAL rewrite (got %v, ok=%v)", p, got, ok)
 		}
@@ -248,7 +248,7 @@ func TestRecoveryRemovesOrphanTables(t *testing.T) {
 			t.Errorf("orphan %s still present after recovery", n)
 		}
 	}
-	if got, _ := e2.Scan(0, 1<<40); len(got) != 32 {
+	if got, _, _ := e2.Scan(0, 1<<40); len(got) != 32 {
 		t.Errorf("recovered %d points, want 32", len(got))
 	}
 }
@@ -279,7 +279,7 @@ func TestRecoveryReportsTornWAL(t *testing.T) {
 	if rec.WALPointsReplayed != 9 {
 		t.Errorf("WALPointsReplayed = %d, want 9", rec.WALPointsReplayed)
 	}
-	if got, _ := e2.Scan(0, 1<<40); len(got) != 9 {
+	if got, _, _ := e2.Scan(0, 1<<40); len(got) != 9 {
 		t.Errorf("recovered %d points, want the 9 intact records", len(got))
 	}
 }

@@ -42,12 +42,17 @@ func (e *Engine) DropBefore(cutoff int64) (int, error) {
 		removed += t.Len()
 	}
 
-	// A table straddling the cutoff is rewritten truncated.
-	var replacement []*sstable.Table
+	// A table straddling the cutoff is rewritten truncated. The surviving
+	// points are read through the normal (possibly lazy) scan path, then
+	// rebuilt and persisted before the manifest commit below.
+	var replacement []sstable.TableHandle
 	replaceTo := idx
 	if idx < len(e.run.tables) && e.run.tables[idx].MinTG() < cutoff {
 		t := e.run.tables[idx]
-		keep := t.Scan(cutoff, t.MaxTG())
+		keep, err := t.Scan(cutoff, t.MaxTG())
+		if err != nil {
+			return removed, err
+		}
 		removed += t.Len() - len(keep)
 		if len(keep) > 0 {
 			kept := make([]series.Point, len(keep))
@@ -57,19 +62,24 @@ func (e *Engine) DropBefore(cutoff int64) (int, error) {
 				return removed, err
 			}
 			e.nextID++
-			replacement = []*sstable.Table{nt}
+			h, err := e.persistTable(nt)
+			if err != nil {
+				return removed, err
+			}
+			replacement = []sstable.TableHandle{h}
 			e.stats.PointsWritten += int64(len(kept))
 		}
 		dropped = e.run.tables[:idx+1]
 		replaceTo = idx + 1
 	}
 	if len(dropped) > 0 || len(replacement) > 0 {
-		retired := make([]*sstable.Table, len(dropped))
+		retired := make([]sstable.TableHandle, len(dropped))
 		copy(retired, dropped)
 		e.run.replace(0, replaceTo, replacement)
-		if err := e.persistReplace(retired, replacement); err != nil {
+		if err := e.commitReplace(retired); err != nil {
 			return removed, err
 		}
+		retireHandles(retired)
 	}
 
 	// Purge buffered points below the cutoff.

@@ -1,17 +1,17 @@
 package lsm
 
 import (
-	"sort"
-
-	"repro/internal/series"
 	"repro/internal/sstable"
 )
 
 // run is the L1 level of the engine: SSTables sorted by MinTG with
 // non-overlapping generation-time ranges. The paper treats the whole level
-// as a single sorted run R.
+// as a single sorted run R. Tables are held behind sstable.TableHandle:
+// with a storage backend they are lazy block-addressed readers whose
+// points live on disk (and transiently in the shared block cache), without
+// one they are resident tables.
 type run struct {
-	tables []*sstable.Table
+	tables []sstable.TableHandle
 }
 
 // len returns the number of tables in the run.
@@ -48,8 +48,8 @@ func (r *run) overlapRange(lo, hi int64) (int, int) {
 
 // replace substitutes tables[i:j] with newTables, which must be sorted and
 // must preserve the run's non-overlap invariant.
-func (r *run) replace(i, j int, newTables []*sstable.Table) {
-	out := make([]*sstable.Table, 0, len(r.tables)-(j-i)+len(newTables))
+func (r *run) replace(i, j int, newTables []sstable.TableHandle) {
+	out := make([]sstable.TableHandle, 0, len(r.tables)-(j-i)+len(newTables))
 	out = append(out, r.tables[:i]...)
 	out = append(out, newTables...)
 	out = append(out, r.tables[j:]...)
@@ -58,11 +58,11 @@ func (r *run) replace(i, j int, newTables []*sstable.Table) {
 
 // append adds a table whose range must lie entirely after the current last
 // table; it returns false if the invariant would break.
-func (r *run) appendTable(t *sstable.Table) bool {
+func (r *run) appendTable(t sstable.TableHandle) bool {
 	if last, ok := r.lastTG(); ok && t.MinTG() <= last {
 		return false
 	}
-	out := make([]*sstable.Table, len(r.tables), len(r.tables)+1)
+	out := make([]sstable.TableHandle, len(r.tables), len(r.tables)+1)
 	copy(out, r.tables)
 	r.tables = append(out, t)
 	return true
@@ -79,34 +79,35 @@ func (r *run) checkInvariant() bool {
 	return true
 }
 
-// pointsGreaterThan counts points in the run with generation time strictly
+// pointsGreaterThan counts points in tables with generation time strictly
 // greater than tg. These are exactly the paper's subsequent data points
 // when tg is the minimum generation time buffered in memory (Definition 4).
-func (r *run) pointsGreaterThan(tg int64) int {
+// The count is informational (model-validation experiments); a failed block
+// read under-counts rather than failing the compaction it describes.
+func pointsGreaterThan(tables []sstable.TableHandle, tg int64) int {
 	var count int
-	for _, t := range r.tables {
+	for _, t := range tables {
 		switch {
 		case t.MinTG() > tg:
 			count += t.Len()
 		case t.MaxTG() > tg:
-			pts := t.Points()
-			idx := sort.Search(len(pts), func(i int) bool { return pts[i].TG > tg })
-			count += len(pts) - idx
+			pts, err := t.Scan(tg+1, t.MaxTG())
+			if err == nil {
+				count += len(pts)
+			}
 		}
 	}
 	return count
 }
 
-// collectPoints concatenates the points of tables[i:j] (already sorted and
-// disjoint, so the concatenation is sorted).
-func (r *run) collectPoints(i, j int) []series.Point {
-	var n int
-	for _, t := range r.tables[i:j] {
-		n += t.Len()
+// retireHandles marks lazily read tables as retired, evicting their blocks
+// from the shared cache so dead tables cannot occupy cache capacity.
+// Resident tables need no retirement. Called after the manifest commit
+// that removed the tables from the run.
+func retireHandles(hs []sstable.TableHandle) {
+	for _, h := range hs {
+		if r, ok := h.(*sstable.Reader); ok {
+			r.Retire()
+		}
 	}
-	out := make([]series.Point, 0, n)
-	for _, t := range r.tables[i:j] {
-		out = append(out, t.Points()...)
-	}
-	return out
 }

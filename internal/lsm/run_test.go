@@ -84,7 +84,7 @@ func TestRunReplace(t *testing.T) {
 	// Replace the middle table with two new ones.
 	nt1 := mkTable(t, 10, 15, 24, 1)
 	nt2 := mkTable(t, 11, 25, 35, 1)
-	r.replace(1, 2, []*sstable.Table{nt1, nt2})
+	r.replace(1, 2, []sstable.TableHandle{nt1, nt2})
 	if r.lenTables() != 4 {
 		t.Fatalf("lenTables = %d", r.lenTables())
 	}
@@ -99,7 +99,7 @@ func TestRunReplace(t *testing.T) {
 func TestRunReplaceWholeRun(t *testing.T) {
 	r := mkRun(t, [2]int64{0, 9}, [2]int64{20, 29})
 	nt := mkTable(t, 10, 0, 29, 1)
-	r.replace(0, 2, []*sstable.Table{nt})
+	r.replace(0, 2, []sstable.TableHandle{nt})
 	if r.lenTables() != 1 || r.totalPoints() != 30 {
 		t.Errorf("replace whole run: %d tables, %d points", r.lenTables(), r.totalPoints())
 	}
@@ -120,22 +120,30 @@ func TestRunPointsGreaterThan(t *testing.T) {
 		{100, 0},
 	}
 	for _, tc := range tests {
-		if got := r.pointsGreaterThan(tc.tg); got != tc.want {
+		if got := pointsGreaterThan(r.tables, tc.tg); got != tc.want {
 			t.Errorf("pointsGreaterThan(%d) = %d, want %d", tc.tg, got, tc.want)
 		}
 	}
 }
 
-func TestRunCollectPoints(t *testing.T) {
+func TestChainIterStreamsHandlesInOrder(t *testing.T) {
 	r := mkRun(t, [2]int64{0, 4}, [2]int64{10, 14}, [2]int64{20, 24})
-	pts := r.collectPoints(0, 2)
+	it := &chainIter{handles: r.tables[0:2]}
+	var pts []series.Point
+	for it.Next() {
+		pts = append(pts, it.Point())
+	}
+	if it.err != nil {
+		t.Fatalf("chainIter error: %v", it.err)
+	}
 	if len(pts) != 10 {
-		t.Fatalf("collectPoints = %d points", len(pts))
+		t.Fatalf("chainIter yielded %d points, want 10", len(pts))
 	}
 	if !series.IsSortedByTG(pts) {
-		t.Error("collected points not sorted")
+		t.Error("chained points not sorted")
 	}
-	if got := r.collectPoints(1, 1); len(got) != 0 {
-		t.Errorf("empty collect: %v", got)
+	empty := &chainIter{}
+	if empty.Next() {
+		t.Error("empty chainIter yielded a point")
 	}
 }

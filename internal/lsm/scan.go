@@ -8,18 +8,26 @@ import (
 // read-amplification and latency analyses (Fig. 12–14). The read model is
 // the paper's HDD one: touching an SSTable costs a seek, and a touched
 // table is read whole ("as long as an SSTable contains [queried] data
-// points, all of the points inside would be read").
+// points, all of the points inside would be read"). BlocksRead and
+// BlocksCached additionally report what the block-addressed read path
+// actually fetched, which is how the block cache's effect is measured.
 type ScanStats struct {
 	// TablesTouched is the number of SSTables overlapping the query range —
 	// the number of file seeks.
 	TablesTouched int
 	// TablePoints is the total number of points in the touched SSTables,
-	// counting whole tables (points read from disk).
+	// counting whole tables (points read from disk in the paper's model).
 	TablePoints int
 	// MemPoints is the number of points served from memtables.
 	MemPoints int
 	// ResultPoints is the number of points returned.
 	ResultPoints int
+	// BlocksRead is the number of SSTable blocks fetched from storage and
+	// decoded for this scan.
+	BlocksRead int64
+	// BlocksCached is the number of block requests served by the shared
+	// block cache for this scan.
+	BlocksCached int64
 }
 
 // ReadAmplification returns points read divided by points returned, the
@@ -35,15 +43,16 @@ func (s ScanStats) ReadAmplification() float64 {
 // memtables and the run, sorted by generation time, with read-cost
 // accounting. The engine lock is held only for the O(1) snapshot: the
 // k-way merge itself runs lock-free, so a scan of an arbitrarily large
-// range never stalls Put/PutBatch or the background compactor.
-func (e *Engine) Scan(lo, hi int64) ([]series.Point, ScanStats) {
+// range never stalls Put/PutBatch or the background compactor. A failed
+// block read (backend fault, corrupt block) is returned as an error.
+func (e *Engine) Scan(lo, hi int64) ([]series.Point, ScanStats, error) {
 	return e.Snapshot().Scan(lo, hi)
 }
 
 // Get returns the point with generation time tg, looking in memtables
 // first, then L0 (newest first), then the run (at most one table can
 // contain tg). Like Scan, the lookup runs on a snapshot outside the lock.
-func (e *Engine) Get(tg int64) (series.Point, bool) {
+func (e *Engine) Get(tg int64) (series.Point, bool, error) {
 	return e.Snapshot().Get(tg)
 }
 

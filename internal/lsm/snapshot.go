@@ -20,11 +20,15 @@ import (
 // A Snapshot observes exactly the engine state at the moment it was taken:
 // writes that land afterwards are invisible, and because Put/PutBatch hold
 // the engine lock for the whole call, a snapshot can never observe half of
-// an acknowledged batch.
+// an acknowledged batch. Run tables may be lazy readers; a compaction that
+// retires one mid-iteration cannot invalidate the snapshot, because each
+// reader keeps its storage object open (snapshot-at-open semantics of
+// storage.OpenRange) — the retired table merely stops populating the
+// shared block cache.
 type Snapshot struct {
-	tables []*sstable.Table // the run, ascending MinTG, non-overlapping
-	l0     []*sstable.Table // pending L0 tables, FIFO (newer shadows older)
-	mems   [][]series.Point // frozen c0, cseq, cnonseq images (later shadows earlier)
+	tables []sstable.TableHandle // the run, ascending MinTG, non-overlapping
+	l0     []*sstable.Table      // pending L0 tables, FIFO (newer shadows older)
+	mems   [][]series.Point      // frozen c0, cseq, cnonseq images (later shadows earlier)
 }
 
 // Snapshot captures the engine's current readable state under a short
@@ -54,7 +58,7 @@ func (e *Engine) snapshotLocked() *Snapshot {
 // overlapTables returns the half-open index interval [i, j) of tables whose
 // generation-time ranges intersect [lo, hi]. tables must be sorted by MinTG
 // with non-overlapping ranges (the run invariant).
-func overlapTables(tables []*sstable.Table, lo, hi int64) (int, int) {
+func overlapTables(tables []sstable.TableHandle, lo, hi int64) (int, int) {
 	i := sort.Search(len(tables), func(i int) bool { return tables[i].MaxTG() >= lo })
 	j := sort.Search(len(tables), func(j int) bool { return tables[j].MinTG() > hi })
 	if i > j {
@@ -68,60 +72,75 @@ func overlapTables(tables []*sstable.Table, lo, hi int64) (int, int) {
 func rangeSlice(pts []series.Point, lo, hi int64) []series.Point {
 	i := sort.Search(len(pts), func(i int) bool { return pts[i].TG >= lo })
 	j := sort.Search(len(pts), func(j int) bool { return pts[j].TG > hi })
+	if j < i {
+		j = i
+	}
 	return pts[i:j]
 }
 
 // Scan returns all points with generation time in [lo, hi], merged across
 // the snapshot's sources (memtables shadow L0 shadow the run), sorted by
 // generation time, with the read-cost accounting of ScanStats. It holds no
-// lock and performs exactly one output allocation.
-func (s *Snapshot) Scan(lo, hi int64) ([]series.Point, ScanStats) {
+// lock. A failed block read (backend fault, corrupt block) surfaces as an
+// error along with the stats accumulated so far.
+func (s *Snapshot) Scan(lo, hi int64) ([]series.Point, ScanStats, error) {
 	it := s.NewIterator(lo, hi)
-	out := make([]series.Point, 0, it.inputPoints())
+	out := make([]series.Point, 0, it.capacityHint())
 	for it.Next() {
 		out = append(out, it.Point())
 	}
-	return out, it.Stats()
+	if err := it.Err(); err != nil {
+		return nil, it.Stats(), err
+	}
+	return out, it.Stats(), nil
 }
 
 // Get returns the point with generation time tg, looking in the memtable
 // images first (in engine order), then newest-first in L0, then in the run.
-func (s *Snapshot) Get(tg int64) (series.Point, bool) {
+func (s *Snapshot) Get(tg int64) (series.Point, bool, error) {
 	for _, mem := range s.mems {
 		i := sort.Search(len(mem), func(i int) bool { return mem[i].TG >= tg })
 		if i < len(mem) && mem[i].TG == tg {
-			return mem[i], true
+			return mem[i], true, nil
 		}
 	}
 	// Newest L0 tables shadow older ones and the run.
 	for k := len(s.l0) - 1; k >= 0; k-- {
 		if t := s.l0[k]; t.Overlaps(tg, tg) {
-			if p, ok := t.Get(tg); ok {
-				return p, true
+			if p, ok, err := t.Get(tg); err != nil {
+				return series.Point{}, false, err
+			} else if ok {
+				return p, true, nil
 			}
 		}
 	}
 	i, j := overlapTables(s.tables, tg, tg)
 	for _, t := range s.tables[i:j] {
-		if p, ok := t.Get(tg); ok {
-			return p, true
+		p, ok, err := t.Get(tg)
+		if err != nil {
+			return series.Point{}, false, err
+		}
+		if ok {
+			return p, true, nil
 		}
 	}
-	return series.Point{}, false
+	return series.Point{}, false, nil
 }
 
 // NewIterator returns a streaming k-way merge iterator over the snapshot's
-// points with generation time in [lo, hi]. Sources are consumed in place —
-// nothing beyond per-source cursors is allocated — so arbitrarily large
-// ranges stream in O(#sources) memory.
+// points with generation time in [lo, hi]. Table sources stream block by
+// block — at most one decoded block per table is held outside the shared
+// cache — so arbitrarily large ranges run in O(#sources) memory.
 func (s *Snapshot) NewIterator(lo, hi int64) *MergeIterator {
 	it := &MergeIterator{}
-	// Run tables: non-overlapping, all share the lowest priority.
+	// Run tables: non-overlapping, all share the lowest priority. Their
+	// iterators report block reads into the merge iterator's shared
+	// collector.
 	i, j := overlapTables(s.tables, lo, hi)
 	for _, t := range s.tables[i:j] {
 		it.stats.TablesTouched++
 		it.stats.TablePoints += t.Len()
-		it.addSource(t.Scan(lo, hi), 0)
+		it.addSource(t.Iter(lo, hi, &it.blocks), 0)
 	}
 	// Pending L0 tables (async mode): newer tables shadow older ones and
 	// the run. Accounting matches the HDD read model: a touched table is
@@ -132,7 +151,7 @@ func (s *Snapshot) NewIterator(lo, hi int64) *MergeIterator {
 		}
 		it.stats.TablesTouched++
 		it.stats.TablePoints += t.Len()
-		it.addSource(t.Scan(lo, hi), 1+k)
+		it.addSource(t.Iter(lo, hi, &it.blocks), 1+k)
 	}
 	// Memtable images shadow everything on disk; among themselves, later
 	// (cnonseq over cseq over c0) wins, matching the engine's merge order.
@@ -140,7 +159,7 @@ func (s *Snapshot) NewIterator(lo, hi int64) *MergeIterator {
 	for k, mem := range s.mems {
 		sub := rangeSlice(mem, lo, hi)
 		it.stats.MemPoints += len(sub)
-		it.addSource(sub, base+k)
+		it.addSource(sstable.IterPoints(sub), base+k)
 	}
 	it.init()
 	return it

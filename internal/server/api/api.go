@@ -58,14 +58,21 @@ type ScanStatsJSON struct {
 	MemPoints         int     `json:"mem_points"`
 	ResultPoints      int     `json:"result_points"`
 	ReadAmplification float64 `json:"read_amplification"`
+	// BlocksRead / BlocksCached report what the block-addressed read path
+	// actually fetched: blocks decoded from storage vs. served by the
+	// shared block cache. Both are zero for memory-only databases.
+	BlocksRead   int64 `json:"blocks_read"`
+	BlocksCached int64 `json:"blocks_cached"`
 }
 
-// ScanResponse is the /scan body.
+// ScanResponse is the /scan body. Error, when set, reports a storage or
+// decode fault that truncated the streamed point list.
 type ScanResponse struct {
 	Series string        `json:"series"`
 	Count  int           `json:"count"`
 	Points []PointJSON   `json:"points"`
 	Stats  ScanStatsJSON `json:"stats"`
+	Error  string        `json:"error,omitempty"`
 }
 
 // BucketJSON is one downsampled window in /aggregate responses.

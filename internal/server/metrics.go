@@ -153,6 +153,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP lsmd_db_series Number of series.\n# TYPE lsmd_db_series gauge\nlsmd_db_series %d\n", len(stats))
 	fmt.Fprintf(&b, "# HELP lsmd_db_write_amplification Database-wide write amplification.\n# TYPE lsmd_db_write_amplification gauge\nlsmd_db_write_amplification %g\n", s.db.TotalWA())
 
+	// Shared SSTable block cache (absent for memory-only databases).
+	if cs, ok := s.db.CacheStats(); ok {
+		counter("lsmd_block_cache_hits_total", "Block reads served by the shared block cache.", cs.Hits)
+		counter("lsmd_block_cache_misses_total", "Block reads that went to storage.", cs.Misses)
+		counter("lsmd_block_cache_evictions_total", "Blocks evicted from the shared block cache.", cs.Evictions)
+		counter("lsmd_block_cache_inserts_total", "Blocks inserted into the shared block cache.", cs.Inserts)
+		fmt.Fprintf(&b, "# HELP lsmd_block_cache_bytes Resident bytes charged to the shared block cache.\n# TYPE lsmd_block_cache_bytes gauge\nlsmd_block_cache_bytes %d\n", cs.Bytes)
+		fmt.Fprintf(&b, "# HELP lsmd_block_cache_entries Resident entries in the shared block cache.\n# TYPE lsmd_block_cache_entries gauge\nlsmd_block_cache_entries %d\n", cs.Entries)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
 }

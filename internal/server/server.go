@@ -350,6 +350,8 @@ func scanStatsJSON(st lsm.ScanStats) api.ScanStatsJSON {
 		MemPoints:         st.MemPoints,
 		ResultPoints:      st.ResultPoints,
 		ReadAmplification: st.ReadAmplification(),
+		BlocksRead:        st.BlocksRead,
+		BlocksCached:      st.BlocksCached,
 	}
 }
 
@@ -388,7 +390,14 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	st := it.Stats()
 	stJSON, _ := json.Marshal(scanStatsJSON(st))
-	fmt.Fprintf(bw, "],\"count\":%d,\"stats\":%s}\n", n, stJSON)
+	if err := it.Err(); err != nil {
+		// The 200 header and a prefix of the points are already on the
+		// wire; all we can do is mark the body as truncated.
+		errJSON, _ := json.Marshal(err.Error())
+		fmt.Fprintf(bw, "],\"count\":%d,\"stats\":%s,\"error\":%s}\n", n, stJSON, errJSON)
+	} else {
+		fmt.Fprintf(bw, "],\"count\":%d,\"stats\":%s}\n", n, stJSON)
+	}
 	bw.Flush()
 	s.scannedPoints.Add(int64(n))
 	s.observeRead(name, st, time.Since(start))
@@ -414,6 +423,10 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	// Fold buckets straight off the iterator: O(buckets) memory, no raw
 	// point slice, no engine lock.
 	buckets := query.AggregateIter(it, lo, width)
+	if err := it.Err(); err != nil {
+		s.queryError(w, err)
+		return
+	}
 	st := it.Stats()
 	s.scannedPoints.Add(int64(st.ResultPoints))
 	s.observeRead(name, st, time.Since(start))

@@ -1,0 +1,113 @@
+package sstable
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// decodeErrAllowed reports whether err belongs to the package's declared
+// error family. Hostile images must fail with one of these — never with a
+// panic, an unwrapped codec error, or a runtime fault.
+func decodeErrAllowed(err error) bool {
+	for _, e := range []error{
+		ErrBadMagic, ErrBadVersion, ErrCorrupt, ErrChecksum,
+		ErrUnsorted, ErrEmptyTable, ErrDupTimstamp,
+	} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzDecode feeds arbitrary bytes to both the eager and lazy decode
+// paths. Invariants: no panics and no unbounded allocations (enforced by
+// the parse-layer plausibility checks — a hostile header claiming 2^40
+// points is rejected before any allocation sized from it); failures are
+// wrapped in the package's error family; successes agree between Decode
+// and OpenReader and re-encode losslessly.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x53, 0x53, 0x54})
+	small, _ := Build(3, []series.Point{{TG: 1, TA: 2, V: 3}})
+	big, _ := Build(9, func() []series.Point {
+		ps := make([]series.Point, 300)
+		for i := range ps {
+			ps[i] = series.Point{TG: int64(i) * 7, TA: int64(i)*7 + 2, V: float64(i) * 0.5}
+		}
+		return ps
+	}())
+	for _, tbl := range []*Table{small, big} {
+		for _, version := range []byte{1, 2} {
+			img := tbl.EncodeVersion(16, version)
+			f.Add(img)
+			f.Add(img[:len(img)/2])
+			f.Add(img[:len(img)-3])
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := Decode(data)
+		if err != nil {
+			if !decodeErrAllowed(err) {
+				t.Fatalf("Decode returned an error outside the package family: %v", err)
+			}
+		} else {
+			if tbl.Len() == 0 {
+				t.Fatal("Decode accepted an empty table")
+			}
+			pts := tbl.Points()
+			for i := 1; i < len(pts); i++ {
+				if pts[i].TG <= pts[i-1].TG {
+					t.Fatal("Decode accepted unsorted or duplicate timestamps")
+				}
+			}
+			// A decoded table must survive a round trip.
+			if _, rerr := Decode(tbl.Encode(16)); rerr != nil {
+				t.Fatalf("re-encode of accepted image failed to decode: %v", rerr)
+			}
+		}
+
+		// The lazy path must agree on acceptance and obey the same error
+		// discipline; block damage it cannot see at open time surfaces as
+		// wrapped errors from reads.
+		b := storage.NewMemBackend()
+		if werr := b.Write("f.tbl", data); werr != nil {
+			t.Fatal(werr)
+		}
+		r, oerr := OpenReader(b, "f.tbl", nil)
+		if oerr != nil {
+			if !decodeErrAllowed(oerr) && !errors.Is(oerr, storage.ErrNotFound) {
+				t.Fatalf("OpenReader returned an error outside the package family: %v", oerr)
+			}
+			if err == nil {
+				t.Fatalf("Decode accepted but OpenReader rejected: %v", oerr)
+			}
+			return
+		}
+		got, serr := r.Scan(r.MinTG(), r.MaxTG())
+		if serr != nil {
+			if !decodeErrAllowed(serr) {
+				t.Fatalf("Reader.Scan returned an error outside the package family: %v", serr)
+			}
+			if err == nil {
+				t.Fatalf("Decode accepted but Reader.Scan rejected: %v", serr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Decode rejected (%v) but the lazy path read the whole table", err)
+		}
+		if len(got) != tbl.Len() {
+			t.Fatalf("lazy full scan returned %d points, eager decode %d", len(got), tbl.Len())
+		}
+		for i := range got {
+			if got[i] != tbl.Points()[i] {
+				t.Fatalf("lazy point %d = %v, eager %v", i, got[i], tbl.Points()[i])
+			}
+		}
+	})
+}

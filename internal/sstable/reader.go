@@ -1,0 +1,271 @@
+package sstable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// Reader is the lazy, block-addressed counterpart of Table: it keeps only
+// the table header — block index and Bloom filter — in memory and decodes
+// individual blocks on demand, verifying each block's CRC32 on load.
+// Decoded blocks are published to a shared cache.Cache keyed by an owner
+// id unique to this reader, so a whole database's paged reads fit one
+// configurable memory budget.
+//
+// A Reader holds its storage.RangeReader open for its lifetime; the
+// OpenRange contract (snapshot-at-open, readable after Remove) is what
+// lets in-flight scans keep reading a table that a concurrent compaction
+// has already retired and unlinked.
+type Reader struct {
+	name  string
+	src   storage.RangeReader
+	h     *tableHeader
+	cache *cache.Cache
+	owner uint64
+
+	// retired flips once the table leaves the live set (compaction,
+	// retention, or engine close). Block loads still work — in-flight
+	// scans need them — but stop populating the cache, so a dead table
+	// cannot occupy cache capacity. See loadBlock for the re-check that
+	// closes the race with an in-flight Put.
+	retired atomic.Bool
+}
+
+var _ TableHandle = (*Reader)(nil)
+
+// openReaderHeaderBytes is the initial header read size. Headers are
+// typically a few hundred bytes (index + bloom); when one is larger the
+// read length doubles until the parse succeeds.
+const openReaderHeaderBytes = 4096
+
+// OpenReader opens the named encoded table for lazy reads, fetching and
+// validating only the header. c may be nil to bypass caching (every block
+// access then decodes from storage). No point data is read or decoded
+// here — recovery over a large manifest touches only headers.
+func OpenReader(b storage.Backend, name string, c *cache.Cache) (*Reader, error) {
+	src, err := b.OpenRange(name)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: open %s: %w", name, err)
+	}
+	total := src.Size()
+	readLen := int64(openReaderHeaderBytes)
+	var h *tableHeader
+	for {
+		if readLen > total {
+			readLen = total
+		}
+		buf := make([]byte, readLen)
+		if _, err := src.ReadAt(buf, 0); err != nil {
+			return nil, fmt.Errorf("sstable: read header of %s: %w", name, err)
+		}
+		h, err = parseHeader(buf, total)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, errShortHeader) && readLen < total {
+			readLen *= 2
+			continue
+		}
+		if errors.Is(err, errShortHeader) {
+			err = fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		return nil, fmt.Errorf("sstable: open %s: %w", name, err)
+	}
+	r := &Reader{name: name, src: src, h: h}
+	if c != nil {
+		r.cache = c
+		r.owner = c.NewOwner()
+	}
+	return r, nil
+}
+
+// ID returns the table's unique identifier.
+func (r *Reader) ID() uint64 { return r.h.id }
+
+// Len returns the number of points in the table.
+func (r *Reader) Len() int { return r.h.count }
+
+// MinTG returns the earliest generation time in the table.
+func (r *Reader) MinTG() int64 { return r.h.index[0].minTG }
+
+// MaxTG returns the latest generation time in the table.
+func (r *Reader) MaxTG() int64 { return r.h.index[len(r.h.index)-1].maxTG }
+
+// NumBlocks returns how many blocks the table encodes.
+func (r *Reader) NumBlocks() int { return len(r.h.index) }
+
+// Name returns the storage object name the reader was opened from.
+func (r *Reader) Name() string { return r.name }
+
+// ResidentPoints implements TableHandle: a lazy reader keeps no decoded
+// points of its own (its blocks live in the shared cache, if anywhere).
+func (r *Reader) ResidentPoints() int { return 0 }
+
+// Overlaps reports whether the table's generation-time range intersects
+// [lo, hi] (inclusive).
+func (r *Reader) Overlaps(lo, hi int64) bool {
+	return r.MinTG() <= hi && r.MaxTG() >= lo
+}
+
+// Retire marks the table as removed from the live set and evicts its
+// blocks from the shared cache. In-flight iterators keep working (the
+// underlying RangeReader stays open) but no longer populate the cache.
+func (r *Reader) Retire() {
+	r.retired.Store(true)
+	if r.cache != nil {
+		r.cache.EvictOwner(r.owner)
+	}
+}
+
+// blockCharge approximates the heap footprint of a decoded block for
+// cache accounting: 24 bytes per point plus slice and entry overhead.
+func blockCharge(n int) int64 { return int64(n)*24 + 64 }
+
+// loadBlock returns block i's decoded points, from the cache when
+// possible. Cache hits and storage reads are recorded in bs when non-nil.
+func (r *Reader) loadBlock(i int, bs *BlockStats) ([]series.Point, error) {
+	key := cache.Key{Owner: r.owner, Block: uint32(i)}
+	if r.cache != nil {
+		if v, ok := r.cache.Get(key); ok {
+			if bs != nil {
+				bs.BlocksCached++
+			}
+			return v.([]series.Point), nil
+		}
+	}
+	e := r.h.index[i]
+	raw := make([]byte, e.length)
+	if _, err := r.src.ReadAt(raw, r.h.blocksOff+int64(e.offset)); err != nil {
+		return nil, fmt.Errorf("sstable: read block %d of %s: %w", i, r.name, err)
+	}
+	pts, err := decodeBlock(r.h.version, raw, e)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: %s block %d: %w", r.name, i, err)
+	}
+	if bs != nil {
+		bs.BlocksRead++
+	}
+	if r.cache != nil && !r.retired.Load() {
+		r.cache.Put(key, pts, blockCharge(len(pts)))
+		// Retire may have run between the check and the Put, leaving our
+		// entry behind after its EvictOwner. Re-check and evict again so a
+		// retired table's blocks never linger.
+		if r.retired.Load() {
+			r.cache.EvictOwner(r.owner)
+		}
+	}
+	return pts, nil
+}
+
+// blockRange returns the half-open range [bi, bj) of block indexes whose
+// [minTG, maxTG] ranges intersect [lo, hi].
+func (r *Reader) blockRange(lo, hi int64) (int, int) {
+	idx := r.h.index
+	bi := sort.Search(len(idx), func(i int) bool { return idx[i].maxTG >= lo })
+	bj := sort.Search(len(idx), func(i int) bool { return idx[i].minTG > hi })
+	if bj < bi {
+		bj = bi
+	}
+	return bi, bj
+}
+
+// Get returns the point with generation time tg, consulting the Bloom
+// filter before touching any block; at most one block is read.
+func (r *Reader) Get(tg int64) (series.Point, bool, error) {
+	if !r.h.filter.MayContain(uint64(tg)) {
+		return series.Point{}, false, nil
+	}
+	idx := r.h.index
+	i := sort.Search(len(idx), func(i int) bool { return idx[i].maxTG >= tg })
+	if i == len(idx) || idx[i].minTG > tg {
+		return series.Point{}, false, nil
+	}
+	pts, err := r.loadBlock(i, nil)
+	if err != nil {
+		return series.Point{}, false, err
+	}
+	j := sort.Search(len(pts), func(j int) bool { return pts[j].TG >= tg })
+	if j < len(pts) && pts[j].TG == tg {
+		return pts[j], true, nil
+	}
+	return series.Point{}, false, nil
+}
+
+// Scan returns the points with generation time in [lo, hi], decoding only
+// the overlapping blocks. An inverted range yields an empty result.
+func (r *Reader) Scan(lo, hi int64) ([]series.Point, error) {
+	if lo > hi {
+		return nil, nil
+	}
+	bi, bj := r.blockRange(lo, hi)
+	var out []series.Point
+	for b := bi; b < bj; b++ {
+		pts, err := r.loadBlock(b, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, clampRange(pts, lo, hi)...)
+	}
+	return out, nil
+}
+
+// Iter implements TableHandle, streaming in-range points one block at a
+// time so a scan holds at most one decoded block per table beyond what
+// the cache retains.
+func (r *Reader) Iter(lo, hi int64, bs *BlockStats) PointIterator {
+	if lo > hi {
+		return &Iterator{}
+	}
+	bi, bj := r.blockRange(lo, hi)
+	return &readerIter{r: r, bs: bs, lo: lo, hi: hi, b: bi, bj: bj}
+}
+
+// readerIter streams one reader's blocks through clampRange.
+type readerIter struct {
+	r      *Reader
+	bs     *BlockStats
+	lo, hi int64
+	b, bj  int
+	cur    []series.Point
+	pos    int
+	err    error
+}
+
+var _ PointIterator = (*readerIter)(nil)
+
+// Next advances to the next in-range point, loading blocks as needed. A
+// failed block read stops iteration; see Err.
+func (it *readerIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for {
+		if it.pos < len(it.cur) {
+			it.pos++
+			return true
+		}
+		if it.b >= it.bj {
+			return false
+		}
+		pts, err := it.r.loadBlock(it.b, it.bs)
+		it.b++
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.cur = clampRange(pts, it.lo, it.hi)
+		it.pos = 0
+	}
+}
+
+// Point returns the current point; valid only after a true Next.
+func (it *readerIter) Point() series.Point { return it.cur[it.pos-1] }
+
+// Err reports the block-read error that terminated iteration, if any.
+func (it *readerIter) Err() error { return it.err }

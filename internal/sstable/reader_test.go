@@ -1,0 +1,286 @@
+package sstable
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// openTestReader encodes tbl, stores it, and opens a lazy reader over it.
+func openTestReader(t *testing.T, tbl *Table, blockPoints int, version byte, c *cache.Cache) *Reader {
+	t.Helper()
+	b := storage.NewMemBackend()
+	if err := b.Write("t.tbl", tbl.EncodeVersion(blockPoints, version)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(b, "t.tbl", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// randomPoints returns n points with random strictly ascending TGs.
+func randomPoints(r *rand.Rand, n int) []series.Point {
+	ps := make([]series.Point, n)
+	tg := int64(r.Intn(1000))
+	for i := range ps {
+		tg += 1 + r.Int63n(97)
+		ps[i] = series.Point{TG: tg, TA: tg + r.Int63n(500), V: r.NormFloat64()}
+	}
+	return ps
+}
+
+// collect drains a PointIterator, failing the test on an iterator error.
+func collect(t *testing.T, it PointIterator) []series.Point {
+	t.Helper()
+	var out []series.Point
+	for it.Next() {
+		out = append(out, it.Point())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	return out
+}
+
+func equalPoints(a, b []series.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReaderMatchesTableProperty is the read-path equivalence property:
+// for random tables, block sizes, format versions, and cache
+// configurations, every Get, Scan, and Iter against the lazy Reader must
+// agree exactly with the resident Table. Ranges include empty, inverted,
+// point, and block-boundary-straddling cases.
+func TestReaderMatchesTableProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(400)
+		pts := randomPoints(rng, n)
+		tbl, err := Build(uint64(trial), append([]series.Point(nil), pts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		version := byte(1 + trial%2)
+		blockPoints := 1 + rng.Intn(32)
+		var c *cache.Cache
+		switch trial % 3 {
+		case 0: // no cache
+		case 1:
+			c = cache.New(1 << 20) // everything fits
+		case 2:
+			c = cache.New(1) // nothing fits: every load decodes
+		}
+		r := openTestReader(t, tbl, blockPoints, version, c)
+
+		if r.ID() != tbl.ID() || r.Len() != tbl.Len() || r.MinTG() != tbl.MinTG() || r.MaxTG() != tbl.MaxTG() {
+			t.Fatalf("trial %d: metadata mismatch: reader id=%d len=%d [%d,%d]",
+				trial, r.ID(), r.Len(), r.MinTG(), r.MaxTG())
+		}
+		if r.ResidentPoints() != 0 {
+			t.Fatalf("trial %d: lazy reader claims %d resident points", trial, r.ResidentPoints())
+		}
+
+		// Point lookups: every present TG, plus misses around them.
+		for i := 0; i < 30; i++ {
+			var tg int64
+			if i%2 == 0 {
+				tg = pts[rng.Intn(n)].TG
+			} else {
+				tg = pts[rng.Intn(n)].TG + int64(rng.Intn(5)) - 2
+			}
+			wp, wok, _ := tbl.Get(tg)
+			gp, gok, err := r.Get(tg)
+			if err != nil {
+				t.Fatalf("trial %d: reader Get(%d): %v", trial, tg, err)
+			}
+			if wok != gok || wp != gp {
+				t.Fatalf("trial %d: Get(%d) = (%v,%v), table says (%v,%v)", trial, tg, gp, gok, wp, wok)
+			}
+		}
+
+		// Range scans: random ranges, block-boundary straddles, empty,
+		// inverted, and the full range.
+		ranges := [][2]int64{
+			{tbl.MinTG(), tbl.MaxTG()},
+			{tbl.MinTG() - 100, tbl.MaxTG() + 100},
+			{tbl.MaxTG() + 1, tbl.MaxTG() + 50}, // empty, past the end
+			{tbl.MinTG() - 50, tbl.MinTG() - 1}, // empty, before the start
+			{tbl.MaxTG(), tbl.MinTG()},          // inverted
+		}
+		for i := 0; i < 10; i++ {
+			a := pts[rng.Intn(n)].TG + int64(rng.Intn(3)) - 1
+			b := pts[rng.Intn(n)].TG + int64(rng.Intn(3)) - 1
+			ranges = append(ranges, [2]int64{a, b})
+		}
+		if n > blockPoints {
+			// Straddle the first block boundary exactly.
+			ranges = append(ranges, [2]int64{pts[blockPoints-1].TG, pts[blockPoints].TG})
+		}
+		for _, rg := range ranges {
+			want, _ := tbl.Scan(rg[0], rg[1])
+			got, err := r.Scan(rg[0], rg[1])
+			if err != nil {
+				t.Fatalf("trial %d: reader Scan(%d,%d): %v", trial, rg[0], rg[1], err)
+			}
+			if !equalPoints(want, got) {
+				t.Fatalf("trial %d: Scan(%d,%d): reader %d points, table %d", trial, rg[0], rg[1], len(got), len(want))
+			}
+			var bs BlockStats
+			gotIter := collect(t, r.Iter(rg[0], rg[1], &bs))
+			if !equalPoints(want, gotIter) {
+				t.Fatalf("trial %d: Iter(%d,%d): reader %d points, table %d", trial, rg[0], rg[1], len(gotIter), len(want))
+			}
+			wantIter := collect(t, tbl.Iter(rg[0], rg[1], nil))
+			if !equalPoints(want, wantIter) {
+				t.Fatalf("trial %d: table Iter(%d,%d) disagrees with Scan", trial, rg[0], rg[1])
+			}
+		}
+	}
+}
+
+// TestReaderBlockStatsAccounting checks that one full iteration reads
+// each overlapping block exactly once, and that a second pass with a warm
+// cache is served entirely from it.
+func TestReaderBlockStatsAccounting(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(256, 0, 2))
+	c := cache.New(1 << 20)
+	r := openTestReader(t, tbl, 16, FormatVersion, c)
+
+	var cold BlockStats
+	got := collect(t, r.Iter(r.MinTG(), r.MaxTG(), &cold))
+	if len(got) != 256 {
+		t.Fatalf("iterated %d points", len(got))
+	}
+	if cold.BlocksRead != int64(r.NumBlocks()) || cold.BlocksCached != 0 {
+		t.Fatalf("cold pass: read=%d cached=%d, want %d/0", cold.BlocksRead, cold.BlocksCached, r.NumBlocks())
+	}
+	var warm BlockStats
+	collect(t, r.Iter(r.MinTG(), r.MaxTG(), &warm))
+	if warm.BlocksRead != 0 || warm.BlocksCached != int64(r.NumBlocks()) {
+		t.Fatalf("warm pass: read=%d cached=%d, want 0/%d", warm.BlocksRead, warm.BlocksCached, r.NumBlocks())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != cold.BlocksRead+cold.BlocksCached+warm.BlocksRead+warm.BlocksCached {
+		t.Fatalf("cache hits+misses = %d, want %d blocks requested",
+			st.Hits+st.Misses, cold.BlocksRead+warm.BlocksCached+int64(2*r.NumBlocks()))
+	}
+}
+
+// TestReaderRetireEvictsCache checks Retire removes the reader's blocks
+// from the shared cache, and that a load racing with Retire cannot leave
+// entries behind.
+func TestReaderRetireEvictsCache(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(64, 0, 1))
+	c := cache.New(1 << 20)
+	r := openTestReader(t, tbl, 8, FormatVersion, c)
+	if _, err := r.Scan(r.MinTG(), r.MaxTG()); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries == 0 {
+		t.Fatal("scan populated nothing")
+	}
+	r.Retire()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("cache not empty after Retire: %+v", st)
+	}
+	// Reads still work after retire (in-flight scan semantics) but must
+	// not repopulate the cache.
+	if _, err := r.Scan(r.MinTG(), r.MaxTG()); err != nil {
+		t.Fatalf("scan after retire: %v", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("retired reader repopulated cache: %+v", st)
+	}
+}
+
+// TestOpenReaderLargeHeader forces the header past the initial 4 KiB read
+// so the doubling retry path is exercised.
+func TestOpenReaderLargeHeader(t *testing.T) {
+	tbl, _ := Build(9, mkPoints(4000, 0, 3))
+	r := openTestReader(t, tbl, 1, FormatVersion, nil) // 4000 index entries
+	if r.NumBlocks() != 4000 {
+		t.Fatalf("NumBlocks = %d", r.NumBlocks())
+	}
+	got, err := r.Scan(10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tbl.Scan(10, 50)
+	if !equalPoints(want, got) {
+		t.Fatal("scan mismatch after large-header open")
+	}
+}
+
+// TestOpenReaderRejectsCorruptImages mirrors Decode's validation through
+// the lazy open path.
+func TestOpenReaderRejectsCorruptImages(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(64, 0, 2))
+	img := tbl.Encode(16)
+	b := storage.NewMemBackend()
+
+	for name, mut := range map[string]func([]byte) []byte{
+		"bad magic":    func(d []byte) []byte { d[0] ^= 0xff; return d },
+		"bad version":  func(d []byte) []byte { d[4] = 77; return d },
+		"truncated":    func(d []byte) []byte { return d[:len(d)/3] },
+		"header noise": func(d []byte) []byte { d[7] ^= 0xa5; return d },
+	} {
+		data := mut(append([]byte(nil), img...))
+		if err := b.Write("x.tbl", data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenReader(b, "x.tbl", nil); err == nil {
+			t.Errorf("%s: OpenReader succeeded", name)
+		}
+	}
+	if _, err := OpenReader(b, "missing.tbl", nil); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("missing object: %v", err)
+	}
+}
+
+// TestReaderDetectsCorruptBlockLazily corrupts one block's bytes: the
+// header parses fine, reads of other blocks succeed, and only touching
+// the damaged block fails.
+func TestReaderDetectsCorruptBlockLazily(t *testing.T) {
+	tbl, _ := Build(1, mkPoints(64, 0, 2))
+	img := tbl.Encode(16) // 4 blocks
+	img[len(img)-6] ^= 0x55
+	b := storage.NewMemBackend()
+	if err := b.Write("t.tbl", img); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(b, "t.tbl", nil)
+	if err != nil {
+		t.Fatalf("open should only touch the header: %v", err)
+	}
+	// First block is intact.
+	if _, ok, err := r.Get(0); err != nil || !ok {
+		t.Fatalf("Get(0) = ok=%v err=%v", ok, err)
+	}
+	// Last block is damaged.
+	if _, err := r.Scan(r.MaxTG(), r.MaxTG()); err == nil {
+		t.Fatal("read of corrupted block succeeded")
+	} else if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want checksum/corrupt error, got %v", err)
+	}
+	// The same failure must surface through the iterator's Err.
+	it := r.Iter(r.MinTG(), r.MaxTG(), nil)
+	for it.Next() {
+	}
+	if it.Err() == nil {
+		t.Fatal("iterator over corrupted block reported no error")
+	}
+}

@@ -3,11 +3,13 @@
 // generation time (the paper: "In an SSTable, the entries are sorted by the
 // generation time").
 //
-// A Table keeps its points decoded in memory for fast merging and scanning
-// — the experiments are simulation-scale — while Encode/Decode provide a
-// durable on-disk image with delta-compressed timestamp blocks, per-block
-// CRC32 checksums, a block index, and a Bloom filter over generation
-// timestamps for point lookups.
+// Two representations implement the TableHandle read interface: Table keeps
+// its points decoded in memory (the write path builds tables this way
+// before persisting them), while Reader keeps only the footer — block
+// index and Bloom filter — resident and pages individual blocks in on
+// demand through a shared LRU cache. Encode/Decode provide the durable
+// image with delta-compressed timestamp blocks, per-block CRC32 checksums,
+// a block index, and a Bloom filter over generation timestamps.
 package sstable
 
 import (
@@ -32,7 +34,7 @@ const FormatVersion = 2
 // DefaultBlockPoints is the number of points per encoded block.
 const DefaultBlockPoints = 128
 
-// Errors returned by Decode.
+// Errors returned by Decode and OpenReader.
 var (
 	ErrBadMagic    = errors.New("sstable: bad magic")
 	ErrBadVersion  = errors.New("sstable: unsupported format version")
@@ -43,12 +45,70 @@ var (
 	ErrDupTimstamp = errors.New("sstable: duplicate generation timestamp")
 )
 
-// Table is an immutable run of points sorted ascending by generation time.
+// errShortHeader is an internal sentinel: the supplied prefix of the image
+// ends inside the header, and a longer prefix would let the parse proceed.
+// It is never returned to callers of Decode or OpenReader.
+var errShortHeader = errors.New("sstable: header extends past prefix")
+
+// TableHandle is the uniform read interface over one immutable table,
+// whether its points are resident (Table) or paged in lazily (Reader).
+// Get, Scan, and Iter may perform storage reads and can therefore fail;
+// resident tables never return errors.
+type TableHandle interface {
+	// ID returns the table's unique identifier.
+	ID() uint64
+	// Len returns the number of points in the table.
+	Len() int
+	// MinTG returns the earliest generation time in the table.
+	MinTG() int64
+	// MaxTG returns the latest generation time in the table.
+	MaxTG() int64
+	// Overlaps reports whether the table's range intersects [lo, hi].
+	Overlaps(lo, hi int64) bool
+	// Get returns the point with generation time tg, if present.
+	Get(tg int64) (series.Point, bool, error)
+	// Scan returns the points with generation time in [lo, hi], in order.
+	// An inverted range (lo > hi) yields an empty result, not an error.
+	Scan(lo, hi int64) ([]series.Point, error)
+	// Iter streams the points with generation time in [lo, hi] without
+	// materializing them all; block-level read accounting is added to bs
+	// when bs is non-nil. A failed storage read surfaces through the
+	// iterator's Err after Next returns false.
+	Iter(lo, hi int64, bs *BlockStats) PointIterator
+	// ResidentPoints returns how many decoded points the handle itself
+	// keeps in memory: Len() for a resident Table, 0 for a lazy Reader
+	// (whose decoded blocks live in the shared cache, not the handle).
+	ResidentPoints() int
+}
+
+// PointIterator streams points in ascending generation-time order. After
+// Next returns false, Err reports whether iteration ended by exhaustion
+// (nil) or by a failed read.
+type PointIterator interface {
+	Next() bool
+	Point() series.Point
+	Err() error
+}
+
+// BlockStats accumulates block-level read accounting for one operation.
+// The same collector is shared by every table iterator feeding one scan,
+// so a scan's totals are in one place.
+type BlockStats struct {
+	// BlocksRead counts blocks fetched from storage and decoded.
+	BlocksRead int64
+	// BlocksCached counts block requests served by the shared cache.
+	BlocksCached int64
+}
+
+// Table is an immutable run of points sorted ascending by generation time,
+// fully resident in memory.
 type Table struct {
 	id     uint64
 	points []series.Point
 	filter *bloom.Filter
 }
+
+var _ TableHandle = (*Table)(nil)
 
 // Build constructs a table with the given id from points that must be
 // sorted strictly ascending by generation time. Build takes ownership of
@@ -87,6 +147,9 @@ func (t *Table) MaxTG() int64 { return t.points[len(t.points)-1].TG }
 // Points returns the backing point slice. Callers must not modify it.
 func (t *Table) Points() []series.Point { return t.points }
 
+// ResidentPoints implements TableHandle: every point is in memory.
+func (t *Table) ResidentPoints() int { return len(t.points) }
+
 // Overlaps reports whether the table's generation-time range intersects
 // [lo, hi] (inclusive).
 func (t *Table) Overlaps(lo, hi int64) bool {
@@ -94,35 +157,60 @@ func (t *Table) Overlaps(lo, hi int64) bool {
 }
 
 // Get returns the point with generation time tg, consulting the Bloom
-// filter first. The second result reports whether the point exists.
-func (t *Table) Get(tg int64) (series.Point, bool) {
+// filter first. The second result reports whether the point exists; the
+// error is always nil for a resident table.
+func (t *Table) Get(tg int64) (series.Point, bool, error) {
 	if !t.filter.MayContain(uint64(tg)) {
-		return series.Point{}, false
+		return series.Point{}, false, nil
 	}
 	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].TG >= tg })
 	if i < len(t.points) && t.points[i].TG == tg {
-		return t.points[i], true
+		return t.points[i], true, nil
 	}
-	return series.Point{}, false
+	return series.Point{}, false, nil
 }
 
 // Scan returns the sub-slice of points with generation time in [lo, hi]
 // (inclusive). The returned slice aliases the table and must not be
-// modified.
-func (t *Table) Scan(lo, hi int64) []series.Point {
-	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].TG >= lo })
-	j := sort.Search(len(t.points), func(j int) bool { return t.points[j].TG > hi })
-	return t.points[i:j]
+// modified. An inverted range yields an empty result.
+func (t *Table) Scan(lo, hi int64) ([]series.Point, error) {
+	if lo > hi {
+		return nil, nil
+	}
+	return clampRange(t.points, lo, hi), nil
 }
 
-// Iterator walks the table's points in generation-time order.
+// clampRange returns the sub-slice of the sorted slice pts whose
+// generation times fall in [lo, hi]. The result aliases pts.
+func clampRange(pts []series.Point, lo, hi int64) []series.Point {
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].TG >= lo })
+	j := sort.Search(len(pts), func(j int) bool { return pts[j].TG > hi })
+	if j < i {
+		j = i
+	}
+	return pts[i:j]
+}
+
+// Iterator walks a sorted point slice in generation-time order. It
+// implements PointIterator; Err is always nil because no reads occur.
 type Iterator struct {
 	points []series.Point
 	pos    int
 }
 
-// Iter returns an iterator positioned before the first point.
-func (t *Table) Iter() *Iterator { return &Iterator{points: t.points} }
+var _ PointIterator = (*Iterator)(nil)
+
+// Iter implements TableHandle, streaming the in-range points. The bs
+// collector is unused: resident tables read no blocks.
+func (t *Table) Iter(lo, hi int64, bs *BlockStats) PointIterator {
+	pts, _ := t.Scan(lo, hi)
+	return &Iterator{points: pts}
+}
+
+// IterPoints returns a PointIterator over a slice already sorted by
+// generation time; the LSM layer uses it to feed memtable snapshots into
+// the same merge machinery as table blocks.
+func IterPoints(pts []series.Point) *Iterator { return &Iterator{points: pts} }
 
 // Next advances and reports whether a point is available.
 func (it *Iterator) Next() bool {
@@ -130,11 +218,14 @@ func (it *Iterator) Next() bool {
 		return false
 	}
 	it.pos++
-	return it.pos <= len(it.points)
+	return true
 }
 
 // Point returns the current point; valid only after a true Next.
 func (it *Iterator) Point() series.Point { return it.points[it.pos-1] }
+
+// Err implements PointIterator; slice iteration cannot fail.
+func (it *Iterator) Err() error { return nil }
 
 // blockIndexEntry locates one block inside the encoded image.
 type blockIndexEntry struct {
@@ -143,6 +234,19 @@ type blockIndexEntry struct {
 	count  int
 	offset int // from start of blocks region
 	length int
+}
+
+// tableHeader is everything before the blocks region of an encoded image:
+// identity, the block index, and the Bloom filter. It is what a lazy
+// Reader keeps resident.
+type tableHeader struct {
+	version     byte
+	id          uint64
+	count       int
+	blockPoints int
+	index       []blockIndexEntry
+	filter      *bloom.Filter
+	blocksOff   int64 // offset of the blocks region from the image start
 }
 
 // Encode serializes the table at the current FormatVersion. Layout:
@@ -230,20 +334,39 @@ func (t *Table) EncodeVersion(blockPoints int, version byte) []byte {
 	return out
 }
 
-// Decode reconstructs a table from an encoded image, verifying magic,
-// version, and every block checksum.
-func Decode(src []byte) (*Table, error) {
+// parseHeader parses and validates the header region of an encoded image.
+// src is a prefix of the image; total is the full image size. When src
+// ends inside the header (and a longer prefix exists), errShortHeader is
+// returned so callers reading the header incrementally can fetch more.
+//
+// Validation here is what makes lazy reads safe against hostile images:
+// every count, offset, and length is bounded by the image size before any
+// allocation sized from it, and the block index must describe disjoint,
+// ascending, exhaustive blocks. Per-block payloads are checked separately
+// by decodeBlock when they are actually read.
+func parseHeader(src []byte, total int64) (*tableHeader, error) {
+	short := int64(len(src)) < total
+	corrupt := func(context string, err error) error {
+		if errors.Is(err, encoding.ErrShortBuffer) && short {
+			return errShortHeader
+		}
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, context, err)
+	}
+
 	off := 0
 	magic, n, err := encoding.Uint32(src)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, corrupt("magic", err)
 	}
 	off += n
 	if magic != Magic {
 		return nil, ErrBadMagic
 	}
 	if off >= len(src) {
-		return nil, ErrCorrupt
+		if short {
+			return nil, errShortHeader
+		}
+		return nil, fmt.Errorf("%w: missing version byte", ErrCorrupt)
 	}
 	version := src[off]
 	if version != 1 && version != 2 {
@@ -251,121 +374,201 @@ func Decode(src []byte) (*Table, error) {
 	}
 	off++
 
-	readUvarint := func() (uint64, error) {
+	readUvarint := func(context string) (uint64, error) {
 		v, n, err := encoding.Uvarint(src[off:])
 		if err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return 0, corrupt(context, err)
 		}
 		off += n
 		return v, nil
 	}
-	readVarint := func() (int64, error) {
+	readVarint := func(context string) (int64, error) {
 		v, n, err := encoding.Varint(src[off:])
 		if err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return 0, corrupt(context, err)
 		}
 		off += n
 		return v, nil
 	}
 
-	id, err := readUvarint()
+	id, err := readUvarint("id")
 	if err != nil {
 		return nil, err
 	}
-	count, err := readUvarint()
+	count, err := readUvarint("count")
 	if err != nil {
 		return nil, err
 	}
-	if _, err := readUvarint(); err != nil { // blockPoints (informational)
-		return nil, err
-	}
-	numBlocks, err := readUvarint()
+	blockPoints, err := readUvarint("blockPoints")
 	if err != nil {
 		return nil, err
 	}
-	if count == 0 || numBlocks == 0 || count > 1<<40 || numBlocks > count {
-		return nil, ErrCorrupt
+	numBlocks, err := readUvarint("numBlocks")
+	if err != nil {
+		return nil, err
 	}
+	// Every point occupies at least two bytes in the blocks region (one
+	// byte per timestamp delta), so a count claiming more points than the
+	// image could hold is corrupt — and, crucially, rejected before any
+	// count-sized allocation.
+	if count == 0 || numBlocks == 0 || numBlocks > count || count*2 > uint64(total) {
+		return nil, fmt.Errorf("%w: implausible point/block counts (%d/%d in %d bytes)", ErrCorrupt, count, numBlocks, total)
+	}
+
 	index := make([]blockIndexEntry, numBlocks)
+	var sum uint64
 	for i := range index {
-		minTG, err := readVarint()
+		minTG, err := readVarint("index minTG")
 		if err != nil {
 			return nil, err
 		}
-		maxTG, err := readVarint()
+		maxTG, err := readVarint("index maxTG")
 		if err != nil {
 			return nil, err
 		}
-		c, err := readUvarint()
+		c, err := readUvarint("index count")
 		if err != nil {
 			return nil, err
 		}
-		o, err := readUvarint()
+		o, err := readUvarint("index offset")
 		if err != nil {
 			return nil, err
 		}
-		l, err := readUvarint()
+		l, err := readUvarint("index length")
 		if err != nil {
 			return nil, err
 		}
+		// Bound before converting to int: offsets/lengths beyond the image
+		// are corrupt, and the check keeps conversions safe on 32-bit.
+		if c == 0 || c > count || o > uint64(total) || l > uint64(total) {
+			return nil, fmt.Errorf("%w: index entry %d out of bounds", ErrCorrupt, i)
+		}
+		// A block holds c points (≥2 bytes each) plus a 4-byte checksum.
+		if c*2+4 > l {
+			return nil, fmt.Errorf("%w: index entry %d: %d points cannot fit in %d bytes", ErrCorrupt, i, c, l)
+		}
+		if minTG > maxTG {
+			return nil, fmt.Errorf("%w: index entry %d: inverted range", ErrCorrupt, i)
+		}
+		if i > 0 && minTG <= index[i-1].maxTG {
+			return nil, fmt.Errorf("%w: index entries overlap or regress at %d", ErrUnsorted, i)
+		}
+		sum += c
 		index[i] = blockIndexEntry{minTG: minTG, maxTG: maxTG, count: int(c), offset: int(o), length: int(l)}
 	}
-	bloomLen, err := readUvarint()
+	if sum != count {
+		return nil, fmt.Errorf("%w: index counts sum to %d, header says %d", ErrCorrupt, sum, count)
+	}
+
+	bloomLen, err := readUvarint("bloom length")
 	if err != nil {
 		return nil, err
 	}
+	if bloomLen > uint64(total) || int64(off)+int64(bloomLen) > total {
+		return nil, fmt.Errorf("%w: bloom filter extends past image", ErrCorrupt)
+	}
 	if off+int(bloomLen) > len(src) {
-		return nil, ErrCorrupt
+		return nil, errShortHeader // short is implied: bloom fits in total
 	}
 	filter, _, err := bloom.Decode(src[off : off+int(bloomLen)])
 	if err != nil {
 		return nil, fmt.Errorf("%w: bloom: %v", ErrCorrupt, err)
 	}
 	off += int(bloomLen)
-	blocks := src[off:]
 
-	points := make([]series.Point, 0, count)
-	for _, e := range index {
-		if e.offset < 0 || e.length < 4 || e.offset+e.length > len(blocks) {
-			return nil, ErrCorrupt
-		}
-		raw := blocks[e.offset : e.offset+e.length]
-		payload := raw[:len(raw)-4]
-		wantCRC, _, err := encoding.Uint32(raw[len(raw)-4:])
-		if err != nil {
-			return nil, ErrCorrupt
-		}
-		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return nil, ErrChecksum
-		}
-		tgs, consumed, err := encoding.DecodeDeltas(payload, e.count)
-		if err != nil {
-			return nil, fmt.Errorf("%w: tg deltas: %v", ErrCorrupt, err)
-		}
-		payload = payload[consumed:]
-		tas, consumed, err := encoding.DecodeDeltas(payload, e.count)
-		if err != nil {
-			return nil, fmt.Errorf("%w: ta deltas: %v", ErrCorrupt, err)
-		}
-		payload = payload[consumed:]
-		var vs []float64
-		if version >= 2 {
-			vs, _, err = encoding.DecodeGorilla(payload, e.count)
-		} else {
-			vs, _, err = encoding.DecodeFloats(payload, e.count)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: values: %v", ErrCorrupt, err)
-		}
-		for i := 0; i < e.count; i++ {
-			points = append(points, series.Point{TG: tgs[i], TA: tas[i], V: vs[i]})
+	h := &tableHeader{
+		version:     version,
+		id:          id,
+		count:       int(count),
+		blockPoints: int(blockPoints),
+		index:       index,
+		filter:      filter,
+		blocksOff:   int64(off),
+	}
+	blocksLen := total - h.blocksOff
+	for i, e := range index {
+		if int64(e.offset)+int64(e.length) > blocksLen {
+			return nil, fmt.Errorf("%w: block %d extends past image", ErrCorrupt, i)
 		}
 	}
-	if uint64(len(points)) != count {
-		return nil, ErrCorrupt
+	return h, nil
+}
+
+// decodeBlock verifies and decodes one block. raw is exactly the block's
+// e.length bytes (payload + CRC32). The decoded points are validated
+// against the index entry — sorted strictly ascending, first and last
+// matching the entry's range — because the index itself is not covered by
+// the block checksum.
+func decodeBlock(version byte, raw []byte, e blockIndexEntry) ([]series.Point, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("%w: block shorter than checksum", ErrCorrupt)
 	}
-	if !series.IsSortedByTG(points) {
-		return nil, ErrUnsorted
+	payload := raw[:len(raw)-4]
+	wantCRC, _, err := encoding.Uint32(raw[len(raw)-4:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: block checksum: %v", ErrCorrupt, err)
 	}
-	return &Table{id: id, points: points, filter: filter}, nil
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, ErrChecksum
+	}
+	tgs, consumed, err := encoding.DecodeDeltas(payload, e.count)
+	if err != nil {
+		return nil, fmt.Errorf("%w: tg deltas: %v", ErrCorrupt, err)
+	}
+	payload = payload[consumed:]
+	tas, consumed, err := encoding.DecodeDeltas(payload, e.count)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ta deltas: %v", ErrCorrupt, err)
+	}
+	payload = payload[consumed:]
+	var vs []float64
+	if version >= 2 {
+		vs, _, err = encoding.DecodeGorilla(payload, e.count)
+	} else {
+		vs, _, err = encoding.DecodeFloats(payload, e.count)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: values: %v", ErrCorrupt, err)
+	}
+	pts := make([]series.Point, e.count)
+	for i := range pts {
+		pts[i] = series.Point{TG: tgs[i], TA: tas[i], V: vs[i]}
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TG < pts[i-1].TG {
+			return nil, ErrUnsorted
+		}
+		if pts[i].TG == pts[i-1].TG {
+			return nil, ErrDupTimstamp
+		}
+	}
+	if pts[0].TG != e.minTG || pts[len(pts)-1].TG != e.maxTG {
+		return nil, fmt.Errorf("%w: block contents disagree with index range", ErrCorrupt)
+	}
+	return pts, nil
+}
+
+// Decode reconstructs a fully resident table from an encoded image,
+// verifying magic, version, header consistency, and every block checksum.
+func Decode(src []byte) (*Table, error) {
+	h, err := parseHeader(src, int64(len(src)))
+	if err != nil {
+		if errors.Is(err, errShortHeader) {
+			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		return nil, err
+	}
+	blocks := src[h.blocksOff:]
+	points := make([]series.Point, 0, h.count)
+	for i := range h.index {
+		e := h.index[i]
+		pts, err := decodeBlock(h.version, blocks[e.offset:e.offset+e.length], e)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", i, err)
+		}
+		points = append(points, pts...)
+	}
+	// Cross-block ordering is implied by the index checks in parseHeader
+	// plus the per-block range checks in decodeBlock.
+	return &Table{id: h.id, points: points, filter: h.filter}, nil
 }

@@ -70,7 +70,10 @@ func TestOverlaps(t *testing.T) {
 func TestGet(t *testing.T) {
 	tbl, _ := Build(1, mkPoints(50, 0, 7))
 	for i := 0; i < 50; i++ {
-		p, ok := tbl.Get(int64(i) * 7)
+		p, ok, err := tbl.Get(int64(i) * 7)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i*7, err)
+		}
 		if !ok {
 			t.Fatalf("Get(%d) missing", i*7)
 		}
@@ -78,10 +81,10 @@ func TestGet(t *testing.T) {
 			t.Errorf("Get(%d).V = %v", i*7, p.V)
 		}
 	}
-	if _, ok := tbl.Get(3); ok {
+	if _, ok, _ := tbl.Get(3); ok {
 		t.Error("Get(3) should miss")
 	}
-	if _, ok := tbl.Get(-100); ok {
+	if _, ok, _ := tbl.Get(-100); ok {
 		t.Error("Get(-100) should miss")
 	}
 }
@@ -98,9 +101,13 @@ func TestScan(t *testing.T) {
 		{91, 200, 0},
 		{-50, -1, 0},
 		{85, 200, 1},
+		{60, 40, 0}, // inverted range must be empty, not a panic
 	}
 	for _, tc := range tests {
-		got := tbl.Scan(tc.lo, tc.hi)
+		got, err := tbl.Scan(tc.lo, tc.hi)
+		if err != nil {
+			t.Fatalf("Scan(%d,%d): %v", tc.lo, tc.hi, err)
+		}
 		if len(got) != tc.want {
 			t.Errorf("Scan(%d,%d) = %d points, want %d", tc.lo, tc.hi, len(got), tc.want)
 		}
@@ -114,7 +121,7 @@ func TestScan(t *testing.T) {
 
 func TestIterator(t *testing.T) {
 	tbl, _ := Build(1, mkPoints(5, 0, 1))
-	it := tbl.Iter()
+	it := tbl.Iter(tbl.MinTG(), tbl.MaxTG(), nil)
 	var n int
 	var last int64 = -1
 	for it.Next() {
@@ -150,7 +157,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			}
 		}
 		// Bloom filter must work after decode.
-		if _, ok := got.Get(5000); !ok {
+		if _, ok, _ := got.Get(5000); !ok {
 			t.Error("decoded table lost Get")
 		}
 	}

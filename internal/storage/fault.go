@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 )
 
@@ -13,9 +14,9 @@ var ErrInjected = errors.New("storage: injected fault")
 
 // FaultBackend wraps a Backend and injects a permanent storage failure
 // after a budget of mutating operations (Write, Append, Remove), simulating
-// a crash or a dying device at an exact point in the write sequence. Reads
-// always pass through — after the "crash", the surviving state can be
-// inspected or recovered from.
+// a crash or a dying device at an exact point in the write sequence. By
+// default reads pass through — after the "crash", the surviving state can
+// be inspected or recovered from.
 //
 // The recovery test suites use it in two passes: a counting pass with an
 // unlimited budget records how many mutating ops a scripted workload
@@ -26,6 +27,14 @@ var ErrInjected = errors.New("storage: injected fault")
 // With tearing enabled, the append that exhausts the budget applies a
 // prefix of its payload before failing — the torn-tail case a real crash
 // mid-append produces, which WAL replay must discard.
+//
+// Reads have their own, independently armed fault plane for exercising the
+// lazy SSTable read path: SetReadBudget allows n more read operations
+// (Read, and each ReadAt through an OpenRange reader) before tripping; the
+// trip is sticky — every later read fails too — until the budget is reset,
+// modeling a dying disk rather than a transient hiccup. SetShortReads makes
+// every ranged read return roughly half the requested bytes with
+// io.ErrUnexpectedEOF, the torn-read analogue of SetTear.
 type FaultBackend struct {
 	inner Backend
 
@@ -34,12 +43,17 @@ type FaultBackend struct {
 	tear    bool
 	tripped bool
 	ops     int64
+
+	readBudget  int64 // read ops remaining; < 0 means unlimited
+	readTripped bool
+	shortReads  bool
+	readOps     int64
 }
 
-// NewFaultBackend wraps inner with an unlimited budget (counting mode).
-// Arm it with SetBudget.
+// NewFaultBackend wraps inner with unlimited write and read budgets
+// (counting mode). Arm it with SetBudget / SetReadBudget.
 func NewFaultBackend(inner Backend) *FaultBackend {
-	return &FaultBackend{inner: inner, budget: -1}
+	return &FaultBackend{inner: inner, budget: -1, readBudget: -1}
 }
 
 // SetBudget allows n more mutating operations; the (n+1)-th and all later
@@ -123,8 +137,96 @@ func (f *FaultBackend) Remove(name string) error {
 	return f.inner.Remove(name)
 }
 
-// Read implements Backend (never fails by injection).
-func (f *FaultBackend) Read(name string) ([]byte, error) { return f.inner.Read(name) }
+// SetReadBudget allows n more read operations; the (n+1)-th and all later
+// ones fail with ErrInjected (sticky trip). A negative n disarms read
+// faults. Resetting the budget clears a previous trip.
+func (f *FaultBackend) SetReadBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readBudget = n
+	f.readTripped = false
+}
+
+// SetShortReads makes every subsequent ranged read return roughly half of
+// the requested bytes with io.ErrUnexpectedEOF instead of the full range.
+func (f *FaultBackend) SetShortReads(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortReads = on
+}
+
+// ReadOps returns the number of read operations attempted so far.
+func (f *FaultBackend) ReadOps() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readOps
+}
+
+// ReadTripped reports whether the read fault has fired.
+func (f *FaultBackend) ReadTripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readTripped
+}
+
+// takeRead accounts one read op, returning (short, err).
+func (f *FaultBackend) takeRead() (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readOps++
+	if f.readBudget < 0 {
+		return f.shortReads, nil
+	}
+	if f.readBudget == 0 {
+		f.readTripped = true
+		return false, fmt.Errorf("%w (read op %d)", ErrInjected, f.readOps)
+	}
+	f.readBudget--
+	return f.shortReads, nil
+}
+
+// Read implements Backend; it fails once the read budget is exhausted.
+func (f *FaultBackend) Read(name string) ([]byte, error) {
+	if _, err := f.takeRead(); err != nil {
+		return nil, err
+	}
+	return f.inner.Read(name)
+}
+
+// OpenRange implements Backend. Opening itself is free; every ReadAt on
+// the returned reader draws from the read budget and honors short reads.
+func (f *FaultBackend) OpenRange(name string) (RangeReader, error) {
+	inner, err := f.inner.OpenRange(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultRangeReader{f: f, inner: inner}, nil
+}
+
+// faultRangeReader injects read faults into one object's ranged reads.
+type faultRangeReader struct {
+	f     *FaultBackend
+	inner RangeReader
+}
+
+// ReadAt implements io.ReaderAt with budget and short-read injection.
+func (r *faultRangeReader) ReadAt(p []byte, off int64) (int, error) {
+	short, err := r.f.takeRead()
+	if err != nil {
+		return 0, err
+	}
+	if short && len(p) > 1 {
+		n, err := r.inner.ReadAt(p[:len(p)/2], off)
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrUnexpectedEOF
+	}
+	return r.inner.ReadAt(p, off)
+}
+
+// Size implements RangeReader.
+func (r *faultRangeReader) Size() int64 { return r.inner.Size() }
 
 // List implements Backend (never fails by injection).
 func (f *FaultBackend) List() ([]string, error) { return f.inner.List() }

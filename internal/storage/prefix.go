@@ -47,6 +47,11 @@ func (p *PrefixBackend) Size(name string) (int64, error) {
 	return p.inner.Size(p.prefix + name)
 }
 
+// OpenRange implements Backend.
+func (p *PrefixBackend) OpenRange(name string) (RangeReader, error) {
+	return p.inner.OpenRange(p.prefix + name)
+}
+
 // List implements Backend, returning only names under this prefix with
 // the prefix stripped.
 func (p *PrefixBackend) List() ([]string, error) {

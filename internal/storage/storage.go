@@ -8,6 +8,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,6 +35,21 @@ type Backend interface {
 	List() ([]string, error)
 	// Size returns the size in bytes of the named object.
 	Size(name string) (int64, error)
+	// OpenRange opens the named object for random-access reads. The
+	// returned reader observes the object as it was at open time and stays
+	// readable after the name is Removed or overwritten — the lazy SSTable
+	// read path counts on this so that in-flight scans survive a
+	// compaction retiring their tables underneath them.
+	OpenRange(name string) (RangeReader, error)
+}
+
+// RangeReader reads byte ranges of one immutable object snapshot. It
+// embeds the standard io.ReaderAt contract: ReadAt returns a non-nil error
+// when fewer than len(p) bytes are available at off.
+type RangeReader interface {
+	ReadAt(p []byte, off int64) (int, error)
+	// Size returns the object's size at open time.
+	Size() int64
 }
 
 // MemBackend is an in-memory Backend, safe for concurrent use.
@@ -116,6 +132,43 @@ func (m *MemBackend) Size(name string) (int64, error) {
 	}
 	return int64(len(data)), nil
 }
+
+// OpenRange implements Backend. The reader captures the object's current
+// byte image: Write replaces the stored slice wholesale and Append only
+// writes past its length, so the captured bytes are never mutated.
+func (m *MemBackend) OpenRange(name string) (RangeReader, error) {
+	m.mu.RLock()
+	data, ok := m.objects[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return &memRangeReader{m: m, data: data}, nil
+}
+
+// memRangeReader serves ranged reads from a captured object image.
+type memRangeReader struct {
+	m    *MemBackend
+	data []byte
+}
+
+// ReadAt implements io.ReaderAt over the captured image.
+func (r *memRangeReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(r.data)) {
+		return 0, fmt.Errorf("storage: read at %d beyond object of %d bytes", off, len(r.data))
+	}
+	n := copy(p, r.data[off:])
+	r.m.mu.Lock()
+	r.m.bytesRead += int64(n)
+	r.m.mu.Unlock()
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// Size implements RangeReader.
+func (r *memRangeReader) Size() int64 { return int64(len(r.data)) }
 
 // BytesWritten returns the cumulative bytes written through this backend.
 func (m *MemBackend) BytesWritten() int64 {
@@ -240,6 +293,51 @@ func (d *DiskBackend) List() ([]string, error) {
 	sort.Strings(names)
 	return names, nil
 }
+
+// OpenRange implements Backend. The returned reader holds an open file
+// descriptor, so (POSIX unlink semantics) it keeps serving reads after the
+// object is Removed or atomically replaced — exactly the snapshot-at-open
+// contract lazy SSTable readers need. The descriptor is released when the
+// reader is garbage collected (os.File installs its own finalizer); an
+// engine's working set of open tables therefore holds one fd per table,
+// as mainstream LSM engines do.
+func (d *DiskBackend) OpenRange(name string) (RangeReader, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: open range: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat: %w", err)
+	}
+	return &fileRangeReader{f: f, size: fi.Size()}, nil
+}
+
+// fileRangeReader serves ranged reads from an open file descriptor.
+type fileRangeReader struct {
+	f    *os.File
+	size int64
+}
+
+// ReadAt implements io.ReaderAt.
+func (r *fileRangeReader) ReadAt(p []byte, off int64) (int, error) {
+	n, err := r.f.ReadAt(p, off)
+	if err == io.EOF && n == len(p) {
+		err = nil
+	}
+	return n, err
+}
+
+// Size implements RangeReader.
+func (r *fileRangeReader) Size() int64 { return r.size }
 
 // Size implements Backend.
 func (d *DiskBackend) Size(name string) (int64, error) {

@@ -1,0 +1,182 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/query"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// TestCacheThrashConcurrentReads hammers a deliberately tiny shared block
+// cache — capacity of roughly one block — with concurrent Scan and Get
+// traffic while the async compactor keeps retiring tables under the
+// readers. Every read must stay exact under constant eviction churn (run
+// with -race), and when the DB closes, every retired reader's blocks must
+// be gone from the cache: no leak of dead owners.
+func TestCacheThrashConcurrentReads(t *testing.T) {
+	const (
+		nPoints = 4000
+		readers = 4
+	)
+	db, err := Open(Config{
+		Engine: lsm.Config{
+			Policy:          lsm.Conventional,
+			MemBudget:       64,
+			SSTablePoints:   64,
+			AsyncCompaction: true,
+			WAL:             false,
+		},
+		Backend:    storage.NewMemBackend(),
+		AutoCreate: true,
+		// ~one 64-point block (64*24+64 bytes) fits; everything else
+		// evicts, so concurrent scans constantly thrash each other.
+		BlockCacheBytes: 2048,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	c := db.BlockCache()
+	if c == nil {
+		t.Fatal("durable DB has no block cache")
+	}
+	if c.Capacity() != 2048 {
+		t.Fatalf("cache capacity = %d, want 2048", c.Capacity())
+	}
+
+	var written atomic.Int64 // points 0..written-1 are acknowledged
+	var stop atomic.Bool
+	var readerErr atomic.Value
+	fail := func(format string, args ...any) {
+		if readerErr.Load() == nil {
+			readerErr.Store("reader: " + fmt.Sprintf(format, args...))
+		}
+		stop.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for !stop.Load() {
+				n := written.Load()
+				if n == 0 {
+					continue
+				}
+				if r%3 == 2 {
+					// Aggregate leg: fold buckets off a streaming iterator.
+					it, err := db.SeriesIterator("s", 0, math.MaxInt64)
+					if err != nil {
+						fail("SeriesIterator: %v", err)
+						return
+					}
+					const width = 512
+					buckets := query.AggregateIter(it, 0, width)
+					if err := it.Err(); err != nil {
+						fail("aggregate iterator: %v", err)
+						return
+					}
+					var total int64
+					for _, b := range buckets {
+						total += b.Count
+						// V == TG in this workload, so every bucket's value
+						// range must lie inside its window.
+						if b.Min < float64(b.Start) || b.Max >= float64(b.Start+width) || b.Min > b.Max {
+							fail("bucket %+v out of range", b)
+							return
+						}
+					}
+					if total < n {
+						fail("aggregate saw %d points, %d acknowledged", total, n)
+						return
+					}
+				} else if r%2 == 0 {
+					pts, _, err := db.Scan("s", math.MinInt64+1, math.MaxInt64)
+					if err != nil {
+						fail("Scan: %v", err)
+						return
+					}
+					// Points are written in TG order, so everything
+					// acknowledged before the scan started must be present
+					// and exact.
+					if int64(len(pts)) < n {
+						fail("scan saw %d points, %d acknowledged", len(pts), n)
+						return
+					}
+					for i, p := range pts {
+						if p.TG != int64(i) || p.V != float64(i) {
+							fail("scan point %d = %+v", i, p)
+							return
+						}
+					}
+				} else {
+					tg := n - 1
+					p, ok, err := db.Get("s", tg)
+					if err != nil {
+						fail("Get(%d): %v", tg, err)
+						return
+					}
+					if !ok || p.V != float64(tg) {
+						fail("Get(%d) = %+v, %v", tg, p, ok)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for i := int64(0); i < nPoints && !stop.Load(); i++ {
+		if err := db.Put("s", series.Point{TG: i, TA: i, V: float64(i)}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		written.Store(i + 1)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if msg := readerErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	// Final exactness after the churn settles.
+	if err := db.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	pts, st, err := db.Scan("s", math.MinInt64+1, math.MaxInt64)
+	if err != nil {
+		t.Fatalf("final scan: %v", err)
+	}
+	if len(pts) != nPoints {
+		t.Fatalf("final scan: %d points, want %d", len(pts), nPoints)
+	}
+	for i, p := range pts {
+		if p.TG != int64(i) || p.V != float64(i) {
+			t.Fatalf("final scan point %d = %+v", i, p)
+		}
+	}
+	if st.BlocksRead+st.BlocksCached == 0 {
+		t.Fatal("final scan touched no blocks — lazy read path not exercised")
+	}
+	// The cache respected its byte bound throughout; spot-check now.
+	if cs := c.Stats(); cs.Bytes > c.Capacity() {
+		t.Fatalf("cache over capacity: %d > %d", cs.Bytes, c.Capacity())
+	}
+
+	// Closing the DB retires every reader; their blocks must leave the
+	// cache — a retired owner's blocks lingering would be a leak.
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if cs := c.Stats(); cs.Bytes != 0 || cs.Entries != 0 {
+		t.Fatalf("cache not empty after Close: %+v", cs)
+	}
+	if owners := c.Owners(); len(owners) != 0 {
+		t.Fatalf("cache still holds blocks for owners %v after Close", owners)
+	}
+}

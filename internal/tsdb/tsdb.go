@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/analyzer"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/lsm"
 	"repro/internal/series"
@@ -48,7 +49,17 @@ type Config struct {
 	// AdaptiveCheckEvery is the drift-check cadence (points per series);
 	// zero selects the analyzer default.
 	AdaptiveCheckEvery int64
+	// BlockCacheBytes sizes the block cache shared by every series' lazy
+	// SSTable readers. Zero selects DefaultBlockCacheBytes; negative
+	// disables the cache (each block read decodes from the backend). Only
+	// meaningful with a Backend — a memory-only DB keeps tables resident.
+	BlockCacheBytes int64
 }
+
+// DefaultBlockCacheBytes is the shared block cache capacity used when
+// Config.BlockCacheBytes is zero: 32 MiB, enough to keep the working set of
+// a recent-data workload hot without dominating a small deployment's heap.
+const DefaultBlockCacheBytes = 32 << 20
 
 // DB is a multi-series time-series store.
 type DB struct {
@@ -62,6 +73,11 @@ type DB struct {
 	persisted  map[string]bool
 	catVersion uint64
 	recovery   RecoveryInfo
+
+	// blockCache is shared by every series engine's lazy SSTable readers,
+	// so cache capacity is a single DB-wide knob rather than per-series.
+	// Nil for memory-only or cache-disabled databases.
+	blockCache *cache.Cache
 }
 
 type seriesState struct {
@@ -80,6 +96,13 @@ func Open(cfg Config) (*DB, error) {
 		return nil, errors.New("tsdb: Engine.MemBudget must be >= 1")
 	}
 	db := &DB{cfg: cfg, series: make(map[string]*seriesState), persisted: make(map[string]bool)}
+	if cfg.Backend != nil && cfg.BlockCacheBytes >= 0 {
+		capBytes := cfg.BlockCacheBytes
+		if capBytes == 0 {
+			capBytes = DefaultBlockCacheBytes
+		}
+		db.blockCache = cache.New(capBytes)
+	}
 	if cfg.Backend != nil {
 		if err := db.recoverLocked(); err != nil {
 			return nil, err
@@ -134,6 +157,7 @@ func (db *DB) createLocked(name string) (*seriesState, error) {
 			}
 		}
 		ecfg.Backend = storage.NewPrefixBackend(db.cfg.Backend, name)
+		ecfg.BlockCache = db.blockCache
 	} else {
 		ecfg.Backend = nil
 		ecfg.WAL = false
@@ -243,8 +267,7 @@ func (db *DB) Scan(name string, lo, hi int64) ([]series.Point, lsm.ScanStats, er
 	if err != nil {
 		return nil, lsm.ScanStats{}, err
 	}
-	pts, stats := st.engine.Scan(lo, hi)
-	return pts, stats, nil
+	return st.engine.Scan(lo, hi)
 }
 
 // SeriesIterator returns a streaming k-way merge iterator over the named
@@ -267,8 +290,20 @@ func (db *DB) Get(name string, tg int64) (series.Point, bool, error) {
 	if err != nil {
 		return series.Point{}, false, err
 	}
-	p, ok := st.engine.Get(tg)
-	return p, ok, nil
+	return st.engine.Get(tg)
+}
+
+// BlockCache exposes the shared block cache, nil when disabled (memory-only
+// DB or BlockCacheBytes < 0). Used by tests and the metrics endpoint.
+func (db *DB) BlockCache() *cache.Cache { return db.blockCache }
+
+// CacheStats returns the shared block cache's counters and whether a cache
+// is attached at all.
+func (db *DB) CacheStats() (cache.Stats, bool) {
+	if db.blockCache == nil {
+		return cache.Stats{}, false
+	}
+	return db.blockCache.Stats(), true
 }
 
 // Series returns the sorted series names. It returns nil once the
