@@ -49,6 +49,12 @@ func main() {
 		cscans     = flag.Int("cscans", 64, "cache mode: number of scan windows")
 		cachemb    = flag.Int64("cachemb", 32, "cache mode: shared block cache capacity in MiB")
 
+		schedbench = flag.Bool("schedbench", false, "scheduler mode: shared compaction pool vs per-series goroutines benchmark")
+		sseries    = flag.Int("sseries", 64, "scheduler mode: number of series")
+		spoints    = flag.Int("spoints", 20000, "scheduler mode: points per series")
+		sworkers   = flag.Int("sworkers", 0, "scheduler mode: pool workers (0: scheduler default)")
+		sbatch     = flag.Int("sbatch", 500, "scheduler mode: points per PutBatch")
+
 		mixed    = flag.Bool("mixed", false, "mixed mode: concurrent read/write benchmark on an in-process engine")
 		readers  = flag.Int("readers", 4, "mixed mode: concurrent scan goroutines")
 		mpoints  = flag.Int("mpoints", 200000, "mixed mode: points to ingest")
@@ -69,6 +75,21 @@ func main() {
 			scans:      *cscans,
 			cacheBytes: *cachemb << 20,
 			out:        *benchout,
+		})
+		return
+	}
+
+	if *schedbench {
+		runSchedBench(schedConfig{
+			series:  *sseries,
+			points:  *spoints,
+			batch:   *sbatch,
+			workers: *sworkers,
+			dt:      *ldt,
+			mu:      *lmu,
+			sigma:   *lsigma,
+			seed:    *seed,
+			out:     *benchout,
 		})
 		return
 	}

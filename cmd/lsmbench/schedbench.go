@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/lsm"
+	"repro/internal/lsm/scheduler"
+	"repro/internal/series"
+	"repro/internal/tsdb"
+	"repro/internal/workload"
+)
+
+// Compaction-scheduler benchmark: ingests the same out-of-order workload
+// into many series twice — once with the legacy one-compactor-goroutine-
+// per-series model, once with the shared bounded worker pool — and reports
+// ingest+drain throughput and peak goroutine count for both. The pool must
+// hold throughput (the acceptance bar is parity) while collapsing the
+// background goroutine count from O(series) to O(workers).
+
+type schedConfig struct {
+	series  int
+	points  int // per series
+	batch   int
+	workers int // pool size (0 = scheduler default)
+	dt      int64
+	mu      float64
+	sigma   float64
+	seed    int64
+	out     string // JSON report path ("" = none)
+}
+
+// schedRun is one mode's measurement.
+type schedRun struct {
+	Mode           string  `json:"mode"`
+	Seconds        float64 `json:"seconds"`
+	PPS            float64 `json:"points_per_second"`
+	PeakGoroutines int     `json:"peak_goroutines"`
+	Merges         int64   `json:"merges"`
+}
+
+// schedReport is the machine-readable result (BENCH_5.json).
+type schedReport struct {
+	Name            string   `json:"name"`
+	Series          int      `json:"series"`
+	PointsPerSeries int      `json:"points_per_series"`
+	Batch           int      `json:"batch"`
+	Workers         int      `json:"workers"`
+	PerSeries       schedRun `json:"per_series"`
+	Pool            schedRun `json:"pool"`
+	ThroughputRatio float64  `json:"throughput_ratio"` // pool / per-series
+}
+
+func runSchedBench(cfg schedConfig) {
+	if cfg.workers == 0 {
+		cfg.workers = scheduler.DefaultWorkers()
+	}
+	data := make([][]series.Point, cfg.series)
+	for s := range data {
+		data[s] = workload.Synthetic(cfg.points, cfg.dt,
+			dist.NewLognormal(cfg.mu, cfg.sigma), cfg.seed+int64(s))
+	}
+
+	rep := schedReport{
+		Name:            "sched_pool_vs_per_series",
+		Series:          cfg.series,
+		PointsPerSeries: cfg.points,
+		Batch:           cfg.batch,
+		Workers:         cfg.workers,
+	}
+	rep.PerSeries = schedIngest(cfg, data, -1)
+	rep.Pool = schedIngest(cfg, data, cfg.workers)
+	rep.ThroughputRatio = rep.Pool.PPS / rep.PerSeries.PPS
+
+	total := cfg.series * cfg.points
+	fmt.Printf("compaction scheduler benchmark (%d series x %d points, batch %d, %d workers)\n",
+		cfg.series, cfg.points, cfg.batch, cfg.workers)
+	for _, r := range []schedRun{rep.PerSeries, rep.Pool} {
+		fmt.Printf("  %-18s: %10.0f pts/s  (%.2fs, peak %d goroutines, %d merges)\n",
+			r.Mode, r.PPS, r.Seconds, r.PeakGoroutines, r.Merges)
+	}
+	fmt.Printf("  throughput ratio  : %.2f (pool / per-series, %d points each)\n",
+		rep.ThroughputRatio, total)
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("marshal report: %v", err)
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", cfg.out, err)
+		}
+		fmt.Printf("  report            : %s\n", cfg.out)
+	}
+}
+
+// schedIngest runs one full ingest+drain: compactWorkers < 0 selects the
+// legacy per-series compactor goroutines, otherwise a shared pool of that
+// size. Timing covers ingest AND the drain to quiescence (FlushAll), so a
+// scheduler that merely defers merge work cannot look faster than it is.
+func schedIngest(cfg schedConfig, data [][]series.Point, compactWorkers int) schedRun {
+	db, err := tsdb.Open(tsdb.Config{
+		Engine: lsm.Config{
+			Policy:          lsm.Conventional,
+			MemBudget:       1024,
+			SSTablePoints:   1024,
+			AsyncCompaction: true,
+		},
+		AutoCreate:     true,
+		CompactWorkers: compactWorkers,
+		CompactBacklog: -1, // measure raw scheduling, not admission control
+	})
+	if err != nil {
+		fatal("open db: %v", err)
+	}
+
+	names := make([]string, cfg.series)
+	for s := range names {
+		names[s] = fmt.Sprintf("root.bench%04d.v", s)
+	}
+
+	// Peak-goroutine sampler: the pool's headline claim is O(workers)
+	// background goroutines instead of O(series).
+	var stopSampler atomic.Bool
+	peak := runtime.NumGoroutine()
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for !stopSampler.Load() {
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	writers := 8
+	if writers > cfg.series {
+		writers = cfg.series
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for base := 0; base < cfg.points; base += cfg.batch {
+				end := base + cfg.batch
+				if end > cfg.points {
+					end = cfg.points
+				}
+				for s := w; s < cfg.series; s += writers {
+					if err := db.PutBatch(names[s], data[s][base:end]); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		fatal("PutBatch: %v", err)
+	default:
+	}
+	if err := db.FlushAll(); err != nil {
+		fatal("FlushAll: %v", err)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	stopSampler.Store(true)
+	samplerWG.Wait()
+
+	run := schedRun{Seconds: elapsed, PeakGoroutines: peak}
+	run.PPS = float64(cfg.series*cfg.points) / elapsed
+	if pool := db.Compactions(); pool != nil {
+		run.Mode = fmt.Sprintf("pool(%d)", compactWorkers)
+		run.Merges = pool.Stats().Completed
+	} else {
+		run.Mode = "per-series"
+		for _, s := range db.Stats() {
+			run.Merges += s.Stats.Compactions + s.Stats.Flushes
+		}
+	}
+	if err := db.Close(); err != nil {
+		fatal("close db: %v", err)
+	}
+	return run
+}

@@ -44,14 +44,17 @@ func main() {
 		shards   = flag.Int("shards", 0, "ingest worker shards (0: GOMAXPROCS, max 16)")
 		queue    = flag.Int("queue", 0, "per-shard ingest queue length in batches (0: 128)")
 		wal      = flag.Bool("wal", true, "write-ahead logging (durable mode only)")
+		async    = flag.Bool("async", true, "background compaction: flush memtables to an L0 queue drained by the compaction scheduler")
+		cworkers = flag.Int("compact-workers", 0, "shared compaction worker pool size (0: half of GOMAXPROCS, min 1; negative: legacy per-series compactor goroutines)")
 		cacheMB  = flag.Int("cache-mb", 0, "shared SSTable block cache capacity in MiB (durable mode; 0: 32 MiB default, negative: disabled)")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
 	cfg := tsdb.Config{
-		Engine:     lsm.Config{MemBudget: *budget},
-		AutoCreate: true,
+		Engine:         lsm.Config{MemBudget: *budget, AsyncCompaction: *async},
+		AutoCreate:     true,
+		CompactWorkers: *cworkers,
 	}
 	switch *policy {
 	case "auto":
@@ -110,8 +113,18 @@ func main() {
 			log.Printf("lsmd: recovery: completed interrupted drops: %v", rec.OrphanSeriesRemoved)
 		}
 	}
-	log.Printf("lsmd: serving on %s (%s, policy=%s, n=%d, %d series recovered)",
-		bound, mode, *policy, *budget, len(db.Series()))
+	compaction := "sync"
+	if *async {
+		if pool := db.Compactions(); pool != nil {
+			st := pool.Stats()
+			compaction = fmt.Sprintf("pool=%d (backpressure at %d queued tables)",
+				st.Workers, st.BackpressureDepth)
+		} else {
+			compaction = "per-series goroutines"
+		}
+	}
+	log.Printf("lsmd: serving on %s (%s, policy=%s, n=%d, compaction=%s, %d series recovered)",
+		bound, mode, *policy, *budget, compaction, len(db.Series()))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

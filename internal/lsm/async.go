@@ -14,13 +14,29 @@ import (
 // be blocked to wait for compaction."
 //
 // Here L0 is the queue of flushed memtable images (they may overlap each
-// other and the run) and the background compactor merges them into the run
-// in FIFO order. Write amplification accounting counts both the L0 flush
-// write and the merge write, matching that two-level implementation.
+// other and the run) and a background compactor merges them into the run in
+// FIFO order. Write amplification accounting counts both the L0 flush write
+// and the merge write, matching that two-level implementation.
+//
+// Who runs the compactor is pluggable: with no Config.Scheduler the engine
+// owns a private goroutine (compactorLoop); with one, the engine only
+// reports its L0 backlog via Notify and a shared, bounded worker pool (see
+// internal/lsm/scheduler) calls CompactOnce. Either way exactly one
+// compactor drives an engine at a time — CompactOnce enforces that.
 
 // maxL0Backlog bounds the L0 queue; producers wait when it is full so an
 // ingest burst cannot exhaust memory.
 const maxL0Backlog = 64
+
+// CompactionScheduler coordinates background compaction across many
+// engines. Notify is called with the engine lock held every time the
+// engine's L0 backlog changes; implementations must only record the new
+// depth and return — no blocking, and no calls back into the engine (the
+// lock is not reentrant). The scheduler owes the engine serialized
+// CompactOnce calls in exchange.
+type CompactionScheduler interface {
+	Notify(e *Engine, depth int)
+}
 
 // enqueueL0 flushes mt to an L0 table and hands it to the compactor.
 // Caller holds the lock. The queue is published copy-on-write: e.l0 is
@@ -58,24 +74,73 @@ func (e *Engine) enqueueL0(mt *memtable.MemTable) error {
 	if err := e.rewriteWAL(); err != nil {
 		return err
 	}
+	e.notifySchedulerLocked()
 	e.l0Cond.Broadcast()
 	return nil
 }
 
-// startCompactor launches the background merge goroutine.
+// notifySchedulerLocked reports the current L0 depth to the shared
+// scheduler, if any. Caller holds the lock. Suppressed until the engine is
+// fully open: WAL replay may enqueue L0 tables while the engine is still
+// private to Open (recover runs without the lock), and the scheduler learns
+// that initial backlog when the engine is registered instead.
+func (e *Engine) notifySchedulerLocked() {
+	if e.cfg.Scheduler != nil && e.started {
+		e.cfg.Scheduler.Notify(e, len(e.l0))
+	}
+}
+
+// startCompactor launches the per-engine background merge goroutine (used
+// when no shared scheduler is configured).
 func (e *Engine) startCompactor() {
 	e.bgDone = make(chan struct{})
 	e.started = true
 	go e.compactorLoop()
 }
 
-// compactorLoop consumes L0 tables in FIFO order, merging each into the
-// run as the synchronous path would — but the block reads of the
-// overlapped tables, the streaming merge, AND the backend I/O for the new
-// SSTable objects all run outside the engine lock, so ingestion is stalled
-// by neither disk reads, CPU merging, nor disk writes.
+// compactorLoop drives CompactOnce for a single engine until the engine
+// closes. A sticky background error parks the loop — no further merge can
+// succeed, and Close (whose FlushAll drains or observes the error first)
+// wakes it to exit.
+func (e *Engine) compactorLoop() {
+	defer close(e.bgDone)
+	for {
+		e.mu.Lock()
+		for !e.closed && (len(e.l0) == 0 || e.bgErr != nil) {
+			e.l0Cond.Wait()
+		}
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		e.CompactOnce()
+	}
+}
+
+// CompactOnce merges the L0 queue head into the run — the unit of work a
+// compaction worker executes. The block reads of the overlapped tables, the
+// streaming merge, and the backend I/O for the new SSTable objects all run
+// outside the engine lock (see the lock discipline below), so ingestion is
+// stalled by neither disk reads, CPU merging, nor disk writes.
 //
-// Lock discipline per iteration (see DESIGN.md §7.2 invariant 2 and §7.3):
+// It returns the number of L0 tables still pending, so a scheduler can
+// requeue the engine without polling it. On a closed engine, an empty
+// queue, or a previously failed engine it is a no-op reporting 0. On a
+// merge error the engine fail-stops: the error is recorded as the sticky
+// background error (surfaced by the next Put/FlushAll), the head table
+// stays at the queue front so readers keep seeing its acknowledged points,
+// and remaining is reported as 0 since retrying cannot succeed.
+//
+// Callers must serialize CompactOnce per engine — the private compactor
+// goroutine and the shared scheduler's one-worker-per-engine rule both do.
+// The merge snapshot taken in the first critical section stays valid across
+// the unlocked persist precisely because the compactor is the engine's sole
+// run mutator while the L0 queue is non-empty (every other mutator drains
+// the queue under the lock first); a second concurrent call would break
+// that invariant, so it panics instead of corrupting the run.
+//
+// Lock discipline per call (see DESIGN.md §7.2 invariant 2 and §7.3):
 //
 //	lock:    snapshot the head table and its overlap window in the run;
 //	         reserve output table IDs.
@@ -84,99 +149,112 @@ func (e *Engine) startCompactor() {
 //	         cut (the "persist" step — a crash here leaves orphans that
 //	         recovery removes; nothing references them yet).
 //	lock:    install the new tables in the run (copy-on-write), commit
-//	         the manifest (the commit point), retire old objects, and
+//	         the manifest (the commit point — rolled back in memory if the
+//	         commit fails), retire old objects, pop the queue head, and
 //	         shrink the WAL — all ordered behind the commit.
-//
-// The overlap window snapshot stays valid across the unlocked section
-// because the compactor is the only run mutator while the L0 queue is
-// non-empty: every other mutator (FlushAll, SetPolicy, DropBefore) drains
-// the queue under the lock before touching the run. The overlapped handles
-// themselves are immutable, so reading their blocks off-lock is safe.
-func (e *Engine) compactorLoop() {
-	defer close(e.bgDone)
-	for {
-		e.mu.Lock()
-		for len(e.l0) == 0 && !e.closed {
-			e.l0Cond.Wait()
-		}
-		if len(e.l0) == 0 && e.closed {
-			e.mu.Unlock()
-			return
-		}
-		// Keep the table at the queue head until installed so Scan/Get
-		// continue to see its points.
-		t := e.l0[0]
-		pts := t.Points()
-		lo, hi := pts[0].TG, pts[len(pts)-1].TG
-		i, j := e.run.overlapRange(lo, hi)
-		overlapping := make([]sstable.TableHandle, j-i)
-		copy(overlapping, e.run.tables[i:j])
-		var oldCount int
-		for _, h := range overlapping {
-			oldCount += h.Len()
-		}
-		runSnapshot := e.run.tables
-		// Reserve IDs for the merge output now so the tables can be built
-		// and persisted without the lock. oldCount+len(pts) bounds the
-		// merged size; duplicate collapses may leave ID gaps, which are
-		// harmless (IDs only need to be unique and monotone).
-		chunk := e.cfg.SSTablePoints
-		idBase := e.nextID
-		e.nextID += uint64((oldCount+len(pts))/chunk) + 1
+func (e *Engine) CompactOnce() (remaining int, err error) {
+	if !e.compacting.CompareAndSwap(false, true) {
+		panic("lsm: concurrent CompactOnce calls on one engine")
+	}
+	defer e.compacting.Store(false)
+
+	e.mu.Lock()
+	if e.closed || e.bgErr != nil || len(e.l0) == 0 {
 		e.mu.Unlock()
-
-		var subsequent int
-		if e.OnCompaction != nil {
-			// Counting reads table blocks; do it off-lock on the immutable
-			// run snapshot (valid: the compactor is the sole run mutator).
-			subsequent = pointsGreaterThan(runSnapshot, lo)
-		}
-		nextID := idBase
-		newTables, merged, err := streamMerge(overlapping, pts, chunk,
-			func() uint64 { id := nextID; nextID++; return id },
-			e.persistTable)
-
-		e.mu.Lock()
-		if err == nil {
-			e.run.replace(i, j, newTables)
-			err = e.commitReplace(overlapping)
-			retireHandles(overlapping)
-			e.stats.PointsWritten += int64(merged)
-			if oldCount == 0 {
-				e.stats.Flushes++
-			} else {
-				e.stats.Compactions++
-				e.stats.PointsRewritten += int64(oldCount)
-				e.stats.TablesRewritten += int64(len(overlapping))
-				if e.OnCompaction != nil {
-					e.OnCompaction(CompactionInfo{
-						MemPoints:        len(pts),
-						SubsequentPoints: subsequent,
-						RewrittenPoints:  oldCount,
-						OutputPoints:     merged,
-						TablesIn:         len(overlapping),
-						TablesOut:        len(newTables),
-					})
-				}
-			}
-		}
-		if err != nil && e.bgErr == nil {
-			e.bgErr = fmt.Errorf("lsm: background compaction: %w", err)
-		}
-		e.l0 = e.l0[1:]
-		if err == nil {
-			// The merged table's points are durable in the run (manifest
-			// committed inside commitReplace); shrink the WAL to the
-			// remaining queue + memtables. On error the old WAL — which
-			// still covers the dropped table — is left in place for
-			// recovery.
-			if werr := e.rewriteWAL(); werr != nil && e.bgErr == nil {
-				e.bgErr = fmt.Errorf("lsm: background compaction: %w", werr)
-			}
-		}
+		return 0, nil
+	}
+	// Keep the table at the queue head until installed so Scan/Get
+	// continue to see its points.
+	t := e.l0[0]
+	pts := t.Points()
+	if len(pts) == 0 {
+		// Nothing to merge; drop the empty table rather than index pts[0].
+		e.popL0Locked()
+		remaining = len(e.l0)
 		e.l0Cond.Broadcast()
 		e.mu.Unlock()
+		return remaining, nil
 	}
+	lo, hi := pts[0].TG, pts[len(pts)-1].TG
+	i, j := e.run.overlapRange(lo, hi)
+	overlapping := make([]sstable.TableHandle, j-i)
+	copy(overlapping, e.run.tables[i:j])
+	var oldCount int
+	for _, h := range overlapping {
+		oldCount += h.Len()
+	}
+	runSnapshot := e.run.tables
+	// Reserve IDs for the merge output now so the tables can be built
+	// and persisted without the lock. oldCount+len(pts) bounds the
+	// merged size; duplicate collapses may leave ID gaps, which are
+	// harmless (IDs only need to be unique and monotone).
+	chunk := e.cfg.SSTablePoints
+	idBase := e.nextID
+	e.nextID += uint64((oldCount+len(pts))/chunk) + 1
+	e.mu.Unlock()
+
+	var subsequent int
+	if e.OnCompaction != nil {
+		// Counting reads table blocks; do it off-lock on the immutable
+		// run snapshot (valid: the compactor is the sole run mutator).
+		subsequent = pointsGreaterThan(runSnapshot, lo)
+	}
+	nextID := idBase
+	newTables, merged, err := streamMerge(overlapping, pts, chunk,
+		func() uint64 { id := nextID; nextID++; return id },
+		e.persistTable)
+
+	e.mu.Lock()
+	committed := false
+	if err == nil {
+		committed, err = e.replaceAndCommit(i, j, newTables)
+	}
+	if committed {
+		e.popL0Locked()
+		e.stats.PointsWritten += int64(merged)
+		if oldCount == 0 {
+			e.stats.Flushes++
+		} else {
+			e.stats.Compactions++
+			e.stats.PointsRewritten += int64(oldCount)
+			e.stats.TablesRewritten += int64(len(overlapping))
+			if e.OnCompaction != nil {
+				e.OnCompaction(CompactionInfo{
+					MemPoints:        len(pts),
+					SubsequentPoints: subsequent,
+					RewrittenPoints:  oldCount,
+					OutputPoints:     merged,
+					TablesIn:         len(overlapping),
+					TablesOut:        len(newTables),
+				})
+			}
+		}
+		// The merged table's points are durable in the run; shrink the
+		// WAL to the remaining queue + memtables (invariant 3). On
+		// failure the old WAL — which still covers everything — stays in
+		// place for recovery.
+		if werr := e.rewriteWAL(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		if e.bgErr == nil {
+			e.bgErr = fmt.Errorf("lsm: background compaction: %w", err)
+		}
+		remaining = 0
+	} else {
+		remaining = len(e.l0)
+	}
+	e.l0Cond.Broadcast()
+	e.mu.Unlock()
+	return remaining, err
+}
+
+// popL0Locked removes the queue head. Caller holds the lock. Re-slicing
+// leaves the shared backing array intact, so snapshots holding the old
+// slice header are unaffected.
+func (e *Engine) popL0Locked() {
+	e.l0 = e.l0[1:]
 }
 
 // drainLocked waits until the L0 queue is empty. Caller holds the lock.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/memtable"
@@ -87,6 +88,12 @@ type Config struct {
 	// then includes the extra L0 write, as in the paper's Section V-C
 	// implementation note.
 	AsyncCompaction bool
+	// Scheduler, when non-nil together with AsyncCompaction, hands
+	// background merges to a shared scheduler (see internal/lsm/scheduler):
+	// the engine runs no private compactor goroutine and instead reports
+	// its L0 backlog through Notify; the scheduler calls CompactOnce from
+	// its bounded worker pool. Ignored without AsyncCompaction.
+	Scheduler CompactionScheduler
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -127,6 +134,9 @@ type Engine struct {
 	bgErr   error
 	bgDone  chan struct{}
 	started bool
+	// compacting guards the "one CompactOnce at a time" contract; see
+	// CompactOnce.
+	compacting atomic.Bool
 }
 
 // Open creates an engine. When cfg.Backend holds a previous instance's
@@ -168,7 +178,15 @@ func Open(cfg Config) (*Engine, error) {
 		}
 	}
 	if cfg.AsyncCompaction {
-		e.startCompactor()
+		if cfg.Scheduler != nil {
+			// Shared-scheduler mode: no private goroutine. started gates
+			// scheduler notifications; any L0 backlog recovery left behind
+			// is reported when the scheduler registers the engine (it
+			// reads L0Backlog then), not here.
+			e.started = true
+		} else {
+			e.startCompactor()
+		}
 	}
 	return e, nil
 }
@@ -354,8 +372,13 @@ func (e *Engine) diskLastTG() (int64, bool) {
 }
 
 // handleFullMemtable routes a full memtable to the synchronous merge path
-// or the async L0 queue.
+// or the async L0 queue. An empty memtable is a no-op: both downstream
+// paths index the first and last point of the flush, and callers like
+// SetPolicy route just-drained memtables through here.
 func (e *Engine) handleFullMemtable(mt *memtable.MemTable) error {
+	if mt.Empty() {
+		return nil
+	}
 	if e.cfg.AsyncCompaction {
 		return e.enqueueL0(mt)
 	}
@@ -381,9 +404,13 @@ func (e *Engine) mergeMemtable(mt *memtable.MemTable) error {
 // materialized whole, and each output table is persisted the moment it is
 // cut. Ordering follows the crash invariants (DESIGN.md §7.2): objects are
 // written first (a crash leaves orphans), the manifest commit in
-// commitReplace is the commit point, and retired objects are removed after
-// it. Caller holds the lock.
+// replaceAndCommit is the commit point (run and manifest move together —
+// a failed commit rolls the in-memory replace back), and retired objects
+// are removed after it. Caller holds the lock.
 func (e *Engine) mergePoints(pts []series.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
 	lo, hi := pts[0].TG, pts[len(pts)-1].TG
 	i, j := e.run.overlapRange(lo, hi)
 	overlapping := e.run.tables[i:j]
@@ -403,35 +430,33 @@ func (e *Engine) mergePoints(pts []series.Point) error {
 	if err != nil {
 		return err
 	}
-	// Snapshot the tables being retired before mutating the run, then
-	// commit a manifest recording the post-replace state.
-	retired := make([]sstable.TableHandle, len(overlapping))
-	copy(retired, overlapping)
-	e.run.replace(i, j, newTables)
-	if err := e.commitReplace(retired); err != nil {
+	nRetired := j - i
+	committed, err := e.replaceAndCommit(i, j, newTables)
+	if !committed {
 		return err
 	}
-	retireHandles(retired)
 
 	e.stats.PointsWritten += int64(merged)
-	if len(retired) == 0 {
+	if nRetired == 0 {
 		e.stats.Flushes++
 	} else {
 		e.stats.Compactions++
 		e.stats.PointsRewritten += int64(rewritten)
-		e.stats.TablesRewritten += int64(len(retired))
+		e.stats.TablesRewritten += int64(nRetired)
 		if e.OnCompaction != nil {
 			e.OnCompaction(CompactionInfo{
 				MemPoints:        len(pts),
 				SubsequentPoints: subsequent,
 				RewrittenPoints:  rewritten,
 				OutputPoints:     merged,
-				TablesIn:         len(retired),
+				TablesIn:         nRetired,
 				TablesOut:        len(newTables),
 			})
 		}
 	}
-	return nil
+	// A non-nil err past the commit point is retired-object cleanup only;
+	// the merge itself is durable.
+	return err
 }
 
 // FlushAll forces every buffered point to disk. In async mode it also

@@ -1,0 +1,400 @@
+package lsm
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/series"
+	"repro/internal/sstable"
+	"repro/internal/storage"
+)
+
+// nopScheduler satisfies CompactionScheduler without scheduling anything,
+// so tests drive CompactOnce by hand and every merge is deterministic.
+type nopScheduler struct{}
+
+func (nopScheduler) Notify(*Engine, int) {}
+
+// runTableNames returns the object names of the live run's tables.
+func runTableNames(e *Engine) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.run.tables))
+	for _, h := range e.run.tables {
+		names = append(names, tableObjectName(h.ID()))
+	}
+	return names
+}
+
+// manifestTableNames decodes the durable manifest's table list.
+func manifestTableNames(t *testing.T, b storage.Backend) []string {
+	t.Helper()
+	data, err := b.Read(manifestName)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("parse manifest: %v", err)
+	}
+	return m.Tables
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompactionCommitFaultKeepsRunAndManifestInAgreement is the
+// regression test for the run/manifest divergence bug: when the manifest
+// commit of a background merge failed, the in-memory replace used to stay
+// installed, so live readers saw a run the durable manifest did not record
+// — and a restart silently changed query results. The fixed
+// replaceAndCommit rolls the replace back, making the live run and the
+// committed manifest agree at every possible failure point.
+//
+// The test sweeps the fault budget so the merge dies at each backend
+// operation in turn — first table persist, later persists, the manifest
+// commit itself, retired-object removal, the WAL shrink — and asserts
+// after every failure that (a) live run == durable manifest and (b) a
+// restart from the backend serves exactly the acknowledged points.
+func TestCompactionCommitFaultKeepsRunAndManifestInAgreement(t *testing.T) {
+	for budget := int64(0); ; budget++ {
+		if budget > 64 {
+			t.Fatal("compaction never succeeded within the budget sweep")
+		}
+		fb := storage.NewFaultBackend(storage.NewMemBackend())
+		e, err := Open(Config{
+			Policy: Conventional, MemBudget: 4, SSTablePoints: 4,
+			Backend: fb, WAL: true,
+			AsyncCompaction: true, Scheduler: nopScheduler{},
+		})
+		if err != nil {
+			t.Fatalf("budget %d: open: %v", budget, err)
+		}
+
+		// Build a committed run, tracking every acknowledged point.
+		acked := make(map[int64]float64)
+		for i := int64(0); i < 16; i++ {
+			if err := e.Put(series.Point{TG: i, TA: i, V: float64(i)}); err != nil {
+				t.Fatalf("budget %d: put %d: %v", budget, i, err)
+			}
+			acked[i] = float64(i)
+		}
+		for e.L0Backlog() > 0 {
+			if _, err := e.CompactOnce(); err != nil {
+				t.Fatalf("budget %d: drain: %v", budget, err)
+			}
+		}
+
+		// Queue one L0 table that overlaps the run, so the next merge
+		// genuinely replaces committed tables.
+		for i := int64(0); e.L0Backlog() == 0; i++ {
+			tg := (i * 3) % 16
+			if err := e.Put(series.Point{TG: tg, TA: 100 + i, V: -float64(tg)}); err != nil {
+				t.Fatalf("budget %d: ooo put: %v", budget, err)
+			}
+			acked[tg] = -float64(tg)
+		}
+
+		fb.SetBudget(budget)
+		remaining, err := e.CompactOnce()
+		fb.SetBudget(-1)
+
+		if err != nil {
+			if !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("budget %d: error lost its cause: %v", budget, err)
+			}
+			if remaining != 0 {
+				t.Fatalf("budget %d: failed merge reported %d remaining, want 0 (fail-stop)", budget, remaining)
+			}
+		}
+
+		// (a) Live run and durable manifest must agree — the heart of the
+		// regression: a failed commit must leave neither side half-moved.
+		run, durable := runTableNames(e), manifestTableNames(t, fb)
+		if !sameNames(run, durable) {
+			t.Fatalf("budget %d: live run %v diverged from manifest %v (err=%v)",
+				budget, run, durable, err)
+		}
+
+		// (b) Restart equivalence: a fresh instance recovered from the
+		// backend (manifest + WAL) serves exactly the acknowledged points.
+		closeWithManualDrain(t, e)
+		re, rerr := Open(Config{Policy: Conventional, MemBudget: 4, SSTablePoints: 4, Backend: fb, WAL: true})
+		if rerr != nil {
+			t.Fatalf("budget %d: reopen: %v", budget, rerr)
+		}
+		pts, _, serr := re.Scan(0, 1<<40)
+		if serr != nil {
+			t.Fatalf("budget %d: scan after restart: %v", budget, serr)
+		}
+		if len(pts) != len(acked) {
+			t.Fatalf("budget %d: restart sees %d points, want %d", budget, len(pts), len(acked))
+		}
+		for _, p := range pts {
+			if want, ok := acked[p.TG]; !ok || want != p.V {
+				t.Fatalf("budget %d: restart point (%d,%g), want value %g", budget, p.TG, p.V, want)
+			}
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("budget %d: close reopened: %v", budget, err)
+		}
+
+		if err == nil {
+			// The whole merge (persists, commit, cleanup, WAL shrink) fit in
+			// the budget: every earlier iteration failed at a distinct
+			// operation, so the sweep is complete.
+			return
+		}
+	}
+}
+
+// closeWithManualDrain closes an engine whose Config.Scheduler is the
+// do-nothing test scheduler: Close's final flush parks in drainLocked
+// waiting for "the scheduler", so the test stands in for it.
+func closeWithManualDrain(t *testing.T, e *Engine) {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if e.L0Backlog() > 0 {
+				e.CompactOnce()
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	e.Close() // error expected when a fault test left a sticky bgErr
+	close(stop)
+	wg.Wait()
+}
+
+// TestCompactOnceToleratesEmptyL0Table is the regression test for the
+// unguarded pts[0] in the compactor: an empty L0 table at the queue head
+// used to panic the merge before the guard. The empty table must be
+// dropped as a no-op and the engine must keep working.
+func TestCompactOnceToleratesEmptyL0Table(t *testing.T) {
+	e, err := Open(Config{Policy: Conventional, MemBudget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	e.l0 = append(e.l0, new(sstable.Table))
+	e.mu.Unlock()
+
+	remaining, err := e.CompactOnce()
+	if err != nil || remaining != 0 {
+		t.Fatalf("CompactOnce on empty L0 table: remaining=%d err=%v, want 0, nil", remaining, err)
+	}
+	if n := e.L0Backlog(); n != 0 {
+		t.Fatalf("empty L0 table not dropped: backlog %d", n)
+	}
+
+	for i := int64(0); i < 20; i++ {
+		if err := e.Put(series.Point{TG: i, TA: i, V: float64(i)}); err != nil {
+			t.Fatalf("put after empty-table pop: %v", err)
+		}
+	}
+	if err := e.FlushAll(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	pts, _, err := e.Scan(0, 1<<40)
+	if err != nil || len(pts) != 20 {
+		t.Fatalf("scan: %d points, err %v; want 20", len(pts), err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyFlushGuards pins the empty-input guards on the flush/merge
+// path: FlushAll on an empty or drained engine, handleFullMemtable on an
+// empty memtable, and mergePoints with no points are all no-ops — none may
+// index into an empty point slice.
+func TestEmptyFlushGuards(t *testing.T) {
+	sync1, err := Open(Config{Policy: Conventional, MemBudget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sync1.FlushAll(); err != nil {
+		t.Fatalf("FlushAll on empty sync engine: %v", err)
+	}
+	sync1.mu.Lock()
+	if err := sync1.handleFullMemtable(sync1.c0); err != nil {
+		sync1.mu.Unlock()
+		t.Fatalf("handleFullMemtable on empty memtable: %v", err)
+	}
+	if err := sync1.mergePoints(nil); err != nil {
+		sync1.mu.Unlock()
+		t.Fatalf("mergePoints(nil): %v", err)
+	}
+	sync1.mu.Unlock()
+	for i := int64(0); i < 8; i++ {
+		if err := sync1.Put(series.Point{TG: i, TA: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sync1.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := sync1.FlushAll(); err != nil {
+		t.Fatalf("FlushAll on drained engine: %v", err)
+	}
+	if err := sync1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	async1, err := Open(Config{Policy: Conventional, MemBudget: 4, AsyncCompaction: true, Scheduler: nopScheduler{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := async1.FlushAll(); err != nil {
+		t.Fatalf("FlushAll on empty async engine: %v", err)
+	}
+	async1.mu.Lock()
+	if err := async1.handleFullMemtable(async1.c0); err != nil {
+		async1.mu.Unlock()
+		t.Fatalf("async handleFullMemtable on empty memtable: %v", err)
+	}
+	async1.mu.Unlock()
+	if n := async1.L0Backlog(); n != 0 {
+		t.Fatalf("empty flush enqueued %d L0 tables", n)
+	}
+	closeWithManualDrain(t, async1)
+}
+
+// dropBeforeEngine builds a durable sync engine holding points 0..15 in
+// four 4-point tables, so DropBefore(6) unlinks one whole table and must
+// rewrite the straddling table [4..7].
+func dropBeforeEngine(t *testing.T) (*Engine, *storage.FaultBackend) {
+	t.Helper()
+	fb := storage.NewFaultBackend(storage.NewMemBackend())
+	e, err := Open(Config{Policy: Conventional, MemBudget: 4, SSTablePoints: 4, Backend: fb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 16; i++ {
+		if err := e.Put(series.Point{TG: i, TA: i, V: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(runTableNames(e)); n != 4 {
+		t.Fatalf("setup built %d tables, want 4", n)
+	}
+	return e, fb
+}
+
+// TestDropBeforeReadFaultReportsNothingRemoved is the regression test for
+// the retention accounting bug: when reading the straddling table failed,
+// DropBefore used to report the whole-table tally alongside the error even
+// though nothing had been committed — a retrying caller double-counted.
+// Every pre-commit failure must report (0, err) with the run untouched.
+func TestDropBeforeReadFaultReportsNothingRemoved(t *testing.T) {
+	e, fb := dropBeforeEngine(t)
+	fb.SetReadBudget(0)
+	removed, err := e.DropBefore(6)
+	if err == nil {
+		t.Fatal("DropBefore with dead reads succeeded")
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("error lost its cause: %v", err)
+	}
+	if removed != 0 {
+		t.Fatalf("failed DropBefore reported %d removed, want 0", removed)
+	}
+	fb.SetReadBudget(-1)
+
+	// Nothing was dropped: all 16 points still readable.
+	if pts, _, err := e.Scan(0, 1<<40); err != nil || len(pts) != 16 {
+		t.Fatalf("scan after failed drop: %d points, err %v; want 16", len(pts), err)
+	}
+
+	// The retry succeeds and reports exactly the durable removal.
+	removed, err = e.DropBefore(6)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if removed != 6 {
+		t.Fatalf("retry removed %d, want 6", removed)
+	}
+	pts, _, err := e.Scan(0, 1<<40)
+	if err != nil || len(pts) != 10 || pts[0].TG != 6 {
+		t.Fatalf("scan after drop: %d points (first %v), err %v; want 10 starting at 6",
+			len(pts), pts, err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDropBeforeCommitFaultLeavesRunIntact drives the same contract
+// through the commit point: the replacement table persists (budget 1) but
+// the manifest commit fails, so replaceAndCommit must roll back and
+// DropBefore must report (0, err) with every point still readable — live
+// and across a restart.
+func TestDropBeforeCommitFaultLeavesRunIntact(t *testing.T) {
+	e, fb := dropBeforeEngine(t)
+	fb.SetBudget(1) // one write: the straddle replacement; the commit dies
+	removed, err := e.DropBefore(6)
+	fb.SetBudget(-1)
+	if err == nil || !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("DropBefore with dead manifest: removed=%d err=%v", removed, err)
+	}
+	if removed != 0 {
+		t.Fatalf("uncommitted DropBefore reported %d removed, want 0", removed)
+	}
+	if run, durable := runTableNames(e), manifestTableNames(t, fb); !sameNames(run, durable) {
+		t.Fatalf("live run %v diverged from manifest %v", run, durable)
+	}
+	if pts, _, err := e.Scan(0, 1<<40); err != nil || len(pts) != 16 {
+		t.Fatalf("scan after failed drop: %d points, err %v; want 16", len(pts), err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restart sees the orphaned replacement object cleaned up and the
+	// full point set; retention can then be retried to completion.
+	re, err := Open(Config{Policy: Conventional, MemBudget: 4, SSTablePoints: 4, Backend: fb})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.RecoveryInfo().OrphanTablesRemoved == 0 {
+		t.Error("reopen found no orphan to remove after failed commit")
+	}
+	if pts, _, err := re.Scan(0, 1<<40); err != nil || len(pts) != 16 {
+		t.Fatalf("restart scan: %d points, err %v; want 16", len(pts), err)
+	}
+	removed, err = re.DropBefore(6)
+	if err != nil || removed != 6 {
+		t.Fatalf("retry after restart: removed=%d err=%v, want 6, nil", removed, err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

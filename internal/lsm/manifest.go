@@ -100,17 +100,42 @@ func (e *Engine) persistTable(t *sstable.Table) (sstable.TableHandle, error) {
 	return r, nil
 }
 
-// commitReplace commits a manifest reflecting the current run (the commit
-// point of invariant 2), then removes the retired tables' objects. Caller
+// replaceAndCommit swaps e.run.tables[i:j] for newTables and commits a
+// manifest recording the new run — the commit point of invariant 2. Caller
 // holds the lock: the manifest must be a snapshot of e.run and e.nextID
 // that is atomic with the in-memory replace, and the subsequent rewriteWAL
-// (invariant 3) must observe the same state — these are the two backend
-// writes that genuinely cannot leave the critical section. (See DESIGN.md
-// §7.3 for why the synchronous path also runs its persists under the lock:
-// the caller is Put/PutBatch, which owns the lock for the whole insert
-// anyway.) Removing a retired object does not disturb snapshot readers:
-// their lazy readers hold the object open with snapshot-at-open semantics.
-func (e *Engine) commitReplace(old []sstable.TableHandle) error {
+// (invariant 3) must observe the same state — these are the backend writes
+// that genuinely cannot leave the critical section. (See DESIGN.md §7.3
+// for why the synchronous path also runs its persists under the lock: the
+// caller is Put/PutBatch, which owns the lock for the whole insert anyway.)
+//
+// The in-memory replace and the durable commit succeed or fail together:
+// if the manifest write fails, the old run slice is reinstated before the
+// lock is released, so no reader — and no restarted instance — ever
+// observes a run the manifest does not record. committed reports whether
+// the commit point was reached; when it is true a non-nil err comes only
+// from post-commit cleanup (removing retired objects), which must NOT be
+// rolled back — the durable state already moved on, and the stale objects
+// are orphans the next Open deletes. Removing a retired object does not
+// disturb snapshot readers: their lazy readers hold the object open with
+// snapshot-at-open semantics.
+func (e *Engine) replaceAndCommit(i, j int, newTables []sstable.TableHandle) (committed bool, err error) {
+	retired := make([]sstable.TableHandle, j-i)
+	copy(retired, e.run.tables[i:j])
+	prev := e.run.tables
+	e.run.replace(i, j, newTables)
+	if err := e.commitRun(); err != nil {
+		e.run.tables = prev
+		retireHandles(newTables)
+		return false, err
+	}
+	retireHandles(retired)
+	return true, e.removeRetired(retired)
+}
+
+// commitRun writes a manifest recording the current run — the commit point
+// of invariant 2. Caller holds the lock.
+func (e *Engine) commitRun() error {
 	if e.cfg.Backend == nil {
 		return nil
 	}
@@ -118,8 +143,15 @@ func (e *Engine) commitReplace(old []sstable.TableHandle) error {
 	for _, t := range e.run.tables {
 		m.Tables = append(m.Tables, tableObjectName(t.ID()))
 	}
-	if err := e.writeManifest(m); err != nil {
-		return err
+	return e.writeManifest(m)
+}
+
+// removeRetired deletes the objects of tables a committed manifest no
+// longer references. A failure here leaves orphans that the next Open
+// removes; the committed state is already consistent.
+func (e *Engine) removeRetired(old []sstable.TableHandle) error {
+	if e.cfg.Backend == nil {
+		return nil
 	}
 	for _, t := range old {
 		if err := e.cfg.Backend.Remove(tableObjectName(t.ID())); err != nil {

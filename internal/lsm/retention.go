@@ -18,6 +18,14 @@ import (
 // Dropping history does not move LAST(R) backwards: the classification
 // frontier (Definition 3) only ever advances, so retention cannot turn
 // future arrivals from out-of-order into in-order.
+//
+// The count is an accounting contract: points are reported removed only
+// once the removal is durable. Every failure before the manifest commit —
+// reading the straddling table, rebuilding it, persisting the replacement,
+// the commit itself — returns (0, err) with the run untouched, so a caller
+// that retries (or sums counts across series) never double-counts. A
+// non-nil error alongside a nonzero count means only post-commit cleanup
+// (retired-object removal, WAL shrink) failed; the drop itself held.
 func (e *Engine) DropBefore(cutoff int64) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -48,10 +56,13 @@ func (e *Engine) DropBefore(cutoff int64) (int, error) {
 	var replacement []sstable.TableHandle
 	replaceTo := idx
 	if idx < len(e.run.tables) && e.run.tables[idx].MinTG() < cutoff {
+		// Any failure from here until the commit leaves the run exactly as
+		// it was, so nothing may be reported removed: return 0, not the
+		// whole-table tally above.
 		t := e.run.tables[idx]
 		keep, err := t.Scan(cutoff, t.MaxTG())
 		if err != nil {
-			return removed, err
+			return 0, err
 		}
 		removed += t.Len() - len(keep)
 		if len(keep) > 0 {
@@ -59,37 +70,35 @@ func (e *Engine) DropBefore(cutoff int64) (int, error) {
 			copy(kept, keep)
 			nt, err := sstable.Build(e.nextID, kept)
 			if err != nil {
-				return removed, err
+				return 0, err
 			}
 			e.nextID++
 			h, err := e.persistTable(nt)
 			if err != nil {
-				return removed, err
+				return 0, err
 			}
 			replacement = []sstable.TableHandle{h}
 			e.stats.PointsWritten += int64(len(kept))
 		}
-		dropped = e.run.tables[:idx+1]
 		replaceTo = idx + 1
 	}
-	if len(dropped) > 0 || len(replacement) > 0 {
-		retired := make([]sstable.TableHandle, len(dropped))
-		copy(retired, dropped)
-		e.run.replace(0, replaceTo, replacement)
-		if err := e.commitReplace(retired); err != nil {
-			return removed, err
+	var cleanupErr error
+	if replaceTo > 0 || len(replacement) > 0 {
+		committed, err := e.replaceAndCommit(0, replaceTo, replacement)
+		if !committed {
+			return 0, err
 		}
-		retireHandles(retired)
+		cleanupErr = err
 	}
 
 	// Purge buffered points below the cutoff.
 	for _, mt := range []*memtableRef{{e.c0}, {e.cseq}, {e.cnonseq}} {
 		removed += mt.purgeBelow(cutoff)
 	}
-	if err := e.rewriteWAL(); err != nil {
-		return removed, err
+	if err := e.rewriteWAL(); err != nil && cleanupErr == nil {
+		cleanupErr = err
 	}
-	return removed, nil
+	return removed, cleanupErr
 }
 
 // memtableRef wraps a memtable for the purge helper (keeps retention logic

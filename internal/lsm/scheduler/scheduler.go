@@ -1,0 +1,456 @@
+// Package scheduler provides the database-wide compaction scheduler: a
+// bounded pool of workers that background-merge L0 backlogs across many
+// LSM engines, replacing the one-compactor-goroutine-per-series model.
+//
+// With thousands of series, per-series goroutines give the OS thousands of
+// uncoordinated merge loops competing for disk and CPU — the scaling wall
+// that pushes real engines (RocksDB's compaction thread pool, IoTDB's
+// merge scheduler) to a shared scheduler. Here every engine reports its L0
+// queue depth through the lsm.CompactionScheduler interface; the pool keeps
+// the engines in a max-heap by depth (deepest backlog first, FIFO among
+// equals so no series starves) and its workers repeatedly pop the neediest
+// engine and run one lsm.Engine.CompactOnce on it.
+//
+// Invariants the pool maintains:
+//
+//   - At most one worker compacts a given engine at any time (the engine's
+//     "compactor is the sole run mutator" rule requires it; CompactOnce
+//     panics if violated). An engine is either idle, queued, or running —
+//     never queued twice, never popped while running.
+//   - Depth accounting is reconciled against the engine's own report after
+//     every merge, taking the maximum of the scheduler's view and the
+//     engine's: overestimates self-correct (an empty CompactOnce is a
+//     cheap no-op), while an underestimate would strand backlog and hang
+//     drains.
+//   - Engines must be registered after lsm.Open and unregistered after
+//     engine Close; the pool itself closes only after every engine has,
+//     since draining engines depend on pool workers for progress.
+package scheduler
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+)
+
+// DefaultWorkers returns the default pool size: half the usable CPUs, at
+// least one. Merges are CPU- and I/O-heavy; leaving headroom for ingest
+// and queries matters more than merge parallelism.
+func DefaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0) / 2; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// DefaultBackpressurePerWorker scales the default Overloaded threshold:
+// with W workers, ingest backpressure engages once W×16 L0 tables are
+// queued across all series — deep enough to ride out a burst, shallow
+// enough that producers slow down long before per-engine queues hit their
+// own hard limit and block.
+const DefaultBackpressurePerWorker = 16
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Workers is the number of concurrent compaction workers. Zero selects
+	// DefaultWorkers().
+	Workers int
+	// BackpressureDepth is the aggregate queued-L0-table count at which
+	// Overloaded starts reporting true. Zero selects
+	// Workers×DefaultBackpressurePerWorker; negative disables backpressure.
+	BackpressureDepth int
+}
+
+// Pool is a shared compaction scheduler. Create with New, then Register
+// every engine whose lsm.Config.Scheduler points at the pool.
+type Pool struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	byEngine map[*lsm.Engine]*entry
+	byName   map[string]*entry
+	heap     entryHeap
+	seq      uint64
+	closed   bool
+	wg       sync.WaitGroup
+
+	running      int
+	queuedTables int // Σ entry depth: L0 tables awaiting merge, DB-wide
+	completed    int64
+	failed       int64
+	waitHist     *metrics.Histogram
+	mergeHist    *metrics.Histogram
+}
+
+type entryState uint8
+
+const (
+	stateIdle    entryState = iota // no pending work known
+	stateQueued                    // in the heap, awaiting a worker
+	stateRunning                   // a worker is inside CompactOnce
+)
+
+// entry is the pool's view of one registered engine.
+type entry struct {
+	name      string
+	eng       *lsm.Engine
+	depth     int // last known L0 backlog
+	state     entryState
+	seq       uint64 // enqueue order, FIFO tie-break among equal depths
+	heapIndex int
+	queuedAt  time.Time
+	// dirty marks a Notify that arrived while a worker was mid-merge on
+	// this entry; see the reconciliation in worker.
+	dirty bool
+
+	merges       int64
+	failed       int64
+	waitSeconds  float64
+	mergeSeconds float64
+}
+
+// New creates a pool and starts its workers.
+func New(cfg Config) *Pool {
+	p := newPool(cfg)
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// newPool builds the pool without starting workers — the scheduling-order
+// tests drive it synchronously.
+func newPool(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers()
+	}
+	if cfg.BackpressureDepth == 0 {
+		cfg.BackpressureDepth = cfg.Workers * DefaultBackpressurePerWorker
+	}
+	p := &Pool{
+		cfg:      cfg,
+		byEngine: make(map[*lsm.Engine]*entry),
+		byName:   make(map[string]*entry),
+		// Wait can stretch under backlog and merges can be slow on cold
+		// storage; [0,30s) in 10ms buckets keeps both tails visible.
+		waitHist:  metrics.NewHistogram(0, 30, 3000),
+		mergeHist: metrics.NewHistogram(0, 30, 3000),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Register adds an engine to the pool under a series name. The engine must
+// already have been opened with its lsm.Config.Scheduler pointing at this
+// pool. Any L0 backlog the engine recovered with is picked up here —
+// recovery-time enqueues happen before the engine can notify — and queued
+// immediately.
+func (p *Pool) Register(name string, e *lsm.Engine) {
+	depth := e.L0Backlog()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.byEngine[e] != nil {
+		return
+	}
+	ent := &entry{name: name, eng: e, depth: depth}
+	p.byEngine[e] = ent
+	p.byName[name] = ent
+	p.queuedTables += depth
+	if depth > 0 {
+		p.enqueueLocked(ent)
+		p.cond.Signal()
+	}
+}
+
+// Unregister removes an engine (after the engine has been closed — a
+// dropped or shut-down series). Safe while a worker is mid-merge on the
+// engine: CompactOnce on a closed engine is a no-op, and the worker's
+// post-merge reconciliation sees the entry is gone and does not requeue it.
+func (p *Pool) Unregister(e *lsm.Engine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ent := p.byEngine[e]
+	if ent == nil {
+		return
+	}
+	delete(p.byEngine, e)
+	if p.byName[ent.name] == ent {
+		delete(p.byName, ent.name)
+	}
+	p.queuedTables -= ent.depth
+	ent.depth = 0
+	if ent.state == stateQueued {
+		heap.Remove(&p.heap, ent.heapIndex)
+		ent.state = stateIdle
+	}
+}
+
+// Notify implements lsm.CompactionScheduler: record the engine's new L0
+// depth and (re)queue it. Called by the engine with its own lock held, so
+// this must not call back into the engine — it only updates pool state.
+// (Lock order is always engine→pool; workers take the pool lock first but
+// release it before entering CompactOnce.)
+func (p *Pool) Notify(e *lsm.Engine, depth int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	ent := p.byEngine[e]
+	if ent == nil {
+		return
+	}
+	p.setDepthLocked(ent, depth)
+}
+
+// setDepthLocked records a new depth for ent and fixes its queue position.
+func (p *Pool) setDepthLocked(ent *entry, depth int) {
+	p.queuedTables += depth - ent.depth
+	ent.depth = depth
+	switch ent.state {
+	case stateIdle:
+		if depth > 0 {
+			p.enqueueLocked(ent)
+			p.cond.Signal()
+		}
+	case stateQueued:
+		if depth == 0 {
+			heap.Remove(&p.heap, ent.heapIndex)
+			ent.state = stateIdle
+		} else {
+			heap.Fix(&p.heap, ent.heapIndex)
+		}
+	case stateRunning:
+		// The worker reconciles against the engine's report when the
+		// in-flight merge finishes; requeueing now would put two workers
+		// on one engine. Mark the entry so the worker knows this report
+		// may postdate the count its merge returned.
+		ent.dirty = true
+	}
+}
+
+// enqueueLocked pushes an idle entry into the heap.
+func (p *Pool) enqueueLocked(ent *entry) {
+	ent.state = stateQueued
+	ent.seq = p.seq
+	p.seq++
+	ent.queuedAt = time.Now()
+	heap.Push(&p.heap, ent)
+}
+
+// worker pops the neediest engine and runs one merge at a time until the
+// pool closes.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.heap) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		ent := heap.Pop(&p.heap).(*entry)
+		ent.state = stateRunning
+		ent.dirty = false
+		p.running++
+		wait := time.Since(ent.queuedAt).Seconds()
+		ent.waitSeconds += wait
+		p.waitHist.Observe(wait)
+		p.mu.Unlock()
+
+		start := time.Now()
+		remaining, err := ent.eng.CompactOnce()
+		dur := time.Since(start).Seconds()
+
+		p.mu.Lock()
+		p.running--
+		ent.mergeSeconds += dur
+		p.mergeHist.Observe(dur)
+		if err != nil {
+			p.failed++
+			ent.failed++
+		} else {
+			p.completed++
+			ent.merges++
+		}
+		ent.state = stateIdle
+		// Reconcile the entry's depth. remaining is the engine's own count
+		// at the end of the merge, newer than any Notify from before the
+		// merge started — so it replaces the entry's depth outright. Only
+		// a Notify that arrived mid-merge (dirty) can postdate it; those
+		// two cannot be ordered from here, so take the maximum — an
+		// overestimate self-corrects on the next (no-op) merge, while an
+		// underestimate would strand backlog and hang drains.
+		depth := remaining
+		if p.byEngine[ent.eng] != ent {
+			depth = 0 // unregistered while running; do not requeue
+		} else if ent.dirty && ent.depth > depth {
+			depth = ent.depth
+		}
+		p.setDepthLocked(ent, depth)
+		p.mu.Unlock()
+	}
+}
+
+// Overloaded reports whether the aggregate L0 backlog has crossed the
+// backpressure threshold. The server's write path consults this to shed
+// load (HTTP 429 + Retry-After) before memory-bounded per-engine queues
+// fill up and start blocking ingest shards.
+func (p *Pool) Overloaded() bool {
+	if p.cfg.BackpressureDepth < 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queuedTables >= p.cfg.BackpressureDepth
+}
+
+// Stats is a point-in-time snapshot of pool-wide scheduler state.
+type Stats struct {
+	// Workers is the configured pool size.
+	Workers int
+	// BackpressureDepth is the Overloaded threshold (negative: disabled).
+	BackpressureDepth int
+	// QueuedTables is the number of L0 tables awaiting merge across all
+	// registered series (including series currently being merged).
+	QueuedTables int
+	// QueuedSeries is the number of series waiting for a worker.
+	QueuedSeries int
+	// RunningSeries is the number of merges executing right now.
+	RunningSeries int
+	// Completed and Failed count finished CompactOnce calls.
+	Completed, Failed int64
+	// Overloaded mirrors Pool.Overloaded at snapshot time.
+	Overloaded bool
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Workers:           p.cfg.Workers,
+		BackpressureDepth: p.cfg.BackpressureDepth,
+		QueuedTables:      p.queuedTables,
+		QueuedSeries:      len(p.heap),
+		RunningSeries:     p.running,
+		Completed:         p.completed,
+		Failed:            p.failed,
+		Overloaded:        p.cfg.BackpressureDepth >= 0 && p.queuedTables >= p.cfg.BackpressureDepth,
+	}
+}
+
+// SeriesStats is the scheduler's per-series view, surfaced on the
+// /series/{series}/stats endpoint.
+type SeriesStats struct {
+	// Queued is the series' pending L0 table count as last reported.
+	Queued int
+	// Running is true while a worker is merging this series.
+	Running bool
+	// Merges and Failed count finished CompactOnce calls for the series.
+	Merges, Failed int64
+	// WaitSeconds and MergeSeconds accumulate time spent queued and time
+	// spent merging.
+	WaitSeconds, MergeSeconds float64
+}
+
+// SeriesStats returns the scheduler view of one registered series.
+func (p *Pool) SeriesStats(name string) (SeriesStats, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ent := p.byName[name]
+	if ent == nil {
+		return SeriesStats{}, false
+	}
+	return SeriesStats{
+		Queued:       ent.depth,
+		Running:      ent.state == stateRunning,
+		Merges:       ent.merges,
+		Failed:       ent.failed,
+		WaitSeconds:  ent.waitSeconds,
+		MergeSeconds: ent.mergeSeconds,
+	}, true
+}
+
+// HistSnapshot is a copied histogram for metric rendering: bucket edges,
+// per-bucket counts, and the observation count/sum.
+type HistSnapshot struct {
+	Edges  []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+func snapshotHist(h *metrics.Histogram) HistSnapshot {
+	edges, counts := h.Bins()
+	n := h.Count()
+	return HistSnapshot{Edges: edges, Counts: counts, Count: n, Sum: h.Mean() * float64(n)}
+}
+
+// WaitHist returns the queued-to-started latency histogram.
+func (p *Pool) WaitHist() HistSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return snapshotHist(p.waitHist)
+}
+
+// MergeHist returns the CompactOnce duration histogram.
+func (p *Pool) MergeHist() HistSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return snapshotHist(p.mergeHist)
+}
+
+// Close stops the workers and waits for in-flight merges to finish. Close
+// the engines first: a draining engine depends on pool workers for
+// progress, and work still queued when the pool closes is dropped.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// entryHeap is a max-heap: deepest L0 backlog first, FIFO (by enqueue
+// sequence) among equals.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(a, b int) bool {
+	if h[a].depth != h[b].depth {
+		return h[a].depth > h[b].depth
+	}
+	return h[a].seq < h[b].seq
+}
+func (h entryHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].heapIndex = a
+	h[b].heapIndex = b
+}
+func (h *entryHeap) Push(x any) {
+	ent := x.(*entry)
+	ent.heapIndex = len(*h)
+	*h = append(*h, ent)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ent := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	ent.heapIndex = -1
+	return ent
+}

@@ -1,0 +1,223 @@
+package scheduler
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+)
+
+func mustEngine(t *testing.T, p *Pool) *lsm.Engine {
+	t.Helper()
+	e, err := lsm.Open(lsm.Config{
+		Policy:          lsm.Conventional,
+		MemBudget:       8,
+		SSTablePoints:   8,
+		AsyncCompaction: true,
+		Scheduler:       p,
+	})
+	if err != nil {
+		t.Fatalf("open engine: %v", err)
+	}
+	return e
+}
+
+// popAll drains the heap under the pool lock, returning entry names in pop
+// order.
+func popAll(p *Pool) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var names []string
+	for len(p.heap) > 0 {
+		ent := heap.Pop(&p.heap).(*entry)
+		ent.state = stateIdle
+		names = append(names, ent.name)
+	}
+	return names
+}
+
+// TestDeepestBacklogFirst checks the scheduling order: deepest L0 queue
+// first, FIFO among equal depths.
+func TestDeepestBacklogFirst(t *testing.T) {
+	p := newPool(Config{Workers: 1}) // no workers: we pop by hand
+	engs := make(map[string]*lsm.Engine)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		e := mustEngine(t, p)
+		engs[name] = e
+		p.Register(name, e)
+		defer e.Close()
+	}
+	p.Notify(engs["a"], 2)
+	p.Notify(engs["b"], 5)
+	p.Notify(engs["c"], 3)
+	p.Notify(engs["d"], 3) // same depth as c, notified later
+
+	got := popAll(p)
+	want := []string{"b", "c", "d", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+	if st := p.Stats(); st.QueuedTables != 13 {
+		t.Fatalf("QueuedTables = %d, want 13", st.QueuedTables)
+	}
+}
+
+// TestNotifyWhileQueuedReorders checks that a depth update moves an entry
+// within the queue rather than duplicating it.
+func TestNotifyWhileQueuedReorders(t *testing.T) {
+	p := newPool(Config{Workers: 1})
+	a, b := mustEngine(t, p), mustEngine(t, p)
+	defer a.Close()
+	defer b.Close()
+	p.Register("a", a)
+	p.Register("b", b)
+	p.Notify(a, 1)
+	p.Notify(b, 2)
+	p.Notify(a, 9) // a overtakes b
+
+	got := popAll(p)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("pop order %v, want [a b]", got)
+	}
+	// Dropping the depth to zero dequeues without a worker ever running.
+	p.Notify(a, 4)
+	p.Notify(a, 0)
+	if got := popAll(p); len(got) != 0 {
+		t.Fatalf("queue not empty after depth-0 notify: %v", got)
+	}
+	if st := p.Stats(); st.QueuedTables != 2 { // b's tables remain
+		t.Fatalf("QueuedTables = %d, want 2", st.QueuedTables)
+	}
+}
+
+// TestUnregisterRemovesQueuedWork checks that an unregistered engine
+// leaves no queued entry and no depth accounting behind.
+func TestUnregisterRemovesQueuedWork(t *testing.T) {
+	p := newPool(Config{Workers: 1})
+	a, b := mustEngine(t, p), mustEngine(t, p)
+	defer a.Close()
+	defer b.Close()
+	p.Register("a", a)
+	p.Register("b", b)
+	p.Notify(a, 7)
+	p.Notify(b, 1)
+	p.Unregister(a)
+
+	if _, ok := p.SeriesStats("a"); ok {
+		t.Fatal("unregistered series still visible in SeriesStats")
+	}
+	if st := p.Stats(); st.QueuedTables != 1 || st.QueuedSeries != 1 {
+		t.Fatalf("after unregister: %+v, want 1 queued table / 1 queued series", st)
+	}
+	if got := popAll(p); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("pop order %v, want [b]", got)
+	}
+}
+
+// TestOverloadedThreshold checks the depth-based backpressure signal.
+func TestOverloadedThreshold(t *testing.T) {
+	p := newPool(Config{Workers: 1, BackpressureDepth: 4})
+	a := mustEngine(t, p)
+	defer a.Close()
+	p.Register("a", a)
+
+	if p.Overloaded() {
+		t.Fatal("overloaded while empty")
+	}
+	p.Notify(a, 3)
+	if p.Overloaded() {
+		t.Fatal("overloaded below threshold")
+	}
+	p.Notify(a, 4)
+	if !p.Overloaded() {
+		t.Fatal("not overloaded at threshold")
+	}
+	p.Notify(a, 0)
+	if p.Overloaded() {
+		t.Fatal("overloaded after drain")
+	}
+
+	off := newPool(Config{Workers: 1, BackpressureDepth: -1})
+	off.Register("a", a)
+	off.Notify(a, 1000)
+	if off.Overloaded() {
+		t.Fatal("backpressure not disabled by negative threshold")
+	}
+}
+
+// TestPoolDrainsEngine runs a real engine through the pool end to end:
+// ingest past the memory budget, let pool workers merge the backlog, and
+// verify the data and the counters.
+func TestPoolDrainsEngine(t *testing.T) {
+	p := New(Config{Workers: 2})
+	defer p.Close()
+	e := mustEngine(t, p)
+	p.Register("s", e)
+
+	const n = 512
+	for i := 0; i < n; i++ {
+		// Alternate ends of the keyspace so merges overlap existing tables.
+		tg := int64(i)
+		if i%3 == 0 {
+			tg = int64(10000 + i)
+		}
+		if err := e.Put(series.Point{TG: tg, TA: tg, V: float64(i)}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := e.FlushAll(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	got, _, err := e.Scan(0, 1<<40)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d points, want %d", len(got), n)
+	}
+	if e.L0Backlog() != 0 {
+		t.Fatalf("L0 backlog %d after FlushAll", e.L0Backlog())
+	}
+	st := p.Stats()
+	if st.Completed == 0 {
+		t.Fatalf("pool completed no merges: %+v", st)
+	}
+	if st.QueuedTables != 0 || st.RunningSeries != 0 {
+		t.Fatalf("pool not quiescent after drain: %+v", st)
+	}
+	ss, ok := p.SeriesStats("s")
+	if !ok || ss.Merges == 0 || ss.Queued != 0 {
+		t.Fatalf("series stats: %+v ok=%v", ss, ok)
+	}
+	if ws := p.WaitHist(); ws.Count != st.Completed+st.Failed {
+		t.Fatalf("wait histogram count %d, want %d", ws.Count, st.Completed+st.Failed)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("close engine: %v", err)
+	}
+	p.Unregister(e)
+}
+
+// TestCloseStopsWorkers verifies Close terminates the worker goroutines
+// even with work still queued (engines gone, entries stale).
+func TestCloseStopsWorkers(t *testing.T) {
+	p := New(Config{Workers: 4})
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		p.Close() // idempotent
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool Close did not finish")
+	}
+}

@@ -149,11 +149,26 @@ type ReadStatsJSON struct {
 	LastScan           *ScanStatsJSON `json:"last_scan,omitempty"`
 }
 
+// CompactionStatsJSON is the shared compaction scheduler's view of one
+// series: its pending L0 backlog, whether a pool worker is merging it right
+// now, and cumulative merge/wait accounting. Present only when the DB runs
+// a shared scheduler.
+type CompactionStatsJSON struct {
+	Queued       int     `json:"queued"`
+	Running      bool    `json:"running"`
+	Merges       int64   `json:"merges"`
+	Failed       int64   `json:"failed"`
+	WaitSeconds  float64 `json:"wait_seconds"`
+	MergeSeconds float64 `json:"merge_seconds"`
+}
+
 // SeriesDetailResponse is the /series/{series}/stats body: the same engine
-// counters as one /stats entry plus the server's read-path accounting.
+// counters as one /stats entry plus the server's read-path accounting and,
+// with a shared compaction scheduler, the scheduler's per-series view.
 type SeriesDetailResponse struct {
 	SeriesStatsJSON
-	Read ReadStatsJSON `json:"read"`
+	Read       ReadStatsJSON        `json:"read"`
+	Compaction *CompactionStatsJSON `json:"compaction,omitempty"`
 }
 
 // ErrorResponse is the body of non-2xx responses (except 429, which uses

@@ -48,23 +48,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sum := s.writeLat.Mean() * float64(total)
 	s.latMu.Unlock()
 	fmt.Fprintf(&b, "# HELP lsmd_write_request_seconds Write request latency.\n# TYPE lsmd_write_request_seconds histogram\n")
-	var cum int64
-	binWidth := 0.0
-	if len(edges) > 1 {
-		binWidth = edges[1] - edges[0]
-	}
-	for i, c := range counts {
-		cum += c
-		// Emit sparse buckets (plus the first and last) to keep scrapes
-		// small; cumulative counts stay correct because cum carries over.
-		if c == 0 && i != 0 && i != len(counts)-1 {
-			continue
-		}
-		fmt.Fprintf(&b, "lsmd_write_request_seconds_bucket{le=\"%g\"} %d\n", edges[i]+binWidth, cum)
-	}
-	fmt.Fprintf(&b, "lsmd_write_request_seconds_bucket{le=\"+Inf\"} %d\n", total)
-	fmt.Fprintf(&b, "lsmd_write_request_seconds_sum %g\n", sum)
-	fmt.Fprintf(&b, "lsmd_write_request_seconds_count %d\n", total)
+	promHistogram(&b, "lsmd_write_request_seconds", edges, counts, total, sum)
 
 	// Per-series read-path accounting: scan counters, tables touched,
 	// read amplification, and the scan-latency histogram, all fed by
@@ -153,6 +137,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP lsmd_db_series Number of series.\n# TYPE lsmd_db_series gauge\nlsmd_db_series %d\n", len(stats))
 	fmt.Fprintf(&b, "# HELP lsmd_db_write_amplification Database-wide write amplification.\n# TYPE lsmd_db_write_amplification gauge\nlsmd_db_write_amplification %g\n", s.db.TotalWA())
 
+	// Shared compaction scheduler (absent with per-series compactors or
+	// synchronous merging).
+	if pool := s.db.Compactions(); pool != nil {
+		cs := pool.Stats()
+		fmt.Fprintf(&b, "# HELP lsmd_compaction_workers Compaction worker pool size.\n# TYPE lsmd_compaction_workers gauge\nlsmd_compaction_workers %d\n", cs.Workers)
+		fmt.Fprintf(&b, "# HELP lsmd_compaction_queued L0 tables awaiting background merge, across all series.\n# TYPE lsmd_compaction_queued gauge\nlsmd_compaction_queued %d\n", cs.QueuedTables)
+		fmt.Fprintf(&b, "# HELP lsmd_compaction_queued_series Series waiting for a compaction worker.\n# TYPE lsmd_compaction_queued_series gauge\nlsmd_compaction_queued_series %d\n", cs.QueuedSeries)
+		fmt.Fprintf(&b, "# HELP lsmd_compaction_running Merges executing right now.\n# TYPE lsmd_compaction_running gauge\nlsmd_compaction_running %d\n", cs.RunningSeries)
+		counter("lsmd_compaction_completed_total", "Background merges completed.", cs.Completed)
+		counter("lsmd_compaction_failed_total", "Background merges that errored.", cs.Failed)
+		counter("lsmd_write_requests_throttled_total", "Write requests shed by compaction backpressure (subset of rejected).", s.writesThrottled.Load())
+		overloaded := 0
+		if cs.Overloaded {
+			overloaded = 1
+		}
+		fmt.Fprintf(&b, "# HELP lsmd_compaction_backpressure Whether the scheduler is shedding ingest (threshold %d queued tables).\n# TYPE lsmd_compaction_backpressure gauge\nlsmd_compaction_backpressure %d\n", cs.BackpressureDepth, overloaded)
+		wait := pool.WaitHist()
+		fmt.Fprintf(&b, "# HELP lsmd_compaction_wait_seconds Time series spend queued before a worker picks them up.\n# TYPE lsmd_compaction_wait_seconds histogram\n")
+		promHistogram(&b, "lsmd_compaction_wait_seconds", wait.Edges, wait.Counts, wait.Count, wait.Sum)
+		merge := pool.MergeHist()
+		fmt.Fprintf(&b, "# HELP lsmd_compaction_merge_seconds Duration of one background merge (CompactOnce).\n# TYPE lsmd_compaction_merge_seconds histogram\n")
+		promHistogram(&b, "lsmd_compaction_merge_seconds", merge.Edges, merge.Counts, merge.Count, merge.Sum)
+	}
+
 	// Shared SSTable block cache (absent for memory-only databases).
 	if cs, ok := s.db.CacheStats(); ok {
 		counter("lsmd_block_cache_hits_total", "Block reads served by the shared block cache.", cs.Hits)
@@ -165,4 +173,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
+}
+
+// promHistogram renders a fixed-width histogram's bins as cumulative
+// Prometheus buckets. Sparse buckets (plus the first and last) keep
+// scrapes small; cumulative counts stay correct because cum carries over.
+func promHistogram(b *strings.Builder, name string, edges []float64, counts []int64, total int64, sum float64) {
+	var cum int64
+	binWidth := 0.0
+	if len(edges) > 1 {
+		binWidth = edges[1] - edges[0]
+	}
+	for i, c := range counts {
+		cum += c
+		if c == 0 && i != 0 && i != len(counts)-1 {
+			continue
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, edges[i]+binWidth, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(b, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, total)
 }

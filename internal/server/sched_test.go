@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/tsdb"
+)
+
+// blockingBackend wraps a MemBackend and parks every sstable write on a
+// gate channel. Flushes stay in memory (enqueueL0 never touches the
+// backend), so this wedges exactly one place: the pool worker inside
+// CompactOnce's persist step — letting the test grow an L0 backlog
+// deterministically while ingest keeps flowing.
+type blockingBackend struct {
+	*storage.MemBackend
+	gate    chan struct{}
+	entered chan string
+}
+
+func (b *blockingBackend) Write(name string, data []byte) error {
+	if strings.Contains(name, "sst-") {
+		select {
+		case b.entered <- name:
+		default:
+		}
+		<-b.gate
+	}
+	return b.MemBackend.Write(name, data)
+}
+
+// TestCompactionBackpressure drives the scheduler-based write throttle end
+// to end: wedge the single pool worker in a merge, pile queued L0 tables
+// past CompactBacklog, and assert POST /write sheds load with 429 +
+// Retry-After before the per-engine queues are anywhere near full; after
+// the backlog drains, writes flow again and the compaction metrics and
+// per-series scheduler stats are visible over HTTP.
+func TestCompactionBackpressure(t *testing.T) {
+	bb := &blockingBackend{
+		MemBackend: storage.NewMemBackend(),
+		gate:       make(chan struct{}),
+		entered:    make(chan string, 16),
+	}
+	db, err := tsdb.Open(tsdb.Config{
+		Engine: lsm.Config{
+			Policy:          lsm.Conventional,
+			MemBudget:       4,
+			AsyncCompaction: true,
+		},
+		Backend:        bb,
+		AutoCreate:     true,
+		CompactWorkers: 1,
+		CompactBacklog: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, base := startServer(t, Config{DB: db, Shards: 1, CloseDB: true})
+
+	// First flush: worker picks it up and wedges in persistTable.
+	for i := 0; i < 4; i++ {
+		if err := db.Put("s", series.Point{TG: int64(i), TA: int64(i), V: 1}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	select {
+	case <-bb.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool worker never reached the backend")
+	}
+
+	// Two more flushes while the worker is stuck: aggregate queued depth
+	// reaches CompactBacklog and the pool reports Overloaded.
+	for i := 4; i < 12; i++ {
+		if err := db.Put("s", series.Point{TG: int64(i), TA: int64(i), V: 1}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if !db.Compactions().Overloaded() {
+		t.Fatalf("pool not overloaded: %+v", db.Compactions().Stats())
+	}
+
+	resp, body := post(t, base+"/write", "text/plain", "s 100 100 1.0")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if !strings.Contains(body, "compaction backlog") {
+		t.Errorf("429 body: %s", body)
+	}
+
+	// The scheduler section is live on /metrics while throttled.
+	_, metricsBody := get(t, base+"/metrics")
+	for _, want := range []string{
+		"lsmd_compaction_workers 1",
+		"lsmd_compaction_backpressure 1",
+		"lsmd_write_requests_throttled_total 1",
+		"lsmd_compaction_wait_seconds_count",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Release the worker and let the backlog drain.
+	close(bb.gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := db.Compactions().Stats()
+		if st.QueuedTables == 0 && st.RunningSeries == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never drained: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, body = post(t, base+"/write", "text/plain", "s 100 100 1.0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain write: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Per-series scheduler stats ride on /series/{series}/stats.
+	var detail struct {
+		Compaction *struct {
+			Queued  int   `json:"queued"`
+			Running bool  `json:"running"`
+			Merges  int64 `json:"merges"`
+			Failed  int64 `json:"failed"`
+		} `json:"compaction"`
+	}
+	_, statsBody := get(t, base+"/series/s/stats")
+	if err := json.Unmarshal([]byte(statsBody), &detail); err != nil {
+		t.Fatalf("series stats: %v", err)
+	}
+	if detail.Compaction == nil {
+		t.Fatal("series stats missing compaction block")
+	}
+	if detail.Compaction.Merges == 0 || detail.Compaction.Failed != 0 {
+		t.Fatalf("compaction stats: %+v", *detail.Compaction)
+	}
+
+	_, mb := get(t, base+"/metrics")
+	if !strings.Contains(mb, "lsmd_compaction_backpressure 0") {
+		t.Error("backpressure gauge still set after drain")
+	}
+	if err := srv.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoSchedulerNoCompactionMetrics pins the absence contract: a DB
+// without a shared pool (sync compaction here) exposes no
+// lsmd_compaction_* series and no compaction block in series stats.
+func TestNoSchedulerNoCompactionMetrics(t *testing.T) {
+	srv, base := startServer(t, Config{DB: testDB(t), CloseDB: true})
+	if _, body := post(t, base+"/write", "text/plain", "s 1 1 1.0"); !strings.Contains(body, `"accepted":1`) {
+		t.Fatalf("write: %s", body)
+	}
+	if _, mb := get(t, base+"/metrics"); strings.Contains(mb, "lsmd_compaction_") {
+		t.Error("/metrics exposes compaction series without a scheduler")
+	}
+	if _, sb := get(t, base+"/series/s/stats"); strings.Contains(sb, `"compaction"`) {
+		t.Errorf("series stats exposes compaction block without a scheduler: %s", sb)
+	}
+	if err := srv.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

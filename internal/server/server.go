@@ -80,11 +80,12 @@ type Server struct {
 	httpSrv  *http.Server
 	listener net.Listener
 
-	writeRequests  atomic.Int64
-	writesRejected atomic.Int64 // requests that saw any rejection
-	scanRequests   atomic.Int64
-	aggRequests    atomic.Int64
-	scannedPoints  atomic.Int64
+	writeRequests   atomic.Int64
+	writesRejected  atomic.Int64 // requests that saw any rejection
+	writesThrottled atomic.Int64 // rejections caused by compaction backpressure
+	scanRequests    atomic.Int64
+	aggRequests     atomic.Int64
+	scannedPoints   atomic.Int64
 
 	latMu    sync.Mutex
 	writeLat *metrics.Histogram // write request latency, seconds
@@ -232,6 +233,23 @@ func (s *Server) Close(ctx context.Context) error {
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.writeRequests.Add(1)
+
+	// Depth-based compaction backpressure: when the shared scheduler's
+	// aggregate L0 backlog crosses its threshold, shed the write before
+	// even parsing the body. Accepting it would only push the backlog
+	// toward the per-engine queue limits, where ingest shards block and
+	// every series' latency collapses at once; a 429 here keeps the
+	// slowdown explicit and client-visible instead.
+	if pool := s.db.Compactions(); pool != nil && pool.Overloaded() {
+		s.writesRejected.Add(1)
+		s.writesThrottled.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		s.writeJSON(w, http.StatusTooManyRequests, api.WriteResponse{
+			Error: "compaction backlog: retry later",
+		})
+		return
+	}
+
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	defer body.Close()
 
@@ -523,6 +541,18 @@ func (s *Server) handleSeriesStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.readMu.Unlock()
+	if pool := s.db.Compactions(); pool != nil {
+		if cs, ok := pool.SeriesStats(name); ok {
+			resp.Compaction = &api.CompactionStatsJSON{
+				Queued:       cs.Queued,
+				Running:      cs.Running,
+				Merges:       cs.Merges,
+				Failed:       cs.Failed,
+				WaitSeconds:  cs.WaitSeconds,
+				MergeSeconds: cs.MergeSeconds,
+			}
+		}
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,289 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/query"
+	"repro/internal/series"
+)
+
+// TestSharedSchedulerManySeriesStress is the scheduler stress test: 64
+// series on a 2-worker pool under concurrent PutBatch/Scan/Aggregate
+// traffic (run with -race). It asserts:
+//
+//   - background-merge goroutines are O(workers), not O(series);
+//   - per-engine merges stay serialized (CompactOnce panics otherwise);
+//   - every series reads back exactly what was written;
+//   - the pool quiesces after FlushAll and leaks no goroutines after Close.
+func TestSharedSchedulerManySeriesStress(t *testing.T) {
+	const (
+		nSeries   = 64
+		perSeries = 1500
+		batchSize = 100
+		writers   = 8
+		readers   = 4
+	)
+
+	baseline := runtime.NumGoroutine()
+	db, err := Open(Config{
+		Engine: lsm.Config{
+			Policy:          lsm.Conventional,
+			MemBudget:       48,
+			SSTablePoints:   48,
+			AsyncCompaction: true,
+		},
+		AutoCreate:     true,
+		CompactWorkers: 2,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if db.Compactions() == nil {
+		t.Fatal("async DB has no shared compaction scheduler")
+	}
+
+	names := make([]string, nSeries)
+	expected := make([][]series.Point, nSeries)
+	for i := range names {
+		names[i] = fmt.Sprintf("root.dev%03d.v", i)
+		if err := db.CreateSeries(names[i]); err != nil {
+			t.Fatalf("create %s: %v", names[i], err)
+		}
+		// Deterministic per-series workload with out-of-order arrivals so
+		// merges genuinely overlap existing tables.
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		pts := make([]series.Point, perSeries)
+		for k := range pts {
+			tg := int64(k * 10)
+			if rng.Intn(4) == 0 && k > 0 {
+				tg -= int64(rng.Intn(k*10)) + 1 // land behind the frontier
+			}
+			pts[k] = series.Point{TG: tg, TA: int64(k * 10), V: float64(i*perSeries + k)}
+		}
+		// Dedup by TG keeping the last write, as the engine upserts.
+		expected[i] = dedupByTG(pts)
+	}
+
+	// All 64 async engines are open now; with per-series compactors this
+	// would be ≥64 extra goroutines. Allow generous slack for the test
+	// runtime and the 2 pool workers.
+	if extra := runtime.NumGoroutine() - baseline; extra > 16 {
+		t.Fatalf("goroutine count grew by %d after opening %d async series; want O(workers)", extra, nSeries)
+	}
+
+	var stop atomic.Bool
+	var readerErr atomic.Value
+	fail := func(format string, args ...any) {
+		if readerErr.Load() == nil {
+			readerErr.Store(fmt.Sprintf(format, args...))
+		}
+		stop.Store(true)
+	}
+
+	var wgWriters, wgReaders sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wgWriters.Add(1)
+		go func() {
+			defer wgWriters.Done()
+			// Writer w owns series w, w+writers, w+2*writers, ... —
+			// engine writes for one series stay single-producer, while
+			// the pool sees concurrent backlogs from all of them.
+			rng := rand.New(rand.NewSource(int64(w)))
+			for base := 0; base < perSeries; base += batchSize {
+				for s := w; s < nSeries; s += writers {
+					end := base + batchSize
+					if end > perSeries {
+						end = perSeries
+					}
+					src := seriesPoints(s, base, end)
+					if err := db.PutBatch(names[s], src); err != nil {
+						fail("PutBatch(%s): %v", names[s], err)
+						return
+					}
+				}
+				if rng.Intn(3) == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	for r := 0; r < readers; r++ {
+		r := r
+		wgReaders.Add(1)
+		go func() {
+			defer wgReaders.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for !stop.Load() {
+				name := names[rng.Intn(nSeries)]
+				pts, _, err := db.Scan(name, 0, math.MaxInt64)
+				if err != nil {
+					fail("Scan(%s): %v", name, err)
+					return
+				}
+				for k := 1; k < len(pts); k++ {
+					if pts[k-1].TG >= pts[k].TG {
+						fail("Scan(%s): unsorted/duplicate TG at %d", name, k)
+						return
+					}
+				}
+				it, err := db.SeriesIterator(name, 0, math.MaxInt64)
+				if err != nil {
+					fail("SeriesIterator(%s): %v", name, err)
+					return
+				}
+				buckets := query.AggregateIter(it, 0, 1000)
+				var n int
+				for _, b := range buckets {
+					n += int(b.Count)
+				}
+				if n < len(pts)/2 && len(pts) > 0 {
+					// The two snapshots differ (writes are in flight), but
+					// aggregate can't see dramatically less than an
+					// earlier scan did.
+					fail("Aggregate(%s): %d points, scan saw %d", name, n, len(pts))
+					return
+				}
+			}
+		}()
+	}
+
+	wgWriters.Wait()
+	stop.Store(true)
+	wgReaders.Wait()
+	if msg := readerErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	if err := db.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+
+	// Exactness: every series holds exactly its deduped expected set.
+	for i, name := range names {
+		got, _, err := db.Scan(name, 0, math.MaxInt64)
+		if err != nil {
+			t.Fatalf("final Scan(%s): %v", name, err)
+		}
+		want := expected[i]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d points, want %d", name, len(got), len(want))
+		}
+		for k := range want {
+			if got[k].TG != want[k].TG || got[k].V != want[k].V {
+				t.Fatalf("%s: point %d = (%d,%g), want (%d,%g)",
+					name, k, got[k].TG, got[k].V, want[k].TG, want[k].V)
+			}
+		}
+	}
+
+	st := db.Compactions().Stats()
+	if st.Completed == 0 {
+		t.Fatal("shared pool completed no merges")
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d merges failed", st.Failed)
+	}
+	if st.QueuedTables != 0 || st.RunningSeries != 0 {
+		t.Fatalf("pool not quiescent after FlushAll: %+v", st)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("pool has %d workers, want 2", st.Workers)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// No goroutine leak: pool workers and engine compactors must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Close: %d, baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// seriesPoints regenerates writer batches deterministically (same seeds as
+// the expectation builder).
+func seriesPoints(s, lo, hi int) []series.Point {
+	rng := rand.New(rand.NewSource(int64(1000 + s)))
+	pts := make([]series.Point, 0, hi-lo)
+	for k := 0; ; k++ {
+		tg := int64(k * 10)
+		if rng.Intn(4) == 0 && k > 0 {
+			tg -= int64(rng.Intn(k*10)) + 1
+		}
+		if k >= hi {
+			break
+		}
+		if k >= lo {
+			pts = append(pts, series.Point{TG: tg, TA: int64(k * 10), V: float64(s*1500 + k)})
+		}
+	}
+	return pts
+}
+
+// dedupByTG sorts by TG keeping the last-written value per TG, mirroring
+// the engine's upsert semantics for a single producer.
+func dedupByTG(pts []series.Point) []series.Point {
+	last := make(map[int64]series.Point, len(pts))
+	for _, p := range pts {
+		last[p.TG] = p
+	}
+	out := make([]series.Point, 0, len(last))
+	for _, p := range last {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TG < out[j].TG })
+	return out
+}
+
+// TestLegacyPerSeriesCompactors checks the CompactWorkers<0 escape hatch:
+// no shared pool, per-engine goroutines, data still exact.
+func TestLegacyPerSeriesCompactors(t *testing.T) {
+	db, err := Open(Config{
+		Engine: lsm.Config{
+			Policy:          lsm.Conventional,
+			MemBudget:       16,
+			AsyncCompaction: true,
+		},
+		AutoCreate:     true,
+		CompactWorkers: -1,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if db.Compactions() != nil {
+		t.Fatal("legacy mode still created a shared scheduler")
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.Put("s", series.Point{TG: int64(i), TA: int64(i), V: float64(i)}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	pts, _, err := db.Scan("s", 0, math.MaxInt64)
+	if err != nil || len(pts) != 200 {
+		t.Fatalf("scan: %d points, err %v; want 200", len(pts), err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/lsm"
+	"repro/internal/lsm/scheduler"
 	"repro/internal/series"
 	"repro/internal/storage"
 )
@@ -54,6 +55,20 @@ type Config struct {
 	// disables the cache (each block read decodes from the backend). Only
 	// meaningful with a Backend — a memory-only DB keeps tables resident.
 	BlockCacheBytes int64
+	// CompactWorkers sizes the shared compaction scheduler used when
+	// Engine.AsyncCompaction is set: every series engine submits its L0
+	// backlog to one bounded worker pool instead of running a private
+	// compactor goroutine, so background-merge concurrency is O(workers),
+	// not O(series). Zero selects scheduler.DefaultWorkers(); negative
+	// falls back to the legacy per-series goroutines. Ignored without
+	// AsyncCompaction.
+	CompactWorkers int
+	// CompactBacklog overrides the scheduler's ingest-backpressure
+	// threshold: once this many L0 tables are queued DB-wide, the
+	// scheduler reports Overloaded and the server sheds writes. Zero
+	// selects the scheduler default (workers×16); negative disables the
+	// signal. Ignored without a shared scheduler.
+	CompactBacklog int
 }
 
 // DefaultBlockCacheBytes is the shared block cache capacity used when
@@ -78,6 +93,11 @@ type DB struct {
 	// so cache capacity is a single DB-wide knob rather than per-series.
 	// Nil for memory-only or cache-disabled databases.
 	blockCache *cache.Cache
+
+	// sched is the shared compaction worker pool every async engine
+	// reports its L0 backlog to. Nil when async compaction is off or
+	// CompactWorkers is negative (legacy per-series goroutines).
+	sched *scheduler.Pool
 }
 
 type seriesState struct {
@@ -103,8 +123,19 @@ func Open(cfg Config) (*DB, error) {
 		}
 		db.blockCache = cache.New(capBytes)
 	}
+	if cfg.Engine.AsyncCompaction && cfg.CompactWorkers >= 0 {
+		// The pool must exist before recovery: recovered series register
+		// with it (and may arrive with a pending L0 backlog to queue).
+		db.sched = scheduler.New(scheduler.Config{
+			Workers:           cfg.CompactWorkers,
+			BackpressureDepth: cfg.CompactBacklog,
+		})
+	}
 	if cfg.Backend != nil {
 		if err := db.recoverLocked(); err != nil {
+			if db.sched != nil {
+				db.sched.Close()
+			}
 			return nil, err
 		}
 	}
@@ -148,6 +179,9 @@ func (db *DB) createLocked(name string) (*seriesState, error) {
 		return st, nil
 	}
 	ecfg := db.cfg.Engine
+	if db.sched != nil {
+		ecfg.Scheduler = db.sched
+	}
 	if db.cfg.Backend != nil {
 		if !db.persisted[name] {
 			db.persisted[name] = true
@@ -178,6 +212,9 @@ func (db *DB) createLocked(name string) (*seriesState, error) {
 			return nil, err
 		}
 		st.ctl = ctl
+	}
+	if db.sched != nil {
+		db.sched.Register(name, e)
 	}
 	db.series[name] = st
 	return st, nil
@@ -225,6 +262,9 @@ func (db *DB) DropSeries(name string) error {
 	// always stops the engine's goroutines and detaches its WAL), and
 	// object-removal leftovers are finished by the next Open.
 	st.engine.Close()
+	if db.sched != nil {
+		db.sched.Unregister(st.engine)
+	}
 	if db.cfg.Backend != nil {
 		if err := removeSeriesObjects(db.cfg.Backend, name); err != nil {
 			return fmt.Errorf("tsdb: drop %s: cleanup: %w", name, err)
@@ -259,6 +299,26 @@ func (db *DB) Put(name string, p series.Point) error {
 		return st.ctl.Put(p)
 	}
 	return st.engine.Put(p)
+}
+
+// PutBatch writes points into the named series in order, amortizing lock
+// acquisition and (with a WAL) logging the whole batch as one framed
+// append. With an adaptive controller attached, points route through it
+// one at a time so delay profiling stays exact.
+func (db *DB) PutBatch(name string, ps []series.Point) error {
+	st, err := db.get(name, db.cfg.AutoCreate)
+	if err != nil {
+		return err
+	}
+	if st.ctl != nil {
+		for _, p := range ps {
+			if err := st.ctl.Put(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return st.engine.PutBatch(ps)
 }
 
 // Scan returns the named series' points in [lo, hi].
@@ -296,6 +356,11 @@ func (db *DB) Get(name string, tg int64) (series.Point, bool, error) {
 // BlockCache exposes the shared block cache, nil when disabled (memory-only
 // DB or BlockCacheBytes < 0). Used by tests and the metrics endpoint.
 func (db *DB) BlockCache() *cache.Cache { return db.blockCache }
+
+// Compactions exposes the shared compaction scheduler, nil when async
+// compaction is off or per-series legacy compactors are in use. The server
+// consults it for ingest backpressure and scheduler metrics.
+func (db *DB) Compactions() *scheduler.Pool { return db.sched }
 
 // CacheStats returns the shared block cache's counters and whether a cache
 // is attached at all.
@@ -429,6 +494,11 @@ func (db *DB) Close() error {
 		if err := st.engine.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	// After the engines: a draining engine depends on pool workers for
+	// progress, so the pool must outlive every engine Close.
+	if db.sched != nil {
+		db.sched.Close()
 	}
 	return firstErr
 }
