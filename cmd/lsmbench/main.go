@@ -55,6 +55,14 @@ func main() {
 		sworkers   = flag.Int("sworkers", 0, "scheduler mode: pool workers (0: scheduler default)")
 		sbatch     = flag.Int("sbatch", 500, "scheduler mode: points per PutBatch")
 
+		walbench = flag.Bool("walbench", false, "wal mode: per-series WAL vs sharded group-commit log benchmark")
+		wseries  = flag.String("wseries", "64,1000,10000", "wal mode: comma-separated series counts to sweep")
+		wpoints  = flag.Int("wpoints", 100, "wal mode: points per series")
+		wbatch   = flag.Int("wbatch", 5, "wal mode: points per PutBatch (small on purpose: the fsync-bound regime)")
+		wwriters = flag.Int("wwriters", 0, "wal mode: concurrent writer goroutines (0: one per series, the IoT fleet model)")
+		wshards  = flag.Int("wshards", 0, "wal mode: group-commit shards (0: groupwal default)")
+		wfsync   = flag.Duration("wfsync", 500*time.Microsecond, "wal mode: simulated fsync latency charged to every backend append")
+
 		mixed    = flag.Bool("mixed", false, "mixed mode: concurrent read/write benchmark on an in-process engine")
 		readers  = flag.Int("readers", 4, "mixed mode: concurrent scan goroutines")
 		mpoints  = flag.Int("mpoints", 200000, "mixed mode: points to ingest")
@@ -90,6 +98,19 @@ func main() {
 			sigma:   *lsigma,
 			seed:    *seed,
 			out:     *benchout,
+		})
+		return
+	}
+
+	if *walbench {
+		runWALBench(walBenchConfig{
+			seriesCounts: parseSeriesCounts(*wseries),
+			points:       *wpoints,
+			batch:        *wbatch,
+			writers:      *wwriters,
+			shards:       *wshards,
+			fsync:        *wfsync,
+			out:          *benchout,
 		})
 		return
 	}

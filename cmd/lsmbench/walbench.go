@@ -1,0 +1,236 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/tsdb"
+)
+
+// WAL wiring benchmark: ingests the same concurrent multi-series workload
+// twice — once with one WAL object (and thus one fsync stream) per series,
+// once through the sharded group-commit log — and reports throughput and,
+// the headline number, backend append calls. On a disk backend every append
+// is one fsync, so the per-series wiring pays O(appends) = O(series ×
+// batches) while the group log pays O(shards × commit windows): the gap is
+// the whole point of the subsystem, and it must WIDEN as the series count
+// grows (64 → 1k → 10k).
+
+type walBenchConfig struct {
+	seriesCounts []int
+	points       int // per series
+	batch        int
+	writers      int // 0: one writer per series (the IoT fleet model)
+	shards       int
+	fsync        time.Duration // simulated per-append fsync latency
+	out          string        // JSON report path ("" = none)
+}
+
+// walRun is one mode's measurement at one series count.
+type walRun struct {
+	Mode         string  `json:"mode"`
+	Seconds      float64 `json:"seconds"`
+	PPS          float64 `json:"points_per_second"`
+	Appends      int64   `json:"backend_appends"` // fsyncs on a disk backend
+	PointsPerOp  float64 `json:"points_per_append"`
+	GroupCommits int64   `json:"group_commits,omitempty"`
+}
+
+// walCase compares the two wirings at one series count.
+type walCase struct {
+	Series      int     `json:"series"`
+	PerSeries   walRun  `json:"per_series"`
+	Group       walRun  `json:"group"`
+	FsyncRatio  float64 `json:"fsync_ratio"`  // per-series appends / group appends
+	ThroughputX float64 `json:"throughput_x"` // group PPS / per-series PPS
+}
+
+// walReport is the machine-readable result (BENCH_6.json).
+type walReport struct {
+	Name            string    `json:"name"`
+	PointsPerSeries int       `json:"points_per_series"`
+	Batch           int       `json:"batch"`
+	Writers         int       `json:"writers"` // 0: one per series
+	Shards          int       `json:"shards"`
+	FsyncLatencyUS  int64     `json:"fsync_latency_us"`
+	Cases           []walCase `json:"cases"`
+}
+
+// countingBackend counts Append calls — the disk backend issues exactly one
+// fsync per Append, so this is the portable fsync proxy — and charges each
+// one a simulated fsync latency, serialized across callers the way flushes
+// to a single device queue are. The latency is what makes the comparison
+// honest: group commit wins precisely because appends enqueued while a
+// commit's fsync is in flight coalesce into the next one, and an instant
+// (or infinitely parallel) in-memory append would erase that effect.
+type countingBackend struct {
+	storage.Backend
+	fsync   time.Duration
+	mu      sync.Mutex // one fsync in flight at a time, like one disk
+	appends atomic.Int64
+}
+
+func (c *countingBackend) Append(name string, data []byte) error {
+	c.appends.Add(1)
+	if c.fsync > 0 {
+		c.mu.Lock()
+		time.Sleep(c.fsync)
+		c.mu.Unlock()
+	}
+	return c.Backend.Append(name, data)
+}
+
+func runWALBench(cfg walBenchConfig) {
+	rep := walReport{
+		Name:            "wal_group_commit_vs_per_series",
+		PointsPerSeries: cfg.points,
+		Batch:           cfg.batch,
+		Writers:         cfg.writers,
+		Shards:          cfg.shards,
+		FsyncLatencyUS:  cfg.fsync.Microseconds(),
+	}
+	writers := "one per series"
+	if cfg.writers > 0 {
+		writers = fmt.Sprintf("%d writers", cfg.writers)
+	}
+	fmt.Printf("WAL wiring benchmark (%d points/series, batch %d, %s, %d shards, %s simulated fsync)\n",
+		cfg.points, cfg.batch, writers, cfg.shards, cfg.fsync)
+	for _, n := range cfg.seriesCounts {
+		c := walCase{Series: n}
+		c.PerSeries = walIngest(cfg, n, -1)
+		c.Group = walIngest(cfg, n, cfg.shards)
+		if c.Group.Appends > 0 {
+			c.FsyncRatio = float64(c.PerSeries.Appends) / float64(c.Group.Appends)
+		}
+		if c.PerSeries.PPS > 0 {
+			c.ThroughputX = c.Group.PPS / c.PerSeries.PPS
+		}
+		rep.Cases = append(rep.Cases, c)
+		fmt.Printf("  %6d series:\n", n)
+		for _, r := range []walRun{c.PerSeries, c.Group} {
+			fmt.Printf("    %-10s: %10.0f pts/s  %8d appends (%6.1f pts/append)\n",
+				r.Mode, r.PPS, r.Appends, r.PointsPerOp)
+		}
+		fmt.Printf("    fsync ratio: %.1fx fewer appends via group commit\n", c.FsyncRatio)
+	}
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("marshal report: %v", err)
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", cfg.out, err)
+		}
+		fmt.Printf("  report: %s\n", cfg.out)
+	}
+}
+
+// walIngest runs one full ingest: walShards < 0 selects the legacy
+// one-object-per-series WAL, otherwise the shared group-commit log with
+// that many shards (0 = groupwal default). Writers interleave small
+// batches across their series, the pattern that makes per-series fsync
+// streams pathological.
+func walIngest(cfg walBenchConfig, nSeries, walShards int) walRun {
+	cb := &countingBackend{Backend: storage.NewMemBackend(), fsync: cfg.fsync}
+	db, err := tsdb.Open(tsdb.Config{
+		Engine: lsm.Config{
+			Policy:    lsm.Conventional,
+			MemBudget: 1 << 20, // never flush: isolate the WAL write path
+			WAL:       true,
+		},
+		Backend:         cb,
+		AutoCreate:      true,
+		BlockCacheBytes: -1,
+		WALShards:       walShards,
+	})
+	if err != nil {
+		fatal("open db: %v", err)
+	}
+
+	names := make([]string, nSeries)
+	for s := range names {
+		names[s] = fmt.Sprintf("root.wal%05d.v", s)
+	}
+	// Pre-create so the catalog writes do not skew the first batches.
+	for _, name := range names {
+		if err := db.CreateSeries(name); err != nil {
+			fatal("create %s: %v", name, err)
+		}
+	}
+	preAppends := cb.appends.Load()
+
+	writers := cfg.writers
+	if writers <= 0 || writers > nSeries {
+		writers = nSeries
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]series.Point, cfg.batch)
+			for base := 0; base < cfg.points; base += cfg.batch {
+				for s := w; s < nSeries; s += writers {
+					m := 0
+					for i := base; i < base+cfg.batch && i < cfg.points; i++ {
+						buf[m] = series.Point{TG: int64(i), TA: int64(i), V: float64(i)}
+						m++
+					}
+					if err := db.PutBatch(names[s], buf[:m]); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		fatal("PutBatch: %v", err)
+	default:
+	}
+	elapsed := time.Since(start).Seconds()
+
+	run := walRun{Seconds: elapsed, Appends: cb.appends.Load() - preAppends}
+	total := nSeries * cfg.points
+	run.PPS = float64(total) / elapsed
+	if run.Appends > 0 {
+		run.PointsPerOp = float64(total) / float64(run.Appends)
+	}
+	if ws, ok := db.WALStats(); ok {
+		run.Mode = fmt.Sprintf("group(%d)", ws.Shards)
+		run.GroupCommits = ws.Commits
+	} else {
+		run.Mode = "per-series"
+	}
+	if err := db.Close(); err != nil {
+		fatal("close db: %v", err)
+	}
+	return run
+}
+
+// parseSeriesCounts parses a comma-separated -wseries list.
+func parseSeriesCounts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fatal("bad -wseries entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -47,6 +47,9 @@ func main() {
 		async    = flag.Bool("async", true, "background compaction: flush memtables to an L0 queue drained by the compaction scheduler")
 		cworkers = flag.Int("compact-workers", 0, "shared compaction worker pool size (0: half of GOMAXPROCS, min 1; negative: legacy per-series compactor goroutines)")
 		cacheMB  = flag.Int("cache-mb", 0, "shared SSTable block cache capacity in MiB (durable mode; 0: 32 MiB default, negative: disabled)")
+		walSh    = flag.Int("wal-shards", 0, "group-commit WAL shards / fsync streams (durable mode; 0: default 4, negative: legacy per-series WAL objects)")
+		commitW  = flag.Duration("commit-window", 0, "group-commit WAL batching window (0: commit immediately; appends still coalesce behind in-flight commits)")
+		memMB    = flag.Int("mem-budget-mb", 0, "DB-wide memory budget in MiB split between memtables and block cache by the arbiter; engines evict under pressure (durable mode; 0: disabled, all engines stay resident)")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -79,6 +82,9 @@ func main() {
 		} else {
 			cfg.BlockCacheBytes = int64(*cacheMB) << 20
 		}
+		cfg.WALShards = *walSh
+		cfg.CommitWindow = *commitW
+		cfg.MemBudgetBytes = int64(*memMB) << 20
 	}
 
 	db, err := tsdb.Open(cfg)
@@ -122,6 +128,16 @@ func main() {
 		} else {
 			compaction = "per-series goroutines"
 		}
+	}
+	if ws, ok := db.WALStats(); ok {
+		log.Printf("lsmd: wal: group-commit, %d shards, commit window %s, %d pending points replayable",
+			ws.Shards, *commitW, ws.PendingPoints)
+	} else if *dir != "" && *wal {
+		log.Printf("lsmd: wal: legacy per-series objects")
+	}
+	if as, ok := db.ArbiterStats(); ok {
+		log.Printf("lsmd: memory arbiter: budget %d MiB (memtables %d / cache %d), %d resident + %d cold series",
+			as.BudgetBytes>>20, as.MemtableTargetBytes, as.CacheTargetBytes, as.ResidentSeries, as.ColdSeries)
 	}
 	log.Printf("lsmd: serving on %s (%s, policy=%s, n=%d, compaction=%s, %d series recovered)",
 		bound, mode, *policy, *budget, compaction, len(db.Series()))

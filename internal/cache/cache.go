@@ -135,10 +135,11 @@ func (c *Cache) Put(k Key, v any, size int64) {
 	if size <= 0 {
 		size = 1
 	}
-	if size > s.capacity {
+	s.mu.Lock()
+	if size > s.capacity { // under s.mu: SetCapacity may resize concurrently
+		s.mu.Unlock()
 		return
 	}
-	s.mu.Lock()
 	if el, ok := s.items[k]; ok {
 		e := el.Value.(*entry)
 		s.bytes += size - e.size
@@ -181,6 +182,37 @@ func (c *Cache) EvictOwner(owner uint64) {
 			e := el.Value.(*entry)
 			s.ll.Remove(el)
 			delete(s.items, k)
+			s.bytes -= e.size
+			evicted++
+		}
+		s.mu.Unlock()
+	}
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// SetCapacity re-divides a new total byte budget across the existing
+// shards, evicting least-recently-used entries from any shard now over its
+// slice. The shard count is fixed at construction — the memory arbiter
+// resizes the budget at runtime, it does not re-hash resident entries.
+func (c *Cache) SetCapacity(capacity int64) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	per := capacity / int64(len(c.shards))
+	var evicted int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.capacity = per
+		for s.bytes > s.capacity {
+			back := s.ll.Back()
+			if back == nil {
+				break
+			}
+			e := back.Value.(*entry)
+			s.ll.Remove(back)
+			delete(s.items, e.key)
 			s.bytes -= e.size
 			evicted++
 		}

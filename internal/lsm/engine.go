@@ -80,6 +80,13 @@ type Config struct {
 	// WAL enables write-ahead logging of buffered points (requires
 	// Backend).
 	WAL bool
+	// Log, when non-nil together with WAL, is an externally provided
+	// write-ahead log — typically a per-series handle into a shared
+	// group-commit log (internal/wal/groupwal), so thousands of engines
+	// share a few fsync streams. When nil, the engine opens a private
+	// per-series wal.Log under its Backend. The engine closes the handle
+	// on Close but does not own the underlying shared log.
+	Log SeriesWAL
 	// Seed makes memtable skiplist shapes deterministic.
 	Seed int64
 	// AsyncCompaction moves merging into a background goroutine: Put
@@ -94,6 +101,25 @@ type Config struct {
 	// its L0 backlog through Notify; the scheduler calls CompactOnce from
 	// its bounded worker pool. Ignored without AsyncCompaction.
 	Scheduler CompactionScheduler
+}
+
+// SeriesWAL is the write-ahead-log surface the engine depends on. The
+// private per-series wal.Log implements it, and so does a groupwal
+// per-series handle; the engine cannot tell them apart — same append-
+// before-ack, rewrite-after-commit, idempotent-replay contract.
+type SeriesWAL interface {
+	// Append durably records one point before it is acknowledged.
+	Append(p series.Point) error
+	// AppendBatch durably records several points as one logical append.
+	AppendBatch(ps []series.Point) error
+	// Rewrite atomically supersedes the log's contents with exactly ps —
+	// called after a flush/compaction made previously logged points
+	// durable in SSTables.
+	Rewrite(ps []series.Point) error
+	// Replay returns the points whose only durable copy is the log.
+	Replay() ([]series.Point, wal.ReplayReport, error)
+	// Close detaches the log from this engine.
+	Close()
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -113,7 +139,7 @@ type Engine struct {
 
 	stats    Stats
 	recovery RecoveryStats
-	log      *wal.Log
+	log      SeriesWAL // nil when WAL is disabled
 
 	// pendingWAL is the tail of a PutBatch whose points are already framed
 	// in the WAL but not yet inserted into memtables. A flush triggered
@@ -165,6 +191,9 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.WAL && cfg.Backend == nil {
 		return nil, errors.New("lsm: WAL requires a Backend")
 	}
+	if cfg.Log != nil && !cfg.WAL {
+		return nil, errors.New("lsm: Config.Log requires WAL")
+	}
 	e := &Engine{
 		cfg:     cfg,
 		c0:      memtable.New(cfg.Seed),
@@ -211,6 +240,19 @@ func (e *Engine) RecoveryInfo() RecoveryStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.recovery
+}
+
+// BufferedPoints returns the number of points whose only durable copy is
+// the WAL: the memtables plus, in async mode, the pending L0 queue. The
+// memory arbiter uses it to estimate each engine's volatile footprint.
+func (e *Engine) BufferedPoints() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.c0.Len() + e.cseq.Len() + e.cnonseq.Len()
+	for _, t := range e.l0 {
+		n += t.Len()
+	}
+	return n
 }
 
 // nonseqCapacity returns n_nonseq = n − n_seq.

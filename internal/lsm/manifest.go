@@ -257,15 +257,35 @@ func (e *Engine) recover() error {
 	}
 
 	if e.cfg.WAL {
-		pts, rep, err := wal.ReplayWithReport(e.cfg.Backend, walName)
+		if e.cfg.Log != nil {
+			e.log = e.cfg.Log
+		} else {
+			e.log = wal.Open(e.cfg.Backend, walName)
+		}
+		// With a shared log configured, a leftover private WAL object means
+		// this series was last written by a per-series-WAL instance: adopt
+		// its points FIRST (they are older than anything the shared log
+		// pends), then migrate below.
+		var privatePts []series.Point
+		migrate := false
+		if e.cfg.Log != nil {
+			var rep wal.ReplayReport
+			var err error
+			privatePts, rep, err = wal.ReplayWithReport(e.cfg.Backend, walName)
+			if err != nil {
+				return fmt.Errorf("lsm: replay legacy wal: %w", err)
+			}
+			migrate = rep.Points > 0 || rep.TornBytes > 0
+			e.recovery.WALPointsReplayed += rep.Points
+		}
+		pts, rep, err := e.log.Replay()
 		if err != nil {
 			return fmt.Errorf("lsm: replay wal: %w", err)
 		}
-		e.recovery.WALPointsReplayed = rep.Points
+		e.recovery.WALPointsReplayed += rep.Points
 		e.recovery.WALTorn = rep.Torn
 		e.recovery.WALTornBytes = rep.TornBytes
-		e.log = wal.Open(e.cfg.Backend, walName)
-		for _, p := range pts {
+		for _, p := range append(privatePts, pts...) {
 			// Replayed points re-enter through the normal classification
 			// path but are not re-logged (they are already in the WAL).
 			// They count as ingested in this incarnation's stats: the
@@ -274,6 +294,18 @@ func (e *Engine) recover() error {
 			// SSTable is an upsert by t_g and surfaces once.
 			if err := e.putLocked(p, false); err != nil {
 				return fmt.Errorf("lsm: replay put: %w", err)
+			}
+		}
+		if migrate {
+			// Move the volatile set into the shared log, then retire the
+			// private object. Ordering is crash-safe: until the Remove, a
+			// restart replays the private WAL again — idempotent upserts —
+			// and after it, the shared checkpoint carries everything.
+			if err := e.rewriteWAL(); err != nil {
+				return fmt.Errorf("lsm: migrate legacy wal: %w", err)
+			}
+			if err := e.cfg.Backend.Remove(walName); err != nil {
+				return fmt.Errorf("lsm: remove legacy wal: %w", err)
 			}
 		}
 	}

@@ -112,24 +112,61 @@ type DecisionJSON struct {
 
 // SeriesStatsJSON is one series' entry in /stats.
 type SeriesStatsJSON struct {
-	Name               string        `json:"name"`
-	Policy             string        `json:"policy"`
-	SeqCap             int           `json:"seq_cap"`
-	PointsIngested     int64         `json:"points_ingested"`
-	PointsWritten      int64         `json:"points_written"`
-	PointsRewritten    int64         `json:"points_rewritten"`
-	Flushes            int64         `json:"flushes"`
-	Compactions        int64         `json:"compactions"`
-	InOrderPoints      int64         `json:"in_order_points"`
-	OutOfOrderPoints   int64         `json:"out_of_order_points"`
-	WriteAmplification float64       `json:"write_amplification"`
-	Decision           *DecisionJSON `json:"decision,omitempty"`
+	Name               string  `json:"name"`
+	Policy             string  `json:"policy"`
+	SeqCap             int     `json:"seq_cap"`
+	PointsIngested     int64   `json:"points_ingested"`
+	PointsWritten      int64   `json:"points_written"`
+	PointsRewritten    int64   `json:"points_rewritten"`
+	Flushes            int64   `json:"flushes"`
+	Compactions        int64   `json:"compactions"`
+	InOrderPoints      int64   `json:"in_order_points"`
+	OutOfOrderPoints   int64   `json:"out_of_order_points"`
+	WriteAmplification float64 `json:"write_amplification"`
+	// Resident reports whether the series has a live engine right now;
+	// false means the memory arbiter evicted it (or never instantiated it)
+	// and its counters are zero until the next access warms it.
+	Resident bool          `json:"resident"`
+	Decision *DecisionJSON `json:"decision,omitempty"`
+}
+
+// WALStatsJSON is the shared group-commit WAL's /stats block. Present only
+// when the DB runs the shared log (durable, WAL on, non-legacy wiring).
+type WALStatsJSON struct {
+	Shards          int     `json:"shards"`
+	Commits         int64   `json:"commits"`
+	Records         int64   `json:"records"`
+	Points          int64   `json:"points"`
+	Checkpoints     int64   `json:"checkpoints"`
+	Segments        int     `json:"segments"`
+	SegmentsRemoved int64   `json:"segments_removed"`
+	PendingSeries   int     `json:"pending_series"`
+	PendingPoints   int64   `json:"pending_points"`
+	BatchMeanPoints float64 `json:"batch_mean_points"`
+	CommitP99Secs   float64 `json:"commit_p99_seconds"`
+}
+
+// ArbiterStatsJSON is the memory arbiter's /stats block. Present only when
+// the DB was opened with a memory budget.
+type ArbiterStatsJSON struct {
+	BudgetBytes         int64   `json:"budget_bytes"`
+	MemtableBytes       int64   `json:"memtable_bytes"`
+	MemtableTargetBytes int64   `json:"memtable_target_bytes"`
+	CacheTargetBytes    int64   `json:"cache_target_bytes"`
+	WritePressure       float64 `json:"write_pressure"`
+	ReadPressure        float64 `json:"read_pressure"`
+	ResidentSeries      int     `json:"resident_series"`
+	ColdSeries          int     `json:"cold_series"`
+	Evictions           int64   `json:"evictions"`
+	Rebalances          int64   `json:"rebalances"`
 }
 
 // StatsResponse is the /stats body.
 type StatsResponse struct {
 	TotalWA float64           `json:"total_wa"`
 	Series  []SeriesStatsJSON `json:"series"`
+	WAL     *WALStatsJSON     `json:"wal,omitempty"`
+	Arbiter *ArbiterStatsJSON `json:"arbiter,omitempty"`
 }
 
 // ReadStatsJSON is the server-side read-path accounting for one series:

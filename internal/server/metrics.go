@@ -161,6 +161,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		promHistogram(&b, "lsmd_compaction_merge_seconds", merge.Edges, merge.Counts, merge.Count, merge.Sum)
 	}
 
+	// Shared group-commit WAL (absent for memory-only, WAL-disabled, or
+	// legacy per-series-WAL databases).
+	if ws, ok := s.db.WALStats(); ok {
+		fmt.Fprintf(&b, "# HELP lsmd_wal_shards Group-commit WAL shard count (independent fsync streams).\n# TYPE lsmd_wal_shards gauge\nlsmd_wal_shards %d\n", ws.Shards)
+		counter("lsmd_wal_fsyncs_total", "Group commits issued (one backend append — one fsync on disk — each).", ws.Commits)
+		counter("lsmd_wal_records_total", "Framed records written to the shared WAL (data, cursor, forget).", ws.Records)
+		counter("lsmd_wal_points_total", "Points appended through the shared WAL.", ws.Points)
+		counter("lsmd_wal_checkpoints_total", "Cursor records written (per-series checkpoints).", ws.Checkpoints)
+		counter("lsmd_wal_segments_removed_total", "Fully superseded WAL segments garbage-collected.", ws.SegmentsRemoved)
+		fmt.Fprintf(&b, "# HELP lsmd_wal_segments Live WAL segment objects across shards.\n# TYPE lsmd_wal_segments gauge\nlsmd_wal_segments %d\n", ws.Segments)
+		fmt.Fprintf(&b, "# HELP lsmd_wal_pending_points Points awaiting replay across series.\n# TYPE lsmd_wal_pending_points gauge\nlsmd_wal_pending_points %d\n", ws.PendingPoints)
+		if gw := s.db.GroupWAL(); gw != nil {
+			batch := gw.BatchHist()
+			fmt.Fprintf(&b, "# HELP lsmd_wal_group_commit_batch_points Points coalesced into one group commit.\n# TYPE lsmd_wal_group_commit_batch_points histogram\n")
+			promHistogram(&b, "lsmd_wal_group_commit_batch_points", batch.Edges, batch.Counts, batch.Count, batch.Sum)
+			lat := gw.CommitLatencyHist()
+			fmt.Fprintf(&b, "# HELP lsmd_wal_group_commit_seconds Backend append latency of one group commit.\n# TYPE lsmd_wal_group_commit_seconds histogram\n")
+			promHistogram(&b, "lsmd_wal_group_commit_seconds", lat.Edges, lat.Counts, lat.Count, lat.Sum)
+		}
+	}
+
+	// Memory arbiter (absent unless MemBudgetBytes is configured).
+	if as, ok := s.db.ArbiterStats(); ok {
+		fmt.Fprintf(&b, "# HELP lsmd_mem_arbiter_budget_bytes DB-wide memory budget being divided.\n# TYPE lsmd_mem_arbiter_budget_bytes gauge\nlsmd_mem_arbiter_budget_bytes %d\n", as.BudgetBytes)
+		fmt.Fprintf(&b, "# HELP lsmd_mem_arbiter_memtable_bytes Estimated aggregate memtable footprint at the last pass.\n# TYPE lsmd_mem_arbiter_memtable_bytes gauge\nlsmd_mem_arbiter_memtable_bytes %d\n", as.MemtableBytes)
+		fmt.Fprintf(&b, "# HELP lsmd_mem_arbiter_memtable_target_bytes Budget share currently granted to memtables.\n# TYPE lsmd_mem_arbiter_memtable_target_bytes gauge\nlsmd_mem_arbiter_memtable_target_bytes %d\n", as.MemtableTargetBytes)
+		fmt.Fprintf(&b, "# HELP lsmd_mem_arbiter_cache_bytes Budget share currently granted to the block cache.\n# TYPE lsmd_mem_arbiter_cache_bytes gauge\nlsmd_mem_arbiter_cache_bytes %d\n", as.CacheTargetBytes)
+		fmt.Fprintf(&b, "# HELP lsmd_mem_arbiter_write_pressure EWMA of points ingested per arbiter pass.\n# TYPE lsmd_mem_arbiter_write_pressure gauge\nlsmd_mem_arbiter_write_pressure %g\n", as.WritePressure)
+		fmt.Fprintf(&b, "# HELP lsmd_mem_arbiter_read_pressure EWMA of block-cache lookups per arbiter pass.\n# TYPE lsmd_mem_arbiter_read_pressure gauge\nlsmd_mem_arbiter_read_pressure %g\n", as.ReadPressure)
+		fmt.Fprintf(&b, "# HELP lsmd_mem_arbiter_resident_series Series with live engines.\n# TYPE lsmd_mem_arbiter_resident_series gauge\nlsmd_mem_arbiter_resident_series %d\n", as.ResidentSeries)
+		fmt.Fprintf(&b, "# HELP lsmd_mem_arbiter_cold_series Persisted series currently without an engine.\n# TYPE lsmd_mem_arbiter_cold_series gauge\nlsmd_mem_arbiter_cold_series %d\n", as.ColdSeries)
+		counter("lsmd_mem_arbiter_evictions_total", "Engines evicted under memory pressure.", as.Evictions)
+		counter("lsmd_mem_arbiter_rebalances_total", "Arbiter passes completed.", as.Rebalances)
+	}
+
 	// Shared SSTable block cache (absent for memory-only databases).
 	if cs, ok := s.db.CacheStats(); ok {
 		counter("lsmd_block_cache_hits_total", "Block reads served by the shared block cache.", cs.Hits)

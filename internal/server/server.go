@@ -41,6 +41,7 @@ import (
 	"repro/internal/series"
 	"repro/internal/server/api"
 	"repro/internal/tsdb"
+	"repro/internal/wal/groupwal"
 )
 
 // DefaultMaxBody bounds the size of one write request body.
@@ -484,6 +485,7 @@ func seriesStatsJSON(st tsdb.SeriesStats) api.SeriesStatsJSON {
 		InOrderPoints:      st.Stats.InOrderPoints,
 		OutOfOrderPoints:   st.Stats.OutOfOrderPoints,
 		WriteAmplification: st.Stats.WriteAmplification(),
+		Resident:           st.Resident,
 	}
 	if st.Decision != nil {
 		e.Decision = &api.DecisionJSON{
@@ -502,7 +504,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i, st := range stats {
 		resp.Series[i] = seriesStatsJSON(st)
 	}
+	if ws, ok := s.db.WALStats(); ok {
+		wj := &api.WALStatsJSON{
+			Shards:          ws.Shards,
+			Commits:         ws.Commits,
+			Records:         ws.Records,
+			Points:          ws.Points,
+			Checkpoints:     ws.Checkpoints,
+			Segments:        ws.Segments,
+			SegmentsRemoved: ws.SegmentsRemoved,
+			PendingSeries:   ws.PendingSeries,
+			PendingPoints:   ws.PendingPoints,
+		}
+		if gw := s.db.GroupWAL(); gw != nil {
+			if batch := gw.BatchHist(); batch.Count > 0 {
+				wj.BatchMeanPoints = batch.Sum / float64(batch.Count)
+			}
+			wj.CommitP99Secs = histQuantile(gw.CommitLatencyHist(), 0.99)
+		}
+		resp.WAL = wj
+	}
+	if as, ok := s.db.ArbiterStats(); ok {
+		resp.Arbiter = &api.ArbiterStatsJSON{
+			BudgetBytes:         as.BudgetBytes,
+			MemtableBytes:       as.MemtableBytes,
+			MemtableTargetBytes: as.MemtableTargetBytes,
+			CacheTargetBytes:    as.CacheTargetBytes,
+			WritePressure:       as.WritePressure,
+			ReadPressure:        as.ReadPressure,
+			ResidentSeries:      as.ResidentSeries,
+			ColdSeries:          as.ColdSeries,
+			Evictions:           as.Evictions,
+			Rebalances:          as.Rebalances,
+		}
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// histQuantile interpolates quantile q from a fixed-width histogram
+// snapshot (upper-edge convention, like metrics.Histogram.Quantile).
+func histQuantile(h groupwal.HistSnapshot, q float64) float64 {
+	if h.Count == 0 || len(h.Edges) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	var cum int64
+	bw := 0.0
+	if len(h.Edges) > 1 {
+		bw = h.Edges[1] - h.Edges[0]
+	}
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			return h.Edges[i] + bw
+		}
+	}
+	return h.Edges[len(h.Edges)-1] + bw
 }
 
 // handleSeriesStats serves /series/{series}/stats: the series' engine

@@ -1,0 +1,250 @@
+package tsdb
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The memory arbiter is the DB-wide answer to a question each engine
+// cannot see alone: with thousands of series sharing one process, how
+// much of the memory budget should hold write buffers (memtables) and
+// how much should hold the read path (the shared block cache)? The
+// arbiter measures both pressures, splits Config.MemBudgetBytes between
+// them, resizes the cache, and evicts the coldest engines whenever the
+// aggregate memtable footprint overruns its share. Evicted series stay
+// in the catalog and reopen transparently on the next access.
+
+// bytesPerBufferedPoint approximates the resident cost of one memtable
+// point: 24 bytes of series.Point plus map-bucket, ordering-index, and
+// allocator overhead across the engine's C0/Cseq/Cnonseq structures.
+// Deliberately pessimistic — the arbiter must bound the heap, so
+// overestimating cost errs toward staying under budget.
+const bytesPerBufferedPoint = 64
+
+// arbiterInterval is the background rebalance cadence. One second is slow
+// enough to be invisible in profiles and fast enough that a write burst
+// cannot overrun the budget by more than a flush's worth of points.
+const arbiterInterval = time.Second
+
+// ewmaAlpha weights the newest pressure observation. 0.5 reacts within a
+// few passes without letting one burst monopolize the split.
+const ewmaAlpha = 0.5
+
+// Memtable-share clamp: neither side is ever starved completely, so a
+// pure-write workload still keeps a warm cache slice for compaction reads
+// and a pure-read workload can still absorb an ingest burst.
+const (
+	minMemShare = 0.25
+	maxMemShare = 0.75
+)
+
+// ArbiterStats is a point-in-time snapshot of the arbiter for /stats and
+// /metrics.
+type ArbiterStats struct {
+	// BudgetBytes is the fixed DB-wide budget being divided.
+	BudgetBytes int64
+	// MemtableBytes is the estimated aggregate memtable footprint at the
+	// last pass (resident engines × buffered points × cost model).
+	MemtableBytes int64
+	// MemtableTargetBytes and CacheTargetBytes are the current split;
+	// they sum to BudgetBytes.
+	MemtableTargetBytes int64
+	CacheTargetBytes    int64
+	// WritePressure and ReadPressure are the EWMAs the split is derived
+	// from (points ingested per pass vs cache lookups per pass).
+	WritePressure float64
+	ReadPressure  float64
+	// ResidentSeries counts series with live engines right now.
+	ResidentSeries int
+	// ColdSeries counts persisted series currently without an engine.
+	ColdSeries int
+	// Evictions and Rebalances are lifetime counters.
+	Evictions  int64
+	Rebalances int64
+}
+
+type arbiter struct {
+	db     *DB
+	budget int64
+
+	// mu guards the pressure model and counters. Lock order: a.mu may be
+	// taken before db.mu (rebalance, statsSnapshot); never the reverse.
+	mu           sync.Mutex
+	writeEWMA    float64
+	readEWMA     float64
+	lastIngested int64
+	lastLookups  int64
+	memShare     float64
+	memTarget    int64
+	cacheTarget  int64
+	memBytes     int64
+	evictions    int64
+	rebalances   int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+func newArbiter(db *DB, budget int64) *arbiter {
+	a := &arbiter{
+		db:       db,
+		budget:   budget,
+		memShare: 0.5, // even split until pressure says otherwise
+		stopCh:   make(chan struct{}),
+	}
+	a.memTarget = int64(float64(budget) * a.memShare)
+	a.cacheTarget = budget - a.memTarget
+	return a
+}
+
+// start launches the background rebalance loop. Called once, after
+// recovery, so the first pass sees the recovered resident set.
+func (a *arbiter) start() {
+	a.done = make(chan struct{})
+	if a.db.blockCache != nil {
+		a.db.blockCache.SetCapacity(a.cacheTarget)
+	}
+	go a.loop()
+}
+
+func (a *arbiter) loop() {
+	defer close(a.done)
+	t := time.NewTicker(arbiterInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stopCh:
+			return
+		case <-t.C:
+			a.rebalance()
+		}
+	}
+}
+
+// stop terminates and joins the loop. Idempotent; safe when start was
+// never called (failed Open).
+func (a *arbiter) stop() {
+	a.stopOnce.Do(func() { close(a.stopCh) })
+	if a.done != nil {
+		<-a.done
+	}
+}
+
+// residentSnapshot returns the resident series coldest-first, plus each
+// one's buffered-point count. Engines are sampled outside db.mu — the
+// counts are advisory, and BufferedPoints takes the engine's own lock.
+type residency struct {
+	name       string
+	st         *seriesState
+	lastAccess int64
+	buffered   int
+}
+
+func (a *arbiter) residentSnapshot() []residency {
+	a.db.mu.Lock()
+	out := make([]residency, 0, len(a.db.series))
+	for name, st := range a.db.series {
+		out = append(out, residency{name: name, st: st, lastAccess: st.lastAccess})
+	}
+	a.db.mu.Unlock()
+	for i := range out {
+		out[i].buffered = out[i].st.engine.BufferedPoints()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lastAccess < out[j].lastAccess })
+	return out
+}
+
+// rebalance runs one arbitration pass: refresh the pressure EWMAs, move
+// the budget split, resize the cache, and evict coldest-first until the
+// estimated memtable footprint fits its share. Exported to tests through
+// DB.RebalanceNow; also the ticker body.
+func (a *arbiter) rebalance() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	res := a.residentSnapshot()
+
+	// Write pressure: points ingested since the last pass, summed over
+	// resident engines. Eviction drops an engine's counters out of the
+	// sum, so the raw delta can go negative — clamp, don't model it.
+	var ingested int64
+	var bufferedTotal int64
+	for _, r := range res {
+		ingested += r.st.engine.Stats().PointsIngested
+		bufferedTotal += int64(r.buffered)
+	}
+	wDelta := float64(ingested - a.lastIngested)
+	if wDelta < 0 {
+		wDelta = 0
+	}
+	a.lastIngested = ingested
+
+	// Read pressure: block-cache lookups (hits+misses) since the last
+	// pass. The cache outlives evictions, so this delta is monotonic.
+	var rDelta float64
+	if a.db.blockCache != nil {
+		cs := a.db.blockCache.Stats()
+		lookups := cs.Hits + cs.Misses
+		rDelta = float64(lookups - a.lastLookups)
+		a.lastLookups = lookups
+	}
+
+	a.writeEWMA = ewmaAlpha*wDelta + (1-ewmaAlpha)*a.writeEWMA
+	a.readEWMA = ewmaAlpha*rDelta + (1-ewmaAlpha)*a.readEWMA
+	if tot := a.writeEWMA + a.readEWMA; tot > 0 {
+		share := a.writeEWMA / tot
+		if share < minMemShare {
+			share = minMemShare
+		}
+		if share > maxMemShare {
+			share = maxMemShare
+		}
+		a.memShare = share
+	}
+	a.memTarget = int64(float64(a.budget) * a.memShare)
+	a.cacheTarget = a.budget - a.memTarget
+	if a.db.blockCache != nil {
+		a.db.blockCache.SetCapacity(a.cacheTarget)
+	}
+
+	// Enforce the memtable share: evict coldest engines until the
+	// estimate fits. Eviction flushes buffered points to SSTables and
+	// advances the series' WAL cursor, so the memory really is released.
+	a.memBytes = bufferedTotal * bytesPerBufferedPoint
+	for _, r := range res {
+		if a.memBytes <= a.memTarget {
+			break
+		}
+		if a.db.EvictSeries(r.name) == nil {
+			a.evictions++
+		}
+		a.memBytes -= int64(r.buffered) * bytesPerBufferedPoint
+	}
+	a.rebalances++
+}
+
+func (a *arbiter) statsSnapshot() ArbiterStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := ArbiterStats{
+		BudgetBytes:         a.budget,
+		MemtableBytes:       a.memBytes,
+		MemtableTargetBytes: a.memTarget,
+		CacheTargetBytes:    a.cacheTarget,
+		WritePressure:       a.writeEWMA,
+		ReadPressure:        a.readEWMA,
+		Evictions:           a.evictions,
+		Rebalances:          a.rebalances,
+	}
+	a.db.mu.Lock()
+	s.ResidentSeries = len(a.db.series)
+	for n := range a.db.persisted {
+		if _, ok := a.db.series[n]; !ok {
+			s.ColdSeries++
+		}
+	}
+	a.db.mu.Unlock()
+	return s
+}

@@ -1,0 +1,226 @@
+package tsdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+func arbiterConfig(b storage.Backend, budget int64) Config {
+	return Config{
+		Engine:         lsm.Config{Policy: lsm.Conventional, MemBudget: 4096, WAL: true},
+		Backend:        b,
+		AutoCreate:     true,
+		MemBudgetBytes: budget,
+	}
+}
+
+// TestArbiterEvictsUnderPressure: buffered points across many series exceed
+// the memtable share of the budget; a rebalance pass must evict cold engines
+// until the estimate fits, and the evicted series must stay readable (the
+// next access reopens them from the catalog with all their data).
+func TestArbiterEvictsUnderPressure(t *testing.T) {
+	b := storage.NewMemBackend()
+	// 64 KiB budget → memtable share at most 48 KiB → at most ~768 buffered
+	// points DB-wide under the 64 B/point cost model.
+	db, err := Open(arbiterConfig(b, 64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const nSeries, perSeries = 8, 200 // 1600 points ≫ 768
+	for s := 0; s < nSeries; s++ {
+		name := fmt.Sprintf("s%d", s)
+		for i := 0; i < perSeries; i++ {
+			if err := db.Put(name, series.Point{TG: int64(i), TA: int64(i), V: float64(s*1000 + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db.RebalanceNow()
+	db.RebalanceNow() // second pass: EWMAs settled, eviction enforced
+
+	st, ok := db.ArbiterStats()
+	if !ok {
+		t.Fatal("arbiter not active")
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under %d buffered points with budget %d", nSeries*perSeries, st.BudgetBytes)
+	}
+	if st.ResidentSeries >= nSeries {
+		t.Fatalf("all %d series still resident after eviction pass", nSeries)
+	}
+	if st.MemtableBytes > st.MemtableTargetBytes {
+		t.Fatalf("memtable estimate %d still over target %d after rebalance", st.MemtableBytes, st.MemtableTargetBytes)
+	}
+	if got := st.MemtableTargetBytes + st.CacheTargetBytes; got != st.BudgetBytes {
+		t.Fatalf("split %d does not sum to budget %d", got, st.BudgetBytes)
+	}
+
+	// Every series — evicted or resident — still serves all its points.
+	for s := 0; s < nSeries; s++ {
+		name := fmt.Sprintf("s%d", s)
+		pts, _, err := db.Scan(name, 0, int64(perSeries))
+		if err != nil {
+			t.Fatalf("scan %s after eviction: %v", name, err)
+		}
+		if len(pts) != perSeries {
+			t.Fatalf("%s: %d points after eviction, want %d", name, len(pts), perSeries)
+		}
+		for i, p := range pts {
+			if p.V != float64(s*1000+i) {
+				t.Fatalf("%s: point %d = %v, wrong value after cold reopen", name, i, p)
+			}
+		}
+	}
+	// Series listing still covers cold series.
+	if got := len(db.Series()); got != nSeries {
+		t.Fatalf("Series() lists %d names, want %d (cold series missing)", got, nSeries)
+	}
+}
+
+// TestRestartEquivalenceAcrossEviction: a crash must be indistinguishable
+// whether a series was flushed, WAL-only, or evicted when it hit. The
+// abandoned instance's budget is cut to zero so it cannot mutate the inner
+// backend after the "crash".
+func TestRestartEquivalenceAcrossEviction(t *testing.T) {
+	inner := storage.NewMemBackend()
+	fb := storage.NewFaultBackend(inner)
+	fb.SetBudget(1 << 30)
+	db, err := Open(arbiterConfig(fb, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string][]series.Point{}
+	put := func(name string, n int) {
+		for i := 0; i < n; i++ {
+			p := series.Point{TG: int64(i), TA: int64(i), V: float64(len(name)*1000 + i)}
+			if err := db.Put(name, p); err != nil {
+				t.Fatalf("put %s: %v", name, err)
+			}
+			want[name] = append(want[name], p)
+		}
+	}
+	put("walonly", 3)       // stays buffered: only the shared WAL has it
+	put("evicted", 50)      // flushed by the eviction below
+	put("flushed.big", 100) // flushed explicitly
+	if err := db.EvictSeries("evicted"); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	st, _ := db.get("flushed.big", false)
+	if err := st.engine.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: freeze the old instance's backend and reopen the inner one.
+	fb.SetBudget(0)
+	db2, err := Open(arbiterConfig(inner, 1<<20))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	for name, pts := range want {
+		got, _, err := db2.Scan(name, -1, 1<<40)
+		if err != nil {
+			t.Fatalf("scan %s after restart: %v", name, err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("%s: %d points after restart, want %d", name, len(got), len(pts))
+		}
+		for i := range got {
+			if got[i].TG != pts[i].TG || got[i].V != pts[i].V {
+				t.Fatalf("%s: point %d = %v, want %v", name, i, got[i], pts[i])
+			}
+		}
+	}
+	rec := db2.RecoveryInfo()
+	if rec.SeriesRecovered != 3 {
+		t.Fatalf("SeriesRecovered = %d, want 3", rec.SeriesRecovered)
+	}
+}
+
+// TestArbiterEvictionRaceStress: writes and scans race engine eviction and
+// reinstantiation. Run with -race in CI; functionally it asserts no write
+// is lost across an evict/reopen cycle and no operation observes a closed
+// engine (withSeries must absorb lsm.ErrClosed by reopening).
+func TestArbiterEvictionRaceStress(t *testing.T) {
+	b := storage.NewMemBackend()
+	db, err := Open(arbiterConfig(b, 256<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const nSeries, perSeries = 4, 300
+	for s := 0; s < nSeries; s++ {
+		if err := db.CreateSeries(fmt.Sprintf("r%d", s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, nSeries*2+1)
+
+	for s := 0; s < nSeries; s++ {
+		name := fmt.Sprintf("r%d", s)
+		wg.Add(2)
+		go func(name string, tag int) { // writer
+			defer wg.Done()
+			for i := 0; i < perSeries; i++ {
+				p := series.Point{TG: int64(i), TA: int64(i), V: float64(tag*10000 + i)}
+				if err := db.Put(name, p); err != nil {
+					errCh <- fmt.Errorf("put %s: %w", name, err)
+					return
+				}
+			}
+		}(name, s)
+		go func(name string) { // reader
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, _, err := db.Scan(name, 0, perSeries); err != nil {
+					errCh <- fmt.Errorf("scan %s: %w", name, err)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Add(1)
+	go func() { // evictor: force the cold/warm transition constantly
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := db.EvictSeries(fmt.Sprintf("r%d", i%nSeries)); err != nil {
+				errCh <- fmt.Errorf("evict: %w", err)
+				return
+			}
+			if i%10 == 0 {
+				db.RebalanceNow()
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	for s := 0; s < nSeries; s++ {
+		name := fmt.Sprintf("r%d", s)
+		pts, _, err := db.Scan(name, 0, perSeries)
+		if err != nil {
+			t.Fatalf("final scan %s: %v", name, err)
+		}
+		if len(pts) != perSeries {
+			t.Fatalf("%s: %d points survived the stress, want %d", name, len(pts), perSeries)
+		}
+		for i, p := range pts {
+			if p.V != float64(s*10000+i) {
+				t.Fatalf("%s: point %d corrupted: %v", name, i, p)
+			}
+		}
+	}
+}

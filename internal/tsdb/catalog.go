@@ -216,12 +216,22 @@ func (db *DB) recoverLocked() error {
 	if err != nil {
 		return err
 	}
+	if db.gw != nil {
+		// The shared log knows series that own no per-series objects at
+		// all — a crash can leave a series' only trace as WAL records in a
+		// group segment. Merge them so migration adopts them and orphan
+		// detection sees them.
+		discovered = mergeSorted(discovered, db.gw.SeriesNames())
+	}
 	db.recovery.CatalogFound = found
 
 	if !found {
 		// Pre-catalog (or fresh) database: adopt every series whose
-		// objects we can see — manifest-backed or WAL-only — and write the
-		// first catalog so the next restart does not depend on discovery.
+		// objects we can see — manifest-backed, WAL-only, or known only to
+		// the shared log — and write the first catalog so the next restart
+		// does not depend on discovery. Migration instantiates every
+		// engine even under an arbiter: each may hold a legacy private WAL
+		// that must be folded into the shared log exactly once.
 		for _, name := range discovered {
 			db.persisted[name] = true
 		}
@@ -242,14 +252,23 @@ func (db *DB) recoverLocked() error {
 		for _, name := range doc.Series {
 			db.persisted[name] = true
 		}
-		for _, name := range doc.Series {
-			if _, err := db.createLocked(name); err != nil {
-				return fmt.Errorf("tsdb: recover series %s: %w", name, err)
+		if db.arb == nil {
+			for _, name := range doc.Series {
+				if _, err := db.createLocked(name); err != nil {
+					return fmt.Errorf("tsdb: recover series %s: %w", name, err)
+				}
 			}
 		}
+		// With an arbiter every cataloged series stays cold: its data is
+		// durable (SSTables plus shared-WAL pending) and its engine is
+		// instantiated on first access, so Open's memory footprint does
+		// not scale with series count.
+
 		// Series objects without a catalog entry can only be leftovers of
 		// an interrupted DropSeries (creation commits the catalog before
-		// any object exists): finish the drop, loudly.
+		// any object exists): finish the drop, loudly — including the
+		// series' cursor and pending records in the shared log, which
+		// would otherwise resurrect it.
 		for _, name := range discovered {
 			if db.persisted[name] {
 				continue
@@ -257,11 +276,16 @@ func (db *DB) recoverLocked() error {
 			if err := removeSeriesObjects(db.cfg.Backend, name); err != nil {
 				return fmt.Errorf("tsdb: remove dropped series %s: %w", name, err)
 			}
+			if db.gw != nil {
+				if err := db.gw.Forget(name); err != nil {
+					return fmt.Errorf("tsdb: forget dropped series %s in wal: %w", name, err)
+				}
+			}
 			db.recovery.OrphanSeriesRemoved = append(db.recovery.OrphanSeriesRemoved, name)
 		}
 	}
 
-	db.recovery.SeriesRecovered = len(db.series)
+	db.recovery.SeriesRecovered = len(db.persisted)
 	for _, st := range db.series {
 		rec := st.engine.RecoveryInfo()
 		db.recovery.WALPointsReplayed += int64(rec.WALPointsReplayed)
@@ -273,5 +297,63 @@ func (db *DB) recoverLocked() error {
 			db.recovery.WALOnlySeries++
 		}
 	}
+	if db.arb != nil && db.gw != nil {
+		// Cold series were not replayed through an engine; account their
+		// shared-log pending directly so the report still describes the
+		// whole database.
+		manifests, err := manifestSet(db.cfg.Backend)
+		if err != nil {
+			return err
+		}
+		for name := range db.persisted {
+			if _, resident := db.series[name]; resident {
+				continue
+			}
+			n := db.gw.PendingPoints(name)
+			db.recovery.WALPointsReplayed += int64(n)
+			if n > 0 && !manifests[name] {
+				db.recovery.WALOnlySeries++
+			}
+		}
+	}
+	if db.gw != nil {
+		// Per-series replay cannot see a torn group segment (the shared
+		// log already clipped it); count tears at the log level instead.
+		db.recovery.TornWALs += int(db.gw.Stats().TornTails)
+	}
 	return nil
+}
+
+// mergeSorted returns the sorted union of two sorted name slices.
+func mergeSorted(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for _, n := range a {
+		set[n] = true
+	}
+	for _, n := range b {
+		set[n] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// manifestSet returns the names of series owning a MANIFEST object —
+// i.e. series with at least one completed flush.
+func manifestSet(b storage.Backend) (map[string]bool, error) {
+	all, err := b.List()
+	if err != nil {
+		return nil, err
+	}
+	const suffix = ".MANIFEST"
+	set := make(map[string]bool)
+	for _, n := range all {
+		if len(n) > len(suffix) && strings.HasSuffix(n, suffix) {
+			set[n[:len(n)-len(suffix)]] = true
+		}
+	}
+	return set, nil
 }

@@ -13,6 +13,7 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/analyzer"
 	"repro/internal/cache"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/lsm/scheduler"
 	"repro/internal/series"
 	"repro/internal/storage"
+	"repro/internal/wal/groupwal"
 )
 
 // ErrClosed is returned by operations on a closed database.
@@ -69,6 +71,29 @@ type Config struct {
 	// selects the scheduler default (workers×16); negative disables the
 	// signal. Ignored without a shared scheduler.
 	CompactBacklog int
+	// WALShards selects the WAL wiring for a durable DB with Engine.WAL:
+	// zero shares one group-commit log (internal/wal/groupwal) with
+	// groupwal.DefaultShards commit streams, positive values set the
+	// stream count, and a negative value falls back to the legacy
+	// per-series WAL objects. With the shared log, appends from many
+	// series coalesce into one fsync per commit, so the fsync rate is
+	// O(shards), not O(series). The shard count is persisted on first
+	// open; later opens reuse the persisted value.
+	WALShards int
+	// CommitWindow is how long a groupwal shard waits after the first
+	// pending append before committing, trading single-append latency for
+	// larger commit batches. Zero commits immediately (concurrent appends
+	// still coalesce behind an in-flight commit). Ignored with the legacy
+	// per-series WAL.
+	CommitWindow time.Duration
+	// MemBudgetBytes, when positive on a durable DB, activates the memory
+	// arbiter (see arbiter.go): engines are instantiated lazily and
+	// evicted under pressure, and the budget is split dynamically between
+	// aggregate memtable memory and the shared block cache based on
+	// observed write/read pressure. Zero or negative disables arbitration
+	// (every series' engine stays resident). Ignored without a Backend —
+	// a memory-only DB cannot evict without losing data.
+	MemBudgetBytes int64
 }
 
 // DefaultBlockCacheBytes is the shared block cache capacity used when
@@ -98,11 +123,38 @@ type DB struct {
 	// reports its L0 backlog to. Nil when async compaction is off or
 	// CompactWorkers is negative (legacy per-series goroutines).
 	sched *scheduler.Pool
+
+	// gw is the shared group-commit WAL every series engine appends
+	// through. Nil for memory-only, WAL-disabled, or legacy-per-series-WAL
+	// (WALShards < 0) databases.
+	gw *groupwal.Log
+
+	// arb is the memory arbiter; nil unless MemBudgetBytes is set on a
+	// durable DB. With an arbiter, db.series holds only RESIDENT engines —
+	// persisted series may be cold (engine released) and are reopened from
+	// the catalog on access.
+	arb *arbiter
+
+	// evicting holds a wait channel per series whose engine is being
+	// flushed out by the arbiter; get() blocks on it so a reopen can never
+	// race a closing engine onto the same backend prefix.
+	evicting map[string]chan struct{}
+
+	// damaged records series whose eviction flush failed: the engine is
+	// closed, the WAL still holds the acknowledged points, but serving the
+	// series again in-process could miss them — fail stop until restart.
+	damaged map[string]error
+
+	// accessClock orders series touches for coldest-first eviction.
+	accessClock int64
 }
 
 type seriesState struct {
 	engine *lsm.Engine
 	ctl    *analyzer.AdaptiveController // nil unless cfg.Adaptive
+	// lastAccess is the db.accessClock value of the latest touch; guarded
+	// by db.mu.
+	lastAccess int64
 }
 
 // Open creates a database, recovering every series previously persisted in
@@ -115,7 +167,13 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.Engine.MemBudget < 1 {
 		return nil, errors.New("tsdb: Engine.MemBudget must be >= 1")
 	}
-	db := &DB{cfg: cfg, series: make(map[string]*seriesState), persisted: make(map[string]bool)}
+	db := &DB{
+		cfg:       cfg,
+		series:    make(map[string]*seriesState),
+		persisted: make(map[string]bool),
+		evicting:  make(map[string]chan struct{}),
+		damaged:   make(map[string]error),
+	}
 	if cfg.Backend != nil && cfg.BlockCacheBytes >= 0 {
 		capBytes := cfg.BlockCacheBytes
 		if capBytes == 0 {
@@ -131,13 +189,38 @@ func Open(cfg Config) (*DB, error) {
 			BackpressureDepth: cfg.CompactBacklog,
 		})
 	}
+	fail := func(err error) (*DB, error) {
+		if db.gw != nil {
+			db.gw.Close()
+		}
+		if db.sched != nil {
+			db.sched.Close()
+		}
+		return nil, err
+	}
+	if cfg.Backend != nil && cfg.Engine.WAL && cfg.WALShards >= 0 {
+		// The shared log must exist before recovery: engines replay their
+		// pending slices out of it, and catalog migration consults it.
+		gw, err := groupwal.Open(groupwal.Config{
+			Backend:      cfg.Backend,
+			Shards:       cfg.WALShards,
+			CommitWindow: cfg.CommitWindow,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		db.gw = gw
+	}
+	if cfg.Backend != nil && cfg.MemBudgetBytes > 0 {
+		db.arb = newArbiter(db, cfg.MemBudgetBytes)
+	}
 	if cfg.Backend != nil {
 		if err := db.recoverLocked(); err != nil {
-			if db.sched != nil {
-				db.sched.Close()
-			}
-			return nil, err
+			return fail(err)
 		}
+	}
+	if db.arb != nil {
+		db.arb.start()
 	}
 	return db, nil
 }
@@ -192,6 +275,9 @@ func (db *DB) createLocked(name string) (*seriesState, error) {
 		}
 		ecfg.Backend = storage.NewPrefixBackend(db.cfg.Backend, name)
 		ecfg.BlockCache = db.blockCache
+		if db.gw != nil && ecfg.WAL {
+			ecfg.Log = db.gw.SeriesLog(name)
+		}
 	} else {
 		ecfg.Backend = nil
 		ecfg.WAL = false
@@ -200,7 +286,8 @@ func (db *DB) createLocked(name string) (*seriesState, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &seriesState{engine: e}
+	db.accessClock++
+	st := &seriesState{engine: e, lastAccess: db.accessClock}
 	if db.cfg.Adaptive {
 		ctl, err := analyzer.NewAdaptiveController(e, analyzer.AdaptiveConfig{
 			MemBudget:  ecfg.MemBudget,
@@ -238,12 +325,23 @@ func (db *DB) CreateSeries(name string) error {
 // series does not exist.
 func (db *DB) DropSeries(name string) error {
 	db.mu.Lock()
-	if db.closed {
+	for {
+		if db.closed {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		ch, ok := db.evicting[name]
+		if !ok {
+			break
+		}
 		db.mu.Unlock()
-		return ErrClosed
+		<-ch
+		db.mu.Lock()
 	}
-	st, ok := db.series[name]
-	if !ok {
+	st, resident := db.series[name]
+	if !resident && !db.persisted[name] {
+		// With an arbiter a persisted series may be cold (no engine); it
+		// still exists and must still be droppable.
 		db.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoSeries, name)
 	}
@@ -256,14 +354,23 @@ func (db *DB) DropSeries(name string) error {
 		}
 	}
 	delete(db.series, name)
+	delete(db.damaged, name)
 	db.mu.Unlock()
 	// The drop is committed; what follows is cleanup. Close errors are
 	// irrelevant (the data is being deleted — what matters is that Close
 	// always stops the engine's goroutines and detaches its WAL), and
-	// object-removal leftovers are finished by the next Open.
-	st.engine.Close()
-	if db.sched != nil {
-		db.sched.Unregister(st.engine)
+	// object-removal leftovers are finished by the next Open (which also
+	// re-forgets the series in the shared WAL).
+	if resident {
+		st.engine.Close()
+		if db.sched != nil {
+			db.sched.Unregister(st.engine)
+		}
+	}
+	if db.gw != nil {
+		if err := db.gw.Forget(name); err != nil && !errors.Is(err, groupwal.ErrClosed) {
+			return fmt.Errorf("tsdb: drop %s: forget in wal: %w", name, err)
+		}
 	}
 	if db.cfg.Backend != nil {
 		if err := removeSeriesObjects(db.cfg.Backend, name); err != nil {
@@ -273,32 +380,67 @@ func (db *DB) DropSeries(name string) error {
 	return nil
 }
 
-// get returns the series state, creating it when AutoCreate is set.
+// get returns the series state, creating it when create is set. With the
+// arbiter active, a persisted-but-cold series (engine evicted or never
+// instantiated) is reopened here regardless of create — the catalog makes
+// the reopen cheap — and a series mid-eviction is waited for first, so two
+// engines can never serve the same backend prefix.
 func (db *DB) get(name string, create bool) (*seriesState, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return nil, ErrClosed
+	for {
+		if db.closed {
+			return nil, ErrClosed
+		}
+		if err, ok := db.damaged[name]; ok {
+			return nil, fmt.Errorf("tsdb: series %s failed its eviction flush (restart to recover): %w", name, err)
+		}
+		if st, ok := db.series[name]; ok {
+			db.accessClock++
+			st.lastAccess = db.accessClock
+			return st, nil
+		}
+		ch, ok := db.evicting[name]
+		if !ok {
+			break
+		}
+		db.mu.Unlock()
+		<-ch
+		db.mu.Lock()
 	}
-	if st, ok := db.series[name]; ok {
-		return st, nil
-	}
-	if !create {
+	if !create && !db.persisted[name] {
 		return nil, fmt.Errorf("%w: %s", ErrNoSeries, name)
 	}
 	return db.createLocked(name)
 }
 
-// Put writes one point into the named series.
-func (db *DB) Put(name string, p series.Point) error {
-	st, err := db.get(name, db.cfg.AutoCreate)
-	if err != nil {
+// withSeries runs f against the named series' engine, retrying when the
+// arbiter evicted the engine between the lookup and the call (the engine
+// returns lsm.ErrClosed; the next get reopens it). Without an arbiter an
+// ErrClosed engine is a real shutdown and surfaces as-is. The retry bound
+// only guards against a pathological evict-reopen livelock.
+func (db *DB) withSeries(name string, create bool, f func(*seriesState) error) error {
+	for attempt := 0; ; attempt++ {
+		st, err := db.get(name, create)
+		if err != nil {
+			return err
+		}
+		err = f(st)
+		if err != nil && errors.Is(err, lsm.ErrClosed) && db.arb != nil && attempt < 8 {
+			continue
+		}
 		return err
 	}
-	if st.ctl != nil {
-		return st.ctl.Put(p)
-	}
-	return st.engine.Put(p)
+}
+
+// Put writes one point into the named series.
+func (db *DB) Put(name string, p series.Point) error {
+	return db.withSeries(name, db.cfg.AutoCreate, func(st *seriesState) error {
+		if st.ctl != nil {
+			return st.ctl.Put(p)
+		}
+		return st.engine.Put(p)
+	})
 }
 
 // PutBatch writes points into the named series in order, amortizing lock
@@ -306,28 +448,27 @@ func (db *DB) Put(name string, p series.Point) error {
 // append. With an adaptive controller attached, points route through it
 // one at a time so delay profiling stays exact.
 func (db *DB) PutBatch(name string, ps []series.Point) error {
-	st, err := db.get(name, db.cfg.AutoCreate)
-	if err != nil {
-		return err
-	}
-	if st.ctl != nil {
-		for _, p := range ps {
-			if err := st.ctl.Put(p); err != nil {
-				return err
+	return db.withSeries(name, db.cfg.AutoCreate, func(st *seriesState) error {
+		if st.ctl != nil {
+			for _, p := range ps {
+				if err := st.ctl.Put(p); err != nil {
+					return err
+				}
 			}
+			return nil
 		}
-		return nil
-	}
-	return st.engine.PutBatch(ps)
+		return st.engine.PutBatch(ps)
+	})
 }
 
 // Scan returns the named series' points in [lo, hi].
-func (db *DB) Scan(name string, lo, hi int64) ([]series.Point, lsm.ScanStats, error) {
-	st, err := db.get(name, false)
-	if err != nil {
-		return nil, lsm.ScanStats{}, err
-	}
-	return st.engine.Scan(lo, hi)
+func (db *DB) Scan(name string, lo, hi int64) (pts []series.Point, stats lsm.ScanStats, err error) {
+	err = db.withSeries(name, false, func(st *seriesState) error {
+		var ierr error
+		pts, stats, ierr = st.engine.Scan(lo, hi)
+		return ierr
+	})
+	return pts, stats, err
 }
 
 // SeriesIterator returns a streaming k-way merge iterator over the named
@@ -345,12 +486,13 @@ func (db *DB) SeriesIterator(name string, lo, hi int64) (*lsm.MergeIterator, err
 }
 
 // Get returns the point at generation time tg in the named series.
-func (db *DB) Get(name string, tg int64) (series.Point, bool, error) {
-	st, err := db.get(name, false)
-	if err != nil {
-		return series.Point{}, false, err
-	}
-	return st.engine.Get(tg)
+func (db *DB) Get(name string, tg int64) (p series.Point, ok bool, err error) {
+	err = db.withSeries(name, false, func(st *seriesState) error {
+		var ierr error
+		p, ok, ierr = st.engine.Get(tg)
+		return ierr
+	})
+	return p, ok, err
 }
 
 // BlockCache exposes the shared block cache, nil when disabled (memory-only
@@ -371,16 +513,24 @@ func (db *DB) CacheStats() (cache.Stats, bool) {
 	return db.blockCache.Stats(), true
 }
 
-// Series returns the sorted series names. It returns nil once the
-// database is closed.
+// Series returns the sorted series names — resident engines plus, with an
+// arbiter, persisted series whose engines are currently cold. It returns
+// nil once the database is closed.
 func (db *DB) Series() []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return nil
 	}
-	out := make([]string, 0, len(db.series))
+	set := make(map[string]bool, len(db.series)+len(db.persisted))
 	for n := range db.series {
+		set[n] = true
+	}
+	for n := range db.persisted {
+		set[n] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -393,38 +543,61 @@ type SeriesStats struct {
 	Policy lsm.PolicyKind
 	SeqCap int
 	Stats  lsm.Stats
+	// Resident reports whether the series currently has a live engine.
+	// Without an arbiter every series is resident; with one, a cold series
+	// (engine evicted or never instantiated) reports the template policy
+	// and zero counters — its data is on the backend, not in memory.
+	Resident bool
 	// Decision is the analyzer's current choice (Adaptive mode only).
 	Decision *core.Decision
 }
 
-// Stats returns per-series statistics, sorted by name. It returns nil
-// once the database is closed (the engines' counters are no longer
-// meaningful, and reading them would race with Close).
+// Stats returns per-series statistics, sorted by name — resident engines
+// plus cold persisted series. It returns nil once the database is closed
+// (the engines' counters are no longer meaningful, and reading them would
+// race with Close).
 func (db *DB) Stats() []SeriesStats {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return nil
 	}
-	names := make([]string, 0, len(db.series))
+	set := make(map[string]bool, len(db.series)+len(db.persisted))
 	for n := range db.series {
+		set[n] = true
+	}
+	for n := range db.persisted {
+		set[n] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
 		names = append(names, n)
 	}
-	states := make([]*seriesState, 0, len(names))
 	sort.Strings(names)
-	for _, n := range names {
-		states = append(states, db.series[n])
+	states := make([]*seriesState, len(names)) // nil entry = cold
+	for i, n := range names {
+		states[i] = db.series[n]
 	}
+	template := db.cfg.Engine
 	db.mu.Unlock()
 
 	out := make([]SeriesStats, len(names))
 	for i, st := range states {
+		if st == nil {
+			out[i] = SeriesStats{
+				Name:   names[i],
+				Policy: template.Policy,
+				SeqCap: template.SeqCapacity,
+			}
+			continue
+		}
 		cfg := st.engine.Config()
 		s := SeriesStats{
-			Name:   names[i],
-			Policy: cfg.Policy,
-			SeqCap: cfg.SeqCapacity,
-			Stats:  st.engine.Stats(),
+			Name:     names[i],
+			Policy:   cfg.Policy,
+			SeqCap:   cfg.SeqCapacity,
+			Stats:    st.engine.Stats(),
+			Resident: true,
 		}
 		if st.ctl != nil {
 			if dec, ok := st.ctl.Current(); ok {
@@ -454,22 +627,32 @@ func (db *DB) TotalWA() float64 {
 // SetPolicy switches one series' policy by hand (Adaptive mode manages
 // this automatically).
 func (db *DB) SetPolicy(name string, kind lsm.PolicyKind, seqCap int) error {
-	st, err := db.get(name, false)
-	if err != nil {
-		return err
-	}
-	return st.engine.SetPolicy(kind, seqCap)
+	return db.withSeries(name, false, func(st *seriesState) error {
+		return st.engine.SetPolicy(kind, seqCap)
+	})
 }
 
-// FlushAll flushes every series.
+// FlushAll flushes every resident series. Cold series (arbiter mode) have
+// nothing buffered — their eviction flush already persisted everything.
 func (db *DB) FlushAll() error {
-	for _, name := range db.Series() {
-		st, err := db.get(name, false)
-		if err != nil {
-			return err
-		}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	names := make([]string, 0, len(db.series))
+	for n := range db.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	states := make([]*seriesState, len(names))
+	for i, n := range names {
+		states[i] = db.series[n]
+	}
+	db.mu.Unlock()
+	for i, st := range states {
 		if err := st.engine.FlushAll(); err != nil {
-			return fmt.Errorf("tsdb: flush %s: %w", name, err)
+			return fmt.Errorf("tsdb: flush %s: %w", names[i], err)
 		}
 	}
 	return nil
@@ -478,6 +661,12 @@ func (db *DB) FlushAll() error {
 // Close flushes and closes every series. The database is unusable
 // afterwards.
 func (db *DB) Close() error {
+	// The arbiter stops first, outside db.mu: its loop takes db.mu during
+	// rebalance, and stop() joins the goroutine. After stop() no eviction
+	// is in flight, so the resident snapshot below is complete.
+	if db.arb != nil {
+		db.arb.stop()
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -500,7 +689,89 @@ func (db *DB) Close() error {
 	if db.sched != nil {
 		db.sched.Close()
 	}
+	// Last: every engine Close above checkpointed its cursor through the
+	// shared log, so the log shuts down with nothing pending.
+	if db.gw != nil {
+		db.gw.Close()
+	}
 	return firstErr
+}
+
+// EvictSeries releases one resident series' engine: buffered points are
+// flushed to SSTables (advancing the series' WAL cursor), the engine is
+// closed, and the series becomes cold — the next access reopens it from
+// the catalog. The arbiter calls this under memory pressure; it is
+// exported so tests can force the transition deterministically. Evicting
+// an unknown, cold, or mid-eviction series is a no-op.
+//
+// If the eviction flush fails the series is marked damaged and every
+// later access fails until the process restarts: the shared WAL still
+// holds its acknowledged points, but serving a reopened engine that
+// raced a half-flushed one could silently miss them. Fail-stop matches
+// the engine's own sticky-background-error philosophy.
+func (db *DB) EvictSeries(name string) error {
+	db.mu.Lock()
+	st, ok := db.series[name]
+	if !ok || db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	if _, busy := db.evicting[name]; busy {
+		db.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	db.evicting[name] = ch
+	delete(db.series, name)
+	db.mu.Unlock()
+
+	err := st.engine.Close()
+	if db.sched != nil {
+		db.sched.Unregister(st.engine)
+	}
+
+	db.mu.Lock()
+	if err != nil {
+		db.damaged[name] = err
+	}
+	delete(db.evicting, name)
+	close(ch)
+	db.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("tsdb: evict %s: %w", name, err)
+	}
+	return nil
+}
+
+// GroupWAL exposes the shared group-commit log, nil when the DB is
+// memory-only, WAL-disabled, or on the legacy per-series WAL.
+func (db *DB) GroupWAL() *groupwal.Log { return db.gw }
+
+// WALStats returns the shared group-commit log's counters and whether a
+// shared log is attached at all.
+func (db *DB) WALStats() (groupwal.Stats, bool) {
+	if db.gw == nil {
+		return groupwal.Stats{}, false
+	}
+	return db.gw.Stats(), true
+}
+
+// ArbiterStats returns the memory arbiter's state and whether an arbiter
+// is active at all.
+func (db *DB) ArbiterStats() (ArbiterStats, bool) {
+	if db.arb == nil {
+		return ArbiterStats{}, false
+	}
+	return db.arb.statsSnapshot(), true
+}
+
+// RebalanceNow runs one synchronous arbiter pass (a no-op without an
+// arbiter). Tests use it to make pressure decisions deterministic instead
+// of waiting out the ticker.
+func (db *DB) RebalanceNow() {
+	if db.arb != nil {
+		db.arb.rebalance()
+	}
 }
 
 // DropBefore applies retention to every series: points with generation

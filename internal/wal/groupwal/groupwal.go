@@ -1,0 +1,740 @@
+// Package groupwal implements a sharded, group-committed write-ahead log
+// shared by every series of a database. Per-series WALs cost one backend
+// object and one fsync stream per series — fatal at large series counts.
+// Here, series hash to one of N shards; concurrent appends to a shard
+// coalesce into one buffered segment write (one fsync on a disk backend)
+// per commit window, so the fsync rate is O(shards × commit windows), not
+// O(series).
+//
+// Each shard owns a chain of append-only segment objects
+// ("GWAL-<shard>-<seq>"). Records are CRC-framed and carry the series name
+// plus a per-shard sequence number (see record.go). Replay state is
+// per-series: a cursor record supersedes every data record of its series
+// with a lower sequence number, which is how an engine flush truncates its
+// slice of the shared log without rewriting anyone else's. A sealed segment
+// whose records are all superseded is deleted.
+//
+// Crash safety mirrors the per-series WAL (DESIGN.md §7.2/§7.6): a torn
+// tail loses only the unacknowledged suffix of the shard — appends are
+// acknowledged strictly after their commit's backend append returns — and
+// replay never crosses series: records name their series, and a series'
+// cursor filters only records bearing its name. A restart always starts a
+// fresh segment, so nothing is ever appended after a possibly-torn tail.
+package groupwal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed log or series handle.
+var ErrClosed = errors.New("groupwal: log is closed")
+
+// DefaultShards is the shard count when Config.Shards is zero: enough to
+// spread fsync latency across independent streams without multiplying the
+// commit rate beyond what a small disk absorbs.
+const DefaultShards = 4
+
+// DefaultSegmentBytes rotates a shard's active segment once it exceeds
+// 4 MiB, keeping both replay reads and garbage collection granular.
+const DefaultSegmentBytes = 4 << 20
+
+// maxShards bounds Config.Shards.
+const maxShards = 256
+
+// Config parameterizes Open.
+type Config struct {
+	// Backend stores the segment and meta objects. Required.
+	Backend storage.Backend
+	// Shards is the number of independent commit streams. Zero selects
+	// DefaultShards. The value is persisted in a meta object on first open
+	// and later opens use the persisted value (the series→shard hash must
+	// be stable across restarts), so changing it affects only new logs.
+	Shards int
+	// CommitWindow is how long a shard's committer waits after the first
+	// pending append before committing, letting concurrent appends pile
+	// into the same fsync. Zero commits immediately — concurrent appends
+	// still coalesce (everything enqueued while a commit is in flight
+	// joins the next one), but an isolated append is never delayed.
+	CommitWindow time.Duration
+	// SegmentBytes is the rotation threshold for a shard's active segment.
+	// Zero selects DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Shards is the effective shard count.
+	Shards int
+	// Commits counts backend appends — on a disk backend, exactly the
+	// number of fsyncs the log has issued.
+	Commits int64
+	// Records counts framed records written (data, cursor, and forget).
+	Records int64
+	// Points counts points appended through data records.
+	Points int64
+	// Checkpoints counts cursor records written.
+	Checkpoints int64
+	// Forgets counts forget records written.
+	Forgets int64
+	// SegmentsRemoved counts segments deleted by garbage collection.
+	SegmentsRemoved int64
+	// Segments is the number of live segment objects across shards.
+	Segments int
+	// PendingSeries is the number of series with un-replayed data.
+	PendingSeries int
+	// PendingPoints totals the points awaiting replay across series.
+	PendingPoints int64
+	// CursorSeries is the number of series the log tracks a cursor for.
+	CursorSeries int
+	// TornTails counts shards whose tail segment ended in a torn record at
+	// Open — expected after a crash mid-commit, a red flag otherwise.
+	TornTails int
+}
+
+// HistSnapshot is a copy of one histogram's state for rendering.
+type HistSnapshot struct {
+	Edges  []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Log is a sharded group-commit write-ahead log.
+type Log struct {
+	cfg    Config
+	shards []*shard
+
+	commits     atomic.Int64
+	records     atomic.Int64
+	points      atomic.Int64
+	checkpoints atomic.Int64
+	forgets     atomic.Int64
+	segRemoved  atomic.Int64
+	tornTails   int
+
+	histMu    sync.Mutex
+	batchHist *metrics.Histogram // points per commit
+	latHist   *metrics.Histogram // commit latency, seconds
+
+	closeOnce sync.Once
+}
+
+// replayRec is one un-replayed data record held for a series.
+type replayRec struct {
+	seq uint64
+	pts []series.Point
+}
+
+// op is one enqueued append awaiting its group commit.
+type op struct {
+	buf        []byte
+	name       string
+	npoints    int
+	maxDataSeq uint64
+	hasData    bool
+	cursorVal  uint64
+	hasCursor  bool
+	forget     bool
+	errCh      chan error
+}
+
+// shard is one independent commit stream.
+type shard struct {
+	log *Log
+	id  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*op
+	closed bool
+	err    error // sticky: a failed commit fail-stops the shard
+
+	nextSeq  uint64 // next record sequence number
+	segSeq   uint64 // active segment number
+	segBytes int64  // bytes committed into the active segment
+
+	// cursors maps each series to the first sequence number replay would
+	// deliver; a series appears here from its first data record (cursor 0)
+	// until a forget record. replay holds the un-replayed data decoded at
+	// Open, trimmed as checkpoints advance cursors.
+	cursors map[string]uint64
+	replay  map[string][]replayRec
+
+	// segData tracks, per live segment, each series' highest data-record
+	// sequence in it; segCursors counts series whose latest cursor record
+	// lives in the segment. A sealed segment is garbage once no series
+	// needs its data (all maxima below the cursors) and no series' current
+	// cursor is recorded only there.
+	segData    map[uint64]map[string]uint64
+	segCursors map[uint64]int
+	cursorSeg  map[string]uint64 // series → segment of its latest cursor
+
+	done chan struct{}
+}
+
+// Open loads (or initializes) the log in cfg.Backend: the meta object fixes
+// the shard count, every shard's segments are replayed into per-series
+// pending state, fully superseded segments are collected, and one committer
+// goroutine per shard is started. The returned log is ready for appends.
+func Open(cfg Config) (*Log, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("groupwal: Config.Backend is required")
+	}
+	if cfg.Shards < 0 || cfg.Shards > maxShards {
+		return nil, fmt.Errorf("groupwal: Shards must be in [0, %d], got %d", maxShards, cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	shards, err := loadOrInitMeta(cfg.Backend, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Shards = shards
+	l := &Log{
+		cfg:       cfg,
+		batchHist: metrics.NewHistogram(0, 2000, 200),
+		latHist:   metrics.NewHistogram(0, 1, 200),
+	}
+	l.shards = make([]*shard, cfg.Shards)
+	for i := range l.shards {
+		s := &shard{
+			log:        l,
+			id:         i,
+			cursors:    make(map[string]uint64),
+			replay:     make(map[string][]replayRec),
+			segData:    make(map[uint64]map[string]uint64),
+			segCursors: make(map[uint64]int),
+			cursorSeg:  make(map[string]uint64),
+			done:       make(chan struct{}),
+		}
+		s.cond = sync.NewCond(&s.mu)
+		l.shards[i] = s
+	}
+	if err := l.replayAll(); err != nil {
+		return nil, err
+	}
+	for _, s := range l.shards {
+		go s.run()
+	}
+	return l, nil
+}
+
+// shardFor hashes a series name to its shard (FNV-1a; stable across
+// restarts, which the persisted shard count guarantees stays meaningful).
+func (l *Log) shardFor(name string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return l.shards[h%uint64(len(l.shards))]
+}
+
+// segmentName returns the backend object name for one segment.
+func segmentName(shard int, seq uint64) string {
+	return fmt.Sprintf("GWAL-%d-%016x", shard, seq)
+}
+
+// parseSegmentName inverts segmentName, rejecting anything else (including
+// user series whose names happen to start with "GWAL-": their objects carry
+// a "." which the strict hex parse refuses).
+func parseSegmentName(name string) (shard int, seq uint64, ok bool) {
+	rest, found := strings.CutPrefix(name, "GWAL-")
+	if !found {
+		return 0, 0, false
+	}
+	i := strings.IndexByte(rest, '-')
+	if i <= 0 || len(rest)-i-1 != 16 {
+		return 0, 0, false
+	}
+	shard, err := strconv.Atoi(rest[:i])
+	if err != nil || shard < 0 {
+		return 0, 0, false
+	}
+	seq, err = strconv.ParseUint(rest[i+1:], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return shard, seq, true
+}
+
+// SeriesLog returns the per-series handle engines use as their WAL. Handles
+// are cheap; one is created per engine instantiation.
+func (l *Log) SeriesLog(name string) *SeriesLog {
+	return &SeriesLog{log: l, s: l.shardFor(name), name: name}
+}
+
+// SeriesNames returns every series the log tracks (a cursor or pending data
+// exists), sorted. Used by catalog migration: with a shared log, a WAL-only
+// series leaves no per-series object to discover.
+func (l *Log) SeriesNames() []string {
+	set := make(map[string]bool)
+	for _, s := range l.shards {
+		s.mu.Lock()
+		for n := range s.cursors {
+			set[n] = true
+		}
+		s.mu.Unlock()
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PendingSeries returns the series with un-replayed data, sorted.
+func (l *Log) PendingSeries() []string {
+	var out []string
+	for _, s := range l.shards {
+		s.mu.Lock()
+		for n, recs := range s.replay {
+			if len(recs) > 0 {
+				out = append(out, n)
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PendingPoints returns the number of points awaiting replay for one series.
+func (l *Log) PendingPoints(name string) int64 {
+	s := l.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, r := range s.replay[name] {
+		n += int64(len(r.pts))
+	}
+	return n
+}
+
+// Forget durably removes a dropped series from the log: its cursor and
+// pending data stop existing and stop pinning segments. Idempotent.
+func (l *Log) Forget(name string) error {
+	s := l.shardFor(name)
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	o := &op{name: name, forget: true, errCh: make(chan error, 1)}
+	seq := s.nextSeq
+	s.nextSeq++
+	o.buf = appendForgetRecord(nil, seq, name)
+	s.queue = append(s.queue, o)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return <-o.errCh
+}
+
+// Stats returns a snapshot of the counters and per-shard state.
+func (l *Log) Stats() Stats {
+	st := Stats{
+		Shards:          len(l.shards),
+		Commits:         l.commits.Load(),
+		Records:         l.records.Load(),
+		Points:          l.points.Load(),
+		Checkpoints:     l.checkpoints.Load(),
+		Forgets:         l.forgets.Load(),
+		SegmentsRemoved: l.segRemoved.Load(),
+		TornTails:       l.tornTails,
+	}
+	seen := make(map[string]bool)
+	for _, s := range l.shards {
+		s.mu.Lock()
+		st.Segments += len(s.segData)
+		st.CursorSeries += len(s.cursors)
+		for n, recs := range s.replay {
+			if len(recs) == 0 {
+				continue
+			}
+			if !seen[n] {
+				seen[n] = true
+				st.PendingSeries++
+			}
+			for _, r := range recs {
+				st.PendingPoints += int64(len(r.pts))
+			}
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// BatchHist returns the points-per-commit histogram.
+func (l *Log) BatchHist() HistSnapshot { return l.snapshotHist(l.batchHist) }
+
+// CommitLatencyHist returns the commit-latency histogram (seconds).
+func (l *Log) CommitLatencyHist() HistSnapshot { return l.snapshotHist(l.latHist) }
+
+func (l *Log) snapshotHist(h *metrics.Histogram) HistSnapshot {
+	l.histMu.Lock()
+	defer l.histMu.Unlock()
+	edges, counts := h.Bins()
+	return HistSnapshot{
+		Edges:  edges,
+		Counts: counts,
+		Count:  h.Count(),
+		Sum:    h.Mean() * float64(h.Count()),
+	}
+}
+
+func (l *Log) observeCommit(points int, d time.Duration) {
+	l.histMu.Lock()
+	l.batchHist.Observe(float64(points))
+	l.latHist.Observe(d.Seconds())
+	l.histMu.Unlock()
+}
+
+// Close drains every shard's queue, commits it, and stops the committers.
+// Engines must be closed first — their final checkpoints go through the
+// commit path. Appends after Close fail with ErrClosed.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		for _, s := range l.shards {
+			s.mu.Lock()
+			s.closed = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+		for _, s := range l.shards {
+			<-s.done
+		}
+	})
+	return nil
+}
+
+// usableLocked reports whether the shard accepts appends.
+func (s *shard) usableLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.err
+}
+
+// enqueueData frames pts as data records (chunked if oversized), enqueues
+// them as one op, and blocks until the group commit that contains them is
+// durable. The caller is typically an engine holding its own lock, so
+// appends within one series stay ordered; appends from other series pile
+// into the same commit concurrently.
+func (s *shard) enqueueData(name string, pts []series.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	o := &op{name: name, npoints: len(pts), hasData: true, errCh: make(chan error, 1)}
+	rest := pts
+	for len(rest) > 0 {
+		n := len(rest)
+		if n > chunkPoints {
+			n = chunkPoints
+		}
+		seq := s.nextSeq
+		s.nextSeq++
+		o.buf = appendDataRecord(o.buf, seq, name, rest[:n])
+		o.maxDataSeq = seq
+		rest = rest[n:]
+	}
+	s.queue = append(s.queue, o)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return <-o.errCh
+}
+
+// enqueueCheckpoint atomically (within one commit) re-appends the series'
+// remaining volatile points and a cursor record superseding everything
+// before them. Appending the data before the cursor is crash-safe in either
+// half: replay is idempotent upserts, so a crash after the data but before
+// the cursor merely replays points that are also durable elsewhere.
+func (s *shard) enqueueCheckpoint(name string, pts []series.Point) error {
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	o := &op{name: name, npoints: len(pts), hasCursor: true, errCh: make(chan error, 1)}
+	o.cursorVal = s.nextSeq // first re-appended record, or the tail if none
+	rest := pts
+	for len(rest) > 0 {
+		n := len(rest)
+		if n > chunkPoints {
+			n = chunkPoints
+		}
+		seq := s.nextSeq
+		s.nextSeq++
+		o.buf = appendDataRecord(o.buf, seq, name, rest[:n])
+		o.maxDataSeq = seq
+		o.hasData = true
+		rest = rest[n:]
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	o.buf = appendCursorRecord(o.buf, seq, name, o.cursorVal)
+	s.queue = append(s.queue, o)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return <-o.errCh
+}
+
+// run is the shard's committer: it swaps out the pending queue (after an
+// optional commit window), concatenates the framed records, issues ONE
+// backend append — the group commit; one fsync on a disk backend — then
+// updates replay bookkeeping, rotates or collects segments, and wakes every
+// waiter with the commit's outcome. A failed commit fail-stops the shard
+// (sticky error): sequence numbers must never silently skip durability.
+func (s *shard) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		if w := s.log.cfg.CommitWindow; w > 0 && !s.closed {
+			s.mu.Unlock()
+			time.Sleep(w)
+			s.mu.Lock()
+		}
+		batch := s.queue
+		s.queue = nil
+		err := s.err
+		seg := segmentName(s.id, s.segSeq)
+		s.mu.Unlock()
+
+		var buf []byte
+		npts := 0
+		for _, o := range batch {
+			buf = append(buf, o.buf...)
+			npts += o.npoints
+		}
+		if err == nil {
+			start := time.Now()
+			err = s.log.cfg.Backend.Append(seg, buf)
+			if err == nil {
+				s.log.commits.Add(1)
+				s.log.observeCommit(npts, time.Since(start))
+			}
+		}
+
+		var remove []string
+		s.mu.Lock()
+		if err != nil {
+			if s.err == nil {
+				s.err = fmt.Errorf("groupwal: shard %d commit: %w", s.id, err)
+			}
+			err = s.err
+		} else {
+			s.segBytes += int64(len(buf))
+			if s.segData[s.segSeq] == nil {
+				s.segData[s.segSeq] = make(map[string]uint64)
+			}
+			for _, o := range batch {
+				s.applyLocked(o)
+			}
+			if s.segBytes >= s.log.cfg.SegmentBytes {
+				s.segSeq++
+				s.segBytes = 0
+			}
+			remove = s.collectLocked()
+		}
+		s.mu.Unlock()
+
+		for _, o := range batch {
+			o.errCh <- err
+		}
+		for _, name := range remove {
+			// Best-effort: a failed remove leaves a fully superseded
+			// segment that a later pass (or the next Open) retries.
+			if s.log.cfg.Backend.Remove(name) == nil {
+				s.log.segRemoved.Add(1)
+			}
+		}
+	}
+}
+
+// applyLocked folds one committed op into the shard's replay bookkeeping.
+func (s *shard) applyLocked(o *op) {
+	s.log.countOp(o)
+	if o.hasData {
+		if _, ok := s.cursors[o.name]; !ok {
+			s.cursors[o.name] = 0
+		}
+		s.segData[s.segSeq][o.name] = o.maxDataSeq
+	}
+	if o.hasCursor {
+		s.cursors[o.name] = o.cursorVal
+		s.trimReplayLocked(o.name, o.cursorVal)
+		if old, ok := s.cursorSeg[o.name]; ok {
+			s.segCursors[old]--
+			if s.segCursors[old] <= 0 {
+				delete(s.segCursors, old)
+			}
+		}
+		s.cursorSeg[o.name] = s.segSeq
+		s.segCursors[s.segSeq]++
+	}
+	if o.forget {
+		delete(s.cursors, o.name)
+		delete(s.replay, o.name)
+		if old, ok := s.cursorSeg[o.name]; ok {
+			s.segCursors[old]--
+			if s.segCursors[old] <= 0 {
+				delete(s.segCursors, old)
+			}
+			delete(s.cursorSeg, o.name)
+		}
+	}
+}
+
+// countOp accounts one committed op's records and points.
+func (l *Log) countOp(o *op) {
+	n := int64(0)
+	if o.hasData {
+		n += (int64(o.npoints) + chunkPoints - 1) / chunkPoints
+		l.points.Add(int64(o.npoints))
+	}
+	if o.hasCursor {
+		n++
+		l.checkpoints.Add(1)
+	}
+	if o.forget {
+		n++
+		l.forgets.Add(1)
+	}
+	l.records.Add(n)
+}
+
+// trimReplayLocked drops pending records superseded by a cursor.
+func (s *shard) trimReplayLocked(name string, cursor uint64) {
+	recs := s.replay[name]
+	if len(recs) == 0 {
+		return
+	}
+	kept := recs[:0]
+	for _, r := range recs {
+		if r.seq >= cursor {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.replay, name)
+		return
+	}
+	s.replay[name] = kept
+}
+
+// collectLocked returns the sealed segments safe to delete: every data
+// record superseded by its series' cursor (or its series forgotten) and no
+// series' latest cursor record lives only there.
+func (s *shard) collectLocked() []string {
+	var out []string
+	for segSeq, data := range s.segData {
+		if segSeq == s.segSeq {
+			continue // active
+		}
+		if s.segCursors[segSeq] > 0 {
+			continue // holds someone's latest cursor record
+		}
+		needed := false
+		for name, maxSeq := range data {
+			cur, ok := s.cursors[name]
+			if ok && maxSeq >= cur {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			continue
+		}
+		delete(s.segData, segSeq)
+		out = append(out, segmentName(s.id, segSeq))
+	}
+	return out
+}
+
+// SeriesLog is one series' view of the shared log. It satisfies the LSM
+// engine's WAL interface: appends group-commit with other series, Rewrite
+// becomes a checkpoint (re-append remaining + advance cursor), and Replay
+// serves the pending records decoded at Open.
+type SeriesLog struct {
+	log    *Log
+	s      *shard
+	name   string
+	closed atomic.Bool
+}
+
+// Append durably records one point (blocking until its group commit).
+func (sl *SeriesLog) Append(p series.Point) error {
+	return sl.AppendBatch([]series.Point{p})
+}
+
+// AppendBatch durably records points as one logical append.
+func (sl *SeriesLog) AppendBatch(ps []series.Point) error {
+	if sl.closed.Load() {
+		return ErrClosed
+	}
+	return sl.s.enqueueData(sl.name, ps)
+}
+
+// Rewrite checkpoints the series: exactly ps remain volatile; everything
+// logged before this call is superseded and stops pinning segments. This is
+// the shared-log equivalent of the per-series WAL's atomic rewrite.
+func (sl *SeriesLog) Rewrite(ps []series.Point) error {
+	if sl.closed.Load() {
+		return ErrClosed
+	}
+	return sl.s.enqueueCheckpoint(sl.name, ps)
+}
+
+// Replay returns the series' pending points in log order: the un-superseded
+// records decoded at Open, trimmed as later checkpoints advance the cursor.
+// Points appended live in this process are deliberately NOT mirrored into
+// the pending set (that would duplicate every engine's memtable in the
+// log's memory): an engine only calls Replay when it opens, at which point
+// any live appends to its series were checkpointed away by the clean close
+// of its previous incarnation — an eviction whose closing flush failed
+// fail-stops the series precisely because this invariant would break.
+func (sl *SeriesLog) Replay() ([]series.Point, wal.ReplayReport, error) {
+	if sl.closed.Load() {
+		return nil, wal.ReplayReport{}, ErrClosed
+	}
+	s := sl.s
+	s.mu.Lock()
+	recs := s.replay[sl.name]
+	var pts []series.Point
+	for _, r := range recs {
+		pts = append(pts, r.pts...)
+	}
+	s.mu.Unlock()
+	return pts, wal.ReplayReport{Points: len(pts)}, nil
+}
+
+// Close detaches the handle. The shared log keeps running — a handle close
+// is an engine shutdown, not a log shutdown.
+func (sl *SeriesLog) Close() { sl.closed.Store(true) }

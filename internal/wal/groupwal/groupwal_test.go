@@ -1,0 +1,300 @@
+package groupwal
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+func pt(tg int64, v float64) series.Point { return series.Point{TG: tg, TA: tg, V: v} }
+
+func mustReplay(t *testing.T, l *Log, name string) []series.Point {
+	t.Helper()
+	pts, _, err := l.SeriesLog(name).Replay()
+	if err != nil {
+		t.Fatalf("replay %s: %v", name, err)
+	}
+	return pts
+}
+
+// TestRoundtrip: points appended through several series handles come back,
+// per series, in order, after a restart.
+func TestRoundtrip(t *testing.T) {
+	b := storage.NewMemBackend()
+	l, err := Open(Config{Backend: b, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]series.Point{}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("s%d", i%3)
+		p := pt(int64(i), float64(100*i))
+		if err := l.SeriesLog(name).Append(p); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		want[name] = append(want[name], p)
+	}
+	if err := l.SeriesLog("batch").AppendBatch([]series.Point{pt(1, 1), pt(2, 2)}); err != nil {
+		t.Fatalf("append batch: %v", err)
+	}
+	want["batch"] = []series.Point{pt(1, 1), pt(2, 2)}
+	l.Close()
+
+	l2, err := Open(Config{Backend: b, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for name, pts := range want {
+		if got := mustReplay(t, l2, name); !reflect.DeepEqual(got, pts) {
+			t.Fatalf("%s: replay %v, want %v", name, got, pts)
+		}
+	}
+	if names := l2.SeriesNames(); len(names) != 4 {
+		t.Fatalf("SeriesNames = %v, want 4 names", names)
+	}
+}
+
+// TestCheckpointSupersedes: Rewrite leaves exactly the given points pending,
+// in-process and across a restart, without touching other series.
+func TestCheckpointSupersedes(t *testing.T) {
+	b := storage.NewMemBackend()
+	l, err := Open(Config{Backend: b, Shards: 1}) // one shard: both series share it
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, o := l.SeriesLog("a"), l.SeriesLog("other")
+	for i := 0; i < 6; i++ {
+		if err := a.Append(pt(int64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Append(pt(7, 7)); err != nil {
+		t.Fatal(err)
+	}
+	rest := []series.Point{pt(4, 4), pt(5, 5)}
+	if err := a.Rewrite(rest); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	// In-process, Replay serves recovery state: live appends are not in the
+	// pending set, and the checkpoint trimmed everything before it.
+	if got := mustReplay(t, l, "a"); len(got) != 0 {
+		t.Fatalf("in-process replay returned live appends: %v", got)
+	}
+	l.Close()
+
+	l2, err := Open(Config{Backend: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := mustReplay(t, l2, "a"); !reflect.DeepEqual(got, rest) {
+		t.Fatalf("restart replay after checkpoint = %v, want %v", got, rest)
+	}
+	if got := mustReplay(t, l2, "other"); !reflect.DeepEqual(got, []series.Point{pt(7, 7)}) {
+		t.Fatalf("checkpoint of a disturbed other: %v", got)
+	}
+	// An empty checkpoint empties the pending set durably.
+	if err := l2.SeriesLog("a").Rewrite(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReplay(t, l2, "a"); len(got) != 0 {
+		t.Fatalf("replay after empty checkpoint = %v, want none", got)
+	}
+}
+
+// TestForget removes a series' cursor and pending durably.
+func TestForget(t *testing.T) {
+	b := storage.NewMemBackend()
+	l, err := Open(Config{Backend: b, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SeriesLog("gone").Append(pt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SeriesLog("kept").Append(pt(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Forget("gone"); err != nil {
+		t.Fatalf("forget: %v", err)
+	}
+	l.Close()
+	l2, err := Open(Config{Backend: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.SeriesNames(); !reflect.DeepEqual(got, []string{"kept"}) {
+		t.Fatalf("SeriesNames after forget = %v, want [kept]", got)
+	}
+	if got := mustReplay(t, l2, "gone"); len(got) != 0 {
+		t.Fatalf("forgotten series replayed %v", got)
+	}
+}
+
+// TestRotationAndGC: with a tiny segment threshold, checkpoints let sealed
+// segments be collected, so the live segment count stays bounded while
+// records keep flowing.
+func TestRotationAndGC(t *testing.T) {
+	b := storage.NewMemBackend()
+	l, err := Open(Config{Backend: b, Shards: 1, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := l.SeriesLog("hot")
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 5; i++ {
+			if err := sl.Append(pt(int64(round*5+i), float64(round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sl.Rewrite(nil); err != nil { // all flushed, nothing volatile
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.SegmentsRemoved == 0 {
+		t.Fatalf("no segments collected despite %d commits over %d-byte segments", st.Commits, 128)
+	}
+	if st.Segments > 4 {
+		t.Fatalf("live segments grew to %d; GC is not keeping up", st.Segments)
+	}
+	l.Close()
+	l2, err := Open(Config{Backend: b, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := mustReplay(t, l2, "hot"); len(got) != 0 {
+		t.Fatalf("fully checkpointed series replayed %v", got)
+	}
+}
+
+// TestMetaPinsShards: the persisted shard count wins over the configured one
+// on reopen — the series→shard hash must stay stable.
+func TestMetaPinsShards(t *testing.T) {
+	b := storage.NewMemBackend()
+	l, err := Open(Config{Backend: b, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SeriesLog("x").Append(pt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(Config{Backend: b, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Stats().Shards; got != 3 {
+		t.Fatalf("reopen used %d shards, want persisted 3", got)
+	}
+	if got := mustReplay(t, l2, "x"); len(got) != 1 {
+		t.Fatalf("replay across shard-count change = %v", got)
+	}
+}
+
+// TestMetaCorruptFailsOpen: a damaged meta object must fail loudly, never
+// silently rehash series into the wrong shards.
+func TestMetaCorruptFailsOpen(t *testing.T) {
+	b := storage.NewMemBackend()
+	l, err := Open(Config{Backend: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := b.Read(metaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := b.Write(metaName, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Backend: b}); err == nil {
+		t.Fatal("open succeeded on corrupt meta")
+	}
+}
+
+// TestTornTail: a torn final record costs exactly the torn suffix — every
+// record before it replays, and the tear is counted.
+func TestTornTail(t *testing.T) {
+	b := storage.NewMemBackend()
+	l, err := Open(Config{Backend: b, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := l.SeriesLog("t")
+	for i := 0; i < 4; i++ {
+		if err := sl.Append(pt(int64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Find the one data segment and chop into its final record.
+	names, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, n := range names {
+		if _, _, ok := parseSegmentName(n); ok {
+			data, err := b.Read(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) > 0 {
+				seg = n
+			}
+		}
+	}
+	if seg == "" {
+		t.Fatal("no non-empty segment found")
+	}
+	data, err := b.Read(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(seg, data[:len(data)-3]); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Config{Backend: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := mustReplay(t, l2, "t")
+	if len(got) != 3 {
+		t.Fatalf("torn tail replayed %d points, want the 3 intact ones (%v)", len(got), got)
+	}
+	for i, p := range got {
+		if p.TG != int64(i) {
+			t.Fatalf("point %d = %v, out of order after tear", i, p)
+		}
+	}
+	if l2.Stats().TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", l2.Stats().TornTails)
+	}
+}
+
+// TestSegmentNameCollision: a user series named like a segment must not be
+// parsed as one (its objects carry a "." separator; the strict parse refuses
+// anything but 16 hex digits).
+func TestSegmentNameParse(t *testing.T) {
+	for _, bad := range []string{"GWAL-META", "GWAL-0-abc", "GWAL-0-0123456789abcdef.WAL", "GWAL--0000000000000000", "CATALOG"} {
+		if _, _, ok := parseSegmentName(bad); ok {
+			t.Fatalf("parseSegmentName accepted %q", bad)
+		}
+	}
+	sh, seq, ok := parseSegmentName(segmentName(7, 0x1b))
+	if !ok || sh != 7 || seq != 0x1b {
+		t.Fatalf("roundtrip failed: %d %d %v", sh, seq, ok)
+	}
+}

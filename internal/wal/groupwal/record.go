@@ -1,0 +1,191 @@
+package groupwal
+
+import (
+	"hash/crc32"
+
+	"repro/internal/encoding"
+	"repro/internal/series"
+)
+
+// Record framing matches the per-series WAL (length | payload | crc32 of
+// the payload) so torn-tail detection behaves identically, but the payload
+// is multi-series:
+//
+//	kind u8 | seq uvarint | nameLen uvarint | name | body
+//
+// kind 1 (data):    npoints uvarint, then npoints × (TG varint, TA varint,
+//
+//	V float64) — one acknowledged append from one series.
+//
+// kind 2 (cursor):  cursor uvarint — on replay, data records of this series
+//
+//	with seq < cursor are skipped (their points became
+//	durable in SSTables when the checkpoint was written).
+//
+// kind 3 (forget):  empty body — the series was dropped; its cursor and
+//
+//	pending data stop existing and stop pinning segments.
+const (
+	kindData   = 1
+	kindCursor = 2
+	kindForget = 3
+)
+
+// maxPayload bounds one record's payload. Checked on the uvarint value
+// before conversion to int so a garbage 64-bit length cannot overflow int
+// on 32-bit platforms. Larger appends are chunked by the writer.
+const maxPayload = 8 << 20
+
+// chunkPoints caps the points encoded into one data record; appends larger
+// than this become several records inside the same committed batch.
+const chunkPoints = 8192
+
+// maxSeriesName bounds the series-name field; tsdb names are ≤128 bytes.
+const maxSeriesName = 1 << 10
+
+// appendFrame wraps one payload with the length prefix and CRC.
+func appendFrame(dst, payload []byte) []byte {
+	dst = encoding.PutUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return encoding.PutUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// appendDataRecord frames one data record carrying pts for the series.
+func appendDataRecord(dst []byte, seq uint64, name string, pts []series.Point) []byte {
+	payload := make([]byte, 0, 16+len(name)+len(pts)*20)
+	payload = append(payload, kindData)
+	payload = encoding.PutUvarint(payload, seq)
+	payload = encoding.PutUvarint(payload, uint64(len(name)))
+	payload = append(payload, name...)
+	payload = encoding.PutUvarint(payload, uint64(len(pts)))
+	for _, p := range pts {
+		payload = encoding.PutVarint(payload, p.TG)
+		payload = encoding.PutVarint(payload, p.TA)
+		payload = encoding.PutFloat64(payload, p.V)
+	}
+	return appendFrame(dst, payload)
+}
+
+// appendCursorRecord frames one replay-cursor record.
+func appendCursorRecord(dst []byte, seq uint64, name string, cursor uint64) []byte {
+	payload := make([]byte, 0, 24+len(name))
+	payload = append(payload, kindCursor)
+	payload = encoding.PutUvarint(payload, seq)
+	payload = encoding.PutUvarint(payload, uint64(len(name)))
+	payload = append(payload, name...)
+	payload = encoding.PutUvarint(payload, cursor)
+	return appendFrame(dst, payload)
+}
+
+// appendForgetRecord frames one forget record.
+func appendForgetRecord(dst []byte, seq uint64, name string) []byte {
+	payload := make([]byte, 0, 16+len(name))
+	payload = append(payload, kindForget)
+	payload = encoding.PutUvarint(payload, seq)
+	payload = encoding.PutUvarint(payload, uint64(len(name)))
+	payload = append(payload, name...)
+	return appendFrame(dst, payload)
+}
+
+// record is one decoded log record.
+type record struct {
+	kind   byte
+	seq    uint64
+	name   string
+	pts    []series.Point // kindData
+	cursor uint64         // kindCursor
+}
+
+// decodeRecord parses one framed record at the start of data, returning the
+// record and the bytes consumed. ok is false at a torn or corrupt record —
+// the expected state of a tail written during a crash.
+func decodeRecord(data []byte) (rec record, n int, ok bool) {
+	plen, hn, err := encoding.Uvarint(data)
+	if err != nil || plen > maxPayload {
+		return rec, 0, false
+	}
+	start := hn
+	end := start + int(plen)
+	if end+4 > len(data) {
+		return rec, 0, false
+	}
+	payload := data[start:end]
+	wantCRC, _, err := encoding.Uint32(data[end:])
+	if err != nil || crc32.ChecksumIEEE(payload) != wantCRC {
+		return rec, 0, false
+	}
+	if !decodePayload(payload, &rec) {
+		return rec, 0, false
+	}
+	return rec, end + 4, true
+}
+
+// decodePayload parses a record body. CRC already validated, so a failure
+// here means a writer bug or intra-record corruption; both stop replay.
+func decodePayload(payload []byte, rec *record) bool {
+	if len(payload) < 1 {
+		return false
+	}
+	rec.kind = payload[0]
+	payload = payload[1:]
+	seq, n, err := encoding.Uvarint(payload)
+	if err != nil {
+		return false
+	}
+	rec.seq = seq
+	payload = payload[n:]
+	nameLen, n, err := encoding.Uvarint(payload)
+	if err != nil || nameLen > maxSeriesName {
+		return false
+	}
+	payload = payload[n:]
+	if uint64(len(payload)) < nameLen {
+		return false
+	}
+	rec.name = string(payload[:nameLen])
+	payload = payload[nameLen:]
+	switch rec.kind {
+	case kindData:
+		npts, n, err := encoding.Uvarint(payload)
+		if err != nil || npts > chunkPoints {
+			return false
+		}
+		payload = payload[n:]
+		pts := make([]series.Point, 0, npts)
+		for i := uint64(0); i < npts; i++ {
+			var p series.Point
+			tg, n, err := encoding.Varint(payload)
+			if err != nil {
+				return false
+			}
+			p.TG = tg
+			payload = payload[n:]
+			ta, n, err := encoding.Varint(payload)
+			if err != nil {
+				return false
+			}
+			p.TA = ta
+			payload = payload[n:]
+			v, n, err := encoding.Float64(payload)
+			if err != nil {
+				return false
+			}
+			p.V = v
+			payload = payload[n:]
+			pts = append(pts, p)
+		}
+		rec.pts = pts
+		return len(payload) == 0
+	case kindCursor:
+		cur, n, err := encoding.Uvarint(payload)
+		if err != nil {
+			return false
+		}
+		rec.cursor = cur
+		return len(payload[n:]) == 0
+	case kindForget:
+		return len(payload) == 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,184 @@
+package groupwal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// The meta object pins the shard count: the series→shard hash must stay
+// stable across restarts or replay cursors would filter the wrong stream.
+//
+// Layout: magic "GWALMET1" | crc32(payload) u32 | payload, where payload is
+// JSON {"format":1,"shards":N}. Like the catalog, corruption fails Open
+// loudly rather than silently rehashing series into the wrong shards.
+
+const metaName = "GWAL-META"
+
+var metaMagic = []byte("GWALMET1")
+
+// ErrMetaCorrupt is returned when the meta object exists but fails its
+// magic, CRC, or format checks.
+var ErrMetaCorrupt = errors.New("groupwal: meta object corrupt")
+
+type metaDoc struct {
+	Format int `json:"format"`
+	Shards int `json:"shards"`
+}
+
+// loadOrInitMeta returns the persisted shard count, writing the meta object
+// with want shards on first open.
+func loadOrInitMeta(b storage.Backend, want int) (int, error) {
+	data, err := b.Read(metaName)
+	if errors.Is(err, storage.ErrNotFound) {
+		doc := metaDoc{Format: 1, Shards: want}
+		payload, err := json.Marshal(doc)
+		if err != nil {
+			return 0, fmt.Errorf("groupwal: marshal meta: %w", err)
+		}
+		buf := make([]byte, 0, len(metaMagic)+4+len(payload))
+		buf = append(buf, metaMagic...)
+		crc := crc32.ChecksumIEEE(payload)
+		buf = append(buf, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+		buf = append(buf, payload...)
+		if err := b.Write(metaName, buf); err != nil {
+			return 0, fmt.Errorf("groupwal: write meta: %w", err)
+		}
+		return want, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("groupwal: read meta: %w", err)
+	}
+	if len(data) < len(metaMagic)+4 || !bytes.Equal(data[:len(metaMagic)], metaMagic) {
+		return 0, fmt.Errorf("%w: bad magic", ErrMetaCorrupt)
+	}
+	rest := data[len(metaMagic):]
+	wantCRC := uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24
+	payload := rest[4:]
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return 0, fmt.Errorf("%w: CRC mismatch", ErrMetaCorrupt)
+	}
+	var doc metaDoc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrMetaCorrupt, err)
+	}
+	if doc.Format != 1 || doc.Shards < 1 || doc.Shards > maxShards {
+		return 0, fmt.Errorf("%w: format %d, shards %d", ErrMetaCorrupt, doc.Format, doc.Shards)
+	}
+	return doc.Shards, nil
+}
+
+// replayAll rebuilds every shard's cursors, pending data, and segment
+// bookkeeping from the backend, then positions each shard on a FRESH
+// segment past everything seen — a crash may have torn the previous tail,
+// and nothing is ever appended after a torn record. Fully superseded
+// segments are removed before the committers start.
+func (l *Log) replayAll() error {
+	names, err := l.cfg.Backend.List()
+	if err != nil {
+		return fmt.Errorf("groupwal: list backend: %w", err)
+	}
+	segs := make(map[int][]uint64, len(l.shards))
+	for _, name := range names {
+		shard, seq, ok := parseSegmentName(name)
+		if !ok {
+			continue
+		}
+		if shard >= len(l.shards) {
+			return fmt.Errorf("groupwal: segment %s names shard %d of %d — meta/segment mismatch", name, shard, len(l.shards))
+		}
+		segs[shard] = append(segs[shard], seq)
+	}
+	for id, s := range l.shards {
+		seqs := segs[id]
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, segSeq := range seqs {
+			if err := s.replaySegment(segSeq); err != nil {
+				return err
+			}
+			if segSeq >= s.segSeq {
+				s.segSeq = segSeq + 1
+			}
+		}
+		// Drop pending data already superseded by the final cursors, then
+		// collect segments that no longer hold anything needed.
+		for name, cur := range s.cursors {
+			s.trimReplayLocked(name, cur)
+		}
+		for _, name := range s.collectLocked() {
+			if err := l.cfg.Backend.Remove(name); err != nil {
+				return fmt.Errorf("groupwal: remove superseded segment %s: %w", name, err)
+			}
+			l.segRemoved.Add(1)
+		}
+	}
+	return nil
+}
+
+// replaySegment decodes one segment in record order. Decoding stops at the
+// first torn or corrupt record; that is expected on a shard's final segment
+// (a crash mid-commit) and tolerated — but counted — anywhere, since an
+// earlier crash can leave a torn tail mid-chain (a restart always rotates
+// to a new segment rather than appending after the tear).
+func (s *shard) replaySegment(segSeq uint64) error {
+	name := segmentName(s.id, segSeq)
+	data, err := s.log.cfg.Backend.Read(name)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("groupwal: read segment %s: %w", name, err)
+	}
+	if s.segData[segSeq] == nil {
+		s.segData[segSeq] = make(map[string]uint64)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, ok := decodeRecord(data[off:])
+		if !ok {
+			break
+		}
+		off += n
+		if rec.seq >= s.nextSeq {
+			s.nextSeq = rec.seq + 1
+		}
+		switch rec.kind {
+		case kindData:
+			if _, ok := s.cursors[rec.name]; !ok {
+				s.cursors[rec.name] = 0
+			}
+			s.replay[rec.name] = append(s.replay[rec.name], replayRec{seq: rec.seq, pts: rec.pts})
+			s.segData[segSeq][rec.name] = rec.seq
+		case kindCursor:
+			s.cursors[rec.name] = rec.cursor
+			s.trimReplayLocked(rec.name, rec.cursor)
+			if old, ok := s.cursorSeg[rec.name]; ok {
+				s.segCursors[old]--
+				if s.segCursors[old] <= 0 {
+					delete(s.segCursors, old)
+				}
+			}
+			s.cursorSeg[rec.name] = segSeq
+			s.segCursors[segSeq]++
+		case kindForget:
+			delete(s.cursors, rec.name)
+			delete(s.replay, rec.name)
+			if old, ok := s.cursorSeg[rec.name]; ok {
+				s.segCursors[old]--
+				if s.segCursors[old] <= 0 {
+					delete(s.segCursors, old)
+				}
+				delete(s.cursorSeg, rec.name)
+			}
+		}
+	}
+	if off < len(data) {
+		s.log.tornTails++
+	}
+	return nil
+}

@@ -88,6 +88,16 @@ func (l *Log) Rewrite(ps []series.Point) error {
 // Close detaches the log. Further operations fail with ErrClosed.
 func (l *Log) Close() { l.backend = nil }
 
+// Replay reads this log's current contents (see the package-level Replay).
+// It exists so *Log satisfies the engine's WAL interface alongside shared
+// implementations like groupwal's per-series handles.
+func (l *Log) Replay() ([]series.Point, ReplayReport, error) {
+	if l.backend == nil {
+		return nil, ReplayReport{}, ErrClosed
+	}
+	return ReplayWithReport(l.backend, l.name)
+}
+
 // encodeRecord appends one framed record to dst.
 func encodeRecord(dst []byte, p series.Point) []byte {
 	var payload []byte
