@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/workload"
+)
+
+// Multi-level benchmark: ingests the same backfill-heavy workload into a
+// set of series for each level count k and reports mean write amplification
+// and p99 per-batch Put latency. With k = 1 (the paper's single-run layout)
+// every compaction rewrites the whole run, so WA grows without bound as the
+// run does; with k > 1 a merge only touches the overlapping slice of the
+// next level, so WA is bounded by the level geometry. The acceptance bar
+// for the multi-level path is k = 3 strictly below the single run on mean
+// WA with no p99 ingest-stall regression.
+
+type levelConfig struct {
+	series   int
+	points   int // per series
+	batch    int
+	backfill int // percent of points with uniform-random t_g (extreme OOO)
+	ks       []int
+	sst      int
+	growth   int
+	policy   string
+	spec     string // Table II dataset for the in-order leg
+	seed     int64
+	out      string // JSON report path ("" = none)
+}
+
+// levelRun is one level-count's measurement.
+type levelRun struct {
+	Levels      int     `json:"levels"`
+	MeanWA      float64 `json:"mean_wa"`
+	P99PutSecs  float64 `json:"p99_put_batch_seconds"`
+	MeanPutSecs float64 `json:"mean_put_batch_seconds"`
+	Seconds     float64 `json:"seconds"`
+	Tables      int     `json:"tables"`
+	Compactions int64   `json:"compactions"`
+}
+
+// levelReport is the machine-readable result (BENCH_7.json).
+type levelReport struct {
+	Name            string     `json:"name"`
+	Series          int        `json:"series"`
+	PointsPerSeries int        `json:"points_per_series"`
+	Batch           int        `json:"batch"`
+	BackfillPct     int        `json:"backfill_pct"`
+	SSTablePoints   int        `json:"sstable_points"`
+	GrowthFactor    int        `json:"growth_factor"`
+	Policy          string     `json:"policy"`
+	Dataset         string     `json:"dataset"`
+	Runs            []levelRun `json:"runs"`
+	// WARatioK3 is mean WA at k=3 over k=1; < 1 means the multi-level
+	// layout beats the single run on this workload.
+	WARatioK3 float64 `json:"wa_ratio_k3_over_k1,omitempty"`
+}
+
+func runLevelBench(cfg levelConfig) {
+	spec, ok := workload.ByName(cfg.spec)
+	if !ok {
+		fatal("unknown dataset %q (want a Table II name like M3)", cfg.spec)
+	}
+	pol, err := lsm.CompactionPolicyByName(cfg.policy)
+	if err != nil {
+		fatal("-lvlpolicy: %v", err)
+	}
+
+	// One stream per series: the spec's lognormal-delay arrival stream with
+	// a slice of points rewritten as uniform-random backfill over the whole
+	// generation domain. Backfill t_g values land anywhere in history, the
+	// worst case for a single sorted run.
+	data := make([][]series.Point, cfg.series)
+	for s := range data {
+		pts := spec.Generate(cfg.points, cfg.seed+int64(s))
+		rng := rand.New(rand.NewSource(cfg.seed + 1000 + int64(s)))
+		domain := int64(cfg.points) * spec.Dt
+		for i := range pts {
+			if rng.Intn(100) < cfg.backfill {
+				pts[i].TG = 1 + rng.Int63n(domain)
+			}
+		}
+		data[s] = pts
+	}
+
+	rep := levelReport{
+		Name:            "multilevel_vs_single_run",
+		Series:          cfg.series,
+		PointsPerSeries: cfg.points,
+		Batch:           cfg.batch,
+		BackfillPct:     cfg.backfill,
+		SSTablePoints:   cfg.sst,
+		GrowthFactor:    cfg.growth,
+		Policy:          pol.Name(),
+		Dataset:         cfg.spec,
+	}
+	for _, k := range cfg.ks {
+		rep.Runs = append(rep.Runs, levelIngest(cfg, pol, data, k))
+	}
+	var k1, k3 float64
+	for _, r := range rep.Runs {
+		switch r.Levels {
+		case 1:
+			k1 = r.MeanWA
+		case 3:
+			k3 = r.MeanWA
+		}
+	}
+	if k1 > 0 && k3 > 0 {
+		rep.WARatioK3 = k3 / k1
+	}
+
+	fmt.Printf("multi-level benchmark (%d series x %d points, %d%% uniform backfill, dataset %s, sst=%d, T=%d, %s)\n",
+		cfg.series, cfg.points, cfg.backfill, cfg.spec, cfg.sst, cfg.growth, pol.Name())
+	for _, r := range rep.Runs {
+		fmt.Printf("  k=%d: mean WA %6.2f   p99 put %8.2fus   (%.2fs, %d tables, %d compactions)\n",
+			r.Levels, r.MeanWA, r.P99PutSecs*1e6, r.Seconds, r.Tables, r.Compactions)
+	}
+	if rep.WARatioK3 > 0 {
+		fmt.Printf("  WA ratio k=3/k=1  : %.3f\n", rep.WARatioK3)
+	}
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("marshal report: %v", err)
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", cfg.out, err)
+		}
+		fmt.Printf("  report            : %s\n", cfg.out)
+	}
+}
+
+// levelIngest ingests every series synchronously at level count k and
+// aggregates WA and per-batch latency. Synchronous compaction keeps the
+// merge cost inside the Put call, so the latency tail is the ingest stall
+// the paper worries about rather than a queueing artifact.
+func levelIngest(cfg levelConfig, pol lsm.CompactionPolicy, data [][]series.Point, k int) levelRun {
+	run := levelRun{Levels: k}
+	var lats []float64
+	var waSum float64
+	start := time.Now()
+	for s := range data {
+		e, err := lsm.Open(lsm.Config{
+			Policy:        lsm.Conventional,
+			MemBudget:     cfg.sst,
+			SSTablePoints: cfg.sst,
+			Levels:        k,
+			GrowthFactor:  cfg.growth,
+			Compaction:    pol,
+		})
+		if err != nil {
+			fatal("open engine (k=%d): %v", k, err)
+		}
+		pts := data[s]
+		for base := 0; base < len(pts); base += cfg.batch {
+			end := base + cfg.batch
+			if end > len(pts) {
+				end = len(pts)
+			}
+			t0 := time.Now()
+			if err := e.PutBatch(pts[base:end]); err != nil {
+				fatal("PutBatch (k=%d): %v", k, err)
+			}
+			lats = append(lats, time.Since(t0).Seconds())
+		}
+		if err := e.FlushAll(); err != nil {
+			fatal("FlushAll (k=%d): %v", k, err)
+		}
+		st := e.Stats()
+		waSum += st.WriteAmplification()
+		run.Compactions += st.Compactions
+		tables, _ := e.RunTables()
+		run.Tables += tables
+		if err := e.Close(); err != nil {
+			fatal("close engine (k=%d): %v", k, err)
+		}
+	}
+	run.Seconds = time.Since(start).Seconds()
+	run.MeanWA = waSum / float64(len(data))
+	sort.Float64s(lats)
+	if n := len(lats); n > 0 {
+		run.P99PutSecs = lats[(n*99)/100%n]
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		run.MeanPutSecs = sum / float64(n)
+	}
+	return run
+}

@@ -63,6 +63,17 @@ func main() {
 		wshards  = flag.Int("wshards", 0, "wal mode: group-commit shards (0: groupwal default)")
 		wfsync   = flag.Duration("wfsync", 500*time.Microsecond, "wal mode: simulated fsync latency charged to every backend append")
 
+		levelbench  = flag.Bool("levelbench", false, "level mode: single-run vs multi-level (k=1..4) write-amp benchmark on backfill-heavy workloads")
+		lvlseries   = flag.Int("lvlseries", 4, "level mode: number of series per level count")
+		lvlpoints   = flag.Int("lvlpoints", 20000, "level mode: points per series")
+		lvlbatch    = flag.Int("lvlbatch", 200, "level mode: points per PutBatch")
+		lvlbackfill = flag.Int("lvlbackfill", 40, "level mode: percent of points rewritten as uniform-random backfill")
+		lvlks       = flag.String("lvlks", "1,2,3,4", "level mode: comma-separated level counts k to sweep")
+		lvlsst      = flag.Int("lvlsst", 256, "level mode: SSTable size in points (also the memtable budget)")
+		lvlgrowth   = flag.Int("lvlgrowth", 4, "level mode: per-level growth factor T")
+		lvlpolicy   = flag.String("lvlpolicy", "leveling", "level mode: compaction policy (leveling, tiering, lazy-leveling)")
+		lvlspec     = flag.String("lvlspec", "M3", "level mode: Table II dataset for the in-order leg")
+
 		mixed    = flag.Bool("mixed", false, "mixed mode: concurrent read/write benchmark on an in-process engine")
 		readers  = flag.Int("readers", 4, "mixed mode: concurrent scan goroutines")
 		mpoints  = flag.Int("mpoints", 200000, "mixed mode: points to ingest")
@@ -111,6 +122,23 @@ func main() {
 			shards:       *wshards,
 			fsync:        *wfsync,
 			out:          *benchout,
+		})
+		return
+	}
+
+	if *levelbench {
+		runLevelBench(levelConfig{
+			series:   *lvlseries,
+			points:   *lvlpoints,
+			batch:    *lvlbatch,
+			backfill: *lvlbackfill,
+			ks:       parseSeriesCounts(*lvlks),
+			sst:      *lvlsst,
+			growth:   *lvlgrowth,
+			policy:   *lvlpolicy,
+			spec:     *lvlspec,
+			seed:     *seed,
+			out:      *benchout,
 		})
 		return
 	}

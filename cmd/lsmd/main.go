@@ -41,6 +41,9 @@ func main() {
 		budget   = flag.Int("n", 512, "memory budget per series (points)")
 		policy   = flag.String("policy", "auto", "write policy: auto (adaptive), pi_c, pi_s")
 		seqcap   = flag.Int("seqcap", 0, "n_seq for pi_s (0: n/2)")
+		levels   = flag.Int("levels", 1, "on-disk levels k per series (1: the paper's single-run layout; >1: partial level compactions)")
+		growth   = flag.Int("growth-factor", 0, "per-level size ratio T, level Li targets sstable-points x T^i (0: default 10)")
+		cpolicy  = flag.String("compaction-policy", "leveling", "level compaction policy: leveling, tiering, lazy-leveling")
 		shards   = flag.Int("shards", 0, "ingest worker shards (0: GOMAXPROCS, max 16)")
 		queue    = flag.Int("queue", 0, "per-shard ingest queue length in batches (0: 128)")
 		wal      = flag.Bool("wal", true, "write-ahead logging (durable mode only)")
@@ -54,8 +57,18 @@ func main() {
 	)
 	flag.Parse()
 
+	cpol, err := lsm.CompactionPolicyByName(*cpolicy)
+	if err != nil {
+		log.Fatalf("lsmd: -compaction-policy: %v", err)
+	}
 	cfg := tsdb.Config{
-		Engine:         lsm.Config{MemBudget: *budget, AsyncCompaction: *async},
+		Engine: lsm.Config{
+			MemBudget:       *budget,
+			AsyncCompaction: *async,
+			Levels:          *levels,
+			GrowthFactor:    *growth,
+			Compaction:      cpol,
+		},
 		AutoCreate:     true,
 		CompactWorkers: *cworkers,
 	}

@@ -14,13 +14,22 @@ import (
 // be blocked to wait for compaction."
 //
 // Here L0 is the queue of flushed memtable images (they may overlap each
-// other and the run) and a background compactor merges them into the run in
-// FIFO order. Write amplification accounting counts both the L0 flush write
-// and the merge write, matching that two-level implementation.
+// other and every level) and a background compactor merges them into L1 in
+// FIFO order. With Config.Levels > 1 the compactor additionally executes
+// policy-picked level push-downs (see levels.go); either kind is one
+// CompactOnce unit.
+//
+// Write-amplification accounting counts only points physically written to
+// SSTable objects. An L0 table is a memory-resident image whose durable
+// copy is the WAL — enqueueing one moves no bytes to SSTable storage, so it
+// counts under Stats.L0Points/L0Flushes, not PointsWritten/Flushes; the
+// write into the run is counted when the merge commits. (Earlier versions
+// counted the enqueue as a write too, double-counting every async point
+// against the paper's Eq. 3/Eq. 5 predictions.)
 //
 // Who runs the compactor is pluggable: with no Config.Scheduler the engine
 // owns a private goroutine (compactorLoop); with one, the engine only
-// reports its L0 backlog via Notify and a shared, bounded worker pool (see
+// reports its backlog via Notify and a shared, bounded worker pool (see
 // internal/lsm/scheduler) calls CompactOnce. Either way exactly one
 // compactor drives an engine at a time — CompactOnce enforces that.
 
@@ -30,10 +39,10 @@ const maxL0Backlog = 64
 
 // CompactionScheduler coordinates background compaction across many
 // engines. Notify is called with the engine lock held every time the
-// engine's L0 backlog changes; implementations must only record the new
-// depth and return — no blocking, and no calls back into the engine (the
-// lock is not reentrant). The scheduler owes the engine serialized
-// CompactOnce calls in exchange.
+// engine's compaction backlog (queued L0 tables + level-overflow units)
+// changes; implementations must only record the new depth and return — no
+// blocking, and no calls back into the engine (the lock is not reentrant).
+// The scheduler owes the engine serialized CompactOnce calls in exchange.
 type CompactionScheduler interface {
 	Notify(e *Engine, depth int)
 }
@@ -64,8 +73,11 @@ func (e *Engine) enqueueL0(mt *memtable.MemTable) error {
 	l0 := make([]*sstable.Table, len(e.l0), len(e.l0)+1)
 	copy(l0, e.l0)
 	e.l0 = append(l0, t)
-	e.stats.PointsWritten += int64(len(pts)) // the L0 flush write
-	e.stats.Flushes++
+	// Not a physical SSTable write: the table lives in memory and its
+	// durable copy is the WAL, so it does not enter PointsWritten (the WA
+	// numerator counts storage writes only — see stats.go).
+	e.stats.L0Points += int64(len(pts))
+	e.stats.L0Flushes++
 	mt.Reset()
 	// An L0 table lives only in memory until the compactor merges it into
 	// the run, so its points stay in the WAL: rewriteWAL covers the L0
@@ -79,14 +91,15 @@ func (e *Engine) enqueueL0(mt *memtable.MemTable) error {
 	return nil
 }
 
-// notifySchedulerLocked reports the current L0 depth to the shared
-// scheduler, if any. Caller holds the lock. Suppressed until the engine is
-// fully open: WAL replay may enqueue L0 tables while the engine is still
-// private to Open (recover runs without the lock), and the scheduler learns
-// that initial backlog when the engine is registered instead.
+// notifySchedulerLocked reports the current compaction backlog to the
+// shared scheduler, if any. Caller holds the lock. Suppressed until the
+// engine is fully open: WAL replay may enqueue L0 tables while the engine
+// is still private to Open (recover runs without the lock), and the
+// scheduler learns that initial backlog when the engine is registered
+// instead.
 func (e *Engine) notifySchedulerLocked() {
 	if e.cfg.Scheduler != nil && e.started {
-		e.cfg.Scheduler.Notify(e, len(e.l0))
+		e.cfg.Scheduler.Notify(e, e.compactionBacklogLocked())
 	}
 }
 
@@ -106,7 +119,7 @@ func (e *Engine) compactorLoop() {
 	defer close(e.bgDone)
 	for {
 		e.mu.Lock()
-		for !e.closed && (len(e.l0) == 0 || e.bgErr != nil) {
+		for !e.closed && (e.compactionBacklogLocked() == 0 || e.bgErr != nil) {
 			e.l0Cond.Wait()
 		}
 		closed := e.closed
@@ -118,40 +131,47 @@ func (e *Engine) compactorLoop() {
 	}
 }
 
-// CompactOnce merges the L0 queue head into the run — the unit of work a
-// compaction worker executes. The block reads of the overlapped tables, the
-// streaming merge, and the backend I/O for the new SSTable objects all run
-// outside the engine lock (see the lock discipline below), so ingestion is
-// stalled by neither disk reads, CPU merging, nor disk writes.
+// CompactOnce executes one unit of background compaction work: merging the
+// L0 queue head into L1 when the queue is non-empty, otherwise one
+// policy-picked level push-down. The block reads of the overlapped tables,
+// the streaming merge, and the backend I/O for the new SSTable objects all
+// run outside the engine lock (see the lock discipline below), so
+// ingestion is stalled by neither disk reads, CPU merging, nor disk
+// writes. L0 merges take priority — they free WAL-covered memory and feed
+// the levels the policy then rebalances.
 //
-// It returns the number of L0 tables still pending, so a scheduler can
-// requeue the engine without polling it. On a closed engine, an empty
-// queue, or a previously failed engine it is a no-op reporting 0. On a
-// merge error the engine fail-stops: the error is recorded as the sticky
-// background error (surfaced by the next Put/FlushAll), the head table
-// stays at the queue front so readers keep seeing its acknowledged points,
-// and remaining is reported as 0 since retrying cannot succeed.
+// It returns the remaining backlog (queued L0 tables + level-overflow
+// units), so a scheduler can requeue the engine without polling it. On a
+// closed engine, an empty backlog, or a previously failed engine it is a
+// no-op reporting 0. On a merge error the engine fail-stops: the error is
+// recorded as the sticky background error (surfaced by the next
+// Put/FlushAll), the head table stays at the queue front so readers keep
+// seeing its acknowledged points, and remaining is reported as 0 since
+// retrying cannot succeed.
 //
 // Callers must serialize CompactOnce per engine — the private compactor
 // goroutine and the shared scheduler's one-worker-per-engine rule both do.
-// The merge snapshot taken in the first critical section stays valid across
-// the unlocked persist precisely because the compactor is the engine's sole
-// run mutator while the L0 queue is non-empty (every other mutator drains
-// the queue under the lock first); a second concurrent call would break
-// that invariant, so it panics instead of corrupting the run.
+// The merge snapshot taken in the first critical section stays valid
+// across the unlocked persist because the compactor is the engine's sole
+// level mutator while its e.inflight flag is set (every other mutator —
+// DropBefore, SetPolicy, FlushAll — drains the queue AND waits for
+// inflight under the lock first); a second concurrent call would break
+// that invariant, so it panics instead of corrupting a level.
 //
 // Lock discipline per call (see DESIGN.md §7.2 invariant 2 and §7.3):
 //
-//	lock:    snapshot the head table and its overlap window in the run;
-//	         reserve output table IDs.
-//	unlock:  stream-merge the overlapped tables' blocks with the head
-//	         table's points and write each output SSTable object as it is
-//	         cut (the "persist" step — a crash here leaves orphans that
+//	lock:    choose the unit (L0 head or level task); snapshot the source
+//	         and its overlap window; reserve output table IDs; set
+//	         inflight.
+//	unlock:  stream-merge the overlapped tables' blocks with the source
+//	         points and write each output SSTable object as it is cut
+//	         (the "persist" step — a crash here leaves orphans that
 //	         recovery removes; nothing references them yet).
-//	lock:    install the new tables in the run (copy-on-write), commit
-//	         the manifest (the commit point — rolled back in memory if the
-//	         commit fails), retire old objects, pop the queue head, and
-//	         shrink the WAL — all ordered behind the commit.
+//	lock:    install the new tables (copy-on-write), commit the manifest
+//	         (the commit point — rolled back in memory if the commit
+//	         fails), retire old objects, pop the queue head / update level
+//	         counters, shrink the WAL, clear inflight — all ordered behind
+//	         the commit.
 func (e *Engine) CompactOnce() (remaining int, err error) {
 	if !e.compacting.CompareAndSwap(false, true) {
 		panic("lsm: concurrent CompactOnce calls on one engine")
@@ -159,10 +179,29 @@ func (e *Engine) CompactOnce() (remaining int, err error) {
 	defer e.compacting.Store(false)
 
 	e.mu.Lock()
-	if e.closed || e.bgErr != nil || len(e.l0) == 0 {
+	if e.closed || e.bgErr != nil {
 		e.mu.Unlock()
 		return 0, nil
 	}
+	if len(e.l0) > 0 {
+		return e.compactL0HeadLocked() // unlocks
+	}
+	task, ok, perr := e.pickLevelCompactionLocked()
+	if perr != nil {
+		e.failCompactionLocked(perr)
+		e.mu.Unlock()
+		return 0, perr
+	}
+	if !ok {
+		e.mu.Unlock()
+		return 0, nil
+	}
+	return e.compactLevelLocked(task) // unlocks
+}
+
+// compactL0HeadLocked merges the L0 queue head into L1. Called by
+// CompactOnce with the lock held; unlocks before returning.
+func (e *Engine) compactL0HeadLocked() (remaining int, err error) {
 	// Keep the table at the queue head until installed so Scan/Get
 	// continue to see its points.
 	t := e.l0[0]
@@ -170,20 +209,24 @@ func (e *Engine) CompactOnce() (remaining int, err error) {
 	if len(pts) == 0 {
 		// Nothing to merge; drop the empty table rather than index pts[0].
 		e.popL0Locked()
-		remaining = len(e.l0)
+		remaining = e.compactionBacklogLocked()
 		e.l0Cond.Broadcast()
 		e.mu.Unlock()
 		return remaining, nil
 	}
 	lo, hi := pts[0].TG, pts[len(pts)-1].TG
-	i, j := e.run.overlapRange(lo, hi)
+	lvl := &e.levels[0]
+	i, j := lvl.overlapRange(lo, hi)
 	overlapping := make([]sstable.TableHandle, j-i)
-	copy(overlapping, e.run.tables[i:j])
+	copy(overlapping, lvl.tables[i:j])
 	var oldCount int
 	for _, h := range overlapping {
 		oldCount += h.Len()
 	}
-	runSnapshot := e.run.tables
+	var treeSnapshot []sstable.TableHandle
+	if e.OnCompaction != nil {
+		treeSnapshot = e.allTablesLocked()
+	}
 	// Reserve IDs for the merge output now so the tables can be built
 	// and persisted without the lock. oldCount+len(pts) bounds the
 	// merged size; duplicate collapses may leave ID gaps, which are
@@ -191,13 +234,15 @@ func (e *Engine) CompactOnce() (remaining int, err error) {
 	chunk := e.cfg.SSTablePoints
 	idBase := e.nextID
 	e.nextID += uint64((oldCount+len(pts))/chunk) + 1
+	e.inflight = true
 	e.mu.Unlock()
 
 	var subsequent int
 	if e.OnCompaction != nil {
 		// Counting reads table blocks; do it off-lock on the immutable
-		// run snapshot (valid: the compactor is the sole run mutator).
-		subsequent = pointsGreaterThan(runSnapshot, lo)
+		// snapshot (valid: the compactor is the sole level mutator while
+		// inflight).
+		subsequent = pointsGreaterThan(treeSnapshot, lo)
 	}
 	nextID := idBase
 	newTables, merged, err := streamMerge(overlapping, pts, chunk,
@@ -205,6 +250,7 @@ func (e *Engine) CompactOnce() (remaining int, err error) {
 		e.persistTable)
 
 	e.mu.Lock()
+	e.inflight = false
 	committed := false
 	if err == nil {
 		committed, err = e.replaceAndCommit(i, j, newTables)
@@ -212,12 +258,15 @@ func (e *Engine) CompactOnce() (remaining int, err error) {
 	if committed {
 		e.popL0Locked()
 		e.stats.PointsWritten += int64(merged)
+		e.levelCounters[0].PointsIn += int64(merged)
 		if oldCount == 0 {
 			e.stats.Flushes++
 		} else {
 			e.stats.Compactions++
 			e.stats.PointsRewritten += int64(oldCount)
 			e.stats.TablesRewritten += int64(len(overlapping))
+			e.levelCounters[0].Compactions++
+			e.levelCounters[0].PointsRewritten += int64(oldCount)
 			if e.OnCompaction != nil {
 				e.OnCompaction(CompactionInfo{
 					MemPoints:        len(pts),
@@ -238,16 +287,70 @@ func (e *Engine) CompactOnce() (remaining int, err error) {
 		}
 	}
 	if err != nil {
-		if e.bgErr == nil {
-			e.bgErr = fmt.Errorf("lsm: background compaction: %w", err)
-		}
+		e.failCompactionLocked(err)
 		remaining = 0
 	} else {
-		remaining = len(e.l0)
+		remaining = e.compactionBacklogLocked()
 	}
 	e.l0Cond.Broadcast()
 	e.mu.Unlock()
 	return remaining, err
+}
+
+// compactLevelLocked executes one level push-down with the persist window
+// unlocked. Called by CompactOnce with the lock held; unlocks before
+// returning. The task was validated against the current levels under this
+// same lock hold, and stays valid across the unlocked window because
+// inflight blocks every other level mutator.
+func (e *Engine) compactLevelLocked(task CompactionTask) (remaining int, err error) {
+	src, dst := task.Src-1, task.Src
+	srcTables := make([]sstable.TableHandle, task.J-task.I)
+	copy(srcTables, e.levels[src].tables[task.I:task.J])
+	a, b, dstOverlap := e.levelOverlapLocked(dst, srcTables)
+	var srcCount, dstCount int
+	for _, t := range srcTables {
+		srcCount += t.Len()
+	}
+	for _, t := range dstOverlap {
+		dstCount += t.Len()
+	}
+	chunk := e.cfg.SSTablePoints
+	idBase := e.nextID
+	e.nextID += uint64((srcCount+dstCount)/chunk) + 1
+	e.inflight = true
+	e.mu.Unlock()
+
+	newTables, merged, err := e.mergeLevelSlices(srcTables, dstOverlap, chunk, idBase)
+
+	e.mu.Lock()
+	e.inflight = false
+	committed := false
+	if err == nil {
+		committed, err = e.commitEdits([]levelEdit{
+			{level: src, i: task.I, j: task.J},
+			{level: dst, i: a, j: b, newTables: newTables},
+		})
+	}
+	if committed {
+		e.noteLevelCompactionLocked(dst, merged, srcCount, dstCount, len(srcTables)+len(dstOverlap))
+	}
+	if err != nil {
+		e.failCompactionLocked(err)
+		remaining = 0
+	} else {
+		remaining = e.compactionBacklogLocked()
+	}
+	e.l0Cond.Broadcast()
+	e.mu.Unlock()
+	return remaining, err
+}
+
+// failCompactionLocked records a sticky background error. Caller holds the
+// lock.
+func (e *Engine) failCompactionLocked(err error) {
+	if e.bgErr == nil {
+		e.bgErr = fmt.Errorf("lsm: background compaction: %w", err)
+	}
 }
 
 // popL0Locked removes the queue head. Caller holds the lock. Re-slicing
@@ -257,17 +360,22 @@ func (e *Engine) popL0Locked() {
 	e.l0 = e.l0[1:]
 }
 
-// drainLocked waits until the L0 queue is empty. Caller holds the lock.
+// drainLocked waits until the L0 queue is empty and no compaction unit is
+// in its unlocked persist window. Caller holds the lock. Level-overflow
+// backlog may remain — those points are already durable; drains only need
+// the WAL-covered queue gone and exclusive ownership of the levels.
 func (e *Engine) drainLocked() {
-	for len(e.l0) > 0 && e.bgErr == nil {
+	for (len(e.l0) > 0 || e.inflight) && e.bgErr == nil {
 		e.l0Cond.Broadcast()
 		e.l0Cond.Wait()
 	}
 }
 
-// L0Backlog returns the current number of pending L0 tables.
+// L0Backlog returns the engine's pending background work: queued L0 tables
+// plus level-overflow units (the name predates multi-level; schedulers
+// treat it as an abstract depth).
 func (e *Engine) L0Backlog() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.l0)
+	return e.compactionBacklogLocked()
 }

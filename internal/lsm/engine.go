@@ -1,18 +1,24 @@
 // Package lsm implements the leveled LSM-Tree engine the paper builds on:
-// in-memory MemTables that flush into a single sorted run of SSTables, with
-// two interchangeable write policies.
+// in-memory MemTables that flush into on-disk levels L1..Lk of sorted,
+// non-overlapping SSTables, with two interchangeable write policies.
 //
 // Conventional policy π_c: one MemTable C0 buffers all points; when full it
-// merges with every SSTable whose generation-time range overlaps it.
+// merges with every L1 SSTable whose generation-time range overlaps it.
 //
 // Separation policy π_s: Cseq buffers in-order points and flushes without
-// merging (its range always lies beyond the run); Cnonseq buffers
-// out-of-order points and merges with overlapping SSTables when full
-// (Definition 3 classifies a point against LAST(R).t_g, the latest
+// merging (its range always lies beyond everything on disk); Cnonseq
+// buffers out-of-order points and merges with overlapping SSTables when
+// full (Definition 3 classifies a point against LAST(R).t_g, the latest
 // generation time on disk).
 //
-// Every point written to an SSTable — first write or rewrite — is counted,
-// so Stats.WriteAmplification reports exactly the paper's WA metric.
+// With Config.Levels > 1, levels beyond L1 are maintained by partial
+// compactions chosen by a pluggable CompactionPolicy (see levels.go and
+// DESIGN.md §7.7); Levels <= 1 reproduces the paper's single-run model
+// exactly.
+//
+// Every point physically written to an SSTable — first flush or rewrite —
+// is counted, so Stats.WriteAmplification reports exactly the paper's WA
+// metric.
 package lsm
 
 import (
@@ -68,6 +74,20 @@ type Config struct {
 	// SSTablePoints is the output SSTable size for compactions. Zero
 	// selects DefaultSSTablePoints.
 	SSTablePoints int
+	// Levels is k, the number of on-disk levels L1..Lk. Zero or one selects
+	// the single-run layout of the paper's model sections; k > 1 enables
+	// partial level compactions with geometric size targets (see levels.go).
+	// Reopening a backend that persisted more levels than configured keeps
+	// the persisted depth.
+	Levels int
+	// GrowthFactor is T, the per-level size ratio: level Li targets
+	// SSTablePoints × T^i points, the last level is unbounded. Zero selects
+	// DefaultGrowthFactor. Ignored when Levels <= 1.
+	GrowthFactor int
+	// Compaction selects which slice of which level a compaction pushes
+	// down (leveling, tiering, lazy-leveling — see CompactionPolicyByName).
+	// Nil selects leveling. Ignored when Levels <= 1.
+	Compaction CompactionPolicy
 	// Backend, when non-nil, persists SSTables and the manifest. Persisted
 	// tables are served by lazy block-addressed readers: only each table's
 	// block index and Bloom filter stay in memory, and point blocks are
@@ -134,8 +154,17 @@ type Engine struct {
 	cseq    *memtable.MemTable // π_s in-order
 	cnonseq *memtable.MemTable // π_s out-of-order
 
-	run    run
-	nextID uint64
+	// levels holds the on-disk levels, levels[0] = L1 (flush target)
+	// through levels[k-1] = Lk (unbounded). Each level's table slice is
+	// published copy-on-write to lock-free snapshot readers.
+	levels        []run
+	levelCounters []levelCounterSet
+	nextID        uint64
+
+	// fastAppends counts flushes installed through the appendTable fast
+	// path (no overlap, strictly beyond L1's tail). Observability for
+	// tests; the fallback to the replace path is the correctness contract.
+	fastAppends int64
 
 	stats    Stats
 	recovery RecoveryStats
@@ -155,11 +184,15 @@ type Engine struct {
 	OnCompaction func(CompactionInfo)
 
 	// async state; see async.go.
-	l0      []*sstable.Table
-	l0Cond  *sync.Cond
-	bgErr   error
-	bgDone  chan struct{}
-	started bool
+	l0     []*sstable.Table
+	l0Cond *sync.Cond
+	// inflight is true while a CompactOnce unit is in its unlocked persist
+	// window; drains (DropBefore, SetPolicy, FlushAll) wait for it so the
+	// compactor stays the sole level mutator across that window.
+	inflight bool
+	bgErr    error
+	bgDone   chan struct{}
+	started  bool
 	// compacting guards the "one CompactOnce at a time" contract; see
 	// CompactOnce.
 	compacting atomic.Bool
@@ -176,6 +209,21 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	if cfg.SSTablePoints < 1 {
 		return nil, errors.New("lsm: SSTablePoints must be >= 1")
+	}
+	if cfg.Levels < 0 {
+		return nil, errors.New("lsm: Levels must be >= 0")
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 1
+	}
+	if cfg.GrowthFactor == 0 {
+		cfg.GrowthFactor = DefaultGrowthFactor
+	}
+	if cfg.GrowthFactor < 2 {
+		return nil, errors.New("lsm: GrowthFactor must be >= 2")
+	}
+	if cfg.Compaction == nil {
+		cfg.Compaction = NewLevelingPolicy()
 	}
 	if cfg.Policy == Separation {
 		if cfg.MemBudget < 2 {
@@ -195,13 +243,17 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, errors.New("lsm: Config.Log requires WAL")
 	}
 	e := &Engine{
-		cfg:     cfg,
-		c0:      memtable.New(cfg.Seed),
-		cseq:    memtable.New(cfg.Seed + 1),
-		cnonseq: memtable.New(cfg.Seed + 2),
+		cfg:           cfg,
+		c0:            memtable.New(cfg.Seed),
+		cseq:          memtable.New(cfg.Seed + 1),
+		cnonseq:       memtable.New(cfg.Seed + 2),
+		levels:        make([]run, cfg.Levels),
+		levelCounters: make([]levelCounterSet, cfg.Levels),
 	}
 	e.l0Cond = sync.NewCond(&e.mu)
 	if cfg.Backend != nil {
+		// recover deepens e.levels (and levelCounters) in lockstep when the
+		// persisted manifest records more levels than configured.
 		if err := e.recover(); err != nil {
 			return nil, err
 		}
@@ -258,19 +310,37 @@ func (e *Engine) BufferedPoints() int {
 // nonseqCapacity returns n_nonseq = n − n_seq.
 func (e *Engine) nonseqCapacity() int { return e.cfg.MemBudget - e.cfg.SeqCapacity }
 
-// LastTG returns LAST(R).t_g and whether the run is non-empty.
+// LastTG returns LAST(R).t_g — the latest generation time across every
+// on-disk level — and whether any level is non-empty.
 func (e *Engine) LastTG() (int64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.run.lastTG()
+	return e.levelsLastTGLocked()
 }
 
-// RunTables returns the number of SSTables in the run and their total
-// point count.
+// levelsLastTGLocked returns the max MaxTG over all levels. Caller holds
+// the lock.
+func (e *Engine) levelsLastTGLocked() (int64, bool) {
+	var best int64
+	var ok bool
+	for d := range e.levels {
+		if last, has := e.levels[d].lastTG(); has && (!ok || last > best) {
+			best, ok = last, true
+		}
+	}
+	return best, ok
+}
+
+// RunTables returns the number of SSTables across all levels and their
+// total point count.
 func (e *Engine) RunTables() (tables, points int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.run.lenTables(), e.run.totalPoints()
+	for d := range e.levels {
+		tables += e.levels[d].lenTables()
+		points += e.levels[d].totalPoints()
+	}
+	return tables, points
 }
 
 // ResidentRunPoints returns the number of decoded points held in memory by
@@ -282,8 +352,10 @@ func (e *Engine) ResidentRunPoints() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var n int
-	for _, t := range e.run.tables {
-		n += t.ResidentPoints()
+	for d := range e.levels {
+		for _, t := range e.levels[d].tables {
+			n += t.ResidentPoints()
+		}
 	}
 	return n
 }
@@ -294,9 +366,11 @@ func (e *Engine) ResidentRunPoints() int {
 func (e *Engine) TableSpans() []TableSpan {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	spans := make([]TableSpan, 0, len(e.run.tables)+len(e.l0))
-	for _, t := range e.run.tables {
-		spans = append(spans, TableSpan{MinTG: t.MinTG(), MaxTG: t.MaxTG(), Points: t.Len()})
+	var spans []TableSpan
+	for d := range e.levels {
+		for _, t := range e.levels[d].tables {
+			spans = append(spans, TableSpan{MinTG: t.MinTG(), MaxTG: t.MaxTG(), Points: t.Len()})
+		}
 	}
 	for _, t := range e.l0 {
 		spans = append(spans, TableSpan{MinTG: t.MinTG(), MaxTG: t.MaxTG(), Points: t.Len()})
@@ -400,10 +474,11 @@ func (e *Engine) putLocked(p series.Point, logIt bool) error {
 	return nil
 }
 
-// diskLastTG returns the latest generation time durable on disk: the run
-// plus, in async mode, any pending L0 tables (they are already flushed).
+// diskLastTG returns the latest generation time durable on disk: every
+// level plus, in async mode, any pending L0 tables (they are already
+// flushed). This is the classification frontier of Definition 3.
 func (e *Engine) diskLastTG() (int64, bool) {
-	last, ok := e.run.lastTG()
+	last, ok := e.levelsLastTGLocked()
 	for _, t := range e.l0 {
 		if !ok || t.MaxTG() > last {
 			last = t.MaxTG()
@@ -427,8 +502,11 @@ func (e *Engine) handleFullMemtable(mt *memtable.MemTable) error {
 	return e.mergeMemtable(mt)
 }
 
-// mergeMemtable writes the memtable's points into the run, merging with
-// overlapping SSTables, then clears the memtable. Caller holds the lock.
+// mergeMemtable writes the memtable's points into L1, merging with
+// overlapping SSTables, then clears the memtable and runs any level
+// compactions the policy now wants (the synchronous engine maintains its
+// levels inline; the async engine does it in CompactOnce units). Caller
+// holds the lock.
 func (e *Engine) mergeMemtable(mt *memtable.MemTable) error {
 	if mt.Empty() {
 		return nil
@@ -438,15 +516,49 @@ func (e *Engine) mergeMemtable(mt *memtable.MemTable) error {
 		return err
 	}
 	mt.Reset()
+	if err := e.maintainLevelsLocked(); err != nil {
+		return err
+	}
 	return e.rewriteWAL()
 }
 
-// mergePoints merges sorted unique points into the run, streaming the
+// errAppendOutOfOrder reports that the appendTable fast path refused a
+// table because it would overlap or precede L1's current tail; the caller
+// must route the flush through the general merge path instead of dropping
+// the table. Never escapes the engine.
+var errAppendOutOfOrder = errors.New("lsm: append fast path refused out-of-order table")
+
+// appendAndCommit installs newTables at the tail of L1 through the
+// run.appendTable fast path and commits the manifest. appendTable re-checks
+// the ordering invariant and returns false when a table would overlap or
+// tie the level's last generation time (e.g. a boundary duplicate at
+// LAST(R)); ignoring that result would silently violate the run invariant,
+// so a refusal rolls L1 back and returns errAppendOutOfOrder for the caller
+// to fall back on the replace path. Caller holds the lock.
+func (e *Engine) appendAndCommit(newTables []sstable.TableHandle) (committed bool, err error) {
+	lvl := &e.levels[0]
+	prev := lvl.tables
+	for _, t := range newTables {
+		if !lvl.appendTable(t) {
+			lvl.tables = prev
+			return false, errAppendOutOfOrder
+		}
+	}
+	if err := e.commitRun(); err != nil {
+		lvl.tables = prev
+		retireHandles(newTables)
+		return false, err
+	}
+	e.fastAppends++
+	return true, nil
+}
+
+// mergePoints merges sorted unique points into L1, streaming the
 // overlapped tables' blocks through a bounded buffer: old points are never
 // materialized whole, and each output table is persisted the moment it is
 // cut. Ordering follows the crash invariants (DESIGN.md §7.2): objects are
 // written first (a crash leaves orphans), the manifest commit in
-// replaceAndCommit is the commit point (run and manifest move together —
+// replaceAndCommit is the commit point (levels and manifest move together —
 // a failed commit rolls the in-memory replace back), and retired objects
 // are removed after it. Caller holds the lock.
 func (e *Engine) mergePoints(pts []series.Point) error {
@@ -454,12 +566,13 @@ func (e *Engine) mergePoints(pts []series.Point) error {
 		return nil
 	}
 	lo, hi := pts[0].TG, pts[len(pts)-1].TG
-	i, j := e.run.overlapRange(lo, hi)
-	overlapping := e.run.tables[i:j]
+	lvl := &e.levels[0]
+	i, j := lvl.overlapRange(lo, hi)
+	overlapping := lvl.tables[i:j]
 
 	var subsequent int
 	if e.OnCompaction != nil {
-		subsequent = pointsGreaterThan(e.run.tables, lo)
+		subsequent = pointsGreaterThan(e.allTablesLocked(), lo)
 	}
 	var rewritten int
 	for _, t := range overlapping {
@@ -473,18 +586,35 @@ func (e *Engine) mergePoints(pts []series.Point) error {
 		return err
 	}
 	nRetired := j - i
-	committed, err := e.replaceAndCommit(i, j, newTables)
+	var committed bool
+	if nRetired == 0 && i == lvl.lenTables() {
+		// Seq-flush fast path: the flush lies strictly beyond L1's tail
+		// (the common case for in-order data under π_s), so the new tables
+		// append without disturbing the rest of the level. appendAndCommit
+		// verifies the invariant per table; a refusal — possible only at a
+		// boundary tie the overlap computation did not see — falls through
+		// to the general replace path below rather than being ignored.
+		committed, err = e.appendAndCommit(newTables)
+		if !committed && errors.Is(err, errAppendOutOfOrder) {
+			committed, err = e.replaceAndCommit(i, j, newTables)
+		}
+	} else {
+		committed, err = e.replaceAndCommit(i, j, newTables)
+	}
 	if !committed {
 		return err
 	}
 
 	e.stats.PointsWritten += int64(merged)
+	e.levelCounters[0].PointsIn += int64(merged)
 	if nRetired == 0 {
 		e.stats.Flushes++
 	} else {
 		e.stats.Compactions++
 		e.stats.PointsRewritten += int64(rewritten)
 		e.stats.TablesRewritten += int64(nRetired)
+		e.levelCounters[0].Compactions++
+		e.levelCounters[0].PointsRewritten += int64(rewritten)
 		if e.OnCompaction != nil {
 			e.OnCompaction(CompactionInfo{
 				MemPoints:        len(pts),
@@ -588,7 +718,9 @@ func (e *Engine) Close() error {
 	// closed series must not keep occupying a budget shared with live
 	// engines. In-flight snapshot readers still work (their storage
 	// objects stay open); they just stop caching.
-	retireHandles(e.run.tables)
+	for d := range e.levels {
+		retireHandles(e.levels[d].tables)
+	}
 	if e.log != nil {
 		e.log.Close()
 	}

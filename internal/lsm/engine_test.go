@@ -52,6 +52,8 @@ func TestOpenValidation(t *testing.T) {
 		{Policy: Separation, MemBudget: 10, SeqCapacity: 10},
 		{Policy: Separation, MemBudget: 10, SeqCapacity: -1},
 		{Policy: Conventional, MemBudget: 4, SSTablePoints: -1},
+		{Policy: Conventional, MemBudget: 4, Levels: -1},
+		{Policy: Conventional, MemBudget: 4, GrowthFactor: 1},
 		{Policy: Conventional, MemBudget: 4, WAL: true}, // WAL without backend
 	}
 	for i, cfg := range cases {
@@ -148,7 +150,7 @@ func TestRunInvariantMaintained(t *testing.T) {
 		e := mustOpen(t, Config{Policy: pol, MemBudget: 32, SSTablePoints: 48})
 		ingest(t, e, ps)
 		e.mu.Lock()
-		ok := e.run.checkInvariant()
+		ok := e.checkLevelInvariantsLocked()
 		e.mu.Unlock()
 		if !ok {
 			t.Errorf("%v: run overlap invariant violated", pol)

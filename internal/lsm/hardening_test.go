@@ -18,18 +18,24 @@ type nopScheduler struct{}
 
 func (nopScheduler) Notify(*Engine, int) {}
 
-// runTableNames returns the object names of the live run's tables.
+// runTableNames returns the object names of the live levels' tables,
+// flattened L1-first — the same order manifestTableNames flattens the
+// durable manifest in, so equality means run == manifest per level.
 func runTableNames(e *Engine) []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	names := make([]string, 0, len(e.run.tables))
-	for _, h := range e.run.tables {
-		names = append(names, tableObjectName(h.ID()))
+	var names []string
+	for d := range e.levels {
+		for _, h := range e.levels[d].tables {
+			names = append(names, tableObjectName(h.ID()))
+		}
 	}
 	return names
 }
 
-// manifestTableNames decodes the durable manifest's table list.
+// manifestTableNames decodes the durable manifest's table lists, flattened
+// L1-first (handles both the v2 per-level format and a legacy v1 single
+// run).
 func manifestTableNames(t *testing.T, b storage.Backend) []string {
 	t.Helper()
 	data, err := b.Read(manifestName)
@@ -43,7 +49,14 @@ func manifestTableNames(t *testing.T, b storage.Backend) []string {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatalf("parse manifest: %v", err)
 	}
-	return m.Tables
+	if m.Levels == nil {
+		return m.Tables
+	}
+	var names []string
+	for _, lvl := range m.Levels {
+		names = append(names, lvl...)
+	}
+	return names
 }
 
 func sameNames(a, b []string) bool {

@@ -1,0 +1,453 @@
+package lsm
+
+import (
+	"fmt"
+
+	"repro/internal/series"
+	"repro/internal/sstable"
+)
+
+// Multi-level leveling (DESIGN.md §7.7). The engine's on-disk state is k
+// levels L1..Lk, each a partitioned sorted run of non-overlapping SSTables
+// (the run invariant holds per level; ranges MAY overlap across levels, and
+// a shallower level shadows every deeper one on reads). Memtable flushes
+// and L0 merges land in L1; when a level outgrows its size target, a
+// *partial* compaction pushes a slice of it into the next level, merging
+// only the overlapping slice of the target level instead of rewriting a
+// whole run. Level size targets grow geometrically:
+//
+//	target(L1) = SSTablePoints × T,  target(Li) = target(L1) × T^(i−1)
+//
+// with T = Config.GrowthFactor; the last level Lk is unbounded. k = 1
+// degenerates to the single-run engine of the paper's model sections.
+//
+// Which slice moves when is the compaction policy — a second design axis,
+// orthogonal to the paper's memtable write-policy axis (π_c vs π_s). The
+// CompactionPolicy interface makes that axis pluggable; leveling, tiering,
+// and lazy-leveling below are the classic points of the space (Sarkar et
+// al.'s compaction design space), all expressed over the same partitioned
+// level structure.
+
+// DefaultGrowthFactor is the per-level size ratio T used when
+// Config.GrowthFactor is zero. 10 is the classic leveled-LSM ratio.
+const DefaultGrowthFactor = 10
+
+// LevelView is a policy's read-only view of one level.
+type LevelView struct {
+	// Level is the 1-based level number (1 = the level flushes land in).
+	Level int
+	// Tables are the level's handles in run order. Policies may read
+	// MinTG/MaxTG/Len but must not retain the slice.
+	Tables []sstable.TableHandle
+	// Points is the level's total point count.
+	Points int
+	// Target is the leveling size target in points; 0 means unbounded
+	// (the last level).
+	Target int
+}
+
+// CompactionTask names one unit of level-compaction work: merge
+// tables[I:J) of level Src down into level Src+1.
+type CompactionTask struct {
+	// Src is the 1-based source level; 1 <= Src < k.
+	Src int
+	// I, J bound the half-open index range of source tables to push down.
+	I, J int
+}
+
+// CompactionPolicy decides which slice of which level to push down next.
+// Implementations must be stateless or internally synchronized: Pick is
+// called with the engine lock held and must only inspect the views.
+type CompactionPolicy interface {
+	// Name identifies the policy (flag value, stats, logs).
+	Name() string
+	// Pick returns the next level compaction to run, if any. levels holds
+	// k views, L1 first; growth is the configured size ratio T. A returned
+	// task must satisfy 1 <= Src < k and 0 <= I < J <= len(levels[Src-1].Tables).
+	Pick(levels []LevelView, growth int) (CompactionTask, bool)
+}
+
+// leastOverlapSource returns the index of the single table in src whose
+// push-down rewrites the fewest target-level points per source point — the
+// least-write-amp slice. Ties prefer the oldest (leftmost) table so the
+// level drains in order.
+func leastOverlapSource(src, dst []sstable.TableHandle) int {
+	best, bestCost := 0, -1.0
+	for i, t := range src {
+		a, b := overlapTables(dst, t.MinTG(), t.MaxTG())
+		var overlapPts int
+		for _, o := range dst[a:b] {
+			overlapPts += o.Len()
+		}
+		srcPts := t.Len()
+		if srcPts == 0 {
+			return i // free to drop down
+		}
+		cost := float64(overlapPts) / float64(srcPts)
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// levelingPolicy compacts eagerly: as soon as a level exceeds its target it
+// pushes the least-overlap table down. Deepest overflowing level first, so
+// backlog drains toward the unbounded last level and upper levels never
+// wait behind a full lower one.
+type levelingPolicy struct{}
+
+// NewLevelingPolicy returns the classic leveled-compaction policy (the
+// default).
+func NewLevelingPolicy() CompactionPolicy { return levelingPolicy{} }
+
+func (levelingPolicy) Name() string { return "leveling" }
+
+func (levelingPolicy) Pick(levels []LevelView, growth int) (CompactionTask, bool) {
+	for d := len(levels) - 2; d >= 0; d-- {
+		v := levels[d]
+		if v.Target > 0 && v.Points > v.Target && len(v.Tables) > 0 {
+			i := leastOverlapSource(v.Tables, levels[d+1].Tables)
+			return CompactionTask{Src: v.Level, I: i, J: i + 1}, true
+		}
+	}
+	return CompactionTask{}, false
+}
+
+// tieringPolicy delays merging: a level is left to accumulate up to T times
+// its leveling target, then the whole level is pushed down at once. Within
+// this engine's partitioned-level structure (each level is always one
+// sorted run) this captures tiering's merge-rarely operating point: fewer,
+// larger merges, lower write amplification, more tables for reads to touch.
+type tieringPolicy struct{}
+
+// NewTieringPolicy returns the merge-rarely policy.
+func NewTieringPolicy() CompactionPolicy { return tieringPolicy{} }
+
+func (tieringPolicy) Name() string { return "tiering" }
+
+func (tieringPolicy) Pick(levels []LevelView, growth int) (CompactionTask, bool) {
+	for d := len(levels) - 2; d >= 0; d-- {
+		v := levels[d]
+		if v.Target > 0 && v.Points > v.Target*growth && len(v.Tables) > 0 {
+			return CompactionTask{Src: v.Level, I: 0, J: len(v.Tables)}, true
+		}
+	}
+	return CompactionTask{}, false
+}
+
+// lazyLevelingPolicy is Dostoevsky's hybrid: tiering at the upper levels
+// (merge rarely while data is hot and likely to be superseded), leveling at
+// the level feeding Lk (keep the biggest level cheap to read and bounded to
+// merge into).
+type lazyLevelingPolicy struct{}
+
+// NewLazyLevelingPolicy returns the tiering-above/leveling-below hybrid.
+func NewLazyLevelingPolicy() CompactionPolicy { return lazyLevelingPolicy{} }
+
+func (lazyLevelingPolicy) Name() string { return "lazy-leveling" }
+
+func (lazyLevelingPolicy) Pick(levels []LevelView, growth int) (CompactionTask, bool) {
+	for d := len(levels) - 2; d >= 0; d-- {
+		v := levels[d]
+		if v.Target <= 0 || len(v.Tables) == 0 {
+			continue
+		}
+		if d == len(levels)-2 {
+			// Feeding the last level: leveling (eager, least-overlap slice).
+			if v.Points > v.Target {
+				i := leastOverlapSource(v.Tables, levels[d+1].Tables)
+				return CompactionTask{Src: v.Level, I: i, J: i + 1}, true
+			}
+			continue
+		}
+		if v.Points > v.Target*growth {
+			return CompactionTask{Src: v.Level, I: 0, J: len(v.Tables)}, true
+		}
+	}
+	return CompactionTask{}, false
+}
+
+// CompactionPolicyByName resolves a policy flag value.
+func CompactionPolicyByName(name string) (CompactionPolicy, error) {
+	switch name {
+	case "", "leveling":
+		return NewLevelingPolicy(), nil
+	case "tiering":
+		return NewTieringPolicy(), nil
+	case "lazy", "lazy-leveling":
+		return NewLazyLevelingPolicy(), nil
+	default:
+		return nil, fmt.Errorf("lsm: unknown compaction policy %q (want leveling, tiering, or lazy-leveling)", name)
+	}
+}
+
+// levelTargetPoints returns the size target of 0-based level d, or 0 for
+// the unbounded last level.
+func (e *Engine) levelTargetPoints(d int) int {
+	if d >= len(e.levels)-1 {
+		return 0
+	}
+	target := e.cfg.SSTablePoints * e.cfg.GrowthFactor
+	for i := 0; i < d; i++ {
+		target *= e.cfg.GrowthFactor
+	}
+	return target
+}
+
+// levelViewsLocked builds the policy's view of the levels. Caller holds
+// the lock.
+func (e *Engine) levelViewsLocked() []LevelView {
+	views := make([]LevelView, len(e.levels))
+	for d := range e.levels {
+		views[d] = LevelView{
+			Level:  d + 1,
+			Tables: e.levels[d].tables,
+			Points: e.levels[d].totalPoints(),
+			Target: e.levelTargetPoints(d),
+		}
+	}
+	return views
+}
+
+// pickLevelCompactionLocked asks the policy for the next push-down and
+// validates it. Caller holds the lock.
+func (e *Engine) pickLevelCompactionLocked() (CompactionTask, bool, error) {
+	if len(e.levels) < 2 {
+		return CompactionTask{}, false, nil
+	}
+	task, ok := e.cfg.Compaction.Pick(e.levelViewsLocked(), e.cfg.GrowthFactor)
+	if !ok {
+		return CompactionTask{}, false, nil
+	}
+	if task.Src < 1 || task.Src >= len(e.levels) ||
+		task.I < 0 || task.J <= task.I || task.J > len(e.levels[task.Src-1].tables) {
+		return CompactionTask{}, false, fmt.Errorf("lsm: policy %s returned invalid task %+v", e.cfg.Compaction.Name(), task)
+	}
+	return task, true, nil
+}
+
+// levelBacklogLocked counts pending level-compaction units. Whether any
+// work exists at all is the policy's call (Pick is authoritative, so a
+// policy that declines cannot leave the compactor spinning on a nonzero
+// backlog it will never retire); the unit count itself is a heuristic —
+// target-sized chunks of overflow per bounded level — that lets the
+// scheduler rank a deeply overflowing engine above a marginal one.
+// Together with the L0 queue depth this is the backlog the scheduler
+// prioritizes by (one overflow unit weighs the same as one L0 table — both
+// are one CompactOnce unit). Caller holds the lock.
+func (e *Engine) levelBacklogLocked() int {
+	if len(e.levels) < 2 {
+		return 0
+	}
+	if _, ok, err := e.pickLevelCompactionLocked(); err != nil || !ok {
+		return 0
+	}
+	units := 0
+	for d := 0; d < len(e.levels)-1; d++ {
+		target := e.levelTargetPoints(d)
+		if target <= 0 {
+			continue
+		}
+		if pts := e.levels[d].totalPoints(); pts > target {
+			units += (pts - 1) / target
+		}
+	}
+	if units < 1 {
+		units = 1
+	}
+	return units
+}
+
+// compactionBacklogLocked is the engine's total pending background work:
+// queued L0 tables plus level-overflow units. CompactOnce retires exactly
+// one unit per call. Caller holds the lock.
+func (e *Engine) compactionBacklogLocked() int {
+	return len(e.l0) + e.levelBacklogLocked()
+}
+
+// maintainLevelsLocked runs policy-picked level compactions until the
+// policy is satisfied — the synchronous engine's counterpart of the
+// background CompactOnce units. Caller holds the lock; every merge,
+// persist, and commit runs under it, which matches the synchronous write
+// path's lock discipline (the caller is Put/PutBatch and owns the lock for
+// the whole insert anyway, see §7.3).
+func (e *Engine) maintainLevelsLocked() error {
+	for {
+		task, ok, err := e.pickLevelCompactionLocked()
+		if err != nil || !ok {
+			return err
+		}
+		if _, err := e.compactLevelTaskLocked(task); err != nil {
+			return err
+		}
+	}
+}
+
+// compactLevelTaskLocked executes one level push-down entirely under the
+// lock and returns the number of points written. The source tables
+// tables[I:J) of level Src are materialized, merged with the overlapping
+// slice of level Src+1 (source shadows target: the source level is the
+// newer data), and both levels are edited under one manifest commit —
+// partial compaction never touches tables outside the overlap.
+func (e *Engine) compactLevelTaskLocked(task CompactionTask) (int, error) {
+	src, dst := task.Src-1, task.Src
+	srcTables := make([]sstable.TableHandle, task.J-task.I)
+	copy(srcTables, e.levels[src].tables[task.I:task.J])
+	a, b, dstOverlap := e.levelOverlapLocked(dst, srcTables)
+
+	chunk := e.cfg.SSTablePoints
+	var srcCount int
+	for _, t := range srcTables {
+		srcCount += t.Len()
+	}
+	var dstCount int
+	for _, t := range dstOverlap {
+		dstCount += t.Len()
+	}
+	idBase := e.nextID
+	e.nextID += uint64((srcCount+dstCount)/chunk) + 1
+
+	newTables, merged, err := e.mergeLevelSlices(srcTables, dstOverlap, chunk, idBase)
+	if err != nil {
+		return 0, err
+	}
+	committed, err := e.commitEdits([]levelEdit{
+		{level: src, i: task.I, j: task.J},
+		{level: dst, i: a, j: b, newTables: newTables},
+	})
+	if !committed {
+		return 0, err
+	}
+	e.noteLevelCompactionLocked(dst, merged, srcCount, dstCount, len(srcTables)+len(dstOverlap))
+	return merged, err
+}
+
+// levelOverlapLocked returns the overlap window [a, b) of 0-based level d
+// against the hull of src, plus a copied slice of the overlapped handles.
+// Caller holds the lock.
+func (e *Engine) levelOverlapLocked(d int, src []sstable.TableHandle) (int, int, []sstable.TableHandle) {
+	lo := src[0].MinTG()
+	hi := src[len(src)-1].MaxTG()
+	a, b := e.levels[d].overlapRange(lo, hi)
+	overlap := make([]sstable.TableHandle, b-a)
+	copy(overlap, e.levels[d].tables[a:b])
+	return a, b, overlap
+}
+
+// mergeLevelSlices materializes the source slice (bounded: a leveling task
+// is one SSTable, a tiering task one level) and streams it against the
+// target level's overlapping tables, persisting each output table as it is
+// cut. Source points shadow target points on equal t_g — the source level
+// is strictly newer. It touches no mutable engine state besides the
+// backend, so the async path calls it without the lock after reserving IDs.
+func (e *Engine) mergeLevelSlices(srcTables, dstOverlap []sstable.TableHandle, chunk int, idBase uint64) ([]sstable.TableHandle, int, error) {
+	var srcCount int
+	for _, t := range srcTables {
+		srcCount += t.Len()
+	}
+	srcPts := make([]series.Point, 0, srcCount)
+	for _, t := range srcTables {
+		pts, err := t.Scan(t.MinTG(), t.MaxTG())
+		if err != nil {
+			return nil, 0, fmt.Errorf("lsm: read level-compaction source: %w", err)
+		}
+		srcPts = append(srcPts, pts...)
+	}
+	nextID := idBase
+	return streamMerge(dstOverlap, srcPts, chunk,
+		func() uint64 { id := nextID; nextID++; return id },
+		e.persistTable)
+}
+
+// noteLevelCompactionLocked updates global and per-level counters for a
+// push-down into 0-based level dst. Caller holds the lock.
+func (e *Engine) noteLevelCompactionLocked(dst, merged, srcCount, dstCount, tablesConsumed int) {
+	e.stats.PointsWritten += int64(merged)
+	e.stats.Compactions++
+	// Push-downs re-write points that already lived in SSTables on both
+	// sides of the merge.
+	e.stats.PointsRewritten += int64(srcCount + dstCount)
+	e.stats.TablesRewritten += int64(tablesConsumed)
+	lc := &e.levelCounters[dst]
+	lc.Compactions++
+	lc.PointsIn += int64(merged)
+	lc.PointsRewritten += int64(dstCount)
+}
+
+// LevelStats describes one on-disk level for observability surfaces
+// (/stats, /series/{s}/stats, lsmd_level_* metrics).
+type LevelStats struct {
+	// Level is 1-based; 1 is the level memtable flushes land in.
+	Level int
+	// Tables and Points describe the level's current contents.
+	Tables int
+	Points int
+	// TargetPoints is the leveling size target; 0 means unbounded (the
+	// last level).
+	TargetPoints int
+	// Compactions counts merges that wrote into this level (memtable/L0
+	// merges for L1, push-downs from above for deeper levels).
+	Compactions int64
+	// PointsIn counts points written into this level by those merges.
+	PointsIn int64
+	// PointsRewritten counts points of this level that a merge into it
+	// read back and wrote again.
+	PointsRewritten int64
+}
+
+// levelCounterSet holds the cumulative per-level counters.
+type levelCounterSet struct {
+	Compactions     int64
+	PointsIn        int64
+	PointsRewritten int64
+}
+
+// LevelStats returns a per-level snapshot: structure (tables, points,
+// target) plus cumulative merge counters.
+func (e *Engine) LevelStats() []LevelStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]LevelStats, len(e.levels))
+	for d := range e.levels {
+		out[d] = LevelStats{
+			Level:        d + 1,
+			Tables:       e.levels[d].lenTables(),
+			Points:       e.levels[d].totalPoints(),
+			TargetPoints: e.levelTargetPoints(d),
+		}
+		if d < len(e.levelCounters) {
+			out[d].Compactions = e.levelCounters[d].Compactions
+			out[d].PointsIn = e.levelCounters[d].PointsIn
+			out[d].PointsRewritten = e.levelCounters[d].PointsRewritten
+		}
+	}
+	return out
+}
+
+// allTablesLocked returns every on-disk table, L1 first then deeper
+// levels. Used for whole-tree accounting (subsequent-point counts, spans).
+// Caller holds the lock.
+func (e *Engine) allTablesLocked() []sstable.TableHandle {
+	var n int
+	for d := range e.levels {
+		n += len(e.levels[d].tables)
+	}
+	out := make([]sstable.TableHandle, 0, n)
+	for d := range e.levels {
+		out = append(out, e.levels[d].tables...)
+	}
+	return out
+}
+
+// checkLevelInvariantsLocked verifies per-level ordering and non-overlap.
+// Caller holds the lock (or owns the engine exclusively, as in recovery
+// and tests).
+func (e *Engine) checkLevelInvariantsLocked() bool {
+	for d := range e.levels {
+		if !e.levels[d].checkInvariant() {
+			return false
+		}
+	}
+	return true
+}

@@ -52,6 +52,10 @@ type RecoveryStats struct {
 	// between persisting compaction outputs and committing the manifest
 	// (or between commit and retiring old tables). They are deleted.
 	OrphanTablesRemoved int
+	// ManifestMigrated is true when Open found a version-1 single-run
+	// manifest and folded its run into L1 of the multi-level layout. The
+	// next commit persists the version-2 format.
+	ManifestMigrated bool
 	// WALPointsReplayed is the number of intact WAL records re-ingested.
 	WALPointsReplayed int
 	// WALTorn is true when the WAL ended in a torn or corrupt record —
@@ -61,13 +65,25 @@ type RecoveryStats struct {
 	WALTornBytes int
 }
 
-// manifest is the durable record of run membership. It is rewritten
-// atomically after every change to the run, so a recovered engine sees a
+// manifestVersion is the current manifest format: version 2 records one
+// table list per level. Version-1 manifests (no version field, a single
+// "tables" list) are accepted on read and folded into L1 — the one-time
+// migration from the single-run layout.
+const manifestVersion = 2
+
+// manifest is the durable record of level membership. It is rewritten
+// atomically after every change to any level, so a recovered engine sees a
 // consistent table set even if table files from an interrupted compaction
 // linger.
 type manifest struct {
-	// Tables lists SSTable object names in run order (ascending MinTG).
-	Tables []string `json:"tables"`
+	// Version is manifestVersion for newly written manifests; absent (0)
+	// in legacy single-run manifests.
+	Version int `json:"version,omitempty"`
+	// Tables lists SSTable object names in run order (ascending MinTG) —
+	// the legacy version-1 field, read but no longer written.
+	Tables []string `json:"tables,omitempty"`
+	// Levels lists object names per level, L1 first, each in run order.
+	Levels [][]string `json:"levels,omitempty"`
 	// NextID is the next SSTable identifier to allocate.
 	NextID uint64 `json:"next_id"`
 }
@@ -100,48 +116,84 @@ func (e *Engine) persistTable(t *sstable.Table) (sstable.TableHandle, error) {
 	return r, nil
 }
 
-// replaceAndCommit swaps e.run.tables[i:j] for newTables and commits a
-// manifest recording the new run — the commit point of invariant 2. Caller
-// holds the lock: the manifest must be a snapshot of e.run and e.nextID
-// that is atomic with the in-memory replace, and the subsequent rewriteWAL
-// (invariant 3) must observe the same state — these are the backend writes
-// that genuinely cannot leave the critical section. (See DESIGN.md §7.3
-// for why the synchronous path also runs its persists under the lock: the
-// caller is Put/PutBatch, which owns the lock for the whole insert anyway.)
-//
-// The in-memory replace and the durable commit succeed or fail together:
-// if the manifest write fails, the old run slice is reinstated before the
-// lock is released, so no reader — and no restarted instance — ever
-// observes a run the manifest does not record. committed reports whether
-// the commit point was reached; when it is true a non-nil err comes only
-// from post-commit cleanup (removing retired objects), which must NOT be
-// rolled back — the durable state already moved on, and the stale objects
-// are orphans the next Open deletes. Removing a retired object does not
-// disturb snapshot readers: their lazy readers hold the object open with
-// snapshot-at-open semantics.
+// levelEdit is one level's part of an atomic multi-level change: replace
+// tables[i:j] of 0-based level `level` with newTables (which may be empty —
+// a pure removal, as when a push-down takes tables out of its source
+// level).
+type levelEdit struct {
+	level     int
+	i, j      int
+	newTables []sstable.TableHandle
+}
+
+// replaceAndCommit swaps L1's tables[i:j] for newTables and commits the
+// manifest — the single-level fast form of commitEdits, used by memtable
+// flushes and L0 merges (which always land in L1).
 func (e *Engine) replaceAndCommit(i, j int, newTables []sstable.TableHandle) (committed bool, err error) {
-	retired := make([]sstable.TableHandle, j-i)
-	copy(retired, e.run.tables[i:j])
-	prev := e.run.tables
-	e.run.replace(i, j, newTables)
+	return e.commitEdits([]levelEdit{{level: 0, i: i, j: j, newTables: newTables}})
+}
+
+// commitEdits applies a set of per-level replaces and commits one manifest
+// recording the new state of every level — the commit point of invariant 2.
+// A level push-down edits two levels (remove from source, install in
+// target) and must expose either both edits or neither; a single manifest
+// write is that atomicity. Caller holds the lock: the manifest must be a
+// snapshot of e.levels and e.nextID that is atomic with the in-memory
+// replaces, and the subsequent rewriteWAL (invariant 3) must observe the
+// same state — these are the backend writes that genuinely cannot leave
+// the critical section. (See DESIGN.md §7.3 for why the synchronous path
+// also runs its persists under the lock: the caller is Put/PutBatch, which
+// owns the lock for the whole insert anyway.)
+//
+// The in-memory replaces and the durable commit succeed or fail together:
+// if the manifest write fails, every level's old slice is reinstated
+// before the lock is released, so no reader — and no restarted instance —
+// ever observes a level the manifest does not record. committed reports
+// whether the commit point was reached; when it is true a non-nil err
+// comes only from post-commit cleanup (removing retired objects), which
+// must NOT be rolled back — the durable state already moved on, and the
+// stale objects are orphans the next Open deletes. Removing a retired
+// object does not disturb snapshot readers: their lazy readers hold the
+// object open with snapshot-at-open semantics. Replaces install fresh
+// slices (copy-on-write), so snapshots taken before the commit keep their
+// consistent view.
+func (e *Engine) commitEdits(edits []levelEdit) (committed bool, err error) {
+	var retired []sstable.TableHandle
+	var installed []sstable.TableHandle
+	prev := make(map[int][]sstable.TableHandle, len(edits))
+	for _, ed := range edits {
+		lvl := &e.levels[ed.level]
+		if _, seen := prev[ed.level]; !seen {
+			prev[ed.level] = lvl.tables
+		}
+		retired = append(retired, lvl.tables[ed.i:ed.j]...)
+		installed = append(installed, ed.newTables...)
+		lvl.replace(ed.i, ed.j, ed.newTables)
+	}
 	if err := e.commitRun(); err != nil {
-		e.run.tables = prev
-		retireHandles(newTables)
+		for d, tables := range prev {
+			e.levels[d].tables = tables
+		}
+		retireHandles(installed)
 		return false, err
 	}
 	retireHandles(retired)
 	return true, e.removeRetired(retired)
 }
 
-// commitRun writes a manifest recording the current run — the commit point
-// of invariant 2. Caller holds the lock.
+// commitRun writes a manifest recording every level — the commit point of
+// invariant 2. Caller holds the lock.
 func (e *Engine) commitRun() error {
 	if e.cfg.Backend == nil {
 		return nil
 	}
-	m := manifest{NextID: e.nextID, Tables: make([]string, 0, len(e.run.tables))}
-	for _, t := range e.run.tables {
-		m.Tables = append(m.Tables, tableObjectName(t.ID()))
+	m := manifest{Version: manifestVersion, NextID: e.nextID, Levels: make([][]string, len(e.levels))}
+	for d := range e.levels {
+		names := make([]string, 0, len(e.levels[d].tables))
+		for _, t := range e.levels[d].tables {
+			names = append(names, tableObjectName(t.ID()))
+		}
+		m.Levels[d] = names
 	}
 	return e.writeManifest(m)
 }
@@ -218,23 +270,45 @@ func (e *Engine) recover() error {
 		if err := json.Unmarshal(data, &m); err != nil {
 			return fmt.Errorf("lsm: parse manifest: %w", err)
 		}
-		for _, name := range m.Tables {
-			// Open lazily: only the header (block index + Bloom filter) is
-			// read and validated here. Point blocks stay on disk until a
-			// query touches them, so recovering a large manifest costs one
-			// small ranged read per table, not a full decode.
-			t, err := sstable.OpenReader(e.cfg.Backend, name, e.cfg.BlockCache)
-			if err != nil {
-				return fmt.Errorf("lsm: open sstable %s: %w", name, err)
+		// A version-1 manifest records a single run: fold it into L1 — the
+		// one-time migration to the multi-level layout. The fold is purely
+		// in-memory; the durable manifest moves to version 2 at the next
+		// commit, and until then a crash just re-migrates (idempotent).
+		perLevel := m.Levels
+		if perLevel == nil {
+			perLevel = [][]string{m.Tables}
+			if len(m.Tables) > 0 {
+				e.recovery.ManifestMigrated = true
 			}
-			e.run.tables = append(e.run.tables, t)
-			referenced[name] = true
 		}
-		if !e.run.checkInvariant() {
-			return errors.New("lsm: recovered run violates non-overlap invariant")
+		// An engine reopened with fewer configured levels than the manifest
+		// records keeps the persisted depth: deeper levels cannot be folded
+		// upward without breaking per-level non-overlap. More configured
+		// levels extend with empty ones.
+		for len(e.levels) < len(perLevel) {
+			e.levels = append(e.levels, run{})
+			e.levelCounters = append(e.levelCounters, levelCounterSet{})
+		}
+		e.cfg.Levels = len(e.levels)
+		for d, names := range perLevel {
+			for _, name := range names {
+				// Open lazily: only the header (block index + Bloom filter)
+				// is read and validated here. Point blocks stay on disk until
+				// a query touches them, so recovering a large manifest costs
+				// one small ranged read per table, not a full decode.
+				t, err := sstable.OpenReader(e.cfg.Backend, name, e.cfg.BlockCache)
+				if err != nil {
+					return fmt.Errorf("lsm: open sstable %s: %w", name, err)
+				}
+				e.levels[d].tables = append(e.levels[d].tables, t)
+				referenced[name] = true
+				e.recovery.TablesLoaded++
+			}
+		}
+		if !e.checkLevelInvariantsLocked() {
+			return errors.New("lsm: recovered level violates non-overlap invariant")
 		}
 		e.nextID = m.NextID
-		e.recovery.TablesLoaded = len(m.Tables)
 	}
 
 	// The manifest is the commit point (invariant 2): any table object it

@@ -3,6 +3,7 @@ package lsm
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/dist"
@@ -80,17 +81,27 @@ func TestMergeIteratorMatchesMergeByTGFold(t *testing.T) {
 }
 
 // referenceScan recomputes a snapshot scan with the pre-iterator algorithm:
-// materialize the run slices, then repeatedly MergeByTG in shadowing order
-// (L0 oldest→newest, then c0, cseq, cnonseq), accounting costs identically.
+// materialize the level slices (deepest first, shallower levels shadowing),
+// then repeatedly MergeByTG in shadowing order (L0 oldest→newest, then c0,
+// cseq, cnonseq), accounting costs identically.
 func referenceScan(s *Snapshot, lo, hi int64) ([]series.Point, ScanStats) {
 	var st ScanStats
 	var acc []series.Point
-	i, j := overlapTables(s.tables, lo, hi)
-	for _, t := range s.tables[i:j] {
-		st.TablesTouched++
-		st.TablePoints += t.Len()
-		sub, _ := t.Scan(lo, hi) // resident tables: no backend, cannot fail
-		acc = append(acc, sub...)
+	if len(s.levels) > 0 {
+		st.LevelTablesTouched = make([]int, len(s.levels))
+	}
+	for d := len(s.levels) - 1; d >= 0; d-- {
+		tables := s.levels[d]
+		i, j := overlapTables(tables, lo, hi)
+		var lvlPts []series.Point
+		for _, t := range tables[i:j] {
+			st.TablesTouched++
+			st.TablePoints += t.Len()
+			st.LevelTablesTouched[d]++
+			sub, _ := t.Scan(lo, hi) // resident tables: no backend, cannot fail
+			lvlPts = append(lvlPts, sub...)
+		}
+		acc = series.MergeByTG(acc, lvlPts)
 	}
 	for _, t := range s.l0 {
 		if !t.Overlaps(lo, hi) {
@@ -134,7 +145,7 @@ func TestSnapshotScanMatchesReference(t *testing.T) {
 			if err != nil {
 				t.Fatalf("config %d range %v: Scan: %v", ci, rr, err)
 			}
-			if gotSt != wantSt {
+			if !reflect.DeepEqual(gotSt, wantSt) {
 				t.Fatalf("config %d range %v: stats %+v, want %+v", ci, rr, gotSt, wantSt)
 			}
 			if len(got) != len(want) {

@@ -36,11 +36,21 @@ func runModelTrial(t *testing.T, seed int64, withBackend bool) {
 		Policy:        Conventional,
 		MemBudget:     8 + rng.Intn(64),
 		SSTablePoints: 8 + rng.Intn(128),
+		Levels:        1 + rng.Intn(3),
+		GrowthFactor:  2 + rng.Intn(3),
 		Seed:          seed,
 	}
 	if rng.Intn(2) == 1 {
 		cfg.Policy = Separation
 		cfg.SeqCapacity = 1 + rng.Intn(cfg.MemBudget-1)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.Compaction = NewLevelingPolicy()
+	case 1:
+		cfg.Compaction = NewTieringPolicy()
+	case 2:
+		cfg.Compaction = NewLazyLevelingPolicy()
 	}
 	var backend *storage.MemBackend
 	if withBackend {
@@ -130,7 +140,7 @@ func runModelTrial(t *testing.T, seed int64, withBackend bool) {
 	}
 	checkScan(math.MinInt64+1, math.MaxInt64)
 	e.mu.Lock()
-	ok := e.run.checkInvariant()
+	ok := e.checkLevelInvariantsLocked()
 	e.mu.Unlock()
 	if !ok {
 		t.Fatalf("seed %d: run invariant violated at end", seed)

@@ -117,7 +117,7 @@ func TestRecoveredEngineStillIngests(t *testing.T) {
 		t.Fatalf("after recovery + more writes: %d points", len(got))
 	}
 	e2.mu.Lock()
-	ok := e2.run.checkInvariant()
+	ok := e2.checkLevelInvariantsLocked()
 	e2.mu.Unlock()
 	if !ok {
 		t.Error("run invariant violated after recovery")

@@ -9,11 +9,14 @@ import (
 
 // DropBefore removes every point with generation time strictly below
 // cutoff — the TTL/retention operation of a time-series store (IoTDB's
-// per-storage-group TTL works the same way). Whole SSTables below the
-// cutoff are unlinked without being read; the single table straddling the
-// cutoff (if any) is rewritten truncated; buffered points below the cutoff
+// per-storage-group TTL works the same way). On each level, whole SSTables
+// below the cutoff are unlinked without being read and the single table
+// straddling the cutoff (if any) is rewritten truncated; all levels' edits
+// commit under one manifest write, so a crash exposes either the old or
+// the new tree, never a half-dropped one. Buffered points below the cutoff
 // are discarded from the memtables. It returns the number of points
-// removed.
+// removed — physical points: a generation time duplicated across levels
+// (an old version awaiting compaction) counts once per copy.
 //
 // Dropping history does not move LAST(R) backwards: the classification
 // frontier (Definition 3) only ever advances, so retention cannot turn
@@ -21,11 +24,17 @@ import (
 //
 // The count is an accounting contract: points are reported removed only
 // once the removal is durable. Every failure before the manifest commit —
-// reading the straddling table, rebuilding it, persisting the replacement,
-// the commit itself — returns (0, err) with the run untouched, so a caller
-// that retries (or sums counts across series) never double-counts. A
-// non-nil error alongside a nonzero count means only post-commit cleanup
+// reading a straddling table, rebuilding it, persisting the replacement,
+// the commit itself — returns (0, err) with every level untouched, so a
+// caller that retries (or sums counts across series) never double-counts.
+// A non-nil error alongside a nonzero count means only post-commit cleanup
 // (retired-object removal, WAL shrink) failed; the drop itself held.
+//
+// Snapshot isolation: levels are edited through commitEdits (copy-on-write
+// slice installs) and the memtable purge rebuilds each memtable from a
+// fresh copy of its points, so a Snapshot taken before DropBefore keeps
+// seeing every pre-drop point — including the dropped ones — for its whole
+// lifetime.
 func (e *Engine) DropBefore(cutoff int64) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -40,55 +49,66 @@ func (e *Engine) DropBefore(cutoff int64) (int, error) {
 	}
 
 	removed := 0
+	written := 0
+	var edits []levelEdit
+	for d := range e.levels {
+		tables := e.levels[d].tables
 
-	// Tables entirely below the cutoff: unlink whole.
-	idx := sort.Search(len(e.run.tables), func(i int) bool {
-		return e.run.tables[i].MaxTG() >= cutoff
-	})
-	dropped := e.run.tables[:idx]
-	for _, t := range dropped {
-		removed += t.Len()
-	}
-
-	// A table straddling the cutoff is rewritten truncated. The surviving
-	// points are read through the normal (possibly lazy) scan path, then
-	// rebuilt and persisted before the manifest commit below.
-	var replacement []sstable.TableHandle
-	replaceTo := idx
-	if idx < len(e.run.tables) && e.run.tables[idx].MinTG() < cutoff {
-		// Any failure from here until the commit leaves the run exactly as
-		// it was, so nothing may be reported removed: return 0, not the
-		// whole-table tally above.
-		t := e.run.tables[idx]
-		keep, err := t.Scan(cutoff, t.MaxTG())
-		if err != nil {
-			return 0, err
+		// Tables entirely below the cutoff: unlink whole.
+		idx := sort.Search(len(tables), func(i int) bool {
+			return tables[i].MaxTG() >= cutoff
+		})
+		for _, t := range tables[:idx] {
+			removed += t.Len()
 		}
-		removed += t.Len() - len(keep)
-		if len(keep) > 0 {
-			kept := make([]series.Point, len(keep))
-			copy(kept, keep)
-			nt, err := sstable.Build(e.nextID, kept)
+
+		// A table straddling the cutoff is rewritten truncated. The
+		// surviving points are read through the normal (possibly lazy) scan
+		// path, then rebuilt and persisted before the manifest commit
+		// below. Any failure from here until the commit leaves every level
+		// exactly as it was, so nothing may be reported removed: return 0,
+		// not the whole-table tally above.
+		var replacement []sstable.TableHandle
+		replaceTo := idx
+		if idx < len(tables) && tables[idx].MinTG() < cutoff {
+			t := tables[idx]
+			keep, err := t.Scan(cutoff, t.MaxTG())
 			if err != nil {
 				return 0, err
 			}
-			e.nextID++
-			h, err := e.persistTable(nt)
-			if err != nil {
-				return 0, err
+			removed += t.Len() - len(keep)
+			if len(keep) > 0 {
+				kept := make([]series.Point, len(keep))
+				copy(kept, keep)
+				nt, err := sstable.Build(e.nextID, kept)
+				if err != nil {
+					return 0, err
+				}
+				e.nextID++
+				h, err := e.persistTable(nt)
+				if err != nil {
+					return 0, err
+				}
+				replacement = []sstable.TableHandle{h}
+				written += len(kept)
 			}
-			replacement = []sstable.TableHandle{h}
-			e.stats.PointsWritten += int64(len(kept))
+			replaceTo = idx + 1
 		}
-		replaceTo = idx + 1
+		if replaceTo > 0 || len(replacement) > 0 {
+			edits = append(edits, levelEdit{level: d, i: 0, j: replaceTo, newTables: replacement})
+		}
 	}
+
 	var cleanupErr error
-	if replaceTo > 0 || len(replacement) > 0 {
-		committed, err := e.replaceAndCommit(0, replaceTo, replacement)
+	if len(edits) > 0 {
+		committed, err := e.commitEdits(edits)
 		if !committed {
 			return 0, err
 		}
 		cleanupErr = err
+		// Truncated-table rewrites became durable at the commit; count them
+		// only now so a failed commit never inflates the WA numerator.
+		e.stats.PointsWritten += int64(written)
 	}
 
 	// Purge buffered points below the cutoff.
@@ -113,7 +133,11 @@ type memtableRef struct {
 }
 
 // purgeBelow drops points with TG < cutoff, returning how many were
-// removed.
+// removed. Points() returns a freshly allocated copy (and Snapshot images
+// are cached separately and invalidated by Reset/Put), so rebuilding the
+// memtable in place never mutates a frozen image a live Snapshot holds —
+// the copy-on-write discipline the concurrent-retention race test pins
+// down.
 func (r *memtableRef) purgeBelow(cutoff int64) int {
 	if r.mt.Empty() {
 		return 0

@@ -48,7 +48,7 @@ func TestDropBeforeStraddlingTable(t *testing.T) {
 		t.Errorf("after drop: %d points, first TG %d", len(got), got[0].TG)
 	}
 	e.mu.Lock()
-	ok := e.run.checkInvariant()
+	ok := e.checkLevelInvariantsLocked()
 	e.mu.Unlock()
 	if !ok {
 		t.Error("run invariant violated after straddling drop")

@@ -4,12 +4,14 @@ import (
 	"repro/internal/sstable"
 )
 
-// run is the L1 level of the engine: SSTables sorted by MinTG with
-// non-overlapping generation-time ranges. The paper treats the whole level
-// as a single sorted run R. Tables are held behind sstable.TableHandle:
-// with a storage backend they are lazy block-addressed readers whose
-// points live on disk (and transiently in the shared block cache), without
-// one they are resident tables.
+// run is one on-disk level of the engine: SSTables sorted by MinTG with
+// non-overlapping generation-time ranges — the paper's single sorted run R
+// when the engine runs one level, one of L1..Lk when it runs several
+// (ranges may overlap *across* levels; shallower levels shadow deeper ones
+// on reads). Tables are held behind sstable.TableHandle: with a storage
+// backend they are lazy block-addressed readers whose points live on disk
+// (and transiently in the shared block cache), without one they are
+// resident tables.
 type run struct {
 	tables []sstable.TableHandle
 }

@@ -28,6 +28,11 @@ type ScanStats struct {
 	// BlocksCached is the number of block requests served by the shared
 	// block cache for this scan.
 	BlocksCached int64
+	// LevelTablesTouched breaks TablesTouched down by on-disk level
+	// (index 0 = L1). L0 and memtable sources are not included — they are
+	// already reported separately above. Nil when the engine has no
+	// levels snapshotted.
+	LevelTablesTouched []int
 }
 
 // ReadAmplification returns points read divided by points returned, the

@@ -26,9 +26,9 @@ import (
 // storage.OpenRange) — the retired table merely stops populating the
 // shared block cache.
 type Snapshot struct {
-	tables []sstable.TableHandle // the run, ascending MinTG, non-overlapping
-	l0     []*sstable.Table      // pending L0 tables, FIFO (newer shadows older)
-	mems   [][]series.Point      // frozen c0, cseq, cnonseq images (later shadows earlier)
+	levels [][]sstable.TableHandle // L1..Lk; per level ascending MinTG, non-overlapping; shallower shadows deeper
+	l0     []*sstable.Table        // pending L0 tables, FIFO (newer shadows older; all shadow the levels)
+	mems   [][]series.Point        // frozen c0, cseq, cnonseq images (later shadows earlier)
 }
 
 // Snapshot captures the engine's current readable state under a short
@@ -41,11 +41,16 @@ func (e *Engine) Snapshot() *Snapshot {
 }
 
 // snapshotLocked builds a Snapshot; caller holds the lock. Only slice
-// headers and cached frozen images are copied — O(1) unless a memtable was
-// written since its last snapshot (then that memtable is copied once).
+// headers and cached frozen images are copied — O(levels) unless a
+// memtable was written since its last snapshot (then that memtable is
+// copied once).
 func (e *Engine) snapshotLocked() *Snapshot {
+	levels := make([][]sstable.TableHandle, len(e.levels))
+	for d := range e.levels {
+		levels[d] = e.levels[d].tables
+	}
 	return &Snapshot{
-		tables: e.run.tables,
+		levels: levels,
 		l0:     e.l0,
 		mems: [][]series.Point{
 			e.c0.Snapshot(),
@@ -96,7 +101,9 @@ func (s *Snapshot) Scan(lo, hi int64) ([]series.Point, ScanStats, error) {
 }
 
 // Get returns the point with generation time tg, looking in the memtable
-// images first (in engine order), then newest-first in L0, then in the run.
+// images first (in engine order), then newest-first in L0, then level by
+// level L1..Lk (a shallower level holds the newer version of a duplicated
+// generation time).
 func (s *Snapshot) Get(tg int64) (series.Point, bool, error) {
 	for _, mem := range s.mems {
 		i := sort.Search(len(mem), func(i int) bool { return mem[i].TG >= tg })
@@ -104,7 +111,7 @@ func (s *Snapshot) Get(tg int64) (series.Point, bool, error) {
 			return mem[i], true, nil
 		}
 	}
-	// Newest L0 tables shadow older ones and the run.
+	// Newest L0 tables shadow older ones and every level.
 	for k := len(s.l0) - 1; k >= 0; k-- {
 		if t := s.l0[k]; t.Overlaps(tg, tg) {
 			if p, ok, err := t.Get(tg); err != nil {
@@ -114,14 +121,16 @@ func (s *Snapshot) Get(tg int64) (series.Point, bool, error) {
 			}
 		}
 	}
-	i, j := overlapTables(s.tables, tg, tg)
-	for _, t := range s.tables[i:j] {
-		p, ok, err := t.Get(tg)
-		if err != nil {
-			return series.Point{}, false, err
-		}
-		if ok {
-			return p, true, nil
+	for _, tables := range s.levels {
+		i, j := overlapTables(tables, tg, tg)
+		for _, t := range tables[i:j] {
+			p, ok, err := t.Get(tg)
+			if err != nil {
+				return series.Point{}, false, err
+			}
+			if ok {
+				return p, true, nil
+			}
 		}
 	}
 	return series.Point{}, false, nil
@@ -133,33 +142,43 @@ func (s *Snapshot) Get(tg int64) (series.Point, bool, error) {
 // cache — so arbitrarily large ranges run in O(#sources) memory.
 func (s *Snapshot) NewIterator(lo, hi int64) *MergeIterator {
 	it := &MergeIterator{}
-	// Run tables: non-overlapping, all share the lowest priority. Their
-	// iterators report block reads into the merge iterator's shared
-	// collector.
-	i, j := overlapTables(s.tables, lo, hi)
-	for _, t := range s.tables[i:j] {
-		it.stats.TablesTouched++
-		it.stats.TablePoints += t.Len()
-		it.addSource(t.Iter(lo, hi, &it.blocks), 0)
+	k := len(s.levels)
+	// Level tables: within one level, non-overlapping tables share a
+	// priority; across levels, shallower (newer) levels get the higher
+	// priority so L1 shadows L2 shadows ... Lk on duplicated generation
+	// times. Their iterators report block reads into the merge iterator's
+	// shared collector. LevelTablesTouched records the per-level seek
+	// count for the level-aware read analyses.
+	if k > 0 {
+		it.stats.LevelTablesTouched = make([]int, k)
+	}
+	for d, tables := range s.levels {
+		i, j := overlapTables(tables, lo, hi)
+		for _, t := range tables[i:j] {
+			it.stats.TablesTouched++
+			it.stats.TablePoints += t.Len()
+			it.stats.LevelTablesTouched[d]++
+			it.addSource(t.Iter(lo, hi, &it.blocks), k-1-d)
+		}
 	}
 	// Pending L0 tables (async mode): newer tables shadow older ones and
-	// the run. Accounting matches the HDD read model: a touched table is
-	// charged whole.
-	for k, t := range s.l0 {
+	// every level. Accounting matches the HDD read model: a touched table
+	// is charged whole.
+	for n, t := range s.l0 {
 		if !t.Overlaps(lo, hi) {
 			continue
 		}
 		it.stats.TablesTouched++
 		it.stats.TablePoints += t.Len()
-		it.addSource(t.Iter(lo, hi, &it.blocks), 1+k)
+		it.addSource(t.Iter(lo, hi, &it.blocks), k+n)
 	}
 	// Memtable images shadow everything on disk; among themselves, later
 	// (cnonseq over cseq over c0) wins, matching the engine's merge order.
-	base := 1 + len(s.l0)
-	for k, mem := range s.mems {
+	base := k + len(s.l0)
+	for n, mem := range s.mems {
 		sub := rangeSlice(mem, lo, hi)
 		it.stats.MemPoints += len(sub)
-		it.addSource(sstable.IterPoints(sub), base+k)
+		it.addSource(sstable.IterPoints(sub), base+n)
 	}
 	it.init()
 	return it

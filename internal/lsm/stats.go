@@ -8,20 +8,32 @@ type Stats struct {
 	// PointsIngested counts Put calls accepted by the engine — the "amount
 	// required by the user", the denominator of write amplification.
 	PointsIngested int64
-	// PointsWritten counts every point physically written into an SSTable,
-	// whether on first flush or on rewrite during compaction — the
-	// numerator of write amplification.
+	// PointsWritten counts every point physically written into an SSTable
+	// object, whether on first flush or on rewrite during compaction — the
+	// numerator of write amplification. Enqueueing an L0 table in async
+	// mode is NOT counted here: the L0 queue is memory-resident and its
+	// durable copy is the WAL, so no SSTable write happens until the merge
+	// into the run (counting both double-counted every async point against
+	// the paper's Eq. 3/Eq. 5 predictions — see L0Points).
 	PointsWritten int64
 	// PointsRewritten counts points that were already in SSTables and were
-	// read back and written again by a compaction.
+	// read back and written again by a compaction (including level
+	// push-downs, which rewrite their source slice too).
 	PointsRewritten int64
 	// TablesRewritten counts SSTables consumed (deleted) by compactions.
 	TablesRewritten int64
-	// Flushes counts memtable flushes that did not need to merge with
-	// existing SSTables.
+	// Flushes counts memtable/L0 merges into L1 that did not overlap any
+	// existing SSTable.
 	Flushes int64
-	// Compactions counts merges of a memtable with overlapping SSTables.
+	// Compactions counts merges with overlapping SSTables: memtable and L0
+	// merges into L1, plus level push-downs.
 	Compactions int64
+	// L0Points and L0Flushes count points and memtable images entering the
+	// async L0 queue. These are memory movements covered by the WAL, not
+	// SSTable writes; they are reported separately so async pipelines stay
+	// observable without distorting WriteAmplification.
+	L0Points  int64
+	L0Flushes int64
 	// InOrderPoints and OutOfOrderPoints classify ingested points per
 	// Definition 3 against LAST(R) at insertion time. Under the
 	// conventional policy the classification is still recorded (for
@@ -51,6 +63,8 @@ func (s Stats) Sub(t Stats) Stats {
 		TablesRewritten:  s.TablesRewritten - t.TablesRewritten,
 		Flushes:          s.Flushes - t.Flushes,
 		Compactions:      s.Compactions - t.Compactions,
+		L0Points:         s.L0Points - t.L0Points,
+		L0Flushes:        s.L0Flushes - t.L0Flushes,
 		InOrderPoints:    s.InOrderPoints - t.InOrderPoints,
 		OutOfOrderPoints: s.OutOfOrderPoints - t.OutOfOrderPoints,
 		WALRecords:       s.WALRecords - t.WALRecords,

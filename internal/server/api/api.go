@@ -63,6 +63,10 @@ type ScanStatsJSON struct {
 	// shared block cache. Both are zero for memory-only databases.
 	BlocksRead   int64 `json:"blocks_read"`
 	BlocksCached int64 `json:"blocks_cached"`
+	// TablesTouchedPerLevel breaks tables_touched down by on-disk level
+	// (element 0 = L1; L0 and memtable sources excluded). Omitted for
+	// engines without level accounting.
+	TablesTouchedPerLevel []int `json:"tables_touched_per_level,omitempty"`
 }
 
 // ScanResponse is the /scan body. Error, when set, reports a storage or
@@ -128,6 +132,27 @@ type SeriesStatsJSON struct {
 	// and its counters are zero until the next access warms it.
 	Resident bool          `json:"resident"`
 	Decision *DecisionJSON `json:"decision,omitempty"`
+	// Levels describes the engine's on-disk levels L1..Lk, L1 first.
+	// Omitted for cold series.
+	Levels []LevelStatsJSON `json:"levels,omitempty"`
+}
+
+// LevelStatsJSON is one on-disk level's entry in /stats and
+// /series/{series}/stats: current structure plus cumulative per-level
+// compaction counters.
+type LevelStatsJSON struct {
+	Level  int `json:"level"`
+	Tables int `json:"tables"`
+	Points int `json:"points"`
+	// TargetPoints is the leveling size target; 0 means unbounded (the
+	// last level).
+	TargetPoints int `json:"target_points"`
+	// Compactions counts merges that wrote into this level; PointsIn the
+	// points those merges wrote; PointsRewritten the level's own points
+	// they read back and rewrote.
+	Compactions     int64 `json:"compactions"`
+	PointsIn        int64 `json:"points_in"`
+	PointsRewritten int64 `json:"points_rewritten"`
 }
 
 // WALStatsJSON is the shared group-commit WAL's /stats block. Present only

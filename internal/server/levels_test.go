@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/server/api"
+	"repro/internal/tsdb"
+)
+
+// TestLevelObservabilitySurfaces pins the multi-level additions across the
+// HTTP surface: /stats carries per-level blocks, /series/{s}/stats carries
+// the same plus the per-level scan breakdown, and /metrics exposes the
+// lsmd_level_* families aggregated across series.
+func TestLevelObservabilitySurfaces(t *testing.T) {
+	db, err := tsdb.Open(tsdb.Config{
+		Engine: lsm.Config{
+			Policy: lsm.Conventional, MemBudget: 16, SSTablePoints: 8,
+			Levels: 3, GrowthFactor: 2,
+		},
+		AutoCreate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, base := startServer(t, Config{DB: db, Shards: 1, CloseDB: true})
+	defer srv.Close(context.Background())
+
+	// Enough overwrites to push data into L2/L3.
+	var body strings.Builder
+	for i := 0; i < 1200; i++ {
+		fmt.Fprintf(&body, "m %d %d %d\n", (i*7)%400, i, i)
+	}
+	if resp, rb := post(t, base+"/write", "text/plain", body.String()); resp.StatusCode != 200 {
+		t.Fatalf("write: %d %s", resp.StatusCode, rb)
+	}
+
+	// /stats: the series reports 3 levels with data below L1.
+	_, sb := get(t, base+"/stats")
+	var stats api.StatsResponse
+	if err := json.Unmarshal([]byte(sb), &stats); err != nil {
+		t.Fatalf("parse /stats: %v", err)
+	}
+	if len(stats.Series) != 1 {
+		t.Fatalf("want 1 series, got %d", len(stats.Series))
+	}
+	levels := stats.Series[0].Levels
+	if len(levels) != 3 {
+		t.Fatalf("/stats reports %d levels, want 3: %s", len(levels), sb)
+	}
+	if levels[0].Level != 1 || levels[2].TargetPoints != 0 {
+		t.Errorf("level numbering/targets wrong: %+v", levels)
+	}
+	deeper := 0
+	for _, l := range levels[1:] {
+		deeper += l.Points
+	}
+	if deeper == 0 {
+		t.Errorf("no points below L1 in /stats: %+v", levels)
+	}
+
+	// /series/m/stats: same levels plus the per-level scan breakdown.
+	_, db2 := get(t, base+"/series/m/stats")
+	var detail api.SeriesDetailResponse
+	if err := json.Unmarshal([]byte(db2), &detail); err != nil {
+		t.Fatalf("parse series stats: %v", err)
+	}
+	if len(detail.Levels) != 3 {
+		t.Fatalf("/series/m/stats reports %d levels, want 3", len(detail.Levels))
+	}
+	if resp, scan := get(t, base+"/scan?series=m&lo=0&hi=1000"); resp.StatusCode != 200 {
+		t.Fatalf("scan failed: %s", scan)
+	} else {
+		var sr api.ScanResponse
+		if err := json.Unmarshal([]byte(scan), &sr); err != nil {
+			t.Fatalf("parse scan: %v", err)
+		}
+		if len(sr.Stats.TablesTouchedPerLevel) != 3 {
+			t.Fatalf("scan stats per-level breakdown %v, want 3 levels", sr.Stats.TablesTouchedPerLevel)
+		}
+		sum := 0
+		for _, n := range sr.Stats.TablesTouchedPerLevel {
+			sum += n
+		}
+		if sum != sr.Stats.TablesTouched {
+			t.Errorf("per-level tables %v sum %d != tables_touched %d",
+				sr.Stats.TablesTouchedPerLevel, sum, sr.Stats.TablesTouched)
+		}
+	}
+
+	// /metrics: lsmd_level_* families present with level labels.
+	_, mb := get(t, base+"/metrics")
+	for _, want := range []string{
+		`lsmd_level_tables{level="1"}`,
+		`lsmd_level_points{level="3"}`,
+		`lsmd_level_target_points{level="2"}`,
+		`lsmd_level_compactions_total{level="1"}`,
+		`lsmd_level_points_in_total{level="2"}`,
+		`lsmd_level_points_rewritten_total{level="1"}`,
+	} {
+		if !strings.Contains(mb, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -137,6 +137,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP lsmd_db_series Number of series.\n# TYPE lsmd_db_series gauge\nlsmd_db_series %d\n", len(stats))
 	fmt.Fprintf(&b, "# HELP lsmd_db_write_amplification Database-wide write amplification.\n# TYPE lsmd_db_write_amplification gauge\nlsmd_db_write_amplification %g\n", s.db.TotalWA())
 
+	// Per-level structure and compaction counters, summed across series
+	// (levels are per-engine; the fleet view aggregates the same level
+	// number of every resident series).
+	type levelAgg struct {
+		tables, points, target           int64
+		compactions, pointsIn, rewritten int64
+	}
+	var levels []levelAgg
+	for _, st := range stats {
+		for i, l := range st.Levels {
+			if i >= len(levels) {
+				levels = append(levels, levelAgg{})
+			}
+			levels[i].tables += int64(l.Tables)
+			levels[i].points += int64(l.Points)
+			levels[i].target += int64(l.TargetPoints)
+			levels[i].compactions += l.Compactions
+			levels[i].pointsIn += l.PointsIn
+			levels[i].rewritten += l.PointsRewritten
+		}
+	}
+	if len(levels) > 0 {
+		fmt.Fprintf(&b, "# HELP lsmd_level_tables SSTables per on-disk level, summed across series.\n# TYPE lsmd_level_tables gauge\n")
+		for i, l := range levels {
+			fmt.Fprintf(&b, "lsmd_level_tables{level=\"%d\"} %d\n", i+1, l.tables)
+		}
+		fmt.Fprintf(&b, "# HELP lsmd_level_points Points per on-disk level, summed across series.\n# TYPE lsmd_level_points gauge\n")
+		for i, l := range levels {
+			fmt.Fprintf(&b, "lsmd_level_points{level=\"%d\"} %d\n", i+1, l.points)
+		}
+		fmt.Fprintf(&b, "# HELP lsmd_level_target_points Leveling size targets per level, summed across series (0 = unbounded last level).\n# TYPE lsmd_level_target_points gauge\n")
+		for i, l := range levels {
+			fmt.Fprintf(&b, "lsmd_level_target_points{level=\"%d\"} %d\n", i+1, l.target)
+		}
+		fmt.Fprintf(&b, "# HELP lsmd_level_compactions_total Merges that wrote into each level, summed across series.\n# TYPE lsmd_level_compactions_total counter\n")
+		for i, l := range levels {
+			fmt.Fprintf(&b, "lsmd_level_compactions_total{level=\"%d\"} %d\n", i+1, l.compactions)
+		}
+		fmt.Fprintf(&b, "# HELP lsmd_level_points_in_total Points written into each level by merges, summed across series.\n# TYPE lsmd_level_points_in_total counter\n")
+		for i, l := range levels {
+			fmt.Fprintf(&b, "lsmd_level_points_in_total{level=\"%d\"} %d\n", i+1, l.pointsIn)
+		}
+		fmt.Fprintf(&b, "# HELP lsmd_level_points_rewritten_total Points of each level re-read and rewritten by merges into it, summed across series.\n# TYPE lsmd_level_points_rewritten_total counter\n")
+		for i, l := range levels {
+			fmt.Fprintf(&b, "lsmd_level_points_rewritten_total{level=\"%d\"} %d\n", i+1, l.rewritten)
+		}
+	}
+
 	// Shared compaction scheduler (absent with per-series compactors or
 	// synchronous merging).
 	if pool := s.db.Compactions(); pool != nil {

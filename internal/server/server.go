@@ -364,13 +364,14 @@ func (s *Server) toEntry(p api.Point, now int64) entry {
 // scanStatsJSON converts engine scan accounting to its wire form.
 func scanStatsJSON(st lsm.ScanStats) api.ScanStatsJSON {
 	return api.ScanStatsJSON{
-		TablesTouched:     st.TablesTouched,
-		TablePoints:       st.TablePoints,
-		MemPoints:         st.MemPoints,
-		ResultPoints:      st.ResultPoints,
-		ReadAmplification: st.ReadAmplification(),
-		BlocksRead:        st.BlocksRead,
-		BlocksCached:      st.BlocksCached,
+		TablesTouched:         st.TablesTouched,
+		TablePoints:           st.TablePoints,
+		MemPoints:             st.MemPoints,
+		ResultPoints:          st.ResultPoints,
+		ReadAmplification:     st.ReadAmplification(),
+		BlocksRead:            st.BlocksRead,
+		BlocksCached:          st.BlocksCached,
+		TablesTouchedPerLevel: st.LevelTablesTouched,
 	}
 }
 
@@ -494,6 +495,17 @@ func seriesStatsJSON(st tsdb.SeriesStats) api.SeriesStatsJSON {
 			Rc:     st.Decision.Rc,
 			Rs:     st.Decision.Rs,
 		}
+	}
+	for _, l := range st.Levels {
+		e.Levels = append(e.Levels, api.LevelStatsJSON{
+			Level:           l.Level,
+			Tables:          l.Tables,
+			Points:          l.Points,
+			TargetPoints:    l.TargetPoints,
+			Compactions:     l.Compactions,
+			PointsIn:        l.PointsIn,
+			PointsRewritten: l.PointsRewritten,
+		})
 	}
 	return e
 }

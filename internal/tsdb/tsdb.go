@@ -548,6 +548,9 @@ type SeriesStats struct {
 	// (engine evicted or never instantiated) reports the template policy
 	// and zero counters — its data is on the backend, not in memory.
 	Resident bool
+	// Levels describes the engine's on-disk levels L1..Lk (structure plus
+	// per-level compaction counters). Nil for cold series.
+	Levels []lsm.LevelStats
 	// Decision is the analyzer's current choice (Adaptive mode only).
 	Decision *core.Decision
 }
@@ -598,6 +601,7 @@ func (db *DB) Stats() []SeriesStats {
 			SeqCap:   cfg.SeqCapacity,
 			Stats:    st.engine.Stats(),
 			Resident: true,
+			Levels:   st.engine.LevelStats(),
 		}
 		if st.ctl != nil {
 			if dec, ok := st.ctl.Current(); ok {
