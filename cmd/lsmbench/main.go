@@ -80,8 +80,25 @@ func main() {
 		mbatch   = flag.Int("mbatch", 500, "mixed mode: points per PutBatch")
 		mevery   = flag.Duration("scanevery", 100*time.Millisecond, "mixed mode: pacing between scans per reader (0 = full tilt)")
 		benchout = flag.String("benchout", "", "mixed mode: write a machine-readable JSON report to this path")
+
+		scenario  = flag.String("scenario", "", "scenario mode: 'all', 'smoke', or comma-separated scenario names (see internal/benchmark)")
+		sscale    = flag.Float64("sscale", 1.0, "scenario mode: point-count multiplier (smoke overrides)")
+		benchbase = flag.String("benchbase", "", "scenario mode: prior -benchout report to compare against as baseline")
+		baselabel = flag.String("baselabel", "", "scenario mode: label recorded for the baseline (default: the -benchbase path)")
 	)
 	flag.Parse()
+
+	if *scenario != "" {
+		runScenarios(scenarioConfig{
+			names: *scenario,
+			scale: *sscale,
+			seed:  *seed,
+			base:  *benchbase,
+			label: *baselabel,
+			out:   *benchout,
+		})
+		return
+	}
 
 	if *cachebench {
 		runCacheBench(cacheBenchConfig{

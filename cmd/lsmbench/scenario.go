@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/benchmark"
+)
+
+// scenarioConfig parameterizes scenario mode (-scenario): the unified
+// end-to-end benchmark matrix of internal/benchmark.
+type scenarioConfig struct {
+	names string // "all", "smoke", or comma-separated scenario names
+	scale float64
+	seed  int64
+	base  string // path of a prior report to compare against
+	label string // label recorded for the baseline block
+	out   string // JSON report path
+}
+
+// smokeScale is the trimmed scale the CI smoke run uses; small enough to
+// finish in seconds, large enough that every scenario still flushes and
+// compacts.
+const smokeScale = 0.02
+
+// runScenarios executes the requested scenario matrix, prints the
+// paper-style tables, and optionally writes the machine-readable report
+// (BENCH_8.json) with a baseline comparison.
+func runScenarios(cfg scenarioConfig) {
+	names := benchmark.Names()
+	scale := cfg.scale
+	switch cfg.names {
+	case "all", "":
+	case "smoke":
+		scale = smokeScale
+	default:
+		names = strings.Split(cfg.names, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+
+	bc := benchmark.Config{Scale: scale, Seed: cfg.seed}
+	fmt.Printf("scenario suite: %s (scale %g, seed %d)\n\n", strings.Join(names, ", "), scale, cfg.seed)
+	results, err := benchmark.RunAll(names, bc)
+	if err != nil {
+		fatal("scenario: %v", err)
+	}
+	fmt.Print(benchmark.Table(results))
+
+	var base *benchmark.Baseline
+	if cfg.base != "" {
+		prior, err := benchmark.ReadReport(cfg.base)
+		if err != nil {
+			fatal("scenario: read baseline: %v", err)
+		}
+		label := cfg.label
+		if label == "" {
+			label = cfg.base
+		}
+		base = &benchmark.Baseline{Label: label, Scenarios: prior.Scenarios}
+	}
+	rep := benchmark.NewReport(bc, results, base, time.Now().UTC().Format(time.RFC3339))
+	if len(rep.Compare) > 0 {
+		fmt.Printf("\nvs baseline %s:\n%s", base.Label, benchmark.CompareTable(rep.Compare))
+	}
+	if cfg.out != "" {
+		if err := rep.WriteJSON(cfg.out); err != nil {
+			fatal("scenario: write report: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", cfg.out)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	lsmd -addr :8086 -dir ./db                 # durable, adaptive policy
 //	lsmd -addr :8086 -policy pi_s -seqcap 256  # in-memory, fixed policy
+//	lsmd -addr :8086 -pprof localhost:6060     # + net/http/pprof side listener
 //
 // Write some points and read them back:
 //
@@ -23,8 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,8 +58,29 @@ func main() {
 		commitW  = flag.Duration("commit-window", 0, "group-commit WAL batching window (0: commit immediately; appends still coalesce behind in-flight commits)")
 		memMB    = flag.Int("mem-budget-mb", 0, "DB-wide memory budget in MiB split between memtables and block cache by the arbiter; engines evict under pressure (durable mode; 0: disabled, all engines stay resident)")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+
+		pprofAddr = flag.String("pprof", "", "profiling listen address (e.g. localhost:6060): serves net/http/pprof on a side listener")
+		blockRate = flag.Int("pprof-block-rate", 0, "runtime.SetBlockProfileRate argument: one blocking event sampled per N ns blocked (0: off)")
+		mutexFrac = flag.Int("pprof-mutex-frac", 0, "runtime.SetMutexProfileFraction argument: 1/N mutex contention events sampled (0: off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener so profiling traffic can be
+		// firewalled separately from the data plane and a saturated ingest
+		// port can still be profiled.
+		runtime.SetBlockProfileRate(*blockRate)
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers via its
+			// blank import.
+			log.Printf("lsmd: pprof on http://%s/debug/pprof/ (block rate %d, mutex fraction %d)",
+				*pprofAddr, *blockRate, *mutexFrac)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("lsmd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	cpol, err := lsm.CompactionPolicyByName(*cpolicy)
 	if err != nil {

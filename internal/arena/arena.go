@@ -1,0 +1,149 @@
+// Package arena provides sync.Pool-backed, size-classed buffer arenas for
+// the per-point hot paths: SSTable block read buffers, encode/decode
+// scratch space, and ingest/compaction point slices. Pooling these cuts
+// the allocation churn that dominates block-granular reads and
+// compaction-heavy (backfill) ingest — every block load used to allocate a
+// raw byte buffer plus three decode scratch slices, all dead microseconds
+// later.
+//
+// Ownership rules (see DESIGN.md §7.8):
+//
+//   - A Get hands the caller exclusive ownership of a slice whose contents
+//     are undefined; the caller must fully overwrite what it reads.
+//   - Put transfers ownership back. The caller must not retain any alias
+//     into the slice past the Put — in particular, a slice must NEVER be
+//     Put while a longer-lived structure (the block cache, an iterator, a
+//     resident table) can still reach it.
+//   - Dropping a Get slice without a Put is always safe: the GC reclaims
+//     it and the pool merely misses a reuse.
+//
+// Buffers are pooled in power-of-two capacity classes. Only slices whose
+// capacity is exactly a pooled class are accepted back, so append-grown
+// buffers with odd capacities fall out naturally instead of polluting a
+// class with undersized storage.
+package arena
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/series"
+)
+
+const (
+	// minClassBits is the smallest pooled capacity class (1<<6 = 64
+	// elements): below that the allocation is too cheap to be worth a
+	// pool round-trip.
+	minClassBits = 6
+	// maxClassBits is the largest pooled capacity class (1<<22 elements);
+	// larger one-off buffers go straight to the GC.
+	maxClassBits = 22
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// pool is a set of sync.Pools, one per power-of-two capacity class, for
+// slices of one element type. Slice headers ride in pooled *[]T holders so
+// a steady-state Get/Put cycle allocates nothing at all.
+type pool[T any] struct {
+	classes [numClasses]sync.Pool
+	headers sync.Pool // spare *[]T holders, recycled between Get and Put
+}
+
+// classFor returns the class index whose capacity (1<<(class+minClassBits))
+// is the smallest one holding n elements, or -1 when n is out of pooled
+// range.
+func classFor(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	b := bits.Len(uint(n - 1))
+	if b < minClassBits {
+		b = minClassBits
+	}
+	if b > maxClassBits {
+		return -1
+	}
+	return b - minClassBits
+}
+
+// capClass returns the class index a slice of capacity c belongs to, or -1
+// when c is not exactly a pooled class capacity.
+func capClass(c int) int {
+	if c <= 0 || c&(c-1) != 0 {
+		return -1
+	}
+	b := bits.Len(uint(c)) - 1
+	if b < minClassBits || b > maxClassBits {
+		return -1
+	}
+	return b - minClassBits
+}
+
+// get returns a slice of length n with undefined contents, drawn from the
+// pool when a buffer of the right class is available.
+func (p *pool[T]) get(n int) []T {
+	c := classFor(n)
+	if c < 0 {
+		return make([]T, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		h := v.(*[]T)
+		s := (*h)[:n]
+		*h = nil
+		p.headers.Put(h)
+		return s
+	}
+	return make([]T, n, 1<<(c+minClassBits))
+}
+
+// put returns a slice to its capacity class. Slices whose capacity is not
+// exactly a pooled class are dropped.
+func (p *pool[T]) put(s []T) {
+	c := capClass(cap(s))
+	if c < 0 {
+		return
+	}
+	var h *[]T
+	if v := p.headers.Get(); v != nil {
+		h = v.(*[]T)
+	} else {
+		h = new([]T)
+	}
+	*h = s[:0]
+	p.classes[c].Put(h)
+}
+
+var (
+	bytePool   pool[byte]
+	pointPool  pool[series.Point]
+	int64Pool  pool[int64]
+	floatPool  pool[float64]
+)
+
+// GetBytes returns a byte slice of length n with undefined contents.
+func GetBytes(n int) []byte { return bytePool.get(n) }
+
+// PutBytes returns a byte slice to the arena. See the package ownership
+// rules.
+func PutBytes(b []byte) { bytePool.put(b) }
+
+// GetPoints returns a point slice of length n with undefined contents.
+// Callers that append pass the expected capacity and re-slice to [:0].
+func GetPoints(n int) []series.Point { return pointPool.get(n) }
+
+// PutPoints returns a point slice to the arena. Never Put a slice the
+// block cache, a snapshot, or a live iterator may still reference.
+func PutPoints(ps []series.Point) { pointPool.put(ps) }
+
+// GetInt64s returns an int64 scratch slice of length n, undefined contents.
+func GetInt64s(n int) []int64 { return int64Pool.get(n) }
+
+// PutInt64s returns an int64 scratch slice to the arena.
+func PutInt64s(v []int64) { int64Pool.put(v) }
+
+// GetFloat64s returns a float64 scratch slice of length n, undefined
+// contents.
+func GetFloat64s(n int) []float64 { return floatPool.get(n) }
+
+// PutFloat64s returns a float64 scratch slice to the arena.
+func PutFloat64s(v []float64) { floatPool.put(v) }

@@ -1,0 +1,120 @@
+package arena
+
+import (
+	"testing"
+
+	"repro/internal/series"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, -1},
+		{-1, -1},
+		{1, 0},
+		{64, 0},
+		{65, 1},
+		{128, 1},
+		{129, 2},
+		{1 << 22, maxClassBits - minClassBits},
+		{1<<22 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCapClass(t *testing.T) {
+	cases := []struct {
+		c, want int
+	}{
+		{0, -1},
+		{63, -1},   // not a power of two
+		{64, 0},    // smallest pooled class
+		{96, -1},   // not a power of two
+		{128, 1},
+		{32, -1},   // below range
+		{1 << 22, maxClassBits - minClassBits},
+		{1 << 23, -1}, // above range
+	}
+	for _, c := range cases {
+		if got := capClass(c.c); got != c.want {
+			t.Errorf("capClass(%d) = %d, want %d", c.c, got, c.want)
+		}
+	}
+}
+
+// TestRoundTripReuse pins the pooling contract: a Put buffer of a pooled
+// class comes back from the next same-class Get with the same backing
+// array.
+func TestRoundTripReuse(t *testing.T) {
+	b := GetBytes(100) // class cap 128
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("GetBytes(100): len %d cap %d, want 100/128", len(b), cap(b))
+	}
+	b[0] = 0xAB
+	PutBytes(b)
+	b2 := GetBytes(70) // same class
+	if cap(b2) != 128 {
+		t.Fatalf("GetBytes(70) after Put: cap %d, want 128", cap(b2))
+	}
+	if &b2[0] != &b[0] {
+		t.Error("GetBytes did not reuse the pooled buffer")
+	}
+}
+
+func TestOddCapacityDropped(t *testing.T) {
+	odd := make([]byte, 10, 100) // 100 is not a pooled class
+	PutBytes(odd)                // must not panic, must not be handed out
+	got := GetBytes(100)
+	if cap(got) == 100 {
+		t.Error("arena handed out a buffer with a non-class capacity")
+	}
+}
+
+func TestTypedPools(t *testing.T) {
+	ps := GetPoints(50)
+	if len(ps) != 50 {
+		t.Fatalf("GetPoints(50): len %d", len(ps))
+	}
+	ps[0] = series.Point{TG: 1, TA: 2, V: 3}
+	PutPoints(ps)
+
+	is := GetInt64s(200)
+	if len(is) != 200 || cap(is) != 256 {
+		t.Fatalf("GetInt64s(200): len %d cap %d", len(is), cap(is))
+	}
+	PutInt64s(is)
+
+	fs := GetFloat64s(3) // below min class: plain allocation
+	if len(fs) != 3 {
+		t.Fatalf("GetFloat64s(3): len %d", len(fs))
+	}
+	PutFloat64s(fs) // dropped silently
+}
+
+// TestSteadyStateAllocs pins that a warmed-up Get/Put cycle allocates
+// nothing: the headers pool recycles the *[]T holders.
+func TestSteadyStateAllocs(t *testing.T) {
+	// Warm up the class and header pools.
+	PutBytes(GetBytes(4096))
+	allocs := testing.AllocsPerRun(100, func() {
+		b := GetBytes(4096)
+		PutBytes(b)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state GetBytes/PutBytes allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkGetPutBytes(b *testing.B) {
+	PutBytes(GetBytes(4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := GetBytes(4096)
+		PutBytes(buf)
+	}
+}

@@ -1,0 +1,166 @@
+// Package benchmark is the unified scenario benchmark suite: end-to-end
+// workload scenarios (IoT burst ingest, dashboard fan-out, historical
+// backfill, series churn, mixed HTAP) run against the public tsdb API and
+// measured with one shared harness — wall-clock ingest throughput,
+// allocations per point, and scan latency percentiles.
+//
+// The suite exists to make the raw-speed work of DESIGN.md §7.8
+// falsifiable: every scenario is deterministic (seeded generators, fixed
+// batch schedules, synchronous compaction), uses only stable public API
+// (tsdb.Open / PutBatch / Scan), and reports a schema-stable Result, so
+// the same scenario code compiled at two commits yields directly
+// comparable numbers. `lsmbench -scenario` drives it and BENCH_8.json
+// records a run against its pre-optimization baseline.
+package benchmark
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config parameterizes a scenario run.
+type Config struct {
+	// Scale multiplies every scenario's point counts. 1.0 is the standard
+	// matrix; the CI smoke run uses a small fraction. Scenario-declared
+	// floors keep tiny scales from degenerating below one flush.
+	Scale float64 `json:"scale"`
+	// Seed drives every generator; equal seeds give identical workloads.
+	Seed int64 `json:"seed"`
+}
+
+// Result is the schema-stable measurement of one scenario run. Fields are
+// never renamed or repurposed: cross-commit comparisons (see Compare)
+// depend on the schema staying put.
+type Result struct {
+	Scenario string `json:"scenario"`
+
+	// Ingest phase.
+	Points             int     `json:"points"`
+	Batches            int     `json:"batches"`
+	IngestSeconds      float64 `json:"ingest_seconds"`
+	IngestPointsPerSec float64 `json:"ingest_points_per_sec"`
+	AllocsPerPoint     float64 `json:"allocs_per_point"`
+	BytesPerPoint      float64 `json:"bytes_per_point"`
+
+	// Read phase (zero-valued for write-only scenarios).
+	Scans           int     `json:"scans"`
+	ScanPointsTotal int64   `json:"scan_points_total"`
+	ScansPerSec     float64 `json:"scans_per_sec"`
+	ScanP50Micros   float64 `json:"scan_p50_us"`
+	ScanP95Micros   float64 `json:"scan_p95_us"`
+	ScanP99Micros   float64 `json:"scan_p99_us"`
+}
+
+// Scenario is one named end-to-end workload.
+type Scenario struct {
+	Name        string
+	Description string
+	run         func(Config) (Result, error)
+}
+
+// registry holds the scenario matrix in presentation order.
+var registry = []Scenario{
+	{
+		Name: "iot-burst",
+		Description: "fleet ingest: many series, bursty batches, " +
+			"near-in-order arrivals under the separation policy",
+		run: runIoTBurst,
+	},
+	{
+		Name: "dashboard",
+		Description: "read fan-out: steady ingest then repeated " +
+			"recent-window and random-window scans",
+		run: runDashboard,
+	},
+	{
+		Name: "backfill",
+		Description: "historical backfill: extreme out-of-order ingest " +
+			"forcing continuous compaction, then range scans",
+		run: runBackfill,
+	},
+	{
+		Name: "churn",
+		Description: "series churn: short-lived series created, filled, " +
+			"scanned once and dropped",
+		run: runChurn,
+	},
+	{
+		Name: "htap",
+		Description: "mixed HTAP: interleaved batched writes and " +
+			"window scans over the same series",
+		run: runHTAP,
+	},
+}
+
+// Scenarios returns the full scenario matrix in run order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the scenario names in run order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, s := range registry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Run executes the named scenario under cfg. Unknown names error rather
+// than silently measuring nothing.
+func Run(name string, cfg Config) (Result, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	for _, s := range registry {
+		if s.Name == name {
+			return s.run(cfg)
+		}
+	}
+	return Result{}, fmt.Errorf("benchmark: unknown scenario %q (have %v)", name, Names())
+}
+
+// RunAll executes the named scenarios in registry order (so a shuffled
+// name list still yields a stable report) and returns one Result each.
+func RunAll(names []string, cfg Config) ([]Result, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	if len(want) != len(names) {
+		return nil, fmt.Errorf("benchmark: duplicate scenario in %v", names)
+	}
+	var out []Result
+	for _, s := range registry {
+		if !want[s.Name] {
+			continue
+		}
+		delete(want, s.Name)
+		r, err := Run(s.Name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("benchmark: unknown scenarios %v (have %v)", unknown, Names())
+	}
+	return out, nil
+}
+
+// scalePts applies cfg.Scale to a base point count with a floor that keeps
+// the scenario meaningful (at least a few memtable flushes) at smoke scale.
+func scalePts(cfg Config, base, floor int) int {
+	n := int(float64(base) * cfg.Scale)
+	if n < floor {
+		n = floor
+	}
+	return n
+}

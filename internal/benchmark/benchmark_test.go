@@ -1,0 +1,193 @@
+package benchmark
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// tiny is the configuration unit tests run scenarios at: big enough to
+// cross several memtable flushes, small enough for CI.
+var tiny = Config{Scale: 0.02, Seed: 42}
+
+func TestNamesMatchRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("scenario matrix has %d entries, want 5: %v", len(names), names)
+	}
+	want := map[string]bool{"iot-burst": true, "dashboard": true, "backfill": true, "churn": true, "htap": true}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected scenario %q", n)
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if _, err := Run("no-such", tiny); err == nil {
+		t.Fatal("Run(no-such) succeeded, want error")
+	}
+	if _, err := RunAll([]string{"backfill", "no-such"}, tiny); err == nil {
+		t.Fatal("RunAll with unknown name succeeded, want error")
+	}
+	if _, err := RunAll([]string{"backfill", "backfill"}, tiny); err == nil {
+		t.Fatal("RunAll with duplicate name succeeded, want error")
+	}
+}
+
+func TestRunAllOrderIsRegistryOrder(t *testing.T) {
+	// Request out of order; results must come back in matrix order so
+	// reports are stable regardless of flag spelling.
+	res, err := RunAll([]string{"backfill", "iot-burst"}, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Scenario != "iot-burst" || res[1].Scenario != "backfill" {
+		t.Fatalf("got order %v, want [iot-burst backfill]", []string{res[0].Scenario, res[1].Scenario})
+	}
+}
+
+// TestScenariosProduceSaneResults runs every scenario at smoke scale and
+// checks the measurements are internally consistent.
+func TestScenariosProduceSaneResults(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			r, err := Run(s.Name, tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Scenario != s.Name {
+				t.Errorf("result labeled %q, want %q", r.Scenario, s.Name)
+			}
+			if r.Points <= 0 || r.Batches <= 0 {
+				t.Errorf("no ingest recorded: %+v", r)
+			}
+			if r.IngestSeconds <= 0 || r.IngestPointsPerSec <= 0 {
+				t.Errorf("no ingest timing: %+v", r)
+			}
+			if r.AllocsPerPoint < 0 || r.BytesPerPoint < 0 {
+				t.Errorf("negative allocator cost: %+v", r)
+			}
+			if r.Scans > 0 {
+				if r.ScanP50Micros > r.ScanP99Micros {
+					t.Errorf("p50 %v > p99 %v", r.ScanP50Micros, r.ScanP99Micros)
+				}
+				if r.ScanPointsTotal <= 0 {
+					t.Errorf("scans ran but returned no points: %+v", r)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism re-runs a scenario with one seed and checks the
+// workload-shape fields (not timings) are identical — the property that
+// makes cross-commit comparison meaningful.
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := Run("backfill", tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("backfill", tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points != b.Points || a.Batches != b.Batches || a.Scans != b.Scans ||
+		a.ScanPointsTotal != b.ScanPointsTotal {
+		t.Fatalf("same seed, different workload:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	var l latencies
+	if q := l.quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	for i := 100; i >= 1; i-- { // reversed: quantile must sort
+		l.observe(time.Duration(i) * time.Microsecond)
+	}
+	if q := l.quantile(0); q != 1 {
+		t.Errorf("p0 = %v, want 1", q)
+	}
+	if q := l.quantile(0.5); q < 49 || q > 52 {
+		t.Errorf("p50 = %v, want ~50", q)
+	}
+	if q := l.quantile(1); q != 100 {
+		t.Errorf("p100 = %v, want 100", q)
+	}
+}
+
+func TestReportRoundTripAndCompare(t *testing.T) {
+	cur := []Result{{
+		Scenario: "backfill", Points: 1000, IngestPointsPerSec: 2e6,
+		AllocsPerPoint: 1.0, ScanP99Micros: 80,
+	}}
+	base := &Baseline{Label: "abc1234", Scenarios: []Result{{
+		Scenario: "backfill", Points: 1000, IngestPointsPerSec: 1e6,
+		AllocsPerPoint: 2.0, ScanP99Micros: 100,
+	}}}
+	rep := NewReport(tiny, cur, base, "test")
+	if len(rep.Compare) != 1 {
+		t.Fatalf("got %d comparisons, want 1", len(rep.Compare))
+	}
+	c := rep.Compare[0]
+	if c.IngestSpeedup < 1.99 || c.IngestSpeedup > 2.01 {
+		t.Errorf("speedup %v, want 2.0", c.IngestSpeedup)
+	}
+	if c.AllocsReductionPct < 49.9 || c.AllocsReductionPct > 50.1 {
+		t.Errorf("allocs reduction %v, want 50", c.AllocsReductionPct)
+	}
+	if c.ScanP99Ratio < 0.79 || c.ScanP99Ratio > 0.81 {
+		t.Errorf("p99 ratio %v, want 0.8", c.ScanP99Ratio)
+	}
+
+	path := filepath.Join(t.TempDir(), "rep.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != "scenario-suite" || len(got.Scenarios) != 1 ||
+		got.Baseline == nil || got.Baseline.Label != "abc1234" {
+		t.Fatalf("round-trip mangled report: %+v", got)
+	}
+	if Table(got.Scenarios) == "" || CompareTable(got.Compare) == "" {
+		t.Error("empty rendered tables")
+	}
+}
+
+func TestCompareSkipsUnpaired(t *testing.T) {
+	cmp := CompareResults(
+		[]Result{{Scenario: "htap"}, {Scenario: "backfill", IngestPointsPerSec: 1}},
+		[]Result{{Scenario: "backfill", IngestPointsPerSec: 1}},
+	)
+	if len(cmp) != 1 || cmp[0].Scenario != "backfill" {
+		t.Fatalf("got %+v, want only backfill", cmp)
+	}
+}
+
+// Benchmark* wrappers let `go test -bench . -benchtime=1x` run each
+// scenario once as a CI smoke gate. Metrics are the suite's own (logged),
+// not b.N-scaled.
+func benchScenario(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(name, tiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s: %.0f pts/s, %.2f allocs/pt, p99 %.0fµs",
+				name, r.IngestPointsPerSec, r.AllocsPerPoint, r.ScanP99Micros)
+		}
+	}
+}
+
+func BenchmarkScenarioIoTBurst(b *testing.B)  { benchScenario(b, "iot-burst") }
+func BenchmarkScenarioDashboard(b *testing.B) { benchScenario(b, "dashboard") }
+func BenchmarkScenarioBackfill(b *testing.B)  { benchScenario(b, "backfill") }
+func BenchmarkScenarioChurn(b *testing.B)     { benchScenario(b, "churn") }
+func BenchmarkScenarioHTAP(b *testing.B)      { benchScenario(b, "htap") }

@@ -1,0 +1,96 @@
+package benchmark
+
+import (
+	"runtime"
+	"sort"
+	"time"
+)
+
+// memSample is a point-in-time snapshot of the allocator counters the
+// suite charges to a measured phase.
+type memSample struct {
+	mallocs    uint64
+	totalAlloc uint64
+}
+
+// readMem snapshots the allocator counters. It does NOT force a GC:
+// Mallocs and TotalAlloc are monotonic, so deltas are exact regardless of
+// collection timing, and a forced collection would perturb the phase being
+// measured far more than it stabilizes it.
+func readMem() memSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memSample{mallocs: ms.Mallocs, totalAlloc: ms.TotalAlloc}
+}
+
+// phase measures one workload phase: wall time plus allocator deltas.
+// Background work the phase triggers (synchronous compaction, flushes)
+// is intentionally inside the measurement — those allocations are the
+// cost of ingest, and pooling them is the point.
+type phase struct {
+	start time.Time
+	mem   memSample
+}
+
+// startPhase begins a measured phase. A GC beforehand drains garbage
+// inherited from setup so the phase's pause time reflects its own work;
+// the allocator counters themselves are GC-independent.
+func startPhase() phase {
+	runtime.GC()
+	return phase{start: time.Now(), mem: readMem()}
+}
+
+// finish returns the elapsed seconds and per-op allocator costs for n ops.
+func (p phase) finish(n int) (seconds, allocsPerOp, bytesPerOp float64) {
+	seconds = time.Since(p.start).Seconds()
+	after := readMem()
+	if n > 0 {
+		allocsPerOp = float64(after.mallocs-p.mem.mallocs) / float64(n)
+		bytesPerOp = float64(after.totalAlloc-p.mem.totalAlloc) / float64(n)
+	}
+	return seconds, allocsPerOp, bytesPerOp
+}
+
+// latencies accumulates per-operation latency samples and reports exact
+// (not binned) quantiles, so a cross-commit p99 comparison never moves by
+// histogram bucket resolution. Scenario scan counts are a few thousand at
+// most; holding the raw samples is cheap.
+type latencies struct {
+	samples []float64 // microseconds
+}
+
+// observe records one operation's duration.
+func (l *latencies) observe(d time.Duration) {
+	l.samples = append(l.samples, float64(d.Nanoseconds())/1e3)
+}
+
+// quantile returns the exact p-quantile (0 <= p <= 1) of the samples by
+// nearest-rank on the sorted data, or 0 with no samples.
+func (l *latencies) quantile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(l.samples))
+	copy(s, l.samples)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// fill writes the read-phase fields of r from the recorded samples.
+func (l *latencies) fill(r *Result, seconds float64, pointsScanned int64) {
+	r.Scans = len(l.samples)
+	r.ScanPointsTotal = pointsScanned
+	if seconds > 0 {
+		r.ScansPerSec = float64(len(l.samples)) / seconds
+	}
+	r.ScanP50Micros = l.quantile(0.50)
+	r.ScanP95Micros = l.quantile(0.95)
+	r.ScanP99Micros = l.quantile(0.99)
+}

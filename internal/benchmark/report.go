@@ -1,0 +1,137 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Report is the schema-stable JSON artifact a scenario run emits
+// (BENCH_8.json). Baseline and Comparison are present only when the run
+// was given an earlier report to compare against.
+type Report struct {
+	Bench     string       `json:"bench"` // always "scenario-suite"
+	Generated string       `json:"generated,omitempty"`
+	Config    Config       `json:"config"`
+	Scenarios []Result     `json:"scenarios"`
+	Baseline  *Baseline    `json:"baseline,omitempty"`
+	Compare   []Comparison `json:"comparison,omitempty"`
+}
+
+// Baseline labels the earlier run a report is compared against —
+// typically the same scenarios measured at a pre-optimization commit.
+type Baseline struct {
+	Label     string   `json:"label"`
+	Scenarios []Result `json:"scenarios"`
+}
+
+// Comparison relates one scenario's current run to its baseline run.
+type Comparison struct {
+	Scenario string `json:"scenario"`
+	// IngestSpeedup is current/baseline ingest throughput (>1 is faster).
+	IngestSpeedup float64 `json:"ingest_speedup"`
+	// AllocsReductionPct is the percent drop in allocations per point
+	// (positive is fewer allocations).
+	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
+	// ScanP99Ratio is current/baseline p99 scan latency (<1 is faster);
+	// zero when either run had no read phase.
+	ScanP99Ratio float64 `json:"scan_p99_ratio"`
+}
+
+// NewReport assembles a report, computing the comparison block when a
+// baseline is supplied.
+func NewReport(cfg Config, results []Result, base *Baseline, generated string) Report {
+	rep := Report{
+		Bench:     "scenario-suite",
+		Generated: generated,
+		Config:    cfg,
+		Scenarios: results,
+		Baseline:  base,
+	}
+	if base != nil {
+		rep.Compare = CompareResults(results, base.Scenarios)
+	}
+	return rep
+}
+
+// CompareResults pairs current and baseline results by scenario name.
+// Scenarios present on only one side are skipped — a baseline measured
+// with a trimmed matrix still compares what it can.
+func CompareResults(cur, base []Result) []Comparison {
+	byName := make(map[string]Result, len(base))
+	for _, b := range base {
+		byName[b.Scenario] = b
+	}
+	var out []Comparison
+	for _, c := range cur {
+		b, ok := byName[c.Scenario]
+		if !ok {
+			continue
+		}
+		cmp := Comparison{Scenario: c.Scenario}
+		if b.IngestPointsPerSec > 0 {
+			cmp.IngestSpeedup = c.IngestPointsPerSec / b.IngestPointsPerSec
+		}
+		if b.AllocsPerPoint > 0 {
+			cmp.AllocsReductionPct = (b.AllocsPerPoint - c.AllocsPerPoint) / b.AllocsPerPoint * 100
+		}
+		if b.ScanP99Micros > 0 && c.ScanP99Micros > 0 {
+			cmp.ScanP99Ratio = c.ScanP99Micros / b.ScanP99Micros
+		}
+		out = append(out, cmp)
+	}
+	return out
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a previously written report, e.g. to use as a
+// baseline.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("benchmark: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Table renders results as the paper-style fixed-width table lsmbench
+// prints.
+func Table(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %12s %10s %9s %8s %9s %9s %9s\n",
+		"scenario", "points", "ingest pt/s", "allocs/pt", "B/pt", "scans", "p50 µs", "p95 µs", "p99 µs")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %10d %12.0f %10.2f %9.1f %8d %9.1f %9.1f %9.1f\n",
+			r.Scenario, r.Points, r.IngestPointsPerSec, r.AllocsPerPoint, r.BytesPerPoint,
+			r.Scans, r.ScanP50Micros, r.ScanP95Micros, r.ScanP99Micros)
+	}
+	return b.String()
+}
+
+// CompareTable renders the comparison block as a fixed-width table.
+func CompareTable(cmp []Comparison) string {
+	if len(cmp) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %16s %14s\n",
+		"scenario", "ingest speedup", "allocs/pt drop %", "scan p99 ratio")
+	for _, c := range cmp {
+		fmt.Fprintf(&b, "%-10s %13.2fx %15.1f%% %14.2f\n",
+			c.Scenario, c.IngestSpeedup, c.AllocsReductionPct, c.ScanP99Ratio)
+	}
+	return b.String()
+}

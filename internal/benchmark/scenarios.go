@@ -1,0 +1,395 @@
+package benchmark
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/tsdb"
+)
+
+// Scenario construction notes.
+//
+// Every scenario opens a durable DB over an in-memory storage backend:
+// durable so the full point pipeline runs (WAL-less flush → SSTable
+// encode → lazy block reads through the shared cache → level
+// compactions), in-memory so the numbers measure CPU and allocator work
+// rather than disk scheduling. Compaction is synchronous (AsyncCompaction
+// off) — merges happen inline under PutBatch, making runs deterministic
+// and charging compaction cost to ingest throughput where it belongs.
+// Only stable public API is used (tsdb.Open, PutBatch, Scan, CreateSeries,
+// DropSeries), so this package compiles unchanged at older commits for
+// baseline measurement.
+
+// openBench opens a deterministic durable in-memory DB for a scenario.
+func openBench(policy lsm.PolicyKind, memBudget int, seed int64) (*tsdb.DB, error) {
+	return tsdb.Open(tsdb.Config{
+		Engine: lsm.Config{
+			Policy:        policy,
+			MemBudget:     memBudget,
+			SSTablePoints: 1024,
+			Levels:        3,
+			GrowthFactor:  4,
+			Seed:          seed,
+		},
+		Backend:    storage.NewMemBackend(),
+		AutoCreate: true,
+	})
+}
+
+// seriesName returns the IoTDB-style dotted name for series i.
+func seriesName(i int) string { return fmt.Sprintf("root.bench.dev%03d", i) }
+
+// seqGen emits one series' in-order point stream: TG advances by dt, TA
+// trails TG by a small seeded jitter, V is a smooth random walk (the
+// Gorilla-friendly shape real sensors produce).
+type seqGen struct {
+	rng *rand.Rand
+	tg  int64
+	dt  int64
+	v   float64
+}
+
+func newSeqGen(seed, dt int64) *seqGen {
+	return &seqGen{rng: rand.New(rand.NewSource(seed)), dt: dt, v: 100}
+}
+
+func (g *seqGen) next() series.Point {
+	g.tg += g.dt
+	g.v += g.rng.NormFloat64()
+	return series.Point{TG: g.tg, TA: g.tg + g.rng.Int63n(g.dt), V: g.v}
+}
+
+// batchOf fills dst with n fresh in-order points.
+func (g *seqGen) batchOf(dst []series.Point, n int) []series.Point {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.next())
+	}
+	return dst
+}
+
+// jitter swaps a fraction of points a short distance backward, turning a
+// sorted batch into the paper's near-in-order arrival sequence (a few
+// stragglers, everything else sequential).
+func jitter(rng *rand.Rand, pts []series.Point, frac float64, window int) {
+	for i := range pts {
+		if rng.Float64() >= frac {
+			continue
+		}
+		j := i + 1 + rng.Intn(window)
+		if j >= len(pts) {
+			continue
+		}
+		pts[i], pts[j] = pts[j], pts[i]
+	}
+}
+
+// runIoTBurst is fleet ingest: many series fed round-robin with bursty
+// batches of near-in-order points under the separation policy — the
+// workload the paper's π_s exists for. Write-only; the figure of merit is
+// ingest throughput and allocations per point.
+func runIoTBurst(cfg Config) (Result, error) {
+	const (
+		nSeries = 64
+		batch   = 500
+	)
+	perSeries := scalePts(cfg, 320_000, 16_000) / nSeries
+	db, err := openBench(lsm.Separation, 4096, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+
+	gens := make([]*seqGen, nSeries)
+	for i := range gens {
+		gens[i] = newSeqGen(cfg.Seed+int64(i)*7919, 50)
+	}
+	jrng := rand.New(rand.NewSource(cfg.Seed ^ 0x1071))
+
+	r := Result{Scenario: "iot-burst"}
+	buf := make([]series.Point, 0, batch)
+	p := startPhase()
+	for done := 0; done < perSeries; done += batch {
+		n := batch
+		if perSeries-done < n {
+			n = perSeries - done
+		}
+		for s := 0; s < nSeries; s++ {
+			buf = gens[s].batchOf(buf, n)
+			jitter(jrng, buf, 0.02, 16)
+			if err := db.PutBatch(seriesName(s), buf); err != nil {
+				return Result{}, err
+			}
+			r.Points += n
+			r.Batches++
+		}
+	}
+	r.IngestSeconds, r.AllocsPerPoint, r.BytesPerPoint = p.finish(r.Points)
+	r.IngestPointsPerSec = float64(r.Points) / r.IngestSeconds
+	return r, nil
+}
+
+// runDashboard is read fan-out: a moderate in-order dataset, then a storm
+// of scans — mostly the recent window every dashboard tile asks for, with
+// a tail of random historical windows. The figure of merit is scan
+// latency percentiles.
+func runDashboard(cfg Config) (Result, error) {
+	const (
+		nSeries = 16
+		batch   = 500
+		dt      = 50
+	)
+	perSeries := scalePts(cfg, 160_000, 8_000) / nSeries
+	nScans := scalePts(cfg, 2_000, 64)
+	db, err := openBench(lsm.Separation, 4096, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+
+	r := Result{Scenario: "dashboard"}
+	buf := make([]series.Point, 0, batch)
+	p := startPhase()
+	for s := 0; s < nSeries; s++ {
+		g := newSeqGen(cfg.Seed+int64(s)*104729, dt)
+		for done := 0; done < perSeries; done += batch {
+			n := batch
+			if perSeries-done < n {
+				n = perSeries - done
+			}
+			buf = g.batchOf(buf, n)
+			if err := db.PutBatch(seriesName(s), buf); err != nil {
+				return Result{}, err
+			}
+			r.Points += n
+			r.Batches++
+		}
+	}
+	r.IngestSeconds, r.AllocsPerPoint, r.BytesPerPoint = p.finish(r.Points)
+	r.IngestPointsPerSec = float64(r.Points) / r.IngestSeconds
+
+	maxTG := int64(perSeries) * dt
+	recent := maxTG / 20 // the dashboard's "last 5%" window
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9d2c))
+	var lat latencies
+	var scanned int64
+	rp := startPhase()
+	for i := 0; i < nScans; i++ {
+		name := seriesName(rng.Intn(nSeries))
+		lo, hi := maxTG-recent, maxTG
+		if rng.Float64() < 0.2 { // historical tile: random window, same width
+			lo = rng.Int63n(maxTG - recent)
+			hi = lo + recent
+		}
+		t0 := time.Now()
+		pts, _, err := db.Scan(name, lo, hi)
+		lat.observe(time.Since(t0))
+		if err != nil {
+			return Result{}, err
+		}
+		scanned += int64(len(pts))
+	}
+	secs, _, _ := rp.finish(nScans)
+	lat.fill(&r, secs, scanned)
+	return r, nil
+}
+
+// runBackfill is historical backfill, the paper's extreme out-of-order
+// case: half of all arrivals carry uniform-random historical timestamps,
+// so every flush overlaps the whole run and compaction churns
+// continuously. This is the acceptance scenario for the raw-speed pass —
+// it concentrates SSTable encode/decode, block reads, and merge traffic.
+func runBackfill(cfg Config) (Result, error) {
+	const (
+		nSeries = 4
+		batch   = 200
+		dt      = 100
+	)
+	perSeries := scalePts(cfg, 160_000, 8_000) / nSeries
+	nScans := scalePts(cfg, 200, 20)
+	db, err := openBench(lsm.Conventional, 2048, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+
+	r := Result{Scenario: "backfill"}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5bf0))
+	buf := make([]series.Point, 0, batch)
+	live := make([]int64, nSeries)
+	p := startPhase()
+	for done := 0; done < perSeries; done += batch {
+		n := batch
+		if perSeries-done < n {
+			n = perSeries - done
+		}
+		for s := 0; s < nSeries; s++ {
+			buf = buf[:0]
+			for i := 0; i < n; i++ {
+				live[s] += dt
+				tg := live[s]
+				if rng.Float64() < 0.5 && tg > dt {
+					// Historical arrival: uniform over everything generated
+					// so far — the delay distribution that defeats any
+					// bounded sequential buffer.
+					tg = 1 + rng.Int63n(tg)
+				}
+				buf = append(buf, series.Point{TG: tg, TA: live[s], V: float64(tg % 997)})
+			}
+			if err := db.PutBatch(seriesName(s), buf); err != nil {
+				return Result{}, err
+			}
+			r.Points += n
+			r.Batches++
+		}
+	}
+	r.IngestSeconds, r.AllocsPerPoint, r.BytesPerPoint = p.finish(r.Points)
+	r.IngestPointsPerSec = float64(r.Points) / r.IngestSeconds
+
+	var lat latencies
+	var scanned int64
+	width := live[0] / 10
+	rp := startPhase()
+	for i := 0; i < nScans; i++ {
+		name := seriesName(rng.Intn(nSeries))
+		lo := rng.Int63n(live[0] - width)
+		t0 := time.Now()
+		pts, _, err := db.Scan(name, lo, lo+width)
+		lat.observe(time.Since(t0))
+		if err != nil {
+			return Result{}, err
+		}
+		scanned += int64(len(pts))
+	}
+	secs, _, _ := rp.finish(nScans)
+	lat.fill(&r, secs, scanned)
+	return r, nil
+}
+
+// runChurn is series churn: short-lived series are created, filled with a
+// slug of in-order points, scanned once, and dropped — the fleet-rotation
+// pattern that stresses engine setup/teardown and the catalog rather than
+// any one series' depth.
+func runChurn(cfg Config) (Result, error) {
+	const (
+		perRound = 4
+		perLife  = 1_500
+		batch    = 300
+		dt       = 50
+	)
+	rounds := scalePts(cfg, 24, 2)
+	db, err := openBench(lsm.Conventional, 1024, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+
+	r := Result{Scenario: "churn"}
+	var lat latencies
+	var scanned int64
+	buf := make([]series.Point, 0, batch)
+	p := startPhase()
+	for round := 0; round < rounds; round++ {
+		for s := 0; s < perRound; s++ {
+			id := round*perRound + s
+			name := seriesName(id)
+			g := newSeqGen(cfg.Seed+int64(id)*6151, dt)
+			for done := 0; done < perLife; done += batch {
+				buf = g.batchOf(buf, batch)
+				if err := db.PutBatch(name, buf); err != nil {
+					return Result{}, err
+				}
+				r.Points += batch
+				r.Batches++
+			}
+			t0 := time.Now()
+			pts, _, err := db.Scan(name, 0, int64(perLife)*dt)
+			lat.observe(time.Since(t0))
+			if err != nil {
+				return Result{}, err
+			}
+			if len(pts) != perLife {
+				return Result{}, fmt.Errorf("churn: %s scanned %d points, want %d", name, len(pts), perLife)
+			}
+			scanned += int64(len(pts))
+			if err := db.DropSeries(name); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	secs, allocs, bytes := p.finish(r.Points)
+	r.IngestSeconds, r.AllocsPerPoint, r.BytesPerPoint = secs, allocs, bytes
+	r.IngestPointsPerSec = float64(r.Points) / secs
+	lat.fill(&r, secs, scanned)
+	return r, nil
+}
+
+// runHTAP is the mixed workload: batched writes interleaved with window
+// scans over the same hot series, single-threaded so the interleaving is
+// identical on every run. Throughput and allocations cover the combined
+// phase; latencies cover the scans within it.
+func runHTAP(cfg Config) (Result, error) {
+	const (
+		nSeries       = 8
+		batch         = 500
+		dt            = 50
+		scanEvery     = 2 // full write rounds between scan bursts
+		scansPerBurst = 8
+	)
+	total := scalePts(cfg, 100_000, 8_000)
+	db, err := openBench(lsm.Separation, 4096, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+
+	gens := make([]*seqGen, nSeries)
+	for i := range gens {
+		gens[i] = newSeqGen(cfg.Seed+int64(i)*31337, dt)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7a69))
+
+	r := Result{Scenario: "htap"}
+	var lat latencies
+	var scanned int64
+	buf := make([]series.Point, 0, batch)
+	p := startPhase()
+	for r.Points < total {
+		for s := 0; s < nSeries && r.Points < total; s++ {
+			buf = gens[s].batchOf(buf, batch)
+			jitter(rng, buf, 0.05, 8)
+			if err := db.PutBatch(seriesName(s), buf); err != nil {
+				return Result{}, err
+			}
+			r.Points += batch
+			r.Batches++
+		}
+		if r.Batches%(scanEvery*nSeries) != 0 {
+			continue
+		}
+		for i := 0; i < scansPerBurst; i++ {
+			s := rng.Intn(nSeries)
+			hi := gens[s].tg
+			lo := hi - hi/5
+			if lo < 0 {
+				lo = 0
+			}
+			t0 := time.Now()
+			pts, _, err := db.Scan(seriesName(s), lo, hi)
+			lat.observe(time.Since(t0))
+			if err != nil {
+				return Result{}, err
+			}
+			scanned += int64(len(pts))
+		}
+	}
+	secs, allocs, bytes := p.finish(r.Points)
+	r.IngestSeconds, r.AllocsPerPoint, r.BytesPerPoint = secs, allocs, bytes
+	r.IngestPointsPerSec = float64(r.Points) / secs
+	lat.fill(&r, secs, scanned)
+	return r, nil
+}

@@ -1,0 +1,148 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchValues returns a Gorilla-friendly smooth random walk: the value
+// shape real sensors produce, so compressed sizes and branch behavior
+// match production decode paths.
+func benchValues(n int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, n)
+	v := 100.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = v
+	}
+	return vals
+}
+
+// benchDeltas returns regular timestamps with occasional wider gaps — the
+// mostly-one-byte-delta stream the DecodeDeltasBuf fast path targets.
+func benchDeltas(n int) []int64 {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int64, n)
+	tg := int64(0)
+	for i := range vals {
+		tg += 50
+		if rng.Intn(16) == 0 {
+			tg += rng.Int63n(100_000)
+		}
+		vals[i] = tg
+	}
+	return vals
+}
+
+// The alloc-regression tests below pin the hot codec paths at their
+// current allocation counts. A failure means a refactor re-introduced a
+// heap escape (e.g. a BitWriter moved back to the heap, or a decode
+// dropped its caller-supplied buffer) — fix the escape, don't raise the
+// bound.
+
+func TestEncodeGorillaAllocRegression(t *testing.T) {
+	vals := benchValues(512)
+	dst := EncodeGorilla(nil, vals) // warmup sizes the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = EncodeGorilla(dst[:0], vals)
+	})
+	if allocs > 0 {
+		t.Fatalf("EncodeGorilla into pre-sized dst: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeGorillaBufAllocRegression(t *testing.T) {
+	vals := benchValues(512)
+	src := EncodeGorilla(nil, vals)
+	out := make([]float64, len(vals))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeGorillaBuf(out, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DecodeGorillaBuf: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestDeltaCodecAllocRegression(t *testing.T) {
+	vals := benchDeltas(512)
+	dst := EncodeDeltas(nil, vals) // warmup sizes the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = EncodeDeltas(dst[:0], vals)
+	})
+	if allocs > 0 {
+		t.Fatalf("EncodeDeltas into pre-sized dst: %.1f allocs/op, want 0", allocs)
+	}
+
+	out := make([]int64, len(vals))
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := DecodeDeltasBuf(out, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DecodeDeltasBuf: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeFloatsBufAllocRegression(t *testing.T) {
+	vals := benchValues(512)
+	src := EncodeFloats(nil, vals)
+	out := make([]float64, len(vals))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeFloatsBuf(out, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DecodeFloatsBuf: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEncodeGorilla(b *testing.B) {
+	vals := benchValues(512)
+	dst := make([]byte, 0, 8*len(vals))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = EncodeGorilla(dst[:0], vals)
+	}
+	b.SetBytes(int64(8 * len(vals)))
+}
+
+func BenchmarkDecodeGorilla(b *testing.B) {
+	vals := benchValues(512)
+	src := EncodeGorilla(nil, vals)
+	out := make([]float64, len(vals))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeGorillaBuf(out, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8 * len(vals)))
+}
+
+func BenchmarkEncodeDeltas(b *testing.B) {
+	vals := benchDeltas(512)
+	dst := make([]byte, 0, 10*len(vals))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = EncodeDeltas(dst[:0], vals)
+	}
+	b.SetBytes(int64(8 * len(vals)))
+}
+
+func BenchmarkDecodeDeltas(b *testing.B) {
+	vals := benchDeltas(512)
+	src := EncodeDeltas(nil, vals)
+	out := make([]int64, len(vals))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDeltasBuf(out, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8 * len(vals)))
+}

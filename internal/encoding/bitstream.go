@@ -1,57 +1,86 @@
 package encoding
 
+import "encoding/binary"
+
 // BitWriter appends individual bits / bit fields to a byte buffer,
 // most-significant bit first. It backs the Gorilla float codec.
+//
+// Bits accumulate in a 64-bit register and spill to the byte buffer eight
+// bytes at a time, so the per-value cost of the Gorilla inner loop is a
+// couple of shifts and one bounds-checked append instead of a per-bit (or
+// per-byte) loop. The wire format is unchanged: MSB-first, zero-padded to
+// a byte boundary by Bytes.
 type BitWriter struct {
-	buf  []byte
-	free uint8 // free bits in the last byte (0 when buf is empty or full)
+	buf []byte
+	acc uint64 // pending bits, left-aligned (bit 63 is the next to spill)
+	n   uint   // number of valid bits in acc, 0..63
 }
 
-// NewBitWriter returns a writer appending to dst (which may be nil).
+// NewBitWriter returns a writer appending to dst (which may be nil). dst
+// must end on a byte boundary (the writer starts a fresh byte).
 func NewBitWriter(dst []byte) *BitWriter {
 	return &BitWriter{buf: dst}
 }
 
 // WriteBit appends one bit.
 func (w *BitWriter) WriteBit(bit bool) {
-	if w.free == 0 {
-		w.buf = append(w.buf, 0)
-		w.free = 8
-	}
+	var v uint64
 	if bit {
-		w.buf[len(w.buf)-1] |= 1 << (w.free - 1)
+		v = 1
 	}
-	w.free--
+	w.WriteBits(v, 1)
 }
 
 // WriteBits appends the low `count` bits of v, most significant first.
 // count must be in [0, 64].
 func (w *BitWriter) WriteBits(v uint64, count uint8) {
-	for count > 0 {
-		if w.free == 0 {
-			w.buf = append(w.buf, 0)
-			w.free = 8
-		}
-		take := count
-		if take > w.free {
-			take = w.free
-		}
-		shift := count - take
-		chunk := byte(v>>shift) & (1<<take - 1)
-		w.buf[len(w.buf)-1] |= chunk << (w.free - take)
-		w.free -= take
-		count -= take
+	c := uint(count)
+	if c == 0 {
+		return
+	}
+	if c < 64 {
+		v &= 1<<c - 1
+	}
+	if w.n+c < 64 {
+		w.acc |= v << (64 - w.n - c)
+		w.n += c
+		return
+	}
+	// The accumulator fills: spill 64 bits, keep the remainder.
+	spill := w.acc | v>>(w.n+c-64)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, spill)
+	rem := w.n + c - 64 // 0..63 bits of v still pending
+	w.n = rem
+	if rem == 0 {
+		w.acc = 0
+	} else {
+		w.acc = v << (64 - rem)
 	}
 }
 
-// Bytes returns the accumulated buffer. Trailing unused bits are zero.
-func (w *BitWriter) Bytes() []byte { return w.buf }
+// Bytes flushes any pending bits (zero-padding the final partial byte) and
+// returns the accumulated buffer. The writer remains usable, but further
+// writes start on the next byte boundary — callers emit one logical stream
+// and call Bytes once at the end.
+func (w *BitWriter) Bytes() []byte {
+	for used := (w.n + 7) / 8; used > 0; used-- {
+		w.buf = append(w.buf, byte(w.acc>>56))
+		w.acc <<= 8
+	}
+	w.n = 0
+	w.acc = 0
+	return w.buf
+}
 
 // BitReader consumes bits from a byte buffer, most-significant bit first.
+//
+// Reads are word-at-a-time: when at least eight bytes remain, a ReadBits
+// is one big-endian load plus shifts (two loads when the field straddles a
+// word boundary); the byte-wise loop only runs within the final seven
+// bytes of the buffer.
 type BitReader struct {
 	buf []byte
-	pos int   // byte index
-	bit uint8 // bits already consumed from buf[pos]
+	bit int // absolute bit position consumed so far
 }
 
 // NewBitReader returns a reader over src.
@@ -61,39 +90,56 @@ func NewBitReader(src []byte) *BitReader {
 
 // ReadBit consumes one bit.
 func (r *BitReader) ReadBit() (bool, error) {
-	if r.pos >= len(r.buf) {
+	if r.bit >= 8*len(r.buf) {
 		return false, ErrShortBuffer
 	}
-	b := r.buf[r.pos]&(1<<(7-r.bit)) != 0
+	b := r.buf[r.bit>>3]&(1<<(7-uint(r.bit&7))) != 0
 	r.bit++
-	if r.bit == 8 {
-		r.bit = 0
-		r.pos++
-	}
 	return b, nil
 }
 
 // ReadBits consumes `count` bits and returns them in the low bits of the
 // result, preserving order. count must be in [0, 64].
 func (r *BitReader) ReadBits(count uint8) (uint64, error) {
-	var v uint64
-	for count > 0 {
-		if r.pos >= len(r.buf) {
-			return 0, ErrShortBuffer
+	c := int(count)
+	if c == 0 {
+		return 0, nil
+	}
+	if r.bit+c > 8*len(r.buf) {
+		return 0, ErrShortBuffer
+	}
+	idx := r.bit >> 3
+	off := uint(r.bit & 7)
+	r.bit += c
+	if idx+8 <= len(r.buf) {
+		w := binary.BigEndian.Uint64(r.buf[idx:])
+		if uint(c)+off <= 64 {
+			// The whole field sits inside one loaded word.
+			return (w << off) >> (64 - uint(c)), nil
 		}
-		avail := 8 - r.bit
-		take := count
+		// Straddles the word: take the 64-off bits left in w, then the
+		// remainder from the following byte (which the bounds check above
+		// guarantees exists).
+		rem := uint(c) + off - 64 // 1..7
+		hi := (w << off) >> off   // low 64-off bits = stream bits [off, 64)
+		return hi<<rem | uint64(r.buf[idx+8]>>(8-rem)), nil
+	}
+	// Tail of the buffer: assemble byte-wise.
+	var v uint64
+	for c > 0 {
+		avail := 8 - off
+		take := uint(c)
 		if take > avail {
 			take = avail
 		}
-		chunk := (r.buf[r.pos] >> (avail - take)) & (1<<take - 1)
+		chunk := (r.buf[idx] >> (avail - take)) & (1<<take - 1)
 		v = v<<take | uint64(chunk)
-		r.bit += take
-		if r.bit == 8 {
-			r.bit = 0
-			r.pos++
+		off += take
+		if off == 8 {
+			off = 0
+			idx++
 		}
-		count -= take
+		c -= int(take)
 	}
 	return v, nil
 }
@@ -101,8 +147,5 @@ func (r *BitReader) ReadBits(count uint8) (uint64, error) {
 // Offset returns the number of whole bytes consumed (rounding up when
 // mid-byte).
 func (r *BitReader) Offset() int {
-	if r.bit == 0 {
-		return r.pos
-	}
-	return r.pos + 1
+	return (r.bit + 7) / 8
 }

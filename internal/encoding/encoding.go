@@ -130,22 +130,52 @@ func DecodeDeltas(src []byte, count int) ([]int64, int, error) {
 		return nil, 0, ErrShortBuffer
 	}
 	vals := make([]int64, count)
-	off := 0
-	v, n, err := Varint(src)
+	off, err := DecodeDeltasBuf(vals, src)
 	if err != nil {
 		return nil, 0, err
 	}
+	return vals, off, nil
+}
+
+// DecodeDeltasBuf decodes len(vals) delta-encoded int64 values from src
+// into vals, returning the bytes consumed. It is the allocation-free core
+// of DecodeDeltas: block decoding passes pooled scratch slices.
+func DecodeDeltasBuf(vals []int64, src []byte) (int, error) {
+	count := len(vals)
+	if count == 0 {
+		return 0, nil
+	}
+	if count > len(src) {
+		return 0, ErrShortBuffer
+	}
+	off := 0
+	v, n, err := Varint(src)
+	if err != nil {
+		return 0, err
+	}
 	off += n
 	vals[0] = v
+	prev := v
 	for i := 1; i < count; i++ {
-		d, n, err := Varint(src[off:])
-		if err != nil {
-			return nil, 0, err
+		// Inline one-byte fast path: regular series collapse to one-byte
+		// deltas, so most iterations take this branch without the call.
+		var d int64
+		if off < len(src) && src[off] < 0x80 {
+			b := src[off]
+			d = UnZigZag(uint64(b))
+			off++
+		} else {
+			var n int
+			d, n, err = Varint(src[off:])
+			if err != nil {
+				return 0, err
+			}
+			off += n
 		}
-		off += n
-		vals[i] = vals[i-1] + d
+		prev += d
+		vals[i] = prev
 	}
-	return vals, off, nil
+	return off, nil
 }
 
 // EncodeFloats appends count raw float64 values.
@@ -162,8 +192,18 @@ func DecodeFloats(src []byte, count int) ([]float64, int, error) {
 		return nil, 0, ErrShortBuffer
 	}
 	vals := make([]float64, count)
+	n, err := DecodeFloatsBuf(vals, src)
+	return vals, n, err
+}
+
+// DecodeFloatsBuf decodes len(vals) raw float64 values from src into vals,
+// returning the bytes consumed — the allocation-free core of DecodeFloats.
+func DecodeFloatsBuf(vals []float64, src []byte) (int, error) {
+	if len(src) < 8*len(vals) {
+		return 0, ErrShortBuffer
+	}
 	for i := range vals {
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
 	}
-	return vals, 8 * count, nil
+	return 8 * len(vals), nil
 }

@@ -27,7 +27,9 @@ func EncodeGorilla(dst []byte, vals []float64) []byte {
 	if len(vals) == 0 {
 		return dst
 	}
-	w := NewBitWriter(dst)
+	// A value writer keeps the accumulator state on the stack; the hot
+	// loop never allocates.
+	w := BitWriter{buf: dst}
 	prev := math.Float64bits(vals[0])
 	w.WriteBits(prev, 64)
 	prevLeading, prevTrailing := uint8(65), uint8(65) // 65: no window yet
@@ -76,55 +78,76 @@ func DecodeGorilla(src []byte, count int) ([]float64, int, error) {
 	if count > 8*len(src) {
 		return nil, 0, ErrShortBuffer
 	}
-	r := NewBitReader(src)
-	first, err := r.ReadBits(64)
+	vals := make([]float64, count)
+	n, err := DecodeGorillaBuf(vals, src)
 	if err != nil {
 		return nil, 0, err
 	}
-	vals := make([]float64, 0, count)
+	return vals, n, nil
+}
+
+// DecodeGorillaBuf decodes len(vals) Gorilla-encoded float64 values from
+// src into vals, returning the number of bytes consumed. It is the
+// allocation-free core of DecodeGorilla: callers on the block-decode hot
+// path pass pooled scratch instead of taking a fresh slice per block.
+func DecodeGorillaBuf(vals []float64, src []byte) (int, error) {
+	count := len(vals)
+	if count == 0 {
+		return 0, nil
+	}
+	if count > 8*len(src) {
+		return 0, ErrShortBuffer
+	}
+	// A value reader keeps the cursor on the stack; the hot loop never
+	// allocates.
+	r := BitReader{buf: src}
+	first, err := r.ReadBits(64)
+	if err != nil {
+		return 0, err
+	}
 	prev := first
-	vals = append(vals, math.Float64frombits(prev))
+	vals[0] = math.Float64frombits(prev)
 	var leading, trailing uint8
 	haveWindow := false
-	for len(vals) < count {
+	for i := 1; i < count; i++ {
 		changed, err := r.ReadBit()
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		if !changed {
-			vals = append(vals, math.Float64frombits(prev))
+			vals[i] = math.Float64frombits(prev)
 			continue
 		}
 		newWindow, err := r.ReadBit()
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		if newWindow {
 			l, err := r.ReadBits(gorillaLeadingBits)
 			if err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 			s, err := r.ReadBits(gorillaLengthBits)
 			if err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 			leading = uint8(l)
 			sig := uint8(s) + 1
 			if leading+sig > 64 {
-				return nil, 0, ErrOverflow
+				return 0, ErrOverflow
 			}
 			trailing = 64 - leading - sig
 			haveWindow = true
 		} else if !haveWindow {
-			return nil, 0, ErrShortBuffer
+			return 0, ErrShortBuffer
 		}
 		sig := 64 - leading - trailing
 		xbits, err := r.ReadBits(sig)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		prev ^= xbits << trailing
-		vals = append(vals, math.Float64frombits(prev))
+		vals[i] = math.Float64frombits(prev)
 	}
-	return vals, r.Offset(), nil
+	return r.Offset(), nil
 }

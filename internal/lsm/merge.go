@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/series"
 	"repro/internal/sstable"
 )
@@ -64,7 +65,15 @@ func streamMerge(
 		handles []sstable.TableHandle
 		merged  int
 	)
-	buf := make([]series.Point, 0, chunk)
+	// The chunk buffer is arena-pooled. Build takes ownership of buf, but
+	// when emit persists the table and installs a lazy reader handle the
+	// built Table — and with it buf — is dead the moment flush returns, so
+	// the same backing array is reused for the next chunk and released at
+	// the end. Only when emit returns the Table itself (memory-only
+	// engines) do the points live on; then ownership truly transfers and a
+	// fresh buffer is taken.
+	buf := arena.GetPoints(chunk)[:0]
+	bufPooled := true
 	flush := func() error {
 		if len(buf) == 0 {
 			return nil
@@ -78,9 +87,25 @@ func streamMerge(
 			return err
 		}
 		handles = append(handles, h)
-		buf = make([]series.Point, 0, chunk) // Build took ownership
+		if h == sstable.TableHandle(t) {
+			// The run now references t.points == buf: hand it off.
+			buf = make([]series.Point, 0, chunk)
+			bufPooled = false
+		} else {
+			buf = buf[:0]
+		}
 		return nil
 	}
+
+	// On every exit the current buf is either the reusable pooled buffer
+	// (contents, if any, already encoded and persisted — or abandoned on
+	// error, where the caller discards the handles) or a handed-off
+	// GC-owned slice; release the former.
+	defer func() {
+		if bufPooled {
+			arena.PutPoints(buf)
+		}
+	}()
 
 	oldIt := &chainIter{handles: old}
 	oldOK := oldIt.Next()

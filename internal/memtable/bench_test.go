@@ -1,0 +1,142 @@
+package memtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/series"
+)
+
+// TestPutAllocRegression pins Put's amortized allocation rate: nodes are
+// bump-allocated from slabSize-node slabs, so the per-insert cost must
+// stay near 1/slabSize (one slab Malloc per 256 points), not 1. The
+// xorshift height draw and the tail fast path must stay allocation-free.
+func TestPutAllocRegression(t *testing.T) {
+	m := New(1)
+	tg := int64(0)
+	inOrder := testing.AllocsPerRun(1000, func() {
+		tg += 50
+		m.Put(series.Point{TG: tg, TA: tg, V: 1})
+	})
+	if inOrder > 0.1 {
+		t.Errorf("in-order Put: %.3f allocs/op, want ~1/%d (slab-amortized)", inOrder, slabSize)
+	}
+
+	// Out-of-order inserts walk the skiplist but draw from the same
+	// slabs. Pre-plan distinct keys so every run inserts (never updates).
+	m2 := New(2)
+	rng := rand.New(rand.NewSource(3))
+	keys := rng.Perm(200_000)
+	i := 0
+	outOfOrder := testing.AllocsPerRun(1000, func() {
+		m2.Put(series.Point{TG: int64(keys[i]), TA: 0, V: 1})
+		i++
+	})
+	if outOfOrder > 0.1 {
+		t.Errorf("out-of-order Put: %.3f allocs/op, want ~1/%d (slab-amortized)", outOfOrder, slabSize)
+	}
+
+	// A recycled memtable inserts into warm slabs: zero allocations.
+	m.Reset()
+	tg = 0
+	recycled := testing.AllocsPerRun(1000, func() {
+		tg += 50
+		m.Put(series.Point{TG: tg, TA: tg, V: 1})
+	})
+	if recycled > 0 {
+		t.Errorf("recycled Put: %.3f allocs/op, want 0 (warm slabs)", recycled)
+	}
+}
+
+// TestResetRecyclesNodes checks correctness across the slab rewind: a
+// reset-and-refilled memtable must not let stale tower pointers from the
+// previous life leak into reads, and pre-reset snapshots must survive.
+func TestResetRecyclesNodes(t *testing.T) {
+	m := New(7)
+	rng := rand.New(rand.NewSource(9))
+	for _, tg := range rng.Perm(3000) {
+		m.Put(series.Point{TG: int64(tg), TA: 1, V: 1})
+	}
+	before := m.Snapshot()
+	m.Reset()
+	// Refill with interleaved in-order and random keys over a shifted
+	// range so every recycled node gets a different tower than before.
+	for i := 0; i < 3000; i++ {
+		var tg int64
+		if i%2 == 0 {
+			tg = 10_000 + int64(i)
+		} else {
+			tg = 10_000 + rng.Int63n(6000)
+		}
+		m.Put(series.Point{TG: tg, TA: 2, V: 2})
+	}
+	pts := m.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].TG >= pts[i].TG {
+			t.Fatalf("unsorted after recycle at %d: %d >= %d", i, pts[i-1].TG, pts[i].TG)
+		}
+	}
+	for _, p := range pts {
+		if p.TA != 2 {
+			t.Fatalf("point %+v from the previous life leaked through Reset", p)
+		}
+	}
+	if len(before) != 3000 || before[0].TA != 1 {
+		t.Fatal("pre-reset snapshot corrupted by recycling")
+	}
+}
+
+// TestSnapshotAllocRegression pins the quiescent-snapshot fast path at
+// zero allocations: repeated Snapshot calls with no interleaved mutation
+// must return the same cached slice.
+func TestSnapshotAllocRegression(t *testing.T) {
+	m := New(1)
+	for tg := int64(1); tg <= 4096; tg++ {
+		m.Put(series.Point{TG: tg * 10, TA: tg, V: float64(tg)})
+	}
+	m.Snapshot() // materialize the cached image
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(m.Snapshot()) != 4096 {
+			t.Fatal("snapshot lost points")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("quiescent Snapshot: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkPutInOrder(b *testing.B) {
+	m := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Put(series.Point{TG: int64(i) * 50, TA: int64(i), V: 1})
+	}
+}
+
+func BenchmarkPutOutOfOrder(b *testing.B) {
+	m := New(1)
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]int64, b.N)
+	for i := range keys {
+		keys[i] = rng.Int63n(int64(b.N)*100 + 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(series.Point{TG: keys[i], TA: 0, V: 1})
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	m := New(1)
+	for tg := int64(1); tg <= 16384; tg++ {
+		m.Put(series.Point{TG: tg, TA: tg, V: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.Snapshot()) != 16384 {
+			b.Fatal("snapshot lost points")
+		}
+	}
+}

@@ -6,8 +6,6 @@
 package memtable
 
 import (
-	"math/rand"
-
 	"repro/internal/series"
 )
 
@@ -21,6 +19,13 @@ type node struct {
 	next  [maxHeight]*node
 }
 
+// slabSize is how many nodes one slab allocation holds. Nodes are
+// bump-allocated from slabs instead of one heap object per insert, so the
+// allocator sees one Malloc per slabSize points — and Reset rewinds the
+// bump pointer, so a recycled memtable (the engine reuses them across
+// flushes) inserts into already-warm storage with no allocation at all.
+const slabSize = 256
+
 // MemTable buffers points sorted by generation time. Inserting a point
 // whose generation time already exists overwrites the stored value (upsert
 // semantics). MemTable is not safe for concurrent use; the engine
@@ -29,9 +34,30 @@ type MemTable struct {
 	head   *node
 	height int
 	count  int
-	rng    *rand.Rand
-	minTG  int64
-	maxTG  int64
+	// rng is the inline xorshift64* state behind randomHeight. The former
+	// per-memtable math/rand.Rand was a measurable slice of Put's cost
+	// (and 5KiB of state per series); three shifts and a multiply draw the
+	// same geometric tower heights.
+	rng   uint64
+	minTG int64
+	maxTG int64
+
+	// tail[level] is the rightmost node linked at that level (nil: none —
+	// the level is empty and the predecessor is head). It gives in-order
+	// arrival — the paper's sequential case, where every new generation
+	// timestamp is beyond maxTG — an O(height) append that skips the
+	// skiplist search entirely.
+	tail [maxHeight]*node
+
+	// slabs is the node storage: bump-allocated slabSize-node blocks.
+	// slabIdx/slabUsed point at the next free node; Reset rewinds both to
+	// zero and keeps the slabs, so node storage is allocated once per
+	// high-water mark, not once per insert. Nodes never escape the
+	// memtable (every read path copies point values out), so recycling
+	// them cannot invalidate a snapshot or iterator.
+	slabs    [][]node
+	slabIdx  int
+	slabUsed int
 
 	// snap caches the frozen image handed out by Snapshot. It is
 	// invalidated by any mutation (Put, Reset), so repeated snapshots of a
@@ -46,8 +72,23 @@ func New(seed int64) *MemTable {
 	return &MemTable{
 		head:   &node{},
 		height: 1,
-		rng:    rand.New(rand.NewSource(seed)),
+		// SplitMix64 finalizer spreads adjacent seeds (engines use
+		// seed, seed+1, seed+2) into uncorrelated nonzero states.
+		rng: mixSeed(uint64(seed)),
 	}
+}
+
+// mixSeed maps an arbitrary seed to a nonzero xorshift state via the
+// SplitMix64 finalizer.
+func mixSeed(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return z
 }
 
 // Len returns the number of distinct points buffered.
@@ -64,13 +105,44 @@ func (m *MemTable) MinTG() int64 { return m.minTG }
 // non-empty.
 func (m *MemTable) MaxTG() int64 { return m.maxTG }
 
-// randomHeight draws a tower height with geometric distribution.
+// randomHeight draws a tower height with geometric distribution
+// (promotion probability 1/branchFactor per level) from one inline
+// xorshift64* draw: two bits decide each promotion, and maxHeight caps the
+// bits consumed at 24 of the 64 available.
 func (m *MemTable) randomHeight() int {
+	x := m.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.rng = x
+	r := x * 0x2545F4914F6CDD1D
 	h := 1
-	for h < maxHeight && m.rng.Intn(branchFactor) == 0 {
+	for h < maxHeight && r&(branchFactor-1) == 0 {
+		r >>= 2
 		h++
 	}
 	return h
+}
+
+// newNode bump-allocates a node for a tower of height h. next[0:h] is
+// cleared — a recycled node carries stale pointers from its previous life;
+// levels >= h are never read for a node of height h, so they may stay
+// stale.
+func (m *MemTable) newNode(p series.Point, h int) *node {
+	if m.slabIdx == len(m.slabs) {
+		m.slabs = append(m.slabs, make([]node, slabSize))
+	}
+	n := &m.slabs[m.slabIdx][m.slabUsed]
+	m.slabUsed++
+	if m.slabUsed == slabSize {
+		m.slabIdx++
+		m.slabUsed = 0
+	}
+	n.point = p
+	for i := 0; i < h; i++ {
+		n.next[i] = nil
+	}
+	return n
 }
 
 // findGreaterOrEqual returns the first node with point.TG >= tg and fills
@@ -92,6 +164,13 @@ func (m *MemTable) findGreaterOrEqual(tg int64, prev *[maxHeight]*node) *node {
 // new key was inserted, false when an existing key was overwritten.
 func (m *MemTable) Put(p series.Point) bool {
 	m.invalidateSnap()
+	if m.count > 0 && p.TG > m.maxTG {
+		// In-order arrival (the paper's sequential case): the new key is
+		// strictly beyond every buffered one, so its predecessor at every
+		// level is the current tail — append without searching.
+		m.putTail(p)
+		return true
+	}
 	var prev [maxHeight]*node
 	x := m.findGreaterOrEqual(p.TG, &prev)
 	if x != nil && x.point.TG == p.TG {
@@ -105,10 +184,13 @@ func (m *MemTable) Put(p series.Point) bool {
 		}
 		m.height = h
 	}
-	n := &node{point: p}
+	n := m.newNode(p, h)
 	for level := 0; level < h; level++ {
 		n.next[level] = prev[level].next[level]
 		prev[level].next[level] = n
+		if n.next[level] == nil {
+			m.tail[level] = n
+		}
 	}
 	if m.count == 0 || p.TG < m.minTG {
 		m.minTG = p.TG
@@ -118,6 +200,27 @@ func (m *MemTable) Put(p series.Point) bool {
 	}
 	m.count++
 	return true
+}
+
+// putTail appends a point whose key is strictly beyond maxTG: the
+// predecessor at every level is tail[level] (head where the level is
+// empty), so no comparison walk is needed.
+func (m *MemTable) putTail(p series.Point) {
+	h := m.randomHeight()
+	if h > m.height {
+		m.height = h
+	}
+	n := m.newNode(p, h)
+	for level := 0; level < h; level++ {
+		t := m.tail[level]
+		if t == nil {
+			t = m.head
+		}
+		t.next[level] = n
+		m.tail[level] = n
+	}
+	m.maxTG = p.TG
+	m.count++
 }
 
 // invalidateSnap drops the cached frozen image after any mutation. The
@@ -176,15 +279,19 @@ func (m *MemTable) AppendRange(dst []series.Point, lo, hi int64) []series.Point 
 	return dst
 }
 
-// Reset clears the memtable for reuse, keeping its allocated head node and
-// RNG stream.
+// Reset clears the memtable for reuse, keeping its allocated head node,
+// node slabs, and RNG stream. Previously returned Snapshot slices stay
+// valid: they hold copied points, not node references.
 func (m *MemTable) Reset() {
 	m.invalidateSnap()
 	for i := range m.head.next {
 		m.head.next[i] = nil
+		m.tail[i] = nil
 	}
 	m.height = 1
 	m.count = 0
 	m.minTG = 0
 	m.maxTG = 0
+	m.slabIdx = 0
+	m.slabUsed = 0
 }

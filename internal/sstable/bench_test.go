@@ -1,0 +1,234 @@
+package sstable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/cache"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// buildBenchTable returns an n-point table plus its encoded image and
+// parsed header, for tests that drive decodeBlock directly.
+func buildBenchTable(t testing.TB, n, blockPoints int) (*Table, []byte, *tableHeader) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	tbl, err := Build(1, randomPoints(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tbl.EncodeVersion(blockPoints, FormatVersion)
+	h, err := parseHeader(img, int64(len(img)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, img, h
+}
+
+// blockRaw extracts block e's raw bytes from the encoded image into a
+// fresh slice the caller may scribble on.
+func blockRaw(img []byte, h *tableHeader, e blockIndexEntry) []byte {
+	raw := make([]byte, e.length)
+	copy(raw, img[h.blocksOff+int64(e.offset):])
+	return raw
+}
+
+// TestDecodeBlockNoAliasing is the regression pin for the arena fast
+// path: decodeBlock's result must never alias the raw block bytes, in
+// either the pooled or the GC-owned mode — the reader returns raw to the
+// arena the moment decodeBlock returns, so any alias would be overwritten
+// by the next block read that recycles the buffer.
+func TestDecodeBlockNoAliasing(t *testing.T) {
+	tbl, img, h := buildBenchTable(t, 1000, 128)
+	for _, pooled := range []bool{false, true} {
+		got := 0
+		for i, e := range h.index {
+			raw := blockRaw(img, h, e)
+			pts, err := decodeBlock(h.version, raw, e, pooled)
+			if err != nil {
+				t.Fatalf("pooled=%v block %d: %v", pooled, i, err)
+			}
+			// Simulate the arena recycling the buffer mid-lifetime.
+			for j := range raw {
+				raw[j] = 0xFF
+			}
+			for _, p := range pts {
+				if p != tbl.points[got] {
+					t.Fatalf("pooled=%v block %d: point %d corrupted after raw scribble: %+v want %+v",
+						pooled, i, got, p, tbl.points[got])
+				}
+				got++
+			}
+			if pooled {
+				arena.PutPoints(pts)
+			}
+		}
+		if got != len(tbl.points) {
+			t.Fatalf("pooled=%v decoded %d points, want %d", pooled, got, len(tbl.points))
+		}
+	}
+}
+
+// TestLoadBlockNoAliasingIntoCache pins the loadBlock contract referenced
+// in reader.go: cache-published blocks are GC-owned and share nothing
+// with arena buffers, so poisoning the arena between a cold scan (which
+// populates the cache) and a warm scan (which serves from it) must not
+// change the bytes the warm scan returns.
+func TestLoadBlockNoAliasingIntoCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tbl, err := Build(1, randomPoints(rng, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New(1 << 20)
+	r := openTestReader(t, tbl, 128, FormatVersion, c)
+
+	lo, hi := tbl.MinTG(), tbl.MaxTG()
+	cold, err := r.Scan(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tbl.points
+	if !equalPoints(cold, want) {
+		t.Fatal("cold scan disagrees with table")
+	}
+
+	// Poison the arena classes the reader draws from: pull a spread of
+	// buffer sizes, scribble, and return them. If any cache-resident
+	// block aliased an arena slice, the recycled garbage would show up in
+	// the warm scan below.
+	for sz := 1 << 6; sz <= 1<<16; sz <<= 1 {
+		b := arena.GetBytes(sz)
+		for i := range b {
+			b[i] = 0xAA
+		}
+		arena.PutBytes(b)
+		p := arena.GetPoints(sz / 24)
+		for i := range p {
+			p[i] = series.Point{TG: -1, TA: -1, V: -1}
+		}
+		arena.PutPoints(p)
+	}
+
+	var bs BlockStats
+	warm := make([]series.Point, 0, len(want))
+	it := r.Iter(lo, hi, &bs)
+	for it.Next() {
+		warm = append(warm, it.Point())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if bs.BlocksCached == 0 {
+		t.Fatal("warm scan hit no cached blocks; test is not exercising the cache path")
+	}
+	if !equalPoints(warm, want) {
+		t.Fatal("warm (cached) scan corrupted by arena poisoning: cached block aliases a pooled buffer")
+	}
+}
+
+// TestReaderOwnedBlocksReleased checks the cache-less reader path (every
+// block owned) still yields correct results across Get, Scan, and Iter
+// while returning blocks to a poisoned arena between operations.
+func TestReaderOwnedBlocksReleased(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tbl, err := Build(1, randomPoints(rng, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := openTestReader(t, tbl, 100, FormatVersion, nil)
+
+	for i := 0; i < len(tbl.points); i += 7 {
+		p := tbl.points[i]
+		got, ok, err := r.Get(p.TG)
+		if err != nil || !ok || got != p {
+			t.Fatalf("Get(%d) = %+v %v %v, want %+v", p.TG, got, ok, err, p)
+		}
+	}
+	out, err := r.Scan(tbl.MinTG(), tbl.MaxTG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPoints(out, tbl.points) {
+		t.Fatal("cache-less Scan disagrees with table")
+	}
+}
+
+func BenchmarkReaderScanCold(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	tbl, err := Build(1, randomPoints(rng, 8192))
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend := storage.NewMemBackend()
+	if err := backend.Write("t.tbl", tbl.Encode(256)); err != nil {
+		b.Fatal(err)
+	}
+	r, err := OpenReader(backend, "t.tbl", nil) // no cache: every scan decodes
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := tbl.MinTG(), tbl.MaxTG()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := r.Scan(lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 8192 {
+			b.Fatal("short scan")
+		}
+	}
+}
+
+func BenchmarkReaderIterWarm(b *testing.B) {
+	rng := rand.New(rand.NewSource(37))
+	tbl, err := Build(1, randomPoints(rng, 8192))
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend := storage.NewMemBackend()
+	if err := backend.Write("t.tbl", tbl.Encode(256)); err != nil {
+		b.Fatal(err)
+	}
+	c := cache.New(8 << 20)
+	r, err := OpenReader(backend, "t.tbl", c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := tbl.MinTG(), tbl.MaxTG()
+	if _, err := r.Scan(lo, hi); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		it := r.Iter(lo, hi, nil)
+		for it.Next() {
+			n++
+		}
+		if it.Err() != nil || n != 8192 {
+			b.Fatalf("iter: n=%d err=%v", n, it.Err())
+		}
+	}
+}
+
+func BenchmarkDecodeBlock(b *testing.B) {
+	_, img, h := buildBenchTable(b, 4096, 256)
+	e := h.index[0]
+	raw := blockRaw(img, h, e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := decodeBlock(h.version, raw, e, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arena.PutPoints(pts)
+	}
+	b.SetBytes(int64(e.length))
+}

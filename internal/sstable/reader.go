@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/cache"
 	"repro/internal/series"
 	"repro/internal/storage"
@@ -60,11 +61,16 @@ func OpenReader(b storage.Backend, name string, c *cache.Cache) (*Reader, error)
 		if readLen > total {
 			readLen = total
 		}
-		buf := make([]byte, readLen)
+		// parseHeader copies everything it keeps (index entries are parsed
+		// values, the Bloom filter's bits are rebuilt), so the read buffer
+		// can go back to the arena regardless of outcome.
+		buf := arena.GetBytes(int(readLen))
 		if _, err := src.ReadAt(buf, 0); err != nil {
+			arena.PutBytes(buf)
 			return nil, fmt.Errorf("sstable: read header of %s: %w", name, err)
 		}
 		h, err = parseHeader(buf, total)
+		arena.PutBytes(buf)
 		if err == nil {
 			break
 		}
@@ -129,29 +135,46 @@ func blockCharge(n int) int64 { return int64(n)*24 + 64 }
 
 // loadBlock returns block i's decoded points, from the cache when
 // possible. Cache hits and storage reads are recorded in bs when non-nil.
-func (r *Reader) loadBlock(i int, bs *BlockStats) ([]series.Point, error) {
+//
+// The second result reports ownership: true means the points were decoded
+// into an arena slice that was NOT published to the shared cache — the
+// caller has exclusive use and must arena.PutPoints it after its last
+// access (dropping it instead is safe, just a missed reuse). False means
+// the slice is shared (cache-resident or published this call) and must
+// never be released.
+func (r *Reader) loadBlock(i int, bs *BlockStats) ([]series.Point, bool, error) {
 	key := cache.Key{Owner: r.owner, Block: uint32(i)}
 	if r.cache != nil {
 		if v, ok := r.cache.Get(key); ok {
 			if bs != nil {
 				bs.BlocksCached++
 			}
-			return v.([]series.Point), nil
+			return v.([]series.Point), false, nil
 		}
 	}
 	e := r.h.index[i]
-	raw := make([]byte, e.length)
+	// The raw block bytes live only for the duration of the decode:
+	// decodeBlock rebuilds every point value from scratch columns, so the
+	// read buffer goes straight back to the arena (pinned by
+	// TestLoadBlockNoAliasingIntoCache).
+	raw := arena.GetBytes(e.length)
 	if _, err := r.src.ReadAt(raw, r.h.blocksOff+int64(e.offset)); err != nil {
-		return nil, fmt.Errorf("sstable: read block %d of %s: %w", i, r.name, err)
+		arena.PutBytes(raw)
+		return nil, false, fmt.Errorf("sstable: read block %d of %s: %w", i, r.name, err)
 	}
-	pts, err := decodeBlock(r.h.version, raw, e)
+	// Blocks headed for the shared cache outlive this call indefinitely
+	// and are GC-owned; blocks that will stay private decode into a
+	// pooled slice the caller releases.
+	publish := r.cache != nil && !r.retired.Load()
+	pts, err := decodeBlock(r.h.version, raw, e, !publish)
+	arena.PutBytes(raw)
 	if err != nil {
-		return nil, fmt.Errorf("sstable: %s block %d: %w", r.name, i, err)
+		return nil, false, fmt.Errorf("sstable: %s block %d: %w", r.name, i, err)
 	}
 	if bs != nil {
 		bs.BlocksRead++
 	}
-	if r.cache != nil && !r.retired.Load() {
+	if publish {
 		r.cache.Put(key, pts, blockCharge(len(pts)))
 		// Retire may have run between the check and the Put, leaving our
 		// entry behind after its EvictOwner. Re-check and evict again so a
@@ -159,8 +182,9 @@ func (r *Reader) loadBlock(i int, bs *BlockStats) ([]series.Point, error) {
 		if r.retired.Load() {
 			r.cache.EvictOwner(r.owner)
 		}
+		return pts, false, nil
 	}
-	return pts, nil
+	return pts, true, nil
 }
 
 // blockRange returns the half-open range [bi, bj) of block indexes whose
@@ -186,15 +210,20 @@ func (r *Reader) Get(tg int64) (series.Point, bool, error) {
 	if i == len(idx) || idx[i].minTG > tg {
 		return series.Point{}, false, nil
 	}
-	pts, err := r.loadBlock(i, nil)
+	pts, owned, err := r.loadBlock(i, nil)
 	if err != nil {
 		return series.Point{}, false, err
 	}
 	j := sort.Search(len(pts), func(j int) bool { return pts[j].TG >= tg })
+	var p series.Point
+	var ok bool
 	if j < len(pts) && pts[j].TG == tg {
-		return pts[j], true, nil
+		p, ok = pts[j], true
 	}
-	return series.Point{}, false, nil
+	if owned {
+		arena.PutPoints(pts) // p is a value copy; nothing aliases pts
+	}
+	return p, ok, nil
 }
 
 // Scan returns the points with generation time in [lo, hi], decoding only
@@ -206,11 +235,14 @@ func (r *Reader) Scan(lo, hi int64) ([]series.Point, error) {
 	bi, bj := r.blockRange(lo, hi)
 	var out []series.Point
 	for b := bi; b < bj; b++ {
-		pts, err := r.loadBlock(b, nil)
+		pts, owned, err := r.loadBlock(b, nil)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, clampRange(pts, lo, hi)...)
+		if owned {
+			arena.PutPoints(pts) // append copied the in-range values out
+		}
 	}
 	return out, nil
 }
@@ -226,18 +258,38 @@ func (r *Reader) Iter(lo, hi int64, bs *BlockStats) PointIterator {
 	return &readerIter{r: r, bs: bs, lo: lo, hi: hi, b: bi, bj: bj}
 }
 
-// readerIter streams one reader's blocks through clampRange.
+// readerIter streams one reader's blocks through clampRange. Blocks the
+// iterator owns (decoded but not published to the shared cache) are
+// returned to the arena as soon as the iteration moves past them — the
+// zero-copy handoff contract: Point hands out value copies, so nothing
+// downstream can alias a released block.
 type readerIter struct {
 	r      *Reader
 	bs     *BlockStats
 	lo, hi int64
 	b, bj  int
-	cur    []series.Point
+	cur    []series.Point // in-range window, aliases full
+	full   []series.Point // whole decoded block, release unit
+	owned  bool           // full is arena-owned by this iterator
 	pos    int
 	err    error
 }
 
 var _ PointIterator = (*readerIter)(nil)
+
+// releaseCur returns the current block to the arena when this iterator
+// owns it. Callers must be done with every point in the block: Point
+// returns value copies, so a consumer that followed the PointIterator
+// contract holds no alias.
+func (it *readerIter) releaseCur() {
+	if it.owned {
+		arena.PutPoints(it.full)
+		it.owned = false
+	}
+	it.full = nil
+	it.cur = nil
+	it.pos = 0
+}
 
 // Next advances to the next in-range point, loading blocks as needed. A
 // failed block read stops iteration; see Err.
@@ -250,15 +302,19 @@ func (it *readerIter) Next() bool {
 			it.pos++
 			return true
 		}
+		if it.full != nil || it.cur != nil {
+			it.releaseCur()
+		}
 		if it.b >= it.bj {
 			return false
 		}
-		pts, err := it.r.loadBlock(it.b, it.bs)
+		pts, owned, err := it.r.loadBlock(it.b, it.bs)
 		it.b++
 		if err != nil {
 			it.err = err
 			return false
 		}
+		it.full, it.owned = pts, owned
 		it.cur = clampRange(pts, it.lo, it.hi)
 		it.pos = 0
 	}

@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/bloom"
 	"repro/internal/encoding"
 	"repro/internal/series"
@@ -275,12 +276,22 @@ func (t *Table) EncodeVersion(blockPoints int, version byte) []byte {
 	n := len(t.points)
 	numBlocks := (n + blockPoints - 1) / blockPoints
 
-	// Encode blocks first to learn offsets.
+	// Encode blocks first to learn offsets. Per-block scratch — the
+	// column slices and the payload staging buffer — comes from the
+	// arena and is reused across blocks, so encoding a table costs O(1)
+	// scratch allocations regardless of block count.
 	var blocks []byte
 	index := make([]blockIndexEntry, 0, numBlocks)
-	tgs := make([]int64, 0, blockPoints)
-	tas := make([]int64, 0, blockPoints)
-	vs := make([]float64, 0, blockPoints)
+	tgs := arena.GetInt64s(blockPoints)[:0]
+	tas := arena.GetInt64s(blockPoints)[:0]
+	vs := arena.GetFloat64s(blockPoints)[:0]
+	payload := arena.GetBytes(18 * blockPoints)[:0]
+	defer func() {
+		arena.PutInt64s(tgs)
+		arena.PutInt64s(tas)
+		arena.PutFloat64s(vs)
+		arena.PutBytes(payload)
+	}()
 	for b := 0; b < numBlocks; b++ {
 		lo := b * blockPoints
 		hi := lo + blockPoints
@@ -293,7 +304,7 @@ func (t *Table) EncodeVersion(blockPoints int, version byte) []byte {
 			tas = append(tas, p.TA)
 			vs = append(vs, p.V)
 		}
-		var payload []byte
+		payload = payload[:0]
 		payload = encoding.EncodeDeltas(payload, tgs)
 		payload = encoding.EncodeDeltas(payload, tas)
 		if version >= 2 {
@@ -499,7 +510,14 @@ func parseHeader(src []byte, total int64) (*tableHeader, error) {
 // against the index entry — sorted strictly ascending, first and last
 // matching the entry's range — because the index itself is not covered by
 // the block checksum.
-func decodeBlock(version byte, raw []byte, e blockIndexEntry) ([]series.Point, error) {
+//
+// The returned points never alias raw: every value is rebuilt from arena
+// scratch columns, so callers may recycle (or keep reusing) raw the moment
+// decodeBlock returns. With pooled set, the point slice itself also comes
+// from the arena — callers use it only when they know the result will NOT
+// outlive their own release (in particular, it must never enter the block
+// cache), and must arena.PutPoints it when done.
+func decodeBlock(version byte, raw []byte, e blockIndexEntry, pooled bool) (_ []series.Point, err error) {
 	if len(raw) < 4 {
 		return nil, fmt.Errorf("%w: block shorter than checksum", ErrCorrupt)
 	}
@@ -511,26 +529,44 @@ func decodeBlock(version byte, raw []byte, e blockIndexEntry) ([]series.Point, e
 	if crc32.ChecksumIEEE(payload) != wantCRC {
 		return nil, ErrChecksum
 	}
-	tgs, consumed, err := encoding.DecodeDeltas(payload, e.count)
+	// Column scratch is pooled unconditionally: it never escapes this
+	// function. (e.count is bounded against the image size by parseHeader
+	// before any of these allocations are sized from it.)
+	tgs := arena.GetInt64s(e.count)
+	defer arena.PutInt64s(tgs)
+	consumed, err := encoding.DecodeDeltasBuf(tgs, payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: tg deltas: %v", ErrCorrupt, err)
 	}
 	payload = payload[consumed:]
-	tas, consumed, err := encoding.DecodeDeltas(payload, e.count)
+	tas := arena.GetInt64s(e.count)
+	defer arena.PutInt64s(tas)
+	consumed, err = encoding.DecodeDeltasBuf(tas, payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: ta deltas: %v", ErrCorrupt, err)
 	}
 	payload = payload[consumed:]
-	var vs []float64
+	vs := arena.GetFloat64s(e.count)
+	defer arena.PutFloat64s(vs)
 	if version >= 2 {
-		vs, _, err = encoding.DecodeGorilla(payload, e.count)
+		_, err = encoding.DecodeGorillaBuf(vs, payload)
 	} else {
-		vs, _, err = encoding.DecodeFloats(payload, e.count)
+		_, err = encoding.DecodeFloatsBuf(vs, payload)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: values: %v", ErrCorrupt, err)
 	}
-	pts := make([]series.Point, e.count)
+	var pts []series.Point
+	if pooled {
+		pts = arena.GetPoints(e.count)
+		defer func() {
+			if err != nil {
+				arena.PutPoints(pts)
+			}
+		}()
+	} else {
+		pts = make([]series.Point, e.count)
+	}
 	for i := range pts {
 		pts[i] = series.Point{TG: tgs[i], TA: tas[i], V: vs[i]}
 	}
@@ -562,7 +598,7 @@ func Decode(src []byte) (*Table, error) {
 	points := make([]series.Point, 0, h.count)
 	for i := range h.index {
 		e := h.index[i]
-		pts, err := decodeBlock(h.version, blocks[e.offset:e.offset+e.length], e)
+		pts, err := decodeBlock(h.version, blocks[e.offset:e.offset+e.length], e, false)
 		if err != nil {
 			return nil, fmt.Errorf("block %d: %w", i, err)
 		}
