@@ -81,12 +81,27 @@ func main() {
 		mevery   = flag.Duration("scanevery", 100*time.Millisecond, "mixed mode: pacing between scans per reader (0 = full tilt)")
 		benchout = flag.String("benchout", "", "mixed mode: write a machine-readable JSON report to this path")
 
+		querybench = flag.Bool("querybench", false, "query mode: parallel fan-out vs sequential matcher-query benchmark")
+		qbseries   = flag.Int("qbseries", 64, "query mode: matched fleet size")
+		qbpoints   = flag.Int("qbpoints", 2000, "query mode: points per series")
+		qbbatch    = flag.Int("qbbatch", 500, "query mode: points per PutBatch during setup")
+		qbworkers  = flag.Int("qbworkers", 0, "query mode: fan-out workers (0: query.DefaultWorkers)")
+		qbreadlat  = flag.Duration("qbreadlat", 200*time.Microsecond, "query mode: simulated latency per ranged block read")
+		qbiters    = flag.Int("qbiters", 3, "query mode: timed repetitions per leg (best is reported)")
+
+		verifyreport = flag.String("verifyreport", "", "verify mode: strictly parse a bench JSON report against its schema-stable struct and exit")
+
 		scenario  = flag.String("scenario", "", "scenario mode: 'all', 'smoke', or comma-separated scenario names (see internal/benchmark)")
 		sscale    = flag.Float64("sscale", 1.0, "scenario mode: point-count multiplier (smoke overrides)")
 		benchbase = flag.String("benchbase", "", "scenario mode: prior -benchout report to compare against as baseline")
 		baselabel = flag.String("baselabel", "", "scenario mode: label recorded for the baseline (default: the -benchbase path)")
 	)
 	flag.Parse()
+
+	if *verifyreport != "" {
+		runVerifyReport(*verifyreport)
+		return
+	}
 
 	if *scenario != "" {
 		runScenarios(scenarioConfig{
@@ -96,6 +111,19 @@ func main() {
 			base:  *benchbase,
 			label: *baselabel,
 			out:   *benchout,
+		})
+		return
+	}
+
+	if *querybench {
+		runQueryBench(queryBenchConfig{
+			series:  *qbseries,
+			points:  *qbpoints,
+			batch:   *qbbatch,
+			workers: *qbworkers,
+			readLat: *qbreadlat,
+			iters:   *qbiters,
+			out:     *benchout, // "" defaults to BENCH_9.json
 		})
 		return
 	}

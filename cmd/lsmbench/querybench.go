@@ -1,0 +1,254 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/tsdb"
+)
+
+// Query fan-out benchmark: registers a labeled fleet, flushes it to
+// SSTables behind a backend that charges a simulated device latency to
+// every ranged block read, then answers the same matcher query twice —
+// once sequentially (Workers: 1), once through the fan-out pool — and
+// reports the speedup. The two answers are compared point-for-point:
+// a speedup with different results would be worthless.
+//
+// The latency injection is what makes the number honest on any machine:
+// fan-out reads are I/O-bound, so the win comes from overlapping storage
+// waits, not from burning more cores. Unlike walbench's fsync model
+// (serialized, one device queue), block reads sleep concurrently — random
+// reads parallelize on SSDs and networked object stores, which is the
+// premise the fan-out pool is built on.
+
+type queryBenchConfig struct {
+	series  int           // matched fleet size
+	points  int           // per series
+	batch   int           // points per PutBatch
+	workers int           // fan-out pool size (0: query.DefaultWorkers)
+	readLat time.Duration // simulated latency per ranged block read
+	iters   int           // timed repetitions; best run is reported
+	out     string        // JSON report path ("" = BENCH_9.json)
+}
+
+// queryRun is one execution mode's measurement.
+type queryRun struct {
+	Mode          string  `json:"mode"`
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"` // best of iters
+	SeriesPerSec  float64 `json:"series_per_sec"`
+	Points        int     `json:"points_returned"`
+	TablesTouched int     `json:"tables_touched"`
+	BlocksRead    int64   `json:"blocks_read"`
+}
+
+// queryReport is the machine-readable result (BENCH_9.json).
+type queryReport struct {
+	Name            string   `json:"name"`
+	Series          int      `json:"series"`
+	PointsPerSeries int      `json:"points_per_series"`
+	ReadLatencyUS   int64    `json:"read_latency_us"`
+	Iterations      int      `json:"iterations"`
+	Matchers        string   `json:"matchers"`
+	Sequential      queryRun `json:"sequential"`
+	Parallel        queryRun `json:"parallel"`
+	SpeedupX        float64  `json:"speedup_x"` // sequential / parallel seconds
+	ResultsEqual    bool     `json:"results_equal"`
+}
+
+// slowBackend charges a fixed latency to every ranged block read, the
+// portable stand-in for a storage device. Writes pass through untouched:
+// ingest is setup, not the measured phase.
+type slowBackend struct {
+	storage.Backend
+	lat   time.Duration
+	reads atomic.Int64
+}
+
+func (s *slowBackend) OpenRange(name string) (storage.RangeReader, error) {
+	rr, err := s.Backend.OpenRange(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowRangeReader{RangeReader: rr, b: s}, nil
+}
+
+type slowRangeReader struct {
+	storage.RangeReader
+	b *slowBackend
+}
+
+func (r *slowRangeReader) ReadAt(p []byte, off int64) (int, error) {
+	r.b.reads.Add(1)
+	if r.b.lat > 0 {
+		time.Sleep(r.b.lat)
+	}
+	return r.RangeReader.ReadAt(p, off)
+}
+
+func runQueryBench(cfg queryBenchConfig) {
+	if cfg.out == "" {
+		cfg.out = "BENCH_9.json"
+	}
+	sb := &slowBackend{Backend: storage.NewMemBackend(), lat: cfg.readLat}
+	db, err := tsdb.Open(tsdb.Config{
+		Engine: lsm.Config{
+			Policy:        lsm.Conventional,
+			MemBudget:     512,
+			SSTablePoints: 512,
+		},
+		Backend: sb,
+		// No cache: every block read pays the device latency, so the
+		// sequential and parallel legs read the same number of slow blocks
+		// and the comparison isolates overlap, not cache warmth.
+		BlockCacheBytes: -1,
+		QueryWorkers:    cfg.workers,
+	})
+	if err != nil {
+		fatal("open db: %v", err)
+	}
+	defer db.Close()
+
+	fmt.Printf("query fan-out benchmark (%d series x %d points, %s per block read)\n",
+		cfg.series, cfg.points, cfg.readLat)
+
+	for s := 0; s < cfg.series; s++ {
+		ls := series.MustLabels(map[string]string{
+			"fleet":  "qb",
+			"device": fmt.Sprintf("d%04d", s),
+			"rack":   fmt.Sprintf("r%d", s%8),
+		})
+		id, err := db.CreateSeriesLabeled(ls)
+		if err != nil {
+			fatal("create series %d: %v", s, err)
+		}
+		buf := make([]series.Point, 0, cfg.batch)
+		for i := 0; i < cfg.points; i++ {
+			buf = append(buf, series.Point{TG: int64(i), TA: int64(i), V: float64(s*cfg.points + i)})
+			if len(buf) == cfg.batch || i == cfg.points-1 {
+				if err := db.PutBatch(id, buf); err != nil {
+					fatal("ingest series %d: %v", s, err)
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	// Everything to SSTables: the measured reads must hit the (slow)
+	// backend, not the memtables.
+	if err := db.FlushAll(); err != nil {
+		fatal("flush: %v", err)
+	}
+
+	matchExpr := "fleet=qb,device=~d[0-9]+"
+	ms, err := index.ParseMatchers(matchExpr)
+	if err != nil {
+		fatal("parse matchers: %v", err)
+	}
+	opts := tsdb.QueryOptions{Lo: 0, Hi: int64(cfg.points)}
+
+	seqRes, seq := timeQuery(db, ms, opts, 1, cfg.iters)
+	parRes, par := timeQuery(db, ms, opts, 0, cfg.iters)
+
+	rep := queryReport{
+		Name:            "query_fanout_vs_sequential",
+		Series:          cfg.series,
+		PointsPerSeries: cfg.points,
+		ReadLatencyUS:   cfg.readLat.Microseconds(),
+		Iterations:      cfg.iters,
+		Matchers:        matchExpr,
+		Sequential:      seq,
+		Parallel:        par,
+		ResultsEqual:    resultsEqual(seqRes, parRes),
+	}
+	if par.Seconds > 0 {
+		rep.SpeedupX = seq.Seconds / par.Seconds
+	}
+
+	for _, r := range []queryRun{seq, par} {
+		fmt.Printf("  %-10s: %8.3fs  %8.0f series/s  %9d points  %6d tables  %8d blocks (%d workers)\n",
+			r.Mode, r.Seconds, r.SeriesPerSec, r.Points, r.TablesTouched, r.BlocksRead, r.Workers)
+	}
+	fmt.Printf("  speedup: %.2fx, results equal: %v\n", rep.SpeedupX, rep.ResultsEqual)
+	if !rep.ResultsEqual {
+		fatal("sequential and parallel queries disagree")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal report: %v", err)
+	}
+	if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+		fatal("write %s: %v", cfg.out, err)
+	}
+	fmt.Printf("  report: %s\n", cfg.out)
+}
+
+// timeQuery runs the query iters times at the given worker pin (1 =
+// sequential baseline, 0 = the DB's shared fan-out pool) and keeps the
+// best wall time; the last run's results are returned for the equality
+// check.
+func timeQuery(db *tsdb.DB, ms []index.Matcher, opts tsdb.QueryOptions, workers, iters int) ([]tsdb.SeriesResult, queryRun) {
+	opts.Workers = workers
+	var (
+		res  []tsdb.SeriesResult
+		qs   tsdb.QueryStats
+		best time.Duration
+	)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		r, s, err := db.QueryMatch(ms, opts)
+		if err != nil {
+			fatal("QueryMatch: %v", err)
+		}
+		if s.SeriesFailed > 0 {
+			fatal("%d series failed", s.SeriesFailed)
+		}
+		elapsed := time.Since(start)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		res, qs = r, s
+	}
+	run := queryRun{
+		Seconds:       best.Seconds(),
+		Workers:       qs.Workers,
+		Points:        qs.PointsReturned,
+		TablesTouched: qs.TablesTouched,
+		BlocksRead:    qs.BlocksRead,
+	}
+	if run.Seconds > 0 {
+		run.SeriesPerSec = float64(qs.SeriesQueried) / run.Seconds
+	}
+	if workers == 1 {
+		run.Mode = "sequential"
+	} else {
+		run.Mode = "parallel"
+	}
+	return res, run
+}
+
+// resultsEqual compares two query answers row-for-row, point-for-point.
+func resultsEqual(a, b []tsdb.SeriesResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Err != nil || b[i].Err != nil ||
+			len(a[i].Points) != len(b[i].Points) {
+			return false
+		}
+		for j := range a[i].Points {
+			if a[i].Points[j] != b[i].Points[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

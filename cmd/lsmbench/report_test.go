@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The bench JSON artifacts are committed at the repo root precisely so a
+// later commit can use them as baselines — a report that no longer parses
+// against its schema-stable struct is a silently broken baseline. These
+// tests pin the committed files to the structs.
+
+// TestCommittedQueryReportParses guards BENCH_9.json: strict schema, both
+// legs answered identically, and the fan-out win the report was committed
+// to demonstrate (>= 64 matched series, >= 2x over sequential) is still
+// recorded.
+func TestCommittedQueryReportParses(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_9.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("BENCH_9.json must be committed at the repo root: %v", err)
+	}
+	if err := verifyQueryReport(path); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustReadQueryReport(t, path)
+	if rep.Series < 64 {
+		t.Errorf("committed run matched %d series, want >= 64", rep.Series)
+	}
+	if rep.SpeedupX < 2 {
+		t.Errorf("committed run speedup %.2fx, want >= 2x", rep.SpeedupX)
+	}
+	if rep.Parallel.Workers < 2 {
+		t.Errorf("parallel leg used %d workers", rep.Parallel.Workers)
+	}
+}
+
+// TestCommittedScenarioReportParses guards BENCH_8.json, the scenario
+// suite's committed artifact, with the same strict decode CI applies to
+// the smoke output.
+func TestCommittedScenarioReportParses(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_8.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("BENCH_8.json must be committed at the repo root: %v", err)
+	}
+	if err := verifyScenarioReport(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyReportRejectsDrift: a report with an unknown field (schema
+// drift between writer and struct) must fail verification, not pass by
+// being ignored.
+func TestVerifyReportRejectsDrift(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"unknown_field.json": `{"name":"query_fanout_vs_sequential","series":64,"points_per_series":10,
+			"read_latency_us":1,"iterations":1,"matchers":"a=b",
+			"sequential":{"mode":"sequential","workers":1,"seconds":1,"series_per_sec":1,"points_returned":5,"tables_touched":1,"blocks_read":1},
+			"parallel":{"mode":"parallel","workers":4,"seconds":0.5,"series_per_sec":2,"points_returned":5,"tables_touched":1,"blocks_read":1},
+			"speedup_x":2,"results_equal":true,"surprise":1}`,
+		"legs_disagree.json": `{"name":"query_fanout_vs_sequential","series":64,"points_per_series":10,
+			"read_latency_us":1,"iterations":1,"matchers":"a=b",
+			"sequential":{"mode":"sequential","workers":1,"seconds":1,"series_per_sec":1,"points_returned":5,"tables_touched":1,"blocks_read":1},
+			"parallel":{"mode":"parallel","workers":4,"seconds":0.5,"series_per_sec":2,"points_returned":5,"tables_touched":1,"blocks_read":1},
+			"speedup_x":2,"results_equal":false}`,
+		"empty_workload.json": `{"name":"query_fanout_vs_sequential","series":0,"points_per_series":0,
+			"read_latency_us":1,"iterations":1,"matchers":"a=b",
+			"sequential":{"mode":"sequential","workers":1,"seconds":1,"series_per_sec":1,"points_returned":5,"tables_touched":1,"blocks_read":1},
+			"parallel":{"mode":"parallel","workers":4,"seconds":0.5,"series_per_sec":2,"points_returned":5,"tables_touched":1,"blocks_read":1},
+			"speedup_x":2,"results_equal":true}`,
+	}
+	for name, body := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := verifyQueryReport(p); err == nil {
+			t.Errorf("%s: verification passed, want failure", name)
+		}
+	}
+	if err := verifyScenarioReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing scenario report passed verification")
+	}
+}
+
+func mustReadQueryReport(t *testing.T, path string) queryReport {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep queryReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}

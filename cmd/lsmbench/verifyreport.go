@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/benchmark"
+)
+
+// Report verification: `lsmbench -verifyreport <path>` strictly decodes a
+// scenario-suite JSON artifact against the schema-stable benchmark.Report
+// struct and fails on unknown fields, missing scenarios, or nonsense
+// measurements. CI runs it on the bench smoke output so a schema drift
+// (renamed field, repurposed unit) breaks loudly instead of silently
+// producing reports that later refuse to compare against old baselines.
+
+// verifyScenarioReport checks that path holds a well-formed scenario-suite
+// report. The decode is strict: a field the struct does not know about
+// means the writer and the schema have diverged.
+func verifyScenarioReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep benchmark.Report
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: strict decode: %w", path, err)
+	}
+	if rep.Bench != "scenario-suite" {
+		return fmt.Errorf("%s: bench = %q, want \"scenario-suite\"", path, rep.Bench)
+	}
+	if len(rep.Scenarios) == 0 {
+		return fmt.Errorf("%s: no scenario results", path)
+	}
+	for _, r := range rep.Scenarios {
+		if r.Scenario == "" {
+			return fmt.Errorf("%s: scenario result without a name", path)
+		}
+		if r.Points <= 0 || r.IngestPointsPerSec <= 0 {
+			return fmt.Errorf("%s: %s: empty measurement (points=%d, ingest=%f)",
+				path, r.Scenario, r.Points, r.IngestPointsPerSec)
+		}
+	}
+	return nil
+}
+
+// verifyQueryReport checks a querybench artifact (BENCH_9.json): strict
+// schema, a real fleet, and the two legs agreeing on the answer.
+func verifyQueryReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep queryReport
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: strict decode: %w", path, err)
+	}
+	if rep.Name != "query_fanout_vs_sequential" {
+		return fmt.Errorf("%s: name = %q", path, rep.Name)
+	}
+	if rep.Series <= 0 || rep.PointsPerSeries <= 0 {
+		return fmt.Errorf("%s: empty workload (%d series x %d points)", path, rep.Series, rep.PointsPerSeries)
+	}
+	if !rep.ResultsEqual {
+		return fmt.Errorf("%s: sequential and parallel legs disagreed", path)
+	}
+	if rep.Sequential.Points != rep.Parallel.Points || rep.Sequential.Points <= 0 {
+		return fmt.Errorf("%s: point counts %d vs %d", path, rep.Sequential.Points, rep.Parallel.Points)
+	}
+	if rep.SpeedupX <= 0 {
+		return fmt.Errorf("%s: speedup %f", path, rep.SpeedupX)
+	}
+	return nil
+}
+
+// runVerifyReport dispatches on the report's self-identification so CI can
+// point one flag at either artifact kind.
+func runVerifyReport(path string) {
+	var head struct {
+		Bench string `json:"bench"`
+		Name  string `json:"name"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("verifyreport: %v", err)
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		fatal("verifyreport: %s: %v", path, err)
+	}
+	switch {
+	case head.Bench == "scenario-suite":
+		err = verifyScenarioReport(path)
+	case head.Name == "query_fanout_vs_sequential":
+		err = verifyQueryReport(path)
+	default:
+		fatal("verifyreport: %s: unrecognized report (bench=%q name=%q)", path, head.Bench, head.Name)
+	}
+	if err != nil {
+		fatal("verifyreport: %v", err)
+	}
+	fmt.Printf("%s: ok\n", path)
+}

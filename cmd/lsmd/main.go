@@ -56,6 +56,7 @@ func main() {
 		cacheMB  = flag.Int("cache-mb", 0, "shared SSTable block cache capacity in MiB (durable mode; 0: 32 MiB default, negative: disabled)")
 		walSh    = flag.Int("wal-shards", 0, "group-commit WAL shards / fsync streams (durable mode; 0: default 4, negative: legacy per-series WAL objects)")
 		commitW  = flag.Duration("commit-window", 0, "group-commit WAL batching window (0: commit immediately; appends still coalesce behind in-flight commits)")
+		qworkers = flag.Int("query-workers", 0, "shared fan-out pool size for matcher queries (/query); tasks are I/O-bound range reads (0: 4x GOMAXPROCS, clamped to [4,32])")
 		memMB    = flag.Int("mem-budget-mb", 0, "DB-wide memory budget in MiB split between memtables and block cache by the arbiter; engines evict under pressure (durable mode; 0: disabled, all engines stay resident)")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 
@@ -96,6 +97,7 @@ func main() {
 		},
 		AutoCreate:     true,
 		CompactWorkers: *cworkers,
+		QueryWorkers:   *qworkers,
 	}
 	switch *policy {
 	case "auto":

@@ -1,0 +1,50 @@
+package index
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzMatcherParse drives ParseMatchers with hostile input: it must never
+// panic, every failure must be a typed ErrBadMatcher, and every success
+// must round-trip (format → reparse → identical rendering) so the server
+// can echo a canonical form of what it executed.
+func FuzzMatcherParse(f *testing.F) {
+	for _, seed := range []string{
+		"region=eu",
+		"region=eu,device=~d[0-9]+",
+		`{ a = "x,y" , b != "" }`,
+		"a!~.*,b=~(x|y)z?",
+		`k="\"quoted\""`,
+		"region=eu,region=us,region=eu",
+		"_x=1",
+		"a=",
+		"{}",
+		"a=~[",
+		"a==b",
+		"a = b , c = d",
+		"\xff\xfe=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ms, err := ParseMatchers(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadMatcher) {
+				t.Fatalf("ParseMatchers(%q): untyped error %v", s, err)
+			}
+			return
+		}
+		if len(ms) == 0 {
+			t.Fatalf("ParseMatchers(%q): nil error but no matchers", s)
+		}
+		canon := FormatMatchers(ms)
+		ms2, err := ParseMatchers(canon)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", canon, s, err)
+		}
+		if got := FormatMatchers(ms2); got != canon {
+			t.Fatalf("round trip not stable: %q -> %q -> %q", s, canon, got)
+		}
+	})
+}

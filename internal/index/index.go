@@ -1,0 +1,348 @@
+package index
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/series"
+)
+
+// Index is the in-memory inverted index over registered series label
+// sets. It is safe for concurrent use: Add/Remove take the write lock,
+// Match and the read accessors take the read lock, and the tsdb layer
+// calls the mutators under its own catalog lock so the index can never
+// run ahead of the durable catalog (index ⊆ catalog at every instant; see
+// DESIGN.md §7.9).
+//
+// Layout: one posting list — a sorted slice of series IDs — per (label
+// name, value) pair, plus a per-label-name value directory for regexp
+// expansion and a universe list for negated matchers. Posting lists are
+// copy-on-write under the lock: Match never returns aliases into mutable
+// state.
+type Index struct {
+	mu sync.RWMutex
+	// byID maps a registered series ID to its label set.
+	byID map[string]series.Labels
+	// postings maps label name → value → sorted series IDs.
+	postings map[string]map[string][]string
+	// universe is the sorted list of every registered ID.
+	universe []string
+	// universeDirty marks universe for rebuild after a mutation.
+	universeDirty bool
+
+	matches atomic.Int64 // Match calls served
+}
+
+// New creates an empty index.
+func New() *Index {
+	return &Index{
+		byID:     make(map[string]series.Labels),
+		postings: make(map[string]map[string][]string),
+	}
+}
+
+// Add registers (or re-registers) a series under its label set.
+// Re-registering with different labels replaces the old postings.
+func (ix *Index) Add(id string, ls series.Labels) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old, ok := ix.byID[id]; ok {
+		if old.Equal(ls) {
+			return
+		}
+		ix.removeLocked(id, old)
+	}
+	// Labels escape into long-lived index state: copy so later caller
+	// mutations cannot corrupt postings.
+	cp := make(series.Labels, len(ls))
+	copy(cp, ls)
+	ix.byID[id] = cp
+	for _, l := range cp {
+		vals := ix.postings[l.Name]
+		if vals == nil {
+			vals = make(map[string][]string)
+			ix.postings[l.Name] = vals
+		}
+		vals[l.Value] = insertSorted(vals[l.Value], id)
+	}
+	ix.universeDirty = true
+}
+
+// Remove drops a series from the index. Unknown IDs are a no-op.
+func (ix *Index) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ls, ok := ix.byID[id]
+	if !ok {
+		return
+	}
+	ix.removeLocked(id, ls)
+	delete(ix.byID, id)
+	ix.universeDirty = true
+}
+
+// removeLocked deletes id from every posting list of ls.
+func (ix *Index) removeLocked(id string, ls series.Labels) {
+	for _, l := range ls {
+		vals := ix.postings[l.Name]
+		if vals == nil {
+			continue
+		}
+		if pl := deleteSorted(vals[l.Value], id); len(pl) == 0 {
+			delete(vals, l.Value)
+		} else {
+			vals[l.Value] = pl
+		}
+		if len(vals) == 0 {
+			delete(ix.postings, l.Name)
+		}
+	}
+}
+
+// Labels returns the registered label set for id.
+func (ix *Index) Labels(id string) (series.Labels, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ls, ok := ix.byID[id]
+	return ls, ok
+}
+
+// Series returns the number of registered series.
+func (ix *Index) Series() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.byID)
+}
+
+// Match resolves the conjunction of matchers to the sorted list of series
+// IDs whose label sets satisfy every predicate. An empty matcher list
+// matches nothing. The result is freshly allocated.
+//
+// Each matcher evaluates to a sorted ID set — a posting-list lookup for
+// k=v, a union of the label's posting lists for regexp matchers, and a
+// complement against the universe for predicates that match the empty
+// value (absent label) — and the sets are intersected smallest-first.
+func (ix *Index) Match(ms []Matcher) []string {
+	ix.matches.Add(1)
+	if len(ms) == 0 {
+		return nil
+	}
+	ix.mu.Lock()
+	if ix.universeDirty {
+		ix.universe = ix.rebuildUniverseLocked()
+		ix.universeDirty = false
+	}
+	ix.mu.Unlock()
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	sets := make([][]string, len(ms))
+	for i, m := range ms {
+		sets[i] = ix.evalLocked(m)
+		if len(sets[i]) == 0 {
+			return []string{}
+		}
+	}
+	sort.Slice(sets, func(a, b int) bool { return len(sets[a]) < len(sets[b]) })
+	out := append([]string(nil), sets[0]...)
+	for _, s := range sets[1:] {
+		out = intersectSorted(out, s)
+		if len(out) == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+// evalLocked resolves one matcher to a sorted ID set. Caller holds the
+// read lock (universe already rebuilt).
+func (ix *Index) evalLocked(m Matcher) []string {
+	vals := ix.postings[m.Name]
+	switch m.Op {
+	case OpEq:
+		if m.Value == "" {
+			// k="" matches series without the label at all (values are
+			// validated non-empty at registration).
+			return subtractSorted(ix.universe, ix.labelUnionLocked(vals))
+		}
+		return vals[m.Value]
+	case OpNeq:
+		if m.Value == "" {
+			// k!="" matches series that do have the label.
+			return ix.labelUnionLocked(vals)
+		}
+		return subtractSorted(ix.universe, vals[m.Value])
+	case OpRe, OpNotRe:
+		// Expand the regexp over the label's value directory.
+		var matched [][]string
+		for v, pl := range vals {
+			if m.re.MatchString(v) {
+				matched = append(matched, pl)
+			}
+		}
+		pos := unionSorted(matched)
+		if m.re.MatchString("") {
+			// The pattern accepts the empty value, so series lacking the
+			// label match too.
+			pos = unionSorted([][]string{pos, subtractSorted(ix.universe, ix.labelUnionLocked(vals))})
+		}
+		if m.Op == OpRe {
+			return pos
+		}
+		return subtractSorted(ix.universe, pos)
+	}
+	return nil
+}
+
+// labelUnionLocked returns the sorted union of every posting list under
+// one label name — the set of series that carry the label at all.
+func (ix *Index) labelUnionLocked(vals map[string][]string) []string {
+	if len(vals) == 0 {
+		return nil
+	}
+	lists := make([][]string, 0, len(vals))
+	for _, pl := range vals {
+		lists = append(lists, pl)
+	}
+	return unionSorted(lists)
+}
+
+// rebuildUniverseLocked re-sorts the full ID list after mutations.
+func (ix *Index) rebuildUniverseLocked() []string {
+	u := make([]string, 0, len(ix.byID))
+	for id := range ix.byID {
+		u = append(u, id)
+	}
+	sort.Strings(u)
+	return u
+}
+
+// Stats is a snapshot of index shape for metrics.
+type Stats struct {
+	// Series is the number of registered series.
+	Series int
+	// LabelNames is the number of distinct label names.
+	LabelNames int
+	// LabelPairs is the number of distinct (name, value) pairs — posting
+	// lists held.
+	LabelPairs int
+	// Postings is the total posting-list entry count (Σ list lengths).
+	Postings int
+	// Matches counts Match calls served since creation.
+	Matches int64
+}
+
+// Stats snapshots the index counters.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := Stats{Series: len(ix.byID), LabelNames: len(ix.postings), Matches: ix.matches.Load()}
+	for _, vals := range ix.postings {
+		st.LabelPairs += len(vals)
+		for _, pl := range vals {
+			st.Postings += len(pl)
+		}
+	}
+	return st
+}
+
+// ---- sorted-slice set operations ----
+
+// insertSorted returns pl with id inserted in order (copy-on-write: the
+// original backing array is never mutated in place, so Match results
+// handed out under a previous lock hold stay stable).
+func insertSorted(pl []string, id string) []string {
+	i := sort.SearchStrings(pl, id)
+	if i < len(pl) && pl[i] == id {
+		return pl
+	}
+	out := make([]string, 0, len(pl)+1)
+	out = append(out, pl[:i]...)
+	out = append(out, id)
+	return append(out, pl[i:]...)
+}
+
+// deleteSorted returns pl without id (copy-on-write).
+func deleteSorted(pl []string, id string) []string {
+	i := sort.SearchStrings(pl, id)
+	if i >= len(pl) || pl[i] != id {
+		return pl
+	}
+	out := make([]string, 0, len(pl)-1)
+	out = append(out, pl[:i]...)
+	return append(out, pl[i+1:]...)
+}
+
+// intersectSorted returns a ∩ b, both sorted.
+func intersectSorted(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// subtractSorted returns a \ b, both sorted.
+func subtractSorted(a, b []string) []string {
+	var out []string
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// unionSorted merges sorted lists into one sorted, deduplicated list.
+func unionSorted(lists [][]string) []string {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]string(nil), lists[0]...)
+	}
+	// Pairwise fold; list counts here are small (label cardinalities).
+	out := append([]string(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		out = mergeTwoSorted(out, l)
+	}
+	return out
+}
+
+// mergeTwoSorted merges two sorted lists, deduplicating.
+func mergeTwoSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

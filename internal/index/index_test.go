@@ -1,0 +1,146 @@
+package index
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/series"
+)
+
+func mustAdd(t *testing.T, ix *Index, m map[string]string) string {
+	t.Helper()
+	ls, err := series.NewLabels(m)
+	if err != nil {
+		t.Fatalf("NewLabels(%v): %v", m, err)
+	}
+	id := ls.ID()
+	ix.Add(id, ls)
+	return id
+}
+
+func TestMatchBasics(t *testing.T) {
+	ix := New()
+	eu1 := mustAdd(t, ix, map[string]string{"region": "eu", "device": "d1"})
+	eu2 := mustAdd(t, ix, map[string]string{"region": "eu", "device": "d2"})
+	us1 := mustAdd(t, ix, map[string]string{"region": "us", "device": "d1"})
+	bare := mustAdd(t, ix, map[string]string{"metric": "temp"})
+
+	sorted := func(ids ...string) []string { out := append([]string(nil), ids...); sort.Strings(out); return out }
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"region=eu", sorted(eu1, eu2)},
+		{"region=eu,device=d1", sorted(eu1)},
+		{"region!=eu", sorted(us1, bare)},
+		{"device=~d[0-9]+", sorted(eu1, eu2, us1)},
+		{"device!~d1", sorted(eu2, bare)},
+		{"region=~e.*", sorted(eu1, eu2)},
+		{"region=~.*", sorted(eu1, eu2, us1, bare)}, // matches "" → absent too
+		{"region=", sorted(bare)},                   // empty value = absent label
+		{"region!=", sorted(eu1, eu2, us1)},         // has the label at all
+		{"region=eu,region=us", []string{}},
+		{"nosuch=x", []string{}},
+	}
+	for _, c := range cases {
+		ms, err := ParseMatchers(c.expr)
+		if err != nil {
+			t.Fatalf("ParseMatchers(%q): %v", c.expr, err)
+		}
+		got := ix.Match(ms)
+		if got == nil {
+			got = []string{}
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Match(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestRemoveAndReAdd(t *testing.T) {
+	ix := New()
+	id := mustAdd(t, ix, map[string]string{"region": "eu"})
+	if got := ix.Match([]Matcher{MustMatcher("region", OpEq, "eu")}); len(got) != 1 {
+		t.Fatalf("before remove: %v", got)
+	}
+	ix.Remove(id)
+	if got := ix.Match([]Matcher{MustMatcher("region", OpEq, "eu")}); len(got) != 0 {
+		t.Fatalf("after remove: %v", got)
+	}
+	if st := ix.Stats(); st.Series != 0 || st.LabelPairs != 0 || st.Postings != 0 {
+		t.Fatalf("stats not empty after remove: %+v", st)
+	}
+	ix.Add(id, series.MustLabels(map[string]string{"region": "eu"}))
+	if got := ix.Match([]Matcher{MustMatcher("region", OpEq, "eu")}); len(got) != 1 {
+		t.Fatalf("after re-add: %v", got)
+	}
+}
+
+func TestMatchResultIsStableAcrossMutation(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, map[string]string{"region": "eu", "device": "d1"})
+	got := ix.Match([]Matcher{MustMatcher("region", OpEq, "eu")})
+	snapshot := append([]string(nil), got...)
+	mustAdd(t, ix, map[string]string{"region": "eu", "device": "d2"})
+	mustAdd(t, ix, map[string]string{"region": "eu", "device": "d0"})
+	if !reflect.DeepEqual(got, snapshot) {
+		t.Fatalf("earlier Match result mutated: %v != %v", got, snapshot)
+	}
+}
+
+func TestParseMatchersSyntax(t *testing.T) {
+	ms, err := ParseMatchers(` { region = "eu, west" , device =~ "d[0-9]+" , dc != west } `)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d matchers: %v", len(ms), ms)
+	}
+	if ms[0].Name != "region" || ms[0].Op != OpEq || ms[0].Value != "eu, west" {
+		t.Errorf("matcher 0 = %+v", ms[0])
+	}
+	if ms[1].Op != OpRe || ms[1].Value != "d[0-9]+" {
+		t.Errorf("matcher 1 = %+v", ms[1])
+	}
+	if ms[2].Op != OpNeq || ms[2].Value != "west" {
+		t.Errorf("matcher 2 = %+v", ms[2])
+	}
+
+	// Round trip: format → parse → equal.
+	ms2, err := ParseMatchers(FormatMatchers(ms))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if FormatMatchers(ms2) != FormatMatchers(ms) {
+		t.Fatalf("round trip: %q != %q", FormatMatchers(ms2), FormatMatchers(ms))
+	}
+
+	for _, bad := range []string{
+		"", "{", "region", "=eu", "region=eu,,", "region=eu,",
+		`region="eu`, "region=~d[0-9", "1name=x", "region eu",
+	} {
+		if _, err := ParseMatchers(bad); !errors.Is(err, ErrBadMatcher) {
+			t.Errorf("ParseMatchers(%q): err=%v, want ErrBadMatcher", bad, err)
+		}
+	}
+}
+
+func TestLabelsID(t *testing.T) {
+	a := series.MustLabels(map[string]string{"region": "eu", "device": "d1"})
+	b := series.MustLabels(map[string]string{"device": "d1", "region": "eu"})
+	if a.ID() != b.ID() {
+		t.Fatalf("same labels, different IDs: %s vs %s", a.ID(), b.ID())
+	}
+	c := series.MustLabels(map[string]string{"region": "eu", "device": "d2"})
+	if a.ID() == c.ID() {
+		t.Fatalf("different labels, same ID: %s", a.ID())
+	}
+	// Length-prefixed encoding: ("ab","c") must differ from ("a","bc").
+	d := series.Labels{{Name: "ab", Value: "c"}}
+	e := series.Labels{{Name: "a", Value: "bc"}}
+	if d.ID() == e.ID() {
+		t.Fatal("concatenation-ambiguous label sets collided")
+	}
+}

@@ -1,0 +1,263 @@
+// Package index is the tag-indexed series-discovery layer: an inverted
+// index mapping label pairs to posting lists of series IDs, queried with
+// Prometheus-style matchers (equality, negated equality, anchored regular
+// expressions, negated regular expressions). The multi-series store
+// (internal/tsdb) keeps one Index over every registered series' label set
+// and rebuilds it from the durable catalog on recovery; resolution cost is
+// sorted-posting-list intersection and union, independent of total point
+// volume.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/series"
+)
+
+// Op is a matcher's comparison operator.
+type Op uint8
+
+const (
+	// OpEq matches series whose value for the label equals Value exactly.
+	OpEq Op = iota
+	// OpNeq matches series whose value for the label differs from Value.
+	OpNeq
+	// OpRe matches series whose value matches the anchored regexp Value.
+	OpRe
+	// OpNotRe matches series whose value does not match the regexp.
+	OpNotRe
+)
+
+// String renders the operator in matcher syntax.
+func (op Op) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "!="
+	case OpRe:
+		return "=~"
+	case OpNotRe:
+		return "!~"
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// ErrBadMatcher is the typed error family for matcher construction and
+// parse failures; every error out of NewMatcher and ParseMatchers wraps it.
+var ErrBadMatcher = errors.New("index: bad matcher")
+
+// maxMatcherLen bounds one matcher expression's byte length (and therefore
+// the compiled regexp's source), keeping hostile inputs from allocating
+// unbounded parse state.
+const maxMatcherLen = 1024
+
+// Matcher is one label predicate. A series' value for the label is the
+// labeled value when the label is present and "" when absent, so negated
+// matchers (k!="v", k!~"re") match series that lack the label entirely —
+// the same absent-is-empty convention Prometheus uses.
+type Matcher struct {
+	Name  string
+	Op    Op
+	Value string
+	re    *regexp.Regexp // compiled anchored regexp for OpRe/OpNotRe
+}
+
+// NewMatcher validates the label name and, for regexp operators, compiles
+// Value fully anchored (a ^(?:...)$ wrapper, like Prometheus) so d[0-9]+
+// means the whole value, not a substring.
+var matcherNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+func NewMatcher(name string, op Op, value string) (Matcher, error) {
+	if !matcherNameRE.MatchString(name) {
+		return Matcher{}, fmt.Errorf("%w: bad label name %q", ErrBadMatcher, name)
+	}
+	if len(value) > maxMatcherLen {
+		return Matcher{}, fmt.Errorf("%w: value exceeds %d bytes", ErrBadMatcher, maxMatcherLen)
+	}
+	m := Matcher{Name: name, Op: op, Value: value}
+	switch op {
+	case OpEq, OpNeq:
+	case OpRe, OpNotRe:
+		re, err := regexp.Compile("^(?:" + value + ")$")
+		if err != nil {
+			return Matcher{}, fmt.Errorf("%w: bad regexp %q: %v", ErrBadMatcher, value, err)
+		}
+		m.re = re
+	default:
+		return Matcher{}, fmt.Errorf("%w: unknown op %d", ErrBadMatcher, op)
+	}
+	return m, nil
+}
+
+// MustMatcher is NewMatcher for tests; it panics on invalid input.
+func MustMatcher(name string, op Op, value string) Matcher {
+	m, err := NewMatcher(name, op, value)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Matches reports whether a series whose value for m.Name is v ("" when
+// the label is absent) satisfies the predicate. This is the reference
+// semantics the inverted index must agree with; the property test checks
+// Index.Match against a brute-force sweep of exactly this function.
+func (m Matcher) Matches(v string) bool {
+	switch m.Op {
+	case OpEq:
+		return v == m.Value
+	case OpNeq:
+		return v != m.Value
+	case OpRe:
+		return m.re.MatchString(v)
+	case OpNotRe:
+		return !m.re.MatchString(v)
+	}
+	return false
+}
+
+// MatchesLabels applies the predicate to a full label set.
+func (m Matcher) MatchesLabels(ls series.Labels) bool {
+	v, _ := ls.Get(m.Name)
+	return m.Matches(v)
+}
+
+// String renders the matcher in parseable syntax, quoting the value.
+func (m Matcher) String() string {
+	return fmt.Sprintf("%s%s%q", m.Name, m.Op, m.Value)
+}
+
+// FormatMatchers renders a matcher list in ParseMatchers syntax.
+func FormatMatchers(ms []Matcher) string {
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseMatchers parses a comma-separated matcher list:
+//
+//	region=eu,device=~d[0-9]+,dc!=west,host!~can.*
+//
+// Values may be double-quoted (Go string syntax) to contain commas,
+// spaces, or operator characters: env="a,b". An optional surrounding
+// {...} is accepted and stripped. Errors wrap ErrBadMatcher.
+func ParseMatchers(s string) ([]Matcher, error) {
+	if len(s) > 64*maxMatcherLen {
+		return nil, fmt.Errorf("%w: expression exceeds %d bytes", ErrBadMatcher, 64*maxMatcherLen)
+	}
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "{") {
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("%w: unbalanced braces", ErrBadMatcher)
+		}
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty matcher expression", ErrBadMatcher)
+	}
+	var out []Matcher
+	rest := s
+	for rest != "" {
+		m, tail, err := parseOne(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		rest = tail
+	}
+	return out, nil
+}
+
+// parseOne consumes one matcher from the head of s and returns the
+// remainder after the separating comma.
+func parseOne(s string) (Matcher, string, error) {
+	s = strings.TrimSpace(s)
+	// Label name: identifier prefix.
+	i := 0
+	for i < len(s) && (s[i] == '_' ||
+		(s[i] >= 'a' && s[i] <= 'z') || (s[i] >= 'A' && s[i] <= 'Z') ||
+		(i > 0 && s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	if i == 0 {
+		return Matcher{}, "", fmt.Errorf("%w: expected label name at %q", ErrBadMatcher, clip(s))
+	}
+	name := s[:i]
+	rest := strings.TrimSpace(s[i:])
+	var op Op
+	switch {
+	case strings.HasPrefix(rest, "=~"):
+		op, rest = OpRe, rest[2:]
+	case strings.HasPrefix(rest, "!="):
+		op, rest = OpNeq, rest[2:]
+	case strings.HasPrefix(rest, "!~"):
+		op, rest = OpNotRe, rest[2:]
+	case strings.HasPrefix(rest, "="):
+		op, rest = OpEq, rest[1:]
+	default:
+		return Matcher{}, "", fmt.Errorf("%w: expected operator after %q at %q", ErrBadMatcher, name, clip(rest))
+	}
+	rest = strings.TrimSpace(rest)
+	var value, tail string
+	if strings.HasPrefix(rest, `"`) {
+		// Quoted value: find the closing quote honoring backslash escapes,
+		// then let the Go scanner handle escape sequences.
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			if rest[j] == '\\' {
+				j++
+				continue
+			}
+			if rest[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return Matcher{}, "", fmt.Errorf("%w: unterminated quoted value at %q", ErrBadMatcher, clip(rest))
+		}
+		unq, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return Matcher{}, "", fmt.Errorf("%w: bad quoted value %q: %v", ErrBadMatcher, clip(rest[:end+1]), err)
+		}
+		value, tail = unq, rest[end+1:]
+	} else {
+		// Bare value: up to the next comma.
+		if j := strings.IndexByte(rest, ','); j >= 0 {
+			value, tail = rest[:j], rest[j:]
+		} else {
+			value, tail = rest, ""
+		}
+		value = strings.TrimSpace(value)
+	}
+	tail = strings.TrimSpace(tail)
+	if tail != "" {
+		if !strings.HasPrefix(tail, ",") {
+			return Matcher{}, "", fmt.Errorf("%w: expected ',' at %q", ErrBadMatcher, clip(tail))
+		}
+		tail = strings.TrimSpace(tail[1:])
+		if tail == "" {
+			return Matcher{}, "", fmt.Errorf("%w: trailing comma", ErrBadMatcher)
+		}
+	}
+	m, err := NewMatcher(name, op, value)
+	if err != nil {
+		return Matcher{}, "", err
+	}
+	return m, tail, nil
+}
+
+// clip truncates a string for error messages.
+func clip(s string) string {
+	if len(s) > 32 {
+		return s[:32] + "…"
+	}
+	return s
+}

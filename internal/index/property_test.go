@@ -1,0 +1,151 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/series"
+)
+
+// The matcher-resolution property test: for randomized label universes,
+// series populations, matcher shapes, and add/drop churn, Index.Match must
+// return exactly the series a brute-force sweep of Matcher.MatchesLabels
+// over every registered label set returns. This is the satellite pin for
+// the tentpole — the posting-list algebra (intersection, union,
+// complement, regexp expansion, absent-is-empty semantics) against the
+// four-line reference semantics.
+
+// bruteMatch is the reference resolution: filter every registered set.
+func bruteMatch(reg map[string]series.Labels, ms []Matcher) []string {
+	var out []string
+	for id, ls := range reg {
+		ok := true
+		for _, m := range ms {
+			if !m.MatchesLabels(ls) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	if out == nil {
+		out = []string{}
+	}
+	return out
+}
+
+// randLabels draws a random label set from the universe of names/values.
+func randLabels(rng *rand.Rand, names []string, card int) series.Labels {
+	n := 1 + rng.Intn(len(names))
+	picked := rng.Perm(len(names))[:n]
+	m := make(map[string]string, n)
+	for _, i := range picked {
+		m[names[i]] = fmt.Sprintf("%s%d", names[i][:1], rng.Intn(card))
+	}
+	return series.MustLabels(m)
+}
+
+// randMatcher draws a random matcher, biased toward values that exist.
+func randMatcher(rng *rand.Rand, names []string, card int) Matcher {
+	name := names[rng.Intn(len(names))]
+	var value string
+	switch rng.Intn(4) {
+	case 0:
+		value = "" // absent-label probe
+	case 1:
+		value = fmt.Sprintf("%s%d", name[:1], rng.Intn(2*card)) // maybe nonexistent
+	default:
+		value = fmt.Sprintf("%s%d", name[:1], rng.Intn(card))
+	}
+	op := Op(rng.Intn(4))
+	if op == OpRe || op == OpNotRe {
+		switch rng.Intn(4) {
+		case 0:
+			value = name[:1] + "[0-9]+"
+		case 1:
+			value = name[:1] + fmt.Sprintf("%d|%s%d", rng.Intn(card), name[:1], rng.Intn(card))
+		case 2:
+			value = ".*"
+		default:
+			value = name[:1] + fmt.Sprintf("%d", rng.Intn(card)) + ".*"
+		}
+	}
+	return MustMatcher(name, op, value)
+}
+
+func TestMatchEquivalenceProperty(t *testing.T) {
+	rounds := 60
+	if testing.Short() {
+		rounds = 15
+	}
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewSource(int64(7000 + round)))
+		names := []string{"region", "device", "zone", "metric", "host"}[:2+rng.Intn(4)]
+		card := 1 + rng.Intn(8)
+
+		ix := New()
+		reg := make(map[string]series.Labels) // the brute-force mirror
+
+		ops := 40 + rng.Intn(120)
+		var ids []string
+		for o := 0; o < ops; o++ {
+			// Churn: mostly adds, interleaved drops once populated.
+			if len(ids) > 4 && rng.Intn(4) == 0 {
+				victim := ids[rng.Intn(len(ids))]
+				ix.Remove(victim)
+				delete(reg, victim)
+			} else {
+				ls := randLabels(rng, names, card)
+				id := ls.ID()
+				ix.Add(id, ls)
+				reg[id] = ls
+				ids = append(ids, id)
+			}
+
+			// Every few mutations, compare a batch of random matcher
+			// queries against brute force.
+			if o%7 != 0 {
+				continue
+			}
+			for q := 0; q < 8; q++ {
+				ms := make([]Matcher, 1+rng.Intn(3))
+				for i := range ms {
+					ms[i] = randMatcher(rng, names, card)
+				}
+				got := ix.Match(ms)
+				if got == nil {
+					got = []string{}
+				}
+				want := bruteMatch(reg, ms)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("round %d op %d: Match(%s) = %v, want %v (registered %d series)",
+						round, o, FormatMatchers(ms), got, want, len(reg))
+				}
+			}
+		}
+
+		// Parity with a rebuilt index: re-adding every surviving label set
+		// into a fresh index (exactly what tsdb recovery does from the
+		// catalog) must answer identically.
+		rebuilt := New()
+		for id, ls := range reg {
+			rebuilt.Add(id, ls)
+		}
+		for q := 0; q < 20; q++ {
+			ms := []Matcher{randMatcher(rng, names, card), randMatcher(rng, names, card)}
+			a, b := ix.Match(ms), rebuilt.Match(ms)
+			if len(a) == 0 && len(b) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("round %d: rebuilt index diverges on %s: %v vs %v", round, FormatMatchers(ms), a, b)
+			}
+		}
+	}
+}

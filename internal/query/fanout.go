@@ -1,0 +1,92 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Fan-out support for multi-series queries: a matcher query resolves to a
+// set of series, and each series' range read is an independent unit of
+// work dominated by backend I/O (ranged block reads, possibly remote).
+// Pool bounds how many of those reads run at once — concurrency is a
+// DB-wide knob, not O(matched series) goroutines — while still
+// overlapping their I/O waits.
+
+// DefaultWorkers sizes a fan-out pool when the caller does not: four
+// workers per scheduler thread, clamped to [4, 32]. Fan-out tasks spend
+// most of their time blocked on backend reads, so oversubscribing the
+// CPUs is the point — on a one-core box a pool of four still overlaps
+// four in-flight reads.
+func DefaultWorkers() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
+// Pool is a bounded worker pool for query fan-out. Tasks submitted with
+// Run execute on one of a fixed set of workers; after Close, Run degrades
+// to executing the task inline in the caller, so submitters never block
+// on a pool that is shutting down.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	done    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool starts a pool with the given worker count (0 or negative
+// selects DefaultWorkers).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func()),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case fn := <-p.tasks:
+					fn()
+				case <-p.done:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn on a pool worker, blocking until a worker accepts it.
+// If the pool has been closed, fn runs inline in the caller instead —
+// submitters always make progress.
+func (p *Pool) Run(fn func()) {
+	select {
+	case p.tasks <- fn:
+	case <-p.done:
+		fn()
+	}
+}
+
+// Close stops the workers and waits for in-flight tasks to finish.
+// Idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		close(p.done)
+		p.wg.Wait()
+	})
+}

@@ -101,9 +101,63 @@ type AggregateResponse struct {
 	Stats   ScanStatsJSON `json:"stats"`
 }
 
-// SeriesResponse is the /series body.
+// SeriesResponse is the /series body. With a ?match= filter, Series holds
+// only the matching IDs and Labels carries each one's label set.
 type SeriesResponse struct {
 	Series []string `json:"series"`
+	// Labels maps series ID → label pairs; present only for matcher
+	// listings (plain /series stays byte-compatible with old clients).
+	Labels map[string]map[string]string `json:"labels,omitempty"`
+}
+
+// CreateSeriesRequest is the POST /series body. Exactly one of Name
+// (name-addressed series) or Labels (tag-addressed; the server derives
+// the canonical ID) must be set.
+type CreateSeriesRequest struct {
+	Name   string            `json:"name,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// CreateSeriesResponse reports the created (or pre-existing) series.
+type CreateSeriesResponse struct {
+	// ID is the series' canonical identifier — the name for
+	// name-addressed series, the label-set hash for tagged ones. Writes
+	// and scans address the series by this ID.
+	ID     string            `json:"id"`
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// QuerySeriesJSON is one matched series' slice of a /query response.
+type QuerySeriesJSON struct {
+	ID      string            `json:"id"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Points  []PointJSON       `json:"points,omitempty"`
+	Buckets []BucketJSON      `json:"buckets,omitempty"`
+	Count   int               `json:"count"`
+	Stats   ScanStatsJSON     `json:"stats"`
+	// Error records a per-series failure (e.g. the series was dropped
+	// mid-query); the query as a whole still succeeds.
+	Error string `json:"error,omitempty"`
+}
+
+// QueryStatsJSON summarizes one /query execution.
+type QueryStatsJSON struct {
+	SeriesMatched  int   `json:"series_matched"`
+	SeriesQueried  int   `json:"series_queried"`
+	SeriesFailed   int   `json:"series_failed"`
+	TablesTouched  int   `json:"tables_touched"`
+	BlocksRead     int64 `json:"blocks_read"`
+	PointsReturned int   `json:"points_returned"`
+	Workers        int   `json:"workers"`
+}
+
+// QueryResponse is the /query body: the canonical form of the parsed
+// matchers, one result per matched series (sorted by ID), and the
+// query-wide fan-out statistics.
+type QueryResponse struct {
+	Matchers string            `json:"matchers"`
+	Results  []QuerySeriesJSON `json:"results"`
+	Stats    QueryStatsJSON    `json:"stats"`
 }
 
 // DecisionJSON reports the adaptive analyzer's current choice for a series.

@@ -140,6 +140,90 @@ func (c *Client) Series(ctx context.Context) ([]string, error) {
 	return resp.Series, nil
 }
 
+// SeriesMatch lists the series whose label sets satisfy the matcher
+// expression (e.g. "region=eu,device=~d[0-9]+"), with each one's labels.
+func (c *Client) SeriesMatch(ctx context.Context, match string) (api.SeriesResponse, error) {
+	var resp api.SeriesResponse
+	err := c.getJSON(ctx, "/series", url.Values{"match": {match}}, &resp)
+	return resp, err
+}
+
+// CreateSeries registers a name-addressed series.
+func (c *Client) CreateSeries(ctx context.Context, name string) error {
+	_, err := c.postJSON(ctx, "/series", api.CreateSeriesRequest{Name: name})
+	return err
+}
+
+// CreateSeriesLabeled registers a tag-addressed series and returns the
+// canonical series ID that writes and scans must address.
+func (c *Client) CreateSeriesLabeled(ctx context.Context, labels map[string]string) (string, error) {
+	resp, err := c.postJSON(ctx, "/series", api.CreateSeriesRequest{Labels: labels})
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// QueryOptions refine a client Query beyond the matcher expression and
+// range. Zero values mean server defaults.
+type QueryOptions struct {
+	// Width switches the query to aggregation with buckets of that width.
+	Width int64
+	// Workers pins the fan-out concurrency (1 = sequential).
+	Workers int
+	// Limit caps the number of matched series read.
+	Limit int
+}
+
+// Query runs a matcher query: every series whose labels satisfy match is
+// read over [lo, hi] concurrently on the server, and the response carries
+// one result row per matched series plus query-wide fan-out statistics.
+func (c *Client) Query(ctx context.Context, match string, lo, hi int64, opts QueryOptions) (api.QueryResponse, error) {
+	q := url.Values{
+		"match": {match},
+		"lo":    {strconv.FormatInt(lo, 10)},
+		"hi":    {strconv.FormatInt(hi, 10)},
+	}
+	if opts.Width > 0 {
+		q.Set("width", strconv.FormatInt(opts.Width, 10))
+	}
+	if opts.Workers > 0 {
+		q.Set("workers", strconv.Itoa(opts.Workers))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	var resp api.QueryResponse
+	err := c.getJSON(ctx, "/query", q, &resp)
+	return resp, err
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body any) (api.CreateSeriesResponse, error) {
+	var out api.CreateSeriesResponse
+	data, err := json.Marshal(body)
+	if err != nil {
+		return out, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return out, fmt.Errorf("client: %s: %s", path, e.Error)
+		}
+		return out, fmt.Errorf("client: %s: %s", path, resp.Status)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
 // Stats fetches per-series engine statistics.
 func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
 	var resp api.StatsResponse

@@ -25,7 +25,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("lsmd_ingest_points_failed_total", "Accepted points whose engine write errored.", s.pool.failed.Load())
 	counter("lsmd_scan_requests_total", "Scan requests received.", s.scanRequests.Load())
 	counter("lsmd_aggregate_requests_total", "Aggregate requests received.", s.aggRequests.Load())
-	counter("lsmd_scanned_points_total", "Points returned by scan and aggregate requests.", s.scannedPoints.Load())
+	counter("lsmd_query_requests_total", "Matcher query requests received.", s.queryRequests.Load())
+	counter("lsmd_scanned_points_total", "Points returned by scan, aggregate, and query requests.", s.scannedPoints.Load())
+
+	// Tag index shape and matcher-query fan-out accounting.
+	ix := s.db.Index().Stats()
+	fmt.Fprintf(&b, "# HELP lsmd_index_series Series registered in the tag index.\n# TYPE lsmd_index_series gauge\nlsmd_index_series %d\n", ix.Series)
+	fmt.Fprintf(&b, "# HELP lsmd_index_label_names Distinct label names in the tag index.\n# TYPE lsmd_index_label_names gauge\nlsmd_index_label_names %d\n", ix.LabelNames)
+	fmt.Fprintf(&b, "# HELP lsmd_index_label_pairs Distinct (name,value) pairs — posting lists held.\n# TYPE lsmd_index_label_pairs gauge\nlsmd_index_label_pairs %d\n", ix.LabelPairs)
+	fmt.Fprintf(&b, "# HELP lsmd_index_postings Total posting-list entries across all label pairs.\n# TYPE lsmd_index_postings gauge\nlsmd_index_postings %d\n", ix.Postings)
+	counter("lsmd_index_matches_total", "Matcher resolutions served by the tag index.", ix.Matches)
+	fs := s.db.FanoutStats()
+	fmt.Fprintf(&b, "# HELP lsmd_query_fanout_workers Shared query fan-out pool size.\n# TYPE lsmd_query_fanout_workers gauge\nlsmd_query_fanout_workers %d\n", fs.Workers)
+	counter("lsmd_query_fanout_queries_total", "Multi-series matcher queries executed.", fs.Queries)
+	counter("lsmd_query_fanout_series_total", "Per-series read tasks fanned out by matcher queries.", fs.SeriesFanned)
+	counter("lsmd_query_fanout_series_failed_total", "Fanned per-series read tasks that errored.", fs.SeriesFailed)
 
 	// Queue gauges: depth per shard plus the shared capacity.
 	fmt.Fprintf(&b, "# HELP lsmd_ingest_queue_batches Queued or in-flight write batches per ingest shard.\n# TYPE lsmd_ingest_queue_batches gauge\n")

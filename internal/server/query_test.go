@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+)
+
+// TestQueryEndToEnd drives the tag-query surface through the real HTTP
+// stack with the real client: labeled registration via POST /series,
+// writes addressed by the returned IDs, matcher discovery via
+// /series?match=, parallel multi-series reads via /query (raw and
+// aggregated), and the lsmd_index_* / lsmd_query_fanout_* metrics
+// families.
+func TestQueryEndToEnd(t *testing.T) {
+	srv, base := startServer(t, Config{DB: testDB(t), CloseDB: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	defer srv.Close(context.Background())
+	c := client.New(base)
+
+	ids := make(map[string]string) // device -> id
+	for _, dev := range []string{"d0", "d1", "d2"} {
+		id, err := c.CreateSeriesLabeled(ctx, map[string]string{
+			"region": "eu", "device": dev, "metric": "temp",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[dev] = id
+	}
+	usID, err := c.CreateSeriesLabeled(ctx, map[string]string{
+		"region": "us", "device": "d0", "metric": "temp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSeries(ctx, "root.named"); err != nil {
+		t.Fatal(err)
+	}
+
+	var pts []api.Point
+	for dev, id := range ids {
+		for tg := int64(0); tg < 20; tg++ {
+			pts = append(pts, api.Point{Series: id, TG: tg, TA: tg, V: float64(len(dev))})
+		}
+	}
+	pts = append(pts, api.Point{Series: usID, TG: 1, TA: 1, V: 9})
+	if _, err := c.Write(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Matcher listing: /series?match= returns IDs plus labels.
+	listing, err := c.SeriesMatch(ctx, "region=eu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Series) != 3 {
+		t.Fatalf("match listing = %+v", listing)
+	}
+	for _, id := range listing.Series {
+		if listing.Labels[id]["region"] != "eu" {
+			t.Fatalf("labels for %s = %v", id, listing.Labels[id])
+		}
+	}
+
+	// Raw query across the eu fleet.
+	qr, err := c.Query(ctx, "region=eu,device=~d[0-9]", 0, 100, client.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Stats.SeriesMatched != 3 || qr.Stats.SeriesQueried != 3 || qr.Stats.SeriesFailed != 0 {
+		t.Fatalf("query stats = %+v", qr.Stats)
+	}
+	if qr.Stats.Workers < 1 {
+		t.Fatalf("workers = %d", qr.Stats.Workers)
+	}
+	if len(qr.Results) != 3 {
+		t.Fatalf("results = %d", len(qr.Results))
+	}
+	for _, row := range qr.Results {
+		if row.Error != "" || row.Count != 20 || len(row.Points) != 20 {
+			t.Fatalf("row %s: count=%d err=%q", row.ID, row.Count, row.Error)
+		}
+		if row.Labels["metric"] != "temp" {
+			t.Fatalf("row %s labels %v", row.ID, row.Labels)
+		}
+	}
+	if qr.Stats.PointsReturned != 60 {
+		t.Fatalf("points returned = %d", qr.Stats.PointsReturned)
+	}
+
+	// Aggregated query with a pinned sequential baseline and a limit.
+	qa, err := c.Query(ctx, "region=eu", 0, 100, client.QueryOptions{Width: 10, Workers: 1, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.Stats.SeriesMatched != 3 || qa.Stats.SeriesQueried != 2 || qa.Stats.Workers != 1 {
+		t.Fatalf("aggregate query stats = %+v", qa.Stats)
+	}
+	for _, row := range qa.Results {
+		if len(row.Buckets) != 2 || row.Buckets[0].Count != 10 {
+			t.Fatalf("row %s buckets %+v", row.ID, row.Buckets)
+		}
+	}
+
+	// The implicit __name__ label reaches name-addressed series.
+	qn, err := c.Query(ctx, "__name__=root.named", 0, 100, client.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qn.Stats.SeriesMatched != 1 || qn.Results[0].ID != "root.named" {
+		t.Fatalf("__name__ query = %+v", qn.Stats)
+	}
+
+	// Bad matcher syntax is a 400 with a typed message, not a panic/500.
+	resp, body := get(t, base+"/query?match="+`region%3D~%5B`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "bad matcher") {
+		t.Fatalf("bad matcher: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Metrics families exist and carry the activity.
+	resp, body = get(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"lsmd_index_series 5",
+		"lsmd_index_label_names",
+		"lsmd_index_postings",
+		"lsmd_index_matches_total",
+		"lsmd_query_fanout_workers",
+		"lsmd_query_fanout_queries_total 3",
+		"lsmd_query_fanout_series_total",
+		"lsmd_query_requests_total 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestCreateSeriesValidation pins the POST /series error envelope.
+func TestCreateSeriesValidation(t *testing.T) {
+	srv, base := startServer(t, Config{DB: testDB(t), CloseDB: true})
+	defer srv.Close(context.Background())
+
+	cases := []struct {
+		body   string
+		status int
+	}{
+		{`{"name":"ok.series"}`, http.StatusOK},
+		{`{"labels":{"region":"eu"}}`, http.StatusOK},
+		{`{"name":"x","labels":{"a":"b"}}`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"labels":{"bad name":"v"}}`, http.StatusBadRequest},
+		{`{"labels":{"region":""}}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, base+"/series", "application/json", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("POST /series %s: status %d (want %d), body %s", tc.body, resp.StatusCode, tc.status, body)
+		}
+	}
+}

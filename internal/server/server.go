@@ -11,7 +11,9 @@
 //	POST /write      line protocol "series t_g t_a value" (or JSON)
 //	GET  /scan       ?series=S&lo=&hi=
 //	GET  /aggregate  ?series=S&lo=&hi=&width=
-//	GET  /series
+//	GET  /query      ?match=region=eu,device=~d[0-9]+&lo=&hi=[&width=&workers=&limit=]
+//	GET  /series     [?match=...]
+//	POST /series     {"name":...} or {"labels":{...}}
 //	GET  /series/{series}/stats
 //	GET  /stats
 //	GET  /metrics    Prometheus text format
@@ -35,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/index"
 	"repro/internal/lsm"
 	"repro/internal/metrics"
 	"repro/internal/query"
@@ -86,6 +89,7 @@ type Server struct {
 	writesThrottled atomic.Int64 // rejections caused by compaction backpressure
 	scanRequests    atomic.Int64
 	aggRequests     atomic.Int64
+	queryRequests   atomic.Int64
 	scannedPoints   atomic.Int64
 
 	latMu    sync.Mutex
@@ -177,7 +181,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /write", s.handleWrite)
 	mux.HandleFunc("GET /scan", s.handleScan)
 	mux.HandleFunc("GET /aggregate", s.handleAggregate)
+	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /series", s.handleSeries)
+	mux.HandleFunc("POST /series", s.handleCreateSeries)
 	mux.HandleFunc("GET /series/{series}/stats", s.handleSeriesStats)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -465,11 +471,180 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if expr := r.URL.Query().Get("match"); expr != "" {
+		ms, err := index.ParseMatchers(expr)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ids := s.db.Match(ms)
+		resp := api.SeriesResponse{Series: ids, Labels: make(map[string]map[string]string, len(ids))}
+		if resp.Series == nil {
+			resp.Series = []string{}
+		}
+		for _, id := range ids {
+			if ls, ok := s.db.LabelsOf(id); ok {
+				resp.Labels[id] = ls.Map()
+			}
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	names := s.db.Series()
 	if names == nil {
 		names = []string{}
 	}
 	s.writeJSON(w, http.StatusOK, api.SeriesResponse{Series: names})
+}
+
+// handleCreateSeries registers a series explicitly: by name, or by label
+// set (the response carries the canonical ID writes must address).
+func (s *Server) handleCreateSeries(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	defer body.Close()
+	var req api.CreateSeriesRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	switch {
+	case req.Name != "" && len(req.Labels) > 0:
+		s.writeError(w, http.StatusBadRequest, "name and labels are mutually exclusive")
+	case req.Name != "":
+		if err := s.db.CreateSeries(req.Name); err != nil {
+			s.createError(w, err)
+			return
+		}
+		resp := api.CreateSeriesResponse{ID: req.Name}
+		if ls, ok := s.db.LabelsOf(req.Name); ok {
+			resp.Labels = ls.Map()
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	case len(req.Labels) > 0:
+		ls, err := series.NewLabels(req.Labels)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		id, err := s.db.CreateSeriesLabeled(ls)
+		if err != nil {
+			s.createError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, api.CreateSeriesResponse{ID: id, Labels: ls.Map()})
+	default:
+		s.writeError(w, http.StatusBadRequest, "one of name or labels is required")
+	}
+}
+
+func (s *Server) createError(w http.ResponseWriter, err error) {
+	if errors.Is(err, tsdb.ErrClosed) {
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// handleQuery resolves a matcher expression against the tag index and
+// fans the per-series reads across the DB's query worker pool. The
+// response streams: each matched series' row is encoded to the wire as
+// the result array is walked, so a wide fan-out never materializes one
+// giant response value; the query-wide stats (series matched/queried,
+// tables touched, fan-out width) trail the results.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.queryRequests.Add(1)
+	q := r.URL.Query()
+	expr := q.Get("match")
+	if expr == "" {
+		s.writeError(w, http.StatusBadRequest, "missing match parameter")
+		return
+	}
+	ms, err := index.ParseMatchers(expr)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := tsdb.QueryOptions{Lo: int64(math.MinInt64 / 2), Hi: int64(math.MaxInt64 / 2)}
+	intParam := func(key string, dst *int64, min int64) bool {
+		v := q.Get(key)
+		if v == "" {
+			return true
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < min {
+			s.writeError(w, http.StatusBadRequest, "bad %s %q", key, v)
+			return false
+		}
+		*dst = n
+		return true
+	}
+	var workers, limit int64
+	if !intParam("lo", &opts.Lo, math.MinInt64/2) || !intParam("hi", &opts.Hi, math.MinInt64/2) ||
+		!intParam("width", &opts.BucketWidth, 1) || !intParam("workers", &workers, 1) ||
+		!intParam("limit", &limit, 1) {
+		return
+	}
+	opts.Workers, opts.Limit = int(workers), int(limit)
+
+	results, qs, err := s.db.QueryMatch(ms, opts)
+	if err != nil {
+		s.queryError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	mj, _ := json.Marshal(index.FormatMatchers(ms))
+	fmt.Fprintf(bw, `{"matchers":%s,"results":[`, mj)
+	for i := range results {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		rj, _ := json.Marshal(querySeriesJSON(&results[i]))
+		bw.Write(rj)
+	}
+	stJSON, _ := json.Marshal(api.QueryStatsJSON{
+		SeriesMatched:  qs.SeriesMatched,
+		SeriesQueried:  qs.SeriesQueried,
+		SeriesFailed:   qs.SeriesFailed,
+		TablesTouched:  qs.TablesTouched,
+		BlocksRead:     qs.BlocksRead,
+		PointsReturned: qs.PointsReturned,
+		Workers:        qs.Workers,
+	})
+	fmt.Fprintf(bw, "],\"stats\":%s}\n", stJSON)
+	bw.Flush()
+	s.scannedPoints.Add(int64(qs.PointsReturned))
+}
+
+// querySeriesJSON converts one fan-out result to its wire row.
+func querySeriesJSON(res *tsdb.SeriesResult) api.QuerySeriesJSON {
+	row := api.QuerySeriesJSON{
+		ID:     res.ID,
+		Labels: res.Labels.Map(),
+		Stats:  scanStatsJSON(res.Stats),
+	}
+	if res.Err != nil {
+		row.Error = res.Err.Error()
+		return row
+	}
+	if res.Buckets != nil {
+		row.Buckets = make([]api.BucketJSON, len(res.Buckets))
+		for i, b := range res.Buckets {
+			row.Buckets[i] = api.BucketJSON{
+				Start: b.Start, Count: b.Count, Min: b.Min, Max: b.Max,
+				Mean: b.Mean(), Sum: b.Sum, First: b.First, Last: b.Last,
+			}
+		}
+		row.Count = len(row.Buckets)
+		return row
+	}
+	row.Points = make([]api.PointJSON, len(res.Points))
+	for i, p := range res.Points {
+		row.Points[i] = api.PointJSON{TG: p.TG, TA: p.TA, V: p.V}
+	}
+	row.Count = len(row.Points)
+	return row
 }
 
 // seriesStatsJSON converts one series' engine counters to their wire form.

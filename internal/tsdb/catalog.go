@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/series"
 	"repro/internal/storage"
 )
 
@@ -33,14 +34,23 @@ import (
 //
 //	magic "TSCATLG1" (8 bytes) | crc32(payload) u32 | payload
 //
-// where payload is JSON {"format":1,"version":N,"series":[...]} and N is a
-// counter incremented on every update.
+// where payload is JSON {"format":2,"version":N,"series":[...],
+// "labels":{id:[{name,value},...]}} and N is a counter incremented on
+// every update. Format 2 added the labels map carrying each labeled
+// series' tag set; format-1 catalogs (and catalogs whose series carry no
+// explicit labels) decode as name-only series, which register in the tag
+// index under the implicit {__name__=<name>} label set.
 
 const catalogName = "CATALOG"
 
 // catalogFormat is the on-disk format generation, bumped on incompatible
 // payload changes (the version field inside the payload counts updates).
-const catalogFormat = 1
+// Decode accepts catalogFormatV1 too: the upgrade is additive, and the
+// first catalog write after opening a v1 database migrates it forward.
+const (
+	catalogFormatV1 = 1
+	catalogFormat   = 2
+)
 
 var catalogMagic = []byte("TSCATLG1")
 
@@ -52,6 +62,10 @@ type catalogDoc struct {
 	Format  int      `json:"format"`
 	Version uint64   `json:"version"`
 	Series  []string `json:"series"`
+	// Labels maps a series ID to its tag set (format 2). Series without
+	// an entry are name-only and get implicit {__name__=<name>} labels at
+	// recovery; the implicit set is never persisted.
+	Labels map[string]series.Labels `json:"labels,omitempty"`
 }
 
 // encodeCatalog frames doc with magic and CRC.
@@ -85,7 +99,29 @@ func decodeCatalog(data []byte) (catalogDoc, error) {
 	if err := json.Unmarshal(payload, &doc); err != nil {
 		return doc, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
 	}
-	if doc.Format != catalogFormat {
+	switch doc.Format {
+	case catalogFormatV1:
+		if len(doc.Labels) > 0 {
+			return doc, fmt.Errorf("%w: labels in format-1 catalog", ErrCatalogCorrupt)
+		}
+	case catalogFormat:
+		// Every label entry must belong to a cataloged series and be a
+		// valid label set — a violation means a torn or hand-damaged image
+		// that CRC alone cannot catch, and admitting it would let the tag
+		// index diverge from the series set it must stay a view of.
+		inCatalog := make(map[string]bool, len(doc.Series))
+		for _, n := range doc.Series {
+			inCatalog[n] = true
+		}
+		for id, ls := range doc.Labels {
+			if !inCatalog[id] {
+				return doc, fmt.Errorf("%w: labels for uncataloged series %q", ErrCatalogCorrupt, id)
+			}
+			if err := ls.Validate(); err != nil {
+				return doc, fmt.Errorf("%w: labels for %q: %v", ErrCatalogCorrupt, id, err)
+			}
+		}
+	default:
 		return doc, fmt.Errorf("%w: unsupported format %d", ErrCatalogCorrupt, doc.Format)
 	}
 	return doc, nil
@@ -118,6 +154,19 @@ func (db *DB) saveCatalogLocked() error {
 	}
 	sort.Strings(names)
 	doc := catalogDoc{Format: catalogFormat, Version: db.catVersion + 1, Series: names}
+	for _, n := range names {
+		ls, ok := db.labels[n]
+		if !ok || isImplicitLabels(n, ls) {
+			// Implicit __name__ sets are derivable from the name; keep the
+			// catalog minimal (and byte-identical to v1 content for pure
+			// name-addressed databases).
+			continue
+		}
+		if doc.Labels == nil {
+			doc.Labels = make(map[string]series.Labels)
+		}
+		doc.Labels[n] = ls
+	}
 	data, err := encodeCatalog(doc)
 	if err != nil {
 		return err
@@ -252,6 +301,12 @@ func (db *DB) recoverLocked() error {
 		for _, name := range doc.Series {
 			db.persisted[name] = true
 		}
+		// Label sets must be registered before any engine instantiation so
+		// createLocked indexes recovered series under their cataloged tags
+		// rather than minting implicit ones.
+		for id, ls := range doc.Labels {
+			db.labels[id] = ls
+		}
 		if db.arb == nil {
 			for _, name := range doc.Series {
 				if _, err := db.createLocked(name); err != nil {
@@ -283,6 +338,14 @@ func (db *DB) recoverLocked() error {
 			}
 			db.recovery.OrphanSeriesRemoved = append(db.recovery.OrphanSeriesRemoved, name)
 		}
+	}
+
+	// Rebuild the tag index from the recovered catalog: every persisted
+	// series — resident or arbiter-cold — must be discoverable by matcher
+	// queries, and the rebuilt index must answer exactly as the pre-crash
+	// one did (the property test pins this parity).
+	for name := range db.persisted {
+		db.registerIndexLocked(name)
 	}
 
 	db.recovery.SeriesRecovered = len(db.persisted)

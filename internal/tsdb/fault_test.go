@@ -3,6 +3,7 @@ package tsdb
 import (
 	"testing"
 
+	"repro/internal/index"
 	"repro/internal/lsm"
 	"repro/internal/series"
 	"repro/internal/storage"
@@ -19,6 +20,7 @@ type faultOp struct {
 	kind string // "create", "put", "drop"
 	s    string
 	p    series.Point
+	ls   series.Labels // non-nil create: labeled registration (s = ls.ID())
 }
 
 func faultWorkload() []faultOp {
@@ -41,6 +43,19 @@ func faultWorkload() []faultOp {
 	for i := int64(12); i < 18; i++ { // heavy out-of-order: forces merges
 		ops = append(ops, faultOp{kind: "put", s: "alpha", p: series.Point{TG: i % 7, TA: i, V: float64(400 + i)}})
 	}
+	// Labeled registrations and a labeled drop: the crash sweep must keep
+	// the tag index a subset of the catalog through every torn catalog
+	// write, and recovery must rebuild matchable postings for survivors.
+	lsEU := series.MustLabels(map[string]string{"region": "eu", "device": "d0"})
+	lsUS := series.MustLabels(map[string]string{"region": "us", "device": "d1"})
+	ops = append(ops, faultOp{kind: "create", s: lsEU.ID(), ls: lsEU})
+	ops = append(ops, faultOp{kind: "create", s: lsUS.ID(), ls: lsUS})
+	for i := int64(0); i < 4; i++ {
+		ops = append(ops, faultOp{kind: "put", s: lsEU.ID(), p: series.Point{TG: i, TA: i, V: float64(500 + i)}})
+	}
+	ops = append(ops, faultOp{kind: "put", s: lsUS.ID(), p: series.Point{TG: 0, TA: 0, V: 600}})
+	ops = append(ops, faultOp{kind: "drop", s: lsUS.ID()})
+	ops = append(ops, faultOp{kind: "put", s: lsEU.ID(), p: series.Point{TG: 1, TA: 9, V: 501.5}}) // upsert after the drop
 	return ops
 }
 
@@ -51,6 +66,7 @@ type ackState struct {
 	attempted   map[string]bool              // series any op ever targeted
 	dropped     map[string]bool              // DropSeries returned nil
 	dropUnknown map[string]bool              // DropSeries errored: outcome unknown
+	labels      map[string]series.Labels     // labels attempted per labeled series
 	inflight    *faultOp                     // the op that failed, if any
 }
 
@@ -61,13 +77,24 @@ func runFaultWorkload(db *DB) *ackState {
 		attempted:   map[string]bool{},
 		dropped:     map[string]bool{},
 		dropUnknown: map[string]bool{},
+		labels:      map[string]series.Labels{},
 	}
 	for _, o := range faultWorkload() {
 		o := o
 		st.attempted[o.s] = true
 		switch o.kind {
 		case "create":
-			if err := db.CreateSeries(o.s); err != nil {
+			if o.ls != nil {
+				st.labels[o.s] = o.ls
+				id, err := db.CreateSeriesLabeled(o.ls)
+				if err != nil {
+					st.inflight = &o
+					return st
+				}
+				if id != o.s {
+					panic("labeled create returned unexpected ID " + id)
+				}
+			} else if err := db.CreateSeries(o.s); err != nil {
 				st.inflight = &o
 				return st
 			}
@@ -153,6 +180,51 @@ func verifyRecovered(t *testing.T, budget int64, db *DB, st *ackState) {
 			}
 			t.Fatalf("budget %d: %s: invented point tg=%d v=%v", budget, s, tg, v)
 		}
+	}
+	verifyIndexConverged(t, budget, db, st, live)
+}
+
+// verifyIndexConverged asserts the rebuilt tag index covers exactly the
+// recovered series: every survivor has a label set (explicit for labeled
+// registrations, the implicit __name__ set otherwise), every survivor is
+// matchable by its tags, no dropped or phantom series has postings, and
+// the index holds nothing beyond the catalog.
+func verifyIndexConverged(t *testing.T, budget int64, db *DB, st *ackState, live map[string]bool) {
+	t.Helper()
+	for s := range live {
+		ls, ok := db.LabelsOf(s)
+		if !ok {
+			t.Fatalf("budget %d: recovered series %q missing from the tag index", budget, s)
+		}
+		if want, labeled := st.labels[s]; labeled {
+			if !ls.Equal(want) {
+				t.Fatalf("budget %d: %q recovered labels %s, want %s", budget, s, ls, want)
+			}
+		} else if !ls.Equal(series.Labels{{Name: series.MetaName, Value: s}}) {
+			t.Fatalf("budget %d: name series %q has labels %s, want implicit __name__", budget, s, ls)
+		}
+		// Every label pair must lead back to the series.
+		for _, l := range ls {
+			m, err := index.NewMatcher(l.Name, index.OpEq, l.Value)
+			if err != nil {
+				t.Fatalf("budget %d: matcher %s=%s: %v", budget, l.Name, l.Value, err)
+			}
+			found := false
+			for _, hit := range db.Match([]index.Matcher{m}) {
+				if hit == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("budget %d: %q not matchable via %s=%q after recovery", budget, s, l.Name, l.Value)
+			}
+		}
+	}
+	// Index ⊆ catalog: same cardinality as the live set means no entry for
+	// dropped or never-committed series survived the crash.
+	if n := db.Index().Stats().Series; n != len(live) {
+		t.Fatalf("budget %d: index holds %d series, catalog recovered %d", budget, n, len(live))
 	}
 }
 

@@ -1,0 +1,329 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+func parseMs(t *testing.T, expr string) []index.Matcher {
+	t.Helper()
+	ms, err := index.ParseMatchers(expr)
+	if err != nil {
+		t.Fatalf("ParseMatchers(%q): %v", expr, err)
+	}
+	return ms
+}
+
+// TestLabeledSeriesLifecycle walks the tentpole end to end on one DB:
+// labeled registration is idempotent, matcher queries discover by tags,
+// QueryMatch fans reads with correct data, and DropSeries removes the
+// series from the index atomically with the catalog.
+func TestLabeledSeriesLifecycle(t *testing.T) {
+	b := storage.NewMemBackend()
+	db, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var euIDs []string
+	for i := 0; i < 4; i++ {
+		ls := series.MustLabels(map[string]string{
+			"region": "eu", "device": fmt.Sprintf("d%d", i), "metric": "temp",
+		})
+		id, err := db.CreateSeriesLabeled(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Idempotent re-registration returns the same ID.
+		id2, err := db.CreateSeriesLabeled(ls)
+		if err != nil || id2 != id {
+			t.Fatalf("re-create: id %s vs %s, err %v", id2, id, err)
+		}
+		euIDs = append(euIDs, id)
+		for tg := int64(0); tg < 10; tg++ {
+			if err := db.Put(id, series.Point{TG: tg, TA: tg, V: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	usID, err := db.CreateSeriesLabeled(series.MustLabels(map[string]string{
+		"region": "us", "device": "d0", "metric": "temp",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A name-only series participates through its implicit __name__ label.
+	if err := db.CreateSeries("root.legacy.temp"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := db.Match(parseMs(t, "region=eu")); len(got) != 4 {
+		t.Fatalf("region=eu matched %v", got)
+	}
+	if got := db.Match(parseMs(t, "metric=temp,region!=eu")); !reflect.DeepEqual(got, []string{usID}) {
+		t.Fatalf("region!=eu matched %v, want [%s]", got, usID)
+	}
+	if got := db.Match(parseMs(t, "__name__=root.legacy.temp")); len(got) != 1 || got[0] != "root.legacy.temp" {
+		t.Fatalf("__name__ match = %v", got)
+	}
+
+	results, qs, err := db.QueryMatch(parseMs(t, "region=eu,device=~d[0-9]"), QueryOptions{Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.SeriesMatched != 4 || qs.SeriesQueried != 4 || qs.SeriesFailed != 0 {
+		t.Fatalf("stats = %+v", qs)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("series %s: %v", r.ID, r.Err)
+		}
+		if len(r.Points) != 10 {
+			t.Fatalf("series %s: %d points", r.ID, len(r.Points))
+		}
+		if v, _ := r.Labels.Get("region"); v != "eu" {
+			t.Fatalf("series %s labels %s", r.ID, r.Labels)
+		}
+	}
+	// Aggregate mode: 10 points in buckets of width 5 → 2 buckets of 5.
+	results, _, err = db.QueryMatch(parseMs(t, "region=eu"), QueryOptions{Lo: 0, Hi: 100, BucketWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if len(r.Buckets) != 2 || r.Buckets[0].Count != 5 {
+			t.Fatalf("series %s buckets %+v", r.ID, r.Buckets)
+		}
+	}
+
+	if err := db.DropSeries(euIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Match(parseMs(t, "region=eu")); len(got) != 3 {
+		t.Fatalf("after drop: region=eu matched %v", got)
+	}
+	if _, ok := db.LabelsOf(euIDs[0]); ok {
+		t.Fatal("dropped series still has labels")
+	}
+}
+
+// TestLabeledSeriesCrashReopenParity is the crash/reopen pin for the
+// index: after an abrupt restart (no Close), the index rebuilt from the
+// catalog must answer every matcher query exactly as before, and labeled
+// data must be readable under the same IDs.
+func TestLabeledSeriesCrashReopenParity(t *testing.T) {
+	b := storage.NewMemBackend()
+	db, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct {
+		id string
+		ls series.Labels
+	}
+	var created []entry
+	for r := 0; r < 3; r++ {
+		for d := 0; d < 4; d++ {
+			ls := series.MustLabels(map[string]string{
+				"region": fmt.Sprintf("r%d", r), "device": fmt.Sprintf("d%d", d),
+			})
+			id, err := db.CreateSeriesLabeled(ls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			created = append(created, entry{id, ls})
+			if err := db.Put(id, series.Point{TG: 1, TA: 1, V: float64(r*10 + d)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.DropSeries(created[5].id); err != nil {
+		t.Fatal(err)
+	}
+	exprs := []string{
+		"region=r0", "region!=r1", "device=~d[02]", "region=r1,device=d1",
+		"region=~r.*", "device!=d3", "region=",
+	}
+	before := make(map[string][]string)
+	for _, e := range exprs {
+		before[e] = db.Match(parseMs(t, e))
+	}
+
+	// Crash: reopen over the same backend without Close.
+	db2, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, e := range exprs {
+		if got := db2.Match(parseMs(t, e)); !reflect.DeepEqual(got, before[e]) {
+			t.Fatalf("after reopen, Match(%q) = %v, want %v", e, got, before[e])
+		}
+	}
+	for i, ent := range created {
+		if i == 5 {
+			continue
+		}
+		ls, ok := db2.LabelsOf(ent.id)
+		if !ok || !ls.Equal(ent.ls) {
+			t.Fatalf("labels of %s after reopen: %v (ok=%v), want %s", ent.id, ls, ok, ent.ls)
+		}
+		pts, _, err := db2.Scan(ent.id, 0, 10)
+		if err != nil || len(pts) != 1 {
+			t.Fatalf("scan %s after reopen: %d points, err %v", ent.id, len(pts), err)
+		}
+	}
+	db.Close()
+}
+
+// TestCatalogV1Migration: a database whose CATALOG is still format 1
+// (name-only) must open cleanly, expose every series through the implicit
+// __name__ label, and move the catalog forward to format 2 on its next
+// update without disturbing the series set.
+func TestCatalogV1Migration(t *testing.T) {
+	b := storage.NewMemBackend()
+	v1 := catalogDoc{Format: catalogFormatV1, Version: 7, Series: []string{"root.a", "root.b"}}
+	data, err := encodeCatalog(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(catalogName, data); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Match(parseMs(t, "__name__=~root\\..")); len(got) != 2 {
+		t.Fatalf("v1 series not indexed: %v", got)
+	}
+	id, err := db.CreateSeriesLabeled(series.MustLabels(map[string]string{"region": "eu"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc, found, err := loadCatalog(b)
+	if err != nil || !found {
+		t.Fatalf("reload catalog: found=%v err=%v", found, err)
+	}
+	if doc.Format != catalogFormat {
+		t.Fatalf("catalog still format %d after update", doc.Format)
+	}
+	if len(doc.Series) != 3 || len(doc.Labels) != 1 || doc.Labels[id] == nil {
+		t.Fatalf("migrated doc = %+v", doc)
+	}
+
+	db2, err := Open(durableConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Match(parseMs(t, "region=eu")); len(got) != 1 || got[0] != id {
+		t.Fatalf("labeled series lost across migration reopen: %v", got)
+	}
+}
+
+// TestCatalogRejectsBadLabels pins decode-side validation: label entries
+// for uncataloged series, invalid label sets, and labels inside a
+// format-1 image are all ErrCatalogCorrupt.
+func TestCatalogRejectsBadLabels(t *testing.T) {
+	enc := func(doc catalogDoc) []byte {
+		data, err := encodeCatalog(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		"labels for uncataloged series": enc(catalogDoc{
+			Format: catalogFormat, Version: 1, Series: []string{"a"},
+			Labels: map[string]series.Labels{"ghost": {{Name: "x", Value: "1"}}},
+		}),
+		"invalid label set": enc(catalogDoc{
+			Format: catalogFormat, Version: 1, Series: []string{"a"},
+			Labels: map[string]series.Labels{"a": {{Name: "bad name", Value: "1"}}},
+		}),
+		"labels in v1": enc(catalogDoc{
+			Format: catalogFormatV1, Version: 1, Series: []string{"a"},
+			Labels: map[string]series.Labels{"a": {{Name: "x", Value: "1"}}},
+		}),
+		"future format": enc(catalogDoc{Format: 3, Version: 1}),
+	}
+	for name, img := range cases {
+		if _, err := decodeCatalog(img); !errors.Is(err, ErrCatalogCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCatalogCorrupt", name, err)
+		}
+	}
+}
+
+// FuzzIndexDecode throws corrupt catalog images at decodeCatalog: it must
+// never panic, every rejection must be ErrCatalogCorrupt, and every
+// accepted image must satisfy the invariants recovery relies on (format
+// known, labels ⊆ series, label sets valid) — a decode that admits a
+// violating image would poison the rebuilt index.
+func FuzzIndexDecode(f *testing.F) {
+	seed := func(doc catalogDoc) []byte {
+		data, err := encodeCatalog(doc)
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}
+	ls := series.MustLabels(map[string]string{"region": "eu", "device": "d1"})
+	f.Add(seed(catalogDoc{Format: catalogFormatV1, Version: 1, Series: []string{"root.a"}}))
+	f.Add(seed(catalogDoc{
+		Format: catalogFormat, Version: 9, Series: []string{ls.ID(), "root.b"},
+		Labels: map[string]series.Labels{ls.ID(): ls},
+	}))
+	f.Add(seed(catalogDoc{Format: catalogFormat, Version: 2}))
+	f.Add([]byte("TSCATLG1"))
+	f.Add([]byte("TSCATLG1\x00\x00\x00\x00{}"))
+	f.Add([]byte("not a catalog at all"))
+	f.Add([]byte{})
+	// A valid frame with hostile payload bytes: CRC passes, JSON must not.
+	hostile := []byte(`{"format":2,"series":["a"],"labels":{"a":[{"name":"x","value":`)
+	f.Add(append(frameHeader(hostile), hostile...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := decodeCatalog(data)
+		if err != nil {
+			if !errors.Is(err, ErrCatalogCorrupt) {
+				t.Fatalf("decodeCatalog: untyped error %v", err)
+			}
+			return
+		}
+		if doc.Format != catalogFormatV1 && doc.Format != catalogFormat {
+			t.Fatalf("accepted unknown format %d", doc.Format)
+		}
+		inCatalog := make(map[string]bool, len(doc.Series))
+		for _, n := range doc.Series {
+			inCatalog[n] = true
+		}
+		for id, ls := range doc.Labels {
+			if !inCatalog[id] {
+				t.Fatalf("accepted labels for uncataloged %q", id)
+			}
+			if err := ls.Validate(); err != nil {
+				t.Fatalf("accepted invalid labels for %q: %v", id, err)
+			}
+		}
+	})
+}
+
+// frameHeader builds the magic+CRC prefix for an arbitrary payload, so
+// the fuzz corpus can carry well-framed but hostile JSON.
+func frameHeader(payload []byte) []byte {
+	doc := append([]byte{}, catalogMagic...)
+	crc := crc32.ChecksumIEEE(payload)
+	return append(doc, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+}

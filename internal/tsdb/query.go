@@ -1,0 +1,197 @@
+package tsdb
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+	"repro/internal/lsm"
+	"repro/internal/query"
+	"repro/internal/series"
+)
+
+// Multi-series query execution: QueryMatch resolves a matcher expression
+// against the tag index and fans the per-series range reads across a
+// bounded worker pool. Each matched series is an independent unit of work
+// — its own engine, its own SSTable reads — so the fan-out overlaps their
+// backend I/O; on a store with per-read latency the wall clock of an
+// N-series query approaches max(series) instead of sum(series).
+
+// QueryOptions parameterizes one QueryMatch call.
+type QueryOptions struct {
+	// Lo, Hi bound the generation-time range [Lo, Hi] read per series.
+	Lo, Hi int64
+	// Workers selects the fan-out concurrency: 0 uses the DB's shared
+	// pool (Config.QueryWorkers), 1 executes sequentially in the calling
+	// goroutine (the baseline the benchmark compares against), and n>1
+	// runs an ephemeral pool of n workers for this query alone.
+	Workers int
+	// BucketWidth, when positive, downsamples each series into aggregate
+	// buckets of that width (anchored at Lo) instead of returning raw
+	// points.
+	BucketWidth int64
+	// Limit, when positive, caps the number of matched series queried
+	// (the match itself is not truncated: QueryStats.SeriesMatched still
+	// reports the full set).
+	Limit int
+}
+
+// SeriesResult is one matched series' slice of a QueryMatch response.
+type SeriesResult struct {
+	// ID is the series' canonical identifier (storage name).
+	ID string
+	// Labels is the label set the series is registered under.
+	Labels series.Labels
+	// Points holds the raw range read (nil in aggregate mode).
+	Points []series.Point
+	// Buckets holds the downsampled range (aggregate mode only).
+	Buckets []query.Bucket
+	// Stats carries the scan's read-amplification accounting.
+	Stats lsm.ScanStats
+	// Err records a per-series failure (e.g. the series was dropped
+	// between match resolution and the read). One failing series does not
+	// fail the query.
+	Err error
+}
+
+// QueryStats summarizes one QueryMatch execution.
+type QueryStats struct {
+	// SeriesMatched is the size of the matcher resolution.
+	SeriesMatched int
+	// SeriesQueried is the number of series actually read (Limit may cap
+	// it below SeriesMatched).
+	SeriesQueried int
+	// SeriesFailed counts per-series errors.
+	SeriesFailed int
+	// TablesTouched totals SSTables touched across all series reads.
+	TablesTouched int
+	// BlocksRead totals SSTable blocks fetched from storage.
+	BlocksRead int64
+	// PointsReturned totals result points (raw mode) across series.
+	PointsReturned int
+	// Workers is the fan-out concurrency the query ran with.
+	Workers int
+}
+
+// fanoutCounters aggregate QueryMatch activity for the metrics endpoint.
+type fanoutCounters struct {
+	queries      atomic.Int64
+	seriesFanned atomic.Int64
+	seriesFailed atomic.Int64
+}
+
+// FanoutStats is a snapshot of the DB's QueryMatch counters.
+type FanoutStats struct {
+	// Queries counts QueryMatch calls served.
+	Queries int64
+	// SeriesFanned totals per-series read tasks executed.
+	SeriesFanned int64
+	// SeriesFailed totals per-series read tasks that returned an error.
+	SeriesFailed int64
+	// Workers is the shared pool's worker count.
+	Workers int
+}
+
+// FanoutStats snapshots the QueryMatch counters.
+func (db *DB) FanoutStats() FanoutStats {
+	return FanoutStats{
+		Queries:      db.fanout.queries.Load(),
+		SeriesFanned: db.fanout.seriesFanned.Load(),
+		SeriesFailed: db.fanout.seriesFailed.Load(),
+		Workers:      db.qpool.Workers(),
+	}
+}
+
+// QueryMatch resolves the matchers against the tag index and reads every
+// matched series' range concurrently. Results arrive sorted by series ID
+// (the index order), each carrying its labels, data, and scan stats;
+// per-series failures are recorded in the result rather than failing the
+// query, because a matcher query racing series churn is normal operation.
+func (db *DB) QueryMatch(ms []index.Matcher, opts QueryOptions) ([]SeriesResult, QueryStats, error) {
+	db.mu.Lock()
+	closed := db.closed
+	db.mu.Unlock()
+	if closed {
+		return nil, QueryStats{}, ErrClosed
+	}
+	db.fanout.queries.Add(1)
+
+	ids := db.idx.Match(ms)
+	stats := QueryStats{SeriesMatched: len(ids)}
+	if opts.Limit > 0 && len(ids) > opts.Limit {
+		ids = ids[:opts.Limit]
+	}
+	stats.SeriesQueried = len(ids)
+
+	run, cleanup, workers := db.queryRunner(opts.Workers)
+	defer cleanup()
+	stats.Workers = workers
+
+	results := make([]SeriesResult, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, id := i, id
+		wg.Add(1)
+		run(func() {
+			defer wg.Done()
+			results[i] = db.queryOne(id, opts)
+		})
+	}
+	wg.Wait()
+
+	for i := range results {
+		db.fanout.seriesFanned.Add(1)
+		r := &results[i]
+		if r.Err != nil {
+			db.fanout.seriesFailed.Add(1)
+			stats.SeriesFailed++
+			continue
+		}
+		stats.TablesTouched += r.Stats.TablesTouched
+		stats.BlocksRead += r.Stats.BlocksRead
+		stats.PointsReturned += r.Stats.ResultPoints
+	}
+	return results, stats, nil
+}
+
+// queryRunner picks the execution strategy for one query: inline for
+// Workers==1, an ephemeral pool for an explicit count, the shared pool
+// otherwise.
+func (db *DB) queryRunner(workers int) (run func(func()), cleanup func(), n int) {
+	switch {
+	case workers == 1:
+		return func(fn func()) { fn() }, func() {}, 1
+	case workers > 1:
+		p := query.NewPool(workers)
+		return p.Run, p.Close, workers
+	default:
+		return db.qpool.Run, func() {}, db.qpool.Workers()
+	}
+}
+
+// queryOne reads one matched series' range. It tolerates the series
+// evaporating mid-query (dropped, or evicted and reopened by another
+// task) via the usual withSeries retry.
+func (db *DB) queryOne(id string, opts QueryOptions) SeriesResult {
+	res := SeriesResult{ID: id}
+	if ls, ok := db.idx.Labels(id); ok {
+		res.Labels = ls
+	}
+	res.Err = db.withSeries(id, false, func(st *seriesState) error {
+		if opts.BucketWidth > 0 {
+			bks, sc, err := query.Aggregate(st.engine, opts.Lo, opts.Hi, opts.BucketWidth)
+			if err != nil {
+				return err
+			}
+			res.Buckets, res.Stats = bks, sc
+			return nil
+		}
+		pts, sc, err := st.engine.Scan(opts.Lo, opts.Hi)
+		if err != nil {
+			return err
+		}
+		res.Points, res.Stats = pts, sc
+		return nil
+	})
+	return res
+}

@@ -1,0 +1,325 @@
+package tsdb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// TestQueryMatchConcurrentStress hammers the fan-out read path from every
+// direction at once — QueryMatch readers against PutBatch writers, a
+// create/drop churn on short-lived labeled series, and forced arbiter
+// eviction of the series being read — and pins three guarantees:
+//
+//   - acknowledged-prefix visibility: each writer appends strictly
+//     sequential TGs, so a query that starts after n points were acked must
+//     return at least those n points, in order, with the written values;
+//   - per-series failures never poison a query: dropping a series between
+//     index match and engine read surfaces as SeriesResult.Err, not as a
+//     QueryMatch error or a panic;
+//   - shutdown is clean: after Close the worker pool, compactors, and
+//     arbiter are gone (no goroutine leak).
+//
+// Run it under -race; the interleavings are the point.
+func TestQueryMatchConcurrentStress(t *testing.T) {
+	const nStable = 6
+	batches, batchSize := 30, 20
+	churnRounds := 30
+	if testing.Short() {
+		batches, churnRounds = 12, 10
+	}
+
+	baseline := runtime.NumGoroutine()
+	db, err := Open(Config{
+		Engine:  lsm.Config{Policy: lsm.Conventional, MemBudget: 64, WAL: true},
+		Backend: storage.NewMemBackend(),
+		// Small budget so the arbiter is live and evictions are cheap to
+		// force; the explicit EvictSeries loop below does the real churn.
+		MemBudgetBytes: 96 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stable := make([]string, nStable)
+	for i := range stable {
+		id, err := db.CreateSeriesLabeled(series.MustLabels(map[string]string{
+			"role": "stable", "device": fmt.Sprintf("d%d", i),
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable[i] = id
+	}
+	idOf := make(map[string]int, nStable)
+	for i, id := range stable {
+		idOf[id] = i
+	}
+	stableMs := parseMs(t, "role=stable")
+	churnMs := parseMs(t, "role=churn")
+
+	// acked[i] counts the points writer i has had acknowledged.
+	acked := make([]atomic.Int64, nStable)
+	writersDone := make(chan struct{})
+	var writersLeft atomic.Int64
+	writersLeft.Store(nStable)
+
+	var wg sync.WaitGroup
+	for i := 0; i < nStable; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if writersLeft.Add(-1) == 0 {
+					close(writersDone)
+				}
+			}()
+			for b := 0; b < batches; b++ {
+				pts := make([]series.Point, batchSize)
+				for k := range pts {
+					j := b*batchSize + k
+					pts[k] = series.Point{TG: int64(j), TA: int64(j), V: float64(i*1_000_000 + j)}
+				}
+				if err := db.PutBatch(stable[i], pts); err != nil {
+					t.Errorf("writer %d batch %d: %v", i, b, err)
+					return
+				}
+				acked[i].Add(int64(batchSize))
+			}
+		}(i)
+	}
+
+	// Queriers: verify the acked prefix of every stable series on every
+	// pass, until the writers finish.
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-writersDone:
+					return
+				default:
+				}
+				before := make([]int64, nStable)
+				for i := range before {
+					before[i] = acked[i].Load()
+				}
+				res, qs, err := db.QueryMatch(stableMs, QueryOptions{Lo: -1 << 40, Hi: 1 << 40})
+				if err != nil {
+					t.Errorf("querier %d: QueryMatch: %v", q, err)
+					return
+				}
+				if qs.SeriesMatched != nStable {
+					t.Errorf("querier %d: matched %d stable series, want %d", q, qs.SeriesMatched, nStable)
+					return
+				}
+				for _, row := range res {
+					i, ok := idOf[row.ID]
+					if !ok {
+						t.Errorf("querier %d: row for unknown series %s", q, row.ID)
+						return
+					}
+					if row.Err != nil {
+						t.Errorf("querier %d: stable series %s failed: %v", q, row.ID, row.Err)
+						return
+					}
+					// Writers append TG 0,1,2,... in order, so the visible
+					// set is always a prefix and must cover the acked count
+					// observed before the query started.
+					if int64(len(row.Points)) < before[i] {
+						t.Errorf("querier %d: series %d shows %d points, %d were acked before the query",
+							q, i, len(row.Points), before[i])
+						return
+					}
+					for j, p := range row.Points {
+						if p.TG != int64(j) || p.V != float64(i*1_000_000+j) {
+							t.Errorf("querier %d: series %d point %d = (tg=%d v=%g), want (tg=%d v=%d)",
+								q, i, j, p.TG, p.V, j, i*1_000_000+j)
+							return
+						}
+					}
+				}
+			}
+		}(q)
+	}
+
+	// Churners: short-lived labeled series created, written, queried, and
+	// dropped while the readers run. Per-series errors on these are fine
+	// (a drop can land between index match and engine read); query-level
+	// errors are not.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < churnRounds; r++ {
+				id, err := db.CreateSeriesLabeled(series.MustLabels(map[string]string{
+					"role": "churn", "worker": fmt.Sprintf("w%d", w), "round": fmt.Sprintf("r%d", r),
+				}))
+				if err != nil {
+					t.Errorf("churner %d round %d: create: %v", w, r, err)
+					return
+				}
+				if err := db.Put(id, series.Point{TG: 1, TA: 1, V: float64(r)}); err != nil {
+					t.Errorf("churner %d round %d: put: %v", w, r, err)
+					return
+				}
+				if _, _, err := db.QueryMatch(churnMs, QueryOptions{Lo: 0, Hi: 10}); err != nil {
+					t.Errorf("churner %d round %d: query: %v", w, r, err)
+					return
+				}
+				if err := db.DropSeries(id); err != nil {
+					t.Errorf("churner %d round %d: drop: %v", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Evictor: force arbiter eviction of the series being read and written,
+	// so QueryMatch's evict-reopen retry path actually runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-writersDone:
+				return
+			default:
+			}
+			if err := db.EvictSeries(stable[i%nStable]); err != nil {
+				t.Errorf("evictor: %v", err)
+				return
+			}
+			db.RebalanceNow()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	if t.Failed() {
+		db.Close()
+		return
+	}
+
+	// Quiesced parity: the fan-out result must now equal a direct scan of
+	// every stable series, and every point must have survived the churn.
+	res, qs, err := db.QueryMatch(stableMs, QueryOptions{Lo: -1 << 40, Hi: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := batches * batchSize
+	if qs.SeriesQueried != nStable || qs.SeriesFailed != 0 || qs.PointsReturned != nStable*total {
+		t.Fatalf("final stats = %+v, want %d series x %d points", qs, nStable, total)
+	}
+	for _, row := range res {
+		i := idOf[row.ID]
+		direct, _, err := db.Scan(row.ID, -1<<40, 1<<40)
+		if err != nil {
+			t.Fatalf("final scan %s: %v", row.ID, err)
+		}
+		if len(row.Points) != total || len(direct) != total {
+			t.Fatalf("series %d: fan-out %d points, direct %d, want %d", i, len(row.Points), len(direct), total)
+		}
+		for j := range direct {
+			if row.Points[j] != direct[j] {
+				t.Fatalf("series %d point %d: fan-out %+v != direct %+v", i, j, row.Points[j], direct[j])
+			}
+		}
+	}
+	// All churn series were dropped; none may linger in index or catalog.
+	if left := db.Match(churnMs); len(left) != 0 {
+		t.Fatalf("churn series leaked past their drops: %v", left)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closed DB degrades, it does not panic.
+	if _, _, err := db.QueryMatch(stableMs, QueryOptions{}); err != ErrClosed {
+		t.Fatalf("QueryMatch after Close = %v, want ErrClosed", err)
+	}
+	// No goroutine leak: fan-out pool, compactors, arbiter all joined.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Close: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueryMatchWorkerModes pins the three QueryOptions.Workers regimes —
+// inline sequential, shared pool, ephemeral pool — to identical results.
+func TestQueryMatchWorkerModes(t *testing.T) {
+	db, err := Open(Config{
+		Engine:       lsm.Config{Policy: lsm.Conventional, MemBudget: 32},
+		AutoCreate:   true,
+		QueryWorkers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for s := 0; s < 5; s++ {
+		id, err := db.CreateSeriesLabeled(series.MustLabels(map[string]string{
+			"fleet": "all", "n": fmt.Sprintf("%d", s),
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 50; j++ {
+			if err := db.Put(id, series.Point{TG: int64(j), TA: int64(j), V: float64(s*100 + j)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ms := parseMs(t, "fleet=all")
+
+	type snap struct {
+		res []SeriesResult
+		qs  QueryStats
+	}
+	var runs []snap
+	for _, workers := range []int{1, 0, 4} {
+		res, qs, err := db.QueryMatch(ms, QueryOptions{Lo: 0, Hi: 1000, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		runs = append(runs, snap{res, qs})
+	}
+	if runs[0].qs.Workers != 1 || runs[1].qs.Workers != 3 || runs[2].qs.Workers != 4 {
+		t.Fatalf("worker counts = %d/%d/%d, want 1/3/4",
+			runs[0].qs.Workers, runs[1].qs.Workers, runs[2].qs.Workers)
+	}
+	for i := 1; i < len(runs); i++ {
+		if len(runs[i].res) != len(runs[0].res) {
+			t.Fatalf("run %d: %d rows, want %d", i, len(runs[i].res), len(runs[0].res))
+		}
+		for r := range runs[i].res {
+			if runs[i].res[r].ID != runs[0].res[r].ID {
+				t.Fatalf("run %d row %d: series %s, want %s", i, r, runs[i].res[r].ID, runs[0].res[r].ID)
+			}
+			if len(runs[i].res[r].Points) != len(runs[0].res[r].Points) {
+				t.Fatalf("run %d row %d: %d points, want %d",
+					i, r, len(runs[i].res[r].Points), len(runs[0].res[r].Points))
+			}
+			for p := range runs[i].res[r].Points {
+				if runs[i].res[r].Points[p] != runs[0].res[r].Points[p] {
+					t.Fatalf("run %d row %d point %d differs", i, r, p)
+				}
+			}
+		}
+	}
+}

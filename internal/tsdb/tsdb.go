@@ -18,8 +18,10 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/lsm"
 	"repro/internal/lsm/scheduler"
+	"repro/internal/query"
 	"repro/internal/series"
 	"repro/internal/storage"
 	"repro/internal/wal/groupwal"
@@ -86,6 +88,11 @@ type Config struct {
 	// still coalesce behind an in-flight commit). Ignored with the legacy
 	// per-series WAL.
 	CommitWindow time.Duration
+	// QueryWorkers sizes the shared fan-out pool QueryMatch uses when a
+	// query does not pin its own worker count: zero selects
+	// query.DefaultWorkers(). Fan-out tasks are I/O-bound range reads, so
+	// the pool deliberately oversubscribes the CPUs.
+	QueryWorkers int
 	// MemBudgetBytes, when positive on a durable DB, activates the memory
 	// arbiter (see arbiter.go): engines are instantiated lazily and
 	// evicted under pressure, and the budget is split dynamically between
@@ -113,6 +120,24 @@ type DB struct {
 	persisted  map[string]bool
 	catVersion uint64
 	recovery   RecoveryInfo
+
+	// labels maps a series ID to its registered label set — explicit tags
+	// for CreateSeriesLabeled series, the implicit {__name__=<name>} set
+	// for name-only series. Guarded by db.mu; the catalog persists the
+	// explicit entries.
+	labels map[string]series.Labels
+
+	// idx is the inverted tag index over every existing series, resident
+	// or cold. Mutations happen under db.mu AFTER the catalog commit, so
+	// the index is always a subset of the durable catalog (index ⊆
+	// catalog); it is rebuilt from the catalog at recovery.
+	idx *index.Index
+
+	// qpool is the shared fan-out worker pool QueryMatch uses unless a
+	// query pins its own concurrency; fanout aggregates its counters for
+	// the metrics endpoint.
+	qpool  *query.Pool
+	fanout fanoutCounters
 
 	// blockCache is shared by every series engine's lazy SSTable readers,
 	// so cache capacity is a single DB-wide knob rather than per-series.
@@ -171,6 +196,9 @@ func Open(cfg Config) (*DB, error) {
 		cfg:       cfg,
 		series:    make(map[string]*seriesState),
 		persisted: make(map[string]bool),
+		labels:    make(map[string]series.Labels),
+		idx:       index.New(),
+		qpool:     query.NewPool(cfg.QueryWorkers),
 		evicting:  make(map[string]chan struct{}),
 		damaged:   make(map[string]error),
 	}
@@ -196,6 +224,7 @@ func Open(cfg Config) (*DB, error) {
 		if db.sched != nil {
 			db.sched.Close()
 		}
+		db.qpool.Close()
 		return nil, err
 	}
 	if cfg.Backend != nil && cfg.Engine.WAL && cfg.WALShards >= 0 {
@@ -304,7 +333,28 @@ func (db *DB) createLocked(name string) (*seriesState, error) {
 		db.sched.Register(name, e)
 	}
 	db.series[name] = st
+	db.registerIndexLocked(name)
 	return st, nil
+}
+
+// registerIndexLocked makes the named series discoverable by matcher
+// queries: series without an explicit label set (name-addressed) get the
+// implicit {__name__=<name>} labels. Caller holds db.mu, and — for a
+// durable DB — the series is already committed to the catalog, so the
+// index never runs ahead of it.
+func (db *DB) registerIndexLocked(name string) {
+	ls, ok := db.labels[name]
+	if !ok {
+		ls = series.Labels{{Name: series.MetaName, Value: name}}
+		db.labels[name] = ls
+	}
+	db.idx.Add(name, ls)
+}
+
+// isImplicitLabels reports whether ls is exactly the implicit label set a
+// name-only series registers under.
+func isImplicitLabels(name string, ls series.Labels) bool {
+	return len(ls) == 1 && ls[0].Name == series.MetaName && ls[0].Value == name
 }
 
 // CreateSeries explicitly creates a series.
@@ -316,6 +366,49 @@ func (db *DB) CreateSeries(name string) error {
 	}
 	_, err := db.createLocked(name)
 	return err
+}
+
+// CreateSeriesLabeled registers a series addressed by its label set and
+// returns the canonical series ID the data lives under. The ID is a pure
+// function of the labels, so creating the same set twice is idempotent
+// and returns the same ID; the labels are committed to the catalog with
+// the series, and matcher queries (Match, QueryMatch) discover the series
+// by any subset of its tags.
+func (db *DB) CreateSeriesLabeled(ls series.Labels) (string, error) {
+	if err := ls.Validate(); err != nil {
+		return "", err
+	}
+	id := ls.ID()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return "", ErrClosed
+	}
+	if prev, ok := db.labels[id]; ok {
+		if !prev.Equal(ls) {
+			// A 128-bit digest collision (or a hand-crafted name that
+			// happens to equal a label hash). Refuse rather than silently
+			// interleaving two series' points.
+			return "", fmt.Errorf("tsdb: series ID %s already registered under %s", id, prev)
+		}
+		if _, err := db.createLocked(id); err != nil {
+			return "", err
+		}
+		return id, nil
+	}
+	db.labels[id] = ls
+	if _, err := db.createLocked(id); err != nil {
+		// Roll the label registration back only if nothing durable or
+		// resident exists — if the catalog committed but the engine open
+		// failed, the series exists and keeps its labels.
+		if !db.persisted[id] {
+			if _, resident := db.series[id]; !resident {
+				delete(db.labels, id)
+			}
+		}
+		return "", err
+	}
+	return id, nil
 }
 
 // DropSeries removes a series and its data. The commit point is the
@@ -345,10 +438,23 @@ func (db *DB) DropSeries(name string) error {
 		db.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoSeries, name)
 	}
+	// Deregister from the tag index BEFORE the catalog commit and restore
+	// on failure: the index must stay ⊆ the catalog at every instant, and
+	// the label entry must leave the catalog image with the series (the
+	// save below persists db.labels).
+	droppedLabels, hadLabels := db.labels[name]
+	if hadLabels {
+		db.idx.Remove(name)
+		delete(db.labels, name)
+	}
 	if db.cfg.Backend != nil && db.persisted[name] {
 		delete(db.persisted, name)
 		if err := db.saveCatalogLocked(); err != nil {
 			db.persisted[name] = true
+			if hadLabels {
+				db.labels[name] = droppedLabels
+				db.idx.Add(name, droppedLabels)
+			}
 			db.mu.Unlock()
 			return fmt.Errorf("tsdb: drop %s: %w", name, err)
 		}
@@ -498,6 +604,19 @@ func (db *DB) Get(name string, tg int64) (p series.Point, ok bool, err error) {
 // BlockCache exposes the shared block cache, nil when disabled (memory-only
 // DB or BlockCacheBytes < 0). Used by tests and the metrics endpoint.
 func (db *DB) BlockCache() *cache.Cache { return db.blockCache }
+
+// Index exposes the inverted tag index (never nil). The server reads its
+// Stats for the lsmd_index_* metrics families.
+func (db *DB) Index() *index.Index { return db.idx }
+
+// Match resolves a conjunction of label matchers to the sorted IDs of the
+// series whose label sets satisfy every predicate. Name-only series
+// participate through their implicit __name__ label.
+func (db *DB) Match(ms []index.Matcher) []string { return db.idx.Match(ms) }
+
+// LabelsOf returns the label set a series is registered under — explicit
+// tags or the implicit __name__ set — and whether the series exists.
+func (db *DB) LabelsOf(name string) (series.Labels, bool) { return db.idx.Labels(name) }
 
 // Compactions exposes the shared compaction scheduler, nil when async
 // compaction is off or per-series legacy compactors are in use. The server
@@ -698,6 +817,9 @@ func (db *DB) Close() error {
 	if db.gw != nil {
 		db.gw.Close()
 	}
+	// In-flight QueryMatch fan-outs see db.closed and finish fast; Close
+	// joins the workers so no pool goroutine outlives the DB.
+	db.qpool.Close()
 	return firstErr
 }
 
