@@ -89,6 +89,14 @@ func main() {
 		qbreadlat  = flag.Duration("qbreadlat", 200*time.Microsecond, "query mode: simulated latency per ranged block read")
 		qbiters    = flag.Int("qbiters", 3, "query mode: timed repetitions per leg (best is reported)")
 
+		rollupbench = flag.Bool("rollupbench", false, "rollup mode: dashboard-over-history aggregate benchmark, rollup-served vs raw")
+		rbseries    = flag.Int("rbseries", 8, "rollup mode: fleet size")
+		rbpoints    = flag.Int("rbpoints", 40000, "rollup mode: points per series")
+		rbbatch     = flag.Int("rbbatch", 500, "rollup mode: points per PutBatch during setup")
+		rbwindow    = flag.Int64("rbwindow", 320, "rollup mode: rollup bucket width in t_g units")
+		rbqueries   = flag.Int("rbqueries", 400, "rollup mode: historical aggregates per leg")
+		rbiters     = flag.Int("rbiters", 3, "rollup mode: timed repetitions per leg (best is reported)")
+
 		verifyreport = flag.String("verifyreport", "", "verify mode: strictly parse a bench JSON report against its schema-stable struct and exit")
 
 		scenario  = flag.String("scenario", "", "scenario mode: 'all', 'smoke', or comma-separated scenario names (see internal/benchmark)")
@@ -111,6 +119,20 @@ func main() {
 			base:  *benchbase,
 			label: *baselabel,
 			out:   *benchout,
+		})
+		return
+	}
+
+	if *rollupbench {
+		runRollupBench(rollupBenchConfig{
+			series:  *rbseries,
+			points:  *rbpoints,
+			batch:   *rbbatch,
+			window:  *rbwindow,
+			queries: *rbqueries,
+			iters:   *rbiters,
+			seed:    *seed,
+			out:     *benchout, // "" defaults to BENCH_10.json
 		})
 		return
 	}

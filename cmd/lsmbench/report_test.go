@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -46,6 +47,69 @@ func TestCommittedScenarioReportParses(t *testing.T) {
 	}
 	if err := verifyScenarioReport(path); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCommittedRollupReportParses guards BENCH_10.json: strict schema,
+// bit-identical legs, and the read reduction the rollup path was committed
+// to demonstrate (>= 5x fewer raw points folded) is still recorded.
+func TestCommittedRollupReportParses(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_10.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("BENCH_10.json must be committed at the repo root: %v", err)
+	}
+	if err := verifyRollupReport(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep rollupReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PointsDecodedReductionX < 5 {
+		t.Errorf("committed reduction %.1fx, want >= 5x", rep.PointsDecodedReductionX)
+	}
+	if rep.IngestRatio < 0.8 {
+		t.Errorf("committed ingest ratio %.3f: rollup maintenance cost regressed", rep.IngestRatio)
+	}
+}
+
+// TestVerifyRollupReportRejectsBadRuns: the rollup verifier must reject a
+// report whose legs disagree or whose reduction fell below the bar.
+func TestVerifyRollupReportRejectsBadRuns(t *testing.T) {
+	dir := t.TempDir()
+	leg := `{"mode":"%s","ingest_seconds":1,"ingest_points_per_sec":100,"query_seconds":1,
+		"queries_per_sec":10,"buckets_returned":50,"rollup_buckets_used":%d,"blocks_read":10,"points_decoded":%d}`
+	mk := func(equal bool, rollupBuckets, rollupPts int, reduction float64) string {
+		return `{"name":"rollup_dashboard_over_history","series":4,"points_per_series":100,"rollup_window":10,"queries":5,` +
+			`"rollup":` + fmt.Sprintf(leg, "rollup", rollupBuckets, rollupPts) + `,` +
+			`"raw":` + fmt.Sprintf(leg, "raw", 0, 1000) + `,` +
+			fmt.Sprintf(`"blocks_read_reduction_x":1,"points_decoded_reduction_x":%g,"ingest_ratio":1,"results_equal":%v}`,
+				reduction, equal)
+	}
+	cases := map[string]string{
+		"legs_disagree.json": mk(false, 40, 100, 10),
+		"low_reduction.json": mk(true, 40, 500, 2),
+		"never_served.json":  mk(true, 0, 100, 10),
+	}
+	for name, body := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := verifyRollupReport(p); err == nil {
+			t.Errorf("%s: verification passed, want failure", name)
+		}
+	}
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(mk(true, 40, 100, 10)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyRollupReport(good); err != nil {
+		t.Errorf("well-formed report rejected: %v", err)
 	}
 }
 

@@ -79,6 +79,49 @@ func verifyQueryReport(path string) error {
 	return nil
 }
 
+// verifyRollupReport checks a rollupbench artifact (BENCH_10.json):
+// strict schema, a real workload, bit-identical legs, and the read
+// reduction the rollup path exists to deliver — at least 5x fewer raw
+// points folded per dashboard-over-history aggregate.
+func verifyRollupReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep rollupReport
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: strict decode: %w", path, err)
+	}
+	if rep.Name != "rollup_dashboard_over_history" {
+		return fmt.Errorf("%s: name = %q", path, rep.Name)
+	}
+	if rep.Series <= 0 || rep.PointsPerSeries <= 0 || rep.Window <= 0 || rep.Queries <= 0 {
+		return fmt.Errorf("%s: empty workload (%d series x %d points, window %d, %d queries)",
+			path, rep.Series, rep.PointsPerSeries, rep.Window, rep.Queries)
+	}
+	if !rep.ResultsEqual {
+		return fmt.Errorf("%s: rollup and raw legs disagreed", path)
+	}
+	if rep.Rollup.BucketsReturned != rep.Raw.BucketsReturned || rep.Rollup.BucketsReturned <= 0 {
+		return fmt.Errorf("%s: bucket counts %d vs %d", path, rep.Rollup.BucketsReturned, rep.Raw.BucketsReturned)
+	}
+	if rep.Rollup.RollupBuckets <= 0 {
+		return fmt.Errorf("%s: rollup leg never served from rollups", path)
+	}
+	if rep.Raw.RollupBuckets != 0 {
+		return fmt.Errorf("%s: raw leg served %d rollup buckets", path, rep.Raw.RollupBuckets)
+	}
+	if rep.PointsDecodedReductionX < 5 {
+		return fmt.Errorf("%s: points-decoded reduction %.2fx, want >= 5x", path, rep.PointsDecodedReductionX)
+	}
+	if rep.IngestRatio <= 0 {
+		return fmt.Errorf("%s: ingest ratio %f", path, rep.IngestRatio)
+	}
+	return nil
+}
+
 // runVerifyReport dispatches on the report's self-identification so CI can
 // point one flag at either artifact kind.
 func runVerifyReport(path string) {
@@ -98,6 +141,8 @@ func runVerifyReport(path string) {
 		err = verifyScenarioReport(path)
 	case head.Name == "query_fanout_vs_sequential":
 		err = verifyQueryReport(path)
+	case head.Name == "rollup_dashboard_over_history":
+		err = verifyRollupReport(path)
 	default:
 		fatal("verifyreport: %s: unrecognized report (bench=%q name=%q)", path, head.Bench, head.Name)
 	}

@@ -48,6 +48,7 @@ func main() {
 		levels   = flag.Int("levels", 1, "on-disk levels k per series (1: the paper's single-run layout; >1: partial level compactions)")
 		growth   = flag.Int("growth-factor", 0, "per-level size ratio T, level Li targets sstable-points x T^i (0: default 10)")
 		cpolicy  = flag.String("compaction-policy", "leveling", "level compaction policy: leveling, tiering, lazy-leveling")
+		rollupW  = flag.Int64("rollup-window", 0, "compaction-time rollup bucket width in t_g units: every persisted SSTable carries downsampled count/min/max/sum/first/last buckets, and /aggregate widths that are a multiple of it are served from them (0: disabled)")
 		shards   = flag.Int("shards", 0, "ingest worker shards (0: GOMAXPROCS, max 16)")
 		queue    = flag.Int("queue", 0, "per-shard ingest queue length in batches (0: 128)")
 		wal      = flag.Bool("wal", true, "write-ahead logging (durable mode only)")
@@ -98,6 +99,10 @@ func main() {
 		AutoCreate:     true,
 		CompactWorkers: *cworkers,
 		QueryWorkers:   *qworkers,
+		RollupWindow:   *rollupW,
+	}
+	if *rollupW < 0 {
+		log.Fatalf("lsmd: -rollup-window must be >= 0")
 	}
 	switch *policy {
 	case "auto":

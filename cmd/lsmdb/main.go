@@ -131,7 +131,7 @@ func cmdAgg(db *tsdb.DB, name string, lo, hi, bucket int64) {
 	if err != nil {
 		fatal("scan: %v", err)
 	}
-	buckets := query.AggregatePoints(pts, lo, bucket)
+	buckets := query.AggregatePoints(pts, bucket)
 	fmt.Println("start,count,min,max,mean,first,last")
 	for _, b := range buckets {
 		fmt.Printf("%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f\n",

@@ -71,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	buckets := query.AggregatePoints(window, lo, 60_000)
+	buckets := query.AggregatePoints(window, 60_000)
 	fmt.Printf("engine_temp downsampled to 1-minute buckets: %d buckets over last 3 h\n", len(buckets))
 	for _, b := range buckets[:min(3, len(buckets))] {
 		fmt.Printf("  t=%d  n=%-3d mean=%.3f min=%.3f max=%.3f\n",

@@ -83,7 +83,7 @@ func TestEndToEnd(t *testing.T) {
 	if st.ReadAmplification() < 1 {
 		t.Errorf("read amplification %v", st.ReadAmplification())
 	}
-	buckets := query.AggregatePoints(pts, 0, 60_000)
+	buckets := query.AggregatePoints(pts, 60_000)
 	var total int64
 	for _, b := range buckets {
 		total += b.Count

@@ -56,13 +56,21 @@ func TestRoundTripReuse(t *testing.T) {
 		t.Fatalf("GetBytes(100): len %d cap %d, want 100/128", len(b), cap(b))
 	}
 	b[0] = 0xAB
-	PutBytes(b)
-	b2 := GetBytes(70) // same class
-	if cap(b2) != 128 {
-		t.Fatalf("GetBytes(70) after Put: cap %d, want 128", cap(b2))
+	// sync.Pool may legitimately drop a Put item (GC, per-P caches — the
+	// race detector makes this more likely), so require reuse within a few
+	// attempts rather than on the first.
+	reused := false
+	for i := 0; i < 16 && !reused; i++ {
+		PutBytes(b)
+		b2 := GetBytes(70) // same class
+		if cap(b2) != 128 {
+			t.Fatalf("GetBytes(70) after Put: cap %d, want 128", cap(b2))
+		}
+		reused = &b2[0] == &b[0]
+		b = b2
 	}
-	if &b2[0] != &b[0] {
-		t.Error("GetBytes did not reuse the pooled buffer")
+	if !reused {
+		t.Error("GetBytes never reused the pooled buffer")
 	}
 }
 

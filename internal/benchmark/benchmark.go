@@ -73,6 +73,12 @@ var registry = []Scenario{
 		run: runDashboard,
 	},
 	{
+		Name: "dashboard-history",
+		Description: "rollup fan-out: steady ingest with compaction-time " +
+			"rollups, then wide historical aggregates served from buckets",
+		run: runDashboardHistory,
+	},
+	{
 		Name: "backfill",
 		Description: "historical backfill: extreme out-of-order ingest " +
 			"forcing continuous compaction, then range scans",

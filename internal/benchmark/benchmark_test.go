@@ -12,10 +12,13 @@ var tiny = Config{Scale: 0.02, Seed: 42}
 
 func TestNamesMatchRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 5 {
-		t.Fatalf("scenario matrix has %d entries, want 5: %v", len(names), names)
+	if len(names) != 6 {
+		t.Fatalf("scenario matrix has %d entries, want 6: %v", len(names), names)
 	}
-	want := map[string]bool{"iot-burst": true, "dashboard": true, "backfill": true, "churn": true, "htap": true}
+	want := map[string]bool{
+		"iot-burst": true, "dashboard": true, "dashboard-history": true,
+		"backfill": true, "churn": true, "htap": true,
+	}
 	for _, n := range names {
 		if !want[n] {
 			t.Errorf("unexpected scenario %q", n)

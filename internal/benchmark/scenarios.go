@@ -198,6 +198,87 @@ func runDashboard(cfg Config) (Result, error) {
 	return r, nil
 }
 
+// runDashboardHistory is the rollup scenario: steady ingest into a store
+// that maintains compaction-time rollups, then a storm of wide historical
+// aggregates — the "utilization over the last month" tile that touches
+// every level. Widths are multiples of the rollup window, so eligible
+// table ranges are answered from precomputed buckets and only range edges
+// and unflushed memtables are folded raw. The figure of merit is aggregate
+// latency percentiles; ingest throughput guards the rollup maintenance
+// cost on the write path.
+func runDashboardHistory(cfg Config) (Result, error) {
+	const (
+		nSeries = 16
+		batch   = 500
+		dt      = 50
+		window  = 64 * dt // rollup bucket width in t_g units
+	)
+	perSeries := scalePts(cfg, 160_000, 8_000) / nSeries
+	nAggs := scalePts(cfg, 2_000, 64)
+	db, err := tsdb.Open(tsdb.Config{
+		Engine: lsm.Config{
+			Policy:        lsm.Conventional,
+			MemBudget:     4096,
+			SSTablePoints: 1024,
+			Levels:        3,
+			GrowthFactor:  4,
+			Seed:          cfg.Seed,
+		},
+		Backend:      storage.NewMemBackend(),
+		AutoCreate:   true,
+		RollupWindow: window,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+
+	r := Result{Scenario: "dashboard-history"}
+	buf := make([]series.Point, 0, batch)
+	p := startPhase()
+	for s := 0; s < nSeries; s++ {
+		g := newSeqGen(cfg.Seed+int64(s)*104729, dt)
+		for done := 0; done < perSeries; done += batch {
+			n := batch
+			if perSeries-done < n {
+				n = perSeries - done
+			}
+			buf = g.batchOf(buf, n)
+			if err := db.PutBatch(seriesName(s), buf); err != nil {
+				return Result{}, err
+			}
+			r.Points += n
+			r.Batches++
+		}
+	}
+	r.IngestSeconds, r.AllocsPerPoint, r.BytesPerPoint = p.finish(r.Points)
+	r.IngestPointsPerSec = float64(r.Points) / r.IngestSeconds
+
+	maxTG := int64(perSeries) * dt
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5011))
+	var lat latencies
+	var returned int64
+	rp := startPhase()
+	for i := 0; i < nAggs; i++ {
+		name := seriesName(rng.Intn(nSeries))
+		// Wide historical range: a random half of the full history,
+		// unaligned edges, bucket width a small multiple of the window.
+		lo := rng.Int63n(maxTG / 2)
+		hi := lo + maxTG/2
+		width := int64(window) * (1 + rng.Int63n(3))
+		t0 := time.Now()
+		bks, _, err := db.AggregateSeries(name, lo, hi, width)
+		lat.observe(time.Since(t0))
+		if err != nil {
+			return Result{}, err
+		}
+		returned += int64(len(bks))
+	}
+	secs, _, _ := rp.finish(nAggs)
+	lat.fill(&r, secs, returned)
+	return r, nil
+}
+
 // runBackfill is historical backfill, the paper's extreme out-of-order
 // case: half of all arrivals carry uniform-random historical timestamps,
 // so every flush overlaps the whole run and compaction churns

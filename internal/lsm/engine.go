@@ -107,6 +107,16 @@ type Config struct {
 	// per-series wal.Log under its Backend. The engine closes the handle
 	// on Close but does not own the underlying shared log.
 	Log SeriesWAL
+	// RollupWindow, when positive, maintains a downsampled rollup sidecar
+	// for every table the engine persists: one count/min/max/sum/first/last
+	// bucket per epoch-aligned window of this width (see
+	// internal/sstable/rollup.go). Compaction already streams every point
+	// through the merger, so the summaries cost no extra reads; eligible
+	// aggregate queries are then answered from O(buckets) rollup entries
+	// instead of O(points) raw blocks. Zero disables rollups. Changing the
+	// window on an existing database affects only newly written tables —
+	// the manifest records each table's own window.
+	RollupWindow int64
 	// Seed makes memtable skiplist shapes deterministic.
 	Seed int64
 	// AsyncCompaction moves merging into a background goroutine: Put
@@ -238,6 +248,9 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	if cfg.WAL && cfg.Backend == nil {
 		return nil, errors.New("lsm: WAL requires a Backend")
+	}
+	if cfg.RollupWindow < 0 {
+		return nil, errors.New("lsm: RollupWindow must be >= 0")
 	}
 	if cfg.Log != nil && !cfg.WAL {
 		return nil, errors.New("lsm: Config.Log requires WAL")

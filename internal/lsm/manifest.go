@@ -47,10 +47,11 @@ type RecoveryStats struct {
 	// TablesLoaded is the number of SSTables referenced by the manifest
 	// and loaded into the run.
 	TablesLoaded int
-	// OrphanTablesRemoved counts sst-*.tbl objects present in the backend
-	// but absent from the committed manifest — leftovers of a crash
-	// between persisting compaction outputs and committing the manifest
-	// (or between commit and retiring old tables). They are deleted.
+	// OrphanTablesRemoved counts sst-*.tbl table objects and sst-*.rlp
+	// rollup sidecars present in the backend but absent from the committed
+	// manifest — leftovers of a crash between persisting compaction
+	// outputs and committing the manifest (or between commit and retiring
+	// old tables). They are deleted.
 	OrphanTablesRemoved int
 	// ManifestMigrated is true when Open found a version-1 single-run
 	// manifest and folded its run into L1 of the multi-level layout. The
@@ -65,11 +66,13 @@ type RecoveryStats struct {
 	WALTornBytes int
 }
 
-// manifestVersion is the current manifest format: version 2 records one
-// table list per level. Version-1 manifests (no version field, a single
-// "tables" list) are accepted on read and folded into L1 — the one-time
-// migration from the single-run layout.
-const manifestVersion = 2
+// manifestVersion is the current manifest format: version 3 records one
+// table list per level plus, for tables that carry a rollup sidecar, the
+// sidecar's bucket window. Version-2 manifests (per-level lists, no
+// rollups) and version-1 manifests (no version field, a single "tables"
+// list, folded into L1) are accepted on read — older formats simply have
+// no rollup entries, and the next commit persists version 3.
+const manifestVersion = 3
 
 // manifest is the durable record of level membership. It is rewritten
 // atomically after every change to any level, so a recovered engine sees a
@@ -84,6 +87,11 @@ type manifest struct {
 	Tables []string `json:"tables,omitempty"`
 	// Levels lists object names per level, L1 first, each in run order.
 	Levels [][]string `json:"levels,omitempty"`
+	// Rollups maps a table object name to the bucket window of its rollup
+	// sidecar (see rollupObjectName). Tables written before rollups were
+	// enabled — or with a different window than the current config — keep
+	// their own entries; absence means no sidecar. Added in version 3.
+	Rollups map[string]int64 `json:"rollups,omitempty"`
 	// NextID is the next SSTable identifier to allocate.
 	NextID uint64 `json:"next_id"`
 }
@@ -91,6 +99,17 @@ type manifest struct {
 // tableObjectName returns the storage object name for a table id.
 func tableObjectName(id uint64) string {
 	return fmt.Sprintf("sst-%016x.tbl", id)
+}
+
+// rollupObjectName returns the storage object name of a table's rollup
+// sidecar.
+func rollupObjectName(id uint64) string {
+	return fmt.Sprintf("sst-%016x.rlp", id)
+}
+
+// rollupSidecarFor maps a table object name to its sidecar's name.
+func rollupSidecarFor(tableName string) string {
+	return strings.TrimSuffix(tableName, ".tbl") + ".rlp"
 }
 
 // persistTable writes one freshly built table's object to the backend —
@@ -102,16 +121,33 @@ func tableObjectName(id uint64) string {
 // commit, nothing references the object, and a crash merely leaves an
 // orphan that recovery deletes.
 func (e *Engine) persistTable(t *sstable.Table) (sstable.TableHandle, error) {
+	// The rollup is computed from the table's own (sorted, unique) points,
+	// so a table's summary is always freshly derived from exactly what the
+	// table holds — a retention rewrite that truncates a straddling table
+	// regenerates its buckets here, never inheriting stale ones.
+	var rollup *sstable.Rollup
+	if w := e.cfg.RollupWindow; w > 0 {
+		rollup = sstable.BuildRollup(t.Points(), w)
+	}
 	if e.cfg.Backend == nil {
+		t.SetRollup(rollup)
 		return t, nil
 	}
 	name := tableObjectName(t.ID())
 	if err := e.cfg.Backend.Write(name, t.Encode(0)); err != nil {
 		return nil, fmt.Errorf("lsm: persist sstable: %w", err)
 	}
+	if rollup != nil {
+		if err := e.cfg.Backend.Write(rollupObjectName(t.ID()), sstable.EncodeRollup(rollup)); err != nil {
+			return nil, fmt.Errorf("lsm: persist rollup sidecar: %w", err)
+		}
+	}
 	r, err := sstable.OpenReader(e.cfg.Backend, name, e.cfg.BlockCache)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: reopen persisted sstable: %w", err)
+	}
+	if rollup != nil {
+		r.AttachRollup(e.cfg.Backend, rollupObjectName(t.ID()), rollup.Window)
 	}
 	return r, nil
 }
@@ -191,7 +227,19 @@ func (e *Engine) commitRun() error {
 	for d := range e.levels {
 		names := make([]string, 0, len(e.levels[d].tables))
 		for _, t := range e.levels[d].tables {
-			names = append(names, tableObjectName(t.ID()))
+			name := tableObjectName(t.ID())
+			names = append(names, name)
+			// Record each table's rollup window so recovery re-attaches the
+			// sidecar; tables predating rollups (or written under a different
+			// window) carry their own entries.
+			if rp, ok := t.(sstable.RollupProvider); ok {
+				if w := rp.RollupWindow(); w > 0 {
+					if m.Rollups == nil {
+						m.Rollups = make(map[string]int64)
+					}
+					m.Rollups[name] = w
+				}
+			}
 		}
 		m.Levels[d] = names
 	}
@@ -199,8 +247,10 @@ func (e *Engine) commitRun() error {
 }
 
 // removeRetired deletes the objects of tables a committed manifest no
-// longer references. A failure here leaves orphans that the next Open
-// removes; the committed state is already consistent.
+// longer references — and their rollup sidecars, in the same batch, so a
+// retired table's stale buckets can never outlive its raw points. A
+// failure here leaves orphans that the next Open removes; the committed
+// state is already consistent.
 func (e *Engine) removeRetired(old []sstable.TableHandle) error {
 	if e.cfg.Backend == nil {
 		return nil
@@ -208,6 +258,11 @@ func (e *Engine) removeRetired(old []sstable.TableHandle) error {
 	for _, t := range old {
 		if err := e.cfg.Backend.Remove(tableObjectName(t.ID())); err != nil {
 			return fmt.Errorf("lsm: remove old sstable: %w", err)
+		}
+		if rp, ok := t.(sstable.RollupProvider); ok && rp.RollupWindow() > 0 {
+			if err := e.cfg.Backend.Remove(rollupObjectName(t.ID())); err != nil && !errors.Is(err, storage.ErrNotFound) {
+				return fmt.Errorf("lsm: remove old rollup sidecar: %w", err)
+			}
 		}
 	}
 	return nil
@@ -300,6 +355,13 @@ func (e *Engine) recover() error {
 				if err != nil {
 					return fmt.Errorf("lsm: open sstable %s: %w", name, err)
 				}
+				// Re-attach the rollup sidecar the manifest records; the
+				// sidecar image itself is read lazily on first use.
+				if w := m.Rollups[name]; w > 0 {
+					sidecar := rollupSidecarFor(name)
+					t.AttachRollup(e.cfg.Backend, sidecar, w)
+					referenced[sidecar] = true
+				}
 				e.levels[d].tables = append(e.levels[d].tables, t)
 				referenced[name] = true
 				e.recovery.TablesLoaded++
@@ -311,17 +373,18 @@ func (e *Engine) recover() error {
 		e.nextID = m.NextID
 	}
 
-	// The manifest is the commit point (invariant 2): any table object it
-	// does not reference is a leftover of an interrupted compaction —
-	// outputs persisted before a commit that never happened, or retired
-	// inputs whose removal was cut short. Delete them so they cannot be
-	// mistaken for data and do not leak space.
+	// The manifest is the commit point (invariant 2): any table object —
+	// or rollup sidecar — it does not reference is a leftover of an
+	// interrupted compaction: outputs persisted before a commit that never
+	// happened, or retired inputs whose removal was cut short. Delete them
+	// so they cannot be mistaken for data and do not leak space.
 	names, err := e.cfg.Backend.List()
 	if err != nil {
 		return fmt.Errorf("lsm: list backend: %w", err)
 	}
 	for _, name := range names {
-		if !strings.HasPrefix(name, "sst-") || !strings.HasSuffix(name, ".tbl") || referenced[name] {
+		if !strings.HasPrefix(name, "sst-") || referenced[name] ||
+			!(strings.HasSuffix(name, ".tbl") || strings.HasSuffix(name, ".rlp")) {
 			continue
 		}
 		if err := e.cfg.Backend.Remove(name); err != nil {

@@ -1,0 +1,151 @@
+package lsm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/sstable"
+	"repro/internal/storage"
+)
+
+// verifyRollupsMatchTables asserts the core retention invariant: every
+// live level table's rollup is exactly the rollup of the table's own
+// points — no bucket ever summarizes data the table no longer holds, so
+// a stale rollup can never resurrect retention-dropped points into an
+// aggregate.
+func verifyRollupsMatchTables(t *testing.T, e *Engine, window int64, ctx string) {
+	t.Helper()
+	s := e.Snapshot()
+	for d, tables := range s.levels {
+		for _, tbl := range tables {
+			rp, ok := tbl.(sstable.RollupProvider)
+			if !ok || rp.RollupWindow() != window {
+				t.Fatalf("%s: L%d table %d lost its rollup (window %d)", ctx, d+1, tbl.ID(), window)
+			}
+			ru, err := rp.Rollup()
+			if err != nil {
+				t.Fatalf("%s: L%d table %d rollup load: %v", ctx, d+1, tbl.ID(), err)
+			}
+			pts, err := tbl.Scan(math.MinInt64+1, math.MaxInt64)
+			if err != nil {
+				t.Fatalf("%s: L%d table %d scan: %v", ctx, d+1, tbl.ID(), err)
+			}
+			want := sstable.BuildRollup(pts, window)
+			if ru == nil || want == nil {
+				t.Fatalf("%s: L%d table %d: nil rollup (got %v, want %v)", ctx, d+1, tbl.ID(), ru, want)
+			}
+			if ru.Window != want.Window || len(ru.Buckets) != len(want.Buckets) {
+				t.Fatalf("%s: L%d table %d rollup shape: got %d buckets window %d, want %d window %d",
+					ctx, d+1, tbl.ID(), len(ru.Buckets), ru.Window, len(want.Buckets), want.Window)
+			}
+			for i := range ru.Buckets {
+				if ru.Buckets[i] != want.Buckets[i] {
+					t.Fatalf("%s: L%d table %d bucket %d stale: got %+v, want %+v",
+						ctx, d+1, tbl.ID(), i, ru.Buckets[i], want.Buckets[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRollupRetentionDropFaultSweep crashes a retention pass
+// (DropBefore) at every backend write in turn — straddle-table rewrite,
+// rollup sidecar write, manifest commit, WAL rewrite, object removals —
+// on an engine that maintains rollup sidecars, and asserts after every
+// failure point that live rollups exactly match their tables (stale
+// buckets could otherwise resurrect dropped points into aggregates),
+// that a restart recovers a consistent tree whose rollups also match,
+// and that recovery leaves no orphan sidecar objects behind.
+func TestRollupRetentionDropFaultSweep(t *testing.T) {
+	const window = int64(8)
+	const cutoff = int64(30)
+	for budget := int64(0); ; budget++ {
+		if budget > 1024 {
+			t.Fatal("retention drop never succeeded within the budget sweep")
+		}
+		fb := storage.NewFaultBackend(storage.NewMemBackend())
+		cfg := Config{
+			Policy: Conventional, MemBudget: 16, SSTablePoints: 8,
+			Backend: fb, WAL: true, RollupWindow: window,
+		}
+		e, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("budget %d: open: %v", budget, err)
+		}
+		for i := int64(0); i < 64; i++ {
+			if err := e.Put(series.Point{TG: i, TA: i, V: float64(i) * 0.5}); err != nil {
+				t.Fatalf("budget %d: put %d: %v", budget, i, err)
+			}
+		}
+		if err := e.FlushAll(); err != nil {
+			t.Fatalf("budget %d: flush: %v", budget, err)
+		}
+
+		fb.SetBudget(budget)
+		removed, derr := e.DropBefore(cutoff)
+		fb.SetBudget(-1)
+		if derr != nil && !errors.Is(derr, storage.ErrInjected) {
+			t.Fatalf("budget %d: error lost its cause: %v", budget, derr)
+		}
+
+		// Whether the drop committed or rolled back, no live table may
+		// carry a rollup bucket its points don't back.
+		verifyRollupsMatchTables(t, e, window, "after drop")
+
+		if removed > 0 {
+			// A nonzero count is the durability contract: the commit held
+			// (any error was post-commit cleanup), so nothing below the
+			// cutoff may survive anywhere.
+			pts, _, serr := e.Scan(math.MinInt64+1, math.MaxInt64)
+			if serr != nil {
+				t.Fatalf("budget %d: scan: %v", budget, serr)
+			}
+			for _, p := range pts {
+				if p.TG < cutoff {
+					t.Fatalf("budget %d: point %d survived DropBefore(%d)", budget, p.TG, cutoff)
+				}
+			}
+		}
+
+		if err := e.Close(); err != nil {
+			t.Fatalf("budget %d: close: %v", budget, err)
+		}
+
+		// Restart: recovery must serve a tree whose rollups are exact and
+		// must have garbage-collected any sidecar the crash orphaned.
+		re, rerr := Open(cfg)
+		if rerr != nil {
+			t.Fatalf("budget %d: reopen: %v", budget, rerr)
+		}
+		verifyRollupsMatchTables(t, re, window, "after restart")
+		live := make(map[string]bool)
+		re.mu.Lock()
+		for d := range re.levels {
+			for _, h := range re.levels[d].tables {
+				live[rollupObjectName(h.ID())] = true
+			}
+		}
+		re.mu.Unlock()
+		names, lerr := fb.List()
+		if lerr != nil {
+			t.Fatalf("budget %d: list: %v", budget, lerr)
+		}
+		for _, n := range names {
+			if strings.HasSuffix(n, ".rlp") && !live[n] {
+				t.Fatalf("budget %d: orphan rollup sidecar %s survived recovery", budget, n)
+			}
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("budget %d: close reopened: %v", budget, err)
+		}
+
+		if derr == nil {
+			// The whole retention pass fit in the budget: every earlier
+			// iteration crashed at a distinct write, so the sweep is done.
+			return
+		}
+	}
+}

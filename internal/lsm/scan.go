@@ -33,6 +33,12 @@ type ScanStats struct {
 	// already reported separately above. Nil when the engine has no
 	// levels snapshotted.
 	LevelTablesTouched []int
+	// RollupBuckets is the number of precomputed rollup buckets folded
+	// into an aggregate's answer instead of raw points (0 for plain
+	// scans). When positive, the raw-read fields above cover only the
+	// residual raw work: range-edge partial windows and sources without
+	// an eligible rollup.
+	RollupBuckets int
 }
 
 // ReadAmplification returns points read divided by points returned, the

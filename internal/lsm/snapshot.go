@@ -136,11 +136,102 @@ func (s *Snapshot) Get(tg int64) (series.Point, bool, error) {
 	return series.Point{}, false, nil
 }
 
+// RollupCandidate is one level table whose clipped query range is
+// covered by no other snapshot source, so an aggregate may serve it from
+// its precomputed rollup buckets instead of raw blocks. Lo and Hi are
+// the table's range clipped to the query range.
+type RollupCandidate struct {
+	Table  sstable.TableHandle
+	Rollup sstable.RollupProvider // the same handle, as its rollup view
+	Window int64                  // the rollup's bucket width
+	Level  int                    // 0-based level index (0 = L1)
+	Lo, Hi int64
+}
+
+// RollupCandidates returns the level tables overlapping [lo, hi] that
+// carry a rollup and whose clipped range [max(MinTG,lo), min(MaxTG,hi)]
+// intersects no other source — no table in another level, no pending L0
+// table, no in-range memtable point. Such a table is the unique owner of
+// every generation time in its clipped range, so its rollup buckets are
+// exact over that range; everything else must be folded raw. Tables in
+// the candidate's own level never disqualify it: within one level the
+// run invariant keeps tables strictly disjoint.
+func (s *Snapshot) RollupCandidates(lo, hi int64) []RollupCandidate {
+	if lo > hi {
+		return nil
+	}
+	var out []RollupCandidate
+	for d, tables := range s.levels {
+		i, j := overlapTables(tables, lo, hi)
+		for _, t := range tables[i:j] {
+			rp, ok := t.(sstable.RollupProvider)
+			if !ok {
+				continue
+			}
+			w := rp.RollupWindow()
+			if w <= 0 {
+				continue
+			}
+			clo, chi := t.MinTG(), t.MaxTG()
+			if clo < lo {
+				clo = lo
+			}
+			if chi > hi {
+				chi = hi
+			}
+			if s.contested(d, clo, chi) {
+				continue
+			}
+			out = append(out, RollupCandidate{Table: t, Rollup: rp, Window: w, Level: d, Lo: clo, Hi: chi})
+		}
+	}
+	return out
+}
+
+// contested reports whether any snapshot source outside level d holds
+// (or may hold) points with generation time in [clo, chi]. Table and
+// memtable checks are by range overlap, which can only over-report —
+// a conservative answer merely keeps a table on the raw path.
+func (s *Snapshot) contested(d int, clo, chi int64) bool {
+	for d2, tables := range s.levels {
+		if d2 == d {
+			continue
+		}
+		if i, j := overlapTables(tables, clo, chi); j > i {
+			return true
+		}
+	}
+	for _, t := range s.l0 {
+		if t.Overlaps(clo, chi) {
+			return true
+		}
+	}
+	for _, mem := range s.mems {
+		if len(rangeSlice(mem, clo, chi)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // NewIterator returns a streaming k-way merge iterator over the snapshot's
 // points with generation time in [lo, hi]. Table sources stream block by
 // block — at most one decoded block per table is held outside the shared
 // cache — so arbitrarily large ranges run in O(#sources) memory.
 func (s *Snapshot) NewIterator(lo, hi int64) *MergeIterator {
+	return s.newIterator(lo, hi, nil)
+}
+
+// NewIteratorExcluding is NewIterator minus the level tables whose IDs
+// are in exclude — the residual raw scan of a rollup-served aggregate.
+// Excluding a table is only sound when its points are not needed for
+// shadowing decisions, which is exactly the RollupCandidates contract:
+// a candidate shares no generation time with any other source.
+func (s *Snapshot) NewIteratorExcluding(lo, hi int64, exclude map[uint64]bool) *MergeIterator {
+	return s.newIterator(lo, hi, exclude)
+}
+
+func (s *Snapshot) newIterator(lo, hi int64, exclude map[uint64]bool) *MergeIterator {
 	it := &MergeIterator{}
 	k := len(s.levels)
 	// Level tables: within one level, non-overlapping tables share a
@@ -155,6 +246,9 @@ func (s *Snapshot) NewIterator(lo, hi int64) *MergeIterator {
 	for d, tables := range s.levels {
 		i, j := overlapTables(tables, lo, hi)
 		for _, t := range tables[i:j] {
+			if exclude[t.ID()] {
+				continue
+			}
 			it.stats.TablesTouched++
 			it.stats.TablePoints += t.Len()
 			it.stats.LevelTablesTouched[d]++

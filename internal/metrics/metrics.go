@@ -102,12 +102,15 @@ func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
 // Quantile returns an approximate p-quantile (0 < p < 1) from the binned
 // counts, interpolating linearly inside the bin where the cumulative count
 // crosses p. Under-range observations resolve to lo, over-range to hi.
-// Returns 0 when the histogram is empty. The error is bounded by one bin
-// width, which is what the read-path latency reporting needs without
-// retaining raw samples.
+// Returns NaN when the histogram is empty — a quantile of no observations
+// is undefined, and the package-level Quantile already says so; returning
+// 0 here let an empty histogram masquerade as "instant" latency. Callers
+// that serialize to JSON must filter the NaN (encoding/json rejects it).
+// The error is bounded by one bin width, which is what the read-path
+// latency reporting needs without retaining raw samples.
 func (h *Histogram) Quantile(p float64) float64 {
 	if h.total == 0 {
-		return 0
+		return math.NaN()
 	}
 	if p < 0 {
 		p = 0

@@ -32,6 +32,23 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEmptyIsNaN(t *testing.T) {
+	// An empty histogram has no quantiles; it must answer NaN like the
+	// package-level Quantile does for an empty sample, not a fake 0 that
+	// dashboards would plot as a real zero-latency reading.
+	h := NewHistogram(0, 1, 10)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	// One observation makes it well-defined again.
+	h.Observe(0.25)
+	if got := h.Quantile(0.5); math.IsNaN(got) {
+		t.Errorf("non-empty Quantile(0.5) = NaN")
+	}
+}
+
 func TestHistogramOutOfRange(t *testing.T) {
 	h := NewHistogram(0, 10, 2)
 	h.Observe(-5)

@@ -6,12 +6,15 @@ import (
 
 	"repro/internal/lsm"
 	"repro/internal/series"
+	"repro/internal/sstable"
 )
 
 // Aggregation support: monitoring dashboards rarely plot raw points — they
 // downsample a generation-time range into fixed buckets (GROUP BY time
 // windows in IoTDB/InfluxDB SQL dialects). Aggregate scans the engine once
-// and folds points into per-bucket statistics.
+// and folds points into per-bucket statistics, or — when the engine
+// maintains compaction-time rollups — serves fully-covered table ranges
+// from precomputed buckets (see rollup.go).
 
 // ErrBadBucket is returned for non-positive bucket widths.
 var ErrBadBucket = errors.New("query: bucket width must be positive")
@@ -19,7 +22,11 @@ var ErrBadBucket = errors.New("query: bucket width must be positive")
 // Bucket is one downsampled time window.
 type Bucket struct {
 	// Start is the bucket's inclusive lower generation-time bound; the
-	// bucket covers [Start, Start+Width).
+	// bucket covers [Start, Start+Width). Starts are epoch-aligned:
+	// always an integer multiple of the width (floored toward −∞), so
+	// identical data yields identical bucket boundaries regardless of the
+	// query range — and query-time buckets line up with compaction-time
+	// rollup windows.
 	Start int64
 	Count int64
 	Min   float64
@@ -39,19 +46,20 @@ func (b Bucket) Mean() float64 {
 	return b.Sum / float64(b.Count)
 }
 
-// Aggregate downsamples [lo, hi] into buckets of the given width. Empty
-// buckets are omitted. Points are folded straight off a streaming snapshot
-// iterator — the raw range is never materialized, so aggregating an
-// arbitrarily large window costs O(buckets) memory and holds no engine
-// lock. The scan statistics of the underlying snapshot read are returned
-// for cost accounting.
+// Aggregate downsamples [lo, hi] into epoch-aligned buckets of the given
+// width. Empty buckets are omitted. Points are folded straight off a
+// streaming snapshot iterator — the raw range is never materialized, so
+// aggregating an arbitrarily large window costs O(buckets) memory and
+// holds no engine lock — and tables whose clipped range no other source
+// covers are answered from their precomputed rollup buckets when the
+// width is a multiple of the rollup window (see AggregateSnapshot). The
+// scan statistics of the underlying read are returned for cost
+// accounting.
 func Aggregate(e *lsm.Engine, lo, hi, width int64) ([]Bucket, lsm.ScanStats, error) {
 	if width <= 0 {
 		return nil, lsm.ScanStats{}, ErrBadBucket
 	}
-	it := e.NewIterator(lo, hi)
-	buckets := AggregateIter(it, lo, width)
-	return buckets, it.Stats(), nil
+	return AggregateSnapshot(e.Snapshot(), lo, hi, width)
 }
 
 // PointIter is the streaming point source AggregateIter folds: satisfied
@@ -62,9 +70,10 @@ type PointIter interface {
 }
 
 // AggregateIter folds an iterator's points (ascending generation time)
-// into buckets anchored at origin with the given width, one pass, nothing
+// into epoch-aligned buckets of the given width — each point lands in the
+// bucket starting at floor(TG/width)*width — one pass, nothing
 // materialized.
-func AggregateIter(it PointIter, origin, width int64) []Bucket {
+func AggregateIter(it PointIter, width int64) []Bucket {
 	if width <= 0 {
 		return nil
 	}
@@ -72,11 +81,7 @@ func AggregateIter(it PointIter, origin, width int64) []Bucket {
 	var cur *Bucket
 	for it.Next() {
 		p := it.Point()
-		start := origin + (p.TG-origin)/width*width
-		if p.TG < origin {
-			// Floor division toward -inf for points before the origin.
-			start = origin + ((p.TG-origin-width+1)/width)*width
-		}
+		start := sstable.BucketStart(p.TG, width)
 		if cur == nil || cur.Start != start {
 			out = append(out, Bucket{
 				Start: start,
@@ -99,13 +104,13 @@ func AggregateIter(it PointIter, origin, width int64) []Bucket {
 	return out
 }
 
-// AggregatePoints folds already-fetched points (sorted by generation time)
-// into buckets anchored at origin with the given width.
-func AggregatePoints(pts []series.Point, origin, width int64) []Bucket {
+// AggregatePoints folds already-fetched points (sorted by generation
+// time) into epoch-aligned buckets of the given width.
+func AggregatePoints(pts []series.Point, width int64) []Bucket {
 	if len(pts) == 0 {
 		return nil
 	}
-	return AggregateIter(&sliceIter{pts: pts}, origin, width)
+	return AggregateIter(&sliceIter{pts: pts}, width)
 }
 
 // sliceIter adapts a point slice to PointIter.

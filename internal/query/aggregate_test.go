@@ -14,7 +14,7 @@ func TestAggregatePointsBasic(t *testing.T) {
 		{TG: 10, V: 10},                 // bucket [10,20)
 		{TG: 25, V: -1}, {TG: 29, V: 4}, // bucket [20,30)
 	}
-	bs := AggregatePoints(pts, 0, 10)
+	bs := AggregatePoints(pts, 10)
 	if len(bs) != 3 {
 		t.Fatalf("%d buckets", len(bs))
 	}
@@ -37,17 +37,17 @@ func TestAggregatePointsBasic(t *testing.T) {
 }
 
 func TestAggregatePointsEmptyAndBadWidth(t *testing.T) {
-	if got := AggregatePoints(nil, 0, 10); got != nil {
+	if got := AggregatePoints(nil, 10); got != nil {
 		t.Errorf("empty input: %v", got)
 	}
-	if got := AggregatePoints([]series.Point{{TG: 1}}, 0, 0); got != nil {
+	if got := AggregatePoints([]series.Point{{TG: 1}}, 0); got != nil {
 		t.Errorf("zero width: %v", got)
 	}
 }
 
 func TestAggregatePointsSkipsEmptyBuckets(t *testing.T) {
 	pts := []series.Point{{TG: 0, V: 1}, {TG: 100, V: 2}}
-	bs := AggregatePoints(pts, 0, 10)
+	bs := AggregatePoints(pts, 10)
 	if len(bs) != 2 {
 		t.Fatalf("%d buckets, want 2 (gaps skipped)", len(bs))
 	}
@@ -56,14 +56,60 @@ func TestAggregatePointsSkipsEmptyBuckets(t *testing.T) {
 	}
 }
 
-func TestAggregatePointsNegativeOriginOffset(t *testing.T) {
+func TestAggregatePointsNegativeTGFloor(t *testing.T) {
 	pts := []series.Point{{TG: -15, V: 1}, {TG: -5, V: 2}, {TG: 5, V: 3}}
-	bs := AggregatePoints(pts, 0, 10)
+	bs := AggregatePoints(pts, 10)
 	if len(bs) != 3 {
 		t.Fatalf("%d buckets: %+v", len(bs), bs)
 	}
 	if bs[0].Start != -20 || bs[1].Start != -10 || bs[2].Start != 0 {
 		t.Errorf("starts: %d %d %d", bs[0].Start, bs[1].Start, bs[2].Start)
+	}
+}
+
+// TestAggregateEpochAlignedAnchoring is the regression test for the
+// lo-anchored bucket bug: buckets used to be anchored at the request's
+// lo, so the same data produced different bucket boundaries for
+// different query ranges. Starts must be epoch-aligned multiples of the
+// width, independent of lo.
+func TestAggregateEpochAlignedAnchoring(t *testing.T) {
+	e, err := lsm.Open(lsm.Config{Policy: lsm.Conventional, MemBudget: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for tg := int64(100); tg <= 160; tg += 10 {
+		if err := e.Put(series.Point{TG: tg, V: float64(tg)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aligned, _, err := Aggregate(e, 0, 1000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query range starting mid-bucket must produce the same bucket
+	// boundaries for the points it covers.
+	offset, _, err := Aggregate(e, 95, 1000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range [][]Bucket{aligned, offset} {
+		for _, b := range bs {
+			if b.Start%50 != 0 {
+				t.Fatalf("bucket start %d not aligned to width 50 (buckets %+v)", b.Start, bs)
+			}
+		}
+	}
+	if len(aligned) != len(offset) {
+		t.Fatalf("aligned %d buckets vs offset %d", len(aligned), len(offset))
+	}
+	for i := range aligned {
+		if aligned[i] != offset[i] {
+			t.Fatalf("bucket %d differs across query ranges: %+v vs %+v", i, aligned[i], offset[i])
+		}
+	}
+	if aligned[0].Start != 100 || aligned[len(aligned)-1].Start != 150 {
+		t.Fatalf("unexpected bucket starts: %+v", aligned)
 	}
 }
 

@@ -1,0 +1,254 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/sstable"
+)
+
+// Rollup-served aggregation. A table whose clipped query range no other
+// snapshot source covers (lsm.Snapshot.RollupCandidates) owns every
+// generation time in that range, so its compaction-time rollup buckets
+// are exact over it. AggregateSnapshot serves such tables from their
+// rollups — O(buckets) work instead of O(points) block decodes — and
+// folds everything else raw:
+//
+//   - rollup windows that lie fully inside the query range (or whose
+//     straddling side the table does not reach past) are merged as
+//     precomputed partial buckets;
+//   - the candidate's leftover edges — partial windows at the query
+//     boundaries — are raw-scanned from just that table's blocks;
+//   - all non-candidate sources (memtables, L0, contested or
+//     rollup-less tables) stream through the usual merge iterator.
+//
+// Partial buckets from different sources may meet in one query bucket
+// (a rollup window at a table boundary, the neighbouring table's window
+// for the same epoch, raw edge points). The merge is exact because the
+// sources are time-disjoint and each partial carries its edge times:
+// Count/Min/Max are order-independent, Sum reassociates (bit-exact
+// whenever the values sum exactly, e.g. integral/dyadic samples), and
+// First/Last resolve by comparing FirstTG/LastTG. The property test in
+// rollup_property_test.go pins parity with the raw fold.
+
+// partialBucket accumulates one query bucket from time-disjoint partial
+// contributions (raw points and rollup buckets).
+type partialBucket struct {
+	count           int64
+	min, max, sum   float64
+	first, last     float64
+	firstTG, lastTG int64
+}
+
+func (pb *partialBucket) add(count int64, min, max, sum, first, last float64, firstTG, lastTG int64) {
+	if pb.count == 0 {
+		*pb = partialBucket{count: count, min: min, max: max, sum: sum,
+			first: first, last: last, firstTG: firstTG, lastTG: lastTG}
+		return
+	}
+	pb.count += count
+	pb.sum += sum
+	if min < pb.min {
+		pb.min = min
+	}
+	if max > pb.max {
+		pb.max = max
+	}
+	if firstTG < pb.firstTG {
+		pb.first, pb.firstTG = first, firstTG
+	}
+	if lastTG > pb.lastTG {
+		pb.last, pb.lastTG = last, lastTG
+	}
+}
+
+// bucketAccum keys partial buckets by epoch-aligned query bucket start.
+type bucketAccum struct {
+	width   int64
+	buckets map[int64]*partialBucket
+}
+
+func newBucketAccum(width int64) *bucketAccum {
+	return &bucketAccum{width: width, buckets: make(map[int64]*partialBucket)}
+}
+
+func (a *bucketAccum) at(start int64) *partialBucket {
+	pb := a.buckets[start]
+	if pb == nil {
+		pb = &partialBucket{}
+		a.buckets[start] = pb
+	}
+	return pb
+}
+
+func (a *bucketAccum) addPoint(p series.Point) {
+	a.at(sstable.BucketStart(p.TG, a.width)).add(1, p.V, p.V, p.V, p.V, p.V, p.TG, p.TG)
+}
+
+// addRollup folds one rollup bucket. Because the rollup window divides
+// the query width and both are epoch-aligned, the whole window lies in a
+// single query bucket — the one containing its start.
+func (a *bucketAccum) addRollup(rb sstable.RollupBucket) {
+	a.at(sstable.BucketStart(rb.Start, a.width)).
+		add(rb.Count, rb.Min, rb.Max, rb.Sum, rb.First, rb.Last, rb.FirstTG, rb.LastTG)
+}
+
+func (a *bucketAccum) result() []Bucket {
+	starts := make([]int64, 0, len(a.buckets))
+	for s := range a.buckets {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]Bucket, 0, len(starts))
+	for _, s := range starts {
+		pb := a.buckets[s]
+		out = append(out, Bucket{Start: s, Count: pb.count, Min: pb.min,
+			Max: pb.max, Sum: pb.sum, First: pb.first, Last: pb.last})
+	}
+	return out
+}
+
+// rollupPlan is one accepted candidate: the rollup buckets to merge and
+// the edge sub-ranges to raw-scan from the candidate's own blocks.
+type rollupPlan struct {
+	cand    lsm.RollupCandidate
+	buckets []sstable.RollupBucket // the usable, pre-aggregated windows
+	raw     [][2]int64             // leftover [lo, hi] edge ranges, possibly empty
+}
+
+// planCandidate decides how much of a candidate's clipped range
+// [c.Lo, c.Hi] its rollup can answer for a query over [lo, hi]. A rollup
+// window is usable unless it straddles a query boundary the table
+// extends past (then the window bakes in out-of-range points); leftover
+// edges fall back to a raw scan of the candidate. Returns ok=false when
+// no window is usable — the caller leaves the whole table on the raw
+// path.
+func planCandidate(c lsm.RollupCandidate, ru *sstable.Rollup, lo, hi int64) (rollupPlan, bool) {
+	w := ru.Window
+	// bLo is the lowest usable window start. With table points below lo,
+	// windows before the first fully-in-range one are tainted.
+	bLo := int64(math.MinInt64)
+	if c.Table.MinTG() < lo {
+		bLo = sstable.BucketStart(lo, w)
+		if bLo < lo {
+			if bLo > math.MaxInt64-w {
+				return rollupPlan{}, false
+			}
+			bLo += w
+		}
+	}
+	// bHi is the highest usable window start: windows must end by hi when
+	// the table extends past it.
+	bHi := int64(math.MaxInt64)
+	if c.Table.MaxTG() > hi {
+		if hi < math.MinInt64+w {
+			return rollupPlan{}, false
+		}
+		bHi = sstable.BucketStart(hi-w+1, w)
+	}
+	bks := ru.Buckets
+	si := sort.Search(len(bks), func(i int) bool { return bks[i].Start >= bLo })
+	sj := sort.Search(len(bks), func(i int) bool { return bks[i].Start > bHi })
+	if sj <= si {
+		return rollupPlan{}, false
+	}
+	p := rollupPlan{cand: c, buckets: bks[si:sj]}
+	if c.Table.MinTG() < lo && bLo > c.Lo {
+		edgeHi := bLo - 1
+		if edgeHi > c.Hi {
+			edgeHi = c.Hi
+		}
+		p.raw = append(p.raw, [2]int64{c.Lo, edgeHi})
+	}
+	if c.Table.MaxTG() > hi && bHi <= math.MaxInt64-w && bHi+w <= c.Hi {
+		edgeLo := bHi + w
+		if edgeLo < c.Lo {
+			edgeLo = c.Lo
+		}
+		p.raw = append(p.raw, [2]int64{edgeLo, c.Hi})
+	}
+	return p, true
+}
+
+// AggregateSnapshot downsamples [lo, hi] of one snapshot into
+// epoch-aligned buckets of the given width, serving uncontested tables
+// from their rollups when the width is a multiple of the table's rollup
+// window, and folding everything else (range edges, memtables, L0,
+// contested tables) raw. The returned stats account the rollup buckets
+// used (RollupBuckets) and the residual raw work (ResultPoints counts
+// raw points folded). A rollup sidecar that fails to load silently falls
+// back to raw blocks for that table: availability over optimization.
+func AggregateSnapshot(s *lsm.Snapshot, lo, hi, width int64) ([]Bucket, lsm.ScanStats, error) {
+	if width <= 0 {
+		return nil, lsm.ScanStats{}, ErrBadBucket
+	}
+	var plans []rollupPlan
+	for _, c := range s.RollupCandidates(lo, hi) {
+		if width%c.Window != 0 {
+			continue
+		}
+		ru, err := c.Rollup.Rollup()
+		if err != nil || ru == nil {
+			continue
+		}
+		if p, ok := planCandidate(c, ru, lo, hi); ok {
+			plans = append(plans, p)
+		}
+	}
+	if len(plans) == 0 {
+		// Pure raw fold: identical work — and identical floating-point
+		// operation order — to the pre-rollup path.
+		it := s.NewIterator(lo, hi)
+		buckets := AggregateIter(it, width)
+		return buckets, it.Stats(), it.Err()
+	}
+
+	exclude := make(map[uint64]bool, len(plans))
+	for _, p := range plans {
+		exclude[p.cand.Table.ID()] = true
+	}
+	acc := newBucketAccum(width)
+
+	// Residual: every source that is not a planned candidate.
+	it := s.NewIteratorExcluding(lo, hi, exclude)
+	for it.Next() {
+		acc.addPoint(it.Point())
+	}
+	st := it.Stats()
+	if err := it.Err(); err != nil {
+		return nil, st, err
+	}
+
+	// Candidate edges (raw) and bodies (rollup buckets).
+	var blocks sstable.BlockStats
+	for _, p := range plans {
+		for _, r := range p.raw {
+			edge := p.cand.Table.Iter(r[0], r[1], &blocks)
+			for edge.Next() {
+				acc.addPoint(edge.Point())
+				st.ResultPoints++
+			}
+			if err := edge.Err(); err != nil {
+				return nil, st, err
+			}
+		}
+		if len(p.raw) > 0 {
+			// The edge scan touched the table after all; account it like
+			// any other seek so read-amplification stays honest.
+			st.TablesTouched++
+			st.TablePoints += p.cand.Table.Len()
+			if p.cand.Level < len(st.LevelTablesTouched) {
+				st.LevelTablesTouched[p.cand.Level]++
+			}
+		}
+		for _, rb := range p.buckets {
+			acc.addRollup(rb)
+		}
+		st.RollupBuckets += len(p.buckets)
+	}
+	st.BlocksRead += blocks.BlocksRead
+	st.BlocksCached += blocks.BlocksCached
+	return acc.result(), st, nil
+}

@@ -1,0 +1,186 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// rawFold is the ground truth: the plain streaming fold over every
+// source, no rollup involvement.
+func rawFold(t *testing.T, e *lsm.Engine, lo, hi, width int64) []Bucket {
+	t.Helper()
+	it := e.Snapshot().NewIterator(lo, hi)
+	bks := AggregateIter(it, width)
+	if err := it.Err(); err != nil {
+		t.Fatalf("raw fold: %v", err)
+	}
+	return bks
+}
+
+func sameBuckets(a, b []Bucket) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRollupAggregateMatchesRawFold is the parity property test: for
+// randomized out-of-order ingest across compaction policies, rollup
+// windows, and query ranges — including unaligned range edges and
+// crash/reopen — the rollup-served aggregate must be bit-identical to
+// the raw fold. Values are dyadic (multiples of 0.25) so float sums
+// reassociate exactly; any divergence is a planner bug, not float noise.
+func TestRollupAggregateMatchesRawFold(t *testing.T) {
+	policies := []string{"leveling", "tiering", "lazy-leveling"}
+	for _, polName := range policies {
+		for _, window := range []int64{10, 25, 100} {
+			polName, window := polName, window
+			t.Run(fmt.Sprintf("%s/w%d", polName, window), func(t *testing.T) {
+				cpol, err := lsm.CompactionPolicyByName(polName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(window*1000 + int64(len(polName))))
+				backend := storage.NewMemBackend()
+				cfg := lsm.Config{
+					Policy:        lsm.Conventional,
+					MemBudget:     48,
+					SSTablePoints: 64,
+					Levels:        3,
+					GrowthFactor:  4,
+					Compaction:    cpol,
+					Backend:       backend,
+					RollupWindow:  window,
+					Seed:          window,
+				}
+				e, err := lsm.Open(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer func() { e.Close() }()
+
+				// Out-of-order ingest: a shuffled permutation of distinct
+				// generation times, values dyadic.
+				const n = 1200
+				tgs := rng.Perm(n)
+				for _, i := range tgs {
+					tg := int64(i) * 3
+					v := float64(tg%17) * 0.25
+					if err := e.Put(series.Point{TG: tg, TA: tg, V: v}); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				maxTG := int64(n-1) * 3
+				queries := func(label string) {
+					t.Helper()
+					for q := 0; q < 40; q++ {
+						width := window * (1 + int64(rng.Intn(4)))
+						if q%5 == 4 {
+							width = window + 1 // not a multiple: raw path
+						}
+						lo := int64(rng.Intn(n*3)) - 10
+						hi := lo + int64(rng.Intn(n*2)) + 1
+						got, st, err := Aggregate(e, lo, hi, width)
+						if err != nil {
+							t.Fatalf("%s: Aggregate(%d, %d, %d): %v", label, lo, hi, width, err)
+						}
+						want := rawFold(t, e, lo, hi, width)
+						if !sameBuckets(got, want) {
+							t.Fatalf("%s: Aggregate(%d, %d, %d) diverges from raw fold:\n got %+v\nwant %+v",
+								label, lo, hi, width, got, want)
+						}
+						if st.RollupBuckets > 0 && width%window != 0 {
+							t.Fatalf("%s: rollup served non-multiple width %d (window %d)", label, width, window)
+						}
+					}
+					// Whole-range query: any uncontested table is fully
+					// inside the range, so candidates must translate into
+					// rollup-served buckets (the planner may not silently
+					// drop them). Tiering/lazy-leveling can legitimately
+					// have zero candidates — every range contested across
+					// levels — in which case the aggregate must be all-raw.
+					s := e.Snapshot()
+					nCand := len(s.RollupCandidates(-100, maxTG+100))
+					got, st, err := Aggregate(e, -100, maxTG+100, window)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := rawFold(t, e, -100, maxTG+100, window)
+					if !sameBuckets(got, want) {
+						t.Fatalf("%s: whole-range aggregate diverges", label)
+					}
+					if nCand > 0 && st.RollupBuckets == 0 {
+						t.Errorf("%s: %d rollup candidates but the planner served none", label, nCand)
+					}
+					if nCand == 0 && st.RollupBuckets > 0 {
+						t.Errorf("%s: no candidates yet %d rollup buckets served", label, st.RollupBuckets)
+					}
+				}
+
+				// Phase 1: memtables still hold points; rollups may or may
+				// not engage (contested ranges stay raw) but parity must hold.
+				queries("pre-flush")
+
+				if err := e.FlushAll(); err != nil {
+					t.Fatal(err)
+				}
+				queries("post-flush")
+
+				// Crash/reopen: recover from the backend (manifest +
+				// sidecars) and re-verify parity and rollup engagement.
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+				e, err = lsm.Open(cfg)
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				queries("reopened")
+			})
+		}
+	}
+}
+
+// TestRollupAggregateMemoryOnly pins the SetRollup path: a backend-less
+// engine still computes rollups at flush and serves aggregates from them.
+func TestRollupAggregateMemoryOnly(t *testing.T) {
+	e, err := lsm.Open(lsm.Config{
+		Policy:       lsm.Conventional,
+		MemBudget:    32,
+		RollupWindow: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for tg := int64(0); tg < 500; tg++ {
+		if err := e.Put(series.Point{TG: tg, TA: tg, V: float64(tg % 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Aggregate(e, 0, 499, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rawFold(t, e, 0, 499, 20)
+	if !sameBuckets(got, want) {
+		t.Fatalf("memory-only rollup aggregate diverges:\n got %+v\nwant %+v", got, want)
+	}
+	if st.RollupBuckets == 0 {
+		t.Error("memory-only engine never served from rollups")
+	}
+}

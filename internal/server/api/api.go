@@ -67,6 +67,14 @@ type ScanStatsJSON struct {
 	// (element 0 = L1; L0 and memtable sources excluded). Omitted for
 	// engines without level accounting.
 	TablesTouchedPerLevel []int `json:"tables_touched_per_level,omitempty"`
+	// RollupBucketsUsed is the number of precomputed rollup buckets an
+	// aggregate folded instead of raw points (0 for plain scans and for
+	// databases without a rollup window). RawPointsScanned is the residual
+	// raw work: points decoded and folded the ordinary way (equal to
+	// result_points; spelled out so dashboards can plot the rollup split
+	// without knowing that equivalence).
+	RollupBucketsUsed int `json:"rollup_buckets_used"`
+	RawPointsScanned  int `json:"raw_points_scanned"`
 }
 
 // ScanResponse is the /scan body. Error, when set, reports a storage or
@@ -251,7 +259,10 @@ type StatsResponse struct {
 // ReadStatsJSON is the server-side read-path accounting for one series:
 // cumulative ScanStats sums over every scan/aggregate served since start,
 // the most recent scan's ScanStats, and latency quantiles from the
-// per-series scan-latency histogram.
+// per-series scan-latency histogram. The latency fields are pointers so a
+// quantile that is undefined (NaN: no observations yet) is omitted from
+// the wire instead of being misreported as 0 — encoding/json cannot
+// represent NaN.
 type ReadStatsJSON struct {
 	Scans              int64          `json:"scans"`
 	TablesTouched      int64          `json:"tables_touched"`
@@ -259,9 +270,9 @@ type ReadStatsJSON struct {
 	MemPoints          int64          `json:"mem_points"`
 	ResultPoints       int64          `json:"result_points"`
 	ReadAmplification  float64        `json:"read_amplification"`
-	LatencyP50Seconds  float64        `json:"latency_p50_seconds"`
-	LatencyP99Seconds  float64        `json:"latency_p99_seconds"`
-	LatencyMeanSeconds float64        `json:"latency_mean_seconds"`
+	LatencyP50Seconds  *float64       `json:"latency_p50_seconds,omitempty"`
+	LatencyP99Seconds  *float64       `json:"latency_p99_seconds,omitempty"`
+	LatencyMeanSeconds *float64       `json:"latency_mean_seconds,omitempty"`
 	LastScan           *ScanStatsJSON `json:"last_scan,omitempty"`
 }
 

@@ -27,6 +27,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("lsmd_aggregate_requests_total", "Aggregate requests received.", s.aggRequests.Load())
 	counter("lsmd_query_requests_total", "Matcher query requests received.", s.queryRequests.Load())
 	counter("lsmd_scanned_points_total", "Points returned by scan, aggregate, and query requests.", s.scannedPoints.Load())
+	counter("lsmd_rollup_buckets_used_total", "Precomputed rollup buckets folded into aggregate answers instead of raw points.", s.rollupBuckets.Load())
+	counter("lsmd_rollup_served_reads_total", "Reads answered at least partly from rollup buckets.", s.rollupServedAggs.Load())
 
 	// Tag index shape and matcher-query fan-out accounting.
 	ix := s.db.Index().Stats()

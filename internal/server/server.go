@@ -40,7 +40,6 @@ import (
 	"repro/internal/index"
 	"repro/internal/lsm"
 	"repro/internal/metrics"
-	"repro/internal/query"
 	"repro/internal/series"
 	"repro/internal/server/api"
 	"repro/internal/tsdb"
@@ -92,6 +91,12 @@ type Server struct {
 	queryRequests   atomic.Int64
 	scannedPoints   atomic.Int64
 
+	// Rollup-path accounting: precomputed buckets folded into aggregate
+	// answers, and how many reads used at least one (the rest ran fully
+	// raw — no eligible rollup, or widths that don't divide evenly).
+	rollupBuckets    atomic.Int64
+	rollupServedAggs atomic.Int64
+
 	latMu    sync.Mutex
 	writeLat *metrics.Histogram // write request latency, seconds
 
@@ -128,6 +133,10 @@ func (rs *seriesReadStats) readAmplification() float64 {
 // observeRead folds one scan/aggregate's cost into the per-series read
 // accounting.
 func (s *Server) observeRead(name string, st lsm.ScanStats, d time.Duration) {
+	if st.RollupBuckets > 0 {
+		s.rollupBuckets.Add(int64(st.RollupBuckets))
+		s.rollupServedAggs.Add(1)
+	}
 	s.readMu.Lock()
 	defer s.readMu.Unlock()
 	rs := s.reads[name]
@@ -378,6 +387,8 @@ func scanStatsJSON(st lsm.ScanStats) api.ScanStatsJSON {
 		BlocksRead:            st.BlocksRead,
 		BlocksCached:          st.BlocksCached,
 		TablesTouchedPerLevel: st.LevelTablesTouched,
+		RollupBucketsUsed:     st.RollupBuckets,
+		RawPointsScanned:      st.ResultPoints,
 	}
 }
 
@@ -441,19 +452,14 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	it, err := s.db.SeriesIterator(name, lo, hi)
+	// Aggregate through the DB so uncontested table ranges are served from
+	// compaction-time rollup buckets when the width is a multiple of the
+	// configured rollup window; everything else folds raw off a snapshot.
+	buckets, st, err := s.db.AggregateSeries(name, lo, hi, width)
 	if err != nil {
 		s.queryError(w, err)
 		return
 	}
-	// Fold buckets straight off the iterator: O(buckets) memory, no raw
-	// point slice, no engine lock.
-	buckets := query.AggregateIter(it, lo, width)
-	if err := it.Err(); err != nil {
-		s.queryError(w, err)
-		return
-	}
-	st := it.Stats()
 	s.scannedPoints.Add(int64(st.ResultPoints))
 	s.observeRead(name, st, time.Since(start))
 	resp := api.AggregateResponse{
@@ -749,6 +755,17 @@ func histQuantile(h groupwal.HistSnapshot, q float64) float64 {
 	return h.Edges[len(h.Edges)-1] + bw
 }
 
+// finiteOrNil boxes v for an omitempty wire field, dropping NaN/Inf —
+// undefined statistics (e.g. a quantile of zero observations) are omitted
+// from the response rather than misreported, and encoding/json cannot
+// represent them anyway.
+func finiteOrNil(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
 // handleSeriesStats serves /series/{series}/stats: the series' engine
 // counters (same shape as its /stats entry) plus the server-side read-path
 // accounting — cumulative ScanStats, the last scan's ScanStats, and scan
@@ -778,9 +795,9 @@ func (s *Server) handleSeriesStats(w http.ResponseWriter, r *http.Request) {
 			MemPoints:          rs.memPoints,
 			ResultPoints:       rs.resultPoints,
 			ReadAmplification:  rs.readAmplification(),
-			LatencyP50Seconds:  rs.lat.Quantile(0.5),
-			LatencyP99Seconds:  rs.lat.Quantile(0.99),
-			LatencyMeanSeconds: rs.lat.Mean(),
+			LatencyP50Seconds:  finiteOrNil(rs.lat.Quantile(0.5)),
+			LatencyP99Seconds:  finiteOrNil(rs.lat.Quantile(0.99)),
+			LatencyMeanSeconds: finiteOrNil(rs.lat.Mean()),
 			LastScan:           &last,
 		}
 	}

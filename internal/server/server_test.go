@@ -272,6 +272,69 @@ func TestServerAssignedArrival(t *testing.T) {
 	}
 }
 
+// TestAggregateRollupStats runs an aggregate whose width is a multiple of
+// the store's rollup window against flushed data, and asserts the response
+// reports rollup-served buckets; a non-multiple width must report zero.
+func TestAggregateRollupStats(t *testing.T) {
+	db, err := tsdb.Open(tsdb.Config{
+		Engine:       lsm.Config{Policy: lsm.Conventional, MemBudget: 64},
+		AutoCreate:   true,
+		RollupWindow: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, base := startServer(t, Config{DB: db, CloseDB: true})
+	defer srv.Close(context.Background())
+
+	var lines strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&lines, "s %d %d %d.25\n", i, i, i%9)
+	}
+	resp, body := post(t, base+"/write", "text/plain", lines.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write: %d %s", resp.StatusCode, body)
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		r, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, r.StatusCode, b)
+		}
+		return string(b)
+	}
+
+	body = get("/aggregate?series=s&lo=0&hi=299&width=10")
+	if !strings.Contains(body, `"rollup_buckets_used":`) || !strings.Contains(body, `"raw_points_scanned":`) {
+		t.Fatalf("aggregate response missing rollup stats: %s", body)
+	}
+	if strings.Contains(body, `"rollup_buckets_used":0`) {
+		t.Errorf("flushed width-multiple aggregate served no rollup buckets: %s", body)
+	}
+
+	// Width 7 is not a multiple of the window: must be all-raw.
+	body = get("/aggregate?series=s&lo=0&hi=299&width=7")
+	if !strings.Contains(body, `"rollup_buckets_used":0`) {
+		t.Errorf("non-multiple width reported rollup buckets: %s", body)
+	}
+
+	// The Prometheus counters follow the served reads.
+	body = get("/metrics")
+	if !strings.Contains(body, "lsmd_rollup_buckets_used_total") ||
+		!strings.Contains(body, "lsmd_rollup_served_reads_total") {
+		t.Errorf("/metrics missing rollup counters:\n%s", body)
+	}
+}
+
 func TestQueryErrors(t *testing.T) {
 	srv, base := startServer(t, Config{DB: testDB(t), CloseDB: true})
 	defer srv.Close(context.Background())

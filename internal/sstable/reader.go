@@ -30,6 +30,10 @@ type Reader struct {
 	cache *cache.Cache
 	owner uint64
 
+	// rollup points at the table's lazily-loaded rollup sidecar, nil
+	// when none is attached. See AttachRollup in rollup.go.
+	rollup *rollupRef
+
 	// retired flips once the table leaves the live set (compaction,
 	// retention, or engine close). Block loads still work — in-flight
 	// scans need them — but stop populating the cache, so a dead table

@@ -1,0 +1,367 @@
+package sstable
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"repro/internal/encoding"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// Rollup is a table's downsampled summary: one bucket per fixed,
+// epoch-aligned window of generation time that contains at least one
+// point. Buckets are exact aggregates of the table's own points — the
+// query planner serves wide-range aggregates from them instead of
+// decoding raw blocks, merging partial buckets from other sources at
+// range edges (FirstTG/LastTG make that merge exact; see RollupBucket).
+//
+// A rollup is persisted as a sidecar object next to its table image
+// (see rollupObjectName in internal/lsm) so the raw table format — and
+// everything fuzzing it — is untouched.
+type Rollup struct {
+	// Window is the bucket width. Every bucket's Start is an integer
+	// multiple of Window (floored toward −∞ for negative times).
+	Window int64
+	// Buckets holds the non-empty buckets in ascending Start order.
+	Buckets []RollupBucket
+}
+
+// RollupBucket aggregates the points of one epoch-aligned window.
+// Count, Min, Max, and Sum are order-independent; First/Last carry the
+// values at FirstTG/LastTG, the earliest and latest generation times the
+// bucket actually saw. Keeping the edge times (not just the values) lets
+// two partial buckets for the same window — from time-disjoint sources —
+// merge exactly: the merged First belongs to the smaller FirstTG.
+type RollupBucket struct {
+	Start   int64
+	Count   int64
+	Min     float64
+	Max     float64
+	Sum     float64
+	First   float64
+	Last    float64
+	FirstTG int64
+	LastTG  int64
+}
+
+// BucketStart returns the epoch-aligned start of the window containing
+// tg: floor(tg/window)*window, flooring toward −∞ so negative times land
+// in the window below zero rather than sharing bucket 0.
+func BucketStart(tg, window int64) int64 {
+	q := tg / window
+	if tg%window != 0 && tg < 0 {
+		q--
+	}
+	return q * window
+}
+
+// RollupBuilder accumulates a Rollup from points fed in ascending
+// generation-time order (the order streamMerge emits and Build
+// validates).
+type RollupBuilder struct {
+	window int64
+	// end is the exclusive end of the open (last) bucket, maintained so
+	// the sorted common case — the next point landing in the same window —
+	// folds with two comparisons instead of a floor division per point.
+	// Valid only while buckets is non-empty.
+	end     int64
+	buckets []RollupBucket
+}
+
+// NewRollupBuilder returns a builder for the given window; window must
+// be positive.
+func NewRollupBuilder(window int64) *RollupBuilder {
+	if window <= 0 {
+		panic("sstable: rollup window must be positive")
+	}
+	return &RollupBuilder{window: window}
+}
+
+// Add folds one point into the builder. Points must arrive in strictly
+// ascending generation-time order.
+func (b *RollupBuilder) Add(p series.Point) {
+	if n := len(b.buckets); n > 0 && p.TG < b.end && p.TG >= b.end-b.window {
+		bk := &b.buckets[n-1]
+		bk.Count++
+		if p.V < bk.Min {
+			bk.Min = p.V
+		}
+		if p.V > bk.Max {
+			bk.Max = p.V
+		}
+		bk.Sum += p.V
+		bk.Last = p.V
+		bk.LastTG = p.TG
+		return
+	}
+	start := BucketStart(p.TG, b.window)
+	b.end = start + b.window
+	b.buckets = append(b.buckets, RollupBucket{
+		Start: start, Count: 1,
+		Min: p.V, Max: p.V, Sum: p.V, First: p.V, Last: p.V,
+		FirstTG: p.TG, LastTG: p.TG,
+	})
+}
+
+// Rollup finalizes the builder. It returns nil when no points were
+// added.
+func (b *RollupBuilder) Rollup() *Rollup {
+	if len(b.buckets) == 0 {
+		return nil
+	}
+	return &Rollup{Window: b.window, Buckets: b.buckets}
+}
+
+// BuildRollup computes the rollup of points (sorted strictly ascending
+// by generation time) at the given window. Returns nil for no points.
+func BuildRollup(points []series.Point, window int64) *Rollup {
+	b := NewRollupBuilder(window)
+	for _, p := range points {
+		b.Add(p)
+	}
+	return b.Rollup()
+}
+
+// RollupMagic identifies an encoded rollup sidecar ("TSRL").
+const RollupMagic uint32 = 0x5453524C
+
+// RollupFormatVersion is the current rollup encoding version.
+const RollupFormatVersion = 1
+
+// rollupMinBucketBytes is the smallest possible encoded bucket: three
+// one-byte varints (start, count, first offset, last delta — four, see
+// layout) plus five 8-byte floats. Used to bound the declared bucket
+// count against the image size before any allocation.
+const rollupMinBucketBytes = 4 + 5*8
+
+// EncodeRollup serializes r:
+//
+//	magic u32 | version u8 | window varint | numBuckets uvarint |
+//	buckets... | crc32(everything before) u32
+//
+// Each bucket is: start varint (absolute) | count uvarint |
+// firstOff uvarint (FirstTG−Start) | lastDelta uvarint (LastTG−FirstTG) |
+// min, max, sum, first, last float64.
+func EncodeRollup(r *Rollup) []byte {
+	out := make([]byte, 0, 16+len(r.Buckets)*(12+5*8))
+	out = encoding.PutUint32(out, RollupMagic)
+	out = append(out, RollupFormatVersion)
+	out = encoding.PutVarint(out, r.Window)
+	out = encoding.PutUvarint(out, uint64(len(r.Buckets)))
+	for i := range r.Buckets {
+		bk := &r.Buckets[i]
+		out = encoding.PutVarint(out, bk.Start)
+		out = encoding.PutUvarint(out, uint64(bk.Count))
+		out = encoding.PutUvarint(out, uint64(bk.FirstTG-bk.Start))
+		out = encoding.PutUvarint(out, uint64(bk.LastTG-bk.FirstTG))
+		out = encoding.PutFloat64(out, bk.Min)
+		out = encoding.PutFloat64(out, bk.Max)
+		out = encoding.PutFloat64(out, bk.Sum)
+		out = encoding.PutFloat64(out, bk.First)
+		out = encoding.PutFloat64(out, bk.Last)
+	}
+	return encoding.PutUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// DecodeRollup parses an encoded rollup sidecar, validating the CRC and
+// every structural invariant (aligned, strictly ascending starts; edge
+// times inside their window; plausible counts) before trusting anything.
+// Corrupt images return ErrCorrupt-family errors; the declared bucket
+// count is bounded by the image size before allocation.
+func DecodeRollup(src []byte) (*Rollup, error) {
+	const fixed = 4 + 1 + 4 // magic + version + trailing crc
+	if len(src) < fixed {
+		return nil, fmt.Errorf("%w: rollup image too short (%d bytes)", ErrCorrupt, len(src))
+	}
+	magic, _, _ := encoding.Uint32(src)
+	if magic != RollupMagic {
+		return nil, fmt.Errorf("rollup: %w", ErrBadMagic)
+	}
+	if src[4] != RollupFormatVersion {
+		return nil, fmt.Errorf("rollup: %w: got %d", ErrBadVersion, src[4])
+	}
+	body, tail := src[:len(src)-4], src[len(src)-4:]
+	wantCRC, _, _ := encoding.Uint32(tail)
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("rollup: %w", ErrChecksum)
+	}
+	off := 5
+	readUvarint := func(context string) (uint64, error) {
+		v, n, err := encoding.Uvarint(body[off:])
+		if err != nil {
+			return 0, fmt.Errorf("%w: rollup %s: %v", ErrCorrupt, context, err)
+		}
+		off += n
+		return v, nil
+	}
+	readVarint := func(context string) (int64, error) {
+		v, n, err := encoding.Varint(body[off:])
+		if err != nil {
+			return 0, fmt.Errorf("%w: rollup %s: %v", ErrCorrupt, context, err)
+		}
+		off += n
+		return v, nil
+	}
+	window, err := readVarint("window")
+	if err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: rollup window %d not positive", ErrCorrupt, window)
+	}
+	numBuckets, err := readUvarint("bucket count")
+	if err != nil {
+		return nil, err
+	}
+	// Bound the allocation by what the image could possibly hold.
+	if numBuckets > uint64(len(body)-off)/rollupMinBucketBytes {
+		return nil, fmt.Errorf("%w: rollup declares %d buckets in %d bytes", ErrCorrupt, numBuckets, len(body)-off)
+	}
+	buckets := make([]RollupBucket, 0, numBuckets)
+	var prevStart int64
+	for i := uint64(0); i < numBuckets; i++ {
+		start, err := readVarint("bucket start")
+		if err != nil {
+			return nil, err
+		}
+		if BucketStart(start, window) != start {
+			return nil, fmt.Errorf("%w: rollup bucket start %d not aligned to window %d", ErrCorrupt, start, window)
+		}
+		if i > 0 && start <= prevStart {
+			return nil, fmt.Errorf("%w: rollup bucket starts regress (%d after %d)", ErrCorrupt, start, prevStart)
+		}
+		prevStart = start
+		count, err := readUvarint("bucket point count")
+		if err != nil {
+			return nil, err
+		}
+		firstOff, err := readUvarint("bucket first offset")
+		if err != nil {
+			return nil, err
+		}
+		lastDelta, err := readUvarint("bucket last delta")
+		if err != nil {
+			return nil, err
+		}
+		if firstOff >= uint64(window) || lastDelta >= uint64(window)-firstOff {
+			return nil, fmt.Errorf("%w: rollup bucket edge times escape window", ErrCorrupt)
+		}
+		// Reject edge times that would wrap past MaxInt64.
+		if start > 0 && firstOff+lastDelta > uint64(math.MaxInt64-start) {
+			return nil, fmt.Errorf("%w: rollup bucket edge times overflow", ErrCorrupt)
+		}
+		// Generation times are unique, so a bucket cannot hold more
+		// points than distinct times between its edges.
+		if count < 1 || count > lastDelta+1 {
+			return nil, fmt.Errorf("%w: rollup bucket count %d impossible for span %d", ErrCorrupt, count, lastDelta+1)
+		}
+		var vals [5]float64
+		for j := range vals {
+			v, n, err := encoding.Float64(body[off:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: rollup bucket values: %v", ErrCorrupt, err)
+			}
+			vals[j] = v
+			off += n
+		}
+		buckets = append(buckets, RollupBucket{
+			Start:   start,
+			Count:   int64(count),
+			Min:     vals[0],
+			Max:     vals[1],
+			Sum:     vals[2],
+			First:   vals[3],
+			Last:    vals[4],
+			FirstTG: start + int64(firstOff),
+			LastTG:  start + int64(firstOff) + int64(lastDelta),
+		})
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after rollup buckets", ErrCorrupt, len(body)-off)
+	}
+	return &Rollup{Window: window, Buckets: buckets}, nil
+}
+
+// RollupProvider is implemented by table handles that can serve a
+// precomputed rollup. RollupWindow returns 0 when no rollup is attached;
+// Rollup returns the summary, loading it lazily for paged readers (a
+// load failure means the caller falls back to raw blocks).
+type RollupProvider interface {
+	RollupWindow() int64
+	Rollup() (*Rollup, error)
+}
+
+// SetRollup attaches a precomputed rollup to a resident table. Passing
+// nil detaches.
+func (t *Table) SetRollup(r *Rollup) { t.rollup = r }
+
+// RollupWindow implements RollupProvider.
+func (t *Table) RollupWindow() int64 {
+	if t.rollup == nil {
+		return 0
+	}
+	return t.rollup.Window
+}
+
+// Rollup implements RollupProvider; resident tables never fail.
+func (t *Table) Rollup() (*Rollup, error) { return t.rollup, nil }
+
+// rollupRef is a Reader's lazily-loaded rollup sidecar.
+type rollupRef struct {
+	backend storage.Backend
+	name    string
+	window  int64
+
+	mu     sync.Mutex
+	loaded *Rollup
+}
+
+// AttachRollup records the sidecar object holding this table's rollup;
+// the image is read and decoded on first use. window must match the
+// window the sidecar was encoded with (the manifest records it).
+func (r *Reader) AttachRollup(b storage.Backend, name string, window int64) {
+	if window <= 0 {
+		r.rollup = nil
+		return
+	}
+	r.rollup = &rollupRef{backend: b, name: name, window: window}
+}
+
+// RollupWindow implements RollupProvider.
+func (r *Reader) RollupWindow() int64 {
+	if r.rollup == nil {
+		return 0
+	}
+	return r.rollup.window
+}
+
+// Rollup implements RollupProvider, loading and caching the sidecar on
+// first call. Errors are not cached: a transient read failure retries on
+// the next call, and the caller falls back to raw blocks meanwhile.
+func (r *Reader) Rollup() (*Rollup, error) {
+	ref := r.rollup
+	if ref == nil {
+		return nil, nil
+	}
+	ref.mu.Lock()
+	defer ref.mu.Unlock()
+	if ref.loaded != nil {
+		return ref.loaded, nil
+	}
+	img, err := ref.backend.Read(ref.name)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: read rollup %s: %w", ref.name, err)
+	}
+	ru, err := DecodeRollup(img)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: rollup %s: %w", ref.name, err)
+	}
+	if ru.Window != ref.window {
+		return nil, fmt.Errorf("%w: rollup %s window %d, manifest says %d", ErrCorrupt, ref.name, ru.Window, ref.window)
+	}
+	ref.loaded = ru
+	return ru, nil
+}

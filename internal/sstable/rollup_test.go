@@ -1,0 +1,230 @@
+package sstable
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+func TestBucketStart(t *testing.T) {
+	cases := []struct{ tg, window, want int64 }{
+		{0, 10, 0},
+		{9, 10, 0},
+		{10, 10, 10},
+		{15, 10, 10},
+		{-1, 10, -10},
+		{-10, 10, -10},
+		{-11, 10, -20},
+		{7, 1, 7},
+		{-7, 1, -7},
+	}
+	for _, c := range cases {
+		if got := BucketStart(c.tg, c.window); got != c.want {
+			t.Errorf("BucketStart(%d, %d) = %d, want %d", c.tg, c.window, got, c.want)
+		}
+	}
+}
+
+func TestBuildRollup(t *testing.T) {
+	pts := []series.Point{
+		{TG: -5, V: 4},                // window [-10, 0)
+		{TG: 2, V: 1}, {TG: 7, V: -3}, // window [0, 10)
+		{TG: 25, V: 9}, {TG: 29, V: 9}, // window [20, 30)
+	}
+	ru := BuildRollup(pts, 10)
+	if ru == nil || ru.Window != 10 || len(ru.Buckets) != 3 {
+		t.Fatalf("rollup: %+v", ru)
+	}
+	b0 := ru.Buckets[0]
+	if b0.Start != -10 || b0.Count != 1 || b0.Min != 4 || b0.Max != 4 || b0.Sum != 4 ||
+		b0.First != 4 || b0.Last != 4 || b0.FirstTG != -5 || b0.LastTG != -5 {
+		t.Errorf("bucket 0: %+v", b0)
+	}
+	b1 := ru.Buckets[1]
+	if b1.Start != 0 || b1.Count != 2 || b1.Min != -3 || b1.Max != 1 || b1.Sum != -2 ||
+		b1.First != 1 || b1.Last != -3 || b1.FirstTG != 2 || b1.LastTG != 7 {
+		t.Errorf("bucket 1: %+v", b1)
+	}
+	if ru.Buckets[2].Start != 20 || ru.Buckets[2].Sum != 18 {
+		t.Errorf("bucket 2: %+v", ru.Buckets[2])
+	}
+	if got := BuildRollup(nil, 10); got != nil {
+		t.Errorf("empty rollup: %+v", got)
+	}
+}
+
+func TestRollupEncodeDecodeRoundTrip(t *testing.T) {
+	pts := make([]series.Point, 0, 100)
+	for i := int64(-50); i < 50; i++ {
+		pts = append(pts, series.Point{TG: i * 3, V: float64(i) * 0.25})
+	}
+	for _, window := range []int64{1, 7, 10, 1000} {
+		ru := BuildRollup(pts, window)
+		got, err := DecodeRollup(EncodeRollup(ru))
+		if err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		if got.Window != ru.Window || len(got.Buckets) != len(ru.Buckets) {
+			t.Fatalf("window %d: got %d buckets want %d", window, len(got.Buckets), len(ru.Buckets))
+		}
+		for i := range got.Buckets {
+			if got.Buckets[i] != ru.Buckets[i] {
+				t.Fatalf("window %d bucket %d: %+v != %+v", window, i, got.Buckets[i], ru.Buckets[i])
+			}
+		}
+	}
+}
+
+func TestRollupDecodeCorrupt(t *testing.T) {
+	ru := BuildRollup([]series.Point{{TG: 5, V: 1}, {TG: 15, V: 2}}, 10)
+	img := EncodeRollup(ru)
+
+	if _, err := DecodeRollup(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty image: %v", err)
+	}
+	bad := append([]byte{}, img...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeRollup(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad = append([]byte{}, img...)
+	bad[4] = 99
+	if _, err := DecodeRollup(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Any flipped body bit must be caught by the CRC.
+	for i := 5; i < len(img)-4; i++ {
+		bad = append([]byte{}, img...)
+		bad[i] ^= 0x40
+		if _, err := DecodeRollup(bad); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: %v", i, err)
+		}
+	}
+	if _, err := DecodeRollup(img[:len(img)-1]); err == nil || !rollupErrAllowed(err) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+// rollupErrAllowed mirrors decodeErrAllowed for the sidecar format.
+func rollupErrAllowed(err error) bool {
+	for _, e := range []error{ErrBadMagic, ErrBadVersion, ErrChecksum, ErrCorrupt} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReaderRollupLazyLoad(t *testing.T) {
+	pts := make([]series.Point, 64)
+	for i := range pts {
+		pts[i] = series.Point{TG: int64(i) * 5, TA: int64(i) * 5, V: float64(i)}
+	}
+	tbl, err := Build(1, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru := BuildRollup(pts, 50)
+	b := storage.NewMemBackend()
+	if err := b.Write("t.tbl", tbl.Encode(16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write("t.rlp", EncodeRollup(ru)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(b, "t.tbl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RollupWindow() != 0 {
+		t.Fatalf("window before attach: %d", r.RollupWindow())
+	}
+	r.AttachRollup(b, "t.rlp", 50)
+	if r.RollupWindow() != 50 {
+		t.Fatalf("window after attach: %d", r.RollupWindow())
+	}
+	got, err := r.Rollup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Buckets) != len(ru.Buckets) {
+		t.Fatalf("%d buckets, want %d", len(got.Buckets), len(ru.Buckets))
+	}
+	// Window mismatch against the manifest-recorded value must fail, and
+	// the failure must not be cached (a retry with nothing changed fails
+	// the same way rather than succeeding spuriously).
+	r2, err := OpenReader(b, "t.tbl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.AttachRollup(b, "t.rlp", 60)
+	if _, err := r2.Rollup(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("window mismatch: %v", err)
+	}
+	if _, err := r2.Rollup(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("window mismatch on retry: %v", err)
+	}
+}
+
+// FuzzRollupDecode feeds arbitrary bytes to the rollup sidecar decoder.
+// Invariants: no panics, no allocations sized from unvalidated headers
+// (the bucket count is bounded by the image size first), failures stay in
+// the package error family, and accepted images round-trip losslessly.
+func FuzzRollupDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x4C, 0x52, 0x53, 0x54})
+	pts := make([]series.Point, 40)
+	for i := range pts {
+		pts[i] = series.Point{TG: int64(i)*7 - 70, V: float64(i) * 0.5}
+	}
+	for _, window := range []int64{1, 10, 1000} {
+		img := EncodeRollup(BuildRollup(pts, window))
+		f.Add(img)
+		f.Add(img[:len(img)/2])
+		f.Add(img[:len(img)-3])
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ru, err := DecodeRollup(data)
+		if err != nil {
+			if !rollupErrAllowed(err) {
+				t.Fatalf("DecodeRollup error outside the package family: %v", err)
+			}
+			return
+		}
+		if ru.Window <= 0 {
+			t.Fatalf("accepted non-positive window %d", ru.Window)
+		}
+		var prev int64
+		for i, bk := range ru.Buckets {
+			if BucketStart(bk.Start, ru.Window) != bk.Start {
+				t.Fatalf("accepted unaligned start %d (window %d)", bk.Start, ru.Window)
+			}
+			if i > 0 && bk.Start <= prev {
+				t.Fatalf("accepted regressing starts %d after %d", bk.Start, prev)
+			}
+			prev = bk.Start
+			if bk.FirstTG < bk.Start || bk.LastTG < bk.FirstTG ||
+				bk.FirstTG >= bk.Start+ru.Window || bk.LastTG >= bk.Start+ru.Window {
+				t.Fatalf("accepted edge times outside window: %+v", bk)
+			}
+			if bk.Count < 1 || bk.Count > bk.LastTG-bk.FirstTG+1 {
+				t.Fatalf("accepted impossible count: %+v", bk)
+			}
+		}
+		got, rerr := DecodeRollup(EncodeRollup(ru))
+		if rerr != nil {
+			t.Fatalf("re-encode of accepted image failed: %v", rerr)
+		}
+		if got.Window != ru.Window || len(got.Buckets) != len(ru.Buckets) {
+			t.Fatalf("round trip changed shape")
+		}
+		for i := range got.Buckets {
+			if got.Buckets[i] != ru.Buckets[i] {
+				t.Fatalf("round trip changed bucket %d", i)
+			}
+		}
+	})
+}

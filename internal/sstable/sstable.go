@@ -107,6 +107,7 @@ type Table struct {
 	id     uint64
 	points []series.Point
 	filter *bloom.Filter
+	rollup *Rollup // optional precomputed summary; see rollup.go
 }
 
 var _ TableHandle = (*Table)(nil)

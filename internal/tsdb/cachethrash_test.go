@@ -78,7 +78,7 @@ func TestCacheThrashConcurrentReads(t *testing.T) {
 						return
 					}
 					const width = 512
-					buckets := query.AggregateIter(it, 0, width)
+					buckets := query.AggregateIter(it, width)
 					if err := it.Err(); err != nil {
 						fail("aggregate iterator: %v", err)
 						return

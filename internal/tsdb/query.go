@@ -27,8 +27,8 @@ type QueryOptions struct {
 	// runs an ephemeral pool of n workers for this query alone.
 	Workers int
 	// BucketWidth, when positive, downsamples each series into aggregate
-	// buckets of that width (anchored at Lo) instead of returning raw
-	// points.
+	// buckets of that width (epoch-aligned: starts are multiples of the
+	// width, independent of Lo) instead of returning raw points.
 	BucketWidth int64
 	// Limit, when positive, caps the number of matched series queried
 	// (the match itself is not truncated: QueryStats.SeriesMatched still
@@ -152,6 +152,27 @@ func (db *DB) QueryMatch(ms []index.Matcher, opts QueryOptions) ([]SeriesResult,
 		stats.PointsReturned += r.Stats.ResultPoints
 	}
 	return results, stats, nil
+}
+
+// AggregateSeries downsamples one series' range [lo, hi] into
+// epoch-aligned buckets of the given width. When the DB maintains
+// rollups (Config.RollupWindow) and the width is a multiple of the
+// rollup window, uncontested table ranges are answered from precomputed
+// buckets; the stats report the split (RollupBuckets vs ResultPoints).
+func (db *DB) AggregateSeries(name string, lo, hi, width int64) ([]query.Bucket, lsm.ScanStats, error) {
+	var (
+		bks []query.Bucket
+		st  lsm.ScanStats
+	)
+	err := db.withSeries(name, false, func(ss *seriesState) error {
+		var err error
+		bks, st, err = query.Aggregate(ss.engine, lo, hi, width)
+		return err
+	})
+	if err != nil {
+		return nil, lsm.ScanStats{}, err
+	}
+	return bks, st, nil
 }
 
 // queryRunner picks the execution strategy for one query: inline for

@@ -142,7 +142,7 @@ func TestSharedSchedulerManySeriesStress(t *testing.T) {
 					fail("SeriesIterator(%s): %v", name, err)
 					return
 				}
-				buckets := query.AggregateIter(it, 0, 1000)
+				buckets := query.AggregateIter(it, 1000)
 				var n int
 				for _, b := range buckets {
 					n += int(b.Count)

@@ -93,6 +93,14 @@ type Config struct {
 	// query.DefaultWorkers(). Fan-out tasks are I/O-bound range reads, so
 	// the pool deliberately oversubscribes the CPUs.
 	QueryWorkers int
+	// RollupWindow, when positive, enables compaction-time rollups for
+	// every series: each persisted SSTable carries a sidecar of
+	// downsampled buckets of this width (epoch-aligned), and aggregate
+	// queries whose bucket width is a multiple of it are served from the
+	// precomputed buckets wherever a table's range is uncontested. It is
+	// a convenience override of Engine.RollupWindow applied to every
+	// series engine. Zero leaves Engine.RollupWindow as-is.
+	RollupWindow int64
 	// MemBudgetBytes, when positive on a durable DB, activates the memory
 	// arbiter (see arbiter.go): engines are instantiated lazily and
 	// evicted under pressure, and the budget is split dynamically between
@@ -293,6 +301,9 @@ func (db *DB) createLocked(name string) (*seriesState, error) {
 	ecfg := db.cfg.Engine
 	if db.sched != nil {
 		ecfg.Scheduler = db.sched
+	}
+	if db.cfg.RollupWindow > 0 {
+		ecfg.RollupWindow = db.cfg.RollupWindow
 	}
 	if db.cfg.Backend != nil {
 		if !db.persisted[name] {
